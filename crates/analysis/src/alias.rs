@@ -1,0 +1,183 @@
+//! Alias information and determinable-load classification.
+//!
+//! The paper (Section 4.1): *"The compiler first performs program-level
+//! alias analysis to identify such load instructions and annotates them
+//! as determinable, indicating that all potential store instructions
+//! can be determined at compile time. Both globally and locally-named
+//! structures are reused, whereas anonymous data structures are the
+//! subject of ongoing research."*
+//!
+//! Because our IR names the object each memory access touches, the
+//! points-to relation is exact for named objects: a load is
+//! *determinable* iff its object is named (or read-only), and the set
+//! of stores that may write that object is simply every store naming
+//! it — collected program-wide here, closed over calls via
+//! [`crate::callgraph::SideEffects`].
+
+use std::collections::HashMap;
+
+use ccr_ir::{FuncId, InstrId, MemObjectId, ObjectKind, Op, Program};
+
+/// Determinability classification of a load.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Determinable {
+    /// All stores that may write the accessed object are statically
+    /// known, and there are none (read-only table): the load never
+    /// needs invalidation.
+    ReadOnly,
+    /// All stores that may write the accessed object are statically
+    /// known (named object with at least one static store site).
+    Writable,
+    /// The load accesses anonymous storage; reuse is not attempted.
+    No,
+}
+
+impl Determinable {
+    /// True for the two determinable classes.
+    pub fn is_determinable(self) -> bool {
+        !matches!(self, Determinable::No)
+    }
+}
+
+/// Program-wide alias facts.
+#[derive(Clone, Debug)]
+pub struct AliasInfo {
+    load_class: HashMap<InstrId, Determinable>,
+    store_sites: HashMap<MemObjectId, Vec<(FuncId, InstrId)>>,
+}
+
+impl AliasInfo {
+    /// Computes alias information for `program`.
+    pub fn compute(program: &Program) -> AliasInfo {
+        let mut store_sites: HashMap<MemObjectId, Vec<(FuncId, InstrId)>> = HashMap::new();
+        for func in program.functions() {
+            for (_, instr) in func.iter_instrs() {
+                if let Op::Store { object, .. } = &instr.op {
+                    store_sites
+                        .entry(*object)
+                        .or_default()
+                        .push((func.id(), instr.id));
+                }
+            }
+        }
+        let mut load_class = HashMap::new();
+        for func in program.functions() {
+            for (_, instr) in func.iter_instrs() {
+                if let Op::Load { object, .. } = &instr.op {
+                    let class = match program.object(*object).kind() {
+                        ObjectKind::ReadOnly => Determinable::ReadOnly,
+                        ObjectKind::Named => Determinable::Writable,
+                        ObjectKind::Anonymous => Determinable::No,
+                    };
+                    load_class.insert(instr.id, class);
+                }
+            }
+        }
+        AliasInfo {
+            load_class,
+            store_sites,
+        }
+    }
+
+    /// Determinability class of a load instruction.
+    ///
+    /// Returns [`Determinable::No`] for non-load instructions.
+    pub fn load_class(&self, id: InstrId) -> Determinable {
+        self.load_class.get(&id).copied().unwrap_or(Determinable::No)
+    }
+
+    /// True if the load is annotated determinable.
+    pub fn is_determinable(&self, id: InstrId) -> bool {
+        self.load_class(id).is_determinable()
+    }
+
+    /// All static store sites that may write `object`.
+    pub fn store_sites(&self, object: MemObjectId) -> &[(FuncId, InstrId)] {
+        self.store_sites.get(&object).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of static store sites writing `object`.
+    pub fn store_site_count(&self, object: MemObjectId) -> usize {
+        self.store_sites(object).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{Operand, ProgramBuilder};
+
+    fn program() -> (ccr_ir::Program, [InstrId; 3], MemObjectId) {
+        let mut pb = ProgramBuilder::new();
+        let ro = pb.table("bits", vec![0, 1, 1, 2]);
+        let named = pb.object("brktable", 16);
+        let heap = pb.heap("anon", 8);
+        let mut f = pb.function("main", 0, 0);
+        let a = f.load(ro, 1i64);
+        let b = f.load(named, 0i64);
+        let c = f.load(heap, 0i64);
+        f.store(named, 0i64, a);
+        f.store(heap, 1i64, b);
+        let _ = c;
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let loads: Vec<InstrId> = p
+            .function(id)
+            .iter_instrs()
+            .filter(|(_, i)| i.is_load())
+            .map(|(_, i)| i.id)
+            .collect();
+        (p, [loads[0], loads[1], loads[2]], named)
+    }
+
+    #[test]
+    fn classification_by_object_kind() {
+        let (p, [ro_load, named_load, heap_load], _) = program();
+        let ai = AliasInfo::compute(&p);
+        assert_eq!(ai.load_class(ro_load), Determinable::ReadOnly);
+        assert_eq!(ai.load_class(named_load), Determinable::Writable);
+        assert_eq!(ai.load_class(heap_load), Determinable::No);
+        assert!(ai.is_determinable(ro_load));
+        assert!(ai.is_determinable(named_load));
+        assert!(!ai.is_determinable(heap_load));
+    }
+
+    #[test]
+    fn store_sites_collected() {
+        let (p, _, named) = program();
+        let ai = AliasInfo::compute(&p);
+        assert_eq!(ai.store_site_count(named), 1);
+        let (f, _) = ai.store_sites(named)[0];
+        assert_eq!(f, p.main());
+    }
+
+    #[test]
+    fn non_load_is_not_determinable() {
+        let (p, _, _) = program();
+        let ai = AliasInfo::compute(&p);
+        let ret = p
+            .function(p.main())
+            .iter_instrs()
+            .find(|(_, i)| matches!(i.op, Op::Ret { .. }))
+            .unwrap()
+            .1
+            .id;
+        assert_eq!(ai.load_class(ret), Determinable::No);
+    }
+
+    #[test]
+    fn readonly_object_has_no_store_sites() {
+        let mut pb = ProgramBuilder::new();
+        let ro = pb.table("t", vec![5]);
+        let mut f = pb.function("main", 0, 1);
+        let v = f.load(ro, 0i64);
+        f.ret(&[Operand::Reg(v)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let ai = AliasInfo::compute(&p);
+        assert_eq!(ai.store_site_count(ro), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Call graph and transitive side-effect summaries.
+//!
+//! Memory-dependent region formation must know, for every function,
+//! which named objects it (or anything it calls) may write. The paper
+//! relies on interprocedural points-to analysis to find "the set of
+//! only four functions" that update `brktable`; our equivalent is the
+//! transitive store summary computed here.
+
+use std::collections::BTreeSet;
+
+use ccr_ir::{FuncId, MemObjectId, Op, Program};
+
+/// The static call graph of a program.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    callees: Vec<BTreeSet<FuncId>>,
+    callers: Vec<BTreeSet<FuncId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    pub fn compute(program: &Program) -> CallGraph {
+        let n = program.functions().len();
+        let mut callees = vec![BTreeSet::new(); n];
+        let mut callers = vec![BTreeSet::new(); n];
+        for func in program.functions() {
+            for (_, instr) in func.iter_instrs() {
+                if let Op::Call { callee, .. } = &instr.op {
+                    callees[func.id().index()].insert(*callee);
+                    callers[callee.index()].insert(func.id());
+                }
+            }
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Functions directly called by `f`.
+    pub fn callees(&self, f: FuncId) -> &BTreeSet<FuncId> {
+        &self.callees[f.index()]
+    }
+
+    /// Functions that directly call `f`.
+    pub fn callers(&self, f: FuncId) -> &BTreeSet<FuncId> {
+        &self.callers[f.index()]
+    }
+
+    /// Functions reachable from `f` through calls, including `f`.
+    pub fn reachable_from(&self, f: FuncId) -> BTreeSet<FuncId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(g) = stack.pop() {
+            if seen.insert(g) {
+                stack.extend(self.callees[g.index()].iter().copied());
+            }
+        }
+        seen
+    }
+}
+
+/// Per-function side-effect summaries, closed over the call graph.
+#[derive(Clone, Debug)]
+pub struct SideEffects {
+    /// Objects a function may write, directly or transitively.
+    writes: Vec<BTreeSet<MemObjectId>>,
+    /// Objects a function may read, directly or transitively.
+    reads: Vec<BTreeSet<MemObjectId>>,
+    /// Whether the function (transitively) contains any store at all.
+    has_store: Vec<bool>,
+    /// Whether the function (transitively) contains any call.
+    has_call: Vec<bool>,
+}
+
+impl SideEffects {
+    /// Computes transitive summaries for every function.
+    pub fn compute(program: &Program, cg: &CallGraph) -> SideEffects {
+        let n = program.functions().len();
+        let mut writes = vec![BTreeSet::new(); n];
+        let mut reads = vec![BTreeSet::new(); n];
+        let mut has_store = vec![false; n];
+        let mut has_call = vec![false; n];
+        for func in program.functions() {
+            let i = func.id().index();
+            for (_, instr) in func.iter_instrs() {
+                match &instr.op {
+                    Op::Store { object, .. } => {
+                        writes[i].insert(*object);
+                        has_store[i] = true;
+                    }
+                    Op::Load { object, .. } => {
+                        reads[i].insert(*object);
+                    }
+                    Op::Call { .. } => has_call[i] = true,
+                    _ => {}
+                }
+            }
+        }
+        // Transitive closure over the call graph.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for f in 0..n {
+                for callee in cg.callees(FuncId(f as u32)).clone() {
+                    let (w, r, s) = (
+                        writes[callee.index()].clone(),
+                        reads[callee.index()].clone(),
+                        has_store[callee.index()],
+                    );
+                    let before = writes[f].len() + reads[f].len();
+                    writes[f].extend(w);
+                    reads[f].extend(r);
+                    if s && !has_store[f] {
+                        has_store[f] = true;
+                        changed = true;
+                    }
+                    if writes[f].len() + reads[f].len() != before {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        SideEffects {
+            writes,
+            reads,
+            has_store,
+            has_call,
+        }
+    }
+
+    /// Objects `f` may write, transitively.
+    pub fn writes(&self, f: FuncId) -> &BTreeSet<MemObjectId> {
+        &self.writes[f.index()]
+    }
+
+    /// Objects `f` may read, transitively.
+    pub fn reads(&self, f: FuncId) -> &BTreeSet<MemObjectId> {
+        &self.reads[f.index()]
+    }
+
+    /// True if `f` may store to memory, transitively.
+    pub fn may_store(&self, f: FuncId) -> bool {
+        self.has_store[f.index()]
+    }
+
+    /// True if `f` contains a call instruction.
+    pub fn makes_calls(&self, f: FuncId) -> bool {
+        self.has_call[f.index()]
+    }
+
+    /// All functions that may write `object`, directly or through
+    /// callees — the invalidation-placement set for an MD region.
+    pub fn writers_of(&self, object: MemObjectId) -> Vec<FuncId> {
+        self.writes
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.contains(&object))
+            .map(|(i, _)| FuncId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{Operand, ProgramBuilder};
+
+    /// main -> a -> b(writes obj); main -> c(reads obj)
+    fn program() -> (ccr_ir::Program, MemObjectId, [FuncId; 4]) {
+        let mut pb = ProgramBuilder::new();
+        let obj = pb.object("table", 8);
+        let b = {
+            let mut f = pb.function("b", 0, 0);
+            f.store(obj, 0i64, 1i64);
+            f.ret(&[]);
+            pb.finish_function(f)
+        };
+        let a = {
+            let mut f = pb.function("a", 0, 0);
+            let _ = f.call(b, &[], 0);
+            f.ret(&[]);
+            pb.finish_function(f)
+        };
+        let c = {
+            let mut f = pb.function("c", 0, 1);
+            let v = f.load(obj, 0i64);
+            f.ret(&[Operand::Reg(v)]);
+            pb.finish_function(f)
+        };
+        let main = {
+            let mut f = pb.function("main", 0, 0);
+            let _ = f.call(a, &[], 0);
+            let _ = f.call(c, &[], 1);
+            f.ret(&[]);
+            pb.finish_function(f)
+        };
+        pb.set_main(main);
+        (pb.finish(), obj, [main, a, b, c])
+    }
+
+    #[test]
+    fn call_graph_edges() {
+        let (p, _, [main, a, b, c]) = program();
+        let cg = CallGraph::compute(&p);
+        assert!(cg.callees(main).contains(&a));
+        assert!(cg.callees(main).contains(&c));
+        assert!(cg.callees(a).contains(&b));
+        assert!(cg.callers(b).contains(&a));
+        let reach = cg.reachable_from(main);
+        assert_eq!(reach.len(), 4);
+        assert_eq!(cg.reachable_from(b).len(), 1);
+    }
+
+    #[test]
+    fn transitive_writes() {
+        let (p, obj, [main, a, b, c]) = program();
+        let cg = CallGraph::compute(&p);
+        let se = SideEffects::compute(&p, &cg);
+        assert!(se.writes(b).contains(&obj));
+        assert!(se.writes(a).contains(&obj), "write must propagate to caller");
+        assert!(se.writes(main).contains(&obj));
+        assert!(!se.writes(c).contains(&obj));
+        assert!(se.reads(c).contains(&obj));
+        assert!(se.reads(main).contains(&obj));
+        assert!(se.may_store(a));
+        assert!(!se.may_store(c));
+        assert!(se.makes_calls(main));
+        assert!(!se.makes_calls(b));
+    }
+
+    #[test]
+    fn writers_of_object() {
+        let (p, obj, [main, a, b, _c]) = program();
+        let cg = CallGraph::compute(&p);
+        let se = SideEffects::compute(&p, &cg);
+        let writers = se.writers_of(obj);
+        assert!(writers.contains(&b));
+        assert!(writers.contains(&a));
+        assert!(writers.contains(&main));
+        assert_eq!(writers.len(), 3);
+    }
+
+    #[test]
+    fn recursive_functions_converge() {
+        let mut pb = ProgramBuilder::new();
+        let obj = pb.object("o", 1);
+        let f_id = pb.declare("rec", 0, 0);
+        let mut f = pb.function_body(f_id);
+        let t = f.block();
+        let e = f.block();
+        f.br(ccr_ir::CmpPred::Lt, 0i64, 1i64, t, e);
+        f.switch_to(t);
+        let _ = f.call(f_id, &[], 0);
+        f.jump(e);
+        f.switch_to(e);
+        f.store(obj, 0i64, 0i64);
+        f.ret(&[]);
+        pb.finish_function(f);
+        let mut m = pb.function("main", 0, 0);
+        let _ = m.call(f_id, &[], 0);
+        m.ret(&[]);
+        let main = pb.finish_function(m);
+        pb.set_main(main);
+        let p = pb.finish();
+        let cg = CallGraph::compute(&p);
+        let se = SideEffects::compute(&p, &cg);
+        assert!(se.writes(f_id).contains(&obj));
+        assert!(se.writes(main).contains(&obj));
+    }
+}

@@ -1,0 +1,141 @@
+//! Control-flow-graph utilities.
+
+use ccr_ir::{BlockId, Function};
+
+/// The blocks reachable from the function entry, as a boolean vector
+/// indexed by block id.
+pub fn reachable_blocks(func: &Function) -> Vec<bool> {
+    let mut reachable = vec![false; func.blocks.len()];
+    let mut stack = vec![func.entry()];
+    while let Some(b) = stack.pop() {
+        if std::mem::replace(&mut reachable[b.index()], true) {
+            continue;
+        }
+        for s in func.block(b).successors() {
+            if !reachable[s.index()] {
+                stack.push(s);
+            }
+        }
+    }
+    reachable
+}
+
+/// Reverse postorder of the reachable blocks (entry first).
+///
+/// Reverse postorder visits every block before any of its successors
+/// except along back edges, which makes forward dataflow fixpoints
+/// converge quickly.
+pub fn reverse_postorder(func: &Function) -> Vec<BlockId> {
+    let n = func.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS carrying an explicit successor cursor.
+    let mut stack: Vec<(BlockId, usize)> = Vec::new();
+    visited[func.entry().index()] = true;
+    stack.push((func.entry(), 0));
+    while let Some(&mut (b, ref mut cursor)) = stack.last_mut() {
+        let succs = func.block(b).successors();
+        if *cursor < succs.len() {
+            let s = succs[*cursor];
+            *cursor += 1;
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Postorder index of each block (usize::MAX for unreachable blocks).
+pub fn postorder_index(func: &Function) -> Vec<usize> {
+    let rpo = reverse_postorder(func);
+    let mut idx = vec![usize::MAX; func.blocks.len()];
+    let n = rpo.len();
+    for (i, b) in rpo.iter().enumerate() {
+        idx[b.index()] = n - 1 - i;
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{CmpPred, ProgramBuilder};
+
+    /// Builds a diamond with an unreachable extra block:
+    /// entry -> {a, b} -> join; dead block unreached.
+    fn diamond() -> (ccr_ir::Program, ccr_ir::FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let a = f.block();
+        let b = f.block();
+        let join = f.block();
+        let dead = f.block();
+        f.br(CmpPred::Lt, 1i64, 2i64, a, b);
+        f.switch_to(a);
+        f.jump(join);
+        f.switch_to(b);
+        f.jump(join);
+        f.switch_to(join);
+        f.ret(&[]);
+        f.switch_to(dead);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        (pb.finish(), id)
+    }
+
+    #[test]
+    fn reachability_excludes_dead_blocks() {
+        let (p, id) = diamond();
+        let r = reachable_blocks(p.function(id));
+        assert_eq!(r, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let (p, id) = diamond();
+        let rpo = reverse_postorder(p.function(id));
+        assert_eq!(rpo[0], p.function(id).entry());
+        assert_eq!(rpo.len(), 4);
+        // join must come after both a and b.
+        let pos = |b: BlockId| rpo.iter().position(|x| *x == b).unwrap();
+        assert!(pos(BlockId(3)) > pos(BlockId(1)));
+        assert!(pos(BlockId(3)) > pos(BlockId(2)));
+    }
+
+    #[test]
+    fn rpo_handles_loops() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let i = f.movi(0);
+        let body = f.block();
+        let exit = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 10i64, body, exit);
+        f.switch_to(exit);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let rpo = reverse_postorder(p.function(id));
+        assert_eq!(rpo.len(), 3);
+        assert_eq!(rpo[0], BlockId(0));
+    }
+
+    #[test]
+    fn postorder_index_orders_successors_lower() {
+        let (p, id) = diamond();
+        let po = postorder_index(p.function(id));
+        // entry has the highest postorder index among reachable blocks.
+        assert!(po[0] > po[1] && po[0] > po[2] && po[0] > po[3]);
+        assert_eq!(po[4], usize::MAX);
+    }
+}

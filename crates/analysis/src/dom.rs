@@ -1,0 +1,197 @@
+//! Dominator trees, via the Cooper–Harvey–Kennedy iterative algorithm.
+
+use ccr_ir::{BlockId, Function};
+
+use crate::cfg::reverse_postorder;
+
+/// The dominator tree of a function's CFG.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator of each block (`None` for the entry and for
+    /// unreachable blocks).
+    idom: Vec<Option<BlockId>>,
+    /// Reverse-postorder index of each block (usize::MAX if
+    /// unreachable).
+    rpo_index: Vec<usize>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `func`.
+    pub fn compute(func: &Function) -> DomTree {
+        let n = func.blocks.len();
+        let rpo = reverse_postorder(func);
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let preds = func.predecessors();
+        let entry = func.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // predecessor not yet processed / unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Entry's idom is conventionally itself during the fixpoint;
+        // expose it as None.
+        idom[entry.index()] = None;
+        DomTree {
+            idom,
+            rpo_index,
+            entry,
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry block and
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// True if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_index[b.index()] == usize::MAX {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) => cur = d,
+                None => return cur == a && a == self.entry,
+            }
+        }
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()] != usize::MAX
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("reachable block without idom");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("reachable block without idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{CmpPred, ProgramBuilder};
+
+    /// entry(0) -> {1,2}; 1->3; 2->3; 3->ret. Plus loop test separately.
+    fn diamond() -> (ccr_ir::Program, ccr_ir::FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let a = f.block();
+        let b = f.block();
+        let join = f.block();
+        f.br(CmpPred::Lt, 1i64, 2i64, a, b);
+        f.switch_to(a);
+        f.jump(join);
+        f.switch_to(b);
+        f.jump(join);
+        f.switch_to(join);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        (pb.finish(), id)
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let (p, id) = diamond();
+        let dt = DomTree::compute(p.function(id));
+        assert_eq!(dt.idom(BlockId(0)), None);
+        assert_eq!(dt.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(2)), Some(BlockId(0)));
+        // join's idom is the entry, not either arm.
+        assert_eq!(dt.idom(BlockId(3)), Some(BlockId(0)));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_follows_tree() {
+        let (p, id) = diamond();
+        let dt = DomTree::compute(p.function(id));
+        assert!(dt.dominates(BlockId(0), BlockId(3)));
+        assert!(dt.dominates(BlockId(3), BlockId(3)));
+        assert!(!dt.dominates(BlockId(1), BlockId(3)));
+        assert!(!dt.dominates(BlockId(1), BlockId(2)));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let i = f.movi(0);
+        let header = f.block();
+        let body = f.block();
+        let exit = f.block();
+        f.jump(header);
+        f.switch_to(header);
+        f.br(CmpPred::Lt, i, 10i64, body, exit);
+        f.switch_to(body);
+        f.inc(i, 1);
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let dt = DomTree::compute(p.function(id));
+        assert!(dt.dominates(BlockId(1), BlockId(2)));
+        assert_eq!(dt.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dt.idom(BlockId(3)), Some(BlockId(1)));
+        assert!(dt.is_reachable(BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let dead = f.block();
+        f.ret(&[]);
+        f.switch_to(dead);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let dt = DomTree::compute(p.function(id));
+        assert_eq!(dt.idom(dead), None);
+        assert!(!dt.is_reachable(dead));
+        assert!(!dt.dominates(BlockId(0), dead));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # ccr-analysis — program analyses for the CCR framework
+//!
+//! The compiler side of the paper (Section 4) needs a standard
+//! middle-end analysis toolkit:
+//!
+//! * control-flow utilities: reachability, reverse postorder ([`cfg`](mod@cfg)),
+//! * dominator trees ([`dom`]) and natural-loop detection ([`loops`]),
+//! * live-register analysis ([`liveness`]) — used to compute the
+//!   live-out set of a reusable computation region,
+//! * reaching definitions and def-use chains ([`reaching`]) — used by
+//!   acyclic region growth along dataflow edges,
+//! * a call graph with transitive side-effect summaries ([`callgraph`]),
+//! * alias information for named memory objects and the paper's
+//!   *determinable load* classification ([`alias`]).
+//!
+//! All analyses operate on the [`ccr_ir`] representation and are pure
+//! queries: they never mutate the program.
+
+pub mod alias;
+pub mod callgraph;
+pub mod cfg;
+pub mod dom;
+pub mod liveness;
+pub mod loops;
+pub mod reaching;
+
+pub use alias::{AliasInfo, Determinable};
+pub use callgraph::{CallGraph, SideEffects};
+pub use cfg::{reachable_blocks, reverse_postorder};
+pub use dom::DomTree;
+pub use liveness::Liveness;
+pub use loops::{Loop, LoopForest};
+pub use reaching::{DefUse, ReachingDefs};

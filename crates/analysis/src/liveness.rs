@@ -1,0 +1,172 @@
+//! Backward live-register analysis.
+//!
+//! Region formation uses liveness twice: to compute the *live-out
+//! registers* of a region (the values the computation instance must
+//! record in its output bank) and to check the paper's eight-register
+//! capacity limits.
+
+use std::collections::HashSet;
+
+use ccr_ir::{BlockId, Function, Reg};
+
+/// Live-register sets at block boundaries.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<HashSet<Reg>>,
+    live_out: Vec<HashSet<Reg>>,
+}
+
+impl Liveness {
+    /// Computes liveness for `func` by iterating the standard backward
+    /// dataflow equations to a fixpoint.
+    pub fn compute(func: &Function) -> Liveness {
+        let n = func.blocks.len();
+        // Per-block use/def (use = read before any write in the block).
+        let mut uses = vec![HashSet::new(); n];
+        let mut defs = vec![HashSet::new(); n];
+        for (bid, block) in func.iter_blocks() {
+            let (u, d) = (&mut uses[bid.index()], &mut defs[bid.index()]);
+            for instr in &block.instrs {
+                for r in instr.src_regs() {
+                    if !d.contains(&r) {
+                        u.insert(r);
+                    }
+                }
+                for w in instr.dsts() {
+                    d.insert(w);
+                }
+            }
+        }
+        let mut live_in = vec![HashSet::new(); n];
+        let mut live_out = vec![HashSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Iterate blocks in reverse id order as a cheap
+            // approximation of post-order for faster convergence.
+            for idx in (0..n).rev() {
+                let bid = BlockId(idx as u32);
+                let mut out = HashSet::new();
+                for s in func.block(bid).successors() {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                let mut inn: HashSet<Reg> = uses[idx].clone();
+                inn.extend(out.difference(&defs[idx]).copied());
+                if out != live_out[idx] {
+                    live_out[idx] = out;
+                    changed = true;
+                }
+                if inn != live_in[idx] {
+                    live_in[idx] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live on entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &HashSet<Reg> {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live on exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &HashSet<Reg> {
+        &self.live_out[b.index()]
+    }
+
+    /// Registers live immediately *before* instruction `pos` of block
+    /// `b`, computed by walking backward from the block's live-out set.
+    pub fn live_before(&self, func: &Function, b: BlockId, pos: usize) -> HashSet<Reg> {
+        let block = func.block(b);
+        let mut live = self.live_out[b.index()].clone();
+        for instr in block.instrs.iter().skip(pos).rev() {
+            for w in instr.dsts() {
+                live.remove(&w);
+            }
+            for r in instr.src_regs() {
+                live.insert(r);
+            }
+        }
+        live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{CmpPred, Operand, ProgramBuilder};
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let a = f.movi(1); // a dead after b's def if unused later
+        let b = f.add(a, 2);
+        f.ret(&[Operand::Reg(b)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let func = p.function(id);
+        let lv = Liveness::compute(func);
+        let entry = func.entry();
+        assert!(lv.live_in(entry).is_empty());
+        assert!(lv.live_out(entry).is_empty());
+        // Before the ret (pos 2), b is live but a is not.
+        let before_ret = lv.live_before(func, entry, 2);
+        assert!(before_ret.contains(&b));
+        assert!(!before_ret.contains(&a));
+        // Before the add (pos 1), a is live.
+        let before_add = lv.live_before(func, entry, 1);
+        assert!(before_add.contains(&a));
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_around_the_loop() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let sum = f.movi(0);
+        let i = f.movi(0);
+        let body = f.block();
+        let exit = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        f.bin_into(ccr_ir::BinKind::Add, sum, sum, i);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 10i64, body, exit);
+        f.switch_to(exit);
+        f.ret(&[Operand::Reg(sum)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let func = p.function(id);
+        let lv = Liveness::compute(func);
+        assert!(lv.live_in(body).contains(&sum));
+        assert!(lv.live_in(body).contains(&i));
+        assert!(lv.live_out(body).contains(&sum));
+        assert!(lv.live_in(exit).contains(&sum));
+        assert!(!lv.live_in(exit).contains(&i));
+    }
+
+    #[test]
+    fn branch_operands_are_live() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let x = f.movi(3);
+        let t = f.block();
+        let e = f.block();
+        f.br(CmpPred::Eq, x, 0i64, t, e);
+        f.switch_to(t);
+        f.ret(&[]);
+        f.switch_to(e);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let func = p.function(id);
+        let lv = Liveness::compute(func);
+        let before_br = lv.live_before(func, func.entry(), 1);
+        assert!(before_br.contains(&x));
+        assert!(lv.live_in(t).is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! Natural-loop detection.
+//!
+//! Cyclic RCR formation (Section 4.4 of the paper) operates on
+//! inner-nested loops. We detect natural loops from back edges in the
+//! dominator tree, compute their bodies, nesting, exits, and
+//! preheaders.
+
+use std::collections::BTreeSet;
+
+use ccr_ir::{BlockId, Function};
+
+use crate::dom::DomTree;
+
+/// A natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// All blocks in the loop body, including the header.
+    pub body: BTreeSet<BlockId>,
+    /// Latch blocks (sources of back edges to the header).
+    pub latches: Vec<BlockId>,
+    /// Exit edges `(from_block_in_loop, to_block_outside)`.
+    pub exits: Vec<(BlockId, BlockId)>,
+    /// Loop nesting depth (1 = outermost).
+    pub depth: usize,
+    /// True if no other detected loop is strictly contained in this one.
+    pub innermost: bool,
+}
+
+impl Loop {
+    /// True if `b` belongs to the loop body.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+
+    /// The unique predecessor of the header outside the loop, if there
+    /// is exactly one (the natural preheader position).
+    pub fn preheader(&self, func: &Function) -> Option<BlockId> {
+        let preds = func.predecessors();
+        let outside: Vec<BlockId> = preds[self.header.index()]
+            .iter()
+            .copied()
+            .filter(|p| !self.contains(*p))
+            .collect();
+        if outside.len() == 1 {
+            Some(outside[0])
+        } else {
+            None
+        }
+    }
+
+    /// The unique block outside the loop targeted by exit edges, if
+    /// all exits agree on one target.
+    pub fn single_exit_target(&self) -> Option<BlockId> {
+        let mut targets: Vec<BlockId> = self.exits.iter().map(|&(_, t)| t).collect();
+        targets.sort();
+        targets.dedup();
+        if targets.len() == 1 {
+            Some(targets[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// All natural loops of a function.
+#[derive(Clone, Debug, Default)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Detects the natural loops of `func`.
+    ///
+    /// Loops sharing a header are merged (standard natural-loop
+    /// treatment of multiple back edges).
+    pub fn compute(func: &Function) -> LoopForest {
+        let dt = DomTree::compute(func);
+        Self::compute_with(func, &dt)
+    }
+
+    /// Detects loops reusing an existing dominator tree.
+    pub fn compute_with(func: &Function, dt: &DomTree) -> LoopForest {
+        // Find back edges: b -> h where h dominates b.
+        let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for (bid, block) in func.iter_blocks() {
+            if !dt.is_reachable(bid) {
+                continue;
+            }
+            for s in block.successors() {
+                if dt.dominates(s, bid) {
+                    match by_header.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(bid),
+                        None => by_header.push((s, vec![bid])),
+                    }
+                }
+            }
+        }
+        let preds = func.predecessors();
+        let mut loops: Vec<Loop> = by_header
+            .into_iter()
+            .map(|(header, latches)| {
+                let mut body = BTreeSet::new();
+                body.insert(header);
+                let mut stack: Vec<BlockId> = latches.clone();
+                while let Some(b) = stack.pop() {
+                    if body.insert(b) {
+                        for &p in &preds[b.index()] {
+                            if !body.contains(&p) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                }
+                let mut exits = Vec::new();
+                for &b in &body {
+                    for s in func.block(b).successors() {
+                        if !body.contains(&s) {
+                            exits.push((b, s));
+                        }
+                    }
+                }
+                Loop {
+                    header,
+                    body,
+                    latches,
+                    exits,
+                    depth: 0,
+                    innermost: true,
+                }
+            })
+            .collect();
+        // Nesting: loop A contains loop B if A.body ⊇ B.body and A != B.
+        let bodies: Vec<BTreeSet<BlockId>> = loops.iter().map(|l| l.body.clone()).collect();
+        for (i, l) in loops.iter_mut().enumerate() {
+            let mut depth = 1;
+            let mut innermost = true;
+            for (j, other) in bodies.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if other.is_superset(&l.body) && other.len() > l.body.len() {
+                    depth += 1;
+                }
+                if l.body.is_superset(other) && l.body.len() > other.len() {
+                    innermost = false;
+                }
+            }
+            l.depth = depth;
+            l.innermost = innermost;
+        }
+        LoopForest { loops }
+    }
+
+    /// All detected loops.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The innermost loops only.
+    pub fn inner_loops(&self) -> impl Iterator<Item = &Loop> {
+        self.loops.iter().filter(|l| l.innermost)
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .max_by_key(|l| l.depth)
+    }
+
+    /// Loop nesting depth of a block (0 = not in any loop).
+    pub fn depth_of(&self, b: BlockId) -> usize {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .map(|l| l.depth)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{CmpPred, FuncId, Program, ProgramBuilder};
+
+    /// main: i=0; do { j=0; do { j++ } while j<5; i++ } while i<10; ret
+    fn nested() -> (Program, FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let i = f.movi(0);
+        let j = f.fresh();
+        let outer = f.block();
+        let inner = f.block();
+        let outer_latch = f.block();
+        let exit = f.block();
+        f.jump(outer);
+        f.switch_to(outer);
+        f.assign(j, 0i64);
+        f.jump(inner);
+        f.switch_to(inner);
+        f.inc(j, 1);
+        f.br(CmpPred::Lt, j, 5i64, inner, outer_latch);
+        f.switch_to(outer_latch);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 10i64, outer, exit);
+        f.switch_to(exit);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        (pb.finish(), id)
+    }
+
+    #[test]
+    fn detects_two_nested_loops() {
+        let (p, id) = nested();
+        let lf = LoopForest::compute(p.function(id));
+        assert_eq!(lf.loops().len(), 2);
+        let inner: Vec<&Loop> = lf.inner_loops().collect();
+        assert_eq!(inner.len(), 1);
+        let inner = inner[0];
+        assert_eq!(inner.header, BlockId(2));
+        assert_eq!(inner.body.len(), 1); // self-loop block only
+        assert_eq!(inner.depth, 2);
+        let outer = lf
+            .loops()
+            .iter()
+            .find(|l| l.header == BlockId(1))
+            .unwrap();
+        assert!(!outer.innermost);
+        assert_eq!(outer.depth, 1);
+        assert!(outer.body.contains(&BlockId(2)));
+        assert!(outer.body.contains(&BlockId(3)));
+    }
+
+    #[test]
+    fn exits_and_preheader() {
+        let (p, id) = nested();
+        let lf = LoopForest::compute(p.function(id));
+        let inner = lf.inner_loops().next().unwrap();
+        assert_eq!(inner.exits, vec![(BlockId(2), BlockId(3))]);
+        assert_eq!(inner.single_exit_target(), Some(BlockId(3)));
+        assert_eq!(inner.preheader(p.function(id)), Some(BlockId(1)));
+        let outer = lf
+            .loops()
+            .iter()
+            .find(|l| l.header == BlockId(1))
+            .unwrap();
+        assert_eq!(outer.single_exit_target(), Some(BlockId(4)));
+        assert_eq!(outer.preheader(p.function(id)), Some(BlockId(0)));
+    }
+
+    #[test]
+    fn depth_of_blocks() {
+        let (p, id) = nested();
+        let lf = LoopForest::compute(p.function(id));
+        assert_eq!(lf.depth_of(BlockId(0)), 0);
+        assert_eq!(lf.depth_of(BlockId(1)), 1);
+        assert_eq!(lf.depth_of(BlockId(2)), 2);
+        assert_eq!(lf.depth_of(BlockId(4)), 0);
+        assert_eq!(
+            lf.innermost_containing(BlockId(2)).unwrap().header,
+            BlockId(2)
+        );
+        assert!(lf.innermost_containing(BlockId(4)).is_none());
+    }
+
+    #[test]
+    fn loop_free_function_has_no_loops() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let lf = LoopForest::compute(p.function(id));
+        assert!(lf.loops().is_empty());
+    }
+}

@@ -1,0 +1,320 @@
+//! Reaching definitions and def-use chains.
+//!
+//! Acyclic region formation grows regions along dataflow edges: a
+//! successor instruction is one that consumes a value produced inside
+//! the region. Def-use chains over reaching definitions provide those
+//! edges.
+
+use std::collections::{HashMap, HashSet};
+
+use ccr_ir::{BlockId, Function, InstrId, Reg};
+
+/// One register definition site.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Def {
+    /// The defining instruction.
+    pub instr: InstrId,
+    /// The register it defines.
+    pub reg: Reg,
+}
+
+/// Reaching-definition sets at block boundaries.
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    defs: Vec<Def>,
+    /// Indices into `defs`, reaching each block entry.
+    reach_in: Vec<HashSet<u32>>,
+}
+
+impl ReachingDefs {
+    /// Computes reaching definitions for `func`.
+    ///
+    /// Function parameters are modeled as definitions by a virtual
+    /// "entry" instruction with id `InstrId(u32::MAX)`.
+    pub fn compute(func: &Function) -> ReachingDefs {
+        let mut defs: Vec<Def> = Vec::new();
+        let mut defs_of_reg: HashMap<Reg, Vec<u32>> = HashMap::new();
+        for p in func.params() {
+            let idx = defs.len() as u32;
+            defs.push(Def {
+                instr: InstrId(u32::MAX),
+                reg: p,
+            });
+            defs_of_reg.entry(p).or_default().push(idx);
+        }
+        for (_, instr) in func.iter_instrs() {
+            for reg in instr.dsts() {
+                let idx = defs.len() as u32;
+                defs.push(Def {
+                    instr: instr.id,
+                    reg,
+                });
+                defs_of_reg.entry(reg).or_default().push(idx);
+            }
+        }
+        let n = func.blocks.len();
+        // gen/kill per block.
+        let mut gen = vec![HashSet::new(); n];
+        let mut kill = vec![HashSet::new(); n];
+        let mut def_index: HashMap<(InstrId, Reg), u32> = HashMap::new();
+        for (i, d) in defs.iter().enumerate() {
+            def_index.insert((d.instr, d.reg), i as u32);
+        }
+        for (bid, block) in func.iter_blocks() {
+            let (g, k) = (&mut gen[bid.index()], &mut kill[bid.index()]);
+            for instr in &block.instrs {
+                for reg in instr.dsts() {
+                    let this = def_index[&(instr.id, reg)];
+                    for &other in &defs_of_reg[&reg] {
+                        if other != this {
+                            k.insert(other);
+                        }
+                    }
+                    g.retain(|d: &u32| defs[*d as usize].reg != reg);
+                    g.insert(this);
+                    k.remove(&this);
+                }
+            }
+        }
+        let mut reach_in: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+        // Parameters reach the entry block.
+        for (i, d) in defs.iter().enumerate() {
+            if d.instr == InstrId(u32::MAX) {
+                reach_in[func.entry().index()].insert(i as u32);
+            }
+        }
+        let preds = func.predecessors();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for idx in 0..n {
+                let bid = BlockId(idx as u32);
+                let mut inn: HashSet<u32> = if bid == func.entry() {
+                    reach_in[idx].clone()
+                } else {
+                    HashSet::new()
+                };
+                for p in &preds[idx] {
+                    let pi = p.index();
+                    // out(p) = gen(p) ∪ (in(p) − kill(p))
+                    inn.extend(gen[pi].iter().copied());
+                    inn.extend(
+                        reach_in[pi]
+                            .iter()
+                            .copied()
+                            .filter(|d| !kill[pi].contains(d)),
+                    );
+                }
+                if inn != reach_in[idx] {
+                    reach_in[idx] = inn;
+                    changed = true;
+                }
+            }
+        }
+        ReachingDefs { defs, reach_in }
+    }
+
+    /// All definitions (parameters first, then instruction defs).
+    pub fn defs(&self) -> &[Def] {
+        &self.defs
+    }
+
+    /// Definitions reaching the entry of `b`.
+    pub fn reaching_in(&self, b: BlockId) -> impl Iterator<Item = Def> + '_ {
+        self.reach_in[b.index()].iter().map(|&i| self.defs[i as usize])
+    }
+
+    /// The definitions of `reg` that reach the *use site* at position
+    /// `pos` in block `b` (walking forward from the block entry).
+    pub fn reaching_defs_of_use(
+        &self,
+        func: &Function,
+        b: BlockId,
+        pos: usize,
+        reg: Reg,
+    ) -> Vec<Def> {
+        let mut current: Vec<Def> = self
+            .reaching_in(b)
+            .filter(|d| d.reg == reg)
+            .collect();
+        for instr in func.block(b).instrs.iter().take(pos) {
+            if instr.dsts().contains(&reg) {
+                current = vec![Def {
+                    instr: instr.id,
+                    reg,
+                }];
+            }
+        }
+        current
+    }
+}
+
+/// Def-use chains: for every definition, the set of instructions that
+/// may use it.
+#[derive(Clone, Debug, Default)]
+pub struct DefUse {
+    /// def instruction -> instructions using one of its results.
+    uses_of_def: HashMap<InstrId, Vec<InstrId>>,
+    /// use instruction -> definitions reaching each of its source regs.
+    defs_of_use: HashMap<InstrId, Vec<Def>>,
+}
+
+impl DefUse {
+    /// Builds def-use chains from reaching definitions.
+    pub fn compute(func: &Function, rd: &ReachingDefs) -> DefUse {
+        let mut du = DefUse::default();
+        for (bid, block) in func.iter_blocks() {
+            for (pos, instr) in block.instrs.iter().enumerate() {
+                for reg in instr.src_regs() {
+                    for d in rd.reaching_defs_of_use(func, bid, pos, reg) {
+                        du.defs_of_use.entry(instr.id).or_default().push(d);
+                        if d.instr != InstrId(u32::MAX) {
+                            du.uses_of_def.entry(d.instr).or_default().push(instr.id);
+                        }
+                    }
+                }
+            }
+        }
+        du
+    }
+
+    /// Instructions that may use a result of `def`.
+    pub fn uses_of(&self, def: InstrId) -> &[InstrId] {
+        self.uses_of_def.get(&def).map_or(&[], Vec::as_slice)
+    }
+
+    /// Definitions that may reach the source operands of `user`.
+    pub fn defs_reaching(&self, user: InstrId) -> &[Def] {
+        self.defs_of_use.get(&user).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{CmpPred, Operand, ProgramBuilder};
+
+    #[test]
+    fn straight_line_chains() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let a = f.movi(1);
+        let b = f.add(a, 2);
+        f.ret(&[Operand::Reg(b)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let func = p.function(id);
+        let rd = ReachingDefs::compute(func);
+        let du = DefUse::compute(func, &rd);
+        let ids: Vec<InstrId> = func.iter_instrs().map(|(_, i)| i.id).collect();
+        // movi (ids[0]) is used by add (ids[1]); add by ret (ids[2]).
+        assert_eq!(du.uses_of(ids[0]), &[ids[1]]);
+        assert_eq!(du.uses_of(ids[1]), &[ids[2]]);
+        assert!(du.uses_of(ids[2]).is_empty());
+        let defs = du.defs_reaching(ids[1]);
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].instr, ids[0]);
+    }
+
+    #[test]
+    fn merge_point_sees_both_defs() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let x = f.fresh();
+        let t = f.block();
+        let e = f.block();
+        let j = f.block();
+        f.br(CmpPred::Lt, 0i64, 1i64, t, e);
+        f.switch_to(t);
+        f.assign(x, 1i64);
+        f.jump(j);
+        f.switch_to(e);
+        f.assign(x, 2i64);
+        f.jump(j);
+        f.switch_to(j);
+        f.ret(&[Operand::Reg(x)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let func = p.function(id);
+        let rd = ReachingDefs::compute(func);
+        let du = DefUse::compute(func, &rd);
+        let ret_id = func
+            .iter_instrs()
+            .find(|(_, i)| matches!(i.op, ccr_ir::Op::Ret { .. }))
+            .unwrap()
+            .1
+            .id;
+        let defs = du.defs_reaching(ret_id);
+        assert_eq!(defs.len(), 2, "{defs:?}");
+    }
+
+    #[test]
+    fn redefinition_kills_earlier_def() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let x = f.movi(1);
+        f.assign(x, 5i64); // redefines x; the movi no longer reaches
+        f.ret(&[Operand::Reg(x)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let func = p.function(id);
+        let rd = ReachingDefs::compute(func);
+        let du = DefUse::compute(func, &rd);
+        let ids: Vec<InstrId> = func.iter_instrs().map(|(_, i)| i.id).collect();
+        assert!(du.uses_of(ids[0]).is_empty());
+        assert_eq!(du.uses_of(ids[1]), &[ids[2]]);
+    }
+
+    #[test]
+    fn loop_carried_def_reaches_header_use() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let i = f.movi(0);
+        let body = f.block();
+        let exit = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        f.inc(i, 1); // def of i inside loop
+        f.br(CmpPred::Lt, i, 10i64, body, exit);
+        f.switch_to(exit);
+        f.ret(&[Operand::Reg(i)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let func = p.function(id);
+        let rd = ReachingDefs::compute(func);
+        let du = DefUse::compute(func, &rd);
+        let inc_id = func.block(body).instrs[0].id;
+        // The inc's result is used by the branch, by itself
+        // (loop-carried), and by the ret.
+        let users = du.uses_of(inc_id);
+        assert!(users.contains(&func.block(body).instrs[1].id));
+        assert!(users.contains(&inc_id));
+        assert!(users.contains(&func.block(exit).instrs[0].id));
+    }
+
+    #[test]
+    fn params_reach_entry() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("g", 1, 1);
+        let mut g = pb.function_body(callee);
+        let x = g.param(0);
+        let y = g.add(x, 1i64);
+        g.ret(&[Operand::Reg(y)]);
+        pb.finish_function(g);
+        let mut m = pb.function("main", 0, 0);
+        let _ = m.call(callee, &[Operand::Imm(1)], 1);
+        m.ret(&[]);
+        let mid = pb.finish_function(m);
+        pb.set_main(mid);
+        let p = pb.finish();
+        let func = p.function(callee);
+        let rd = ReachingDefs::compute(func);
+        let entry_defs: Vec<Def> = rd.reaching_in(func.entry()).collect();
+        assert_eq!(entry_defs.len(), 1);
+        assert_eq!(entry_defs[0].instr, InstrId(u32::MAX));
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests checking the dataflow analyses against brute-force
+//! reference implementations on randomly generated CFGs.
+
+use ccr_analysis::{reachable_blocks, DomTree, Liveness};
+use ccr_ir::{BinKind, BlockId, CmpPred, Function, Op, Operand, Program, ProgramBuilder, Reg};
+use proptest::prelude::*;
+
+/// A random CFG shape: per block, an instruction recipe and a
+/// terminator choice.
+#[derive(Debug, Clone)]
+struct CfgSpec {
+    /// For each block: (def_reg, use_reg, terminator).
+    /// terminator: 0 = ret, otherwise branch to (t % n, u % n).
+    blocks: Vec<(u8, u8, u8, u8)>,
+}
+
+fn cfg_spec() -> impl Strategy<Value = CfgSpec> {
+    prop::collection::vec((0u8..6, 0u8..6, 0u8..12, 0u8..12), 2..10)
+        .prop_map(|blocks| CfgSpec { blocks })
+}
+
+/// Materializes the spec: block i holds `def = use + 1` (registers
+/// drawn from a fixed window, all pre-defined in the entry block so
+/// the verifier is satisfied) and ends with a data-dependent branch or
+/// a return.
+fn build_cfg(spec: &CfgSpec) -> (Program, ccr_ir::FuncId) {
+    let n = spec.blocks.len() as u32;
+    let mut pb = ProgramBuilder::new();
+    let o = pb.object("o", 8);
+    let mut f = pb.function("main", 0, 0);
+    // Pre-define the register window with unknown values.
+    let regs: Vec<Reg> = (0..6).map(|k| f.load(o, k as i64)).collect();
+    let first_real = f.block();
+    f.jump(first_real);
+    for (i, &(d, u, t1, t2)) in spec.blocks.iter().enumerate() {
+        let this = BlockId(i as u32 + 1);
+        if i > 0 {
+            f.block();
+        }
+        f.switch_to(this);
+        f.bin_into(BinKind::Add, regs[d as usize], regs[u as usize], 1);
+        if t1 == 0 {
+            f.ret(&[]);
+        } else {
+            let taken = BlockId(u32::from(t1) % n + 1);
+            let not_taken = BlockId(u32::from(t2) % n + 1);
+            f.br(CmpPred::Lt, regs[u as usize], 3, taken, not_taken);
+        }
+    }
+    let id = pb.finish_function(f);
+    pb.set_main(id);
+    let p = pb.finish();
+    ccr_ir::verify_program(&p).expect("generated CFG verifies");
+    (p, id)
+}
+
+/// Brute force: `a` dominates `b` iff every entry→b path passes
+/// through `a`, i.e. b is unreachable when traversal may not enter a.
+fn dominates_brute(func: &Function, a: BlockId, b: BlockId) -> bool {
+    if a == b {
+        return reachable_blocks(func)[b.index()];
+    }
+    let mut seen = vec![false; func.blocks.len()];
+    let mut stack = vec![func.entry()];
+    if func.entry() == a {
+        return reachable_blocks(func)[b.index()];
+    }
+    seen[func.entry().index()] = true;
+    while let Some(x) = stack.pop() {
+        for s in func.block(x).successors() {
+            if s == a || seen[s.index()] {
+                continue;
+            }
+            seen[s.index()] = true;
+            stack.push(s);
+        }
+    }
+    // b reachable while avoiding a → a does not dominate b.
+    reachable_blocks(func)[b.index()] && !seen[b.index()]
+}
+
+/// Brute force liveness: r is live-in at block b iff some path from
+/// the start of b reaches a use of r before any def of r.
+fn live_in_brute(func: &Function, b: BlockId, r: Reg) -> bool {
+    // State: block to scan from the top. DFS with cycle cut.
+    let mut seen = vec![false; func.blocks.len()];
+    let mut stack = vec![b];
+    while let Some(x) = stack.pop() {
+        if seen[x.index()] {
+            continue;
+        }
+        seen[x.index()] = true;
+        let mut defined = false;
+        for instr in &func.block(x).instrs {
+            if instr.src_regs().contains(&r) {
+                return true;
+            }
+            if instr.dsts().contains(&r) {
+                defined = true;
+                break;
+            }
+        }
+        if !defined {
+            stack.extend(func.block(x).successors());
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dominator_tree_matches_brute_force(spec in cfg_spec()) {
+        let (p, id) = build_cfg(&spec);
+        let func = p.function(id);
+        let dt = DomTree::compute(func);
+        let nblocks = func.blocks.len() as u32;
+        for a in 0..nblocks {
+            for b in 0..nblocks {
+                let (a, b) = (BlockId(a), BlockId(b));
+                prop_assert_eq!(
+                    dt.dominates(a, b),
+                    dominates_brute(func, a, b),
+                    "dominates({:?}, {:?})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn liveness_matches_brute_force(spec in cfg_spec()) {
+        let (p, id) = build_cfg(&spec);
+        let func = p.function(id);
+        let lv = Liveness::compute(func);
+        let reachable = reachable_blocks(func);
+        for (bid, _) in func.iter_blocks() {
+            if !reachable[bid.index()] {
+                continue; // fixpoint values on dead blocks are free
+            }
+            for k in 0..6u32 {
+                let r = func
+                    .iter_instrs()
+                    .find_map(|(_, i)| match &i.op {
+                        Op::Load { dst, .. } if dst.0 == k => Some(*dst),
+                        _ => None,
+                    });
+                let Some(r) = r else { continue };
+                prop_assert_eq!(
+                    lv.live_in(bid).contains(&r),
+                    live_in_brute(func, bid, r),
+                    "live_in({:?}, {:?})", bid, r
+                );
+            }
+        }
+    }
+
+    /// Reaching definitions sanity: every def reported as reaching a
+    /// use is a def of the right register, and every use of a window
+    /// register has at least one reaching def (they are all defined in
+    /// the entry).
+    #[test]
+    fn def_use_chains_are_well_formed(spec in cfg_spec()) {
+        use ccr_analysis::{DefUse, ReachingDefs};
+        let (p, id) = build_cfg(&spec);
+        let func = p.function(id);
+        let rd = ReachingDefs::compute(func);
+        let du = DefUse::compute(func, &rd);
+        let reachable = reachable_blocks(func);
+        for (bid, block) in func.iter_blocks() {
+            if !reachable[bid.index()] {
+                continue;
+            }
+            for instr in &block.instrs {
+                for r in instr.src_regs() {
+                    let defs = du.defs_reaching(instr.id);
+                    prop_assert!(
+                        defs.iter().any(|d| d.reg == r),
+                        "{:?} uses {:?} with no reaching def", instr.id, r
+                    );
+                }
+            }
+        }
+        let _ = Operand::Imm(0);
+    }
+}

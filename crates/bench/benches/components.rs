@@ -1,0 +1,137 @@
+//! Criterion microbenchmarks for the framework's building blocks:
+//! CRB lookup/record, cache and BTB accesses, raw emulation
+//! throughput, the optimizer, and region formation.
+
+use ccr_ir::{Reg, RegionId, Value};
+use ccr_profile::{CrbModel, Emulator, NullCrb, NullSink, RecordedInstance, ValueProfiler};
+use ccr_core::opt;
+use ccr_regions::RegionConfig;
+use ccr_sim::{Btb, Cache, CacheConfig, CrbConfig, ReuseBuffer};
+use ccr_workloads::{build, InputSet};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_crb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crb");
+    g.bench_function("lookup_hit", |b| {
+        let mut buf = ReuseBuffer::new(CrbConfig::paper());
+        buf.record(
+            RegionId(5),
+            RecordedInstance {
+                inputs: vec![(Reg(1), Value::from_int(42))],
+                outputs: vec![(Reg(2), Value::from_int(99))],
+                accesses_memory: false,
+                body_instrs: 10,
+            },
+        );
+        b.iter(|| {
+            black_box(buf.lookup(RegionId(5), &mut |_r| Value::from_int(42)));
+        });
+    });
+    g.bench_function("lookup_miss", |b| {
+        let mut buf = ReuseBuffer::new(CrbConfig::paper());
+        b.iter(|| {
+            black_box(buf.lookup(RegionId(9), &mut |_r| Value::from_int(1)));
+        });
+    });
+    g.bench_function("record_lru", |b| {
+        let mut buf = ReuseBuffer::new(CrbConfig::paper());
+        let mut v = 0i64;
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            buf.record(
+                RegionId(3),
+                RecordedInstance {
+                    inputs: vec![(Reg(1), Value::from_int(v))],
+                    outputs: vec![(Reg(2), Value::from_int(v * 2))],
+                    accesses_memory: false,
+                    body_instrs: 10,
+                },
+            );
+        });
+    });
+    g.finish();
+}
+
+fn bench_cache_btb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("dcache_sweep", |b| {
+        let mut cache = Cache::new(CacheConfig::paper());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(32) & 0xf_ffff;
+            black_box(cache.access(addr));
+        });
+    });
+    g.bench_function("btb_update", |b| {
+        let mut btb = Btb::paper();
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4) & 0xffff;
+            black_box(btb.update(pc, pc & 8 == 0));
+        });
+    });
+    g.finish();
+}
+
+fn bench_emulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulator");
+    g.sample_size(10);
+    let program = build("008.espresso", InputSet::Train, 1).unwrap();
+    g.bench_function("espresso_functional", |b| {
+        b.iter(|| {
+            let out = Emulator::new(&program)
+                .run(&mut NullCrb, &mut NullSink)
+                .unwrap();
+            black_box(out.dyn_instrs);
+        });
+    });
+    g.bench_function("espresso_profiled", |b| {
+        b.iter(|| {
+            let mut prof = ValueProfiler::for_program(&program);
+            Emulator::new(&program)
+                .run(&mut NullCrb, &mut prof)
+                .unwrap();
+            black_box(prof.finish().total_dyn_instrs);
+        });
+    });
+    g.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    g.sample_size(10);
+    let program = build("124.m88ksim", InputSet::Train, 1).unwrap();
+    g.bench_function("optimize_m88ksim", |b| {
+        b.iter(|| {
+            let mut p = program.clone();
+            black_box(opt::optimize(&mut p, opt::OptConfig::default()));
+        });
+    });
+    let mut optimized = program.clone();
+    opt::optimize(&mut optimized, opt::OptConfig::default());
+    let mut prof = ValueProfiler::for_program(&optimized);
+    Emulator::new(&optimized)
+        .run(&mut NullCrb, &mut prof)
+        .unwrap();
+    let profile = prof.finish();
+    g.bench_function("form_regions_m88ksim", |b| {
+        b.iter(|| {
+            black_box(ccr_regions::form_regions(
+                &optimized,
+                &profile,
+                &RegionConfig::paper(),
+            ));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crb,
+    bench_cache_btb,
+    bench_emulation,
+    bench_compiler
+);
+criterion_main!(benches);

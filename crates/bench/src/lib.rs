@@ -1,0 +1,149 @@
+#![warn(missing_docs)]
+
+//! # ccr-bench — experiment regenerators and benchmarks
+//!
+//! One binary per figure of the paper's evaluation (Section 5):
+//!
+//! | binary | paper result |
+//! |---|---|
+//! | `fig4_potential` | Figure 4 — dynamic reuse potential, block vs region |
+//! | `fig8a_instances` | Figure 8(a) — speedup vs computation instances (128 entries × 4/8/16 CIs) |
+//! | `fig8b_entries` | Figure 8(b) — speedup vs entries (32/64/128 × 8 CIs) |
+//! | `fig9_groups` | Figure 9 — static & dynamic computation-group distributions |
+//! | `fig10_distribution` | Figure 10 — cumulative reuse of the top 10/20/30/40 % computations |
+//! | `fig11_inputs` | Figure 11 — training vs reference input speedup |
+//! | `ablations` | design-space studies from DESIGN.md §5 |
+//!
+//! Criterion benches under `benches/` time the simulator and compiler
+//! components themselves.
+
+use ccr_core::compile::{compile_ccr, CompileConfig, CompiledWorkload};
+use ccr_core::measure::{measure, Measurement};
+use ccr_profile::EmuConfig;
+use ccr_regions::RegionConfig;
+use ccr_sim::{CrbConfig, MachineConfig};
+use ccr_workloads::{build, InputSet, NAMES};
+
+/// Default driver scale for experiment binaries (kept moderate so the
+/// full suite regenerates in seconds per configuration).
+pub const SCALE: u32 = 1;
+
+/// Emulator limits for experiment runs.
+pub fn emu_config() -> EmuConfig {
+    EmuConfig {
+        max_instrs: 200_000_000,
+        max_depth: 512,
+    }
+}
+
+/// One benchmark's compiled artifacts plus measurement.
+pub struct SuiteRun {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Compile products (annotated program, regions, profile).
+    pub compiled: CompiledWorkload,
+    /// Baseline vs CCR measurement.
+    pub measurement: Measurement,
+}
+
+/// Compiles one benchmark: profile on Train, annotate the `target`
+/// build.
+///
+/// # Panics
+///
+/// Panics if the benchmark name is unknown or emulation exceeds
+/// limits (experiment binaries treat both as fatal).
+pub fn compile_benchmark(
+    name: &str,
+    target: InputSet,
+    scale: u32,
+    region: &RegionConfig,
+) -> CompiledWorkload {
+    let train = build(name, InputSet::Train, scale).expect("known benchmark");
+    let target = build(name, target, scale).expect("known benchmark");
+    let config = CompileConfig {
+        region: *region,
+        emu: emu_config(),
+        ..CompileConfig::paper()
+    };
+    compile_ccr(&train, &target, &config).expect("profiling within limits")
+}
+
+/// Runs one benchmark end-to-end under the given CRB.
+///
+/// # Panics
+///
+/// Panics on unknown names or emulator limit violations.
+pub fn run_benchmark(
+    name: &'static str,
+    target: InputSet,
+    scale: u32,
+    region: &RegionConfig,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+) -> SuiteRun {
+    // The compiler targets the actual machine: the selection trial
+    // assumes the hardware's instance count.
+    let region = RegionConfig {
+        trial_instances: crb.instances,
+        ..*region
+    };
+    let compiled = compile_benchmark(name, target, scale, &region);
+    let measurement =
+        measure(&compiled, machine, crb, emu_config()).expect("simulation within limits");
+    SuiteRun {
+        name: Box::leak(name.to_string().into_boxed_str()),
+        compiled,
+        measurement,
+    }
+}
+
+/// Runs the whole suite under one configuration.
+pub fn run_suite(
+    target: InputSet,
+    scale: u32,
+    region: &RegionConfig,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+) -> Vec<SuiteRun> {
+    NAMES
+        .iter()
+        .map(|name| run_benchmark(name, target, scale, region, machine, crb))
+        .collect()
+}
+
+/// Arithmetic mean of a sequence (the paper reports average speedups).
+pub fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.into_iter().collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean([]), 0.0);
+        assert_eq!(mean([2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn run_benchmark_produces_consistent_speedup() {
+        let run = run_benchmark(
+            "130.li",
+            InputSet::Train,
+            1,
+            &RegionConfig::paper(),
+            &MachineConfig::paper(),
+            CrbConfig::paper(),
+        );
+        let s = run.measurement.speedup();
+        assert!(s > 0.9 && s < 3.0, "speedup {s}");
+        assert!(!run.compiled.regions.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! The measure half of the pipeline: baseline vs CCR simulation.
+
+use ccr_ir::Program;
+use ccr_profile::{EmuConfig, EmuError, Emulator, NullCrb, PotentialStudy, ReusePotential};
+use ccr_sim::{simulate, simulate_baseline, CrbConfig, MachineConfig, SimOutcome};
+
+use crate::compile::CompiledWorkload;
+
+/// Baseline-vs-CCR measurement of one compiled workload.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Baseline machine running the unannotated program.
+    pub base: SimOutcome,
+    /// CCR machine running the annotated program.
+    pub ccr: SimOutcome,
+}
+
+impl Measurement {
+    /// Cycle-time speedup (the paper's Figures 8 and 11 metric).
+    pub fn speedup(&self) -> f64 {
+        self.ccr.speedup_over(self.base.stats.cycles)
+    }
+
+    /// Fraction of the baseline's dynamic instructions the CCR run
+    /// eliminated.
+    pub fn eliminated_fraction(&self) -> f64 {
+        if self.base.run.dyn_instrs == 0 {
+            0.0
+        } else {
+            self.ccr.run.skipped_instrs as f64 / self.base.run.dyn_instrs as f64
+        }
+    }
+}
+
+/// Simulates a compiled workload on the baseline machine and on the
+/// same machine extended with a CRB.
+///
+/// # Errors
+///
+/// Returns [`EmuError`] if either simulation exceeds emulator limits.
+///
+/// # Panics
+///
+/// Panics if the two runs return different architectural results —
+/// reuse must never change program semantics.
+pub fn measure(
+    compiled: &CompiledWorkload,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+    emu: EmuConfig,
+) -> Result<Measurement, EmuError> {
+    let base = simulate_baseline(&compiled.base, machine, emu)?;
+    let ccr = simulate(&compiled.annotated, machine, Some(crb), emu)?;
+    assert_eq!(
+        base.run.returned, ccr.run.returned,
+        "computation reuse changed architectural results"
+    );
+    Ok(Measurement { base, ccr })
+}
+
+/// Runs the Figure 4 limit study on a program.
+///
+/// # Errors
+///
+/// Returns [`EmuError`] if emulation exceeds limits.
+pub fn reuse_potential(program: &Program, emu: EmuConfig) -> Result<ReusePotential, EmuError> {
+    let mut study = PotentialStudy::for_program(program);
+    Emulator::with_config(program, emu).run(&mut NullCrb, &mut study)?;
+    Ok(study.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_ccr, CompileConfig};
+    use ccr_workloads::{build, InputSet};
+
+    fn measured(name: &str) -> Measurement {
+        let p = build(name, InputSet::Train, 1).unwrap();
+        let cw = compile_ccr(&p, &p, &CompileConfig::paper()).unwrap();
+        measure(
+            &cw,
+            &MachineConfig::paper(),
+            CrbConfig::paper(),
+            EmuConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn m88ksim_shows_substantial_speedup() {
+        let m = measured("124.m88ksim");
+        assert!(
+            m.speedup() > 1.2,
+            "m88ksim is the paper's best case: {:.3}",
+            m.speedup()
+        );
+        assert!(m.ccr.stats.reuse_hits > 0);
+        assert!(m.eliminated_fraction() > 0.1);
+    }
+
+    #[test]
+    fn go_shows_little_speedup_but_no_slowdown_catastrophe() {
+        let m = measured("099.go");
+        assert!(
+            m.speedup() < 1.25,
+            "go is the paper's worst case: {:.3}",
+            m.speedup()
+        );
+        assert!(
+            m.speedup() > 0.9,
+            "reuse must not wreck go: {:.3}",
+            m.speedup()
+        );
+    }
+
+    #[test]
+    fn espresso_benefits_from_block_level_reuse() {
+        let m = measured("008.espresso");
+        assert!(
+            m.speedup() > 1.05,
+            "espresso: {:.3}",
+            m.speedup()
+        );
+    }
+
+    #[test]
+    fn potential_study_runs_on_workloads() {
+        let p = build("132.ijpeg", InputSet::Train, 1).unwrap();
+        let pot = reuse_potential(&p, EmuConfig::default()).unwrap();
+        assert!(pot.total_instrs > 10_000);
+        assert!(pot.region_ratio() >= pot.block_ratio() * 0.5);
+    }
+}

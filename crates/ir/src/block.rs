@@ -1,0 +1,126 @@
+//! Basic blocks.
+
+use std::fmt;
+
+use crate::instr::{Instr, InstrId};
+
+/// Identifier of a [`Block`] within a [`crate::Function`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Raw index of the block.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A basic block: a straight-line instruction sequence ending in a
+/// single terminator (branch, jump, return, or reuse).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Block {
+    /// The instructions of the block, terminator last.
+    pub instrs: Vec<Instr>,
+}
+
+impl Block {
+    /// Creates an empty block.
+    pub fn new() -> Block {
+        Block { instrs: Vec::new() }
+    }
+
+    /// The block's terminator, if the block is non-empty and properly
+    /// terminated.
+    pub fn terminator(&self) -> Option<&Instr> {
+        self.instrs.last().filter(|i| i.is_terminator())
+    }
+
+    /// Mutable access to the terminator.
+    pub fn terminator_mut(&mut self) -> Option<&mut Instr> {
+        self.instrs.last_mut().filter(|i| i.is_terminator())
+    }
+
+    /// Successor block ids of this block's terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        self.terminator().map_or_else(Vec::new, Instr::successors)
+    }
+
+    /// Finds the position of an instruction by id.
+    pub fn position_of(&self, id: InstrId) -> Option<usize> {
+        self.instrs.iter().position(|i| i.id == id)
+    }
+
+    /// Number of instructions, including the terminator.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the block has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Instr, Op};
+    use crate::reg::Operand;
+
+    #[test]
+    fn empty_block() {
+        let b = Block::new();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert!(b.terminator().is_none());
+        assert!(b.successors().is_empty());
+    }
+
+    #[test]
+    fn terminated_block() {
+        let mut b = Block::new();
+        b.instrs
+            .push(Instr::new(InstrId(0), Op::Jump { target: BlockId(2) }));
+        assert_eq!(b.successors(), vec![BlockId(2)]);
+        assert!(b.terminator().is_some());
+        b.terminator_mut()
+            .unwrap()
+            .map_successors(|_| BlockId(3));
+        assert_eq!(b.successors(), vec![BlockId(3)]);
+    }
+
+    #[test]
+    fn non_terminator_tail_yields_none() {
+        let mut b = Block::new();
+        b.instrs.push(Instr::new(
+            InstrId(1),
+            Op::Ret {
+                values: vec![Operand::Imm(0)],
+            },
+        ));
+        assert!(b.terminator().is_some());
+        b.instrs.push(Instr::new(InstrId(2), Op::Nop));
+        assert!(b.terminator().is_none());
+    }
+
+    #[test]
+    fn position_of_finds_by_id() {
+        let mut b = Block::new();
+        b.instrs.push(Instr::new(InstrId(5), Op::Nop));
+        b.instrs.push(Instr::new(InstrId(9), Op::Nop));
+        assert_eq!(b.position_of(InstrId(9)), Some(1));
+        assert_eq!(b.position_of(InstrId(4)), None);
+    }
+
+    #[test]
+    fn block_id_display() {
+        assert_eq!(BlockId(4).to_string(), "b4");
+        assert_eq!(BlockId(4).index(), 4);
+    }
+}

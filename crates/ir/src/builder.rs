@@ -1,0 +1,550 @@
+//! Builder DSL for constructing programs.
+//!
+//! [`ProgramBuilder`] owns the program under construction;
+//! [`FunctionBuilder`] provides an emitter-style API over a single
+//! function. Instruction ids are function-local while building and are
+//! renumbered to program-wide unique ids by
+//! [`ProgramBuilder::finish_function`].
+
+use crate::block::BlockId;
+use crate::function::{FuncId, Function};
+use crate::instr::{BinKind, CmpPred, Instr, InstrId, Op, UnKind};
+use crate::object::{MemObject, MemObjectId, ObjectKind};
+use crate::program::Program;
+use crate::reg::{Operand, Reg, Value};
+
+/// Builds a [`Program`] incrementally.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<Option<Function>>,
+    names: Vec<String>,
+    objects: Vec<MemObject>,
+    main: Option<FuncId>,
+    next_instr_id: u32,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Declares a function signature without a body, returning its id.
+    /// Useful for (mutually) recursive calls: declare first, build
+    /// bodies later with [`ProgramBuilder::function_body`].
+    pub fn declare(&mut self, name: impl Into<String>, params: usize, rets: usize) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        let name = name.into();
+        self.names.push(name.clone());
+        self.functions
+            .push(Some(Function::new(id, name, params, rets)));
+        id
+    }
+
+    /// Declares a function and returns a builder for its body.
+    pub fn function(&mut self, name: impl Into<String>, params: usize, rets: usize) -> FunctionBuilder {
+        let id = self.declare(name, params, rets);
+        self.function_body(id)
+    }
+
+    /// Returns a builder for a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function's body was already taken and not
+    /// finished, or `id` is out of range.
+    pub fn function_body(&mut self, id: FuncId) -> FunctionBuilder {
+        let func = self.functions[id.index()]
+            .take()
+            .expect("function body already under construction");
+        FunctionBuilder {
+            func,
+            cur: BlockId(0),
+            next_local_id: 0,
+            sealed: false,
+        }
+    }
+
+    /// Finishes a function body, renumbering its instructions to
+    /// program-wide ids, and returns the function id.
+    pub fn finish_function(&mut self, fb: FunctionBuilder) -> FuncId {
+        let mut func = fb.func;
+        for block in &mut func.blocks {
+            for instr in &mut block.instrs {
+                instr.id = InstrId(self.next_instr_id);
+                self.next_instr_id += 1;
+            }
+        }
+        let id = func.id();
+        self.functions[id.index()] = Some(func);
+        id
+    }
+
+    /// Declares a named, writable memory object of `size` elements.
+    pub fn object(&mut self, name: impl Into<String>, size: usize) -> MemObjectId {
+        self.object_with(name, ObjectKind::Named, size, Vec::new())
+    }
+
+    /// Declares a read-only table initialized with `init`.
+    pub fn table(&mut self, name: impl Into<String>, init: Vec<i64>) -> MemObjectId {
+        let vals = init.into_iter().map(Value::from_int).collect::<Vec<_>>();
+        let n = vals.len();
+        self.object_with(name, ObjectKind::ReadOnly, n, vals)
+    }
+
+    /// Declares an anonymous (heap-like) object of `size` elements.
+    pub fn heap(&mut self, name: impl Into<String>, size: usize) -> MemObjectId {
+        self.object_with(name, ObjectKind::Anonymous, size, Vec::new())
+    }
+
+    /// Declares a memory object with full control over kind and
+    /// initializer.
+    pub fn object_with(
+        &mut self,
+        name: impl Into<String>,
+        kind: ObjectKind,
+        size: usize,
+        init: Vec<Value>,
+    ) -> MemObjectId {
+        let id = MemObjectId(self.objects.len() as u32);
+        self.objects.push(MemObject::new(id, name, kind, size, init));
+        id
+    }
+
+    /// Selects the program entry function.
+    pub fn set_main(&mut self, id: FuncId) {
+        self.main = Some(id);
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry function was set or some declared function
+    /// body is still outstanding.
+    pub fn finish(self) -> Program {
+        let functions = self
+            .functions
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| f.unwrap_or_else(|| panic!("function {i} body never finished")))
+            .collect();
+        Program::from_parts(
+            functions,
+            self.objects,
+            self.main.expect("no entry function set"),
+            self.next_instr_id,
+        )
+    }
+}
+
+/// Emitter-style builder over a single function.
+///
+/// Instructions are appended to the *current block*; control-flow
+/// emitters terminate the current block, after which the builder must
+/// be repositioned with [`FunctionBuilder::switch_to`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    cur: BlockId,
+    next_local_id: u32,
+    sealed: bool,
+}
+
+impl FunctionBuilder {
+    /// The `i`-th parameter register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: usize) -> Reg {
+        assert!(i < self.func.param_count(), "parameter index out of range");
+        Reg(i as u32)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn fresh(&mut self) -> Reg {
+        self.func.fresh_reg()
+    }
+
+    /// Creates a new empty block (does not switch to it).
+    pub fn block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Repositions the builder to append to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+        self.sealed = false;
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// The function's entry block.
+    pub fn entry(&self) -> BlockId {
+        self.func.entry()
+    }
+
+    fn emit(&mut self, op: Op) {
+        assert!(
+            !self.sealed,
+            "emitting into a terminated block; call switch_to first"
+        );
+        let terminates = Instr::new(InstrId(0), op.clone()).is_terminator();
+        let id = InstrId(self.next_local_id);
+        self.next_local_id += 1;
+        self.func.block_mut(self.cur).instrs.push(Instr::new(id, op));
+        if terminates {
+            self.sealed = true;
+        }
+    }
+
+    /// Emits `dst = lhs <kind> rhs` into a fresh register.
+    pub fn bin(&mut self, kind: BinKind, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.bin_into(kind, dst, lhs, rhs);
+        dst
+    }
+
+    /// Emits `dst = lhs <kind> rhs` into an existing register.
+    pub fn bin_into(
+        &mut self,
+        kind: BinKind,
+        dst: Reg,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) {
+        self.emit(Op::Binary {
+            kind,
+            dst,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        });
+    }
+
+    /// Emits `dst = <kind> src` into a fresh register.
+    pub fn un(&mut self, kind: UnKind, src: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.un_into(kind, dst, src);
+        dst
+    }
+
+    /// Emits `dst = <kind> src` into an existing register.
+    pub fn un_into(&mut self, kind: UnKind, dst: Reg, src: impl Into<Operand>) {
+        self.emit(Op::Unary {
+            kind,
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// Emits an integer addition.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinKind::Add, a, b)
+    }
+
+    /// Emits an integer subtraction.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinKind::Sub, a, b)
+    }
+
+    /// Emits an integer multiplication.
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinKind::Mul, a, b)
+    }
+
+    /// Emits a signed division.
+    pub fn div(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinKind::Div, a, b)
+    }
+
+    /// Emits a signed remainder.
+    pub fn rem(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinKind::Rem, a, b)
+    }
+
+    /// Emits a bitwise and.
+    pub fn and(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinKind::And, a, b)
+    }
+
+    /// Emits a bitwise or.
+    pub fn or(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinKind::Or, a, b)
+    }
+
+    /// Emits a bitwise exclusive-or.
+    pub fn xor(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinKind::Xor, a, b)
+    }
+
+    /// Emits a left shift.
+    pub fn shl(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinKind::Shl, a, b)
+    }
+
+    /// Emits a logical right shift.
+    pub fn shr(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinKind::Shr, a, b)
+    }
+
+    /// Emits an arithmetic right shift.
+    pub fn sar(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinKind::Sar, a, b)
+    }
+
+    /// Emits a register/immediate move into a fresh register.
+    pub fn mov(&mut self, src: impl Into<Operand>) -> Reg {
+        self.un(UnKind::Mov, src)
+    }
+
+    /// Emits an immediate load into a fresh register.
+    pub fn movi(&mut self, v: i64) -> Reg {
+        self.mov(Operand::Imm(v))
+    }
+
+    /// Emits `dst = src`.
+    pub fn assign(&mut self, dst: Reg, src: impl Into<Operand>) {
+        self.un_into(UnKind::Mov, dst, src);
+    }
+
+    /// Emits `reg = reg + delta` (a loop-index update).
+    pub fn inc(&mut self, reg: Reg, delta: i64) {
+        self.bin_into(BinKind::Add, reg, reg, Operand::Imm(delta));
+    }
+
+    /// Emits a comparison producing 0/1 into a fresh register.
+    pub fn cmp(&mut self, pred: CmpPred, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.emit(Op::Cmp {
+            pred,
+            dst,
+            lhs: a.into(),
+            rhs: b.into(),
+        });
+        dst
+    }
+
+    /// Emits a load `dst = object[addr]` into a fresh register.
+    pub fn load(&mut self, object: MemObjectId, addr: impl Into<Operand>) -> Reg {
+        self.load_off(object, addr, 0)
+    }
+
+    /// Emits a load with a constant index addend.
+    pub fn load_off(&mut self, object: MemObjectId, addr: impl Into<Operand>, offset: i64) -> Reg {
+        let dst = self.fresh();
+        self.load_into(dst, object, addr, offset);
+        dst
+    }
+
+    /// Emits a load into an existing register.
+    pub fn load_into(
+        &mut self,
+        dst: Reg,
+        object: MemObjectId,
+        addr: impl Into<Operand>,
+        offset: i64,
+    ) {
+        self.emit(Op::Load {
+            dst,
+            object,
+            addr: addr.into(),
+            offset,
+        });
+    }
+
+    /// Emits a store `object[addr] = value`.
+    pub fn store(
+        &mut self,
+        object: MemObjectId,
+        addr: impl Into<Operand>,
+        value: impl Into<Operand>,
+    ) {
+        self.store_off(object, addr, 0, value);
+    }
+
+    /// Emits a store with a constant index addend.
+    pub fn store_off(
+        &mut self,
+        object: MemObjectId,
+        addr: impl Into<Operand>,
+        offset: i64,
+        value: impl Into<Operand>,
+    ) {
+        self.emit(Op::Store {
+            object,
+            addr: addr.into(),
+            offset,
+            value: value.into(),
+        });
+    }
+
+    /// Emits a compare-and-branch terminator.
+    pub fn br(
+        &mut self,
+        pred: CmpPred,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        taken: BlockId,
+        not_taken: BlockId,
+    ) {
+        self.emit(Op::Branch {
+            pred,
+            lhs: a.into(),
+            rhs: b.into(),
+            taken,
+            not_taken,
+        });
+    }
+
+    /// Emits an unconditional jump terminator.
+    pub fn jump(&mut self, target: BlockId) {
+        self.emit(Op::Jump { target });
+    }
+
+    /// Emits a call, allocating fresh registers for the results.
+    ///
+    /// The number of results must be communicated by the callee's
+    /// declaration; this builder cannot check it, but the program
+    /// verifier does.
+    pub fn call(&mut self, callee: FuncId, args: &[Operand], rets: usize) -> Vec<Reg> {
+        let ret_regs: Vec<Reg> = (0..rets).map(|_| self.fresh()).collect();
+        self.emit(Op::Call {
+            callee,
+            args: args.to_vec(),
+            rets: ret_regs.clone(),
+        });
+        ret_regs
+    }
+
+    /// Emits a return terminator.
+    pub fn ret(&mut self, values: &[Operand]) {
+        self.emit(Op::Ret {
+            values: values.to_vec(),
+        });
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) {
+        self.emit(Op::Nop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_program;
+
+    #[test]
+    fn straight_line_function() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let x = f.movi(4);
+        let a = f.add(x, 1);
+        let b = f.mul(a, a);
+        f.ret(&[Operand::Reg(b)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        verify_program(&p).unwrap();
+        assert_eq!(p.function(id).instr_count(), 4);
+    }
+
+    #[test]
+    fn loop_with_branch() {
+        let mut pb = ProgramBuilder::new();
+        let tbl = pb.table("t", vec![1, 2, 3, 4]);
+        let mut f = pb.function("main", 0, 1);
+        let sum = f.movi(0);
+        let i = f.movi(0);
+        let body = f.block();
+        let done = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        let v = f.load(tbl, i);
+        f.bin_into(BinKind::Add, sum, sum, v);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 4, body, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(sum)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn instruction_ids_are_globally_unique() {
+        let mut pb = ProgramBuilder::new();
+        let mut f1 = pb.function("a", 0, 0);
+        f1.nop();
+        f1.ret(&[]);
+        let a = pb.finish_function(f1);
+        let mut f2 = pb.function("b", 0, 0);
+        f2.nop();
+        f2.ret(&[]);
+        pb.finish_function(f2);
+        pb.set_main(a);
+        let p = pb.finish();
+        let mut seen = std::collections::HashSet::new();
+        for (_, i) in p.iter_instrs() {
+            assert!(seen.insert(i.id), "duplicate id {:?}", i.id);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn calls_between_functions() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("sq", 1, 1);
+        let mut body = pb.function_body(callee);
+        let x = body.param(0);
+        let y = body.mul(x, x);
+        body.ret(&[Operand::Reg(y)]);
+        pb.finish_function(body);
+
+        let mut m = pb.function("main", 0, 1);
+        let r = m.call(callee, &[Operand::Imm(5)], 1);
+        m.ret(&[Operand::Reg(r[0])]);
+        let mid = pb.finish_function(m);
+        pb.set_main(mid);
+        let p = pb.finish();
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated block")]
+    fn emitting_after_terminator_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("f", 0, 0);
+        f.ret(&[]);
+        f.nop();
+    }
+
+    #[test]
+    #[should_panic(expected = "no entry function")]
+    fn finish_without_main_panics() {
+        let pb = ProgramBuilder::new();
+        pb.finish();
+    }
+
+    #[test]
+    fn object_declarations() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.object("buf", 16);
+        let t = pb.table("tbl", vec![9]);
+        let h = pb.heap("h", 8);
+        let mut f = pb.function("main", 0, 0);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        assert_eq!(p.object(a).kind(), ObjectKind::Named);
+        assert_eq!(p.object(t).kind(), ObjectKind::ReadOnly);
+        assert_eq!(p.object(h).kind(), ObjectKind::Anonymous);
+        assert_eq!(p.object(t).init()[0].as_int(), 9);
+    }
+}

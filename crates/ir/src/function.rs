@@ -1,0 +1,226 @@
+//! Functions.
+
+use std::fmt;
+
+use crate::block::{Block, BlockId};
+use crate::instr::{Instr, InstrId};
+use crate::reg::Reg;
+
+/// Identifier of a [`Function`] within a [`crate::Program`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Raw index of the function.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A function: a control-flow graph of [`Block`]s over a private
+/// virtual register file.
+///
+/// Parameters occupy registers `r0 .. r{param_count-1}` on entry.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    id: FuncId,
+    name: String,
+    param_count: usize,
+    ret_count: usize,
+    /// The function's basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    entry: BlockId,
+    next_reg: u32,
+}
+
+impl Function {
+    /// Creates a function shell with a single empty entry block.
+    pub fn new(id: FuncId, name: impl Into<String>, param_count: usize, ret_count: usize) -> Function {
+        Function {
+            id,
+            name: name.into(),
+            param_count,
+            ret_count,
+            blocks: vec![Block::new()],
+            entry: BlockId(0),
+            next_reg: param_count as u32,
+        }
+    }
+
+    /// The function's identifier.
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of parameters (bound to `r0..`).
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// Number of values returned.
+    pub fn ret_count(&self) -> usize {
+        self.ret_count
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// The parameter registers.
+    pub fn params(&self) -> impl Iterator<Item = Reg> + '_ {
+        (0..self.param_count as u32).map(Reg)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// One past the highest register index in use.
+    pub fn reg_limit(&self) -> u32 {
+        self.next_reg
+    }
+
+    /// Raises the register limit to at least `limit` (used by the
+    /// textual-IR parser, which sees register indices before knowing
+    /// how many there are).
+    pub fn reserve_regs(&mut self, limit: u32) {
+        self.next_reg = self.next_reg.max(limit);
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new());
+        id
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Iterates over every instruction with its block id.
+    pub fn iter_instrs(&self) -> impl Iterator<Item = (BlockId, &Instr)> {
+        self.iter_blocks()
+            .flat_map(|(bid, b)| b.instrs.iter().map(move |i| (bid, i)))
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(Block::len).sum()
+    }
+
+    /// Locates an instruction by id, returning its block and position.
+    pub fn find_instr(&self, id: InstrId) -> Option<(BlockId, usize)> {
+        for (bid, b) in self.iter_blocks() {
+            if let Some(pos) = b.position_of(id) {
+                return Some((bid, pos));
+            }
+        }
+        None
+    }
+
+    /// Predecessor lists for every block (indexed by block id).
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (bid, b) in self.iter_blocks() {
+            for s in b.successors() {
+                preds[s.index()].push(bid);
+            }
+        }
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Instr, Op};
+
+    #[test]
+    fn new_function_shape() {
+        let f = Function::new(FuncId(0), "f", 2, 1);
+        assert_eq!(f.name(), "f");
+        assert_eq!(f.param_count(), 2);
+        assert_eq!(f.ret_count(), 1);
+        assert_eq!(f.entry(), BlockId(0));
+        assert_eq!(f.params().collect::<Vec<_>>(), vec![Reg(0), Reg(1)]);
+        assert_eq!(f.blocks.len(), 1);
+    }
+
+    #[test]
+    fn fresh_regs_follow_params() {
+        let mut f = Function::new(FuncId(0), "f", 2, 0);
+        assert_eq!(f.fresh_reg(), Reg(2));
+        assert_eq!(f.fresh_reg(), Reg(3));
+        assert_eq!(f.reg_limit(), 4);
+    }
+
+    #[test]
+    fn blocks_and_preds() {
+        let mut f = Function::new(FuncId(0), "f", 0, 0);
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        f.block_mut(f.entry())
+            .instrs
+            .push(Instr::new(InstrId(0), Op::Jump { target: b1 }));
+        f.block_mut(b1)
+            .instrs
+            .push(Instr::new(InstrId(1), Op::Jump { target: b2 }));
+        f.block_mut(b2)
+            .instrs
+            .push(Instr::new(InstrId(2), Op::Ret { values: vec![] }));
+        let preds = f.predecessors();
+        assert!(preds[0].is_empty());
+        assert_eq!(preds[1], vec![BlockId(0)]);
+        assert_eq!(preds[2], vec![b1]);
+        assert_eq!(f.instr_count(), 3);
+    }
+
+    #[test]
+    fn find_instr_locates() {
+        let mut f = Function::new(FuncId(0), "f", 0, 0);
+        let b1 = f.add_block();
+        f.block_mut(b1)
+            .instrs
+            .push(Instr::new(InstrId(42), Op::Nop));
+        assert_eq!(f.find_instr(InstrId(42)), Some((b1, 0)));
+        assert_eq!(f.find_instr(InstrId(1)), None);
+    }
+}

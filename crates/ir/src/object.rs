@@ -1,0 +1,201 @@
+//! Named memory objects.
+//!
+//! The CCR compiler's memory-dependent region formation relies on the
+//! "complete points-to relation" for *named* data structures (the paper
+//! cites Emami-Ghiya-Hendren interprocedural points-to analysis and
+//! restricts reuse to "globally and locally-named structures").
+//! We model memory as a set of named objects, each a flat array of
+//! 64-bit words addressed by element index. Loads and stores name the
+//! object they access directly, so points-to information is exact for
+//! named objects — precisely the situation the paper's analysis
+//! achieves for the structures it reuses. Anonymous (heap) objects also
+//! exist but are never classified *determinable*, matching the paper's
+//! exclusion of anonymous data structures.
+
+use std::fmt;
+
+use crate::reg::Value;
+
+/// Identifier of a [`MemObject`] within a [`crate::Program`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MemObjectId(pub u32);
+
+impl MemObjectId {
+    /// Raw index of the object.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MemObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// How an object is named, which determines whether loads from it can
+/// be classified *determinable* by alias analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ObjectKind {
+    /// A global or locally-named structure: the set of stores that may
+    /// write it is fully visible to the compiler.
+    Named,
+    /// A read-only table (e.g. `bit_count[]` in the paper's espresso
+    /// example): no store may write it, so it is trivially
+    /// determinable and never needs invalidation.
+    ReadOnly,
+    /// Anonymous (heap-like) storage. Loads from anonymous objects are
+    /// never determinable; the paper leaves these to future work.
+    Anonymous,
+}
+
+/// A named, statically-allocated memory object.
+///
+/// Each object is a dense array of [`Value`] words. Element `i` of
+/// object `o` models the address `base(o) + 8*i`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MemObject {
+    id: MemObjectId,
+    name: String,
+    kind: ObjectKind,
+    size: usize,
+    init: Vec<Value>,
+}
+
+impl MemObject {
+    /// Creates a new object description.
+    ///
+    /// `init` provides initial contents for a prefix of the object;
+    /// remaining words start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init.len() > size`.
+    pub fn new(
+        id: MemObjectId,
+        name: impl Into<String>,
+        kind: ObjectKind,
+        size: usize,
+        init: Vec<Value>,
+    ) -> MemObject {
+        assert!(
+            init.len() <= size,
+            "object initializer longer than object size"
+        );
+        MemObject {
+            id,
+            name: name.into(),
+            kind,
+            size,
+            init,
+        }
+    }
+
+    /// The object's identifier.
+    pub fn id(&self) -> MemObjectId {
+        self.id
+    }
+
+    /// The object's source-level name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The object's naming kind.
+    pub fn kind(&self) -> ObjectKind {
+        self.kind
+    }
+
+    /// Number of 64-bit elements in the object.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The declared initializer (a prefix of the object contents).
+    pub fn init(&self) -> &[Value] {
+        &self.init
+    }
+
+    /// Replaces the initializer contents.
+    ///
+    /// Used by workload generators to install input data images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init.len() > self.size()`.
+    pub fn set_init(&mut self, init: Vec<Value>) {
+        assert!(init.len() <= self.size, "initializer longer than object");
+        self.init = init;
+    }
+
+    /// True if no store instruction is permitted to write this object.
+    pub fn is_read_only(&self) -> bool {
+        self.kind == ObjectKind::ReadOnly
+    }
+
+    /// Materializes the full initial contents (initializer followed by
+    /// zeros up to `size`).
+    pub fn initial_contents(&self) -> Vec<Value> {
+        let mut v = self.init.clone();
+        v.resize(self.size, Value::ZERO);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(kind: ObjectKind) -> MemObject {
+        MemObject::new(
+            MemObjectId(0),
+            "tbl",
+            kind,
+            4,
+            vec![Value::from_int(7), Value::from_int(8)],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let o = obj(ObjectKind::Named);
+        assert_eq!(o.id(), MemObjectId(0));
+        assert_eq!(o.name(), "tbl");
+        assert_eq!(o.size(), 4);
+        assert_eq!(o.kind(), ObjectKind::Named);
+        assert!(!o.is_read_only());
+        assert!(obj(ObjectKind::ReadOnly).is_read_only());
+    }
+
+    #[test]
+    fn initial_contents_pads_with_zeros() {
+        let o = obj(ObjectKind::Named);
+        let c = o.initial_contents();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0].as_int(), 7);
+        assert_eq!(c[1].as_int(), 8);
+        assert_eq!(c[2].as_int(), 0);
+        assert_eq!(c[3].as_int(), 0);
+    }
+
+    #[test]
+    fn set_init_replaces_prefix() {
+        let mut o = obj(ObjectKind::Named);
+        o.set_init(vec![Value::from_int(1)]);
+        assert_eq!(o.initial_contents()[0].as_int(), 1);
+        assert_eq!(o.initial_contents()[1].as_int(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than object")]
+    fn oversized_init_panics() {
+        let mut o = obj(ObjectKind::Named);
+        o.set_init(vec![Value::ZERO; 5]);
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(MemObjectId(3).to_string(), "@3");
+        assert_eq!(MemObjectId(3).index(), 3);
+    }
+}

@@ -1,0 +1,192 @@
+//! Whole programs.
+
+use crate::function::{FuncId, Function};
+use crate::instr::{Instr, InstrId, Op, RegionId};
+use crate::object::{MemObject, MemObjectId};
+
+/// A whole program: functions, named memory objects, and an entry
+/// function.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Program {
+    functions: Vec<Function>,
+    objects: Vec<MemObject>,
+    main: FuncId,
+    next_instr_id: u32,
+    next_region_id: u32,
+}
+
+impl Program {
+    /// Assembles a program from parts. Prefer [`crate::ProgramBuilder`].
+    pub(crate) fn from_parts(
+        functions: Vec<Function>,
+        objects: Vec<MemObject>,
+        main: FuncId,
+        next_instr_id: u32,
+    ) -> Program {
+        Program {
+            functions,
+            objects,
+            main,
+            next_instr_id,
+            next_region_id: 0,
+        }
+    }
+
+    /// All functions, indexed by [`FuncId`].
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Shared access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.index()]
+    }
+
+    /// Looks a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name() == name)
+    }
+
+    /// All memory objects, indexed by [`MemObjectId`].
+    pub fn objects(&self) -> &[MemObject] {
+        &self.objects
+    }
+
+    /// Shared access to a memory object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn object(&self, id: MemObjectId) -> &MemObject {
+        &self.objects[id.index()]
+    }
+
+    /// Mutable access to a memory object (used by workload input
+    /// generators to install data images).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn object_mut(&mut self, id: MemObjectId) -> &mut MemObject {
+        &mut self.objects[id.index()]
+    }
+
+    /// The entry function.
+    pub fn main(&self) -> FuncId {
+        self.main
+    }
+
+    /// Allocates a fresh, program-wide unique instruction id.
+    pub fn fresh_instr_id(&mut self) -> InstrId {
+        let id = InstrId(self.next_instr_id);
+        self.next_instr_id += 1;
+        id
+    }
+
+    /// Creates an instruction with a fresh id.
+    pub fn new_instr(&mut self, op: Op) -> Instr {
+        let id = self.fresh_instr_id();
+        Instr::new(id, op)
+    }
+
+    /// Allocates a fresh region id (used by RCR formation).
+    pub fn fresh_region_id(&mut self) -> RegionId {
+        let id = RegionId(self.next_region_id);
+        self.next_region_id += 1;
+        id
+    }
+
+    /// Number of region ids allocated so far.
+    pub fn region_count(&self) -> usize {
+        self.next_region_id as usize
+    }
+
+    /// Raises the region-id watermark to at least `count` (used by the
+    /// textual-IR parser when it encounters `reuse`/`invalidate`
+    /// instructions referencing pre-existing region ids).
+    pub fn reserve_regions(&mut self, count: u32) {
+        self.next_region_id = self.next_region_id.max(count);
+    }
+
+    /// One past the largest instruction id in use. Useful for sizing
+    /// dense side tables keyed by [`InstrId`].
+    pub fn instr_id_limit(&self) -> u32 {
+        self.next_instr_id
+    }
+
+    /// Total static instruction count across all functions.
+    pub fn instr_count(&self) -> usize {
+        self.functions.iter().map(Function::instr_count).sum()
+    }
+
+    /// Iterates over every instruction in the program.
+    pub fn iter_instrs(&self) -> impl Iterator<Item = (FuncId, &Instr)> {
+        self.functions
+            .iter()
+            .flat_map(|f| f.iter_instrs().map(move |(_, i)| (f.id(), i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::reg::Operand;
+
+    fn tiny() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        pb.finish()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let p = tiny();
+        assert!(p.function_by_name("main").is_some());
+        assert!(p.function_by_name("nope").is_none());
+        assert_eq!(p.main(), FuncId(0));
+    }
+
+    #[test]
+    fn fresh_ids_are_unique_and_monotonic() {
+        let mut p = tiny();
+        let a = p.fresh_instr_id();
+        let b = p.fresh_instr_id();
+        assert!(b > a);
+        assert!(a.0 >= p.instr_count() as u32 - 1);
+        let r0 = p.fresh_region_id();
+        let r1 = p.fresh_region_id();
+        assert_ne!(r0, r1);
+        assert_eq!(p.region_count(), 2);
+    }
+
+    #[test]
+    fn instr_counts() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let r = f.movi(9);
+        f.ret(&[Operand::Reg(r)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        assert_eq!(p.instr_count(), 2);
+        assert_eq!(p.iter_instrs().count(), 2);
+        assert!(p.instr_id_limit() >= 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Virtual registers, operands, and runtime values.
+
+use std::fmt;
+
+/// A virtual register.
+///
+/// Registers are function-local: `r0` in one function is unrelated to
+/// `r0` in another. The CCR framework never runs register allocation —
+/// like the paper's IMPACT-level evaluation, reuse regions are formed
+/// over virtual registers and the "8 live-in / 8 live-out" capacity
+/// limits of a computation instance are enforced on virtual registers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// Raw index of the register.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A source operand: either a register or an immediate constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// Value of a virtual register.
+    Reg(Reg),
+    /// Immediate 64-bit constant.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register this operand reads, if any.
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// The immediate constant, if this operand is one.
+    pub fn as_imm(self) -> Option<i64> {
+        match self {
+            Operand::Reg(_) => None,
+            Operand::Imm(v) => Some(v),
+        }
+    }
+
+    /// True if the operand is an immediate.
+    pub fn is_imm(self) -> bool {
+        matches!(self, Operand::Imm(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A runtime value: a 64-bit machine word.
+///
+/// Integer operations interpret the word as an `i64`; floating-point
+/// operations ([`crate::BinKind::FAdd`] and friends) interpret it as
+/// the IEEE-754 bit pattern of an `f64`. This mirrors a real register
+/// file, where the same 64-bit register holds either interpretation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Value(pub i64);
+
+impl Value {
+    /// Zero.
+    pub const ZERO: Value = Value(0);
+
+    /// Construct from a signed integer.
+    pub fn from_int(v: i64) -> Value {
+        Value(v)
+    }
+
+    /// Construct from a float, storing its bit pattern.
+    pub fn from_f64(v: f64) -> Value {
+        Value(v.to_bits() as i64)
+    }
+
+    /// The word interpreted as a signed integer.
+    pub fn as_int(self) -> i64 {
+        self.0
+    }
+
+    /// The word interpreted as an IEEE-754 double.
+    pub fn as_f64(self) -> f64 {
+        f64::from_bits(self.0 as u64)
+    }
+
+    /// True if the integer interpretation is nonzero.
+    pub fn is_truthy(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::from_f64(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg(7).to_string(), "r7");
+        assert_eq!(Reg(7).index(), 7);
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let r = Operand::Reg(Reg(3));
+        let i = Operand::Imm(-5);
+        assert_eq!(r.as_reg(), Some(Reg(3)));
+        assert_eq!(r.as_imm(), None);
+        assert_eq!(i.as_reg(), None);
+        assert_eq!(i.as_imm(), Some(-5));
+        assert!(i.is_imm());
+        assert!(!r.is_imm());
+    }
+
+    #[test]
+    fn operand_from_conversions() {
+        assert_eq!(Operand::from(Reg(1)), Operand::Reg(Reg(1)));
+        assert_eq!(Operand::from(42i64), Operand::Imm(42));
+    }
+
+    #[test]
+    fn value_float_roundtrip() {
+        let v = Value::from_f64(3.25);
+        assert_eq!(v.as_f64(), 3.25);
+        let neg = Value::from_f64(-0.0);
+        assert_eq!(neg.as_f64().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn value_int_roundtrip() {
+        let v = Value::from_int(i64::MIN);
+        assert_eq!(v.as_int(), i64::MIN);
+        assert!(!Value::ZERO.is_truthy());
+        assert!(Value::from_int(1).is_truthy());
+    }
+
+    #[test]
+    fn value_display_is_integer_interpretation() {
+        assert_eq!(Value::from_int(-9).to_string(), "-9");
+    }
+}

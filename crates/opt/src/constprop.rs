@@ -1,0 +1,291 @@
+//! Local constant propagation / folding and copy propagation.
+//!
+//! Within each basic block the pass tracks registers known to hold a
+//! constant or to be a copy of another register, rewrites operands,
+//! and folds fully-constant operations into immediate moves. The
+//! arithmetic used for folding is [`ccr_ir::semantics`], the same
+//! definitions the emulator executes, so folding is exact.
+
+use std::collections::HashMap;
+
+use ccr_ir::semantics::{eval_binary, eval_cmp, eval_unary};
+use ccr_ir::{Function, Op, Operand, Program, Reg, UnKind, Value};
+
+/// Runs the pass on every function. Returns the number of rewritten
+/// instructions.
+pub fn run(program: &mut Program) -> usize {
+    let mut changed = 0;
+    for i in 0..program.functions().len() {
+        changed += run_function(program.function_mut(ccr_ir::FuncId(i as u32)));
+    }
+    changed
+}
+
+/// What a register is locally known to hold.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Known {
+    Const(Value),
+    Copy(Reg),
+}
+
+fn run_function(func: &mut Function) -> usize {
+    let mut changed = 0;
+    for block in &mut func.blocks {
+        let mut env: HashMap<Reg, Known> = HashMap::new();
+        for instr in &mut block.instrs {
+            // Rewrite source operands through the environment.
+            changed += rewrite_operands(instr, &env);
+
+            // Fold fully-constant operations.
+            let folded: Option<Value> = match &instr.op {
+                Op::Binary { kind, lhs, rhs, .. } => match (lhs.as_imm(), rhs.as_imm()) {
+                    (Some(a), Some(b)) => {
+                        Some(eval_binary(*kind, Value::from_int(a), Value::from_int(b)))
+                    }
+                    _ => None,
+                },
+                Op::Unary {
+                    kind: UnKind::Mov, ..
+                } => None, // moves are handled via the environment
+                Op::Unary { kind, src, .. } => src
+                    .as_imm()
+                    .map(|a| eval_unary(*kind, Value::from_int(a))),
+                Op::Cmp { pred, lhs, rhs, .. } => match (lhs.as_imm(), rhs.as_imm()) {
+                    (Some(a), Some(b)) => {
+                        Some(eval_cmp(*pred, Value::from_int(a), Value::from_int(b)))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let (Some(v), Some(dst)) = (folded, instr.dst()) {
+                instr.op = Op::Unary {
+                    kind: UnKind::Mov,
+                    dst,
+                    src: Operand::Imm(v.as_int()),
+                };
+                changed += 1;
+            }
+
+            // Update the environment with this instruction's effect.
+            let defs = instr.dsts();
+            // Any register copying a now-redefined register is stale.
+            for d in &defs {
+                env.retain(|_, k| *k != Known::Copy(*d));
+                env.remove(d);
+            }
+            if let Op::Unary {
+                kind: UnKind::Mov,
+                dst,
+                src,
+            } = &instr.op
+            {
+                match src {
+                    Operand::Imm(v) => {
+                        env.insert(*dst, Known::Const(Value::from_int(*v)));
+                    }
+                    Operand::Reg(s) if s != dst => {
+                        // Propagate transitively at record time.
+                        let k = match env.get(s) {
+                            Some(k) => *k,
+                            None => Known::Copy(*s),
+                        };
+                        env.insert(*dst, k);
+                    }
+                    Operand::Reg(_) => {}
+                }
+            }
+        }
+    }
+    changed
+}
+
+fn rewrite_operands(instr: &mut ccr_ir::Instr, env: &HashMap<Reg, Known>) -> usize {
+    let mut n = 0;
+    let mut subst = |op: &mut Operand| {
+        if let Operand::Reg(r) = op {
+            match env.get(r) {
+                Some(Known::Const(v)) => {
+                    *op = Operand::Imm(v.as_int());
+                    n += 1;
+                }
+                Some(Known::Copy(s)) if s != r => {
+                    *op = Operand::Reg(*s);
+                    n += 1;
+                }
+                Some(Known::Copy(_)) => {}
+                None => {}
+            }
+        }
+    };
+    match &mut instr.op {
+        Op::Binary { lhs, rhs, .. } | Op::Cmp { lhs, rhs, .. } | Op::Branch { lhs, rhs, .. } => {
+            subst(lhs);
+            subst(rhs);
+        }
+        Op::Unary { src, .. } => subst(src),
+        Op::Load { addr, .. } => subst(addr),
+        Op::Store { addr, value, .. } => {
+            subst(addr);
+            subst(value);
+        }
+        Op::Call { args, .. } => {
+            for a in args {
+                subst(a);
+            }
+        }
+        Op::Ret { values } => {
+            for v in values {
+                subst(v);
+            }
+        }
+        Op::Jump { .. } | Op::Reuse { .. } | Op::Invalidate { .. } | Op::Nop => {}
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{BinKind, CmpPred, ProgramBuilder};
+
+    fn ops_of(p: &Program) -> Vec<String> {
+        p.function(p.main())
+            .iter_instrs()
+            .map(|(_, i)| i.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn folds_constant_chain() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let a = f.movi(6);
+        let b = f.add(a, 4); // 10
+        let c = f.mul(b, b); // 100
+        f.ret(&[Operand::Reg(c)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        let n = run(&mut p);
+        assert!(n > 0);
+        let ops = ops_of(&p);
+        assert!(ops[1].contains("mov 10"), "{ops:?}");
+        assert!(ops[2].contains("mov 100"), "{ops:?}");
+        assert!(ops[3].contains("ret 100"), "{ops:?}");
+        ccr_ir::verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn copy_propagation_chases_chains() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let x = f.fresh();
+        f.assign(x, 3);
+        let y = f.mov(x);
+        let z = f.mov(y);
+        let w = f.add(z, 0);
+        f.ret(&[Operand::Reg(w)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        run(&mut p);
+        let ops = ops_of(&p);
+        // z's use in the add collapsed to the constant 3.
+        assert!(ops[3].contains("mov 3"), "{ops:?}");
+    }
+
+    #[test]
+    fn redefinition_invalidates_knowledge() {
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 1);
+        let mut f = pb.function("main", 0, 1);
+        let x = f.movi(1);
+        let y = f.mov(x); // y = 1
+        f.load_into(x, o, 0, 0); // x redefined with unknown value
+        let z = f.add(y, x); // must NOT fold x
+        f.ret(&[Operand::Reg(z)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        run(&mut p);
+        let ops = ops_of(&p);
+        assert!(ops[3].contains("add 1, r0"), "{ops:?}");
+    }
+
+    #[test]
+    fn copies_of_redefined_registers_are_dropped() {
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 1);
+        let mut f = pb.function("main", 0, 1);
+        let x = f.fresh();
+        f.load_into(x, o, 0, 0);
+        let y = f.mov(x); // y copies x
+        f.load_into(x, o, 0, 0); // x redefined: y may no longer alias x
+        let z = f.add(y, x);
+        f.ret(&[Operand::Reg(z)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        run(&mut p);
+        let ops = ops_of(&p);
+        // The add must keep reading y (r1), not be rewritten to x.
+        assert!(ops[3].contains(&format!("add {y}, {x}")), "{ops:?}");
+    }
+
+    #[test]
+    fn environment_is_per_block() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let x = f.movi(5);
+        let next = f.block();
+        f.jump(next);
+        f.switch_to(next);
+        // In a fresh block, x is not locally known: no fold.
+        let y = f.add(x, 1);
+        f.ret(&[Operand::Reg(y)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        run(&mut p);
+        let func = p.function(p.main());
+        let add = &func.block(next).instrs[0];
+        assert!(add.to_string().contains("add r0, 1"), "{add}");
+    }
+
+    #[test]
+    fn branch_operands_are_rewritten() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let x = f.movi(2);
+        let t = f.block();
+        let e = f.block();
+        f.br(CmpPred::Lt, x, 10, t, e);
+        f.switch_to(t);
+        f.ret(&[]);
+        f.switch_to(e);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        run(&mut p);
+        let func = p.function(p.main());
+        let br = func.block(func.entry()).terminator().unwrap();
+        assert!(br.to_string().contains("br.lt 2, 10"), "{br}");
+    }
+
+    #[test]
+    fn folding_matches_emulator_semantics() {
+        // shl by 64 must fold to the wrapped result, not zero.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let v = f.bin(BinKind::Shl, 1, 64);
+        f.ret(&[Operand::Reg(v)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        run(&mut p);
+        let ops = ops_of(&p);
+        assert!(ops[0].contains("mov 1"), "{ops:?}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Local common-subexpression elimination.
+//!
+//! Within a block, a pure computation that repeats with identical
+//! operands is replaced by a move from the register holding the first
+//! result. Loads participate until any store intervenes (stores in our
+//! IR may write any index of their object, so the pass conservatively
+//! kills all loads on any store). This removes the *static* redundancy
+//! the paper assumes is already gone from the base code, leaving CCR
+//! only the dynamic kind.
+
+use std::collections::HashMap;
+
+use ccr_ir::{BinKind, CmpPred, Function, MemObjectId, Op, Operand, Program, Reg, UnKind};
+
+/// An expression key for value numbering within a block.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum ExprKey {
+    Bin(BinKind, Operand, Operand),
+    Un(UnKind, Operand),
+    Cmp(CmpPred, Operand, Operand),
+    Load(MemObjectId, Operand, i64),
+}
+
+/// Runs local CSE on every function. Returns replaced instructions.
+pub fn run(program: &mut Program) -> usize {
+    let mut changed = 0;
+    for i in 0..program.functions().len() {
+        changed += run_function(program.function_mut(ccr_ir::FuncId(i as u32)));
+    }
+    changed
+}
+
+fn run_function(func: &mut Function) -> usize {
+    let mut changed = 0;
+    for block in &mut func.blocks {
+        let mut available: HashMap<ExprKey, Reg> = HashMap::new();
+        for instr in &mut block.instrs {
+            let key = match &instr.op {
+                Op::Binary { kind, lhs, rhs, .. } => {
+                    let (a, b) = commutative_order(*kind, *lhs, *rhs);
+                    Some(ExprKey::Bin(*kind, a, b))
+                }
+                Op::Unary { kind, src, .. } if *kind != UnKind::Mov => {
+                    Some(ExprKey::Un(*kind, *src))
+                }
+                Op::Cmp { pred, lhs, rhs, .. } => Some(ExprKey::Cmp(*pred, *lhs, *rhs)),
+                Op::Load {
+                    object,
+                    addr,
+                    offset,
+                    ..
+                } => Some(ExprKey::Load(*object, *addr, *offset)),
+                _ => None,
+            };
+            if let (Some(key), Some(dst)) = (key.clone(), instr.dst()) {
+                if let Some(prev) = available.get(&key) {
+                    if *prev != dst {
+                        instr.op = Op::Unary {
+                            kind: UnKind::Mov,
+                            dst,
+                            src: Operand::Reg(*prev),
+                        };
+                        changed += 1;
+                    }
+                } else {
+                    available.insert(key, dst);
+                }
+            }
+            // Kill rules.
+            match &instr.op {
+                Op::Store { .. } => {
+                    available.retain(|k, _| !matches!(k, ExprKey::Load(..)));
+                }
+                Op::Call { .. } => {
+                    // Callee may store anywhere.
+                    available.retain(|k, _| !matches!(k, ExprKey::Load(..)));
+                }
+                _ => {}
+            }
+            // Redefining a register invalidates expressions mentioning
+            // it (as operand or as the available result).
+            for d in instr.dsts() {
+                let dop = Operand::Reg(d);
+                available.retain(|k, r| {
+                    *r != d
+                        && match k {
+                            ExprKey::Bin(_, a, b) | ExprKey::Cmp(_, a, b) => *a != dop && *b != dop,
+                            ExprKey::Un(_, a) => *a != dop,
+                            ExprKey::Load(_, a, _) => *a != dop,
+                        }
+                });
+            }
+            // Re-admit the instruction's own expression if it was
+            // removed by its own redefinition (dst overlaps operand).
+            if let (Some(key), Some(dst)) = (key, instr.dst()) {
+                let self_referential = instr.src_regs().contains(&dst);
+                if !self_referential && !matches!(instr.op, Op::Unary { kind: UnKind::Mov, .. }) {
+                    available.entry(key).or_insert(dst);
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Orders operands of commutative operations canonically so `a+b` and
+/// `b+a` share a key.
+fn commutative_order(kind: BinKind, a: Operand, b: Operand) -> (Operand, Operand) {
+    let commutative = matches!(
+        kind,
+        BinKind::Add
+            | BinKind::Mul
+            | BinKind::And
+            | BinKind::Or
+            | BinKind::Xor
+            | BinKind::Min
+            | BinKind::Max
+            | BinKind::FAdd
+            | BinKind::FMul
+    );
+    if !commutative {
+        return (a, b);
+    }
+    let rank = |o: Operand| match o {
+        Operand::Reg(r) => (0u8, r.0 as i64),
+        Operand::Imm(v) => (1u8, v),
+    };
+    if rank(a) <= rank(b) {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::ProgramBuilder;
+
+    fn main_ops(p: &Program) -> Vec<String> {
+        p.function(p.main())
+            .iter_instrs()
+            .map(|(_, i)| i.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn duplicate_add_becomes_move() {
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 1);
+        let mut f = pb.function("main", 0, 1);
+        let x = f.load(o, 0);
+        let a = f.add(x, 5);
+        let b = f.add(x, 5);
+        let c = f.add(a, b);
+        f.ret(&[Operand::Reg(c)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        assert_eq!(run(&mut p), 1);
+        let ops = main_ops(&p);
+        assert!(ops[2].contains(&format!("mov {a}")), "{ops:?}");
+    }
+
+    #[test]
+    fn commutative_operands_share_key() {
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 2);
+        let mut f = pb.function("main", 0, 1);
+        let x = f.load(o, 0);
+        let y = f.load(o, 1);
+        let a = f.add(x, y);
+        let b = f.add(y, x);
+        let c = f.add(a, b);
+        f.ret(&[Operand::Reg(c)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        assert_eq!(run(&mut p), 1);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn non_commutative_not_merged() {
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 2);
+        let mut f = pb.function("main", 0, 1);
+        let x = f.load(o, 0);
+        let y = f.load(o, 1);
+        let a = f.sub(x, y);
+        let b = f.sub(y, x);
+        let c = f.add(a, b);
+        f.ret(&[Operand::Reg(c)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        assert_eq!(run(&mut p), 0);
+    }
+
+    #[test]
+    fn store_kills_loads_but_not_arith() {
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 2);
+        let mut f = pb.function("main", 0, 2);
+        let x = f.load(o, 0);
+        let a = f.add(x, 1);
+        f.store(o, 0, 99);
+        let y = f.load(o, 0); // must NOT merge with x
+        let b = f.add(x, 1); // may merge with a
+        f.ret(&[Operand::Reg(y), Operand::Reg(b)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        assert_eq!(run(&mut p), 1);
+        let ops = main_ops(&p);
+        assert!(ops[3].contains("load"), "{ops:?}");
+        assert!(ops[4].contains(&format!("mov {a}")), "{ops:?}");
+    }
+
+    #[test]
+    fn redefined_operand_kills_expression() {
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 2);
+        let mut f = pb.function("main", 0, 1);
+        let x = f.fresh();
+        f.load_into(x, o, 0, 0);
+        let a = f.add(x, 1);
+        f.load_into(x, o, 1, 0); // x changes
+        let b = f.add(x, 1); // must not merge with a
+        let c = f.add(a, b);
+        f.ret(&[Operand::Reg(c)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        assert_eq!(run(&mut p), 0);
+    }
+
+    #[test]
+    fn self_update_is_not_available() {
+        // i = i + 1 twice: the second is a different value, never CSE.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let i = f.movi(0);
+        f.inc(i, 1);
+        f.inc(i, 1);
+        f.ret(&[Operand::Reg(i)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        assert_eq!(run(&mut p), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Liveness-based dead-code elimination.
+//!
+//! Removes pure instructions (arithmetic, moves, comparisons, loads)
+//! whose results are dead, plus `nop`s. Stores, calls, control flow,
+//! and the CCR instructions always stay: they have effects beyond
+//! their destination registers.
+
+use ccr_analysis::Liveness;
+use ccr_ir::{Function, Op, Program, Reg};
+
+/// Runs DCE on every function. Returns the number of removed
+/// instructions.
+pub fn run(program: &mut Program) -> usize {
+    let mut removed = 0;
+    for i in 0..program.functions().len() {
+        removed += run_function(program.function_mut(ccr_ir::FuncId(i as u32)));
+    }
+    removed
+}
+
+fn is_pure(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Binary { .. } | Op::Unary { .. } | Op::Cmp { .. } | Op::Load { .. } | Op::Nop
+    )
+}
+
+fn run_function(func: &mut Function) -> usize {
+    let mut removed = 0;
+    // Iterate: removing one instruction can make another dead.
+    loop {
+        let live = Liveness::compute(func);
+        let mut round = 0;
+        for (bid, _) in func.iter_blocks().map(|(b, _)| (b, ())).collect::<Vec<_>>() {
+            let mut live_set: std::collections::HashSet<Reg> = live.live_out(bid).clone();
+            let block = func.block_mut(bid);
+            // Walk backward, collecting kept instructions.
+            let mut kept: Vec<ccr_ir::Instr> = Vec::with_capacity(block.instrs.len());
+            for instr in block.instrs.drain(..).rev() {
+                let dead = is_pure(&instr.op)
+                    && instr
+                        .dst()
+                        .map_or(matches!(instr.op, Op::Nop), |d| !live_set.contains(&d));
+                if dead {
+                    round += 1;
+                    continue;
+                }
+                for d in instr.dsts() {
+                    live_set.remove(&d);
+                }
+                for r in instr.src_regs() {
+                    live_set.insert(r);
+                }
+                kept.push(instr);
+            }
+            kept.reverse();
+            block.instrs = kept;
+        }
+        removed += round;
+        if round == 0 {
+            break;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{CmpPred, Operand, ProgramBuilder};
+
+    #[test]
+    fn removes_dead_chain() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let a = f.movi(1);
+        let b = f.add(a, 2); // feeds only the dead mul
+        let _dead = f.mul(b, b);
+        let kept = f.movi(9);
+        f.ret(&[Operand::Reg(kept)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        let removed = run(&mut p);
+        // mul dead -> b dead -> a dead: three removals.
+        assert_eq!(removed, 3);
+        assert_eq!(p.function(p.main()).instr_count(), 2);
+        ccr_ir::verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn keeps_stores_and_calls() {
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 1);
+        let g = pb.declare("g", 0, 1);
+        let mut gb = pb.function_body(g);
+        gb.ret(&[Operand::Imm(1)]);
+        pb.finish_function(gb);
+        let mut f = pb.function("main", 0, 0);
+        f.store(o, 0, 5);
+        let _unused = f.call(g, &[], 1); // result unused, call kept
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        run(&mut p);
+        let kinds: Vec<bool> = p
+            .function(id)
+            .iter_instrs()
+            .map(|(_, i)| i.is_store() || i.is_call())
+            .collect();
+        assert_eq!(kinds.iter().filter(|k| **k).count(), 2);
+    }
+
+    #[test]
+    fn dead_load_is_removed() {
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 1);
+        let mut f = pb.function("main", 0, 0);
+        let _v = f.load(o, 0);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        assert_eq!(run(&mut p), 1);
+        assert_eq!(p.function(id).instr_count(), 1);
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let sum = f.movi(0);
+        let i = f.movi(0);
+        let body = f.block();
+        let done = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        f.bin_into(ccr_ir::BinKind::Add, sum, sum, i);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 10, body, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(sum)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        assert_eq!(run(&mut p), 0, "nothing is dead in the loop");
+    }
+
+    #[test]
+    fn branch_never_removed_even_if_result_unused() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let t = f.block();
+        let e = f.block();
+        f.br(CmpPred::Lt, 0, 1, t, e);
+        f.switch_to(t);
+        f.ret(&[]);
+        f.switch_to(e);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        assert_eq!(run(&mut p), 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Bottom-up inlining of small functions.
+//!
+//! Inlining is part of the paper's base-code recipe and also matters
+//! for CCR itself: a region cannot contain a call, so a small helper
+//! called from a hot computation would otherwise split an RCR in two.
+
+use ccr_analysis::CallGraph;
+use ccr_ir::{BlockId, FuncId, Instr, Op, Operand, Program, Reg, UnKind};
+
+/// Inlining parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct InlineConfig {
+    /// Maximum callee size eligible for inlining.
+    pub max_callee_instrs: usize,
+    /// Stop growing a caller past this size.
+    pub max_caller_instrs: usize,
+}
+
+impl Default for InlineConfig {
+    fn default() -> Self {
+        InlineConfig {
+            max_callee_instrs: 24,
+            max_caller_instrs: 2048,
+        }
+    }
+}
+
+/// Inlines eligible call sites until none remain (or budgets stop
+/// further growth). Returns the number of inlined sites.
+pub fn run(program: &mut Program, config: InlineConfig) -> usize {
+    let mut inlined = 0;
+    loop {
+        let cg = CallGraph::compute(program);
+        let Some((caller, bid, pos, callee)) = find_site(program, &cg, config) else {
+            break;
+        };
+        inline_call(program, caller, bid, pos, callee);
+        inlined += 1;
+    }
+    inlined
+}
+
+fn find_site(
+    program: &Program,
+    cg: &CallGraph,
+    config: InlineConfig,
+) -> Option<(FuncId, BlockId, usize, FuncId)> {
+    for func in program.functions() {
+        if func.instr_count() > config.max_caller_instrs {
+            continue;
+        }
+        for (bid, block) in func.iter_blocks() {
+            for (pos, instr) in block.instrs.iter().enumerate() {
+                if let Op::Call { callee, .. } = &instr.op {
+                    if *callee == func.id() {
+                        continue; // direct recursion
+                    }
+                    let target = program.function(*callee);
+                    if target.instr_count() > config.max_callee_instrs {
+                        continue;
+                    }
+                    // Transitively recursive callees stay out-of-line:
+                    // a cycle exists iff some direct callee can reach
+                    // back to the callee.
+                    let recursive = cg
+                        .callees(*callee)
+                        .iter()
+                        .any(|g| cg.reachable_from(*g).contains(callee));
+                    if recursive {
+                        continue;
+                    }
+                    return Some((func.id(), bid, pos, *callee));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Splices `callee`'s body into `caller` at the given call site.
+fn inline_call(program: &mut Program, caller: FuncId, bid: BlockId, pos: usize, callee: FuncId) {
+    let callee_fn = program.function(callee).clone();
+    let (args, rets) = {
+        let site = &program.function(caller).block(bid).instrs[pos];
+        match &site.op {
+            Op::Call { args, rets, .. } => (args.clone(), rets.clone()),
+            other => panic!("inline target is not a call: {other:?}"),
+        }
+    };
+
+    // Allocate a register window for the callee's registers.
+    let reg_base = program.function(caller).reg_limit();
+    for _ in 0..callee_fn.reg_limit() {
+        program.function_mut(caller).fresh_reg();
+    }
+    let map_reg = |r: Reg| Reg(r.0 + reg_base);
+    let map_operand = |o: Operand| match o {
+        Operand::Reg(r) => Operand::Reg(map_reg(r)),
+        imm => imm,
+    };
+
+    // Allocate destination blocks: one per callee block, plus the
+    // continuation holding the caller instructions after the call.
+    let block_base = program.function(caller).blocks.len() as u32;
+    for _ in 0..callee_fn.blocks.len() {
+        program.function_mut(caller).add_block();
+    }
+    let cont = program.function_mut(caller).add_block();
+    let map_block = |b: BlockId| BlockId(b.0 + block_base);
+
+    // Move the post-call tail of the call block into `cont`.
+    let tail: Vec<Instr> = program
+        .function_mut(caller)
+        .block_mut(bid)
+        .instrs
+        .split_off(pos + 1);
+    program.function_mut(caller).block_mut(cont).instrs = tail;
+
+    // Replace the call with parameter moves + jump to the body copy.
+    {
+        let mut setup: Vec<Instr> = Vec::with_capacity(args.len() + 1);
+        for (i, a) in args.iter().enumerate() {
+            setup.push(program.new_instr(Op::Unary {
+                kind: UnKind::Mov,
+                dst: map_reg(Reg(i as u32)),
+                src: *a,
+            }));
+        }
+        setup.push(program.new_instr(Op::Jump {
+            target: map_block(callee_fn.entry()),
+        }));
+        let block = program.function_mut(caller).block_mut(bid);
+        block.instrs.pop(); // the call itself
+        block.instrs.extend(setup);
+    }
+
+    // Copy the callee body, remapping registers and blocks; returns
+    // become result moves + jump to the continuation.
+    for (src_bid, src_block) in callee_fn.iter_blocks() {
+        let mut instrs: Vec<Instr> = Vec::with_capacity(src_block.instrs.len());
+        for instr in &src_block.instrs {
+            match &instr.op {
+                Op::Ret { values } => {
+                    for (dst, v) in rets.iter().zip(values.iter()) {
+                        instrs.push(program.new_instr(Op::Unary {
+                            kind: UnKind::Mov,
+                            dst: *dst,
+                            src: map_operand(*v),
+                        }));
+                    }
+                    instrs.push(program.new_instr(Op::Jump { target: cont }));
+                }
+                op => {
+                    let mut op = op.clone();
+                    remap_op(&mut op, &map_reg, &map_operand, &map_block);
+                    let mut ni = program.new_instr(op);
+                    ni.ext = instr.ext;
+                    instrs.push(ni);
+                }
+            }
+        }
+        program
+            .function_mut(caller)
+            .block_mut(map_block(src_bid))
+            .instrs = instrs;
+    }
+}
+
+fn remap_op(
+    op: &mut Op,
+    map_reg: &impl Fn(Reg) -> Reg,
+    map_operand: &impl Fn(Operand) -> Operand,
+    map_block: &impl Fn(BlockId) -> BlockId,
+) {
+    match op {
+        Op::Binary { dst, lhs, rhs, .. } => {
+            *dst = map_reg(*dst);
+            *lhs = map_operand(*lhs);
+            *rhs = map_operand(*rhs);
+        }
+        Op::Cmp { dst, lhs, rhs, .. } => {
+            *dst = map_reg(*dst);
+            *lhs = map_operand(*lhs);
+            *rhs = map_operand(*rhs);
+        }
+        Op::Unary { dst, src, .. } => {
+            *dst = map_reg(*dst);
+            *src = map_operand(*src);
+        }
+        Op::Load { dst, addr, .. } => {
+            *dst = map_reg(*dst);
+            *addr = map_operand(*addr);
+        }
+        Op::Store { addr, value, .. } => {
+            *addr = map_operand(*addr);
+            *value = map_operand(*value);
+        }
+        Op::Branch {
+            lhs,
+            rhs,
+            taken,
+            not_taken,
+            ..
+        } => {
+            *lhs = map_operand(*lhs);
+            *rhs = map_operand(*rhs);
+            *taken = map_block(*taken);
+            *not_taken = map_block(*not_taken);
+        }
+        Op::Jump { target } => *target = map_block(*target),
+        Op::Call { args, rets, .. } => {
+            for a in args {
+                *a = map_operand(*a);
+            }
+            for r in rets {
+                *r = map_reg(*r);
+            }
+        }
+        Op::Reuse { body, cont, .. } => {
+            *body = map_block(*body);
+            *cont = map_block(*cont);
+        }
+        Op::Ret { .. } => unreachable!("rets handled by caller"),
+        Op::Invalidate { .. } | Op::Nop => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{CmpPred, ProgramBuilder};
+    use ccr_profile::{Emulator, NullCrb, NullSink};
+
+    fn run_outcome(p: &Program) -> Vec<i64> {
+        Emulator::new(p)
+            .run(&mut NullCrb, &mut NullSink)
+            .unwrap()
+            .returned
+            .iter()
+            .map(|v| v.as_int())
+            .collect()
+    }
+
+    fn sample_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let sq = pb.declare("clamp_square", 1, 1);
+        let mut g = pb.function_body(sq);
+        let x = g.param(0);
+        let big = g.block();
+        let small = g.block();
+        g.br(CmpPred::Gt, x, 10, big, small);
+        g.switch_to(big);
+        g.ret(&[Operand::Imm(100)]);
+        g.switch_to(small);
+        let y = g.mul(x, x);
+        g.ret(&[Operand::Reg(y)]);
+        pb.finish_function(g);
+
+        let mut f = pb.function("main", 0, 1);
+        let acc = f.movi(0);
+        let i = f.movi(0);
+        let body = f.block();
+        let done = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        let r = f.call(sq, &[Operand::Reg(i)], 1);
+        f.bin_into(ccr_ir::BinKind::Add, acc, acc, r[0]);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 15, body, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(acc)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        pb.finish()
+    }
+
+    #[test]
+    fn inlining_preserves_result() {
+        let base = sample_program();
+        let expect = run_outcome(&base);
+        let mut p = sample_program();
+        let n = run(&mut p, InlineConfig::default());
+        assert_eq!(n, 1);
+        ccr_ir::verify_program(&p).unwrap();
+        assert_eq!(run_outcome(&p), expect);
+        // No calls remain in main.
+        assert!(p
+            .function(p.main())
+            .iter_instrs()
+            .all(|(_, i)| !i.is_call()));
+    }
+
+    #[test]
+    fn recursive_callee_is_skipped() {
+        let mut pb = ProgramBuilder::new();
+        let rec = pb.declare("rec", 1, 1);
+        let mut g = pb.function_body(rec);
+        let x = g.param(0);
+        let base = g.block();
+        let step = g.block();
+        g.br(CmpPred::Le, x, 0, base, step);
+        g.switch_to(base);
+        g.ret(&[Operand::Imm(0)]);
+        g.switch_to(step);
+        let xm1 = g.sub(x, 1);
+        let r = g.call(rec, &[Operand::Reg(xm1)], 1);
+        let s = g.add(r[0], x);
+        g.ret(&[Operand::Reg(s)]);
+        pb.finish_function(g);
+        let mut f = pb.function("main", 0, 1);
+        let r = f.call(rec, &[Operand::Imm(5)], 1);
+        f.ret(&[Operand::Reg(r[0])]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        assert_eq!(run(&mut p, InlineConfig::default()), 0);
+        assert_eq!(run_outcome(&p), vec![15]);
+    }
+
+    #[test]
+    fn oversized_callee_is_skipped() {
+        let mut p = sample_program();
+        assert_eq!(
+            run(
+                &mut p,
+                InlineConfig {
+                    max_callee_instrs: 2,
+                    max_caller_instrs: 2048
+                }
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn nested_calls_inline_bottom_up() {
+        let mut pb = ProgramBuilder::new();
+        let leaf = pb.declare("leaf", 1, 1);
+        let mut l = pb.function_body(leaf);
+        let x = l.param(0);
+        let y = l.add(x, 1);
+        l.ret(&[Operand::Reg(y)]);
+        pb.finish_function(l);
+        let mid = pb.declare("mid", 1, 1);
+        let mut m = pb.function_body(mid);
+        let x = m.param(0);
+        let r = m.call(leaf, &[Operand::Reg(x)], 1);
+        let d = m.mul(r[0], 2);
+        m.ret(&[Operand::Reg(d)]);
+        pb.finish_function(m);
+        let mut f = pb.function("main", 0, 1);
+        let r = f.call(mid, &[Operand::Imm(20)], 1);
+        f.ret(&[Operand::Reg(r[0])]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        let n = run(&mut p, InlineConfig::default());
+        assert!(n >= 2, "both levels inline, got {n}");
+        assert_eq!(run_outcome(&p), vec![42]);
+        assert!(p
+            .function(p.main())
+            .iter_instrs()
+            .all(|(_, i)| !i.is_call()));
+    }
+}

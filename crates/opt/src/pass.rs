@@ -1,0 +1,245 @@
+//! The pass manager: composes the individual passes into the paper's
+//! "best base code" pipeline.
+
+use ccr_ir::Program;
+
+use crate::inline::InlineConfig;
+use crate::unroll::UnrollConfig;
+use crate::{constprop, cse, dce, inline, simplify, unroll};
+
+/// Optimizer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct OptConfig {
+    /// Inlining parameters.
+    pub inline: InlineConfig,
+    /// Unrolling parameters.
+    pub unroll: UnrollConfig,
+    /// Enable inlining.
+    pub do_inline: bool,
+    /// Enable loop unrolling.
+    pub do_unroll: bool,
+    /// Maximum scalar-cleanup iterations per phase.
+    pub max_iterations: usize,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig {
+            inline: InlineConfig::default(),
+            unroll: UnrollConfig::default(),
+            do_inline: true,
+            do_unroll: true,
+            max_iterations: 8,
+        }
+    }
+}
+
+/// Per-pass change counts reported by [`optimize`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Call sites inlined.
+    pub inlined: usize,
+    /// Loops unrolled.
+    pub unrolled: usize,
+    /// Constant/copy propagation rewrites.
+    pub constprop: usize,
+    /// CSE replacements.
+    pub cse: usize,
+    /// Instructions removed by DCE.
+    pub dce: usize,
+    /// CFG simplifications.
+    pub simplify: usize,
+}
+
+impl OptStats {
+    /// Total number of changes across all passes.
+    pub fn total(&self) -> usize {
+        self.inlined + self.unrolled + self.constprop + self.cse + self.dce + self.simplify
+    }
+}
+
+/// Runs the full baseline pipeline: inline, scalar cleanup to a
+/// fixpoint, unroll, then cleanup again.
+///
+/// ```
+/// use ccr_ir::{Operand, ProgramBuilder};
+/// use ccr_opt::{optimize, OptConfig};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut f = pb.function("main", 0, 1);
+/// let a = f.movi(6);
+/// let b = f.mul(a, 7);       // folds to 42
+/// let _dead = f.add(b, 1);   // removed by DCE
+/// f.ret(&[Operand::Reg(b)]);
+/// let id = pb.finish_function(f);
+/// pb.set_main(id);
+/// let mut program = pb.finish();
+///
+/// let stats = optimize(&mut program, OptConfig::default());
+/// assert!(stats.constprop > 0 && stats.dce > 0);
+/// assert!(program.instr_count() <= 2, "mov + ret remain");
+/// ```
+///
+/// # Panics
+///
+/// Panics (in debug builds) if any pass breaks program invariants —
+/// the verifier runs after each phase.
+pub fn optimize(program: &mut Program, config: OptConfig) -> OptStats {
+    let mut stats = OptStats::default();
+    if config.do_inline {
+        stats.inlined = inline::run(program, config.inline);
+        debug_assert_verified(program, "inline");
+    }
+    cleanup(program, config.max_iterations, &mut stats);
+    if config.do_unroll {
+        stats.unrolled = unroll::run(program, config.unroll);
+        debug_assert_verified(program, "unroll");
+        cleanup(program, config.max_iterations, &mut stats);
+    }
+    stats
+}
+
+fn cleanup(program: &mut Program, max_iterations: usize, stats: &mut OptStats) {
+    for _ in 0..max_iterations {
+        let mut round = 0;
+        let n = constprop::run(program);
+        stats.constprop += n;
+        round += n;
+        let n = cse::run(program);
+        stats.cse += n;
+        round += n;
+        let n = dce::run(program);
+        stats.dce += n;
+        round += n;
+        let n = simplify::run(program);
+        stats.simplify += n;
+        round += n;
+        debug_assert_verified(program, "cleanup");
+        if round == 0 {
+            break;
+        }
+    }
+}
+
+fn debug_assert_verified(program: &Program, phase: &str) {
+    if cfg!(debug_assertions) {
+        if let Err(e) = ccr_ir::verify_program(program) {
+            panic!("optimizer phase '{phase}' broke the program: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{CmpPred, Operand, ProgramBuilder};
+    use ccr_profile::{EmuConfig, Emulator, NullCrb, NullSink};
+
+    /// A program exercising every pass: a small helper to inline, a
+    /// constant-foldable preamble, a CSE-able body, dead code, and an
+    /// unrollable loop.
+    fn kitchen_sink() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let t = pb.table("weights", vec![3, 1, 4, 1, 5, 9, 2, 6]);
+        let helper = pb.declare("scale", 2, 1);
+        let mut h = pb.function_body(helper);
+        let (a, b) = (h.param(0), h.param(1));
+        let m = h.mul(a, b);
+        let s = h.sar(m, 1);
+        h.ret(&[Operand::Reg(s)]);
+        pb.finish_function(h);
+
+        let mut f = pb.function("main", 0, 1);
+        let k1 = f.movi(3);
+        let k2 = f.add(k1, 4); // folds to 7
+        let _dead = f.mul(k2, k2); // dead
+        let acc = f.movi(0);
+        let i = f.movi(0);
+        let body = f.block();
+        let done = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        let w = f.load(t, i);
+        let x1 = f.add(w, k2);
+        let x2 = f.add(w, k2); // CSE
+        let r = f.call(helper, &[Operand::Reg(x1), Operand::Reg(x2)], 1);
+        f.bin_into(ccr_ir::BinKind::Add, acc, acc, r[0]);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 8, body, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(acc)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        pb.finish()
+    }
+
+    fn result_of(p: &Program) -> (i64, u64) {
+        let out = Emulator::with_config(
+            p,
+            EmuConfig {
+                max_instrs: 1_000_000,
+                max_depth: 64,
+            },
+        )
+        .run(&mut NullCrb, &mut NullSink)
+        .unwrap();
+        (out.returned[0].as_int(), out.dyn_instrs)
+    }
+
+    #[test]
+    fn full_pipeline_preserves_semantics_and_reduces_work() {
+        let base = kitchen_sink();
+        let (expect, base_instrs) = result_of(&base);
+        let mut p = kitchen_sink();
+        let stats = optimize(&mut p, OptConfig::default());
+        assert!(stats.inlined >= 1, "{stats:?}");
+        assert!(stats.unrolled >= 1, "{stats:?}");
+        assert!(stats.constprop >= 1, "{stats:?}");
+        assert!(stats.dce >= 1, "{stats:?}");
+        assert!(stats.total() > 4);
+        ccr_ir::verify_program(&p).unwrap();
+        let (got, opt_instrs) = result_of(&p);
+        assert_eq!(got, expect);
+        assert!(
+            opt_instrs < base_instrs,
+            "optimized code must execute fewer instructions: {opt_instrs} vs {base_instrs}"
+        );
+    }
+
+    #[test]
+    fn optimize_is_idempotent_at_fixpoint() {
+        let mut p = kitchen_sink();
+        optimize(&mut p, OptConfig::default());
+        let snapshot = p.clone();
+        let stats = optimize(
+            &mut p,
+            OptConfig {
+                do_inline: true,
+                do_unroll: false, // unrolling again would duplicate more
+                ..OptConfig::default()
+            },
+        );
+        assert_eq!(stats.total(), 0, "{stats:?}");
+        assert_eq!(p, snapshot);
+    }
+
+    #[test]
+    fn passes_can_be_disabled() {
+        let mut p = kitchen_sink();
+        let stats = optimize(
+            &mut p,
+            OptConfig {
+                do_inline: false,
+                do_unroll: false,
+                ..OptConfig::default()
+            },
+        );
+        assert_eq!(stats.inlined, 0);
+        assert_eq!(stats.unrolled, 0);
+        // The call must still be present.
+        assert!(p
+            .function(p.main())
+            .iter_instrs()
+            .any(|(_, i)| i.is_call()));
+    }
+}

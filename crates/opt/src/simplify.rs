@@ -1,0 +1,267 @@
+//! Control-flow simplification: constant-branch folding, jump
+//! threading, and unreachable-block removal.
+
+use ccr_analysis::reachable_blocks;
+use ccr_ir::{BlockId, Function, Op, Program};
+
+/// Runs CFG simplification on every function. Returns the number of
+/// changes (folded branches + threaded edges + removed blocks).
+pub fn run(program: &mut Program) -> usize {
+    let mut changed = 0;
+    for i in 0..program.functions().len() {
+        changed += run_function(program.function_mut(ccr_ir::FuncId(i as u32)));
+    }
+    changed
+}
+
+fn run_function(func: &mut Function) -> usize {
+    let mut changed = 0;
+    changed += fold_constant_branches(func);
+    changed += thread_jumps(func);
+    changed += merge_blocks(func);
+    changed += remove_unreachable(func);
+    changed
+}
+
+/// Merges `A: ...; jump B` with `B` when `A` is `B`'s only
+/// predecessor. This re-forms the long straight-line blocks
+/// (superblock-style) that inlining fragments, which both the loop
+/// unroller and the acyclic region former rely on.
+fn merge_blocks(func: &mut Function) -> usize {
+    let mut changed = 0;
+    loop {
+        let preds = func.predecessors();
+        let mut candidate: Option<(BlockId, BlockId)> = None;
+        for (bid, block) in func.iter_blocks() {
+            let Some(term) = block.terminator() else {
+                continue;
+            };
+            // Never merge away an annotated control instruction
+            // (region endpoints/exits carry semantics).
+            if !term.ext.is_empty() {
+                continue;
+            }
+            if let Op::Jump { target } = term.op {
+                if target != bid && target != func.entry() && preds[target.index()].len() == 1 {
+                    candidate = Some((bid, target));
+                    break;
+                }
+            }
+        }
+        let Some((a, b)) = candidate else {
+            break;
+        };
+        let moved = std::mem::take(&mut func.block_mut(b).instrs);
+        let ablock = func.block_mut(a);
+        ablock.instrs.pop(); // the jump
+        ablock.instrs.extend(moved);
+        // Block b is now empty and unreachable; give it a placeholder
+        // terminator so intermediate states stay printable, then let
+        // remove_unreachable drop it.
+        func.block_mut(b)
+            .instrs
+            .push(ccr_ir::Instr::new(ccr_ir::InstrId(u32::MAX), Op::Jump { target: b }));
+        changed += 1;
+    }
+    changed
+}
+
+/// Rewrites `br` with two immediate operands into a `jump`.
+fn fold_constant_branches(func: &mut Function) -> usize {
+    let mut changed = 0;
+    for block in &mut func.blocks {
+        let Some(t) = block.terminator_mut() else {
+            continue;
+        };
+        if let Op::Branch {
+            pred,
+            lhs,
+            rhs,
+            taken,
+            not_taken,
+        } = &t.op
+        {
+            if let (Some(a), Some(b)) = (lhs.as_imm(), rhs.as_imm()) {
+                let target = if pred.eval(a, b) { *taken } else { *not_taken };
+                t.op = Op::Jump { target };
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// Redirects edges that target a block consisting solely of a `jump`
+/// straight to that jump's destination.
+fn thread_jumps(func: &mut Function) -> usize {
+    // trampoline[b] = Some(c) if block b is exactly `jump c`.
+    let trampoline: Vec<Option<BlockId>> = func
+        .blocks
+        .iter()
+        .map(|b| match (&b.instrs[..], b.terminator()) {
+            ([only], Some(t)) if only.id == t.id => match t.op {
+                Op::Jump { target } => Some(target),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect();
+    // Resolve chains with cycle protection.
+    let resolve = |mut b: BlockId| -> BlockId {
+        let mut hops = 0;
+        while let Some(next) = trampoline[b.index()] {
+            if hops > trampoline.len() {
+                break; // jump cycle: leave as-is
+            }
+            b = next;
+            hops += 1;
+        }
+        b
+    };
+    let mut changed = 0;
+    for block in &mut func.blocks {
+        if let Some(t) = block.terminator_mut() {
+            t.map_successors(|s| {
+                let r = resolve(s);
+                if r != s {
+                    changed += 1;
+                }
+                r
+            });
+        }
+    }
+    changed
+}
+
+/// Deletes blocks unreachable from the entry, remapping block ids.
+fn remove_unreachable(func: &mut Function) -> usize {
+    let reachable = reachable_blocks(func);
+    if reachable.iter().all(|r| *r) {
+        return 0;
+    }
+    assert_eq!(
+        func.entry(),
+        BlockId(0),
+        "entry must be block 0 for compaction"
+    );
+    let mut remap: Vec<Option<BlockId>> = Vec::with_capacity(func.blocks.len());
+    let mut next = 0u32;
+    for r in &reachable {
+        if *r {
+            remap.push(Some(BlockId(next)));
+            next += 1;
+        } else {
+            remap.push(None);
+        }
+    }
+    let removed = func.blocks.len() - next as usize;
+    let old_blocks = std::mem::take(&mut func.blocks);
+    for (i, block) in old_blocks.into_iter().enumerate() {
+        if remap[i].is_some() {
+            func.blocks.push(block);
+        }
+    }
+    for block in &mut func.blocks {
+        if let Some(t) = block.terminator_mut() {
+            t.map_successors(|s| remap[s.index()].expect("edge to unreachable block"));
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{CmpPred, Operand, ProgramBuilder};
+
+    #[test]
+    fn constant_branch_becomes_jump_and_dead_arm_removed() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let t = f.block();
+        let e = f.block();
+        f.br(CmpPred::Lt, 1, 2, t, e);
+        f.switch_to(t);
+        f.ret(&[Operand::Imm(1)]);
+        f.switch_to(e);
+        f.ret(&[Operand::Imm(2)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        let changed = run(&mut p);
+        assert!(changed >= 2, "fold + removal, got {changed}");
+        let func = p.function(p.main());
+        // Fold -> jump, then the taken arm merges into the entry and
+        // the dead arm is removed: a single straight-line block.
+        assert_eq!(func.blocks.len(), 1);
+        assert!(matches!(
+            func.block(func.entry()).terminator().unwrap().op,
+            Op::Ret { .. }
+        ));
+        ccr_ir::verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn jump_chains_are_threaded() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let a = f.block();
+        let b = f.block();
+        let end = f.block();
+        f.jump(a);
+        f.switch_to(a);
+        f.jump(b);
+        f.switch_to(b);
+        f.jump(end);
+        f.switch_to(end);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        run(&mut p);
+        let func = p.function(p.main());
+        // Entry jumps straight to the return block; trampolines gone.
+        assert_eq!(func.blocks.len(), 2);
+        let entry_t = func.block(func.entry()).terminator().unwrap();
+        assert_eq!(entry_t.successors(), vec![BlockId(1)]);
+        assert!(matches!(
+            func.block(BlockId(1)).terminator().unwrap().op,
+            Op::Ret { .. }
+        ));
+    }
+
+    #[test]
+    fn self_loop_jump_is_not_infinitely_threaded() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let spin = f.block();
+        f.jump(spin);
+        f.switch_to(spin);
+        f.jump(spin);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        run(&mut p); // must terminate
+        ccr_ir::verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn reachable_cfg_is_untouched() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let o = pb.object("o", 1);
+        let x = f.load(o, 0);
+        let t = f.block();
+        let e = f.block();
+        f.br(CmpPred::Lt, x, 5, t, e);
+        f.switch_to(t);
+        f.ret(&[]);
+        f.switch_to(e);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        assert_eq!(run(&mut p), 0);
+        assert_eq!(p.function(p.main()).blocks.len(), 3);
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-pass semantic-preservation property tests: each optimizer pass
+//! individually (and the full pipeline) must leave a random program's
+//! observable behaviour unchanged.
+
+use ccr_ir::{BinKind, CmpPred, ObjectKind, Operand, Program, ProgramBuilder, Value};
+use ccr_profile::{EmuConfig, Emulator, NullCrb, NullSink};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Spec {
+    consts: Vec<i64>,
+    ops: Vec<(u8, u8, u8)>,
+    trips: i64,
+    with_call: bool,
+    with_branch: bool,
+    stores: bool,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (
+        prop::collection::vec(-100i64..100, 1..5),
+        prop::collection::vec((0u8..10, 0u8..10, 0u8..10), 1..14),
+        1i64..40,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(consts, ops, trips, with_call, with_branch, stores)| Spec {
+            consts,
+            ops,
+            trips,
+            with_call,
+            with_branch,
+            stores,
+        })
+}
+
+const KINDS: [BinKind; 10] = [
+    BinKind::Add,
+    BinKind::Sub,
+    BinKind::Mul,
+    BinKind::Div,
+    BinKind::Rem,
+    BinKind::And,
+    BinKind::Xor,
+    BinKind::Shl,
+    BinKind::Sar,
+    BinKind::Min,
+];
+
+fn build(spec: &Spec) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mem = pb.object_with(
+        "mem",
+        ObjectKind::Named,
+        8,
+        spec.consts.iter().map(|v| Value::from_int(*v)).collect(),
+    );
+    // A small helper: inlining fodder.
+    let helper = pb.declare("helper", 1, 1);
+    {
+        let mut h = pb.function_body(helper);
+        let x = h.param(0);
+        let a = h.mul(x, 3);
+        let b = h.add(a, 7);
+        h.ret(&[Operand::Reg(b)]);
+        pb.finish_function(h);
+    }
+    let mut f = pb.function("main", 0, 1);
+    let acc = f.movi(0);
+    let i = f.movi(0);
+    let body = f.block();
+    let done = f.block();
+    f.jump(body);
+    f.switch_to(body);
+    let m = f.and(i, 7);
+    let v = f.load(mem, m);
+    // Constants for folding fodder plus the loaded value.
+    let mut window: Vec<ccr_ir::Reg> = vec![v, acc, i];
+    for c in &spec.consts {
+        window.push(f.movi(*c));
+    }
+    let mut last = v;
+    for &(k, a, b) in &spec.ops {
+        let x = window[a as usize % window.len()];
+        let y = window[b as usize % window.len()];
+        last = f.bin(KINDS[k as usize % KINDS.len()], x, y);
+        window.push(last);
+    }
+    if spec.with_call {
+        let r = f.call(helper, &[Operand::Reg(last)], 1);
+        last = r[0];
+    }
+    if spec.with_branch {
+        let t = f.block();
+        let e = f.block();
+        let j = f.block();
+        let out = f.fresh();
+        f.br(CmpPred::Lt, last, 0, t, e);
+        f.switch_to(t);
+        f.bin_into(BinKind::Add, out, last, 1);
+        f.jump(j);
+        f.switch_to(e);
+        f.bin_into(BinKind::Sub, out, last, 1);
+        f.jump(j);
+        f.switch_to(j);
+        last = out;
+    }
+    if spec.stores {
+        let slot = f.and(i, 7);
+        f.store(mem, slot, last);
+    }
+    f.bin_into(BinKind::Add, acc, acc, last);
+    f.inc(i, 1);
+    f.br(CmpPred::Lt, i, spec.trips, body, done);
+    f.switch_to(done);
+    f.ret(&[Operand::Reg(acc)]);
+    let main = pb.finish_function(f);
+    pb.set_main(main);
+    let p = pb.finish();
+    ccr_ir::verify_program(&p).expect("generator produces valid programs");
+    p
+}
+
+fn run(p: &Program) -> Vec<i64> {
+    Emulator::with_config(
+        p,
+        EmuConfig {
+            max_instrs: 1_000_000,
+            max_depth: 32,
+        },
+    )
+    .run(&mut NullCrb, &mut NullSink)
+    .unwrap()
+    .returned
+    .iter()
+    .map(|v| v.as_int())
+    .collect()
+}
+
+fn check_pass(s: &Spec, pass: impl Fn(&mut Program) -> usize) -> Result<(), TestCaseError> {
+    let p = build(s);
+    let expect = run(&p);
+    let mut q = p.clone();
+    pass(&mut q);
+    prop_assert!(ccr_ir::verify_program(&q).is_ok(), "pass broke verification");
+    prop_assert_eq!(run(&q), expect);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn constprop_preserves_semantics(s in spec()) {
+        check_pass(&s, ccr_opt::constprop::run)?;
+    }
+
+    #[test]
+    fn cse_preserves_semantics(s in spec()) {
+        check_pass(&s, ccr_opt::cse::run)?;
+    }
+
+    #[test]
+    fn dce_preserves_semantics(s in spec()) {
+        check_pass(&s, ccr_opt::dce::run)?;
+    }
+
+    #[test]
+    fn simplify_preserves_semantics(s in spec()) {
+        check_pass(&s, ccr_opt::simplify::run)?;
+    }
+
+    #[test]
+    fn unroll_preserves_semantics(s in spec()) {
+        check_pass(&s, |p| {
+            ccr_opt::unroll::run(p, ccr_opt::unroll::UnrollConfig::default())
+        })?;
+    }
+
+    #[test]
+    fn inline_preserves_semantics(s in spec()) {
+        check_pass(&s, |p| {
+            ccr_opt::inline::run(p, ccr_opt::inline::InlineConfig::default())
+        })?;
+    }
+
+    #[test]
+    fn full_pipeline_preserves_semantics(s in spec()) {
+        check_pass(&s, |p| {
+            ccr_opt::optimize(p, ccr_opt::OptConfig::default()).total()
+        })?;
+    }
+}

@@ -1,0 +1,106 @@
+//! The functional interface between the emulator and a Computation
+//! Reuse Buffer implementation.
+//!
+//! The emulator implements the *semantics* of the CCR ISA extensions
+//! (what a reuse hit does to architectural state, how memoization mode
+//! builds a computation instance); the *policy* (capacity, instance
+//! counts, LRU replacement, invalidation bookkeeping) lives behind the
+//! [`CrbModel`] trait. The real buffer is `ccr_sim::crb::ReuseBuffer`;
+//! [`NullCrb`] (always miss, never record) is used for profiling runs
+//! and as the "CCR disabled" baseline.
+
+use ccr_ir::{Reg, RegionId, Value};
+
+/// A computation instance assembled by memoization mode, ready to be
+/// recorded into the buffer.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RecordedInstance {
+    /// Input bank: registers read before being defined inside the
+    /// region, with the values they held (at most 8 in the paper's
+    /// configuration; the emulator aborts memoization beyond the
+    /// buffer's declared capacity).
+    pub inputs: Vec<(Reg, Value)>,
+    /// Output bank: final values of the live-out-marked destinations.
+    pub outputs: Vec<(Reg, Value)>,
+    /// True if any load executed during memoization (the instance's
+    /// *memory valid* flag must then be honored by invalidation).
+    pub accesses_memory: bool,
+    /// Dynamic instructions executed by the region body while
+    /// recording — the execution a future hit will skip.
+    pub body_instrs: u64,
+}
+
+/// Result of a successful CRB lookup.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReuseLookup {
+    /// The matched instance's output bank, to be committed to the
+    /// architectural registers.
+    pub outputs: Vec<(Reg, Value)>,
+    /// The matched instance's input bank registers (reported to the
+    /// timing model as the validation read set).
+    pub inputs: Vec<Reg>,
+    /// Dynamic instruction count the hit skips.
+    pub skipped_instrs: u64,
+}
+
+/// A Computation Reuse Buffer, as seen by the emulator.
+pub trait CrbModel {
+    /// Looks up a valid computation instance for `region` whose input
+    /// bank matches the current register values. `read_reg` reads the
+    /// current architectural value of a register.
+    fn lookup(&mut self, region: RegionId, read_reg: &mut dyn FnMut(Reg) -> Value)
+        -> Option<ReuseLookup>;
+
+    /// Records a freshly built instance for `region`.
+    fn record(&mut self, region: RegionId, instance: RecordedInstance);
+
+    /// Invalidates the memory-dependent instances of `region`
+    /// (executed for the paper's *computation invalidate* instruction).
+    fn invalidate(&mut self, region: RegionId);
+
+    /// The input-bank capacity of a computation instance. Memoization
+    /// aborts if a region turns out to need more input registers.
+    fn input_capacity(&self) -> usize {
+        8
+    }
+
+    /// The output-bank capacity of a computation instance.
+    fn output_capacity(&self) -> usize {
+        8
+    }
+}
+
+/// A buffer that never hits and never records: runs the program purely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullCrb;
+
+impl CrbModel for NullCrb {
+    fn lookup(
+        &mut self,
+        _region: RegionId,
+        _read_reg: &mut dyn FnMut(Reg) -> Value,
+    ) -> Option<ReuseLookup> {
+        None
+    }
+
+    fn record(&mut self, _region: RegionId, _instance: RecordedInstance) {}
+
+    fn invalidate(&mut self, _region: RegionId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_crb_never_hits() {
+        let mut crb = NullCrb;
+        let mut read = |_r: Reg| Value::from_int(1);
+        assert!(crb.lookup(RegionId(0), &mut read).is_none());
+        crb.record(RegionId(0), RecordedInstance::default());
+        crb.invalidate(RegionId(0));
+        assert!(crb.lookup(RegionId(0), &mut read).is_none());
+        assert_eq!(crb.input_capacity(), 8);
+        assert_eq!(crb.output_capacity(), 8);
+    }
+}

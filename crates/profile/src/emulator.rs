@@ -1,0 +1,952 @@
+//! Functional emulator for `ccr-ir` programs.
+//!
+//! Implements the architectural semantics of the base ISA *and* the
+//! CCR extensions of Section 3.2 of the paper:
+//!
+//! * the `reuse` instruction consults the [`CrbModel`]; on a hit it
+//!   commits the matched instance's output bank to the register file
+//!   and continues after the region, on a miss it branches to the
+//!   region body and enters **memoization mode**;
+//! * in memoization mode, registers *used before being defined* are
+//!   recorded into the input bank, destinations of instructions with
+//!   the live-out extension are recorded into the output bank, and
+//!   executing a load sets the memory-valid flag;
+//! * a control instruction carrying the region-endpoint extension
+//!   records the instance; one carrying the region-exit extension
+//!   aborts memoization ("no reuse along paths from inception to exit
+//!   point");
+//! * the `invalidate` instruction forwards to the buffer.
+//!
+//! Memoization mode is *depth-aware*: it is anchored to the call
+//! frame that executed the `reuse` instruction, so a region may
+//! contain whole function calls (the function-level reuse of the
+//! paper's future-work section). Reads in deeper frames never touch
+//! the input bank (callee registers are fresh), while loads anywhere
+//! set the memory-valid flag and stores anywhere abort the recording.
+//!
+//! The emulator is defensive where the compiler is trusted in the
+//! paper: stores, bank overflow, returning past the anchor frame, or
+//! a nested `reuse` during memoization abort the recording rather
+//! than corrupt it.
+
+use std::collections::HashSet;
+
+use ccr_ir::semantics::{eval_binary, eval_unary};
+use ccr_ir::{
+    BlockId, FuncId, Instr, Op, Operand, Program, Reg, RegionId, Value,
+};
+
+use crate::crb::{CrbModel, RecordedInstance};
+use crate::trace::{ExecEvent, MemAccess, ReuseOutcome, TraceSink};
+
+/// Emulator limits.
+#[derive(Clone, Copy, Debug)]
+pub struct EmuConfig {
+    /// Maximum dynamic instructions before aborting with
+    /// [`EmuError::StepLimit`].
+    pub max_instrs: u64,
+    /// Maximum call depth before aborting with
+    /// [`EmuError::StackOverflow`].
+    pub max_depth: usize,
+}
+
+impl Default for EmuConfig {
+    fn default() -> Self {
+        EmuConfig {
+            max_instrs: 200_000_000,
+            max_depth: 4096,
+        }
+    }
+}
+
+/// Emulation failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EmuError {
+    /// The dynamic instruction limit was exceeded.
+    StepLimit,
+    /// The call-depth limit was exceeded.
+    StackOverflow,
+}
+
+impl std::fmt::Display for EmuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmuError::StepLimit => write!(f, "dynamic instruction limit exceeded"),
+            EmuError::StackOverflow => write!(f, "call depth limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// Result of a completed run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunOutcome {
+    /// Values returned by the entry function.
+    pub returned: Vec<Value>,
+    /// Dynamic instructions actually executed.
+    pub dyn_instrs: u64,
+    /// Dynamic instructions skipped by reuse hits (execution the
+    /// baseline would have performed).
+    pub skipped_instrs: u64,
+    /// Number of reuse-instruction hits.
+    pub reuse_hits: u64,
+    /// Number of reuse-instruction misses.
+    pub reuse_misses: u64,
+}
+
+struct MemoState {
+    region: RegionId,
+    inputs: Vec<(Reg, Value)>,
+    /// Live-out registers whose defining (marked) instructions
+    /// executed; their *values* are snapshotted at the region
+    /// endpoint, after every write — including return-value writes
+    /// that land when a wrapped call's callee returns.
+    outputs: Vec<Reg>,
+    written: HashSet<Reg>,
+    accesses_memory: bool,
+    body_instrs: u64,
+}
+
+impl MemoState {
+    fn new(region: RegionId) -> MemoState {
+        MemoState {
+            region,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            written: HashSet::new(),
+            accesses_memory: false,
+            body_instrs: 0,
+        }
+    }
+
+    fn into_instance(self, read_reg: impl Fn(Reg) -> Value) -> RecordedInstance {
+        RecordedInstance {
+            inputs: self.inputs,
+            outputs: self.outputs.iter().map(|r| (*r, read_reg(*r))).collect(),
+            accesses_memory: self.accesses_memory,
+            body_instrs: self.body_instrs,
+        }
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    regs: Vec<Value>,
+    block: BlockId,
+    pos: usize,
+    ret_regs: Vec<Reg>,
+}
+
+/// The emulator. Holds a borrowed program; all run state is local to
+/// [`Emulator::run`], so one emulator can run many times.
+///
+/// ```
+/// use ccr_ir::{Operand, ProgramBuilder};
+/// use ccr_profile::{Emulator, NullCrb, NullSink};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut pb = ProgramBuilder::new();
+/// let mut f = pb.function("main", 0, 1);
+/// let x = f.movi(6);
+/// let y = f.mul(x, 7);
+/// f.ret(&[Operand::Reg(y)]);
+/// let id = pb.finish_function(f);
+/// pb.set_main(id);
+/// let program = pb.finish();
+///
+/// let out = Emulator::new(&program).run(&mut NullCrb, &mut NullSink)?;
+/// assert_eq!(out.returned[0].as_int(), 42);
+/// assert_eq!(out.dyn_instrs, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Emulator<'p> {
+    program: &'p Program,
+    config: EmuConfig,
+}
+
+impl<'p> Emulator<'p> {
+    /// Creates an emulator with default limits.
+    pub fn new(program: &'p Program) -> Emulator<'p> {
+        Emulator::with_config(program, EmuConfig::default())
+    }
+
+    /// Creates an emulator with explicit limits.
+    pub fn with_config(program: &'p Program, config: EmuConfig) -> Emulator<'p> {
+        Emulator { program, config }
+    }
+
+    /// The program being emulated.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Runs the program from its entry function to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError`] if a configured limit is exceeded.
+    pub fn run(
+        &self,
+        crb: &mut dyn CrbModel,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunOutcome, EmuError> {
+        let program = self.program;
+        let mut memory: Vec<Vec<Value>> = program
+            .objects()
+            .iter()
+            .map(|o| o.initial_contents())
+            .collect();
+        let main = program.function(program.main());
+        let mut stack = vec![Frame {
+            func: main.id(),
+            regs: vec![Value::ZERO; main.reg_limit().max(1) as usize],
+            block: main.entry(),
+            pos: 0,
+            ret_regs: Vec::new(),
+        }];
+        sink.on_block_enter(main.id(), main.entry());
+
+        let mut dyn_instrs = 0u64;
+        // Active memoization, anchored to the frame depth that
+        // executed the reuse instruction.
+        let mut memo: Option<(usize, MemoState)> = None;
+        let mut skipped_instrs = 0u64;
+        let mut reuse_hits = 0u64;
+        let mut reuse_misses = 0u64;
+        let mut inputs_buf: Vec<Value> = Vec::with_capacity(4);
+
+        loop {
+            if dyn_instrs >= self.config.max_instrs {
+                return Err(EmuError::StepLimit);
+            }
+            let depth = stack.len() - 1;
+            let frame = stack.last_mut().expect("non-empty stack");
+            let func = program.function(frame.func);
+            let block = func.block(frame.block);
+            let instr: &Instr = &block.instrs[frame.pos];
+            dyn_instrs += 1;
+
+            // Gather input values.
+            inputs_buf.clear();
+            for op in instr.src_operands() {
+                inputs_buf.push(read_operand(&frame.regs, op));
+            }
+
+            // Memoization: record inputs (used-before-defined in the
+            // anchor frame) before the instruction executes. Deeper
+            // frames have fresh registers and contribute no inputs,
+            // only execution (counted for the skip total) and memory
+            // accesses.
+            let mut abort_memo = false;
+            if let Some((mdepth, m)) = memo.as_mut() {
+                m.body_instrs += 1;
+                if depth == *mdepth {
+                    for r in instr.src_regs() {
+                        if m.written.contains(&r) || m.inputs.iter().any(|(x, _)| *x == r) {
+                            continue;
+                        }
+                        if m.inputs.len() >= crb.input_capacity() {
+                            abort_memo = true;
+                            break;
+                        }
+                        m.inputs.push((r, frame.regs[r.index()]));
+                    }
+                }
+                if instr.is_store() {
+                    abort_memo = true;
+                }
+            }
+            if abort_memo {
+                memo = None;
+            }
+
+            let mut result: Option<Value> = None;
+            let mut mem_access: Option<MemAccess> = None;
+            let mut taken: Option<bool> = None;
+            let mut reuse_outcome: Option<ReuseOutcome> = None;
+
+            // Control transfer decided during execution.
+            enum Ctl {
+                Next,
+                Goto(BlockId),
+                Call {
+                    callee: FuncId,
+                    args: Vec<Value>,
+                    rets: Vec<Reg>,
+                },
+                Ret(Vec<Value>),
+            }
+            let mut ctl = Ctl::Next;
+
+            match &instr.op {
+                Op::Binary { kind, dst, .. } => {
+                    let v = eval_binary(*kind, inputs_buf[0], inputs_buf[1]);
+                    frame.regs[dst.index()] = v;
+                    result = Some(v);
+                }
+                Op::Unary { kind, dst, .. } => {
+                    let v = eval_unary(*kind, inputs_buf[0]);
+                    frame.regs[dst.index()] = v;
+                    result = Some(v);
+                }
+                Op::Cmp { pred, dst, .. } => {
+                    let v = Value::from_int(
+                        pred.eval(inputs_buf[0].as_int(), inputs_buf[1].as_int()) as i64,
+                    );
+                    frame.regs[dst.index()] = v;
+                    result = Some(v);
+                }
+                Op::Load {
+                    dst,
+                    object,
+                    offset,
+                    ..
+                } => {
+                    let data = &memory[object.index()];
+                    let idx = mask_index(inputs_buf[0].as_int() + offset, data.len());
+                    let v = data[idx as usize];
+                    frame.regs[dst.index()] = v;
+                    result = Some(v);
+                    mem_access = Some(MemAccess {
+                        object: *object,
+                        index: idx,
+                        value: v,
+                        is_store: false,
+                    });
+                    if let Some((_, m)) = memo.as_mut() {
+                        m.accesses_memory = true;
+                    }
+                }
+                Op::Store { object, offset, .. } => {
+                    let data = &mut memory[object.index()];
+                    let idx = mask_index(inputs_buf[0].as_int() + offset, data.len());
+                    let v = inputs_buf[1];
+                    data[idx as usize] = v;
+                    mem_access = Some(MemAccess {
+                        object: *object,
+                        index: idx,
+                        value: v,
+                        is_store: true,
+                    });
+                }
+                Op::Branch {
+                    pred,
+                    taken: t_blk,
+                    not_taken,
+                    ..
+                } => {
+                    let is_taken = pred.eval(inputs_buf[0].as_int(), inputs_buf[1].as_int());
+                    taken = Some(is_taken);
+                    ctl = Ctl::Goto(if is_taken { *t_blk } else { *not_taken });
+                }
+                Op::Jump { target } => {
+                    ctl = Ctl::Goto(*target);
+                }
+                Op::Call { callee, rets, .. } => {
+                    ctl = Ctl::Call {
+                        callee: *callee,
+                        args: inputs_buf.clone(),
+                        rets: rets.clone(),
+                    };
+                }
+                Op::Ret { .. } => {
+                    ctl = Ctl::Ret(inputs_buf.clone());
+                }
+                Op::Reuse { region, body, cont } => {
+                    // A reuse inside an active memoization aborts the
+                    // outer recording (regions do not nest).
+                    memo = None;
+                    let regs = &mut frame.regs;
+                    let lookup = crb.lookup(*region, &mut |r| regs[r.index()]);
+                    match lookup {
+                        Some(hit) => {
+                            reuse_hits += 1;
+                            skipped_instrs += hit.skipped_instrs;
+                            for (r, v) in &hit.outputs {
+                                frame.regs[r.index()] = *v;
+                            }
+                            reuse_outcome = Some(ReuseOutcome {
+                                region: *region,
+                                hit: true,
+                                inputs: hit.inputs,
+                                outputs: hit.outputs.iter().map(|(r, _)| *r).collect(),
+                                skipped_instrs: hit.skipped_instrs,
+                            });
+                            ctl = Ctl::Goto(*cont);
+                        }
+                        None => {
+                            reuse_misses += 1;
+                            memo = Some((depth, MemoState::new(*region)));
+                            reuse_outcome = Some(ReuseOutcome {
+                                region: *region,
+                                hit: false,
+                                inputs: Vec::new(),
+                                outputs: Vec::new(),
+                                skipped_instrs: 0,
+                            });
+                            ctl = Ctl::Goto(*body);
+                        }
+                    }
+                }
+                Op::Invalidate { region } => {
+                    crb.invalidate(*region);
+                }
+                Op::Nop => {}
+            }
+
+            // Memoization: record live-outs and handle region
+            // endpoints after the instruction has executed — anchor
+            // frame only.
+            let mut overflow = false;
+            if let Some((mdepth, m)) = memo.as_mut() {
+                if depth == *mdepth
+                    && instr.ext.contains(ccr_ir::InstrExt::LIVE_OUT) {
+                        for dst in instr.dsts() {
+                            if m.outputs.contains(&dst) {
+                                continue;
+                            }
+                            if m.outputs.len() >= crb.output_capacity() {
+                                overflow = true;
+                            } else {
+                                m.outputs.push(dst);
+                            }
+                        }
+                    }
+            }
+            if overflow {
+                memo = None;
+            }
+            if let Some((mdepth, m)) = memo.as_mut() {
+                if depth == *mdepth {
+                    for dst in instr.dsts() {
+                        m.written.insert(dst);
+                    }
+                    if instr.ext.contains(ccr_ir::InstrExt::REGION_END) {
+                        let (_, done) = memo.take().expect("memo present");
+                        // Output values are read at the endpoint, when
+                        // every write (including a wrapped callee's
+                        // return values) has landed.
+                        let regs = &frame.regs;
+                        crb.record(done.region, done.into_instance(|r| regs[r.index()]));
+                    } else if instr.ext.contains(ccr_ir::InstrExt::REGION_EXIT) {
+                        memo = None;
+                    }
+                }
+            }
+
+            // Report the event.
+            let event = ExecEvent {
+                func: frame.func,
+                block: frame.block,
+                instr,
+                inputs: &inputs_buf,
+                result,
+                mem: mem_access,
+                taken,
+                reuse: reuse_outcome.as_ref(),
+                depth,
+            };
+            sink.on_exec(&event);
+
+            // Perform the control transfer.
+            match ctl {
+                Ctl::Next => {
+                    frame.pos += 1;
+                }
+                Ctl::Goto(target) => {
+                    frame.block = target;
+                    frame.pos = 0;
+                    let fid = frame.func;
+                    sink.on_block_enter(fid, target);
+                }
+                Ctl::Call { callee, args, rets } => {
+                    frame.pos += 1; // resume after the call
+                    if stack.len() >= self.config.max_depth {
+                        return Err(EmuError::StackOverflow);
+                    }
+                    let caller_id = stack.last().expect("frame").func;
+                    let target = program.function(callee);
+                    let mut regs = vec![Value::ZERO; target.reg_limit().max(1) as usize];
+                    for (i, v) in args.iter().enumerate() {
+                        regs[i] = *v;
+                    }
+                    stack.push(Frame {
+                        func: callee,
+                        regs,
+                        block: target.entry(),
+                        pos: 0,
+                        ret_regs: rets,
+                    });
+                    sink.on_call(caller_id, callee);
+                    sink.on_block_enter(callee, target.entry());
+                }
+                Ctl::Ret(values) => {
+                    // Returning out of (or past) the anchor frame
+                    // makes the recording meaningless.
+                    if memo.as_ref().is_some_and(|(mdepth, _)| depth <= *mdepth) {
+                        memo = None;
+                    }
+                    let done = stack.pop().expect("frame");
+                    sink.on_ret(done.func);
+                    match stack.last_mut() {
+                        None => {
+                            return Ok(RunOutcome {
+                                returned: values,
+                                dyn_instrs,
+                                skipped_instrs,
+                                reuse_hits,
+                                reuse_misses,
+                            });
+                        }
+                        Some(caller) => {
+                            for (r, v) in done.ret_regs.iter().zip(values.iter()) {
+                                caller.regs[r.index()] = *v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn read_operand(regs: &[Value], op: Operand) -> Value {
+    match op {
+        Operand::Reg(r) => regs[r.index()],
+        Operand::Imm(v) => Value::from_int(v),
+    }
+}
+
+/// Masks a raw element index into the object's bounds. Negative and
+/// out-of-range indices wrap (the emulator is total: no trap).
+fn mask_index(raw: i64, size: usize) -> u64 {
+    debug_assert!(size > 0, "zero-sized object");
+    raw.rem_euclid(size as i64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crb::{NullCrb, ReuseLookup};
+    use crate::trace::NullSink;
+    use ccr_ir::{BinKind, CmpPred, InstrExt, ProgramBuilder, UnKind};
+
+    fn run_main(p: &Program) -> RunOutcome {
+        Emulator::new(p).run(&mut NullCrb, &mut NullSink).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let a = f.movi(7);
+        let b = f.mul(a, 6);
+        let c = f.sub(b, 2);
+        f.ret(&[Operand::Reg(c)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let out = run_main(&p);
+        assert_eq!(out.returned, vec![Value::from_int(40)]);
+        assert_eq!(out.dyn_instrs, 4);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 2);
+        let d = f.div(5, 0);
+        let r = f.rem(5, 0);
+        f.ret(&[Operand::Reg(d), Operand::Reg(r)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let out = run_main(&pb.finish());
+        assert_eq!(out.returned, vec![Value::ZERO, Value::ZERO]);
+    }
+
+    #[test]
+    fn loop_sums_table() {
+        let mut pb = ProgramBuilder::new();
+        let t = pb.table("t", vec![3, 1, 4, 1, 5]);
+        let mut f = pb.function("main", 0, 1);
+        let sum = f.movi(0);
+        let i = f.movi(0);
+        let body = f.block();
+        let done = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        let v = f.load(t, i);
+        f.bin_into(BinKind::Add, sum, sum, v);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 5, body, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(sum)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let out = run_main(&pb.finish());
+        assert_eq!(out.returned, vec![Value::from_int(14)]);
+    }
+
+    #[test]
+    fn store_then_load_roundtrip() {
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 4);
+        let mut f = pb.function("main", 0, 1);
+        f.store(o, 2, 99);
+        let v = f.load(o, 2);
+        f.ret(&[Operand::Reg(v)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let out = run_main(&pb.finish());
+        assert_eq!(out.returned, vec![Value::from_int(99)]);
+    }
+
+    #[test]
+    fn negative_index_wraps() {
+        let mut pb = ProgramBuilder::new();
+        let o = pb.table("o", vec![10, 20, 30, 40]);
+        let mut f = pb.function("main", 0, 1);
+        let v = f.load(o, -1); // wraps to index 3
+        f.ret(&[Operand::Reg(v)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let out = run_main(&pb.finish());
+        assert_eq!(out.returned, vec![Value::from_int(40)]);
+    }
+
+    #[test]
+    fn calls_pass_args_and_return_values() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.declare("addmul", 2, 2);
+        let mut gb = pb.function_body(g);
+        let (x, y) = (gb.param(0), gb.param(1));
+        let s = gb.add(x, y);
+        let m = gb.mul(x, y);
+        gb.ret(&[Operand::Reg(s), Operand::Reg(m)]);
+        pb.finish_function(gb);
+        let mut f = pb.function("main", 0, 1);
+        let rs = f.call(g, &[Operand::Imm(3), Operand::Imm(4)], 2);
+        let total = f.add(rs[0], rs[1]);
+        f.ret(&[Operand::Reg(total)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let out = run_main(&pb.finish());
+        assert_eq!(out.returned, vec![Value::from_int(19)]);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let spin = f.block();
+        f.jump(spin);
+        f.switch_to(spin);
+        f.jump(spin);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let emu = Emulator::with_config(
+            &p,
+            EmuConfig {
+                max_instrs: 1000,
+                max_depth: 16,
+            },
+        );
+        assert_eq!(
+            emu.run(&mut NullCrb, &mut NullSink).unwrap_err(),
+            EmuError::StepLimit
+        );
+    }
+
+    #[test]
+    fn recursion_limit_stops_runaway() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.declare("g", 0, 0);
+        let mut gb = pb.function_body(g);
+        let _ = gb.call(g, &[], 0);
+        gb.ret(&[]);
+        pb.finish_function(gb);
+        let mut f = pb.function("main", 0, 0);
+        let _ = f.call(g, &[], 0);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let emu = Emulator::with_config(
+            &p,
+            EmuConfig {
+                max_instrs: 1_000_000,
+                max_depth: 64,
+            },
+        );
+        assert_eq!(
+            emu.run(&mut NullCrb, &mut NullSink).unwrap_err(),
+            EmuError::StackOverflow
+        );
+    }
+
+    #[test]
+    fn float_ops_roundtrip() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let two = f.movi(2);
+        let fx = f.un(UnKind::IntToFloat, two);
+        let half = f.bin(BinKind::FDiv, fx, Operand::Imm(Value::from_f64(4.0).0));
+        let i = f.un(UnKind::FloatToInt, half); // 0.5 -> 0
+        f.ret(&[Operand::Reg(i)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let out = run_main(&pb.finish());
+        assert_eq!(out.returned, vec![Value::ZERO]);
+    }
+
+    /// A scripted CRB: always misses first, records, then replays
+    /// recorded instances exactly (single entry, unlimited instances).
+    #[derive(Default)]
+    struct ScriptCrb {
+        instances: Vec<(RegionId, RecordedInstance)>,
+        invalidated: Vec<RegionId>,
+        records: usize,
+    }
+
+    impl CrbModel for ScriptCrb {
+        fn lookup(
+            &mut self,
+            region: RegionId,
+            read_reg: &mut dyn FnMut(Reg) -> Value,
+        ) -> Option<ReuseLookup> {
+            for (r, inst) in &self.instances {
+                if *r != region {
+                    continue;
+                }
+                if inst.accesses_memory && self.invalidated.contains(&region) {
+                    continue;
+                }
+                if inst.inputs.iter().all(|(reg, v)| read_reg(*reg) == *v) {
+                    return Some(ReuseLookup {
+                        outputs: inst.outputs.clone(),
+                        inputs: inst.inputs.iter().map(|(r, _)| *r).collect(),
+                        skipped_instrs: inst.body_instrs,
+                    });
+                }
+            }
+            None
+        }
+
+        fn record(&mut self, region: RegionId, instance: RecordedInstance) {
+            self.records += 1;
+            self.instances.push((region, instance));
+        }
+
+        fn invalidate(&mut self, region: RegionId) {
+            self.invalidated.push(region);
+        }
+    }
+
+    /// Builds: main calls region-annotated `square-ish` computation
+    /// twice with the same input; the second call must reuse.
+    ///
+    /// Layout (single function):
+    ///   b0: x = 17; jump b1
+    ///   b1: reuse rcr0 body=b2 cont=b3
+    ///   b2: y = x*x (live-out); t = y+1 (live-out); jump b3 (region_end)
+    ///   b3: ... second round or return
+    fn reuse_program(runs: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 2);
+        let x = f.movi(17);
+        let count = f.movi(0);
+        let acc = f.movi(0);
+        let y = f.fresh();
+        let t = f.fresh();
+        let reuse_blk = f.block();
+        let body = f.block();
+        let cont = f.block();
+        let done = f.block();
+        f.jump(reuse_blk);
+        f.switch_to(reuse_blk);
+        // The reuse terminator is patched in below.
+        f.jump(body);
+        f.switch_to(body);
+        f.bin_into(BinKind::Mul, y, x, x);
+        f.bin_into(BinKind::Add, t, y, 1);
+        f.jump(cont);
+        f.switch_to(cont);
+        f.bin_into(BinKind::Add, acc, acc, t);
+        f.inc(count, 1);
+        f.br(CmpPred::Lt, count, runs, reuse_blk, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(acc), Operand::Reg(y)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        let region = p.fresh_region_id();
+        // Patch: reuse terminator, live-out marks, region end.
+        let func = p.function_mut(id);
+        let reuse_blk = BlockId(1);
+        let body = BlockId(2);
+        let cont = BlockId(3);
+        func.block_mut(reuse_blk).instrs[0].op = Op::Reuse {
+            region,
+            body,
+            cont,
+        };
+        func.block_mut(body).instrs[0].ext = InstrExt::LIVE_OUT;
+        func.block_mut(body).instrs[1].ext = InstrExt::LIVE_OUT;
+        func.block_mut(body).instrs[2].ext = InstrExt::REGION_END;
+        ccr_ir::verify_program(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn reuse_miss_records_then_hit_replays() {
+        let p = reuse_program(3);
+        let mut crb = ScriptCrb::default();
+        let out = Emulator::new(&p).run(&mut crb, &mut NullSink).unwrap();
+        // First iteration misses and records; the two others hit.
+        assert_eq!(out.reuse_misses, 1);
+        assert_eq!(out.reuse_hits, 2);
+        assert_eq!(crb.records, 1);
+        // acc = 3 * (17*17+1) = 870; y live-out = 289 even on hits.
+        assert_eq!(out.returned[0], Value::from_int(870));
+        assert_eq!(out.returned[1], Value::from_int(289));
+        // Each hit skips the 3-instruction body.
+        assert_eq!(out.skipped_instrs, 6);
+        // Recorded instance: input bank = {x}, outputs = {y, t}.
+        let inst = &crb.instances[0].1;
+        assert_eq!(inst.inputs.len(), 1);
+        assert_eq!(inst.inputs[0].1, Value::from_int(17));
+        assert_eq!(inst.outputs.len(), 2);
+        assert!(!inst.accesses_memory);
+        assert_eq!(inst.body_instrs, 3);
+    }
+
+    #[test]
+    fn reuse_with_null_crb_equals_plain_execution() {
+        let p = reuse_program(3);
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert_eq!(out.returned[0], Value::from_int(870));
+        assert_eq!(out.reuse_hits, 0);
+        assert_eq!(out.reuse_misses, 3);
+        assert_eq!(out.skipped_instrs, 0);
+    }
+
+    #[test]
+    fn memoization_aborts_on_store() {
+        // Region body contains a store: the emulator must refuse to
+        // record an instance.
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 2);
+        let mut f = pb.function("main", 0, 0);
+        let body = f.block();
+        let cont = f.block();
+        f.jump(body); // patched to reuse
+        f.switch_to(body);
+        f.store(o, 0, 1);
+        f.jump(cont);
+        f.switch_to(cont);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        let region = p.fresh_region_id();
+        let func = p.function_mut(id);
+        func.block_mut(BlockId(0)).instrs[0].op = Op::Reuse {
+            region,
+            body: BlockId(1),
+            cont: BlockId(2),
+        };
+        func.block_mut(BlockId(1)).instrs[1].ext = InstrExt::REGION_END;
+        let mut crb = ScriptCrb::default();
+        Emulator::new(&p).run(&mut crb, &mut NullSink).unwrap();
+        assert_eq!(crb.records, 0, "store inside region must abort recording");
+    }
+
+    #[test]
+    fn region_exit_aborts_recording() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 0);
+        let body = f.block();
+        let exit_path = f.block();
+        let cont = f.block();
+        f.jump(body); // patched to reuse
+        f.switch_to(body);
+        f.br(CmpPred::Eq, 0, 0, exit_path, cont); // always exits
+        f.switch_to(exit_path);
+        f.ret(&[]);
+        f.switch_to(cont);
+        f.ret(&[]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        let region = p.fresh_region_id();
+        let func = p.function_mut(id);
+        func.block_mut(BlockId(0)).instrs[0].op = Op::Reuse {
+            region,
+            body: BlockId(1),
+            cont: BlockId(3),
+        };
+        func.block_mut(BlockId(1)).instrs[0].ext = InstrExt::REGION_EXIT;
+        let mut crb = ScriptCrb::default();
+        Emulator::new(&p).run(&mut crb, &mut NullSink).unwrap();
+        assert_eq!(crb.records, 0);
+    }
+
+    #[test]
+    fn invalidate_blocks_memory_dependent_reuse() {
+        // Region loads from a table; after recording, an invalidate
+        // plus a store changes the table; reuse must miss and
+        // re-execute, observing the new value.
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 1);
+        let mut f = pb.function("main", 0, 1);
+        let acc = f.movi(0);
+        let count = f.movi(0);
+        let v = f.fresh();
+        let reuse_blk = f.block();
+        let body = f.block();
+        let cont = f.block();
+        let done = f.block();
+        f.store(o, 0, 5);
+        f.jump(reuse_blk);
+        f.switch_to(reuse_blk);
+        f.jump(body); // patched
+        f.switch_to(body);
+        f.load_into(v, o, 0, 0);
+        f.jump(cont);
+        f.switch_to(cont);
+        f.bin_into(BinKind::Add, acc, acc, v);
+        // After the first round, rewrite the table and invalidate.
+        f.store(o, 0, 11);
+        f.nop(); // patched to invalidate
+        f.inc(count, 1);
+        f.br(CmpPred::Lt, count, 2, reuse_blk, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(acc)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        let region = p.fresh_region_id();
+        let func = p.function_mut(id);
+        func.block_mut(BlockId(1)).instrs[0].op = Op::Reuse {
+            region,
+            body: BlockId(2),
+            cont: BlockId(3),
+        };
+        func.block_mut(BlockId(2)).instrs[0].ext = InstrExt::LIVE_OUT;
+        func.block_mut(BlockId(2)).instrs[1].ext = InstrExt::REGION_END;
+        // Replace the nop with invalidate.
+        let nop_pos = 2;
+        func.block_mut(BlockId(3)).instrs[nop_pos].op = Op::Invalidate { region };
+        let mut crb = ScriptCrb::default();
+        let out = Emulator::new(&p).run(&mut crb, &mut NullSink).unwrap();
+        // acc = 5 (first round) + 11 (second round, reuse invalidated).
+        assert_eq!(out.returned[0], Value::from_int(16));
+        assert_eq!(out.reuse_hits, 0);
+        assert_eq!(out.reuse_misses, 2);
+    }
+
+}

@@ -1,0 +1,726 @@
+//! The Reuse Profiling System (RPS).
+//!
+//! Section 4.2 of the paper: *"The Reuse Profiling System (RPS) was
+//! developed as a result of this work and is designed to report
+//! accurate reuse information for three components: instruction-level
+//! repetition, reusability for memory operations, and cyclic
+//! computation recurrence."*
+//!
+//! * **Instruction-level**: for every instruction, the execution
+//!   count, the concentration of its input-operand value vectors in
+//!   the top *k* distinct vectors (the paper's `Invariance_R[k]`,
+//!   k = 5), and the recurrence of vectors within the ten most recent
+//!   executions ("profiling support allows the ten most recent
+//!   instruction executions to be maintained").
+//! * **Memory**: for every load, the fraction of executions for which
+//!   the referenced location had not been stored to since the load's
+//!   previous access of that location.
+//! * **Cyclic**: for every candidate loop, the invocation count, the
+//!   fraction of invocations with more than one iteration, and the
+//!   fraction whose live-in value vector (with unchanged loop memory)
+//!   matches one of the eight most recent recorded invocations.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use ccr_analysis::{CallGraph, LoopForest, SideEffects};
+use ccr_ir::{BlockId, FuncId, InstrId, MemObjectId, Op, Operand, Program, Reg, Value};
+
+use crate::trace::{ExecEvent, TraceSink};
+
+/// Identifies a loop by its function and header block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LoopKey {
+    /// Function containing the loop.
+    pub func: FuncId,
+    /// The loop header.
+    pub header: BlockId,
+}
+
+/// Static facts about a candidate loop, needed for cyclic profiling.
+#[derive(Clone, Debug)]
+pub struct LoopMeta {
+    /// The loop's identity.
+    pub key: LoopKey,
+    /// Blocks in the loop body (header included).
+    pub body: BTreeSet<BlockId>,
+    /// Objects loaded anywhere in the body.
+    pub loaded_objects: Vec<MemObjectId>,
+    /// True if the body contains a store or a call — such loops are
+    /// profiled for invocation statistics but can never be reused.
+    pub impure: bool,
+}
+
+/// Number of distinct value vectors whose weight defines invariance
+/// (the paper's k; "the number of invariant values to five").
+pub const TOP_K: usize = 5;
+/// Recent-execution window maintained per instruction.
+pub const RECENT_WINDOW: usize = 10;
+/// Invocation history depth for cyclic recurrence (matches the eight
+/// records of the Figure 4 study).
+pub const CYCLIC_HISTORY: usize = 8;
+/// Cap on distinct value vectors tracked per instruction.
+const MAX_TRACKED_VECTORS: usize = 64;
+/// Cap on distinct locations tracked per load.
+const MAX_TRACKED_LOCATIONS: usize = 4096;
+
+/// Per-instruction value-locality counters.
+#[derive(Clone, Debug, Default)]
+pub struct InstrProfile {
+    /// Total executions.
+    pub exec: u64,
+    /// Executions whose input vector was seen in the recent window.
+    pub recent_hits: u64,
+    /// For branches: executions on which the branch was taken.
+    pub taken: u64,
+    vector_counts: HashMap<u64, u64>,
+    overflow: u64,
+    recent: VecDeque<u64>,
+}
+
+impl InstrProfile {
+    /// Sum of the top-`k` distinct input-vector counts.
+    pub fn invariance_top(&self, k: usize) -> u64 {
+        let mut counts: Vec<u64> = self.vector_counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts.into_iter().take(k).sum()
+    }
+
+    /// The paper's `Invariance_R[k](i) / Exec(i)` ratio in `[0, 1]`.
+    pub fn invariance_ratio(&self, k: usize) -> f64 {
+        if self.exec == 0 {
+            0.0
+        } else {
+            self.invariance_top(k) as f64 / self.exec as f64
+        }
+    }
+
+    /// Fraction of executions whose input vector recurred within the
+    /// recent window.
+    pub fn recent_ratio(&self) -> f64 {
+        if self.exec == 0 {
+            0.0
+        } else {
+            self.recent_hits as f64 / self.exec as f64
+        }
+    }
+
+    /// Number of distinct input vectors observed (saturating at the
+    /// tracking cap).
+    pub fn distinct_vectors(&self) -> usize {
+        self.vector_counts.len()
+    }
+
+    fn observe(&mut self, sig: u64) {
+        self.exec += 1;
+        if self.recent.iter().any(|&s| s == sig) {
+            self.recent_hits += 1;
+        }
+        if self.recent.len() == RECENT_WINDOW {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(sig);
+        if self.vector_counts.len() < MAX_TRACKED_VECTORS
+            || self.vector_counts.contains_key(&sig)
+        {
+            *self.vector_counts.entry(sig).or_insert(0) += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+}
+
+/// Per-load memory-reuse counters.
+#[derive(Clone, Debug, Default)]
+pub struct MemProfile {
+    /// Total executions of the load.
+    pub exec: u64,
+    /// Executions finding the location unchanged since this load last
+    /// touched it.
+    pub unchanged: u64,
+    last_seen_version: HashMap<(MemObjectId, u64), u64>,
+}
+
+impl MemProfile {
+    /// The fraction of executions with unchanged source locations —
+    /// the paper's per-load memory reusability.
+    pub fn unchanged_ratio(&self) -> f64 {
+        if self.exec == 0 {
+            0.0
+        } else {
+            self.unchanged as f64 / self.exec as f64
+        }
+    }
+}
+
+/// Per-loop cyclic recurrence counters.
+#[derive(Clone, Debug, Default)]
+pub struct CyclicProfile {
+    /// Loop invocations observed.
+    pub invocations: u64,
+    /// Invocations executing more than one iteration.
+    pub multi_iteration: u64,
+    /// Invocations whose input state matched a recent record.
+    pub reuse_opportunities: u64,
+    /// Total iterations across all invocations.
+    pub total_iterations: u64,
+    history: VecDeque<(u64, Vec<u64>)>,
+}
+
+impl CyclicProfile {
+    /// Fraction of invocations that could have reused a recent result.
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.reuse_opportunities as f64 / self.invocations as f64
+        }
+    }
+
+    /// Fraction of invocations with more than one iteration.
+    pub fn multi_iteration_ratio(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.multi_iteration as f64 / self.invocations as f64
+        }
+    }
+
+    /// Mean iterations per invocation.
+    pub fn mean_iterations(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.total_iterations as f64 / self.invocations as f64
+        }
+    }
+}
+
+/// The finished profile, as consumed by region formation.
+#[derive(Clone, Debug, Default)]
+pub struct ReuseProfile {
+    instr: HashMap<InstrId, InstrProfile>,
+    mem: HashMap<InstrId, MemProfile>,
+    cyclic: HashMap<LoopKey, CyclicProfile>,
+    /// Total dynamic instructions profiled.
+    pub total_dyn_instrs: u64,
+}
+
+impl ReuseProfile {
+    /// Execution count of an instruction (0 if never executed).
+    pub fn exec(&self, id: InstrId) -> u64 {
+        self.instr.get(&id).map_or(0, |p| p.exec)
+    }
+
+    /// The `Invariance_R[k]/Exec` ratio of an instruction.
+    pub fn invariance_ratio(&self, id: InstrId, k: usize) -> f64 {
+        self.instr.get(&id).map_or(0.0, |p| p.invariance_ratio(k))
+    }
+
+    /// Recent-window recurrence ratio of an instruction.
+    pub fn recent_ratio(&self, id: InstrId) -> f64 {
+        self.instr.get(&id).map_or(0.0, |p| p.recent_ratio())
+    }
+
+    /// Memory-unchanged ratio of a load (0 for non-loads).
+    pub fn mem_unchanged_ratio(&self, id: InstrId) -> f64 {
+        self.mem.get(&id).map_or(0.0, |p| p.unchanged_ratio())
+    }
+
+    /// For branches: fraction of executions on which the branch was
+    /// taken (0 if never executed).
+    pub fn taken_ratio(&self, id: InstrId) -> f64 {
+        self.instr.get(&id).map_or(0.0, |p| {
+            if p.exec == 0 {
+                0.0
+            } else {
+                p.taken as f64 / p.exec as f64
+            }
+        })
+    }
+
+    /// Full per-instruction profile, if the instruction executed.
+    pub fn instr_profile(&self, id: InstrId) -> Option<&InstrProfile> {
+        self.instr.get(&id)
+    }
+
+    /// Cyclic profile of a loop, if it was a candidate and ran.
+    pub fn cyclic_profile(&self, key: LoopKey) -> Option<&CyclicProfile> {
+        self.cyclic.get(&key)
+    }
+
+    /// Iterates over all profiled loops.
+    pub fn iter_cyclic(&self) -> impl Iterator<Item = (&LoopKey, &CyclicProfile)> {
+        self.cyclic.iter()
+    }
+}
+
+struct ActiveInvocation {
+    key: LoopKey,
+    inputs: Vec<(Reg, Value)>,
+    written: Vec<Reg>,
+    iterations: u64,
+    start_versions: Vec<u64>,
+}
+
+/// Online profiler; attach to an [`crate::Emulator`] run as a
+/// [`TraceSink`], then call [`ValueProfiler::finish`].
+pub struct ValueProfiler {
+    profile: ReuseProfile,
+    loops: HashMap<LoopKey, LoopMeta>,
+    /// Per-object global store version.
+    obj_version: Vec<u64>,
+    /// Per-location store version (object, index) -> version.
+    loc_version: HashMap<(MemObjectId, u64), u64>,
+    /// Active loop invocation per call depth.
+    active: HashMap<usize, ActiveInvocation>,
+    depth: usize,
+    current_block: Option<(FuncId, BlockId)>,
+}
+
+impl ValueProfiler {
+    /// Creates a profiler with explicit loop metadata.
+    pub fn new(program: &Program, loops: Vec<LoopMeta>) -> ValueProfiler {
+        ValueProfiler {
+            profile: ReuseProfile::default(),
+            loops: loops.into_iter().map(|m| (m.key, m)).collect(),
+            obj_version: vec![0; program.objects().len()],
+            loc_version: HashMap::new(),
+            active: HashMap::new(),
+            depth: 0,
+            current_block: None,
+        }
+    }
+
+    /// Creates a profiler, deriving candidate-loop metadata from the
+    /// program: every *innermost* natural loop is a candidate.
+    pub fn for_program(program: &Program) -> ValueProfiler {
+        let cg = CallGraph::compute(program);
+        let se = SideEffects::compute(program, &cg);
+        let mut metas = Vec::new();
+        for func in program.functions() {
+            let forest = LoopForest::compute(func);
+            for lp in forest.inner_loops() {
+                let mut loaded = BTreeSet::new();
+                let mut impure = false;
+                for &b in &lp.body {
+                    for instr in &func.block(b).instrs {
+                        match &instr.op {
+                            Op::Load { object, .. } => {
+                                loaded.insert(*object);
+                            }
+                            Op::Store { .. } => impure = true,
+                            Op::Call { callee, .. } => {
+                                impure = true;
+                                let _ = se.may_store(*callee);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                metas.push(LoopMeta {
+                    key: LoopKey {
+                        func: func.id(),
+                        header: lp.header,
+                    },
+                    body: lp.body.clone(),
+                    loaded_objects: loaded.into_iter().collect(),
+                    impure,
+                });
+            }
+        }
+        ValueProfiler::new(program, metas)
+    }
+
+    /// The candidate-loop metadata the profiler was built with (used
+    /// by the limit study and by region formation).
+    pub fn loop_metas(&self) -> Vec<LoopMeta> {
+        self.loops.values().cloned().collect()
+    }
+
+    /// Consumes the profiler, finalizing any open invocation records.
+    pub fn finish(mut self) -> ReuseProfile {
+        let depths: Vec<usize> = self.active.keys().copied().collect();
+        for d in depths {
+            self.finalize_invocation(d);
+        }
+        self.profile
+    }
+
+    fn loop_versions(&self, meta: &LoopMeta) -> Vec<u64> {
+        meta.loaded_objects
+            .iter()
+            .map(|o| self.obj_version[o.index()])
+            .collect()
+    }
+
+    fn finalize_invocation(&mut self, depth: usize) {
+        let Some(inv) = self.active.remove(&depth) else {
+            return;
+        };
+        let meta = &self.loops[&inv.key];
+        let versions = self.loop_versions(meta);
+        let sig = hash_reg_values(&inv.inputs);
+        let prof = self.profile.cyclic.entry(inv.key).or_default();
+        prof.invocations += 1;
+        prof.total_iterations += inv.iterations;
+        if inv.iterations > 1 {
+            prof.multi_iteration += 1;
+        }
+        let reusable = !meta.impure
+            && prof
+                .history
+                .iter()
+                .any(|(s, v)| *s == sig && *v == inv.start_versions && *v == versions);
+        if reusable {
+            prof.reuse_opportunities += 1;
+        }
+        if prof.history.len() == CYCLIC_HISTORY {
+            prof.history.pop_front();
+        }
+        prof.history.push_back((sig, versions));
+    }
+}
+
+impl TraceSink for ValueProfiler {
+    fn on_block_enter(&mut self, func: FuncId, block: BlockId) {
+        let key = LoopKey { func, header: block };
+        let depth = self.depth;
+        // Entering a tracked header: new invocation or next iteration.
+        if self.loops.contains_key(&key) {
+            match self.active.get_mut(&depth) {
+                Some(inv) if inv.key == key => {
+                    inv.iterations += 1;
+                }
+                _ => {
+                    self.finalize_invocation(depth);
+                    let versions = self.loop_versions(&self.loops[&key].clone());
+                    self.active.insert(
+                        depth,
+                        ActiveInvocation {
+                            key,
+                            inputs: Vec::new(),
+                            written: Vec::new(),
+                            iterations: 1,
+                            start_versions: versions,
+                        },
+                    );
+                }
+            }
+        } else if let Some(inv) = self.active.get(&depth) {
+            // Leaving the active loop's body ends the invocation.
+            let meta = &self.loops[&inv.key];
+            if !meta.body.contains(&block) {
+                self.finalize_invocation(depth);
+            }
+        }
+        self.current_block = Some((func, block));
+    }
+
+    fn on_call(&mut self, _caller: FuncId, _callee: FuncId) {
+        self.depth += 1;
+    }
+
+    fn on_ret(&mut self, _from: FuncId) {
+        self.finalize_invocation(self.depth);
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    fn on_exec(&mut self, event: &ExecEvent<'_>) {
+        self.profile.total_dyn_instrs += 1;
+        let instr = event.instr;
+        let sig = hash_values(event.inputs);
+        let ip = self.profile.instr.entry(instr.id).or_default();
+        ip.observe(sig);
+        if event.taken == Some(true) {
+            ip.taken += 1;
+        }
+
+        // Memory bookkeeping.
+        if let Some(mem) = event.mem {
+            let loc = (mem.object, mem.index);
+            if mem.is_store {
+                self.obj_version[mem.object.index()] += 1;
+                *self.loc_version.entry(loc).or_insert(0) += 1;
+            } else {
+                let version = self.loc_version.get(&loc).copied().unwrap_or(0);
+                let prof = self.profile.mem.entry(instr.id).or_default();
+                prof.exec += 1;
+                match prof.last_seen_version.get(&loc) {
+                    Some(&seen) if seen == version => prof.unchanged += 1,
+                    _ => {}
+                }
+                if prof.last_seen_version.len() < MAX_TRACKED_LOCATIONS
+                    || prof.last_seen_version.contains_key(&loc)
+                {
+                    prof.last_seen_version.insert(loc, version);
+                }
+            }
+        }
+
+        // Cyclic live-in capture: registers read before written while
+        // the invocation is active and the instruction is in the body.
+        if let Some(inv) = self.active.get_mut(&self.depth) {
+            let in_body = self
+                .loops
+                .get(&inv.key)
+                .is_some_and(|m| m.body.contains(&event.block));
+            if in_body && event.func == inv.key.func {
+                for (op, val) in instr.src_operands().iter().zip(event.inputs) {
+                    if let Operand::Reg(r) = op {
+                        if !inv.written.contains(r) && !inv.inputs.iter().any(|(x, _)| x == r) {
+                            inv.inputs.push((*r, *val));
+                        }
+                    }
+                }
+                for d in instr.dsts() {
+                    if !inv.written.contains(&d) {
+                        inv.written.push(d);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Hashes a value slice with an FNV-1a-style mix (stable across runs).
+pub fn hash_values(values: &[Value]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        h ^= v.0 as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+fn hash_reg_values(pairs: &[(Reg, Value)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (r, v) in pairs {
+        h ^= u64::from(r.0);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+        h ^= v.0 as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crb::NullCrb;
+    use crate::emulator::Emulator;
+    use ccr_ir::{BinKind, CmpPred, ProgramBuilder};
+
+    /// Loop over a constant table, invoked `n` times via an outer loop.
+    /// The inner loop's inputs are identical every invocation, so its
+    /// cyclic reuse ratio should approach (n-1)/n.
+    fn looped_sum(n: i64) -> (ccr_ir::Program, LoopKey) {
+        let mut pb = ProgramBuilder::new();
+        let t = pb.table("t", vec![2, 4, 6, 8]);
+        let mut f = pb.function("main", 0, 1);
+        let total = f.movi(0);
+        let outer_i = f.movi(0);
+        let sum = f.fresh();
+        let j = f.fresh();
+        let outer = f.block();
+        let inner = f.block();
+        let inner_done = f.block();
+        let done = f.block();
+        f.jump(outer);
+        f.switch_to(outer);
+        f.assign(sum, 0);
+        f.assign(j, 0);
+        f.jump(inner);
+        f.switch_to(inner);
+        let v = f.load(t, j);
+        f.bin_into(BinKind::Add, sum, sum, v);
+        f.inc(j, 1);
+        f.br(CmpPred::Lt, j, 4, inner, inner_done);
+        f.switch_to(inner_done);
+        f.bin_into(BinKind::Add, total, total, sum);
+        f.inc(outer_i, 1);
+        f.br(CmpPred::Lt, outer_i, n, outer, done);
+        f.switch_to(done);
+        f.ret(&[ccr_ir::Operand::Reg(total)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        (
+            pb.finish(),
+            LoopKey {
+                func: ccr_ir::FuncId(0),
+                header: inner,
+            },
+        )
+    }
+
+    fn profile(p: &ccr_ir::Program) -> ReuseProfile {
+        let mut prof = ValueProfiler::for_program(p);
+        Emulator::new(p).run(&mut NullCrb, &mut prof).unwrap();
+        prof.finish()
+    }
+
+    #[test]
+    fn instruction_invariance_of_constant_inputs() {
+        let (p, _) = looped_sum(10);
+        let prof = profile(&p);
+        // The load executes 40 times over 4 distinct indices: top-5
+        // vectors cover everything.
+        let load_id = p
+            .function(p.main())
+            .iter_instrs()
+            .find(|(_, i)| i.is_load())
+            .unwrap()
+            .1
+            .id;
+        assert_eq!(prof.exec(load_id), 40);
+        assert!((prof.invariance_ratio(load_id, 5) - 1.0).abs() < 1e-9);
+        assert!(prof.instr_profile(load_id).unwrap().distinct_vectors() <= 4);
+    }
+
+    #[test]
+    fn memory_unchanged_ratio_for_readonly_table() {
+        let (p, _) = looped_sum(10);
+        let prof = profile(&p);
+        let load_id = p
+            .function(p.main())
+            .iter_instrs()
+            .find(|(_, i)| i.is_load())
+            .unwrap()
+            .1
+            .id;
+        // First touch of each of 4 locations is "unknown"; the
+        // remaining 36 accesses see unchanged locations.
+        assert_eq!(prof.mem_unchanged_ratio(load_id), 36.0 / 40.0);
+    }
+
+    #[test]
+    fn cyclic_profile_counts_invocations_and_reuse() {
+        let (p, key) = looped_sum(10);
+        let prof = profile(&p);
+        let cyc = prof.cyclic_profile(key).expect("inner loop profiled");
+        assert_eq!(cyc.invocations, 10);
+        assert_eq!(cyc.multi_iteration, 10);
+        assert_eq!(cyc.total_iterations, 40);
+        // Every invocation after the first can reuse.
+        assert_eq!(cyc.reuse_opportunities, 9);
+        assert!((cyc.reuse_ratio() - 0.9).abs() < 1e-9);
+        assert!((cyc.mean_iterations() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stores_break_memory_reuse() {
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 1);
+        let mut f = pb.function("main", 0, 1);
+        let i = f.movi(0);
+        let acc = f.movi(0);
+        let body = f.block();
+        let done = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        let v = f.load(o, 0);
+        f.bin_into(BinKind::Add, acc, acc, v);
+        f.store(o, 0, i); // location changes every iteration
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 8, body, done);
+        f.switch_to(done);
+        f.ret(&[ccr_ir::Operand::Reg(acc)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let prof = profile(&p);
+        let load_id = p
+            .function(p.main())
+            .iter_instrs()
+            .find(|(_, i)| i.is_load())
+            .unwrap()
+            .1
+            .id;
+        assert_eq!(prof.mem_unchanged_ratio(load_id), 0.0);
+        // The loop stores, so it is impure: no cyclic reuse.
+        let key = LoopKey {
+            func: p.main(),
+            header: BlockId(1),
+        };
+        let cyc = prof.cyclic_profile(key).unwrap();
+        assert_eq!(cyc.reuse_opportunities, 0);
+    }
+
+    #[test]
+    fn varying_inputs_reduce_invariance() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let i = f.movi(0);
+        let acc = f.movi(0);
+        let body = f.block();
+        let done = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        let sq = f.mul(i, i); // new input vector every iteration
+        f.bin_into(BinKind::Add, acc, acc, sq);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 100, body, done);
+        f.switch_to(done);
+        f.ret(&[ccr_ir::Operand::Reg(acc)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let prof = profile(&p);
+        let mul_id = p
+            .function(p.main())
+            .iter_instrs()
+            .find(|(_, i)| matches!(i.op, Op::Binary { kind: BinKind::Mul, .. }))
+            .unwrap()
+            .1
+            .id;
+        assert_eq!(prof.exec(mul_id), 100);
+        assert!(prof.invariance_ratio(mul_id, 5) <= 0.06);
+        assert_eq!(prof.recent_ratio(mul_id), 0.0);
+    }
+
+    #[test]
+    fn recent_window_catches_alternation() {
+        // Input alternates between two values: every execution after
+        // the first two finds its vector in the 10-deep window.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let i = f.movi(0);
+        let acc = f.movi(0);
+        let body = f.block();
+        let done = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        let bit = f.and(i, 1);
+        let dbl = f.shl(bit, 1);
+        f.bin_into(BinKind::Add, acc, acc, dbl);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 50, body, done);
+        f.switch_to(done);
+        f.ret(&[ccr_ir::Operand::Reg(acc)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let prof = profile(&p);
+        let shl_id = p
+            .function(p.main())
+            .iter_instrs()
+            .find(|(_, i)| matches!(i.op, Op::Binary { kind: BinKind::Shl, .. }))
+            .unwrap()
+            .1
+            .id;
+        let ip = prof.instr_profile(shl_id).unwrap();
+        assert!(ip.recent_ratio() > 0.9, "ratio {}", ip.recent_ratio());
+        assert_eq!(ip.distinct_vectors(), 2);
+    }
+
+    #[test]
+    fn hash_values_distinguishes_and_is_stable() {
+        let a = hash_values(&[Value::from_int(1), Value::from_int(2)]);
+        let b = hash_values(&[Value::from_int(2), Value::from_int(1)]);
+        let c = hash_values(&[Value::from_int(1), Value::from_int(2)]);
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+        assert_ne!(hash_values(&[]), hash_values(&[Value::ZERO]));
+    }
+}

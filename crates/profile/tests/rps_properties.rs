@@ -1,0 +1,205 @@
+//! Reference checks for the Reuse Profiling System: the online
+//! profiler's counters must match naive recounts over an explicitly
+//! recorded trace, and the emulator's event stream must satisfy its
+//! structural contract (balanced call/ret, block entries preceding
+//! their instructions).
+
+use std::collections::HashMap;
+
+use ccr_ir::{BinKind, BlockId, CmpPred, FuncId, Operand, Program, ProgramBuilder};
+use ccr_profile::{
+    hash_values, Emulator, ExecEvent, NullCrb, TraceSink, ValueProfiler, TOP_K,
+};
+use proptest::prelude::*;
+
+/// A recording sink: keeps per-instruction input-signature sequences
+/// and the raw event structure.
+#[derive(Default)]
+struct Recorder {
+    sigs: HashMap<ccr_ir::InstrId, Vec<u64>>,
+    depth: i64,
+    max_depth: i64,
+    balanced: bool,
+    block_entries: u64,
+    execs: u64,
+}
+
+impl Recorder {
+    fn new() -> Recorder {
+        Recorder {
+            balanced: true,
+            ..Recorder::default()
+        }
+    }
+}
+
+impl TraceSink for Recorder {
+    fn on_exec(&mut self, e: &ExecEvent<'_>) {
+        self.execs += 1;
+        self.sigs
+            .entry(e.instr.id)
+            .or_default()
+            .push(hash_values(e.inputs));
+        if e.depth as i64 != self.depth {
+            self.balanced = false;
+        }
+    }
+    fn on_block_enter(&mut self, _f: FuncId, _b: BlockId) {
+        self.block_entries += 1;
+    }
+    fn on_call(&mut self, _c: FuncId, _t: FuncId) {
+        self.depth += 1;
+        self.max_depth = self.max_depth.max(self.depth);
+    }
+    fn on_ret(&mut self, _f: FuncId) {
+        self.depth -= 1;
+        if self.depth < -1 {
+            self.balanced = false;
+        }
+    }
+}
+
+/// Naive invariance: the sum of the top-k signature counts over exec.
+fn invariance_brute(sigs: &[u64], k: usize) -> f64 {
+    if sigs.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for s in sigs {
+        *counts.entry(*s).or_insert(0) += 1;
+    }
+    let mut v: Vec<u64> = counts.into_values().collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v.into_iter().take(k).sum::<u64>() as f64 / sigs.len() as f64
+}
+
+#[derive(Debug, Clone)]
+struct Spec {
+    pool: Vec<i64>,
+    trips: i64,
+    call_helper: bool,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (
+        prop::collection::vec(-50i64..50, 1..8),
+        1i64..60,
+        any::<bool>(),
+    )
+        .prop_map(|(pool, trips, call_helper)| Spec {
+            pool,
+            trips,
+            call_helper,
+        })
+}
+
+fn build(spec: &Spec) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let n = spec.pool.len().next_power_of_two().max(4);
+    let mut init = spec.pool.clone();
+    init.resize(n, 0);
+    let t = pb.table("t", init);
+    let helper = pb.declare("helper", 1, 1);
+    {
+        let mut h = pb.function_body(helper);
+        let x = h.param(0);
+        let y = h.mul(x, 3);
+        h.ret(&[Operand::Reg(y)]);
+        pb.finish_function(h);
+    }
+    let mut f = pb.function("main", 0, 1);
+    let acc = f.movi(0);
+    let i = f.movi(0);
+    let body = f.block();
+    let done = f.block();
+    f.jump(body);
+    f.switch_to(body);
+    let m = f.and(i, n as i64 - 1);
+    let v = f.load(t, m);
+    let x = f.xor(v, 5);
+    let w = if spec.call_helper {
+        f.call(helper, &[Operand::Reg(x)], 1)[0]
+    } else {
+        f.add(x, 1)
+    };
+    f.bin_into(BinKind::Add, acc, acc, w);
+    f.inc(i, 1);
+    f.br(CmpPred::Lt, i, spec.trips, body, done);
+    f.switch_to(done);
+    f.ret(&[Operand::Reg(acc)]);
+    let id = pb.finish_function(f);
+    pb.set_main(id);
+    pb.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The profiler's exec counts and invariance ratios equal naive
+    /// recounts from the raw trace.
+    #[test]
+    fn profiler_matches_trace_recount(s in spec()) {
+        let p = build(&s);
+        // One run records the raw trace, a second run profiles; the
+        // emulator is deterministic so both see the same stream.
+        let mut rec = Recorder::new();
+        Emulator::new(&p).run(&mut NullCrb, &mut rec).unwrap();
+        let mut prof = ValueProfiler::for_program(&p);
+        Emulator::new(&p).run(&mut NullCrb, &mut prof).unwrap();
+        let profile = prof.finish();
+        prop_assert_eq!(profile.total_dyn_instrs, rec.execs);
+        for (id, sigs) in &rec.sigs {
+            prop_assert_eq!(
+                profile.exec(*id),
+                sigs.len() as u64,
+                "exec count of {:?}", id
+            );
+            let got = profile.invariance_ratio(*id, TOP_K);
+            let want = invariance_brute(sigs, TOP_K);
+            prop_assert!(
+                (got - want).abs() < 1e-9,
+                "invariance of {:?}: {} vs {}", id, got, want
+            );
+        }
+    }
+
+    /// Event-stream contract: call/ret depths balance, and the
+    /// reported per-event depth matches the running call depth.
+    #[test]
+    fn trace_stream_is_well_formed(s in spec()) {
+        let p = build(&s);
+        let mut rec = Recorder::new();
+        Emulator::new(&p).run(&mut NullCrb, &mut rec).unwrap();
+        prop_assert!(rec.balanced, "depth bookkeeping diverged");
+        // Final ret from main leaves depth at -1.
+        prop_assert_eq!(rec.depth, -1);
+        prop_assert!(rec.block_entries > 0);
+        if s.call_helper {
+            prop_assert!(rec.max_depth >= 1);
+        }
+    }
+
+    /// The memory profile: a read-only table scanned at a fixed
+    /// stride is "unchanged" on every access after each location's
+    /// first.
+    #[test]
+    fn readonly_mem_profile_is_exact(s in spec()) {
+        let p = build(&s);
+        let mut prof = ValueProfiler::for_program(&p);
+        Emulator::new(&p).run(&mut NullCrb, &mut prof).unwrap();
+        let profile = prof.finish();
+        let load_id = p
+            .function(p.main())
+            .iter_instrs()
+            .find(|(_, i)| i.is_load())
+            .unwrap()
+            .1
+            .id;
+        let n = p.object(ccr_ir::MemObjectId(0)).size() as i64;
+        let distinct_locs = s.trips.min(n) as f64;
+        let execs = s.trips as f64;
+        let want = (execs - distinct_locs) / execs;
+        let got = profile.mem_unchanged_ratio(load_id);
+        prop_assert!((got - want).abs() < 1e-9, "{} vs {}", got, want);
+    }
+}

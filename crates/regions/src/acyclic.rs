@@ -1,0 +1,675 @@
+//! Acyclic region formation.
+//!
+//! Section 4.4's five-step decision process: *seed selection* (highest
+//! weight among instructions with high value invariance), *successor
+//! formation* (extend along the flow of values while instructions stay
+//! individually reusable and the region respects the input / memory
+//! accordance limits), *predecessor formation* (the same, backwards),
+//! *subordinate path formation* (crossing likely control-flow edges to
+//! adjacent blocks), and *reiteration*.
+//!
+//! Our regions are contiguous instruction ranges over a path of basic
+//! blocks (the base optimizer's block merging already forms
+//! superblock-like traces, so contiguous ranges capture the paper's
+//! reordered dataflow regions well). One region claims its blocks
+//! exclusively, which keeps the later splitting transformation simple.
+//!
+//! The static live-in estimate is approximate on purpose: the
+//! *hardware* enforces the input-bank capacity exactly (memoization
+//! aborts past eight registers), so an optimistic compiler estimate
+//! costs performance, never correctness.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use ccr_analysis::{AliasInfo, Determinable, Liveness};
+use ccr_ir::{BlockId, Function, Instr, Op, Program, Reg};
+use ccr_profile::ReuseProfile;
+
+use crate::config::RegionConfig;
+use crate::spec::{ComputationClass, RegionShape, RegionSpec};
+
+/// Maximum blocks on one acyclic path region.
+pub const MAX_PATH_BLOCKS: usize = 8;
+
+/// Finds acyclic RCR candidates in one function. Blocks listed in
+/// `occupied` (e.g. claimed by cyclic regions) are skipped, and blocks
+/// claimed here are added to it.
+pub fn find_acyclic_regions(
+    program: &Program,
+    func: &Function,
+    profile: &ReuseProfile,
+    alias: &AliasInfo,
+    config: &RegionConfig,
+    occupied: &mut HashSet<BlockId>,
+) -> Vec<RegionSpec> {
+    let _ = program;
+    let liveness = Liveness::compute(func);
+    let mut specs: Vec<RegionSpec> = Vec::new();
+    // Instruction ranges already claimed by single-block regions.
+    let mut claimed: HashMap<BlockId, Vec<(usize, usize)>> = HashMap::new();
+
+    // Rank candidate blocks hottest-first by the weight of their
+    // first instruction.
+    let mut blocks: Vec<BlockId> = func
+        .iter_blocks()
+        .filter(|(b, _)| !occupied.contains(b))
+        .map(|(b, _)| b)
+        .collect();
+    blocks.sort_by_key(|b| {
+        std::cmp::Reverse(
+            func.block(*b)
+                .instrs
+                .first()
+                .map_or(0, |i| profile.exec(i.id)),
+        )
+    });
+
+    for seed_block in blocks {
+        // Grow as many disjoint regions out of this block as the
+        // heuristics find (seed selection skips claimed ranges).
+        loop {
+            if occupied.contains(&seed_block) {
+                break;
+            }
+            let ranges = claimed.get(&seed_block).cloned().unwrap_or_default();
+            let Some(seed_pos) =
+                select_seed(func, seed_block, profile, alias, config, &ranges)
+            else {
+                break;
+            };
+            let Some(spec) = grow(
+                func,
+                seed_block,
+                seed_pos,
+                profile,
+                alias,
+                config,
+                occupied,
+                &claimed,
+                &liveness,
+            ) else {
+                // The seed could not grow into a viable region; mark
+                // the position consumed so selection moves on.
+                claimed
+                    .entry(seed_block)
+                    .or_default()
+                    .push((seed_pos, seed_pos));
+                continue;
+            };
+            match &spec.shape {
+                RegionShape::Path { blocks, start_pos, end_pos } if blocks.len() == 1 => {
+                    let ranges = claimed.entry(blocks[0]).or_default();
+                    ranges.push((*start_pos, *end_pos));
+                    // Tail trimming may have dropped the seed out of
+                    // the final range; claim it anyway so selection
+                    // cannot loop on the same seed.
+                    if !pos_claimed(ranges, seed_pos) {
+                        ranges.push((seed_pos, seed_pos));
+                    }
+                }
+                RegionShape::Path { blocks, .. } => {
+                    occupied.extend(blocks.iter().copied());
+                }
+                RegionShape::Cyclic { .. } | RegionShape::Call { .. } => {
+                    unreachable!("acyclic formation")
+                }
+            }
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
+fn pos_claimed(ranges: &[(usize, usize)], pos: usize) -> bool {
+    ranges.iter().any(|&(s, e)| pos >= s && pos <= e)
+}
+
+/// Memory cost of including an instruction: `None` if not reusable,
+/// otherwise the writable object it adds (if any).
+fn interior_reusable(
+    instr: &Instr,
+    profile: &ReuseProfile,
+    alias: &AliasInfo,
+    config: &RegionConfig,
+) -> Option<Option<ccr_ir::MemObjectId>> {
+    let reusable_ratio = profile.invariance_ratio(instr.id, config.top_k);
+    match &instr.op {
+        Op::Binary { .. } | Op::Unary { .. } | Op::Cmp { .. } => {
+            (reusable_ratio >= config.r_threshold).then_some(None)
+        }
+        Op::Nop => Some(None),
+        Op::Load { object, .. } => {
+            if reusable_ratio < config.r_threshold {
+                return None;
+            }
+            match alias.load_class(instr.id) {
+                Determinable::No => None,
+                Determinable::ReadOnly => Some(None),
+                Determinable::Writable => {
+                    if !config.allow_memory_dependent {
+                        return None;
+                    }
+                    (profile.mem_unchanged_ratio(instr.id) >= config.rm_threshold)
+                        .then_some(Some(*object))
+                }
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Picks the highest-weight reusable instruction in a block as the
+/// reuse seed.
+fn select_seed(
+    func: &Function,
+    block: BlockId,
+    profile: &ReuseProfile,
+    alias: &AliasInfo,
+    config: &RegionConfig,
+    claimed: &[(usize, usize)],
+) -> Option<usize> {
+    let mut best: Option<(u64, usize)> = None;
+    for (pos, instr) in func.block(block).instrs.iter().enumerate() {
+        if pos_claimed(claimed, pos) {
+            continue;
+        }
+        if interior_reusable(instr, profile, alias, config).is_none() {
+            continue;
+        }
+        let w = profile.exec(instr.id);
+        if w < config.min_seed_exec {
+            continue;
+        }
+        if best.is_none_or(|(bw, _)| w > bw) {
+            best = Some((w, pos));
+        }
+    }
+    best.map(|(_, pos)| pos)
+}
+
+struct Growth {
+    blocks: Vec<BlockId>,
+    start_pos: usize,
+    end_pos: usize,
+    mem_objects: BTreeSet<ccr_ir::MemObjectId>,
+}
+
+impl Growth {
+    fn instrs<'f>(&self, func: &'f Function) -> Vec<&'f Instr> {
+        let mut out = Vec::new();
+        for (i, &b) in self.blocks.iter().enumerate() {
+            let block = func.block(b);
+            let lo = if i == 0 { self.start_pos } else { 0 };
+            let hi = if i + 1 == self.blocks.len() {
+                self.end_pos
+            } else {
+                block.len() - 1
+            };
+            out.extend(&block.instrs[lo..=hi]);
+        }
+        out
+    }
+
+    fn live_in_estimate(&self, func: &Function) -> BTreeSet<Reg> {
+        let mut written: BTreeSet<Reg> = BTreeSet::new();
+        let mut ins = BTreeSet::new();
+        for instr in self.instrs(func) {
+            for r in instr.src_regs() {
+                if !written.contains(&r) {
+                    ins.insert(r);
+                }
+            }
+            written.extend(instr.dsts());
+        }
+        ins
+    }
+
+    fn static_len(&self, func: &Function) -> usize {
+        self.instrs(func).len()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    func: &Function,
+    seed_block: BlockId,
+    seed_pos: usize,
+    profile: &ReuseProfile,
+    alias: &AliasInfo,
+    config: &RegionConfig,
+    occupied: &HashSet<BlockId>,
+    claimed: &HashMap<BlockId, Vec<(usize, usize)>>,
+    liveness: &Liveness,
+) -> Option<RegionSpec> {
+    let seed_ranges: &[(usize, usize)] =
+        claimed.get(&seed_block).map_or(&[], Vec::as_slice);
+    // A block already hosting other regions keeps new ones local:
+    // whole-block claims by a path would collide with the ranges.
+    let may_cross = seed_ranges.is_empty();
+    let mut g = Growth {
+        blocks: vec![seed_block],
+        start_pos: seed_pos,
+        end_pos: seed_pos,
+        mem_objects: BTreeSet::new(),
+    };
+    if let Some(Some(obj)) =
+        interior_reusable(&func.block(seed_block).instrs[seed_pos], profile, alias, config)
+    {
+        g.mem_objects.insert(obj);
+    }
+
+    // Successor formation: forward within the block, crossing likely
+    // edges when the block is exhausted.
+    loop {
+        let cur_block = *g.blocks.last().expect("non-empty path");
+        let block = func.block(cur_block);
+        let next_pos = g.end_pos + 1;
+        if next_pos + 1 < block.len() {
+            // An interior (non-terminator) instruction.
+            if g.blocks.len() == 1 && pos_claimed(seed_ranges, next_pos) {
+                break;
+            }
+            let instr = &block.instrs[next_pos];
+            if !try_extend_end(&mut g, func, instr, next_pos, profile, alias, config) {
+                break;
+            }
+        } else if next_pos + 1 == block.len() {
+            // Only the terminator remains: try to cross to the next
+            // block on the likely edge.
+            if config.block_level_only || !may_cross || g.blocks.len() >= MAX_PATH_BLOCKS {
+                break;
+            }
+            let term = block.terminator().expect("verified block");
+            let Some(next_block) = likely_successor(term, profile, config) else {
+                break;
+            };
+            if occupied.contains(&next_block)
+                || claimed.get(&next_block).is_some_and(|v| !v.is_empty())
+                || g.blocks.contains(&next_block)
+                || func.block(next_block).is_empty()
+            {
+                break;
+            }
+            // Include the terminator and move into the next block.
+            g.blocks.push(next_block);
+            g.end_pos = 0;
+            // The first instruction of the next block must itself be
+            // reusable; otherwise retreat.
+            let first = &func.block(next_block).instrs[0];
+            let ok = func.block(next_block).len() > 1
+                && interior_reusable(first, profile, alias, config).is_some()
+                && admit(&mut g, func, first, profile, alias, config);
+            if !ok {
+                g.blocks.pop();
+                g.end_pos = func.block(cur_block).len().saturating_sub(2);
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+
+    // Predecessor formation: backward within the first block.
+    while g.start_pos > 0 {
+        if pos_claimed(seed_ranges, g.start_pos - 1) {
+            break;
+        }
+        let instr = &func.block(g.blocks[0]).instrs[g.start_pos - 1];
+        let Some(mem) = interior_reusable(instr, profile, alias, config) else {
+            break;
+        };
+        let mut trial_mem = g.mem_objects.clone();
+        if let Some(obj) = mem {
+            trial_mem.insert(obj);
+        }
+        if trial_mem.len() > config.max_mem_objects {
+            break;
+        }
+        g.start_pos -= 1;
+        let old_mem = std::mem::replace(&mut g.mem_objects, trial_mem);
+        if g.live_in_estimate(func).len() > config.max_live_in {
+            g.start_pos += 1;
+            g.mem_objects = old_mem;
+            break;
+        }
+    }
+
+    // Live-out computation, shrinking the tail if over budget.
+    let live_outs = loop {
+        let last = *g.blocks.last().expect("non-empty");
+        let after = liveness.live_before(func, last, g.end_pos + 1);
+        let defined: BTreeSet<Reg> = g.instrs(func).iter().flat_map(|i| i.dsts()).collect();
+        let louts: Vec<Reg> = after.into_iter().filter(|r| defined.contains(r)).collect();
+        if louts.len() <= config.max_live_out {
+            break louts;
+        }
+        if g.blocks.len() > 1 || g.end_pos == g.start_pos {
+            return None; // cannot shrink a path region's tail simply
+        }
+        g.end_pos -= 1;
+    };
+
+    // Size and weight gates.
+    if g.static_len(func) < config.min_region_instrs {
+        return None;
+    }
+    let inception = &func.block(g.blocks[0]).instrs[g.start_pos];
+    let exec_weight = profile.exec(inception.id);
+    if exec_weight < config.min_seed_exec {
+        return None;
+    }
+    let live_ins: Vec<Reg> = g.live_in_estimate(func).into_iter().collect();
+    if live_ins.len() > config.max_live_in {
+        return None;
+    }
+    // A region that defines nothing the rest of the program reads is
+    // useless (and its reuse would be removed by DCE anyway).
+    if live_outs.is_empty() {
+        return None;
+    }
+    let class = if g.mem_objects.is_empty() {
+        ComputationClass::Stateless
+    } else {
+        ComputationClass::MemoryDependent
+    };
+    Some(RegionSpec {
+        func: func.id(),
+        shape: RegionShape::Path {
+            blocks: g.blocks.clone(),
+            start_pos: g.start_pos,
+            end_pos: g.end_pos,
+        },
+        class,
+        mem_objects: g.mem_objects.iter().copied().collect(),
+        live_ins,
+        live_outs,
+        static_instrs: g.static_len(func),
+        exec_weight,
+    })
+}
+
+/// Tries to append an interior instruction to the region tail.
+fn try_extend_end(
+    g: &mut Growth,
+    func: &Function,
+    instr: &Instr,
+    pos: usize,
+    profile: &ReuseProfile,
+    alias: &AliasInfo,
+    config: &RegionConfig,
+) -> bool {
+    if interior_reusable(instr, profile, alias, config).is_none() {
+        return false;
+    }
+    let saved = g.end_pos;
+    g.end_pos = pos;
+    if admit(g, func, instr, profile, alias, config) {
+        true
+    } else {
+        g.end_pos = saved;
+        false
+    }
+}
+
+/// Checks memory/live-in budgets after a tentative extension whose
+/// position is already recorded in `g`.
+fn admit(
+    g: &mut Growth,
+    func: &Function,
+    instr: &Instr,
+    profile: &ReuseProfile,
+    alias: &AliasInfo,
+    config: &RegionConfig,
+) -> bool {
+    let mem = match interior_reusable(instr, profile, alias, config) {
+        Some(m) => m,
+        None => return false,
+    };
+    let mut trial = g.mem_objects.clone();
+    if let Some(obj) = mem {
+        trial.insert(obj);
+    }
+    if trial.len() > config.max_mem_objects {
+        return false;
+    }
+    if g.live_in_estimate(func).len() > config.max_live_in {
+        return false;
+    }
+    g.mem_objects = trial;
+    true
+}
+
+/// The successor a region path may cross into: a jump target, or the
+/// likely arm of a biased branch whose operands are invariant enough
+/// to reuse.
+fn likely_successor(term: &Instr, profile: &ReuseProfile, config: &RegionConfig) -> Option<BlockId> {
+    match &term.op {
+        Op::Jump { target } => Some(*target),
+        Op::Branch {
+            taken, not_taken, ..
+        } => {
+            if profile.invariance_ratio(term.id, config.top_k) < config.r_threshold {
+                return None;
+            }
+            let ratio = profile.taken_ratio(term.id);
+            if ratio >= config.likely_edge_ratio {
+                Some(*taken)
+            } else if ratio <= 1.0 - config.likely_edge_ratio {
+                Some(*not_taken)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{BinKind, CmpPred, Operand, ProgramBuilder};
+    use ccr_profile::{Emulator, NullCrb, ValueProfiler};
+
+    /// The paper's espresso `count_ones` example, driven with a small
+    /// set of repeating words: a straight-line block computing from a
+    /// single input register through a read-only table.
+    fn bitcount_program() -> ccr_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        let bits: Vec<i64> = (0..256).map(|v: i64| v.count_ones() as i64).collect();
+        let bit_count = pb.table("bit_count", bits);
+        // Words repeat from a 3-element pool.
+        let words = pb.table("words", vec![0x00ff_00ff, 0x0f0f_0f0f, 0x1234_5678]);
+        let mut f = pb.function("main", 0, 1);
+        let acc = f.movi(0);
+        let i = f.movi(0);
+        let body = f.block();
+        let done = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        let sel = f.rem(i, 3);
+        let v = f.load(words, sel);
+        let b0 = f.and(v, 255);
+        let c0 = f.load(bit_count, b0);
+        let s1 = f.shr(v, 8);
+        let b1 = f.and(s1, 255);
+        let c1 = f.load(bit_count, b1);
+        let s2 = f.shr(v, 16);
+        let b2 = f.and(s2, 255);
+        let c2 = f.load(bit_count, b2);
+        let s3 = f.shr(v, 24);
+        let b3 = f.and(s3, 255);
+        let c3 = f.load(bit_count, b3);
+        let t0 = f.add(c0, c1);
+        let t1 = f.add(c2, c3);
+        let ones = f.add(t0, t1);
+        f.bin_into(BinKind::Add, acc, acc, ones);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 300, body, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(acc)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        pb.finish()
+    }
+
+    fn find(p: &ccr_ir::Program, config: &RegionConfig) -> Vec<RegionSpec> {
+        let mut prof = ValueProfiler::for_program(p);
+        Emulator::new(p).run(&mut NullCrb, &mut prof).unwrap();
+        let profile = prof.finish();
+        let alias = AliasInfo::compute(p);
+        let mut occupied = HashSet::new();
+        find_acyclic_regions(
+            p,
+            p.function(p.main()),
+            &profile,
+            &alias,
+            config,
+            &mut occupied,
+        )
+    }
+
+    #[test]
+    fn bitcount_block_forms_a_stateless_region() {
+        let p = bitcount_program();
+        let specs = find(&p, &RegionConfig::paper());
+        assert!(!specs.is_empty(), "no region formed");
+        let s = &specs[0];
+        assert!(!s.is_cyclic());
+        // The bit_count table is read-only, so the region is
+        // stateless despite its four loads.
+        assert_eq!(s.class, ComputationClass::Stateless);
+        assert!(s.mem_objects.is_empty());
+        // The region should capture most of the 16-instruction
+        // bit-count computation.
+        assert!(s.static_instrs >= 10, "only {} instrs", s.static_instrs);
+        assert!(s.live_outs.len() <= 8);
+        assert!(!s.live_outs.is_empty());
+    }
+
+    #[test]
+    fn varying_induction_arithmetic_is_excluded() {
+        let p = bitcount_program();
+        let specs = find(&p, &RegionConfig::paper());
+        let s = &specs[0];
+        // The `rem i, 3` and the `acc +=` / `i += 1` updates never
+        // repeat their inputs; the region must not include them, so it
+        // stays strictly inside the block.
+        let RegionShape::Path {
+            blocks,
+            start_pos,
+            end_pos,
+        } = &s.shape
+        else {
+            panic!("expected path");
+        };
+        assert_eq!(blocks.len(), 1);
+        let block = p.function(p.main()).block(blocks[0]);
+        assert!(*start_pos > 0, "induction-dependent prefix excluded");
+        assert!(*end_pos + 1 < block.len() - 1, "loop update suffix excluded");
+    }
+
+    #[test]
+    fn low_threshold_admits_more_instructions() {
+        let p = bitcount_program();
+        let strict = find(&p, &RegionConfig::paper());
+        let loose = find(
+            &p,
+            &RegionConfig {
+                r_threshold: 0.05,
+                min_region_instrs: 2,
+                ..RegionConfig::paper()
+            },
+        );
+        let strict_len: usize = strict.iter().map(|s| s.static_instrs).sum();
+        let loose_len: usize = loose.iter().map(|s| s.static_instrs).sum();
+        assert!(loose_len >= strict_len, "{loose_len} < {strict_len}");
+    }
+
+    #[test]
+    fn occupied_blocks_are_skipped() {
+        let p = bitcount_program();
+        let mut prof = ValueProfiler::for_program(&p);
+        Emulator::new(&p).run(&mut NullCrb, &mut prof).unwrap();
+        let profile = prof.finish();
+        let alias = AliasInfo::compute(&p);
+        let mut occupied: HashSet<BlockId> = p
+            .function(p.main())
+            .iter_blocks()
+            .map(|(b, _)| b)
+            .collect();
+        let specs = find_acyclic_regions(
+            &p,
+            p.function(p.main()),
+            &profile,
+            &alias,
+            &RegionConfig::paper(),
+            &mut occupied,
+        );
+        assert!(specs.is_empty());
+    }
+
+    #[test]
+    fn min_size_gate_rejects_tiny_regions() {
+        let p = bitcount_program();
+        let specs = find(
+            &p,
+            &RegionConfig {
+                min_region_instrs: 64,
+                ..RegionConfig::paper()
+            },
+        );
+        assert!(specs.is_empty());
+    }
+
+    #[test]
+    fn path_regions_cross_likely_edges() {
+        // Two blocks joined by a highly-biased branch whose operands
+        // repeat: the region should span both.
+        let mut pb = ProgramBuilder::new();
+        let t = pb.table("t", vec![10, 20]);
+        let mut f = pb.function("main", 0, 1);
+        let acc = f.movi(0);
+        let i = f.movi(0);
+        let head = f.block();
+        let second = f.block();
+        let rare = f.block();
+        let join = f.block();
+        let done = f.block();
+        f.jump(head);
+        f.switch_to(head);
+        let e = f.fresh();
+        let sel = f.and(i, 1);
+        let v = f.load(t, sel);
+        let a = f.mul(v, 3);
+        let b = f.add(a, 5);
+        // Branch on a repeating value: always not-taken (v*3+5 != 0).
+        f.br(CmpPred::Eq, b, 0, rare, second);
+        f.switch_to(second);
+        let c = f.xor(b, v);
+        let d = f.add(c, a);
+        f.bin_into(BinKind::Mul, e, d, 2);
+        f.jump(join);
+        f.switch_to(rare);
+        f.assign(e, 0);
+        f.jump(join);
+        f.switch_to(join);
+        f.bin_into(BinKind::Add, acc, acc, e);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 200, head, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(acc)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        ccr_ir::verify_program(&p).unwrap();
+        let specs = find(&p, &RegionConfig::paper());
+        let multi = specs.iter().find(|s| match &s.shape {
+            RegionShape::Path { blocks, .. } => blocks.len() >= 2,
+            _ => false,
+        });
+        assert!(
+            multi.is_some(),
+            "expected a multi-block path region: {specs:?}"
+        );
+    }
+}

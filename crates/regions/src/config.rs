@@ -1,0 +1,140 @@
+//! Region-formation heuristics and their published defaults.
+
+/// Thresholds and limits for RCR formation.
+///
+/// Defaults reproduce Section 4.4 of the paper: *"Empirical evaluation
+/// found that setting R and Rm to .65 and the number of invariant
+/// values to five produces good instances of reusable computation"*,
+/// *"the total number of live-in and live-out registers within a
+/// computation region are limited to eight"*, *"the accordance
+/// heuristic limits the number of distinguishable memory elements to
+/// four"*, and the cyclic gates *"greater than 40% opportunity to
+/// reuse results"* / *"greater than 60% of the loop invocations have
+/// multiple loop iterations"*.
+#[derive(Clone, Copy, Debug)]
+pub struct RegionConfig {
+    /// Instruction-reusability threshold `R`.
+    pub r_threshold: f64,
+    /// Memory-reusability threshold `Rm`.
+    pub rm_threshold: f64,
+    /// Number of invariant values `k` summed by the invariance check.
+    pub top_k: usize,
+    /// Maximum live-in registers per region (input-bank capacity).
+    pub max_live_in: usize,
+    /// Maximum live-out registers per region (output-bank capacity).
+    pub max_live_out: usize,
+    /// Maximum distinguishable memory structures per region.
+    pub max_mem_objects: usize,
+    /// Minimum static instructions for an acyclic region to be worth a
+    /// reuse instruction.
+    pub min_region_instrs: usize,
+    /// Minimum execution count for an acyclic seed.
+    pub min_seed_exec: u64,
+    /// Cyclic gate: minimum reuse-opportunity ratio.
+    pub cyclic_reuse_min: f64,
+    /// Cyclic gate: minimum multiple-iteration ratio.
+    pub cyclic_multi_iter_min: f64,
+    /// A control-flow edge is "likely" if it carries at least this
+    /// fraction of the source's weight (the paper's 60 %).
+    pub likely_edge_ratio: f64,
+    /// Permit memory-dependent regions (ablation: stateless only).
+    pub allow_memory_dependent: bool,
+    /// Restrict acyclic regions to a single basic block and disable
+    /// cyclic regions (ablation: the block-level granularity of prior
+    /// work).
+    pub block_level_only: bool,
+    /// Maximum number of regions formed per program.
+    pub max_regions: usize,
+    /// Minimum hit ratio a region must achieve in the compile-time
+    /// trial run (the "reiteration" step of Section 4.4) to survive
+    /// selection. Regions below this would pay more in reuse-failure
+    /// flushes than they save. Set to 0.0 to disable the trial.
+    pub min_predicted_hit: f64,
+    /// Computation instances assumed per entry during the trial run.
+    pub trial_instances: usize,
+    /// Enable function-level reuse (the paper's future-work item:
+    /// whole deterministic calls become regions). Off by default to
+    /// match the paper's evaluated configuration.
+    pub function_level: bool,
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        RegionConfig {
+            r_threshold: 0.65,
+            rm_threshold: 0.65,
+            top_k: 5,
+            max_live_in: 8,
+            max_live_out: 8,
+            max_mem_objects: 4,
+            min_region_instrs: 4,
+            min_seed_exec: 32,
+            cyclic_reuse_min: 0.40,
+            cyclic_multi_iter_min: 0.60,
+            likely_edge_ratio: 0.60,
+            allow_memory_dependent: true,
+            block_level_only: false,
+            max_regions: 4096,
+            min_predicted_hit: 0.35,
+            trial_instances: 8,
+            function_level: false,
+        }
+    }
+}
+
+impl RegionConfig {
+    /// The paper's configuration (alias for [`Default`]).
+    pub fn paper() -> RegionConfig {
+        RegionConfig::default()
+    }
+
+    /// Ablation: stateless regions only.
+    pub fn stateless_only() -> RegionConfig {
+        RegionConfig {
+            allow_memory_dependent: false,
+            ..RegionConfig::default()
+        }
+    }
+
+    /// Ablation: block-level granularity (prior-work comparison).
+    pub fn block_level() -> RegionConfig {
+        RegionConfig {
+            block_level_only: true,
+            ..RegionConfig::default()
+        }
+    }
+
+    /// Extension: the paper's configuration plus function-level reuse.
+    pub fn with_function_level() -> RegionConfig {
+        RegionConfig {
+            function_level: true,
+            ..RegionConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_4_4() {
+        let c = RegionConfig::paper();
+        assert_eq!(c.r_threshold, 0.65);
+        assert_eq!(c.rm_threshold, 0.65);
+        assert_eq!(c.top_k, 5);
+        assert_eq!(c.max_live_in, 8);
+        assert_eq!(c.max_live_out, 8);
+        assert_eq!(c.max_mem_objects, 4);
+        assert_eq!(c.cyclic_reuse_min, 0.40);
+        assert_eq!(c.cyclic_multi_iter_min, 0.60);
+        assert_eq!(c.likely_edge_ratio, 0.60);
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        assert!(!RegionConfig::stateless_only().allow_memory_dependent);
+        assert!(RegionConfig::block_level().block_level_only);
+        assert!(RegionConfig::paper().allow_memory_dependent);
+    }
+}

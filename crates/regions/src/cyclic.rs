@@ -1,0 +1,299 @@
+//! Cyclic region formation.
+//!
+//! Section 4.4: *"Cyclic reusable regions are identified by detecting
+//! inner-nested loops with deterministic computation. This restricts
+//! the loops from altering memory state with store and subroutine
+//! instructions. Similarly, load instructions within the loop must be
+//! classified as determinable. ... The cyclic profiling information is
+//! used to check that a loop has a greater than 40% opportunity to
+//! reuse results and that greater than 60% of the loop invocations
+//! have multiple loop iterations."*
+
+use std::collections::BTreeSet;
+
+use ccr_analysis::{AliasInfo, Determinable, Liveness, LoopForest};
+use ccr_ir::{Function, ObjectKind, Op, Program, Reg};
+use ccr_profile::{LoopKey, ReuseProfile};
+
+use crate::config::RegionConfig;
+use crate::spec::{ComputationClass, RegionShape, RegionSpec};
+
+/// Finds cyclic RCR candidates in one function.
+pub fn find_cyclic_regions(
+    _program: &Program,
+    func: &Function,
+    profile: &ReuseProfile,
+    alias: &AliasInfo,
+    config: &RegionConfig,
+) -> Vec<RegionSpec> {
+    if config.block_level_only {
+        return Vec::new();
+    }
+    let forest = LoopForest::compute(func);
+    let liveness = Liveness::compute(func);
+    let mut specs = Vec::new();
+    for lp in forest.inner_loops() {
+        let key = LoopKey {
+            func: func.id(),
+            header: lp.header,
+        };
+        // Profile gates.
+        let Some(cyc) = profile.cyclic_profile(key) else {
+            continue;
+        };
+        if cyc.invocations < config.min_seed_exec
+            || cyc.reuse_ratio() < config.cyclic_reuse_min
+            || cyc.multi_iteration_ratio() < config.cyclic_multi_iter_min
+        {
+            continue;
+        }
+        // Structural gates: unique preheader, single exit target.
+        let Some(preheader) = lp.preheader(func) else {
+            continue;
+        };
+        let Some(exit_target) = lp.single_exit_target() else {
+            continue;
+        };
+        // Deterministic-computation gates.
+        let mut mem_objects = BTreeSet::new();
+        let mut deterministic = true;
+        for &b in &lp.body {
+            for instr in &func.block(b).instrs {
+                match &instr.op {
+                    Op::Store { .. } | Op::Call { .. } | Op::Reuse { .. } | Op::Invalidate { .. } => {
+                        deterministic = false;
+                    }
+                    Op::Load { object, .. } => match alias.load_class(instr.id) {
+                        Determinable::No => deterministic = false,
+                        Determinable::ReadOnly => {}
+                        Determinable::Writable => {
+                            mem_objects.insert(*object);
+                        }
+                    },
+                    _ => {}
+                }
+            }
+            if !deterministic {
+                break;
+            }
+        }
+        if !deterministic {
+            continue;
+        }
+        if !mem_objects.is_empty() && !config.allow_memory_dependent {
+            continue;
+        }
+        if mem_objects.len() > config.max_mem_objects {
+            continue;
+        }
+        // Register capacity gates.
+        let reads: BTreeSet<Reg> = lp
+            .body
+            .iter()
+            .flat_map(|&b| func.block(b).instrs.iter())
+            .flat_map(|i| i.src_regs())
+            .collect();
+        let live_ins: Vec<Reg> = liveness
+            .live_in(lp.header)
+            .iter()
+            .copied()
+            .filter(|r| reads.contains(r))
+            .collect();
+        if live_ins.len() > config.max_live_in {
+            continue;
+        }
+        let defs: BTreeSet<Reg> = lp
+            .body
+            .iter()
+            .flat_map(|&b| func.block(b).instrs.iter())
+            .flat_map(|i| i.dsts())
+            .collect();
+        let live_outs: Vec<Reg> = liveness
+            .live_in(exit_target)
+            .iter()
+            .copied()
+            .filter(|r| defs.contains(r))
+            .collect();
+        if live_outs.len() > config.max_live_out {
+            continue;
+        }
+        let static_instrs: usize = lp.body.iter().map(|&b| func.block(b).len()).sum();
+        specs.push(RegionSpec {
+            func: func.id(),
+            shape: RegionShape::Cyclic {
+                header: lp.header,
+                preheader,
+                exit_target,
+                body: lp.body.iter().copied().collect(),
+            },
+            class: if mem_objects.is_empty() {
+                ComputationClass::Stateless
+            } else {
+                ComputationClass::MemoryDependent
+            },
+            mem_objects: mem_objects.into_iter().collect(),
+            live_ins,
+            live_outs,
+            static_instrs,
+            exec_weight: cyc.invocations,
+        });
+    }
+    specs
+}
+
+/// True when `kind` marks an object whose loads can never be
+/// classified determinable.
+pub fn object_blocks_determinism(kind: ObjectKind) -> bool {
+    matches!(kind, ObjectKind::Anonymous)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{BinKind, CmpPred, Operand, ProgramBuilder};
+    use ccr_profile::{Emulator, NullCrb, ValueProfiler};
+
+    /// Builds main with an inner scan loop over `table_kind` invoked
+    /// `outer` times; when `mutate` is set the table is stored to
+    /// before each invocation.
+    fn scan_program(readonly: bool, outer: i64, mutate: bool) -> ccr_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        let tbl = if readonly {
+            pb.table("tbl", vec![5, 6, 7, 8, 9, 10, 11, 12])
+        } else {
+            pb.object("tbl", 8)
+        };
+        let mut f = pb.function("main", 0, 1);
+        let total = f.movi(0);
+        let n = f.movi(0);
+        let sum = f.fresh();
+        let j = f.fresh();
+        let outer_b = f.block();
+        let inner = f.block();
+        let after = f.block();
+        let done = f.block();
+        f.jump(outer_b);
+        f.switch_to(outer_b);
+        if mutate {
+            f.store(tbl, 0, n);
+        }
+        f.assign(sum, 0);
+        f.assign(j, 0);
+        f.jump(inner);
+        f.switch_to(inner);
+        let v = f.load(tbl, j);
+        f.bin_into(BinKind::Add, sum, sum, v);
+        f.inc(j, 1);
+        f.br(CmpPred::Lt, j, 8, inner, after);
+        f.switch_to(after);
+        f.bin_into(BinKind::Add, total, total, sum);
+        f.inc(n, 1);
+        f.br(CmpPred::Lt, n, outer, outer_b, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(total)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        pb.finish()
+    }
+
+    fn find(p: &ccr_ir::Program, config: &RegionConfig) -> Vec<RegionSpec> {
+        let mut prof = ValueProfiler::for_program(p);
+        Emulator::new(p)
+            .run(&mut NullCrb, &mut prof)
+            .unwrap();
+        let profile = prof.finish();
+        let alias = AliasInfo::compute(p);
+        find_cyclic_regions(p, p.function(p.main()), &profile, &alias, config)
+    }
+
+    #[test]
+    fn readonly_scan_loop_becomes_stateless_cyclic_region() {
+        let p = scan_program(true, 100, false);
+        let specs = find(&p, &RegionConfig::paper());
+        assert_eq!(specs.len(), 1, "{specs:?}");
+        let s = &specs[0];
+        assert!(s.is_cyclic());
+        assert_eq!(s.class, ComputationClass::Stateless);
+        assert!(s.mem_objects.is_empty());
+        assert_eq!(s.exec_weight, 100);
+        // Live-outs must include the loop's sum.
+        assert!(!s.live_outs.is_empty());
+    }
+
+    #[test]
+    fn writable_table_gives_memory_dependent_region() {
+        let p = scan_program(false, 100, false);
+        let specs = find(&p, &RegionConfig::paper());
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].class, ComputationClass::MemoryDependent);
+        assert_eq!(specs[0].mem_objects.len(), 1);
+    }
+
+    #[test]
+    fn stateless_only_config_rejects_md() {
+        let p = scan_program(false, 100, false);
+        let specs = find(&p, &RegionConfig::stateless_only());
+        assert!(specs.is_empty());
+    }
+
+    #[test]
+    fn mutated_table_fails_reuse_gate() {
+        let p = scan_program(false, 100, true);
+        let specs = find(&p, &RegionConfig::paper());
+        // Every invocation's memory state differs: 0% reuse
+        // opportunity < 40% gate.
+        assert!(specs.is_empty(), "{specs:?}");
+    }
+
+    #[test]
+    fn low_invocation_count_fails_seed_gate() {
+        let p = scan_program(true, 8, false);
+        let specs = find(&p, &RegionConfig::paper());
+        assert!(specs.is_empty());
+    }
+
+    #[test]
+    fn block_level_only_disables_cyclic() {
+        let p = scan_program(true, 100, false);
+        let specs = find(&p, &RegionConfig::block_level());
+        assert!(specs.is_empty());
+    }
+
+    #[test]
+    fn anonymous_memory_blocks_determinism() {
+        assert!(object_blocks_determinism(ObjectKind::Anonymous));
+        assert!(!object_blocks_determinism(ObjectKind::Named));
+        let mut pb = ProgramBuilder::new();
+        let h = pb.heap("h", 8);
+        let mut f = pb.function("main", 0, 1);
+        let total = f.movi(0);
+        let n = f.movi(0);
+        let sum = f.fresh();
+        let j = f.fresh();
+        let outer_b = f.block();
+        let inner = f.block();
+        let after = f.block();
+        let done = f.block();
+        f.jump(outer_b);
+        f.switch_to(outer_b);
+        f.assign(sum, 0);
+        f.assign(j, 0);
+        f.jump(inner);
+        f.switch_to(inner);
+        let v = f.load(h, j);
+        f.bin_into(BinKind::Add, sum, sum, v);
+        f.inc(j, 1);
+        f.br(CmpPred::Lt, j, 8, inner, after);
+        f.switch_to(after);
+        f.bin_into(BinKind::Add, total, total, sum);
+        f.inc(n, 1);
+        f.br(CmpPred::Lt, n, 100, outer_b, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(total)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let p = pb.finish();
+        let specs = find(&p, &RegionConfig::paper());
+        assert!(specs.is_empty(), "anonymous loads must block the region");
+    }
+}

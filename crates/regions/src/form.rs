@@ -1,0 +1,246 @@
+//! The formation driver: profile-guided selection of cyclic and
+//! acyclic regions across the whole program, followed by annotation.
+
+use std::collections::HashSet;
+
+use ccr_analysis::AliasInfo;
+use ccr_ir::Program;
+use ccr_profile::ReuseProfile;
+
+use crate::acyclic::find_acyclic_regions;
+use crate::config::RegionConfig;
+use crate::cyclic::find_cyclic_regions;
+use crate::funclevel::find_function_regions;
+use crate::spec::{RegionInfo, RegionShape, RegionSpec};
+use crate::transform::annotate;
+
+/// A program with its regions annotated.
+#[derive(Clone, Debug)]
+pub struct AnnotatedProgram {
+    /// The transformed program (reuse/invalidate instructions and
+    /// extensions in place).
+    pub program: Program,
+    /// Region metadata, indexed by position (region ids are dense).
+    pub regions: Vec<RegionInfo>,
+}
+
+/// Selects reusable computation regions for the whole program.
+///
+/// Cyclic regions are formed first (they claim whole loop bodies);
+/// acyclic formation then works around them. Selection stops at
+/// [`RegionConfig::max_regions`], keeping the hottest regions.
+///
+/// ```
+/// use ccr_profile::{Emulator, NullCrb, ValueProfiler};
+/// use ccr_regions::{form_regions, RegionConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A table-driven computation over five recurring words.
+/// let program = ccr_workloads::build("008.espresso", ccr_workloads::InputSet::Train, 1)
+///     .expect("known benchmark");
+/// let mut profiler = ValueProfiler::for_program(&program);
+/// Emulator::new(&program).run(&mut NullCrb, &mut profiler)?;
+/// let profile = profiler.finish();
+///
+/// let specs = form_regions(&program, &profile, &RegionConfig::paper());
+/// assert!(!specs.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn form_regions(
+    program: &Program,
+    profile: &ReuseProfile,
+    config: &RegionConfig,
+) -> Vec<RegionSpec> {
+    let alias = AliasInfo::compute(program);
+    let mut specs = Vec::new();
+    // Function-level regions first (future-work extension; off by
+    // default). Wrapped callees are excluded from interior formation:
+    // a nested reuse executing during memoization aborts the outer
+    // recording.
+    let (call_specs, wrapped) = find_function_regions(program, profile, &alias, config);
+    specs.extend(call_specs);
+    for func in program.functions() {
+        if wrapped.contains(&func.id()) {
+            continue;
+        }
+        let mut occupied: HashSet<ccr_ir::BlockId> = HashSet::new();
+        let cyclic = find_cyclic_regions(program, func, profile, &alias, config);
+        for spec in &cyclic {
+            if let RegionShape::Cyclic {
+                body,
+                preheader,
+                ..
+            } = &spec.shape
+            {
+                occupied.extend(body.iter().copied());
+                // The preheader edge hosts the reuse instruction;
+                // keep acyclic formation out of it too.
+                occupied.insert(*preheader);
+            }
+        }
+        specs.extend(cyclic);
+        specs.extend(find_acyclic_regions(
+            program,
+            func,
+            profile,
+            &alias,
+            config,
+            &mut occupied,
+        ));
+    }
+    // Keep the hottest regions within the region-id budget.
+    specs.sort_by_key(|s| std::cmp::Reverse(s.exec_weight * s.static_instrs as u64));
+    specs.truncate(config.max_regions);
+    specs
+}
+
+/// Forms regions and annotates a clone of the program.
+pub fn annotate_program(
+    program: &Program,
+    profile: &ReuseProfile,
+    config: &RegionConfig,
+) -> AnnotatedProgram {
+    let specs = form_regions(program, profile, config);
+    let mut annotated = program.clone();
+    let regions = annotate(&mut annotated, specs);
+    AnnotatedProgram {
+        program: annotated,
+        regions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{BinKind, CmpPred, Op, Operand, ProgramBuilder};
+    use ccr_profile::{Emulator, NullCrb, NullSink, ValueProfiler};
+
+    /// A program with both region kinds: a pure scan loop (cyclic)
+    /// and a table-driven straight-line computation (acyclic).
+    fn mixed_program() -> ccr_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        let weights = pb.table("weights", vec![2, 4, 6, 8]);
+        let lut = pb.table("lut", (0..64).map(|v| v * v).collect());
+        let mut f = pb.function("main", 0, 1);
+        let total = f.movi(0);
+        let n = f.movi(0);
+        let sum = f.fresh();
+        let j = f.fresh();
+        let outer = f.block();
+        let scan = f.block();
+        let after = f.block();
+        let done = f.block();
+        f.jump(outer);
+        f.switch_to(outer);
+        f.assign(sum, 0);
+        f.assign(j, 0);
+        f.jump(scan);
+        // Cyclic candidate: pure scan over a read-only table.
+        f.switch_to(scan);
+        let w = f.load(weights, j);
+        f.bin_into(BinKind::Add, sum, sum, w);
+        f.inc(j, 1);
+        f.br(CmpPred::Lt, j, 4, scan, after);
+        // Acyclic candidate: repeated-value table computation.
+        f.switch_to(after);
+        let sel = f.and(n, 3);
+        let x = f.load(lut, sel);
+        let y = f.mul(x, 3);
+        let z = f.add(y, 7);
+        let q = f.xor(z, x);
+        f.bin_into(BinKind::Add, total, total, q);
+        f.bin_into(BinKind::Add, total, total, sum);
+        f.inc(n, 1);
+        f.br(CmpPred::Lt, n, 120, outer, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(total)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        pb.finish()
+    }
+
+    fn profile_of(p: &ccr_ir::Program) -> ReuseProfile {
+        let mut prof = ValueProfiler::for_program(p);
+        Emulator::new(p).run(&mut NullCrb, &mut prof).unwrap();
+        prof.finish()
+    }
+
+    #[test]
+    fn forms_both_region_kinds() {
+        let p = mixed_program();
+        let profile = profile_of(&p);
+        let specs = form_regions(&p, &profile, &RegionConfig::paper());
+        let cyclic = specs.iter().filter(|s| s.is_cyclic()).count();
+        let acyclic = specs.len() - cyclic;
+        assert_eq!(cyclic, 1, "{specs:?}");
+        assert!(acyclic >= 1, "{specs:?}");
+    }
+
+    #[test]
+    fn annotation_preserves_architectural_results() {
+        let p = mixed_program();
+        let base = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        let profile = profile_of(&p);
+        let annotated = annotate_program(&p, &profile, &RegionConfig::paper());
+        ccr_ir::verify_program(&annotated.program).unwrap();
+        let out = Emulator::new(&annotated.program)
+            .run(&mut NullCrb, &mut NullSink)
+            .unwrap();
+        assert_eq!(out.returned, base.returned);
+        assert!(out.reuse_misses > 0);
+    }
+
+    #[test]
+    fn region_ids_are_dense_and_match_infos() {
+        let p = mixed_program();
+        let profile = profile_of(&p);
+        let annotated = annotate_program(&p, &profile, &RegionConfig::paper());
+        for (i, info) in annotated.regions.iter().enumerate() {
+            assert_eq!(info.id.index(), i);
+        }
+        // Every reuse instruction references a known region.
+        for (_, instr) in annotated.program.iter_instrs() {
+            if let Op::Reuse { region, .. } = instr.op {
+                assert!(region.index() < annotated.regions.len());
+            }
+        }
+    }
+
+    #[test]
+    fn block_level_config_yields_single_block_regions() {
+        let p = mixed_program();
+        let profile = profile_of(&p);
+        let specs = form_regions(&p, &profile, &RegionConfig::block_level());
+        assert!(!specs.is_empty());
+        for s in &specs {
+            match &s.shape {
+                RegionShape::Path { blocks, .. } => assert_eq!(blocks.len(), 1),
+                RegionShape::Cyclic { .. } => panic!("cyclic region under block_level"),
+                RegionShape::Call { .. } => panic!("function-level region by default"),
+            }
+        }
+    }
+
+    #[test]
+    fn max_regions_keeps_hottest() {
+        let p = mixed_program();
+        let profile = profile_of(&p);
+        let all = form_regions(&p, &profile, &RegionConfig::paper());
+        let one = form_regions(
+            &p,
+            &profile,
+            &RegionConfig {
+                max_regions: 1,
+                ..RegionConfig::paper()
+            },
+        );
+        assert_eq!(one.len(), 1);
+        let hottest = all
+            .iter()
+            .map(|s| s.exec_weight * s.static_instrs as u64)
+            .max()
+            .unwrap();
+        assert_eq!(one[0].exec_weight * one[0].static_instrs as u64, hottest);
+    }
+}

@@ -1,0 +1,329 @@
+//! Function-level reuse formation (the paper's future work, Section 6:
+//! *"the aspect of directing the CCR architecture at the function
+//! level could potentially reduce a significant amount of time spent
+//! executing calling convention and spill codes"*).
+//!
+//! A call site becomes a reusable computation region when the callee
+//! is a *deterministic computation* in the Section 4.1 sense,
+//! transitively: it (and everything it calls) stores nothing and loads
+//! only determinable locations. The recorded instance's input bank is
+//! the argument registers; its output bank is the return registers; a
+//! hit skips the entire dynamic call, including the callee's own
+//! control flow.
+
+use std::collections::BTreeSet;
+
+use ccr_analysis::{AliasInfo, CallGraph, Determinable, SideEffects};
+use ccr_ir::{FuncId, Op, Program};
+use ccr_profile::ReuseProfile;
+
+use crate::config::RegionConfig;
+use crate::spec::{ComputationClass, RegionShape, RegionSpec};
+
+/// Finds function-level region candidates program-wide. Returns the
+/// specs plus the set of wrapped callees (their bodies are excluded
+/// from interior region formation: a nested `reuse` executing during
+/// memoization aborts the outer recording, so interior regions would
+/// starve the function-level ones).
+pub fn find_function_regions(
+    program: &Program,
+    profile: &ReuseProfile,
+    alias: &AliasInfo,
+    config: &RegionConfig,
+) -> (Vec<RegionSpec>, BTreeSet<FuncId>) {
+    if !config.function_level {
+        return (Vec::new(), BTreeSet::new());
+    }
+    let cg = CallGraph::compute(program);
+    let se = SideEffects::compute(program, &cg);
+
+    // Per-callee eligibility, computed once.
+    let eligible: Vec<bool> = program
+        .functions()
+        .iter()
+        .map(|g| callee_eligible(program, &cg, &se, alias, config, g.id()))
+        .collect();
+
+    let mut specs = Vec::new();
+    let mut wrapped = BTreeSet::new();
+    for func in program.functions() {
+        for (bid, block) in func.iter_blocks() {
+            for (pos, instr) in block.instrs.iter().enumerate() {
+                let Op::Call { callee, args, rets } = &instr.op else {
+                    continue;
+                };
+                if !eligible[callee.index()] {
+                    continue;
+                }
+                // Profile gates at the call site: the argument vector
+                // must repeat.
+                if profile.exec(instr.id) < config.min_seed_exec
+                    || profile.invariance_ratio(instr.id, config.top_k) < config.r_threshold
+                {
+                    continue;
+                }
+                let live_ins: Vec<_> = args.iter().filter_map(|a| a.as_reg()).collect();
+                if live_ins.len() > config.max_live_in || rets.len() > config.max_live_out {
+                    continue;
+                }
+                if rets.is_empty() {
+                    continue; // nothing to reuse
+                }
+                let mem_objects = writable_reads(program, &se, *callee);
+                if mem_objects.len() > config.max_mem_objects {
+                    continue;
+                }
+                if !mem_objects.is_empty() && !config.allow_memory_dependent {
+                    continue;
+                }
+                let static_instrs: usize = cg
+                    .reachable_from(*callee)
+                    .iter()
+                    .map(|g| program.function(*g).instr_count())
+                    .sum();
+                let class = if mem_objects.is_empty() {
+                    ComputationClass::Stateless
+                } else {
+                    ComputationClass::MemoryDependent
+                };
+                wrapped.insert(*callee);
+                specs.push(RegionSpec {
+                    func: func.id(),
+                    shape: RegionShape::Call {
+                        block: bid,
+                        pos,
+                        callee: *callee,
+                    },
+                    class,
+                    mem_objects,
+                    live_ins,
+                    live_outs: rets.clone(),
+                    static_instrs,
+                    exec_weight: profile.exec(instr.id),
+                });
+            }
+        }
+    }
+    (specs, wrapped)
+}
+
+/// A callee is a deterministic computation usable at function level:
+/// transitively store-free, every load determinable, and large enough
+/// that the inliner left it out-of-line.
+fn callee_eligible(
+    program: &Program,
+    cg: &CallGraph,
+    se: &SideEffects,
+    alias: &AliasInfo,
+    config: &RegionConfig,
+    callee: FuncId,
+) -> bool {
+    if se.may_store(callee) {
+        return false;
+    }
+    let g = program.function(callee);
+    if g.param_count() > config.max_live_in || g.ret_count() > config.max_live_out {
+        return false;
+    }
+    if g.instr_count() < config.min_region_instrs {
+        return false;
+    }
+    for reach in cg.reachable_from(callee) {
+        for (_, instr) in program.function(reach).iter_instrs() {
+            match &instr.op {
+                Op::Load { .. }
+                    if alias.load_class(instr.id) == Determinable::No => {
+                        return false;
+                    }
+                Op::Reuse { .. } | Op::Invalidate { .. } => return false,
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+/// The writable named objects the callee may read, transitively —
+/// the invalidation set of the call region.
+fn writable_reads(
+    program: &Program,
+    se: &SideEffects,
+    callee: FuncId,
+) -> Vec<ccr_ir::MemObjectId> {
+    se.reads(callee)
+        .iter()
+        .copied()
+        .filter(|o| !program.object(*o).is_read_only())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::{BinKind, CmpPred, Operand, ProgramBuilder};
+    use ccr_profile::{Emulator, NullCrb, ValueProfiler};
+
+    /// A big pure function (too large to inline) called with pooled
+    /// arguments, plus an impure sibling that must be rejected.
+    fn program() -> ccr_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        let t = pb.table("lut", (0..64).map(|v| v * 3).collect());
+        let scratch = pb.object("scratch", 8);
+        let pool = pb.table("pool", vec![5, 9, 5, 9, 12, 5, 9, 12]);
+
+        let pure_big = pb.declare("pure_big", 2, 1);
+        {
+            let mut f = pb.function_body(pure_big);
+            let (a, b) = (f.param(0), f.param(1));
+            let mut x = f.add(a, b);
+            for k in 0..30 {
+                let m = f.and(x, 63);
+                let lv = f.load(t, m);
+                let y = f.xor(x, lv);
+                x = f.add(y, k);
+            }
+            f.ret(&[Operand::Reg(x)]);
+            pb.finish_function(f);
+        }
+        let impure = pb.declare("impure", 1, 1);
+        {
+            let mut f = pb.function_body(impure);
+            let a = f.param(0);
+            f.store(scratch, 0, a);
+            let mut x = f.mul(a, 3);
+            for k in 0..28 {
+                x = f.add(x, k);
+            }
+            f.ret(&[Operand::Reg(x)]);
+            pb.finish_function(f);
+        }
+
+        let mut f = pb.function("main", 0, 1);
+        let acc = f.movi(0);
+        let i = f.movi(0);
+        let body = f.block();
+        let done = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        let idx = f.and(i, 7);
+        let v = f.load(pool, idx);
+        let r1 = f.call(pure_big, &[Operand::Reg(v), Operand::Imm(11)], 1);
+        let r2 = f.call(impure, &[Operand::Reg(v)], 1);
+        let w = f.add(r1[0], r2[0]);
+        f.bin_into(BinKind::Add, acc, acc, w);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 300, body, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(acc)]);
+        let main = pb.finish_function(f);
+        pb.set_main(main);
+        pb.finish()
+    }
+
+    fn find(p: &ccr_ir::Program, config: &RegionConfig) -> (Vec<RegionSpec>, BTreeSet<FuncId>) {
+        let mut prof = ValueProfiler::for_program(p);
+        Emulator::new(p).run(&mut NullCrb, &mut prof).unwrap();
+        let profile = prof.finish();
+        let alias = AliasInfo::compute(p);
+        find_function_regions(p, &profile, &alias, config)
+    }
+
+    fn enabled() -> RegionConfig {
+        RegionConfig {
+            function_level: true,
+            ..RegionConfig::paper()
+        }
+    }
+
+    #[test]
+    fn wraps_pure_function_call_sites_only() {
+        let p = program();
+        let (specs, wrapped) = find(&p, &enabled());
+        assert_eq!(specs.len(), 1, "{specs:?}");
+        let s = &specs[0];
+        assert!(s.is_function_level());
+        assert_eq!(s.live_ins.len(), 1, "one register argument");
+        assert_eq!(s.live_outs.len(), 1);
+        assert!(s.static_instrs > 100, "whole callee counted");
+        let pure_id = p.function_by_name("pure_big").unwrap().id();
+        assert!(wrapped.contains(&pure_id));
+        assert_eq!(wrapped.len(), 1, "impure callee must not be wrapped");
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let p = program();
+        let (specs, wrapped) = find(&p, &RegionConfig::paper());
+        assert!(specs.is_empty());
+        assert!(wrapped.is_empty());
+    }
+
+    #[test]
+    fn wrapped_call_reuses_end_to_end() {
+        use crate::transform::annotate;
+        let p = program();
+        let (specs, _) = find(&p, &enabled());
+        let base = Emulator::new(&p)
+            .run(&mut NullCrb, &mut ccr_profile::NullSink)
+            .unwrap();
+        let mut annotated = p.clone();
+        annotate(&mut annotated, specs);
+        ccr_ir::verify_program(&annotated).unwrap();
+        // A simple recording CRB: single entry per region, 8 LRU
+        // instances (reuse the emulator-side functional model).
+        struct Crb(std::collections::HashMap<ccr_ir::RegionId, Vec<ccr_profile::RecordedInstance>>);
+        impl ccr_profile::CrbModel for Crb {
+            fn lookup(
+                &mut self,
+                region: ccr_ir::RegionId,
+                read: &mut dyn FnMut(ccr_ir::Reg) -> ccr_ir::Value,
+            ) -> Option<ccr_profile::ReuseLookup> {
+                self.0.get(&region)?.iter().find_map(|inst| {
+                    inst.inputs
+                        .iter()
+                        .all(|(r, v)| read(*r) == *v)
+                        .then(|| ccr_profile::ReuseLookup {
+                            outputs: inst.outputs.clone(),
+                            inputs: inst.inputs.iter().map(|(r, _)| *r).collect(),
+                            skipped_instrs: inst.body_instrs,
+                        })
+                })
+            }
+            fn record(&mut self, region: ccr_ir::RegionId, instance: ccr_profile::RecordedInstance) {
+                self.0.entry(region).or_default().push(instance);
+            }
+            fn invalidate(&mut self, region: ccr_ir::RegionId) {
+                if let Some(v) = self.0.get_mut(&region) {
+                    v.retain(|i| !i.accesses_memory);
+                }
+            }
+        }
+        let mut crb = Crb(std::collections::HashMap::new());
+        let out = Emulator::new(&annotated)
+            .run(&mut crb, &mut ccr_profile::NullSink)
+            .unwrap();
+        assert_eq!(out.returned, base.returned, "function reuse changed results");
+        // Three distinct pool values: three misses, the rest hits.
+        assert_eq!(out.reuse_misses, 3);
+        assert_eq!(out.reuse_hits, 297);
+        // Each hit skips the whole ~120-instruction callee execution.
+        assert!(out.skipped_instrs > 297 * 100, "{}", out.skipped_instrs);
+    }
+
+    #[test]
+    fn stateless_only_config_still_allows_pure_calls() {
+        let p = program();
+        let (specs, _) = find(
+            &p,
+            &RegionConfig {
+                function_level: true,
+                allow_memory_dependent: false,
+                ..RegionConfig::paper()
+            },
+        );
+        // pure_big reads only a read-only table: stateless class.
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].class, ComputationClass::Stateless);
+        assert!(specs[0].mem_objects.is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Computation-group classification (Figure 9 of the paper).
+//!
+//! Regions are grouped by input type: `SL_{n}` for stateless
+//! computations with up to *n* register inputs, `MD_{n}_{m}` for
+//! memory-dependent computations with up to *n* register inputs and
+//! *m* distinguishable memory structures. The paper reports seven
+//! groups covering ~90 % of formed computations; everything else falls
+//! into `Other`.
+
+use std::collections::HashMap;
+
+use ccr_ir::RegionId;
+
+use crate::spec::{ComputationClass, RegionInfo};
+
+/// The paper's seven computation groups plus a catch-all.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum ComputationGroup {
+    /// Stateless, ≤ 4 register inputs.
+    Sl4,
+    /// Stateless, 5–6 register inputs.
+    Sl6,
+    /// Stateless, 7–8 register inputs.
+    Sl8,
+    /// Memory-dependent, ≤ 3 inputs, 1 structure.
+    Md31,
+    /// Memory-dependent, 4–6 inputs, 1 structure.
+    Md61,
+    /// Memory-dependent, ≤ 2 inputs, 2 structures.
+    Md22,
+    /// Memory-dependent, ≤ 2 inputs, 3 structures.
+    Md23,
+    /// Anything outside the seven groups.
+    Other,
+}
+
+impl ComputationGroup {
+    /// All groups in the paper's presentation order.
+    pub const ALL: [ComputationGroup; 8] = [
+        ComputationGroup::Sl4,
+        ComputationGroup::Sl6,
+        ComputationGroup::Sl8,
+        ComputationGroup::Md31,
+        ComputationGroup::Md61,
+        ComputationGroup::Md22,
+        ComputationGroup::Md23,
+        ComputationGroup::Other,
+    ];
+
+    /// The paper's group label (e.g. `SL_4`, `MD_3_1`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ComputationGroup::Sl4 => "SL_4",
+            ComputationGroup::Sl6 => "SL_6",
+            ComputationGroup::Sl8 => "SL_8",
+            ComputationGroup::Md31 => "MD_3_1",
+            ComputationGroup::Md61 => "MD_6_1",
+            ComputationGroup::Md22 => "MD_2_2",
+            ComputationGroup::Md23 => "MD_2_3",
+            ComputationGroup::Other => "Other",
+        }
+    }
+
+    /// True for the stateless groups.
+    pub fn is_stateless(self) -> bool {
+        matches!(
+            self,
+            ComputationGroup::Sl4 | ComputationGroup::Sl6 | ComputationGroup::Sl8
+        )
+    }
+}
+
+impl std::fmt::Display for ComputationGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classifies a region by its class, register-input count, and
+/// distinguishable-memory count.
+pub fn classify_group(class: ComputationClass, inputs: usize, mem: usize) -> ComputationGroup {
+    match (class, mem) {
+        (ComputationClass::Stateless, 0) => match inputs {
+            0..=4 => ComputationGroup::Sl4,
+            5..=6 => ComputationGroup::Sl6,
+            7..=8 => ComputationGroup::Sl8,
+            _ => ComputationGroup::Other,
+        },
+        (ComputationClass::MemoryDependent, 1) => match inputs {
+            0..=3 => ComputationGroup::Md31,
+            4..=6 => ComputationGroup::Md61,
+            _ => ComputationGroup::Other,
+        },
+        (ComputationClass::MemoryDependent, 2) if inputs <= 2 => ComputationGroup::Md22,
+        (ComputationClass::MemoryDependent, 3) if inputs <= 2 => ComputationGroup::Md23,
+        _ => ComputationGroup::Other,
+    }
+}
+
+/// A distribution of weight over computation groups.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GroupDistribution {
+    weights: HashMap<ComputationGroup, f64>,
+    total: f64,
+}
+
+impl GroupDistribution {
+    /// Static distribution: each region counts once.
+    pub fn static_of(regions: &[RegionInfo]) -> GroupDistribution {
+        let mut d = GroupDistribution::default();
+        for info in regions {
+            d.add(group_of(info), 1.0);
+        }
+        d
+    }
+
+    /// Dynamic distribution: each region weighted by the dynamic
+    /// instructions its reuse hits eliminated (as reported by the
+    /// simulator).
+    pub fn dynamic_of(
+        regions: &[RegionInfo],
+        reuse_weight: &HashMap<RegionId, u64>,
+    ) -> GroupDistribution {
+        let mut d = GroupDistribution::default();
+        for info in regions {
+            let w = reuse_weight.get(&info.id).copied().unwrap_or(0);
+            if w > 0 {
+                d.add(group_of(info), w as f64);
+            }
+        }
+        d
+    }
+
+    /// Adds `weight` to `group`.
+    pub fn add(&mut self, group: ComputationGroup, weight: f64) {
+        *self.weights.entry(group).or_insert(0.0) += weight;
+        self.total += weight;
+    }
+
+    /// Fraction of total weight in `group` (0 if the distribution is
+    /// empty).
+    pub fn fraction(&self, group: ComputationGroup) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.weights.get(&group).copied().unwrap_or(0.0) / self.total
+        }
+    }
+
+    /// Fraction of weight in the stateless groups.
+    pub fn stateless_fraction(&self) -> f64 {
+        ComputationGroup::ALL
+            .iter()
+            .filter(|g| g.is_stateless())
+            .map(|g| self.fraction(*g))
+            .sum()
+    }
+
+    /// Total accumulated weight.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+}
+
+/// The group of an annotated region.
+pub fn group_of(info: &RegionInfo) -> ComputationGroup {
+    classify_group(info.spec.class, info.spec.input_count(), info.spec.mem_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{RegionShape, RegionSpec};
+    use ccr_ir::{BlockId, FuncId, Reg};
+
+    #[test]
+    fn classification_matches_paper_groups() {
+        use ComputationClass::*;
+        use ComputationGroup::*;
+        assert_eq!(classify_group(Stateless, 1, 0), Sl4);
+        assert_eq!(classify_group(Stateless, 4, 0), Sl4);
+        assert_eq!(classify_group(Stateless, 5, 0), Sl6);
+        assert_eq!(classify_group(Stateless, 8, 0), Sl8);
+        assert_eq!(classify_group(Stateless, 9, 0), Other);
+        assert_eq!(classify_group(MemoryDependent, 3, 1), Md31);
+        assert_eq!(classify_group(MemoryDependent, 6, 1), Md61);
+        assert_eq!(classify_group(MemoryDependent, 2, 2), Md22);
+        assert_eq!(classify_group(MemoryDependent, 2, 3), Md23);
+        assert_eq!(classify_group(MemoryDependent, 3, 2), Other);
+        assert_eq!(classify_group(MemoryDependent, 1, 4), Other);
+    }
+
+    fn info(inputs: usize, mem: usize, id: u32) -> RegionInfo {
+        let class = if mem == 0 {
+            ComputationClass::Stateless
+        } else {
+            ComputationClass::MemoryDependent
+        };
+        RegionInfo {
+            id: ccr_ir::RegionId(id),
+            spec: RegionSpec {
+                func: FuncId(0),
+                shape: RegionShape::Path {
+                    blocks: vec![BlockId(0)],
+                    start_pos: 0,
+                    end_pos: 1,
+                },
+                class,
+                mem_objects: (0..mem as u32).map(ccr_ir::MemObjectId).collect(),
+                live_ins: (0..inputs as u32).map(Reg).collect(),
+                live_outs: vec![Reg(99)],
+                static_instrs: 5,
+                exec_weight: 100,
+            },
+            invalidation_sites: mem,
+        }
+    }
+
+    #[test]
+    fn static_distribution_counts_regions() {
+        let regions = vec![info(2, 0, 0), info(5, 0, 1), info(3, 1, 2)];
+        let d = GroupDistribution::static_of(&regions);
+        assert!((d.fraction(ComputationGroup::Sl4) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((d.fraction(ComputationGroup::Sl6) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((d.fraction(ComputationGroup::Md31) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((d.stateless_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(d.total(), 3.0);
+    }
+
+    #[test]
+    fn dynamic_distribution_weights_by_reuse() {
+        let regions = vec![info(2, 0, 0), info(3, 1, 1)];
+        let mut w = HashMap::new();
+        w.insert(ccr_ir::RegionId(0), 300u64);
+        w.insert(ccr_ir::RegionId(1), 100u64);
+        let d = GroupDistribution::dynamic_of(&regions, &w);
+        assert!((d.fraction(ComputationGroup::Sl4) - 0.75).abs() < 1e-9);
+        assert!((d.fraction(ComputationGroup::Md31) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_distribution_is_all_zero() {
+        let d = GroupDistribution::default();
+        assert_eq!(d.fraction(ComputationGroup::Sl4), 0.0);
+        assert_eq!(d.stateless_fraction(), 0.0);
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(ComputationGroup::Md22.to_string(), "MD_2_2");
+        assert_eq!(ComputationGroup::Sl8.label(), "SL_8");
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # ccr-regions — Reusable Computation Region formation
+//!
+//! The compiler half of the CCR framework (Section 4 of the paper):
+//!
+//! * [`config`] — the published heuristic thresholds (R = Rm = 0.65,
+//!   k = 5 invariant values, 8 live-in/live-out registers, 4
+//!   distinguishable memory structures, 40 % cyclic reuse opportunity,
+//!   60 % multi-iteration invocations),
+//! * [`spec`] — region descriptors: shape (cyclic loop / acyclic
+//!   path), deterministic-computation class (stateless vs
+//!   memory-dependent), and the paper's computation groups (`SL_n`,
+//!   `MD_n_m`),
+//! * [`cyclic`] — cyclic region formation over pure innermost loops,
+//! * [`acyclic`] — seed-selection and successor/predecessor growth
+//!   over profile data,
+//! * [`transform`] — the code transformation: block splitting, `reuse`
+//!   insertion, live-out / region-end / region-exit marking, and
+//!   `invalidate` placement after every store that may write a
+//!   memory-dependent region's input structures,
+//! * [`form`] — the driver tying formation and annotation together,
+//! * [`groups`] — static/dynamic computation-group distributions
+//!   (Figure 9).
+
+pub mod acyclic;
+pub mod config;
+pub mod cyclic;
+pub mod form;
+pub mod funclevel;
+pub mod groups;
+pub mod spec;
+pub mod transform;
+
+pub use config::RegionConfig;
+pub use form::{annotate_program, form_regions, AnnotatedProgram};
+pub use groups::{classify_group, ComputationGroup, GroupDistribution};
+pub use spec::{ComputationClass, RegionInfo, RegionShape, RegionSpec};

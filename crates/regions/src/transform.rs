@@ -1,0 +1,566 @@
+//! The region annotation transformation.
+//!
+//! Turns selected [`RegionSpec`]s into the ISA encoding of Section 3.2:
+//!
+//! * the **inception point** becomes a `reuse` terminator whose `body`
+//!   edge enters the original region code and whose `cont` edge skips
+//!   it,
+//! * the **finish point** is a fresh jump trampoline carrying the
+//!   region-endpoint extension (recording happens when it executes),
+//! * every **exit point** (control leaving the region mid-way) is
+//!   routed through a jump trampoline carrying the region-exit
+//!   extension (memoization aborts when it executes) — trampolines
+//!   give the *edge* semantics the paper assigns to its control
+//!   extensions while keeping extensions per-instruction,
+//! * instructions defining the region's live-out registers receive the
+//!   **live-out** extension,
+//! * for memory-dependent regions, an `invalidate` instruction is
+//!   inserted after every store in the whole program that may write
+//!   one of the region's input structures (the compiler knows them all
+//!   — that is what *determinable* means).
+
+use std::collections::{BTreeSet, HashMap};
+
+use ccr_analysis::AliasInfo;
+use ccr_ir::{BlockId, FuncId, InstrExt, Op, Program, Reg, RegionId};
+
+use crate::spec::{RegionInfo, RegionShape, RegionSpec};
+
+/// Applies all region annotations to `program`.
+///
+/// Regions must not share blocks (formation guarantees this); each
+/// transformation only splits blocks it owns and appends new blocks,
+/// so the specs' block coordinates remain valid throughout.
+pub fn annotate(program: &mut Program, specs: Vec<RegionSpec>) -> Vec<RegionInfo> {
+    let alias = AliasInfo::compute(program);
+    // Region ids follow the input order (dense from the program's
+    // counter), regardless of the order transformations are applied.
+    let ids: Vec<_> = specs.iter().map(|_| program.fresh_region_id()).collect();
+
+    // Safe application order: cyclic regions first (no splitting),
+    // then path regions grouped so that, within one block, later
+    // ranges split before earlier ones — every split leaves the block
+    // prefix (where all not-yet-processed coordinates live) intact.
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by_key(|&i| match &specs[i].shape {
+        RegionShape::Cyclic { .. } => (0u8, specs[i].func.0, 0u32, 0i64),
+        RegionShape::Path {
+            blocks, start_pos, ..
+        } => (
+            1,
+            specs[i].func.0,
+            blocks[0].0,
+            -(*start_pos as i64),
+        ),
+        RegionShape::Call { block, pos, .. } => {
+            (1, specs[i].func.0, block.0, -(*pos as i64))
+        }
+    });
+
+    let mut inval_sites = vec![0usize; specs.len()];
+    for &i in &order {
+        let spec = &specs[i];
+        let region = ids[i];
+        match spec.shape.clone() {
+            RegionShape::Cyclic {
+                header,
+                preheader,
+                exit_target,
+                body,
+            } => apply_cyclic(program, spec, region, header, preheader, exit_target, &body),
+            RegionShape::Path {
+                blocks,
+                start_pos,
+                end_pos,
+            } => apply_path(program, spec, region, &blocks, start_pos, end_pos),
+            RegionShape::Call { block, pos, .. } => {
+                apply_call(program, spec, region, block, pos)
+            }
+        }
+        inval_sites[i] = insert_invalidates(program, spec, region, &alias);
+    }
+    let infos: Vec<RegionInfo> = specs
+        .into_iter()
+        .zip(ids)
+        .zip(inval_sites)
+        .map(|((spec, id), invalidation_sites)| RegionInfo {
+            id,
+            spec,
+            invalidation_sites,
+        })
+        .collect();
+    debug_assert!(
+        ccr_ir::verify_program(program).is_ok(),
+        "annotation broke the program: {:?}",
+        ccr_ir::verify_program(program).err()
+    );
+    infos
+}
+
+/// Splits block `b` at `at`, returning the new block holding the tail.
+fn split_off(program: &mut Program, func: FuncId, b: BlockId, at: usize) -> BlockId {
+    let new = program.function_mut(func).add_block();
+    let f = program.function_mut(func);
+    let tail = f.block_mut(b).instrs.split_off(at);
+    f.block_mut(new).instrs = tail;
+    new
+}
+
+fn push_marked_jump(program: &mut Program, func: FuncId, b: BlockId, target: BlockId, ext: InstrExt) {
+    let mut j = program.new_instr(Op::Jump { target });
+    j.ext = ext;
+    program.function_mut(func).block_mut(b).instrs.push(j);
+}
+
+fn mark_live_outs(program: &mut Program, func: FuncId, blocks: &[BlockId], live_outs: &[Reg]) {
+    let set: BTreeSet<Reg> = live_outs.iter().copied().collect();
+    let f = program.function_mut(func);
+    for &b in blocks {
+        for instr in &mut f.block_mut(b).instrs {
+            if let Some(d) = instr.dst() {
+                if set.contains(&d) {
+                    instr.ext = instr.ext | InstrExt::LIVE_OUT;
+                }
+            }
+        }
+    }
+}
+
+/// Routes every region-leaving edge that is not the designated finish
+/// through a `region_exit` trampoline.
+fn add_exit_trampolines(
+    program: &mut Program,
+    func: FuncId,
+    region_blocks: &BTreeSet<BlockId>,
+    finish_target: BlockId,
+) {
+    let mut trampolines: HashMap<BlockId, BlockId> = HashMap::new();
+    let blocks: Vec<BlockId> = region_blocks.iter().copied().collect();
+    for b in blocks {
+        let succs: Vec<BlockId> = program.function(func).block(b).successors();
+        let needs: Vec<BlockId> = succs
+            .into_iter()
+            .filter(|s| !region_blocks.contains(s) && *s != finish_target)
+            .collect();
+        for out in needs {
+            let tram = match trampolines.get(&out) {
+                Some(t) => *t,
+                None => {
+                    let t = program.function_mut(func).add_block();
+                    push_marked_jump(program, func, t, out, InstrExt::REGION_EXIT);
+                    trampolines.insert(out, t);
+                    t
+                }
+            };
+            // Skip the marked trampoline/finish jumps themselves.
+            let f = program.function_mut(func);
+            if let Some(term) = f.block_mut(b).terminator_mut() {
+                if term.ext.contains(InstrExt::REGION_END)
+                    || term.ext.contains(InstrExt::REGION_EXIT)
+                {
+                    continue;
+                }
+                term.map_successors(|s| if s == out { tram } else { s });
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_cyclic(
+    program: &mut Program,
+    spec: &RegionSpec,
+    region: RegionId,
+    header: BlockId,
+    preheader: BlockId,
+    exit_target: BlockId,
+    body: &[BlockId],
+) {
+    let func = spec.func;
+    // Finish trampoline: executing it leaves the loop normally and
+    // records the instance.
+    let t_end = program.function_mut(func).add_block();
+    push_marked_jump(program, func, t_end, exit_target, InstrExt::REGION_END);
+    // Reroute all loop exits through it.
+    for &b in body {
+        let f = program.function_mut(func);
+        if let Some(term) = f.block_mut(b).terminator_mut() {
+            term.map_successors(|s| if s == exit_target { t_end } else { s });
+        }
+    }
+    // The reuse instruction sits on the preheader→header edge.
+    let rb = program.function_mut(func).add_block();
+    let reuse = program.new_instr(Op::Reuse {
+        region,
+        body: header,
+        cont: exit_target,
+    });
+    program.function_mut(func).block_mut(rb).instrs.push(reuse);
+    let f = program.function_mut(func);
+    if let Some(term) = f.block_mut(preheader).terminator_mut() {
+        term.map_successors(|s| if s == header { rb } else { s });
+    }
+    mark_live_outs(program, func, body, &spec.live_outs);
+}
+
+fn apply_path(
+    program: &mut Program,
+    spec: &RegionSpec,
+    region: RegionId,
+    blocks: &[BlockId],
+    start_pos: usize,
+    end_pos: usize,
+) {
+    let func = spec.func;
+    let first = blocks[0];
+    let last = *blocks.last().expect("non-empty path");
+    // Split the tail off the last block; the finish jump replaces it.
+    let cont = split_off(program, func, last, end_pos + 1);
+    push_marked_jump(program, func, last, cont, InstrExt::REGION_END);
+    // Split the region start out of the first block. When the path
+    // has one block, `last == first`, and the earlier tail split left
+    // exactly the range [start..=end] plus the finish jump in it.
+    let body_entry = split_off(program, func, first, start_pos);
+    let reuse = program.new_instr(Op::Reuse {
+        region,
+        body: body_entry,
+        cont,
+    });
+    program
+        .function_mut(func)
+        .block_mut(first)
+        .instrs
+        .push(reuse);
+    // Region blocks after splitting: the new body entry plus the
+    // original path minus its first block.
+    let mut region_blocks: BTreeSet<BlockId> = blocks[1..].iter().copied().collect();
+    region_blocks.insert(body_entry);
+    add_exit_trampolines(program, func, &region_blocks, cont);
+    let region_block_list: Vec<BlockId> = region_blocks.into_iter().collect();
+    mark_live_outs(program, func, &region_block_list, &spec.live_outs);
+}
+
+/// Wraps a call site in a reuse region: the body block holds just the
+/// call (marked live-out — its result registers fill the output bank)
+/// followed by the region-end jump; a hit skips the entire dynamic
+/// call.
+fn apply_call(
+    program: &mut Program,
+    spec: &RegionSpec,
+    region: RegionId,
+    block: BlockId,
+    pos: usize,
+) {
+    let func = spec.func;
+    let cont = split_off(program, func, block, pos + 1);
+    let body = split_off(program, func, block, pos);
+    {
+        let f = program.function_mut(func);
+        let call = &mut f.block_mut(body).instrs[0];
+        debug_assert!(call.is_call(), "call region must wrap a call");
+        call.ext = call.ext | InstrExt::LIVE_OUT;
+    }
+    push_marked_jump(program, func, body, cont, InstrExt::REGION_END);
+    let reuse = program.new_instr(Op::Reuse {
+        region,
+        body,
+        cont,
+    });
+    program
+        .function_mut(func)
+        .block_mut(block)
+        .instrs
+        .push(reuse);
+}
+
+/// Inserts `invalidate` after every store that may write one of the
+/// region's memory structures. Returns the number of sites.
+fn insert_invalidates(
+    program: &mut Program,
+    spec: &RegionSpec,
+    region: RegionId,
+    alias: &AliasInfo,
+) -> usize {
+    let mut sites = 0;
+    for &obj in &spec.mem_objects {
+        for &(func, store_id) in alias.store_sites(obj) {
+            let (b, pos) = program
+                .function(func)
+                .find_instr(store_id)
+                .expect("store site survived annotation");
+            let inv = program.new_instr(Op::Invalidate { region });
+            program
+                .function_mut(func)
+                .block_mut(b)
+                .instrs
+                .insert(pos + 1, inv);
+            sites += 1;
+        }
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ComputationClass;
+    use ccr_ir::{BinKind, CmpPred, Operand, ProgramBuilder};
+    use ccr_profile::{Emulator, NullCrb, NullSink};
+
+    /// Hand-built single-block path region over a bit-trick sequence.
+    fn path_program() -> (ccr_ir::Program, RegionSpec) {
+        let mut pb = ProgramBuilder::new();
+        let t = pb.table("t", vec![7, 11]);
+        let mut f = pb.function("main", 0, 1);
+        let acc = f.movi(0);
+        let i = f.movi(0);
+        let body = f.block();
+        let done = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        let sel = f.and(i, 1); // pos 0
+        let v = f.load(t, sel); // pos 1 (region start)
+        let a = f.mul(v, 3); // pos 2
+        let b = f.add(a, 9); // pos 3 (region end)
+        f.bin_into(BinKind::Add, acc, acc, b); // pos 4
+        f.inc(i, 1); // pos 5
+        f.br(CmpPred::Lt, i, 50, body, done); // pos 6
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(acc)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let program = pb.finish();
+        let spec = RegionSpec {
+            func: id,
+            shape: RegionShape::Path {
+                blocks: vec![body],
+                start_pos: 1,
+                end_pos: 3,
+            },
+            class: ComputationClass::Stateless,
+            mem_objects: vec![],
+            live_ins: vec![sel],
+            live_outs: vec![b],
+            static_instrs: 3,
+            exec_weight: 50,
+        };
+        (program, spec)
+    }
+
+    #[test]
+    fn path_annotation_produces_valid_equivalent_program() {
+        let (mut p, spec) = path_program();
+        let base = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        let infos = annotate(&mut p, vec![spec]);
+        assert_eq!(infos.len(), 1);
+        ccr_ir::verify_program(&p).unwrap();
+        // With a null CRB (every reuse misses) the program behaves
+        // identically, modulo the extra reuse/jump instructions.
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert_eq!(out.returned, base.returned);
+        assert_eq!(out.reuse_misses, 50);
+        // The annotated program contains exactly one reuse and one
+        // region-end jump.
+        let func = p.function(p.main());
+        let reuses = func
+            .iter_instrs()
+            .filter(|(_, i)| matches!(i.op, Op::Reuse { .. }))
+            .count();
+        let ends = func
+            .iter_instrs()
+            .filter(|(_, i)| i.ext.contains(InstrExt::REGION_END))
+            .count();
+        let live_outs = func
+            .iter_instrs()
+            .filter(|(_, i)| i.ext.contains(InstrExt::LIVE_OUT))
+            .count();
+        assert_eq!(reuses, 1);
+        assert_eq!(ends, 1);
+        assert_eq!(live_outs, 1);
+    }
+
+    fn cyclic_program() -> (ccr_ir::Program, RegionSpec) {
+        let mut pb = ProgramBuilder::new();
+        let tbl = pb.object("tbl", 4);
+        let mut f = pb.function("main", 0, 1);
+        let total = f.movi(0);
+        let n = f.movi(0);
+        let sum = f.fresh();
+        let j = f.fresh();
+        let outer = f.block();
+        let inner = f.block();
+        let after = f.block();
+        let done = f.block();
+        f.store(tbl, 0, 5);
+        f.jump(outer);
+        f.switch_to(outer);
+        f.assign(sum, 0);
+        f.assign(j, 0);
+        f.jump(inner);
+        f.switch_to(inner);
+        let v = f.load(tbl, j);
+        f.bin_into(BinKind::Add, sum, sum, v);
+        f.inc(j, 1);
+        f.br(CmpPred::Lt, j, 4, inner, after);
+        f.switch_to(after);
+        f.bin_into(BinKind::Add, total, total, sum);
+        f.inc(n, 1);
+        f.br(CmpPred::Lt, n, 30, outer, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(total)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let program = pb.finish();
+        let spec = RegionSpec {
+            func: id,
+            shape: RegionShape::Cyclic {
+                header: inner,
+                preheader: outer,
+                exit_target: after,
+                body: vec![inner],
+            },
+            class: ComputationClass::MemoryDependent,
+            mem_objects: vec![tbl],
+            live_ins: vec![sum, j],
+            live_outs: vec![sum, j],
+            static_instrs: 4,
+            exec_weight: 30,
+        };
+        (program, spec)
+    }
+
+    #[test]
+    fn cyclic_annotation_inserts_reuse_and_invalidate() {
+        let (mut p, spec) = cyclic_program();
+        let base = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        let infos = annotate(&mut p, vec![spec]);
+        ccr_ir::verify_program(&p).unwrap();
+        // One invalidation site: the single store to tbl.
+        assert_eq!(infos[0].invalidation_sites, 1);
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert_eq!(out.returned, base.returned);
+        assert_eq!(out.reuse_misses, 30);
+        let func = p.function(p.main());
+        assert_eq!(
+            func.iter_instrs()
+                .filter(|(_, i)| matches!(i.op, Op::Invalidate { .. }))
+                .count(),
+            1
+        );
+        // The invalidate immediately follows the store.
+        let entry = func.block(func.entry());
+        let store_pos = entry.instrs.iter().position(|i| i.is_store()).unwrap();
+        assert!(matches!(
+            entry.instrs[store_pos + 1].op,
+            Op::Invalidate { .. }
+        ));
+    }
+
+    #[test]
+    fn exit_trampolines_cover_side_exits() {
+        // A two-block path whose internal branch can leave the region.
+        let mut pb = ProgramBuilder::new();
+        let t = pb.table("t", vec![1, 2]);
+        let mut f = pb.function("main", 0, 1);
+        let acc = f.movi(0);
+        let i = f.movi(0);
+        let e = f.fresh();
+        let head = f.block();
+        let second = f.block();
+        let bail = f.block();
+        let join = f.block();
+        let done = f.block();
+        f.jump(head);
+        f.switch_to(head);
+        let sel = f.and(i, 1);
+        let v = f.load(t, sel); // region start (pos 1)
+        let a = f.mul(v, 5);
+        f.br(CmpPred::Gt, a, 100, bail, second); // side exit to bail
+        f.switch_to(second);
+        f.bin_into(BinKind::Add, e, a, v); // region end (pos 0)
+        f.jump(join);
+        f.switch_to(bail);
+        f.assign(e, 0);
+        f.jump(join);
+        f.switch_to(join);
+        f.bin_into(BinKind::Add, acc, acc, e);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 40, head, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(acc)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        let base = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        let spec = RegionSpec {
+            func: id,
+            shape: RegionShape::Path {
+                blocks: vec![head, second],
+                start_pos: 1,
+                end_pos: 0,
+            },
+            class: ComputationClass::Stateless,
+            mem_objects: vec![],
+            live_ins: vec![sel],
+            live_outs: vec![e],
+            static_instrs: 4,
+            exec_weight: 40,
+        };
+        annotate(&mut p, vec![spec]);
+        ccr_ir::verify_program(&p).unwrap();
+        let func = p.function(p.main());
+        let exits = func
+            .iter_instrs()
+            .filter(|(_, i)| i.ext.contains(InstrExt::REGION_EXIT))
+            .count();
+        assert_eq!(exits, 1, "one side exit to bail");
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert_eq!(out.returned, base.returned);
+    }
+
+    #[test]
+    fn annotated_region_actually_reuses_with_a_recording_crb() {
+        // End-to-end through the emulator with a simple recording CRB.
+        use ccr_profile::{CrbModel, RecordedInstance, ReuseLookup};
+        #[derive(Default)]
+        struct MiniCrb {
+            map: Vec<(RegionId, RecordedInstance)>,
+        }
+        impl CrbModel for MiniCrb {
+            fn lookup(
+                &mut self,
+                region: RegionId,
+                read: &mut dyn FnMut(ccr_ir::Reg) -> ccr_ir::Value,
+            ) -> Option<ReuseLookup> {
+                self.map
+                    .iter()
+                    .find(|(r, inst)| {
+                        *r == region && inst.inputs.iter().all(|(reg, v)| read(*reg) == *v)
+                    })
+                    .map(|(_, inst)| ReuseLookup {
+                        outputs: inst.outputs.clone(),
+                        inputs: inst.inputs.iter().map(|(r, _)| *r).collect(),
+                        skipped_instrs: inst.body_instrs,
+                    })
+            }
+            fn record(&mut self, region: RegionId, instance: RecordedInstance) {
+                self.map.push((region, instance));
+            }
+            fn invalidate(&mut self, region: RegionId) {
+                self.map.retain(|(r, i)| *r != region || !i.accesses_memory);
+            }
+        }
+
+        let (mut p, spec) = path_program();
+        let base = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        annotate(&mut p, vec![spec]);
+        let mut crb = MiniCrb::default();
+        let out = Emulator::new(&p).run(&mut crb, &mut NullSink).unwrap();
+        assert_eq!(out.returned, base.returned);
+        // Two distinct inputs (i&1 = 0/1): two misses, 48 hits.
+        assert_eq!(out.reuse_misses, 2);
+        assert_eq!(out.reuse_hits, 48);
+        assert!(out.skipped_instrs > 0);
+        assert!(out.dyn_instrs < base.dyn_instrs);
+    }
+}

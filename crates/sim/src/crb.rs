@@ -1,0 +1,574 @@
+//! The Computation Reuse Buffer (Section 3.1 of the paper).
+//!
+//! A direct-mapped array of *computation entries* indexed by the
+//! region identifier carried in the `reuse` instruction. Each entry
+//! holds the computation tag (the region id), a valid bit, an array of
+//! *computation instances*, and LRU state for instance replacement.
+//! Each instance has an input bank and an output bank of eight
+//! register entries, a valid bit, and a memory-valid field. A
+//! computation instance is reusable when its input register values
+//! match the current architectural state and its memory state has not
+//! been invalidated.
+
+use ccr_ir::{Reg, RegionId, Value};
+use ccr_profile::{CrbModel, RecordedInstance, ReuseLookup};
+
+use crate::stats::CrbStats;
+
+/// Instance replacement policy within a computation entry (the paper
+/// specifies LRU; the alternatives support the ablation benches).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Replacement {
+    /// Least-recently-used instance (the paper's policy).
+    Lru,
+    /// Oldest-inserted instance.
+    Fifo,
+    /// Uniformly random instance (deterministic xorshift stream).
+    Random,
+}
+
+/// Nonuniform entry capacities (the paper's future-work item:
+/// "reuse buffers with nonuniform capacities", and Section 5.2's
+/// observation that "the CRB could be designed to have only a portion
+/// of the computation entries with memory reuse capabilities").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NonuniformConfig {
+    /// Every `boost_every`-th entry holds `boosted_instances`
+    /// computation instances instead of the base count.
+    pub boost_every: usize,
+    /// Instance count of the boosted entries.
+    pub boosted_instances: usize,
+    /// Percentage of entries (from index 0 upward) capable of holding
+    /// memory-dependent instances; the rest silently drop them.
+    pub mem_capable_percent: u8,
+}
+
+/// Buffer geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct CrbConfig {
+    /// Number of computation entries (32 / 64 / 128 in the paper).
+    pub entries: usize,
+    /// Computation instances per entry (4 / 8 / 16 in the paper).
+    pub instances: usize,
+    /// Register entries in each instance's input bank.
+    pub input_bank: usize,
+    /// Register entries in each instance's output bank.
+    pub output_bank: usize,
+    /// Instance replacement policy.
+    pub replacement: Replacement,
+    /// Optional nonuniform entry capacities.
+    pub nonuniform: Option<NonuniformConfig>,
+}
+
+impl CrbConfig {
+    /// The paper's cost-effective configuration: 128 entries × 8
+    /// instances, 8-entry banks, LRU.
+    pub fn paper() -> CrbConfig {
+        CrbConfig {
+            entries: 128,
+            instances: 8,
+            input_bank: 8,
+            output_bank: 8,
+            replacement: Replacement::Lru,
+            nonuniform: None,
+        }
+    }
+
+    /// The paper's configuration with a different entry count.
+    pub fn with_entries(entries: usize) -> CrbConfig {
+        CrbConfig {
+            entries,
+            ..CrbConfig::paper()
+        }
+    }
+
+    /// The paper's configuration with a different instance count.
+    pub fn with_instances(instances: usize) -> CrbConfig {
+        CrbConfig {
+            instances,
+            ..CrbConfig::paper()
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Instance {
+    valid: bool,
+    inputs: Vec<(Reg, Value)>,
+    outputs: Vec<(Reg, Value)>,
+    accesses_memory: bool,
+    body_instrs: u64,
+    last_use: u64,
+    inserted: u64,
+}
+
+impl Instance {
+    fn empty() -> Instance {
+        Instance {
+            valid: false,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            accesses_memory: false,
+            body_instrs: 0,
+            last_use: 0,
+            inserted: 0,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    tag: Option<RegionId>,
+    instances: Vec<Instance>,
+}
+
+/// The hardware buffer. Implements [`CrbModel`] so the emulator can
+/// consult it during execution-driven simulation.
+///
+/// ```
+/// use ccr_ir::{Reg, RegionId, Value};
+/// use ccr_profile::{CrbModel, RecordedInstance};
+/// use ccr_sim::{CrbConfig, ReuseBuffer};
+///
+/// let mut buf = ReuseBuffer::new(CrbConfig::paper());
+/// buf.record(RegionId(3), RecordedInstance {
+///     inputs: vec![(Reg(1), Value::from_int(17))],
+///     outputs: vec![(Reg(2), Value::from_int(289))],
+///     accesses_memory: false,
+///     body_instrs: 12,
+/// });
+/// // A lookup with r1 = 17 replays the recorded outputs.
+/// let hit = buf.lookup(RegionId(3), &mut |_| Value::from_int(17)).unwrap();
+/// assert_eq!(hit.outputs[0].1.as_int(), 289);
+/// assert_eq!(hit.skipped_instrs, 12);
+/// // A different input misses.
+/// assert!(buf.lookup(RegionId(3), &mut |_| Value::from_int(18)).is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReuseBuffer {
+    config: CrbConfig,
+    entries: Vec<Entry>,
+    clock: u64,
+    rng: u64,
+    stats: CrbStats,
+}
+
+impl ReuseBuffer {
+    /// Creates an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero entries or instances.
+    pub fn new(config: CrbConfig) -> ReuseBuffer {
+        assert!(config.entries > 0 && config.instances > 0);
+        if let Some(nu) = config.nonuniform {
+            assert!(nu.boost_every > 0 && nu.boosted_instances > 0);
+            assert!(nu.mem_capable_percent <= 100);
+        }
+        ReuseBuffer {
+            entries: (0..config.entries)
+                .map(|idx| {
+                    let count = match config.nonuniform {
+                        Some(nu) if idx % nu.boost_every == 0 => nu.boosted_instances,
+                        _ => config.instances,
+                    };
+                    Entry {
+                        tag: None,
+                        instances: vec![Instance::empty(); count],
+                    }
+                })
+                .collect(),
+            config,
+            clock: 0,
+            rng: 0x9e37_79b9_7f4a_7c15,
+            stats: CrbStats::default(),
+        }
+    }
+
+    /// The buffer's counters.
+    pub fn stats(&self) -> CrbStats {
+        self.stats
+    }
+
+    /// The buffer's geometry.
+    pub fn config(&self) -> CrbConfig {
+        self.config
+    }
+
+    fn entry_index(&self, region: RegionId) -> usize {
+        region.index() % self.config.entries
+    }
+
+    /// True if the entry at `idx` may hold memory-dependent instances.
+    fn mem_capable(&self, idx: usize) -> bool {
+        match self.config.nonuniform {
+            None => true,
+            Some(nu) => idx * 100 < self.config.entries * nu.mem_capable_percent as usize,
+        }
+    }
+
+    fn next_random(&mut self) -> u64 {
+        // xorshift64*: deterministic, seedless-reproducible.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn victim_slot(&mut self, idx: usize) -> usize {
+        let entry = &self.entries[idx];
+        if let Some(free) = entry.instances.iter().position(|i| !i.valid) {
+            return free;
+        }
+        let n = entry.instances.len();
+        match self.config.replacement {
+            Replacement::Lru => entry
+                .instances
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, i)| i.last_use)
+                .map(|(k, _)| k)
+                .expect("non-empty instances"),
+            Replacement::Fifo => entry
+                .instances
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, i)| i.inserted)
+                .map(|(k, _)| k)
+                .expect("non-empty instances"),
+            Replacement::Random => (self.next_random() % n as u64) as usize,
+        }
+    }
+}
+
+impl CrbModel for ReuseBuffer {
+    fn lookup(
+        &mut self,
+        region: RegionId,
+        read_reg: &mut dyn FnMut(Reg) -> Value,
+    ) -> Option<ReuseLookup> {
+        self.stats.lookups += 1;
+        self.clock += 1;
+        let idx = self.entry_index(region);
+        let clock = self.clock;
+        let entry = &mut self.entries[idx];
+        if entry.tag != Some(region) {
+            self.stats.misses += 1;
+            return None;
+        }
+        for inst in &mut entry.instances {
+            if !inst.valid {
+                continue;
+            }
+            if inst.inputs.iter().all(|(r, v)| read_reg(*r) == *v) {
+                inst.last_use = clock;
+                self.stats.hits += 1;
+                return Some(ReuseLookup {
+                    outputs: inst.outputs.clone(),
+                    inputs: inst.inputs.iter().map(|(r, _)| *r).collect(),
+                    skipped_instrs: inst.body_instrs,
+                });
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    fn record(&mut self, region: RegionId, instance: RecordedInstance) {
+        if instance.inputs.len() > self.config.input_bank
+            || instance.outputs.len() > self.config.output_bank
+        {
+            return; // exceeds bank capacity: drop (defensive)
+        }
+        self.clock += 1;
+        let idx = self.entry_index(region);
+        if instance.accesses_memory && !self.mem_capable(idx) {
+            return; // this entry has no memory-validation hardware
+        }
+        self.stats.records += 1;
+        if self.entries[idx].tag != Some(region) {
+            if self.entries[idx].tag.is_some() {
+                self.stats.entry_conflicts += 1;
+            }
+            let entry = &mut self.entries[idx];
+            entry.tag = Some(region);
+            for inst in &mut entry.instances {
+                *inst = Instance::empty();
+            }
+        }
+        // An instance with the identical input bank is refreshed in
+        // place rather than duplicated (duplicates would waste
+        // capacity and let a replacement evict live input sets).
+        let existing = self.entries[idx]
+            .instances
+            .iter()
+            .position(|i| i.valid && i.inputs == instance.inputs);
+        let slot = match existing {
+            Some(k) => k,
+            None => self.victim_slot(idx),
+        };
+        let clock = self.clock;
+        self.entries[idx].instances[slot] = Instance {
+            valid: true,
+            inputs: instance.inputs,
+            outputs: instance.outputs,
+            accesses_memory: instance.accesses_memory,
+            body_instrs: instance.body_instrs,
+            last_use: clock,
+            inserted: clock,
+        };
+    }
+
+    fn invalidate(&mut self, region: RegionId) {
+        self.stats.invalidations += 1;
+        let idx = self.entry_index(region);
+        let entry = &mut self.entries[idx];
+        if entry.tag == Some(region) {
+            for inst in &mut entry.instances {
+                if inst.valid && inst.accesses_memory {
+                    inst.valid = false;
+                }
+            }
+        }
+    }
+
+    fn input_capacity(&self) -> usize {
+        self.config.input_bank
+    }
+
+    fn output_capacity(&self) -> usize {
+        self.config.output_bank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(input: i64, output: i64, mem: bool) -> RecordedInstance {
+        RecordedInstance {
+            inputs: vec![(Reg(0), Value::from_int(input))],
+            outputs: vec![(Reg(1), Value::from_int(output))],
+            accesses_memory: mem,
+            body_instrs: 10,
+        }
+    }
+
+    fn lookup_with(buf: &mut ReuseBuffer, region: RegionId, r0: i64) -> Option<ReuseLookup> {
+        buf.lookup(region, &mut |r| {
+            assert_eq!(r, Reg(0));
+            Value::from_int(r0)
+        })
+    }
+
+    #[test]
+    fn record_then_hit_on_matching_inputs() {
+        let mut buf = ReuseBuffer::new(CrbConfig::paper());
+        let r = RegionId(3);
+        assert!(lookup_with(&mut buf, r, 5).is_none());
+        buf.record(r, inst(5, 50, false));
+        let hit = lookup_with(&mut buf, r, 5).expect("hit");
+        assert_eq!(hit.outputs, vec![(Reg(1), Value::from_int(50))]);
+        assert_eq!(hit.skipped_instrs, 10);
+        assert!(lookup_with(&mut buf, r, 6).is_none(), "different input");
+        let s = buf.stats();
+        assert_eq!(s.lookups, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.records, 1);
+    }
+
+    #[test]
+    fn multiple_instances_capture_multiple_input_sets() {
+        let mut buf = ReuseBuffer::new(CrbConfig::with_instances(4));
+        let r = RegionId(0);
+        for v in 0..4 {
+            buf.record(r, inst(v, v * 10, false));
+        }
+        for v in 0..4 {
+            let hit = lookup_with(&mut buf, r, v).expect("all four retained");
+            assert_eq!(hit.outputs[0].1, Value::from_int(v * 10));
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut buf = ReuseBuffer::new(CrbConfig {
+            entries: 4,
+            instances: 2,
+            input_bank: 8,
+            output_bank: 8,
+            replacement: Replacement::Lru,
+            nonuniform: None,
+        });
+        let r = RegionId(0);
+        buf.record(r, inst(1, 10, false));
+        buf.record(r, inst(2, 20, false));
+        // Touch instance 1, making instance 2 the LRU.
+        assert!(lookup_with(&mut buf, r, 1).is_some());
+        buf.record(r, inst(3, 30, false));
+        assert!(lookup_with(&mut buf, r, 1).is_some(), "recently used kept");
+        assert!(lookup_with(&mut buf, r, 2).is_none(), "LRU evicted");
+        assert!(lookup_with(&mut buf, r, 3).is_some());
+    }
+
+    #[test]
+    fn fifo_evicts_oldest() {
+        let mut buf = ReuseBuffer::new(CrbConfig {
+            entries: 4,
+            instances: 2,
+            input_bank: 8,
+            output_bank: 8,
+            replacement: Replacement::Fifo,
+            nonuniform: None,
+        });
+        let r = RegionId(0);
+        buf.record(r, inst(1, 10, false));
+        buf.record(r, inst(2, 20, false));
+        assert!(lookup_with(&mut buf, r, 1).is_some()); // touch 1
+        buf.record(r, inst(3, 30, false));
+        // FIFO ignores the touch: instance 1 (oldest) is evicted.
+        assert!(lookup_with(&mut buf, r, 1).is_none());
+        assert!(lookup_with(&mut buf, r, 2).is_some());
+    }
+
+    #[test]
+    fn entry_conflict_replaces_tag_and_clears_instances() {
+        let mut buf = ReuseBuffer::new(CrbConfig {
+            entries: 2,
+            instances: 4,
+            input_bank: 8,
+            output_bank: 8,
+            replacement: Replacement::Lru,
+            nonuniform: None,
+        });
+        // Regions 0 and 2 collide on entry 0.
+        buf.record(RegionId(0), inst(1, 10, false));
+        assert!(lookup_with(&mut buf, RegionId(0), 1).is_some());
+        buf.record(RegionId(2), inst(1, 99, false));
+        assert!(
+            lookup_with(&mut buf, RegionId(0), 1).is_none(),
+            "tag conflict evicts the old region"
+        );
+        let hit = lookup_with(&mut buf, RegionId(2), 1).unwrap();
+        assert_eq!(hit.outputs[0].1, Value::from_int(99));
+        assert_eq!(buf.stats().entry_conflicts, 1);
+    }
+
+    #[test]
+    fn invalidate_kills_only_memory_instances() {
+        let mut buf = ReuseBuffer::new(CrbConfig::paper());
+        let r = RegionId(7);
+        buf.record(r, inst(1, 10, true)); // memory-dependent
+        buf.record(r, inst(2, 20, false)); // stateless
+        buf.invalidate(r);
+        assert!(lookup_with(&mut buf, r, 1).is_none(), "md instance dead");
+        assert!(lookup_with(&mut buf, r, 2).is_some(), "sl instance alive");
+        assert_eq!(buf.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn oversized_banks_are_rejected() {
+        let mut buf = ReuseBuffer::new(CrbConfig {
+            entries: 2,
+            instances: 2,
+            input_bank: 1,
+            output_bank: 8,
+            replacement: Replacement::Lru,
+            nonuniform: None,
+        });
+        let too_big = RecordedInstance {
+            inputs: vec![
+                (Reg(0), Value::from_int(1)),
+                (Reg(1), Value::from_int(2)),
+            ],
+            outputs: vec![],
+            accesses_memory: false,
+            body_instrs: 5,
+        };
+        buf.record(RegionId(0), too_big);
+        assert_eq!(buf.stats().records, 0);
+    }
+
+    #[test]
+    fn nonuniform_boosted_entries_hold_more_instances() {
+        let mut buf = ReuseBuffer::new(CrbConfig {
+            entries: 8,
+            instances: 2,
+            input_bank: 8,
+            output_bank: 8,
+            replacement: Replacement::Lru,
+            nonuniform: Some(NonuniformConfig {
+                boost_every: 4,
+                boosted_instances: 4,
+                mem_capable_percent: 100,
+            }),
+        });
+        // Region 0 maps to a boosted entry (4 instances): all four
+        // input sets survive.
+        for v in 0..4 {
+            buf.record(RegionId(0), inst(v, v, false));
+        }
+        for v in 0..4 {
+            assert!(lookup_with(&mut buf, RegionId(0), v).is_some(), "v={v}");
+        }
+        // Region 1 maps to a base entry (2 instances): only the two
+        // most recent survive.
+        for v in 0..4 {
+            buf.record(RegionId(1), inst(v, v, false));
+        }
+        assert!(lookup_with(&mut buf, RegionId(1), 0).is_none());
+        assert!(lookup_with(&mut buf, RegionId(1), 3).is_some());
+    }
+
+    #[test]
+    fn nonuniform_mem_capability_partitions_entries() {
+        let mut buf = ReuseBuffer::new(CrbConfig {
+            entries: 4,
+            instances: 2,
+            input_bank: 8,
+            output_bank: 8,
+            replacement: Replacement::Lru,
+            nonuniform: Some(NonuniformConfig {
+                boost_every: 1,
+                boosted_instances: 2,
+                mem_capable_percent: 50,
+            }),
+        });
+        // Entries 0-1 are memory-capable; entries 2-3 are not.
+        buf.record(RegionId(0), inst(1, 10, true));
+        assert!(lookup_with(&mut buf, RegionId(0), 1).is_some());
+        buf.record(RegionId(3), inst(1, 10, true));
+        assert!(
+            lookup_with(&mut buf, RegionId(3), 1).is_none(),
+            "memory instance dropped by a mem-incapable entry"
+        );
+        // Stateless instances are fine anywhere.
+        buf.record(RegionId(3), inst(2, 20, false));
+        assert!(lookup_with(&mut buf, RegionId(3), 2).is_some());
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic() {
+        let run = || {
+            let mut buf = ReuseBuffer::new(CrbConfig {
+                entries: 2,
+                instances: 2,
+                input_bank: 8,
+                output_bank: 8,
+                replacement: Replacement::Random,
+                nonuniform: None,
+            });
+            let r = RegionId(0);
+            for v in 0..10 {
+                buf.record(r, inst(v, v, false));
+            }
+            (0..10)
+                .map(|v| lookup_with(&mut buf, r, v).is_some())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

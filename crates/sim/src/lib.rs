@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # ccr-sim — cycle-level simulation of the CCR microarchitecture
+//!
+//! Models the evaluation machine of Section 5.1 of the paper: a
+//! 6-issue in-order processor (four integer ALUs, two memory ports,
+//! two floating-point ALUs, one branch unit; 1-cycle integer and
+//! 2-cycle load latencies, after the HP PA-7100), split 32 KB
+//! direct-mapped instruction and data caches with 32-byte lines and a
+//! 12-cycle miss penalty, a 4K-entry BTB of 2-bit saturating counters
+//! with an 8-cycle misprediction penalty — plus the **Computation
+//! Reuse Buffer** and the reuse pipeline of Section 3.3 (access CRB →
+//! read state → validate instances → commit live-outs), with reuse
+//! failure costing a misprediction-like flush.
+//!
+//! Simulation is *execution-driven*: the [`ccr_profile::Emulator`]
+//! produces the dynamic instruction stream (consulting the
+//! [`crb::ReuseBuffer`] functionally), and the [`pipeline::Pipeline`]
+//! charges cycles as a [`ccr_profile::TraceSink`].
+
+pub mod btb;
+pub mod cache;
+pub mod crb;
+pub mod machine;
+pub mod pipeline;
+pub mod simulator;
+pub mod stats;
+
+pub use btb::Btb;
+pub use cache::{Cache, CacheConfig};
+pub use crb::{CrbConfig, NonuniformConfig, Replacement, ReuseBuffer};
+pub use machine::MachineConfig;
+pub use pipeline::Pipeline;
+pub use simulator::{simulate, simulate_baseline, SimOutcome};
+pub use stats::{CrbStats, RegionDynStats, SimStats};

@@ -1,0 +1,112 @@
+//! Machine (processor) configuration.
+
+use crate::cache::CacheConfig;
+
+/// The modeled processor, defaulting to the paper's evaluation
+/// machine (Section 5.1).
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Integer ALUs (also execute multiplies/divides).
+    pub int_alus: u32,
+    /// Memory ports shared by loads and stores.
+    pub mem_ports: u32,
+    /// Floating-point ALUs.
+    pub fp_alus: u32,
+    /// Branch units (branches, jumps, calls, returns, reuse).
+    pub branch_units: u32,
+    /// Integer ALU latency (cycles).
+    pub int_latency: u64,
+    /// Integer multiply/divide latency (HP PA-7100 approximation; the
+    /// paper only pins integer = 1 and load = 2).
+    pub mul_latency: u64,
+    /// Floating-point latency (PA-7100 approximation).
+    pub fp_latency: u64,
+    /// Load-use latency on a D-cache hit.
+    pub load_latency: u64,
+    /// Instruction cache.
+    pub icache: CacheConfig,
+    /// Data cache.
+    pub dcache: CacheConfig,
+    /// BTB entries (2-bit counters).
+    pub btb_entries: usize,
+    /// Branch misprediction penalty (cycles).
+    pub mispredict_penalty: u64,
+    /// Pipeline delay of a successful reuse (CRB access + state read +
+    /// validation) before live-outs start committing.
+    pub reuse_hit_latency: u64,
+    /// Penalty of a failed reuse ("a delay similar to the branch
+    /// misprediction penalty").
+    pub reuse_miss_penalty: u64,
+    /// Value-speculate across reuse validation (the paper's
+    /// future-work item: "the use of value speculation techniques to
+    /// hide the latency of validating reuse opportunities"). When set,
+    /// a hit's live-outs are forwarded without waiting for the input
+    /// registers to be architecturally ready; validation completes off
+    /// the critical path.
+    pub speculative_validation: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::paper()
+    }
+}
+
+impl MachineConfig {
+    /// The paper's 6-issue in-order machine.
+    pub fn paper() -> MachineConfig {
+        MachineConfig {
+            issue_width: 6,
+            int_alus: 4,
+            mem_ports: 2,
+            fp_alus: 2,
+            branch_units: 1,
+            int_latency: 1,
+            mul_latency: 3,
+            fp_latency: 2,
+            load_latency: 2,
+            icache: CacheConfig::paper(),
+            dcache: CacheConfig::paper(),
+            btb_entries: 4096,
+            mispredict_penalty: 8,
+            reuse_hit_latency: 2,
+            reuse_miss_penalty: 8,
+            speculative_validation: false,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The paper machine plus speculative reuse validation.
+    pub fn with_speculative_validation() -> MachineConfig {
+        MachineConfig {
+            speculative_validation: true,
+            ..MachineConfig::paper()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_matches_section_5_1() {
+        let m = MachineConfig::paper();
+        assert_eq!(m.issue_width, 6);
+        assert_eq!(m.int_alus, 4);
+        assert_eq!(m.mem_ports, 2);
+        assert_eq!(m.fp_alus, 2);
+        assert_eq!(m.branch_units, 1);
+        assert_eq!(m.int_latency, 1);
+        assert_eq!(m.load_latency, 2);
+        assert_eq!(m.icache.size_bytes, 32 * 1024);
+        assert_eq!(m.icache.line_bytes, 32);
+        assert_eq!(m.icache.miss_penalty, 12);
+        assert_eq!(m.btb_entries, 4096);
+        assert_eq!(m.mispredict_penalty, 8);
+        assert_eq!(m.reuse_miss_penalty, 8);
+    }
+}

@@ -1,0 +1,132 @@
+//! Simulation statistics.
+
+use std::collections::HashMap;
+
+use ccr_ir::RegionId;
+
+/// Counters kept by the Computation Reuse Buffer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrbStats {
+    /// Reuse-instruction lookups.
+    pub lookups: u64,
+    /// Lookups that matched a valid computation instance.
+    pub hits: u64,
+    /// Lookups that found no usable instance.
+    pub misses: u64,
+    /// Computation instances recorded.
+    pub records: u64,
+    /// `invalidate` instructions executed against this buffer.
+    pub invalidations: u64,
+    /// Entry reassignments caused by region-id conflicts (two regions
+    /// mapping to the same direct-mapped entry).
+    pub entry_conflicts: u64,
+}
+
+impl CrbStats {
+    /// Hit ratio over all lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Per-region dynamic reuse statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionDynStats {
+    /// Reuse hits attributed to the region.
+    pub hits: u64,
+    /// Reuse misses attributed to the region.
+    pub misses: u64,
+    /// Dynamic instructions eliminated by the region's hits.
+    pub skipped_instrs: u64,
+}
+
+/// Whole-run statistics from the timing pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Dynamic instructions issued.
+    pub dyn_instrs: u64,
+    /// Dynamic instructions eliminated by reuse hits.
+    pub skipped_instrs: u64,
+    /// Instruction-cache hits.
+    pub icache_hits: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Data-cache hits.
+    pub dcache_hits: u64,
+    /// Data-cache misses.
+    pub dcache_misses: u64,
+    /// Correctly predicted conditional branches.
+    pub branch_correct: u64,
+    /// Mispredicted conditional branches.
+    pub branch_mispredicts: u64,
+    /// Reuse-instruction hits.
+    pub reuse_hits: u64,
+    /// Reuse-instruction misses.
+    pub reuse_misses: u64,
+    /// Buffer-level counters.
+    pub crb: CrbStats,
+    /// Per-region dynamics.
+    pub regions: HashMap<RegionId, RegionDynStats>,
+}
+
+impl SimStats {
+    /// Instructions (issued + skipped) per cycle — the useful work
+    /// rate including eliminated execution.
+    pub fn effective_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.dyn_instrs + self.skipped_instrs) as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of baseline-equivalent instructions eliminated by
+    /// reuse.
+    pub fn eliminated_fraction(&self) -> f64 {
+        let total = self.dyn_instrs + self.skipped_instrs;
+        if total == 0 {
+            0.0
+        } else {
+            self.skipped_instrs as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut s = SimStats {
+            cycles: 100,
+            dyn_instrs: 300,
+            skipped_instrs: 100,
+            ..SimStats::default()
+        };
+        assert_eq!(s.effective_ipc(), 4.0);
+        assert_eq!(s.eliminated_fraction(), 0.25);
+        s.cycles = 0;
+        assert_eq!(s.effective_ipc(), 0.0);
+        let empty = SimStats::default();
+        assert_eq!(empty.eliminated_fraction(), 0.0);
+    }
+
+    #[test]
+    fn crb_hit_ratio() {
+        let c = CrbStats {
+            lookups: 10,
+            hits: 7,
+            misses: 3,
+            ..CrbStats::default()
+        };
+        assert!((c.hit_ratio() - 0.7).abs() < 1e-12);
+        assert_eq!(CrbStats::default().hit_ratio(), 0.0);
+    }
+}

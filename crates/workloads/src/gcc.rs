@@ -1,0 +1,133 @@
+//! `126.gcc` — compiler front end.
+//!
+//! Models the hash-and-dispatch pattern that dominates compiler
+//! symbol handling: hash an identifier token, probe a (static) symbol
+//! table, then dispatch through a small decision tree to a per-class
+//! attribute computation. Token streams are Zipf-distributed, so each
+//! static region sees a concentrated but non-trivial value set —
+//! yielding the paper's "many small regions, moderate speedup"
+//! profile.
+
+use ccr_ir::{BinKind, CmpPred, Operand, Program, ProgramBuilder};
+
+use crate::util::{DataGen, call_battery, counted_loop, kernel_battery};
+use crate::InputSet;
+
+const TRIPS: i64 = 2800;
+
+/// Builds the benchmark.
+pub fn build(input: InputSet, scale: u32) -> Program {
+    let mut g = DataGen::new(0x0126, input);
+    let mut pb = ProgramBuilder::new();
+    let tokens = pb.table("token_stream", g.zipfish(512, 28, 1, 1 << 16));
+    let symtab = pb.table("symtab", g.noise(256, 0, 5));
+    let attrs = pb.table("attr_tbl", g.noise(256, 0, 1 << 12));
+
+    // hash(token): multiplicative hash + table class probe.
+    let hash = pb.declare("hash_probe", 1, 2);
+    {
+        let mut f = pb.function_body(hash);
+        let t = f.param(0);
+        let m = f.mul(t, 0x9E37_79B1);
+        let s = f.shr(m, 12);
+        let x1 = f.xor(m, s);
+        let x2 = f.mul(x1, 0x85EB_CA77);
+        let x3 = f.shr(x2, 9);
+        let x4 = f.xor(x2, x3);
+        let x5 = f.add(x4, t);
+        let h = f.and(x5, 255);
+        let class = f.load(symtab, h);
+        f.ret(&[Operand::Reg(h), Operand::Reg(class)]);
+        pb.finish_function(f);
+    }
+
+    // attr_of(h, class): per-class attribute computation (decision
+    // tree with a small straight-line kernel per arm).
+    let attr_of = pb.declare("attr_of", 2, 1);
+    {
+        let mut f = pb.function_body(attr_of);
+        let (h, class) = (f.param(0), f.param(1));
+        let arm_decl = f.block();
+        let arm_expr = f.block();
+        let arm_stmt = f.block();
+        let arm_type = f.block();
+        let out = f.block();
+        let r = f.fresh();
+        let low = f.block();
+        // Default attribute for classes without a dedicated arm.
+        f.assign(r, 9);
+        f.br(CmpPred::Le, class, 1, low, arm_stmt);
+        f.switch_to(low);
+        f.br(CmpPred::Eq, class, 0, arm_decl, arm_expr);
+        f.switch_to(arm_decl);
+        let a = f.load(attrs, h);
+        let b = f.mul(a, 3);
+        f.bin_into(BinKind::Add, r, b, 17);
+        f.jump(out);
+        f.switch_to(arm_expr);
+        let a = f.load_off(attrs, h, 1);
+        let b = f.xor(a, h);
+        f.bin_into(BinKind::Sub, r, b, 5);
+        f.jump(out);
+        f.switch_to(arm_stmt);
+        f.br(CmpPred::Eq, class, 2, arm_type, out);
+        f.switch_to(arm_type);
+        let a = f.load_off(attrs, h, 2);
+        let b = f.shl(a, 2);
+        f.bin_into(BinKind::Or, r, b, 1);
+        f.jump(out);
+        f.switch_to(out);
+        f.ret(&[Operand::Reg(r)]);
+        pb.finish_function(f);
+    }
+
+    // Auxiliary phases: the secondary hot kernels every real
+    // benchmark carries around its primary one.
+    let battery = kernel_battery(&mut pb, &mut g, "gcc", 9);
+
+    let mut f = pb.function("main", 0, 1);
+    let check = f.movi(0);
+    counted_loop(&mut f, TRIPS * scale as i64, |f, i, _exit| {
+        let idx = f.and(i, 511);
+        let tok = f.load(tokens, idx);
+        let hc = f.call(hash, &[Operand::Reg(tok)], 2);
+        let attr = f.call(attr_of, &[Operand::Reg(hc[0]), Operand::Reg(hc[1])], 1)[0];
+        let folded = f.xor(attr, hc[1]);
+        f.bin_into(BinKind::Add, check, check, folded);
+        call_battery(f, &battery, i, check);
+    });
+    f.ret(&[Operand::Reg(check)]);
+    let main = pb.finish_function(f);
+    pb.set_main(main);
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_profile::{Emulator, NullCrb, NullSink};
+
+    #[test]
+    fn builds_verifies_runs() {
+        let p = build(InputSet::Train, 1);
+        ccr_ir::verify_program(&p).unwrap();
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert!(out.dyn_instrs > 40_000);
+    }
+
+    #[test]
+    fn token_stream_is_skewed() {
+        let p = build(InputSet::Train, 1);
+        let toks = p
+            .objects()
+            .iter()
+            .find(|o| o.name() == "token_stream")
+            .unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for v in toks.init() {
+            *counts.entry(v.as_int()).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 40, "dominant token appears {max} times");
+    }
+}

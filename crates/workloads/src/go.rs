@@ -1,0 +1,161 @@
+//! `099.go` — game playing.
+//!
+//! The paper's hardest benchmark (smallest CCR win): board evaluation
+//! walks continually-changing state with data-dependent branches, so
+//! little of the execution repeats. The board mutates every move, the
+//! position stream is noise, and only a small 3-point pattern matcher
+//! retains any locality.
+
+use ccr_ir::{BinKind, CmpPred, Operand, Program, ProgramBuilder};
+
+use crate::util::{DataGen, call_battery, counted_loop, kernel_battery, rw_table};
+use crate::InputSet;
+
+const TRIPS: i64 = 2400;
+const BOARD: i64 = 64;
+
+/// Builds the benchmark.
+pub fn build(input: InputSet, scale: u32) -> Program {
+    let mut g = DataGen::new(0x0099, input);
+    let mut pb = ProgramBuilder::new();
+    // A realistic position: most points are empty.
+    let board_init: Vec<i64> = (0..BOARD)
+        .map(|k| {
+            let v = g.int(0, 10);
+            if k % 3 == 0 || v < 7 {
+                0
+            } else {
+                v % 2 + 1
+            }
+        })
+        .collect();
+    let board = rw_table(&mut pb, "board", board_init);
+    let moves = pb.table("move_stream", g.noise(1024, 0, BOARD));
+    let patterns = pb.table("pattern_value", g.noise(27, -4, 5));
+
+    // liberties(pos): branchy neighborhood evaluation over evolving
+    // board state — the non-reusable core.
+    let liberties = pb.declare("liberties", 1, 1);
+    {
+        let mut f = pb.function_body(liberties);
+        let pos = f.param(0);
+        let score = f.movi(0);
+        let left = f.sub(pos, 1);
+        let lm = f.and(left, BOARD - 1);
+        let lv = f.load(board, lm);
+        let right = f.add(pos, 1);
+        let rm = f.and(right, BOARD - 1);
+        let rv = f.load(board, rm);
+        let up = f.sub(pos, 8);
+        let um = f.and(up, BOARD - 1);
+        let uv = f.load(board, um);
+        let l_empty = f.block();
+        let after_l = f.block();
+        f.br(CmpPred::Eq, lv, 0, l_empty, after_l);
+        f.switch_to(l_empty);
+        f.bin_into(BinKind::Add, score, score, 1);
+        f.jump(after_l);
+        f.switch_to(after_l);
+        let r_empty = f.block();
+        let after_r = f.block();
+        f.br(CmpPred::Eq, rv, 0, r_empty, after_r);
+        f.switch_to(r_empty);
+        f.bin_into(BinKind::Add, score, score, 1);
+        f.jump(after_r);
+        f.switch_to(after_r);
+        let u_mine = f.block();
+        let after_u = f.block();
+        f.br(CmpPred::Eq, uv, 1, u_mine, after_u);
+        f.switch_to(u_mine);
+        f.bin_into(BinKind::Add, score, score, 2);
+        f.jump(after_u);
+        f.switch_to(after_u);
+        f.ret(&[Operand::Reg(score)]);
+        pb.finish_function(f);
+    }
+
+    // pattern3(a, b, c): ternary 3-point pattern value — the one
+    // kernel with some input locality (27 possible patterns).
+    let pattern3 = pb.declare("pattern3", 3, 1);
+    {
+        let mut f = pb.function_body(pattern3);
+        let (a, b, c) = (f.param(0), f.param(1), f.param(2));
+        let t1 = f.mul(a, 9);
+        let t2 = f.mul(b, 3);
+        let t3 = f.add(t1, t2);
+        let key = f.add(t3, c);
+        let v = f.load(patterns, key);
+        // Symmetry folding: rotate/reflect canonicalization chain.
+        let s1 = f.mul(v, 5);
+        let s2 = f.add(s1, key);
+        let s3 = f.xor(s2, a);
+        let s4 = f.mul(s3, 3);
+        let s5 = f.sub(s4, b);
+        let s6 = f.shl(s5, 1);
+        let folded = f.add(s6, c);
+        f.ret(&[Operand::Reg(folded)]);
+        pb.finish_function(f);
+    }
+
+    // Auxiliary phases: the secondary hot kernels every real
+    // benchmark carries around its primary one.
+    let battery = kernel_battery(&mut pb, &mut g, "go", 3);
+
+    let mut f = pb.function("main", 0, 1);
+    let check = f.movi(0);
+    counted_loop(&mut f, TRIPS * scale as i64, |f, i, _exit| {
+        let idx = f.and(i, 1023);
+        let pos = f.load(moves, idx);
+        let libs = f.call(liberties, &[Operand::Reg(pos)], 1)[0];
+        let a = f.load(board, pos);
+        let p1 = f.add(pos, 1);
+        let p1m = f.and(p1, BOARD - 1);
+        let b = f.load(board, p1m);
+        let p2 = f.add(pos, 8);
+        let p2m = f.and(p2, BOARD - 1);
+        let c = f.load(board, p2m);
+        let pat = f.call(
+            pattern3,
+            &[Operand::Reg(a), Operand::Reg(b), Operand::Reg(c)],
+            1,
+        )[0];
+        // Play the move: the board never stops changing.
+        let stone = f.and(i, 1);
+        let stone1 = f.add(stone, 1);
+        f.store(board, pos, stone1);
+        let w = f.add(libs, pat);
+        f.bin_into(BinKind::Add, check, check, w);
+        call_battery(f, &battery, i, check);
+    });
+    f.ret(&[Operand::Reg(check)]);
+    let main = pb.finish_function(f);
+    pb.set_main(main);
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_profile::{Emulator, NullCrb, NullSink, PotentialStudy};
+
+    #[test]
+    fn builds_verifies_runs() {
+        let p = build(InputSet::Train, 1);
+        ccr_ir::verify_program(&p).unwrap();
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert!(out.dyn_instrs > 40_000);
+    }
+
+    #[test]
+    fn reuse_potential_is_low() {
+        let p = build(InputSet::Train, 1);
+        let mut study = PotentialStudy::for_program(&p);
+        Emulator::new(&p).run(&mut NullCrb, &mut study).unwrap();
+        let pot = study.finish();
+        assert!(
+            pot.region_ratio() < 0.45,
+            "go must be reuse-poor: {}",
+            pot.region_ratio()
+        );
+    }
+}

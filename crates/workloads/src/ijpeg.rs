@@ -1,0 +1,135 @@
+//! `132.ijpeg` — image compression.
+//!
+//! Models the forward-DCT + quantization kernel over an image whose
+//! rows repeat heavily (flat backgrounds dominate photographs at the
+//! block level). The 8-point butterfly is one long straight-line
+//! stateless computation per row — exactly the "large acyclic region"
+//! shape; rows come from a small pool, so the region's input row
+//! index repeats.
+
+use ccr_ir::{BinKind, Operand, Program, ProgramBuilder};
+
+use crate::util::{DataGen, call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table};
+use crate::InputSet;
+
+const TRIPS: i64 = 1400;
+const ROW_POOL: usize = 6;
+
+/// Builds the benchmark.
+pub fn build(input: InputSet, scale: u32) -> Program {
+    let mut g = DataGen::new(0x0132, input);
+    let mut pb = ProgramBuilder::new();
+    // The image: 64 rows of 8 pixels, each row one of ROW_POOL
+    // patterns, flattened row-major. Encode as row_id stream + pooled
+    // row contents.
+    let row_patterns: Vec<i64> = (0..ROW_POOL * 8).map(|_| g.int(0, 256)).collect();
+    let rows = pb.table("row_patterns", row_patterns);
+    let row_ids = pb.table("row_ids", g.pooled(256, ROW_POOL, 0, ROW_POOL as i64));
+    let quant = pb.table("quant_tbl", g.noise(8, 1, 32));
+    let bitstream = rw_table(&mut pb, "bitstream", vec![0; 512]);
+
+    // dct_row(row_base): 8 loads + butterfly network + quantization.
+    let dct_row = pb.declare("dct_row", 1, 1);
+    {
+        let mut f = pb.function_body(dct_row);
+        let base = f.param(0);
+        let xs: Vec<_> = (0..8).map(|k| f.load_off(rows, base, k)).collect();
+        // Stage 1 butterflies.
+        let s0 = f.add(xs[0], xs[7]);
+        let s1 = f.add(xs[1], xs[6]);
+        let s2 = f.add(xs[2], xs[5]);
+        let s3 = f.add(xs[3], xs[4]);
+        let d0 = f.sub(xs[0], xs[7]);
+        let d1 = f.sub(xs[1], xs[6]);
+        let d2 = f.sub(xs[2], xs[5]);
+        let d3 = f.sub(xs[3], xs[4]);
+        // Stage 2.
+        let t0 = f.add(s0, s3);
+        let t1 = f.add(s1, s2);
+        let t2 = f.sub(s0, s3);
+        let t3 = f.sub(s1, s2);
+        // Fixed-point rotations (integer DCT approximations).
+        let c0 = f.add(t0, t1);
+        let c4 = f.sub(t0, t1);
+        let m2 = f.mul(t2, 277);
+        let m3 = f.mul(t3, 669);
+        let c2 = f.add(m2, m3);
+        let m6a = f.mul(t2, 669);
+        let m6b = f.mul(t3, 277);
+        let c6 = f.sub(m6a, m6b);
+        let o1 = f.mul(d0, 251);
+        let o3 = f.mul(d1, 213);
+        let o5 = f.mul(d2, 142);
+        let o7 = f.mul(d3, 49);
+        // Quantize the four even coefficients.
+        let q0t = f.load(quant, 0);
+        let q0 = f.div(c0, q0t);
+        let q2t = f.load(quant, 2);
+        let q2 = f.div(c2, q2t);
+        let q4t = f.load(quant, 4);
+        let q4 = f.div(c4, q4t);
+        let q6t = f.load(quant, 6);
+        let q6 = f.div(c6, q6t);
+        let e0 = f.add(q0, q2);
+        let e1 = f.add(q4, q6);
+        let odd0 = f.add(o1, o3);
+        let odd1 = f.add(o5, o7);
+        let even = f.add(e0, e1);
+        let odd = f.sar(odd0, 8);
+        let odd2 = f.sar(odd1, 8);
+        let acc0 = f.add(even, odd);
+        let acc = f.add(acc0, odd2);
+        f.ret(&[Operand::Reg(acc)]);
+        pb.finish_function(f);
+    }
+
+    // Auxiliary phases: the secondary hot kernels every real
+    // benchmark carries around its primary one.
+    let battery = kernel_battery(&mut pb, &mut g, "jpg", 4);
+
+    let mut f = pb.function("main", 0, 1);
+    let check = f.movi(0);
+    counted_loop(&mut f, TRIPS * scale as i64, |f, i, _exit| {
+        let idx = f.and(i, 255);
+        let rid = f.load(row_ids, idx);
+        let base = f.shl(rid, 3);
+        let coeff = f.call(dct_row, &[Operand::Reg(base)], 1)[0];
+        // Entropy-coding emulation: bit packing into the output
+        // stream depends on the running bit position, never repeats.
+        let book = emit_bookkeeping(f, i, bitstream, 511, 11);
+        let w = f.add(coeff, book);
+        f.bin_into(BinKind::Add, check, check, w);
+        call_battery(f, &battery, i, check);
+    });
+    f.ret(&[Operand::Reg(check)]);
+    let main = pb.finish_function(f);
+    pb.set_main(main);
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_profile::{Emulator, NullCrb, NullSink, PotentialStudy};
+
+    #[test]
+    fn builds_verifies_runs() {
+        let p = build(InputSet::Train, 1);
+        ccr_ir::verify_program(&p).unwrap();
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert!(out.dyn_instrs > 40_000);
+    }
+
+    #[test]
+    fn dct_rows_repeat_making_paths_reusable() {
+        let p = build(InputSet::Train, 1);
+        let mut study = PotentialStudy::for_program(&p);
+        Emulator::new(&p).run(&mut NullCrb, &mut study).unwrap();
+        let pot = study.finish();
+        assert!(
+            pot.region_ratio() > 0.35,
+            "repeated rows should be region-reusable: {}",
+            pot.region_ratio()
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! `lex` — lexical-analyzer generator runtime.
+//!
+//! Models the generated scanner's inner kernel: classify a character,
+//! step the automaton through the transition table, and accumulate
+//! token attributes. Program text is extremely repetitive (a dozen
+//! characters dominate), so the per-character classify/transition
+//! chain sees few distinct inputs — one of the paper's strongest
+//! UNIX-benchmark results.
+
+use ccr_ir::{BinKind, CmpPred, Operand, Program, ProgramBuilder};
+
+use crate::util::{DataGen, call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table};
+use crate::InputSet;
+
+const TRIPS: i64 = 3000;
+const STATES: i64 = 4;
+
+/// Builds the benchmark.
+pub fn build(input: InputSet, scale: u32) -> Program {
+    let mut g = DataGen::new(0x1e4, input);
+    let mut pb = ProgramBuilder::new();
+    let text = pb.table("text", g.zipfish(1024, 9, 0, 96));
+    let classes = pb.table("char_class", g.noise(96, 0, 6));
+    let delta = pb.table("delta", g.noise((STATES * 6) as usize, 0, 2));
+    let accept = pb.table("accept_tbl", g.noise(STATES as usize, 0, 2));
+    let yytext = rw_table(&mut pb, "yytext", vec![0; 128]);
+
+    // scan_char(state, c): classify + transition + attribute.
+    let scan_char = pb.declare("scan_char", 2, 2);
+    {
+        let mut f = pb.function_body(scan_char);
+        let (state, c) = (f.param(0), f.param(1));
+        let cls = f.load(classes, c);
+        let row = f.mul(state, 6);
+        let cell = f.add(row, cls);
+        let next = f.load(delta, cell);
+        let acc = f.load(accept, next);
+        // Token-attribute computation: case folding, escape
+        // detection, and yytext hashing — all pure functions of
+        // (state, c).
+        let upper = f.sub(c, 32);
+        let folded = f.bin(BinKind::Max, upper, 0);
+        let esc = f.xor(c, 92);
+        let is_esc = f.cmp(CmpPred::Eq, esc, 0);
+        let h1 = f.mul(folded, 131);
+        let h2 = f.add(h1, cls);
+        let h3 = f.shl(h2, 1);
+        let h4 = f.xor(h3, c);
+        let attr1 = f.shl(cls, 4);
+        let attr2 = f.or(attr1, acc);
+        let attr3 = f.add(attr2, 3);
+        let attr4 = f.add(attr3, h4);
+        let attr5 = f.shl(is_esc, 7);
+        let attr = f.or(attr4, attr5);
+        f.ret(&[Operand::Reg(next), Operand::Reg(attr)]);
+        pb.finish_function(f);
+    }
+
+    // Auxiliary phases: the secondary hot kernels every real
+    // benchmark carries around its primary one.
+    let battery = kernel_battery(&mut pb, &mut g, "lex", 4);
+
+    let mut f = pb.function("main", 0, 1);
+    let check = f.movi(0);
+    let state = f.movi(0);
+    let tokens = f.movi(0);
+    counted_loop(&mut f, TRIPS * scale as i64, |f, i, _exit| {
+        let idx = f.and(i, 1023);
+        let c = f.load(text, idx);
+        let res = f.call(scan_char, &[Operand::Reg(state), Operand::Reg(c)], 2);
+        f.assign(state, res[0]);
+        // Token boundary on return to state 0.
+        let tok = f.block();
+        let merge = f.block();
+        f.br(CmpPred::Eq, state, 0, tok, merge);
+        f.switch_to(tok);
+        f.bin_into(BinKind::Add, tokens, tokens, 1);
+        f.jump(merge);
+        f.switch_to(merge);
+        // yytext buffer append: cursor-dependent, never repeats.
+        let book = emit_bookkeeping(f, i, yytext, 127, 3);
+        let w = f.add(res[1], book);
+        f.bin_into(BinKind::Add, check, check, w);
+        call_battery(f, &battery, i, check);
+    });
+    let c = f.xor(check, tokens);
+    f.ret(&[Operand::Reg(c)]);
+    let main = pb.finish_function(f);
+    pb.set_main(main);
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_profile::{Emulator, NullCrb, NullSink, PotentialStudy};
+
+    #[test]
+    fn builds_verifies_runs() {
+        let p = build(InputSet::Train, 1);
+        ccr_ir::verify_program(&p).unwrap();
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert!(out.dyn_instrs > 40_000);
+    }
+
+    #[test]
+    fn scanner_has_strong_region_reuse_potential() {
+        let p = build(InputSet::Train, 1);
+        let mut study = PotentialStudy::for_program(&p);
+        Emulator::new(&p).run(&mut NullCrb, &mut study).unwrap();
+        let pot = study.finish();
+        assert!(
+            pot.region_ratio() > 0.25,
+            "lex should be reuse-rich: {}",
+            pot.region_ratio()
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! `124.m88ksim` — Motorola 88100 simulator.
+//!
+//! Models the paper's Figure 3 region: `ckbrkpts` scans the
+//! `brktable` breakpoint array, which is "updated from a set of only
+//! four functions" and rarely changes between scans, plus an
+//! instruction-decode kernel with a small dynamic opcode vocabulary.
+//! This is the paper's best case (≈1.6× with a 128-entry CRB): a
+//! large memory-dependent cyclic region reused on almost every
+//! invocation.
+
+use ccr_ir::{BinKind, CmpPred, Operand, Program, ProgramBuilder};
+
+use crate::util::{DataGen, call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table};
+use crate::InputSet;
+
+/// Breakpoint-table entries (paper: TMPBRK = 16, scanned pairwise).
+const BRK_ENTRIES: i64 = 8;
+/// Base driver trips at scale 1.
+const TRIPS: i64 = 2200;
+
+/// Builds the benchmark.
+pub fn build(input: InputSet, scale: u32) -> Program {
+    let mut g = DataGen::new(0x0124, input);
+    let mut pb = ProgramBuilder::new();
+    // brktable: (code, adr) pairs, flattened.
+    let mut brk_init = Vec::new();
+    for k in 0..BRK_ENTRIES {
+        brk_init.push(i64::from(k % 3 == 0)); // code
+        brk_init.push(g.int(0, 1 << 20) & !3); // adr
+    }
+    let brktable = rw_table(&mut pb, "brktable", brk_init);
+    // Monitored addresses repeat heavily (the simulated program loops).
+    let addrs = pb.table("addr_stream", g.pooled(256, 3, 0, 1 << 20));
+    // Simulated instruction stream: small opcode vocabulary.
+    let insns = pb.table("insn_stream", g.zipfish(256, 24, 0, 1 << 26));
+    let cycle_log = rw_table(&mut pb, "cycle_log", vec![0; 256]);
+    let decode_tbl = pb.table("decode_tbl", g.noise(64, 0, 1 << 16));
+
+    // ckbrkpts(addr): branch-free scan of brktable, single exit.
+    let ckbrkpts = pb.declare("ckbrkpts", 1, 1);
+    {
+        let mut f = pb.function_body(ckbrkpts);
+        let addr = f.param(0);
+        let found = f.movi(0);
+        let j = f.movi(0);
+        let scan = f.block();
+        let out = f.block();
+        f.jump(scan);
+        f.switch_to(scan);
+        let base = f.shl(j, 1);
+        let code = f.load(brktable, base);
+        let adr = f.load_off(brktable, base, 1);
+        let masked = f.and(adr, !3);
+        let armed = f.cmp(CmpPred::Ne, code, 0);
+        let hit = f.cmp(CmpPred::Eq, masked, addr);
+        let m = f.and(armed, hit);
+        f.bin_into(BinKind::Or, found, found, m);
+        f.inc(j, 1);
+        f.br(CmpPred::Lt, j, BRK_ENTRIES, scan, out);
+        f.switch_to(out);
+        f.ret(&[Operand::Reg(found)]);
+        pb.finish_function(f);
+    }
+
+    // settmpbrk / rsttmpbrk: the rare brktable writers.
+    let settmpbrk = pb.declare("settmpbrk", 1, 0);
+    {
+        let mut f = pb.function_body(settmpbrk);
+        let addr = f.param(0);
+        f.store(brktable, (BRK_ENTRIES - 1) * 2, 1);
+        f.store_off(brktable, (BRK_ENTRIES - 1) * 2, 1, addr);
+        f.ret(&[]);
+        pb.finish_function(f);
+    }
+    let rsttmpbrk = pb.declare("rsttmpbrk", 0, 0);
+    {
+        let mut f = pb.function_body(rsttmpbrk);
+        f.store(brktable, (BRK_ENTRIES - 1) * 2, 0);
+        f.ret(&[]);
+        pb.finish_function(f);
+    }
+
+    // decode(insn): field extraction + table classification.
+    let decode = pb.declare("decode", 1, 1);
+    {
+        let mut f = pb.function_body(decode);
+        let insn = f.param(0);
+        let op = f.shr(insn, 20);
+        let op6 = f.and(op, 63);
+        let class = f.load(decode_tbl, op6);
+        let rd = f.shr(insn, 15);
+        let rd5 = f.and(rd, 31);
+        let rs = f.shr(insn, 10);
+        let rs5 = f.and(rs, 31);
+        let imm = f.and(insn, 1023);
+        let a = f.mul(class, 7);
+        let b = f.add(a, rd5);
+        let c = f.xor(b, rs5);
+        let d = f.add(c, imm);
+        f.ret(&[Operand::Reg(d)]);
+        pb.finish_function(f);
+    }
+
+    // Auxiliary phases: the secondary hot kernels every real
+    // benchmark carries around its primary one.
+    let battery = kernel_battery(&mut pb, &mut g, "m88k", 5);
+
+    let mut f = pb.function("main", 0, 1);
+    let check = f.movi(0);
+    counted_loop(&mut f, TRIPS * scale as i64, |f, i, _exit| {
+        let mask = f.and(i, 255);
+        let addr = f.load(addrs, mask);
+        let brk = f.call(ckbrkpts, &[Operand::Reg(addr)], 1)[0];
+        let insn = f.load(insns, mask);
+        let dec = f.call(decode, &[Operand::Reg(insn)], 1)[0];
+        // Rare breakpoint churn: every 512 simulated instructions.
+        let phase = f.and(i, 511);
+        let do_set = f.block();
+        let do_rst = f.block();
+        let merge = f.block();
+        let cont = f.block();
+        f.br(CmpPred::Eq, phase, 511, do_set, merge);
+        f.switch_to(do_set);
+        let which = f.and(i, 1024);
+        f.br(CmpPred::Eq, which, 0, do_rst, cont);
+        f.switch_to(do_rst);
+        let _ = f.call(rsttmpbrk, &[], 0);
+        f.jump(merge);
+        f.switch_to(cont);
+        let _ = f.call(settmpbrk, &[Operand::Reg(addr)], 0);
+        f.jump(merge);
+        f.switch_to(merge);
+        // Simulator bookkeeping: cycle accounting, statistics, trace
+        // buffer — none of it repeats.
+        let book = emit_bookkeeping(f, i, cycle_log, 255, 9);
+        let w = f.add(brk, dec);
+        let w2 = f.add(w, book);
+        f.bin_into(BinKind::Add, check, check, w2);
+        call_battery(f, &battery, i, check);
+    });
+    f.ret(&[Operand::Reg(check)]);
+    let main = pb.finish_function(f);
+    pb.set_main(main);
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_profile::{Emulator, NullCrb, NullSink, ValueProfiler};
+
+    #[test]
+    fn builds_and_runs() {
+        let p = build(InputSet::Train, 1);
+        ccr_ir::verify_program(&p).unwrap();
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert!(out.dyn_instrs > 50_000);
+    }
+
+    #[test]
+    fn ckbrkpts_scan_loop_has_high_cyclic_reuse() {
+        let p = build(InputSet::Train, 1);
+        let mut prof = ValueProfiler::for_program(&p);
+        Emulator::new(&p).run(&mut NullCrb, &mut prof).unwrap();
+        let profile = prof.finish();
+        // Find the scan loop's cyclic profile (the only loop inside
+        // ckbrkpts).
+        let ck = p.function_by_name("ckbrkpts").unwrap();
+        let (key, cyc) = profile
+            .iter_cyclic()
+            .find(|(k, _)| k.func == ck.id())
+            .expect("scan loop profiled");
+        assert_eq!(key.func, ck.id());
+        assert!(cyc.invocations >= 2000);
+        assert!(
+            cyc.reuse_ratio() > 0.8,
+            "breakpoint scans should repeat: {}",
+            cyc.reuse_ratio()
+        );
+        assert!(cyc.multi_iteration_ratio() > 0.99);
+    }
+
+    #[test]
+    fn brktable_is_written_rarely() {
+        let p = build(InputSet::Train, 1);
+        struct StoreCounter(u64, u64);
+        impl ccr_profile::TraceSink for StoreCounter {
+            fn on_exec(&mut self, e: &ccr_profile::ExecEvent<'_>) {
+                self.1 += 1;
+                if e.mem.is_some_and(|m| m.is_store) {
+                    self.0 += 1;
+                }
+            }
+        }
+        let mut c = StoreCounter(0, 0);
+        Emulator::new(&p).run(&mut NullCrb, &mut c).unwrap();
+        assert!(
+            (c.0 as f64) < 0.01 * c.1 as f64,
+            "stores must be rare: {} of {}",
+            c.0,
+            c.1
+        );
+    }
+}

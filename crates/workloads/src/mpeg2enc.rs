@@ -1,0 +1,152 @@
+//! `mpeg2enc` — MPEG-2 video encoder (MediaBench).
+//!
+//! Models macroblock quantization: coefficient rows are mostly zero
+//! or drawn from a few recurring patterns (static backgrounds repeat
+//! across frames), and each row goes through scale/round/clip
+//! arithmetic including a floating-point rate-control factor — the
+//! suite's FP-unit exerciser.
+
+use ccr_ir::{BinKind, CmpPred, Operand, Program, ProgramBuilder, UnKind};
+
+use crate::util::{DataGen, call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table};
+use crate::InputSet;
+
+const TRIPS: i64 = 1800;
+
+/// Builds the benchmark.
+pub fn build(input: InputSet, scale: u32) -> Program {
+    let mut g = DataGen::new(0x2e2c, input);
+    let mut pb = ProgramBuilder::new();
+    // Coefficient stream: 70% zeros, the rest from a small pool.
+    let coeffs: Vec<i64> = {
+        let pool = g.pooled(512, 5, -128, 128);
+        pool.into_iter()
+            .enumerate()
+            .map(|(k, v)| if k % 10 < 7 { 0 } else { v })
+            .collect()
+    };
+    let coeff_tbl = pb.table("coeffs", coeffs);
+    let qscale_bits = pb.table(
+        "qscale",
+        vec![
+            f64::to_bits(1.0) as i64,
+            f64::to_bits(1.25) as i64,
+            f64::to_bits(1.5) as i64,
+            f64::to_bits(2.0) as i64,
+        ],
+    );
+
+    // quant(c, qsel): scale, round, clip one coefficient.
+    let quant = pb.declare("quant", 2, 1);
+    {
+        let mut f = pb.function_body(quant);
+        let (c, qsel) = (f.param(0), f.param(1));
+        let zero_blk = f.block();
+        let work_blk = f.block();
+        let out = f.block();
+        let q = f.fresh();
+        f.br(CmpPred::Eq, c, 0, zero_blk, work_blk);
+        f.switch_to(zero_blk);
+        // Fast path: zero coefficients quantize to zero.
+        f.assign(q, 0);
+        f.jump(out);
+        f.switch_to(work_blk);
+        let fc = f.un(UnKind::IntToFloat, c);
+        let qs = f.load(qscale_bits, qsel);
+        let scaled = f.bin(BinKind::FDiv, fc, qs);
+        let iv = f.un(UnKind::FloatToInt, scaled);
+        let clipped_hi = f.bin(BinKind::Min, iv, 127);
+        f.bin_into(BinKind::Max, q, clipped_hi, -128);
+        f.jump(out);
+        f.switch_to(out);
+        // Reconstruction feedback (dequantize): serial on the
+        // quantized value.
+        let d1 = f.mul(q, 13);
+        let d2 = f.add(d1, qsel);
+        let d3 = f.xor(d2, q);
+        let recon = f.sar(d3, 1);
+        f.ret(&[Operand::Reg(recon)]);
+        pb.finish_function(f);
+    }
+
+    // Rate control changes the quantizer scale rarely.
+    let qsel_stream = pb.table("qsel_stream", g.pooled(256, 2, 0, 4));
+    let vlc_buf = rw_table(&mut pb, "vlc_buf", vec![0; 256]);
+
+    // Auxiliary phases: the secondary hot kernels every real
+    // benchmark carries around its primary one.
+    let battery = kernel_battery(&mut pb, &mut g, "mpg", 3);
+
+    let mut f = pb.function("main", 0, 1);
+    let check = f.movi(0);
+    counted_loop(&mut f, TRIPS * scale as i64, |f, i, _exit| {
+        let idx0 = f.shl(i, 2);
+        let qm = f.and(i, 255);
+        let qsel = f.load(qsel_stream, qm);
+        // Quantize a 4-coefficient group per trip.
+        let mut acc = None;
+        for k in 0..4 {
+            let idxk = f.add(idx0, k);
+            let im = f.and(idxk, 511);
+            let c = f.load(coeff_tbl, im);
+            let q = f.call(quant, &[Operand::Reg(c), Operand::Reg(qsel)], 1)[0];
+            acc = Some(match acc {
+                None => q,
+                Some(prev) => f.add(prev, q),
+            });
+        }
+        let row = acc.expect("non-empty group");
+        // Run-length flavoured checksum.
+        let nz = f.cmp(CmpPred::Ne, row, 0);
+        // Variable-length-code output: bit-position dependent.
+        let book = emit_bookkeeping(f, i, vlc_buf, 255, 4);
+        let w = f.shl(row, 1);
+        let w2 = f.or(w, nz);
+        let w3 = f.add(w2, book);
+        f.bin_into(BinKind::Add, check, check, w3);
+        call_battery(f, &battery, i, check);
+    });
+    f.ret(&[Operand::Reg(check)]);
+    let main = pb.finish_function(f);
+    pb.set_main(main);
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_ir::OpClass;
+    use ccr_profile::{Emulator, NullCrb, NullSink};
+
+    #[test]
+    fn builds_verifies_runs() {
+        let p = build(InputSet::Train, 1);
+        ccr_ir::verify_program(&p).unwrap();
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert!(out.dyn_instrs > 40_000);
+    }
+
+    #[test]
+    fn exercises_the_fp_units() {
+        let p = build(InputSet::Train, 1);
+        struct C(u64);
+        impl ccr_profile::TraceSink for C {
+            fn on_exec(&mut self, e: &ccr_profile::ExecEvent<'_>) {
+                if e.instr.class() == OpClass::FpAlu {
+                    self.0 += 1;
+                }
+            }
+        }
+        let mut c = C(0);
+        Emulator::new(&p).run(&mut NullCrb, &mut c).unwrap();
+        assert!(c.0 > 1000, "fp ops executed: {}", c.0);
+    }
+
+    #[test]
+    fn most_coefficients_are_zero() {
+        let p = build(InputSet::Train, 1);
+        let t = p.objects().iter().find(|o| o.name() == "coeffs").unwrap();
+        let zeros = t.init().iter().filter(|v| v.as_int() == 0).count();
+        assert!(zeros as f64 > 0.6 * t.init().len() as f64);
+    }
+}

@@ -1,0 +1,116 @@
+//! `pgpencode` — public-key encryption (UNIX suite).
+//!
+//! The paper notes pgpencode's speedup grows sharply with the number
+//! of computation instances: "a number of stateless computation
+//! regions were formed ... but the computations have considerable
+//! dynamic variation. A large number of computation instances is able
+//! to effectively handle this variation." We model that: a modular
+//! multiply-square chain whose message blocks come from a pool of
+//! *twelve* distinct values — more than a 4- or 8-instance entry can
+//! hold, comfortably within 16.
+
+use ccr_ir::{BinKind, Operand, Program, ProgramBuilder};
+
+use crate::util::{DataGen, call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table};
+use crate::InputSet;
+
+const TRIPS: i64 = 2400;
+/// Distinct message blocks: between 8 and 16 CIs by design.
+const BLOCK_POOL: usize = 12;
+const MODULUS: i64 = 65_521; // largest prime below 2^16
+
+/// Builds the benchmark.
+pub fn build(input: InputSet, scale: u32) -> Program {
+    let mut g = DataGen::new(0x9690, input);
+    let mut pb = ProgramBuilder::new();
+    let blocks = pb.table("blocks", g.zipfish(512, BLOCK_POOL, 1, MODULUS));
+    let out_buf = rw_table(&mut pb, "out_buf", vec![0; 256]);
+    let key = g.int(3, MODULUS);
+
+    // modpow_step(m): (m*k % p) squared twice mod p — the RSA-flavoured
+    // kernel, all stateless arithmetic from one input register.
+    let modpow = pb.declare("modpow_step", 1, 1);
+    {
+        let mut f = pb.function_body(modpow);
+        let m = f.param(0);
+        let t0 = f.mul(m, key);
+        let x0 = f.rem(t0, MODULUS);
+        let t1 = f.mul(x0, x0);
+        let x1 = f.rem(t1, MODULUS);
+        let t2 = f.mul(x1, x1);
+        let x2 = f.rem(t2, MODULUS);
+        let t3 = f.mul(x2, x0);
+        let x3 = f.rem(t3, MODULUS);
+        let folded = f.xor(x3, x1);
+        f.ret(&[Operand::Reg(folded)]);
+        pb.finish_function(f);
+    }
+
+    // armor(v): base64-ish output armoring (stateless bit slicing).
+    let armor = pb.declare("armor", 1, 1);
+    {
+        let mut f = pb.function_body(armor);
+        let v = f.param(0);
+        let a = f.and(v, 63);
+        let bsh = f.shr(v, 6);
+        let b = f.and(bsh, 63);
+        let csh = f.shr(v, 12);
+        let c = f.and(csh, 63);
+        let s1 = f.add(a, b);
+        let s2 = f.add(s1, c);
+        let packed = f.shl(s2, 2);
+        f.ret(&[Operand::Reg(packed)]);
+        pb.finish_function(f);
+    }
+
+    // Auxiliary phases: the secondary hot kernels every real
+    // benchmark carries around its primary one.
+    let battery = kernel_battery(&mut pb, &mut g, "pgp", 4);
+
+    let mut f = pb.function("main", 0, 1);
+    let check = f.movi(0);
+    counted_loop(&mut f, TRIPS * scale as i64, |f, i, _exit| {
+        let idx = f.and(i, 511);
+        let m = f.load(blocks, idx);
+        let enc = f.call(modpow, &[Operand::Reg(m)], 1)[0];
+        let arm = f.call(armor, &[Operand::Reg(enc)], 1)[0];
+        // Output framing: packet headers, lengths, CRC state — all
+        // position-dependent.
+        let book = emit_bookkeeping(f, i, out_buf, 255, 8);
+        let w = f.add(arm, book);
+        f.bin_into(BinKind::Add, check, check, w);
+        call_battery(f, &battery, i, check);
+    });
+    f.ret(&[Operand::Reg(check)]);
+    let main = pb.finish_function(f);
+    pb.set_main(main);
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_profile::{Emulator, NullCrb, NullSink};
+
+    #[test]
+    fn builds_verifies_runs() {
+        let p = build(InputSet::Train, 1);
+        ccr_ir::verify_program(&p).unwrap();
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert!(out.dyn_instrs > 40_000);
+    }
+
+    #[test]
+    fn block_pool_is_between_eight_and_sixteen() {
+        let p = build(InputSet::Train, 1);
+        let t = p.objects().iter().find(|o| o.name() == "blocks").unwrap();
+        let mut vals: Vec<i64> = t.init().iter().map(|v| v.as_int()).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert!(
+            vals.len() > 8 && vals.len() <= 16,
+            "pool size {} must straddle the 8-CI capacity",
+            vals.len()
+        );
+    }
+}

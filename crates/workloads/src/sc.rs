@@ -1,0 +1,146 @@
+//! `072.sc` — spreadsheet calculator.
+//!
+//! Models recalculation: the same cell formulas are re-evaluated on
+//! every screen refresh, while only a few cells actually change
+//! between refreshes. Formula evaluation reads the (writable) cell
+//! array — memory-dependent reuse with occasional invalidation —
+//! and per-cell formatting arithmetic is stateless.
+
+use ccr_ir::{BinKind, CmpPred, Operand, Program, ProgramBuilder};
+
+use crate::util::{DataGen, call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table};
+use crate::InputSet;
+
+const TRIPS: i64 = 1800;
+const CELLS: i64 = 64;
+
+/// Builds the benchmark.
+pub fn build(input: InputSet, scale: u32) -> Program {
+    let mut g = DataGen::new(0x0072, input);
+    let mut pb = ProgramBuilder::new();
+    let cells = rw_table(&mut pb, "cells", g.noise(CELLS as usize, -500, 500));
+    // Formula operand slots: which cells each of 16 formulas read.
+    let f_lhs = pb.table("formula_lhs", g.noise(16, 0, CELLS));
+    let f_rhs = pb.table("formula_rhs", g.noise(16, 0, CELLS));
+    let edits = pb.table("edit_stream", g.noise(256, 0, CELLS));
+    // Visible formulas: the screen shows the same few cells between
+    // scrolls.
+    let visible = pb.table("visible_stream", g.pooled(256, 4, 0, 16));
+    let screen_log = rw_table(&mut pb, "screen_log", vec![0; 128]);
+
+    // eval_cell(k): formula k over the cell array.
+    let eval_cell = pb.declare("eval_cell", 1, 1);
+    {
+        let mut f = pb.function_body(eval_cell);
+        let k = f.param(0);
+        let li = f.load(f_lhs, k);
+        let ri = f.load(f_rhs, k);
+        let lv = f.load(cells, li);
+        let rv = f.load(cells, ri);
+        let sum = f.add(lv, rv);
+        let scaled = f.mul(sum, 100);
+        let avg = f.div(scaled, 2);
+        f.ret(&[Operand::Reg(avg)]);
+        pb.finish_function(f);
+    }
+
+    // format(v): fixed-point rendering arithmetic (stateless).
+    let format = pb.declare("format_cell", 1, 1);
+    {
+        let mut f = pb.function_body(format);
+        let v = f.param(0);
+        let whole = f.div(v, 100);
+        let frac = f.rem(v, 100);
+        let afrac = f.bin(BinKind::Max, frac, 0);
+        let w = f.shl(whole, 8);
+        let packed = f.or(w, afrac);
+        f.ret(&[Operand::Reg(packed)]);
+        pb.finish_function(f);
+    }
+
+    // Auxiliary phases: the secondary hot kernels every real
+    // benchmark carries around its primary one.
+    let battery = kernel_battery(&mut pb, &mut g, "sc", 4);
+
+    let mut f = pb.function("main", 0, 1);
+    let check = f.movi(0);
+    counted_loop(&mut f, TRIPS * scale as i64, |f, i, _exit| {
+        // Refresh: re-evaluate the visible formulas (a handful of
+        // cells dominate until the user scrolls).
+        let vis = f.and(i, 255);
+        let base = f.load(visible, vis);
+        let v1 = f.call(eval_cell, &[Operand::Reg(base)], 1)[0];
+        let k2x = f.add(base, 1);
+        let k2 = f.and(k2x, 15);
+        let v2 = f.call(eval_cell, &[Operand::Reg(k2)], 1)[0];
+        let p1 = f.call(format, &[Operand::Reg(v1)], 1)[0];
+        let p2 = f.call(format, &[Operand::Reg(v2)], 1)[0];
+        // Occasional user edit: one cell changes every 64 refreshes.
+        let phase = f.and(i, 63);
+        let edit = f.block();
+        let merge = f.block();
+        f.br(CmpPred::Eq, phase, 63, edit, merge);
+        f.switch_to(edit);
+        let ei = f.shr(i, 6);
+        let em = f.and(ei, 255);
+        let target = f.load(edits, em);
+        f.store(cells, target, i);
+        f.jump(merge);
+        f.switch_to(merge);
+        // Screen-update bookkeeping (cursor movement, damage lists).
+        let book = emit_bookkeeping(f, i, screen_log, 127, 9);
+        let w = f.add(p1, p2);
+        let w2 = f.add(w, book);
+        f.bin_into(BinKind::Add, check, check, w2);
+        call_battery(f, &battery, i, check);
+    });
+    f.ret(&[Operand::Reg(check)]);
+    let main = pb.finish_function(f);
+    pb.set_main(main);
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_profile::{Emulator, NullCrb, NullSink};
+
+    #[test]
+    fn builds_verifies_runs() {
+        let p = build(InputSet::Train, 1);
+        ccr_ir::verify_program(&p).unwrap();
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert!(out.dyn_instrs > 40_000);
+    }
+
+    #[test]
+    fn cell_edits_are_infrequent() {
+        let p = build(InputSet::Train, 1);
+        let cells = p
+            .objects()
+            .iter()
+            .find(|o| o.name() == "cells")
+            .unwrap()
+            .id();
+        struct C {
+            cell_stores: u64,
+            total: u64,
+            target: ccr_ir::MemObjectId,
+        }
+        impl ccr_profile::TraceSink for C {
+            fn on_exec(&mut self, e: &ccr_profile::ExecEvent<'_>) {
+                self.total += 1;
+                if e.mem.is_some_and(|m| m.is_store && m.object == self.target) {
+                    self.cell_stores += 1;
+                }
+            }
+        }
+        let mut c = C {
+            cell_stores: 0,
+            total: 0,
+            target: cells,
+        };
+        Emulator::new(&p).run(&mut NullCrb, &mut c).unwrap();
+        assert!((c.cell_stores as f64) < 0.002 * c.total as f64);
+    }
+}

@@ -1,0 +1,119 @@
+//! `147.vortex` — object-oriented database.
+//!
+//! Models Vortex's dominant activity: validating object handles
+//! against schema metadata. A handful of live object kinds are
+//! validated over and over; each validation chains three lookups
+//! through read-only schema tables plus range checks — a
+//! memory-dependent region with one distinguishable structure when
+//! the schema is writable, stateless when frozen.
+
+use ccr_ir::{BinKind, CmpPred, Operand, Program, ProgramBuilder};
+
+use crate::util::{DataGen, call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table};
+use crate::InputSet;
+
+const TRIPS: i64 = 2400;
+
+/// Builds the benchmark.
+pub fn build(input: InputSet, scale: u32) -> Program {
+    let mut g = DataGen::new(0x0147, input);
+    let mut pb = ProgramBuilder::new();
+    let handles = pb.table("handle_stream", g.pooled(512, 6, 0, 64));
+    let schema = rw_table(&mut pb, "schema", g.noise(64, 0, 16));
+    let fields = pb.table("field_tbl", g.noise(64, 0, 1 << 10));
+    let parents = pb.table("parent_tbl", g.noise(16, 0, 16));
+    let txn_log = rw_table(&mut pb, "txn_log", vec![0; 256]);
+
+    // validate(handle): the three-level schema walk.
+    let validate = pb.declare("validate", 1, 1);
+    {
+        let mut f = pb.function_body(validate);
+        let h = f.param(0);
+        let kind = f.load(schema, h);
+        let km = f.and(kind, 15);
+        let parent = f.load(parents, km);
+        let pm = f.and(parent, 63);
+        let field = f.load(fields, pm);
+        let ok_blk = f.block();
+        let bad_blk = f.block();
+        let out = f.block();
+        let status = f.fresh();
+        f.br(CmpPred::Lt, field, 1000, ok_blk, bad_blk);
+        f.switch_to(ok_blk);
+        let sig1 = f.mul(field, 3);
+        let sig2 = f.add(sig1, km);
+        f.bin_into(BinKind::Xor, status, sig2, pm);
+        f.jump(out);
+        f.switch_to(bad_blk);
+        f.bin_into(BinKind::Sub, status, field, 1000);
+        f.jump(out);
+        f.switch_to(out);
+        f.ret(&[Operand::Reg(status)]);
+        pb.finish_function(f);
+    }
+
+    // Auxiliary phases: the secondary hot kernels every real
+    // benchmark carries around its primary one.
+    let battery = kernel_battery(&mut pb, &mut g, "vtx", 5);
+
+    let mut f = pb.function("main", 0, 1);
+    let check = f.movi(0);
+    counted_loop(&mut f, TRIPS * scale as i64, |f, i, _exit| {
+        let idx = f.and(i, 511);
+        let h = f.load(handles, idx);
+        let v1 = f.call(validate, &[Operand::Reg(h)], 1)[0];
+        // Most transactions validate two handles.
+        let h2x = f.add(h, 1);
+        let h2 = f.and(h2x, 63);
+        let v2 = f.call(validate, &[Operand::Reg(h2)], 1)[0];
+        // Schema migration: rare writes that invalidate the region.
+        let phase = f.and(i, 1023);
+        let migrate = f.block();
+        let merge = f.block();
+        f.br(CmpPred::Eq, phase, 1023, migrate, merge);
+        f.switch_to(migrate);
+        let slot = f.and(i, 63);
+        f.store(schema, slot, v1);
+        f.jump(merge);
+        f.switch_to(merge);
+        // Transaction journaling: sequence numbers and log cursors
+        // never repeat.
+        let book = emit_bookkeeping(f, i, txn_log, 255, 7);
+        let w = f.add(v1, v2);
+        let w2 = f.add(w, book);
+        f.bin_into(BinKind::Add, check, check, w2);
+        call_battery(f, &battery, i, check);
+    });
+    f.ret(&[Operand::Reg(check)]);
+    let main = pb.finish_function(f);
+    pb.set_main(main);
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccr_profile::{Emulator, NullCrb, NullSink};
+
+    #[test]
+    fn builds_verifies_runs() {
+        let p = build(InputSet::Train, 1);
+        ccr_ir::verify_program(&p).unwrap();
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert!(out.dyn_instrs > 40_000);
+    }
+
+    #[test]
+    fn handle_pool_is_small() {
+        let p = build(InputSet::Train, 1);
+        let hs = p
+            .objects()
+            .iter()
+            .find(|o| o.name() == "handle_stream")
+            .unwrap();
+        let mut vals: Vec<i64> = hs.init().iter().map(|v| v.as_int()).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert!(vals.len() <= 6);
+    }
+}

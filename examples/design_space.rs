@@ -1,0 +1,62 @@
+//! Design-space exploration on a single benchmark: sweep the CRB
+//! geometry (entries × instances) and print a speedup matrix — the
+//! per-benchmark version of the paper's Figure 8 exploration.
+//!
+//! ```sh
+//! cargo run --release --example design_space [benchmark]
+//! ```
+
+use ccr::profile::EmuConfig;
+use ccr::regions::RegionConfig;
+use ccr::report::{speedup, Table};
+use ccr::sim::{CrbConfig, MachineConfig};
+use ccr::workloads::{build, InputSet, NAMES};
+use ccr::{compile_ccr, measure, CompileConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "pgpencode".to_string());
+    if !NAMES.contains(&name.as_str()) {
+        eprintln!("unknown benchmark '{name}'; choose one of: {NAMES:?}");
+        std::process::exit(1);
+    }
+    let program = build(&name, InputSet::Train, 1).expect("known benchmark");
+    let machine = MachineConfig::paper();
+
+    let entries = [16usize, 32, 64, 128];
+    let instances = [2usize, 4, 8, 16];
+
+    let mut header = vec!["entries \\ CIs".to_string()];
+    header.extend(instances.iter().map(|c| c.to_string()));
+    let mut table = Table::new(header);
+
+    for &e in &entries {
+        let mut row = vec![e.to_string()];
+        for &ci in &instances {
+            // Re-compile per instance count: the selection trial
+            // targets the actual hardware capacity.
+            let config = CompileConfig {
+                region: RegionConfig {
+                    trial_instances: ci,
+                    ..RegionConfig::paper()
+                },
+                emu: EmuConfig::default(),
+                ..CompileConfig::paper()
+            };
+            let compiled = compile_ccr(&program, &program, &config)?;
+            let crb = CrbConfig {
+                entries: e,
+                instances: ci,
+                ..CrbConfig::paper()
+            };
+            let m = measure(&compiled, &machine, crb, EmuConfig::default())?;
+            row.push(speedup(m.speedup()));
+        }
+        table.row(row);
+    }
+
+    println!("CRB design space for {name} (speedup over no-CCR baseline)");
+    println!("{table}");
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Quickstart: run one benchmark through the whole CCR pipeline —
+//! optimize, profile, form regions, and simulate baseline vs CCR.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [benchmark] [scale]
+//! ```
+
+use ccr::profile::EmuConfig;
+use ccr::report::{pct, speedup};
+use ccr::sim::{CrbConfig, MachineConfig};
+use ccr::workloads::{build, InputSet, NAMES};
+use ccr::{compile_ccr, measure, CompileConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "124.m88ksim".to_string());
+    let scale: u32 = args.next().map_or(1, |s| s.parse().unwrap_or(1));
+    if !NAMES.contains(&name.as_str()) {
+        eprintln!("unknown benchmark '{name}'; choose one of: {NAMES:?}");
+        std::process::exit(1);
+    }
+
+    println!("benchmark : {name} (scale {scale})");
+    let program = build(&name, InputSet::Train, scale).expect("known benchmark");
+    println!(
+        "program   : {} functions, {} static instructions, {} data objects",
+        program.functions().len(),
+        program.instr_count(),
+        program.objects().len()
+    );
+
+    let compiled = compile_ccr(&program, &program, &CompileConfig::paper())?;
+    println!("regions   : {} reusable computation regions", compiled.regions.len());
+    for info in &compiled.regions {
+        println!(
+            "   {}  {:<7}  {:>3} instrs  {} inputs  {} outputs  {} mem  {} invalidation sites",
+            info.id,
+            if info.spec.is_cyclic() { "cyclic" } else { "acyclic" },
+            info.spec.static_instrs,
+            info.spec.input_count(),
+            info.spec.live_outs.len(),
+            info.spec.mem_count(),
+            info.invalidation_sites,
+        );
+    }
+
+    let m = measure(
+        &compiled,
+        &MachineConfig::paper(),
+        CrbConfig::paper(),
+        EmuConfig::default(),
+    )?;
+    println!();
+    println!(
+        "baseline  : {:>12} cycles   ({} instructions)",
+        m.base.stats.cycles, m.base.run.dyn_instrs
+    );
+    println!(
+        "with CCR  : {:>12} cycles   ({} executed + {} skipped by reuse)",
+        m.ccr.stats.cycles, m.ccr.run.dyn_instrs, m.ccr.run.skipped_instrs
+    );
+    println!(
+        "CRB       : {} hits / {} misses ({} hit ratio)",
+        m.ccr.stats.reuse_hits,
+        m.ccr.stats.reuse_misses,
+        pct(m.ccr.stats.crb.hit_ratio())
+    );
+    println!(
+        "speedup   : {}x   (repetition eliminated: {})",
+        speedup(m.speedup()),
+        pct(m.eliminated_fraction())
+    );
+    Ok(())
+}

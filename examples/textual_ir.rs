@@ -1,0 +1,65 @@
+//! Textual IR workflow: build a program, print it, parse it back,
+//! patch the parsed copy, and run both — the edit/re-run loop a
+//! downstream user gets from `.ccr` files.
+//!
+//! ```sh
+//! cargo run --release --example textual_ir
+//! ```
+
+use ccr::ir::{parse_program, BinKind, CmpPred, Operand, ProgramBuilder};
+use ccr::profile::{Emulator, NullCrb, NullSink};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build a small dot-product program with the DSL.
+    let mut pb = ProgramBuilder::new();
+    let xs = pb.table("xs", vec![1, 2, 3, 4]);
+    let ys = pb.table("ys", vec![10, 20, 30, 40]);
+    let mut f = pb.function("main", 0, 1);
+    let acc = f.movi(0);
+    let i = f.movi(0);
+    let body = f.block();
+    let done = f.block();
+    f.jump(body);
+    f.switch_to(body);
+    let a = f.load(xs, i);
+    let b = f.load(ys, i);
+    let m = f.mul(a, b);
+    f.bin_into(BinKind::Add, acc, acc, m);
+    f.inc(i, 1);
+    f.br(CmpPred::Lt, i, 4, body, done);
+    f.switch_to(done);
+    f.ret(&[Operand::Reg(acc)]);
+    let id = pb.finish_function(f);
+    pb.set_main(id);
+    let program = pb.finish();
+
+    let text = program.to_string();
+    println!("=== printed IR ===\n{text}");
+
+    // Parse it back and tweak the data: double every y.
+    let mut parsed = parse_program(&text)?;
+    let ys_id = ccr::ir::MemObjectId(1);
+    let doubled: Vec<ccr::ir::Value> = parsed
+        .object(ys_id)
+        .init()
+        .iter()
+        .map(|v| ccr::ir::Value::from_int(v.as_int() * 2))
+        .collect();
+    parsed.object_mut(ys_id).set_init(doubled);
+    ccr::ir::verify_program(&parsed)?;
+
+    let run = |p: &ccr::ir::Program| -> Result<i64, Box<dyn std::error::Error>> {
+        Ok(Emulator::new(p)
+            .run(&mut NullCrb, &mut NullSink)?
+            .returned[0]
+            .as_int())
+    };
+    let original = run(&program)?;
+    let patched = run(&parsed)?;
+    println!("original dot product : {original}");
+    println!("with doubled ys      : {patched}");
+    assert_eq!(original, 300);
+    assert_eq!(patched, 600);
+    println!("round trip + patch verified");
+    Ok(())
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates every experiment output into results/ (deterministic:
+# identical inputs produce identical tables).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+for bin in fig4_potential fig8a_instances fig8b_entries fig9_groups \
+           fig10_distribution fig11_inputs ablations width_sensitivity; do
+    echo "== $bin"
+    cargo run --release -q -p ccr-bench --bin "$bin" > "results/$bin.txt"
+done
+echo "done; see results/ and EXPERIMENTS.md"

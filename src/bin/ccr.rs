@@ -1,0 +1,357 @@
+//! `ccr` — command-line driver for the CCR framework.
+//!
+//! ```text
+//! ccr suite [--input train|ref] [--scale N] [--entries E] [--instances C]
+//! ccr run <benchmark|file.ccr> [--entries E] [--instances C] [--function-level]
+//! ccr regions <benchmark|file.ccr>
+//! ccr potential <benchmark|file.ccr>
+//! ccr print <benchmark> [--annotated]
+//! ccr trace <benchmark|file.ccr> [--limit N]
+//! ccr list
+//! ```
+//!
+//! A `<benchmark>` is one of the thirteen built-in workload names
+//! (`ccr list`); a `file.ccr` is a textual-IR program as produced by
+//! `ccr print`.
+
+use std::process::ExitCode;
+
+use ccr::ir::Program;
+use ccr::profile::EmuConfig;
+use ccr::regions::RegionConfig;
+use ccr::report::{pct, speedup, Table};
+use ccr::sim::{CrbConfig, MachineConfig};
+use ccr::workloads::{build, InputSet, NAMES};
+use ccr::{compile_ccr, measure, CompileConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ccr suite [--input train|ref] [--scale N] [--entries E] [--instances C]
+  ccr run <benchmark|file.ccr> [--entries E] [--instances C] [--function-level]
+  ccr regions <benchmark|file.ccr>
+  ccr potential <benchmark|file.ccr>
+  ccr print <benchmark> [--annotated]
+  ccr trace <benchmark|file.ccr> [--limit N]
+  ccr list";
+
+/// Parsed flag set shared by the subcommands.
+struct Flags {
+    input: InputSet,
+    scale: u32,
+    entries: usize,
+    instances: usize,
+    function_level: bool,
+    annotated: bool,
+    limit: u64,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        input: InputSet::Train,
+        scale: 1,
+        entries: 128,
+        instances: 8,
+        function_level: false,
+        annotated: false,
+        limit: 40,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--input" => {
+                flags.input = match take("--input")?.as_str() {
+                    "train" => InputSet::Train,
+                    "ref" => InputSet::Ref,
+                    other => return Err(format!("unknown input set `{other}`")),
+                };
+            }
+            "--scale" => {
+                flags.scale = take("--scale")?
+                    .parse()
+                    .map_err(|_| "bad --scale value".to_string())?;
+            }
+            "--entries" => {
+                flags.entries = take("--entries")?
+                    .parse()
+                    .map_err(|_| "bad --entries value".to_string())?;
+            }
+            "--instances" => {
+                flags.instances = take("--instances")?
+                    .parse()
+                    .map_err(|_| "bad --instances value".to_string())?;
+            }
+            "--function-level" => flags.function_level = true,
+            "--annotated" => flags.annotated = true,
+            "--limit" => {
+                flags.limit = take("--limit")?
+                    .parse()
+                    .map_err(|_| "bad --limit value".to_string())?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            other => flags.positional.push(other.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "list" => {
+            for name in NAMES {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        "suite" => cmd_suite(&flags),
+        "run" => cmd_run(&flags),
+        "regions" => cmd_regions(&flags),
+        "potential" => cmd_potential(&flags),
+        "print" => cmd_print(&flags),
+        "trace" => cmd_trace(&flags),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn emu() -> EmuConfig {
+    EmuConfig {
+        max_instrs: 500_000_000,
+        max_depth: 1024,
+    }
+}
+
+fn crb_of(flags: &Flags) -> CrbConfig {
+    CrbConfig {
+        entries: flags.entries,
+        instances: flags.instances,
+        ..CrbConfig::paper()
+    }
+}
+
+fn compile_config(flags: &Flags) -> CompileConfig {
+    CompileConfig {
+        region: RegionConfig {
+            trial_instances: flags.instances,
+            function_level: flags.function_level,
+            ..RegionConfig::paper()
+        },
+        emu: emu(),
+        ..CompileConfig::paper()
+    }
+}
+
+/// Loads a program: a built-in benchmark name or a `.ccr` text file.
+fn load_program(spec: &str, input: InputSet, scale: u32) -> Result<Program, String> {
+    if let Some(p) = build(spec, input, scale) {
+        return Ok(p);
+    }
+    if spec.ends_with(".ccr") {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+        let p = ccr::ir::parse_program(&text).map_err(|e| format!("{spec}: {e}"))?;
+        ccr::ir::verify_program(&p).map_err(|e| format!("{spec}: {e}"))?;
+        return Ok(p);
+    }
+    Err(format!(
+        "`{spec}` is neither a known benchmark (see `ccr list`) nor a .ccr file"
+    ))
+}
+
+fn target_of(flags: &Flags) -> Result<String, String> {
+    flags
+        .positional
+        .first()
+        .cloned()
+        .ok_or_else(|| "missing <benchmark|file.ccr>".to_string())
+}
+
+fn cmd_suite(flags: &Flags) -> Result<(), String> {
+    let machine = MachineConfig::paper();
+    let crb = crb_of(flags);
+    let mut table = Table::new(["benchmark", "base cycles", "ccr cycles", "speedup", "eliminated"]);
+    let mut speedups = Vec::new();
+    for name in NAMES {
+        let train = build(name, InputSet::Train, flags.scale).expect("known");
+        let target = build(name, flags.input, flags.scale).expect("known");
+        let compiled =
+            compile_ccr(&train, &target, &compile_config(flags)).map_err(|e| e.to_string())?;
+        let m = measure(&compiled, &machine, crb, emu()).map_err(|e| e.to_string())?;
+        speedups.push(m.speedup());
+        table.row([
+            name.to_string(),
+            m.base.stats.cycles.to_string(),
+            m.ccr.stats.cycles.to_string(),
+            speedup(m.speedup()),
+            pct(m.eliminated_fraction()),
+        ]);
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    table.row([
+        "average".to_string(),
+        String::new(),
+        String::new(),
+        speedup(avg),
+        String::new(),
+    ]);
+    println!(
+        "CCR suite — {:?} input, scale {}, CRB {}x{}",
+        flags.input, flags.scale, flags.entries, flags.instances
+    );
+    println!("{table}");
+    Ok(())
+}
+
+fn cmd_run(flags: &Flags) -> Result<(), String> {
+    let spec = target_of(flags)?;
+    let train = load_program(&spec, InputSet::Train, flags.scale)?;
+    let target = load_program(&spec, flags.input, flags.scale)?;
+    let compiled =
+        compile_ccr(&train, &target, &compile_config(flags)).map_err(|e| e.to_string())?;
+    let m = measure(&compiled, &MachineConfig::paper(), crb_of(flags), emu())
+        .map_err(|e| e.to_string())?;
+    println!("program   : {spec}");
+    println!("regions   : {}", compiled.regions.len());
+    println!("baseline  : {} cycles", m.base.stats.cycles);
+    println!(
+        "with CCR  : {} cycles ({} hits / {} misses)",
+        m.ccr.stats.cycles, m.ccr.stats.reuse_hits, m.ccr.stats.reuse_misses
+    );
+    println!(
+        "speedup   : {}x  eliminated {}",
+        speedup(m.speedup()),
+        pct(m.eliminated_fraction())
+    );
+    Ok(())
+}
+
+fn cmd_regions(flags: &Flags) -> Result<(), String> {
+    let spec = target_of(flags)?;
+    let p = load_program(&spec, flags.input, flags.scale)?;
+    let compiled = compile_ccr(&p, &p, &compile_config(flags)).map_err(|e| e.to_string())?;
+    let mut table = Table::new([
+        "region", "shape", "class", "instrs", "inputs", "outputs", "mem", "invalidations",
+    ]);
+    for info in &compiled.regions {
+        table.row([
+            info.id.to_string(),
+            if info.spec.is_cyclic() {
+                "cyclic".to_string()
+            } else if info.spec.is_function_level() {
+                "call".to_string()
+            } else {
+                "acyclic".to_string()
+            },
+            format!("{:?}", info.spec.class),
+            info.spec.static_instrs.to_string(),
+            info.spec.input_count().to_string(),
+            info.spec.live_outs.len().to_string(),
+            info.spec.mem_count().to_string(),
+            info.invalidation_sites.to_string(),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn cmd_potential(flags: &Flags) -> Result<(), String> {
+    let spec = target_of(flags)?;
+    let p = load_program(&spec, flags.input, flags.scale)?;
+    let pot = ccr::measure::reuse_potential(&p, emu()).map_err(|e| e.to_string())?;
+    println!("dynamic instructions : {}", pot.total_instrs);
+    println!("block-level reusable : {}", pct(pot.block_ratio()));
+    println!("region-level reusable: {}", pct(pot.region_ratio()));
+    Ok(())
+}
+
+fn cmd_trace(flags: &Flags) -> Result<(), String> {
+    use ccr::profile::{EmuError, ExecEvent, NullCrb, TraceSink};
+    let spec = target_of(flags)?;
+    let p = load_program(&spec, flags.input, flags.scale)?;
+
+    struct Tracer {
+        remaining: u64,
+    }
+    impl TraceSink for Tracer {
+        fn on_exec(&mut self, e: &ExecEvent<'_>) {
+            if self.remaining == 0 {
+                return;
+            }
+            self.remaining -= 1;
+            let inputs: Vec<String> = e.inputs.iter().map(|v| v.as_int().to_string()).collect();
+            let result = e
+                .result
+                .map(|v| format!(" => {}", v.as_int()))
+                .unwrap_or_default();
+            let mem = e
+                .mem
+                .map(|m| {
+                    format!(
+                        "  [{} {}[{}] = {}]",
+                        if m.is_store { "store" } else { "load" },
+                        m.object,
+                        m.index,
+                        m.value.as_int()
+                    )
+                })
+                .unwrap_or_default();
+            println!(
+                "{:>4} {}:{}  {:<40} in=({}){}{}",
+                e.instr.id,
+                e.func,
+                e.block,
+                e.instr.to_string(),
+                inputs.join(", "),
+                result,
+                mem
+            );
+        }
+    }
+    let mut tracer = Tracer {
+        remaining: flags.limit,
+    };
+    // Bound emulation near the requested trace length; hitting the
+    // step limit after the trace is complete is expected.
+    let limited = ccr::profile::EmuConfig {
+        max_instrs: flags.limit.saturating_add(1),
+        max_depth: 1024,
+    };
+    match ccr::profile::Emulator::with_config(&p, limited).run(&mut NullCrb, &mut tracer) {
+        Ok(_) | Err(EmuError::StepLimit) => Ok(()),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn cmd_print(flags: &Flags) -> Result<(), String> {
+    let spec = target_of(flags)?;
+    let p = load_program(&spec, flags.input, flags.scale)?;
+    if flags.annotated {
+        let compiled = compile_ccr(&p, &p, &compile_config(flags)).map_err(|e| e.to_string())?;
+        print!("{}", compiled.annotated);
+    } else {
+        print!("{p}");
+    }
+    Ok(())
+}

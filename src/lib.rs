@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # ccr — Compiler-Directed Dynamic Computation Reuse
+//!
+//! A full reproduction of Connors & Hwu, *"Compiler-Directed Dynamic
+//! Computation Reuse: Rationale and Initial Results"* (MICRO-32,
+//! 1999), as a Rust workspace:
+//!
+//! * [`ir`] — the compiler IR with the CCR ISA extensions,
+//! * [`analysis`] — dominators, loops, liveness, reaching
+//!   definitions, alias information,
+//! * [`opt`] — the baseline optimizer (inlining, unrolling,
+//!   const-prop, CSE, DCE, CFG simplification),
+//! * [`profile`] — the emulator, the Reuse Profiling System, and the
+//!   Figure 4 limit study,
+//! * [`regions`] — reusable-computation-region formation and the
+//!   annotation transformation,
+//! * [`sim`] — the cycle-level 6-issue machine with the Computation
+//!   Reuse Buffer,
+//! * [`workloads`] — the thirteen-benchmark suite,
+//! * top-level [`compile_ccr`] / [`measure()`](measure()) to run the whole
+//!   pipeline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ccr::{compile_ccr, measure, CompileConfig};
+//! use ccr::sim::{CrbConfig, MachineConfig};
+//! use ccr::profile::EmuConfig;
+//! use ccr::workloads::{build, InputSet};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = build("124.m88ksim", InputSet::Train, 1).expect("known benchmark");
+//! let compiled = compile_ccr(&program, &program, &CompileConfig::paper())?;
+//! let m = measure(
+//!     &compiled,
+//!     &MachineConfig::paper(),
+//!     CrbConfig::paper(),
+//!     EmuConfig::default(),
+//! )?;
+//! assert!(m.speedup() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ccr_core::*;

@@ -1,0 +1,66 @@
+//! End-to-end tests of the `ccr` command-line driver, run against the
+//! actual binary Cargo builds for this package.
+
+use std::process::Command;
+
+fn ccr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ccr"))
+}
+
+#[test]
+fn list_names_all_benchmarks() {
+    let out = ccr().arg("list").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let names: Vec<&str> = stdout.lines().collect();
+    assert_eq!(names.len(), 13);
+    assert!(names.contains(&"124.m88ksim"));
+}
+
+#[test]
+fn run_reports_a_speedup() {
+    let out = ccr().args(["run", "130.li"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("speedup"), "{stdout}");
+    assert!(stdout.contains("regions"), "{stdout}");
+}
+
+#[test]
+fn print_then_run_round_trips_through_a_file() {
+    let dir = std::env::temp_dir().join("ccr-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("espresso.ccr");
+    let printed = ccr().args(["print", "008.espresso"]).output().unwrap();
+    assert!(printed.status.success());
+    std::fs::write(&path, &printed.stdout).unwrap();
+    let out = ccr()
+        .args(["run", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("speedup"), "{stdout}");
+}
+
+#[test]
+fn trace_respects_the_limit() {
+    let out = ccr()
+        .args(["trace", "lex", "--limit", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.lines().count(), 5, "{stdout}");
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let out = ccr().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let out = ccr().args(["run", "not-a-benchmark"]).output().unwrap();
+    assert!(!out.status.success());
+}

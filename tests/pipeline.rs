@@ -1,0 +1,179 @@
+//! End-to-end integration tests: the full compile → measure pipeline
+//! over real benchmark programs, spanning every crate in the
+//! workspace.
+
+use ccr::profile::EmuConfig;
+use ccr::regions::RegionConfig;
+use ccr::sim::{CrbConfig, MachineConfig};
+use ccr::workloads::{build, InputSet};
+use ccr::{compile_ccr, measure, CompileConfig};
+
+fn emu() -> EmuConfig {
+    EmuConfig {
+        max_instrs: 100_000_000,
+        max_depth: 512,
+    }
+}
+
+fn config() -> CompileConfig {
+    CompileConfig {
+        emu: emu(),
+        ..CompileConfig::paper()
+    }
+}
+
+/// The invariant behind the whole paper: adding the reuse hardware
+/// never changes what the program computes, on any benchmark.
+#[test]
+fn reuse_preserves_results_across_the_suite() {
+    // measure() itself asserts architectural equality of baseline and
+    // CCR runs; this test exercises it on a cross-section of the
+    // suite covering SL, MD, cyclic, and acyclic regions.
+    for name in ["008.espresso", "124.m88ksim", "129.compress", "mpeg2enc"] {
+        let p = build(name, InputSet::Train, 1).unwrap();
+        let compiled = compile_ccr(&p, &p, &config()).unwrap();
+        let m = measure(
+            &compiled,
+            &MachineConfig::paper(),
+            CrbConfig::paper(),
+            emu(),
+        )
+        .unwrap();
+        assert_eq!(
+            m.base.run.returned, m.ccr.run.returned,
+            "{name}: reuse changed results"
+        );
+    }
+}
+
+/// The headline claim: the paper's best case shows a substantial
+/// speedup, the worst case a small one, and the ordering holds.
+#[test]
+fn speedup_ordering_matches_the_paper() {
+    let speedup_of = |name: &str| {
+        let p = build(name, InputSet::Train, 1).unwrap();
+        let compiled = compile_ccr(&p, &p, &config()).unwrap();
+        measure(
+            &compiled,
+            &MachineConfig::paper(),
+            CrbConfig::paper(),
+            emu(),
+        )
+        .unwrap()
+        .speedup()
+    };
+    let m88ksim = speedup_of("124.m88ksim");
+    let go = speedup_of("099.go");
+    assert!(m88ksim > 1.3, "m88ksim is the best case: {m88ksim:.3}");
+    assert!(go < m88ksim, "go must trail m88ksim: {go:.3} vs {m88ksim:.3}");
+    assert!(go > 0.95, "reuse must not slow go down: {go:.3}");
+}
+
+/// Instances matter where the paper says they matter: pgpencode's
+/// wide value set needs 16 computation instances.
+#[test]
+fn pgpencode_is_instance_sensitive() {
+    let p = build("pgpencode", InputSet::Train, 1).unwrap();
+    let speedup_at = |ci: usize| {
+        let cfg = CompileConfig {
+            region: RegionConfig {
+                trial_instances: ci,
+                ..RegionConfig::paper()
+            },
+            emu: emu(),
+            ..CompileConfig::paper()
+        };
+        let compiled = compile_ccr(&p, &p, &cfg).unwrap();
+        measure(
+            &compiled,
+            &MachineConfig::paper(),
+            CrbConfig::with_instances(ci),
+            emu(),
+        )
+        .unwrap()
+        .speedup()
+    };
+    let s4 = speedup_at(4);
+    let s16 = speedup_at(16);
+    assert!(
+        s16 > s4 + 0.05,
+        "pgpencode must gain from instances: {s4:.3} -> {s16:.3}"
+    );
+}
+
+/// Figure 11's generalization property: regions selected on the
+/// training input still help on the reference input.
+#[test]
+fn training_regions_generalize_to_reference_input() {
+    let train = build("130.li", InputSet::Train, 1).unwrap();
+    let reference = build("130.li", InputSet::Ref, 1).unwrap();
+    let compiled = compile_ccr(&train, &reference, &config()).unwrap();
+    let m = measure(
+        &compiled,
+        &MachineConfig::paper(),
+        CrbConfig::paper(),
+        emu(),
+    )
+    .unwrap();
+    assert!(
+        m.speedup() > 1.05,
+        "cross-input speedup: {:.3}",
+        m.speedup()
+    );
+}
+
+/// Block-level-only regions (prior work's granularity) must not beat
+/// full region formation.
+#[test]
+fn region_granularity_dominates_block_level() {
+    let p = build("124.m88ksim", InputSet::Train, 1).unwrap();
+    let run_with = |region: RegionConfig| {
+        let cfg = CompileConfig {
+            region,
+            emu: emu(),
+            ..CompileConfig::paper()
+        };
+        let compiled = compile_ccr(&p, &p, &cfg).unwrap();
+        measure(
+            &compiled,
+            &MachineConfig::paper(),
+            CrbConfig::paper(),
+            emu(),
+        )
+        .unwrap()
+        .speedup()
+    };
+    let full = run_with(RegionConfig::paper());
+    let block = run_with(RegionConfig::block_level());
+    assert!(
+        full >= block,
+        "full regions must dominate: {full:.3} vs {block:.3}"
+    );
+}
+
+/// The compiled artifacts are internally consistent.
+#[test]
+fn compiled_workload_invariants() {
+    let p = build("147.vortex", InputSet::Train, 1).unwrap();
+    let compiled = compile_ccr(&p, &p, &config()).unwrap();
+    ccr::ir::verify_program(&compiled.base).unwrap();
+    ccr::ir::verify_program(&compiled.annotated).unwrap();
+    for info in &compiled.regions {
+        assert!(info.spec.input_count() <= 8, "paper's live-in limit");
+        assert!(info.spec.live_outs.len() <= 8, "paper's live-out limit");
+        assert!(info.spec.mem_count() <= 4, "paper's memory limit");
+        assert!(!info.spec.live_outs.is_empty());
+        if info.spec.mem_count() > 0 {
+            // Memory-dependent regions over *written* objects carry
+            // invalidation sites; never-written named objects need
+            // none.
+            let has_writer = info.spec.mem_objects.iter().any(|o| {
+                compiled
+                    .annotated
+                    .iter_instrs()
+                    .any(|(_, i)| i.is_store() && i.mem_object() == Some(*o))
+            });
+            assert_eq!(info.invalidation_sites > 0, has_writer);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Textual-IR round-trip over the full benchmark suite: printing and
+//! re-parsing any program — including fully annotated ones with
+//! `reuse`/`invalidate` instructions and extension marks — must
+//! reproduce the exact same text and the exact same behaviour.
+
+use ccr::ir::parse_program;
+use ccr::profile::{EmuConfig, Emulator, NullCrb, NullSink};
+use ccr::workloads::{build, InputSet, NAMES};
+use ccr::{compile_ccr, CompileConfig};
+
+fn emu() -> EmuConfig {
+    EmuConfig {
+        max_instrs: 50_000_000,
+        max_depth: 256,
+    }
+}
+
+fn run(p: &ccr::ir::Program) -> Vec<i64> {
+    Emulator::with_config(p, emu())
+        .run(&mut NullCrb, &mut NullSink)
+        .unwrap()
+        .returned
+        .iter()
+        .map(|v| v.as_int())
+        .collect()
+}
+
+#[test]
+fn every_benchmark_round_trips_textually() {
+    for name in NAMES {
+        let p = build(name, InputSet::Train, 1).unwrap();
+        let text = p.to_string();
+        let q = parse_program(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(q.to_string(), text, "{name}: reprint differs");
+        ccr::ir::verify_program(&q).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn parsed_programs_behave_identically() {
+    for name in ["008.espresso", "124.m88ksim", "lex"] {
+        let p = build(name, InputSet::Train, 1).unwrap();
+        let q = parse_program(&p.to_string()).unwrap();
+        assert_eq!(run(&p), run(&q), "{name}");
+    }
+}
+
+#[test]
+fn annotated_programs_round_trip() {
+    // Annotated programs exercise the reuse/invalidate syntax and the
+    // extension comments.
+    let p = build("124.m88ksim", InputSet::Train, 1).unwrap();
+    let config = CompileConfig {
+        emu: emu(),
+        ..CompileConfig::paper()
+    };
+    let compiled = compile_ccr(&p, &p, &config).unwrap();
+    let text = compiled.annotated.to_string();
+    assert!(text.contains("reuse rcr"), "fixture lost its annotations");
+    assert!(text.contains("ext:"), "fixture lost its extensions");
+    let q = parse_program(&text).unwrap();
+    assert_eq!(q.to_string(), text);
+    ccr::ir::verify_program(&q).unwrap();
+    assert_eq!(run(&compiled.annotated), run(&q));
+}
