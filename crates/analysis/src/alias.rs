@@ -83,7 +83,10 @@ impl AliasInfo {
     ///
     /// Returns [`Determinable::No`] for non-load instructions.
     pub fn load_class(&self, id: InstrId) -> Determinable {
-        self.load_class.get(&id).copied().unwrap_or(Determinable::No)
+        self.load_class
+            .get(&id)
+            .copied()
+            .unwrap_or(Determinable::No)
     }
 
     /// True if the load is annotated determinable.

@@ -215,7 +215,10 @@ mod tests {
         let cg = CallGraph::compute(&p);
         let se = SideEffects::compute(&p, &cg);
         assert!(se.writes(b).contains(&obj));
-        assert!(se.writes(a).contains(&obj), "write must propagate to caller");
+        assert!(
+            se.writes(a).contains(&obj),
+            "write must propagate to caller"
+        );
         assert!(se.writes(main).contains(&obj));
         assert!(!se.writes(c).contains(&obj));
         assert!(se.reads(c).contains(&obj));

@@ -225,11 +225,7 @@ mod tests {
         assert_eq!(inner.header, BlockId(2));
         assert_eq!(inner.body.len(), 1); // self-loop block only
         assert_eq!(inner.depth, 2);
-        let outer = lf
-            .loops()
-            .iter()
-            .find(|l| l.header == BlockId(1))
-            .unwrap();
+        let outer = lf.loops().iter().find(|l| l.header == BlockId(1)).unwrap();
         assert!(!outer.innermost);
         assert_eq!(outer.depth, 1);
         assert!(outer.body.contains(&BlockId(2)));
@@ -244,11 +240,7 @@ mod tests {
         assert_eq!(inner.exits, vec![(BlockId(2), BlockId(3))]);
         assert_eq!(inner.single_exit_target(), Some(BlockId(3)));
         assert_eq!(inner.preheader(p.function(id)), Some(BlockId(1)));
-        let outer = lf
-            .loops()
-            .iter()
-            .find(|l| l.header == BlockId(1))
-            .unwrap();
+        let outer = lf.loops().iter().find(|l| l.header == BlockId(1)).unwrap();
         assert_eq!(outer.single_exit_target(), Some(BlockId(4)));
         assert_eq!(outer.preheader(p.function(id)), Some(BlockId(0)));
     }

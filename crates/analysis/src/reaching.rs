@@ -121,7 +121,9 @@ impl ReachingDefs {
 
     /// Definitions reaching the entry of `b`.
     pub fn reaching_in(&self, b: BlockId) -> impl Iterator<Item = Def> + '_ {
-        self.reach_in[b.index()].iter().map(|&i| self.defs[i as usize])
+        self.reach_in[b.index()]
+            .iter()
+            .map(|&i| self.defs[i as usize])
     }
 
     /// The definitions of `reg` that reach the *use site* at position
@@ -133,10 +135,7 @@ impl ReachingDefs {
         pos: usize,
         reg: Reg,
     ) -> Vec<Def> {
-        let mut current: Vec<Def> = self
-            .reaching_in(b)
-            .filter(|d| d.reg == reg)
-            .collect();
+        let mut current: Vec<Def> = self.reaching_in(b).filter(|d| d.reg == reg).collect();
         for instr in func.block(b).instrs.iter().take(pos) {
             if instr.dsts().contains(&reg) {
                 current = vec![Def {

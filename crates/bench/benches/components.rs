@@ -2,9 +2,9 @@
 //! CRB lookup/record, cache and BTB accesses, raw emulation
 //! throughput, the optimizer, and region formation.
 
+use ccr_core::opt;
 use ccr_ir::{Reg, RegionId, Value};
 use ccr_profile::{CrbModel, Emulator, NullCrb, NullSink, RecordedInstance, ValueProfiler};
-use ccr_core::opt;
 use ccr_regions::RegionConfig;
 use ccr_sim::{Btb, Cache, CacheConfig, CrbConfig, ReuseBuffer};
 use ccr_workloads::{build, InputSet};

@@ -40,7 +40,10 @@ fn main() {
             replacement: policy,
             ..CrbConfig::paper()
         };
-        t.row([label.to_string(), speedup(average_speedup(&paper, &machine, crb))]);
+        t.row([
+            label.to_string(),
+            speedup(average_speedup(&paper, &machine, crb)),
+        ]);
     }
     println!("{t}");
 

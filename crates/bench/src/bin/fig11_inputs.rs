@@ -23,13 +23,7 @@ fn main() {
     let train_runs = run_suite(InputSet::Train, SCALE, &region, &machine, crb);
     let ref_runs = run_suite(InputSet::Ref, SCALE, &region, &machine, crb);
 
-    let mut table = Table::new([
-        "benchmark",
-        "train",
-        "ref",
-        "elim(train)",
-        "elim(ref)",
-    ]);
+    let mut table = Table::new(["benchmark", "train", "ref", "elim(train)", "elim(ref)"]);
     for (t, r) in train_runs.iter().zip(&ref_runs) {
         table.row([
             t.name.to_string(),
@@ -49,9 +43,7 @@ fn main() {
                 .map(|r| r.measurement.eliminated_fraction()),
         )),
         pct(mean(
-            ref_runs
-                .iter()
-                .map(|r| r.measurement.eliminated_fraction()),
+            ref_runs.iter().map(|r| r.measurement.eliminated_fraction()),
         )),
     ]);
 

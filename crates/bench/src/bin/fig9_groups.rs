@@ -44,19 +44,18 @@ fn main() {
             .map(|(id, s)| (*id, s.skipped_instrs))
             .collect();
         let dynamic = GroupDistribution::dynamic_of(&run.compiled.regions, &weights);
-        let render =
-            |d: &GroupDistribution| -> Vec<String> {
-                ComputationGroup::ALL
-                    .iter()
-                    .map(|g| {
-                        if d.total() == 0.0 {
-                            "-".to_string()
-                        } else {
-                            pct(d.fraction(*g))
-                        }
-                    })
-                    .collect()
-            };
+        let render = |d: &GroupDistribution| -> Vec<String> {
+            ComputationGroup::ALL
+                .iter()
+                .map(|g| {
+                    if d.total() == 0.0 {
+                        "-".to_string()
+                    } else {
+                        pct(d.fraction(*g))
+                    }
+                })
+                .collect()
+        };
         let mut srow = vec![run.name.to_string()];
         srow.extend(render(&stat));
         static_table.row(srow);

@@ -33,7 +33,13 @@ fn main() {
     let mut table = Table::new(["issue width", "avg speedup", "avg base IPC", "avg CCR IPC"]);
     for &w in &widths {
         let machine = machine_of_width(w);
-        let runs = run_suite(InputSet::Train, SCALE, &region, &machine, CrbConfig::paper());
+        let runs = run_suite(
+            InputSet::Train,
+            SCALE,
+            &region,
+            &machine,
+            CrbConfig::paper(),
+        );
         let avg = mean(runs.iter().map(|r| r.measurement.speedup()));
         let base_ipc = mean(runs.iter().map(|r| {
             r.measurement.base.stats.dyn_instrs as f64 / r.measurement.base.stats.cycles as f64

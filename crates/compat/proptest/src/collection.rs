@@ -1,0 +1,48 @@
+//! Collection strategies (`prop::collection`).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for vectors with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates `Vec`s of `element`-generated values with a length in
+/// `size` (half-open, like upstream's `1..8`).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end - self.size.start;
+        let len = self.size.start + rng.below(span);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let mut rng = TestRng::deterministic("collection::vec");
+        let s = vec(0u8..10, 1..8);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..8).contains(&v.len()), "{}", v.len());
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

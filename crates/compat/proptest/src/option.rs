@@ -1,0 +1,40 @@
+//! Option strategies (`prop::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Option<T>` (`None` one time in four, matching
+/// upstream's default weighting).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Generates `Some` of the inner strategy's value, or `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_both_variants() {
+        let mut rng = TestRng::deterministic("option::of");
+        let s = of(0u8..10);
+        let values: Vec<Option<u8>> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+    }
+}

@@ -1,0 +1,229 @@
+//! Value-generation strategies.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use rand::{Rng as _, SampleRange, Standard};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe strategy backing [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice between strategies of the same value type (built by
+/// `prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Creates a union over the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alternatives` is empty.
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
+        Union(alternatives)
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let k = rng.below(self.0.len());
+        self.0[k].generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`prop_map`](Strategy::prop_map) combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy for any [`Standard`]-distributed value (`any::<T>()`).
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generates uniformly-distributed values of `T`.
+pub fn any<T: Standard + Debug>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Standard + Debug> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut source = RngAdapter(rng);
+        source.random()
+    }
+}
+
+/// Adapts [`TestRng`] to the `rand` shim's core trait so range and
+/// standard sampling can be shared.
+struct RngAdapter<'a>(&'a mut TestRng);
+
+impl rand::RngCore for RngAdapter<'_> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    Range<T>: SampleRange + Clone,
+    <Range<T> as SampleRange>::Output: Debug,
+{
+    type Value = <Range<T> as SampleRange>::Output;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let mut source = RngAdapter(rng);
+        source.random_range(self.clone())
+    }
+}
+
+/// A `".{lo,hi}"`-style string pattern, treated loosely: generates a
+/// string of `lo..=hi` mostly-printable characters with occasional
+/// multi-byte code points. (Upstream proptest interprets the full
+/// regex; the workspace only uses the any-character form.)
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_repeat_bounds(self).unwrap_or((0, 64));
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len)
+            .map(|_| match rng.below(20) {
+                0 => char::from_u32(0x80 + rng.next_u64() as u32 % 0x700).unwrap_or('\u{fffd}'),
+                1 => '\n',
+                _ => (0x20u8 + rng.below(0x5f) as u8) as char,
+            })
+            .collect()
+    }
+}
+
+fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let (_, tail) = pattern.split_once('{')?;
+    let (body, _) = tail.split_once('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut rng = TestRng::deterministic("strategy::compose");
+        let s = (0u8..4, -10i64..10).prop_map(|(a, b)| (a as i64) * 100 + b);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((-10..=310).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn union_draws_from_every_arm() {
+        let mut rng = TestRng::deterministic("strategy::union");
+        let s = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn string_pattern_respects_bounds() {
+        let mut rng = TestRng::deterministic("strategy::string");
+        let s = ".{0,200}";
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v.chars().count() <= 200);
+        }
+    }
+}

@@ -2,9 +2,9 @@
 //! annotate.
 
 use ccr_ir::Program;
-use ccr_opt::OptConfig;
+use ccr_opt::{OptConfig, PassRecord, RecordingObserver};
 use ccr_profile::{EmuConfig, EmuError, Emulator, NullCrb, ReuseProfile, ValueProfiler};
-use ccr_regions::{RegionConfig, RegionInfo};
+use ccr_regions::{FormationStats, RegionConfig, RegionInfo};
 
 /// Configuration of the compile pipeline.
 #[derive(Clone, Copy, Debug, Default)]
@@ -24,6 +24,20 @@ impl CompileConfig {
     }
 }
 
+/// Compile-time observability collected alongside a
+/// [`CompiledWorkload`]: what the optimizer and region formation did,
+/// and what it cost.
+#[derive(Clone, Debug, Default)]
+pub struct CompileTelemetry {
+    /// Per-pass optimizer records for the target build, in execution
+    /// order: wall time and IR size before/after each pass.
+    pub passes: Vec<PassRecord>,
+    /// Region-formation accounting: candidates examined, regions
+    /// accepted, and per-reason rejections — including regions the
+    /// reiteration trial discarded (reason `"reiteration"`).
+    pub formation: FormationStats,
+}
+
 /// A benchmark compiled for CCR evaluation.
 #[derive(Clone, Debug)]
 pub struct CompiledWorkload {
@@ -35,6 +49,8 @@ pub struct CompiledWorkload {
     pub regions: Vec<RegionInfo>,
     /// The training-run profile the regions were selected from.
     pub profile: ReuseProfile,
+    /// Compile-time observability (pass timings, formation stats).
+    pub telemetry: CompileTelemetry,
 }
 
 /// Compiles `target` for CCR execution, selecting regions from a
@@ -66,11 +82,13 @@ pub fn compile_ccr(
     );
 
     // Optimize both builds identically; the optimizer is
-    // deterministic, so structure stays aligned.
+    // deterministic, so structure stays aligned. Pass records are
+    // taken from the target build (the one we measure).
     let mut train_opt = train.clone();
     ccr_opt::optimize(&mut train_opt, config.opt);
     let mut base = target.clone();
-    ccr_opt::optimize(&mut base, config.opt);
+    let mut observer = RecordingObserver::default();
+    ccr_opt::optimize_observed(&mut base, config.opt, &mut observer);
     debug_assert_eq!(
         train_opt.instr_count(),
         base.instr_count(),
@@ -83,7 +101,9 @@ pub fn compile_ccr(
     let profile = profiler.finish();
 
     // Select regions on the training build.
-    let mut specs = ccr_regions::form_regions(&train_opt, &profile, &config.region);
+    let mut formation = FormationStats::new();
+    let mut specs =
+        ccr_regions::form_regions_observed(&train_opt, &profile, &config.region, &mut formation);
 
     // Reiteration (Section 4.4): trial-run the annotated training
     // build against an idealized buffer and discard regions whose
@@ -97,6 +117,7 @@ pub fn compile_ccr(
         // the configured floor.
         const ASSUMED_IPC: f64 = 1.5;
         const MISS_COST: f64 = 9.0;
+        let before = specs.len();
         specs = specs
             .into_iter()
             .zip(&ratios)
@@ -106,6 +127,8 @@ pub fn compile_ccr(
                 (h >= config.region.min_predicted_hit && worth).then_some(s)
             })
             .collect();
+        formation.demote("reiteration", (before - specs.len()) as u64);
+        formation.check();
     }
 
     let mut annotated_target = base.clone();
@@ -116,6 +139,10 @@ pub fn compile_ccr(
         annotated: annotated_target,
         regions,
         profile,
+        telemetry: CompileTelemetry {
+            passes: observer.records,
+            formation,
+        },
     })
 }
 
@@ -226,6 +253,30 @@ mod tests {
                 .returned
         };
         assert_eq!(run(&cw.base), run(&cw.annotated));
+    }
+
+    #[test]
+    fn compile_telemetry_records_passes_and_formation() {
+        let p = build("124.m88ksim", InputSet::Train, 1).unwrap();
+        let cw = compile_ccr(&p, &p, &CompileConfig::paper()).unwrap();
+        let t = &cw.telemetry;
+        assert!(!t.passes.is_empty(), "optimizer passes must be recorded");
+        for required in ["constprop", "cse", "dce", "simplify"] {
+            assert!(
+                t.passes.iter().any(|r| r.pass == required),
+                "missing pass record `{required}`"
+            );
+        }
+        // Deltas chain: each record starts where the previous ended.
+        for w in t.passes.windows(2) {
+            assert_eq!(w[0].instrs_after, w[1].instrs_before);
+        }
+        // Formation accounting balances, and the accepted count is the
+        // number of regions that survived every gate (including the
+        // reiteration trial).
+        t.formation.check();
+        assert_eq!(t.formation.accepted, cw.regions.len() as u64);
+        assert!(t.formation.candidates >= t.formation.accepted);
     }
 
     #[test]

@@ -21,10 +21,12 @@
 pub mod compile;
 pub mod measure;
 pub mod report;
+pub mod runreport;
 
-pub use compile::{compile_ccr, CompileConfig, CompiledWorkload};
-pub use measure::{measure, reuse_potential, Measurement};
+pub use compile::{compile_ccr, CompileConfig, CompileTelemetry, CompiledWorkload};
+pub use measure::{measure, measure_traced, reuse_potential, Measurement};
 pub use report::Table;
+pub use runreport::{emit_compile_events, RunReport};
 
 // Re-export the crates a downstream user needs to drive everything.
 pub use ccr_analysis as analysis;
@@ -33,4 +35,5 @@ pub use ccr_opt as opt;
 pub use ccr_profile as profile;
 pub use ccr_regions as regions;
 pub use ccr_sim as sim;
+pub use ccr_telemetry as telemetry;
 pub use ccr_workloads as workloads;

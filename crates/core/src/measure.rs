@@ -2,7 +2,8 @@
 
 use ccr_ir::Program;
 use ccr_profile::{EmuConfig, EmuError, Emulator, NullCrb, PotentialStudy, ReusePotential};
-use ccr_sim::{simulate, simulate_baseline, CrbConfig, MachineConfig, SimOutcome};
+use ccr_sim::{simulate, simulate_baseline, simulate_traced, CrbConfig, MachineConfig, SimOutcome};
+use ccr_telemetry::{emit, TelemetrySink};
 
 use crate::compile::CompiledWorkload;
 
@@ -51,6 +52,40 @@ pub fn measure(
 ) -> Result<Measurement, EmuError> {
     let base = simulate_baseline(&compiled.base, machine, emu)?;
     let ccr = simulate(&compiled.annotated, machine, Some(crb), emu)?;
+    assert_eq!(
+        base.run.returned, ccr.run.returned,
+        "computation reuse changed architectural results"
+    );
+    Ok(Measurement { base, ccr })
+}
+
+/// Like [`measure`], narrating both simulations to `sink`: a
+/// `sim_begin` marker per phase (`base`, then `ccr`), followed by each
+/// run's reuse timeline, interval IPC windows, CRB events, and
+/// summaries (see [`ccr_sim::simulate_traced`]).
+///
+/// The reported statistics are identical to [`measure`]'s for the same
+/// inputs — telemetry observes the simulation, it never steers it.
+///
+/// # Errors
+///
+/// Returns [`EmuError`] if either simulation exceeds emulator limits.
+///
+/// # Panics
+///
+/// Panics if the two runs return different architectural results.
+pub fn measure_traced(
+    compiled: &CompiledWorkload,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+    emu: EmuConfig,
+    window: u64,
+    sink: &mut dyn TelemetrySink,
+) -> Result<Measurement, EmuError> {
+    emit!(sink, "sim_begin", phase: "base");
+    let base = simulate_traced(&compiled.base, machine, None, emu, window, sink)?;
+    emit!(sink, "sim_begin", phase: "ccr");
+    let ccr = simulate_traced(&compiled.annotated, machine, Some(crb), emu, window, sink)?;
     assert_eq!(
         base.run.returned, ccr.run.returned,
         "computation reuse changed architectural results"
@@ -117,11 +152,60 @@ mod tests {
     #[test]
     fn espresso_benefits_from_block_level_reuse() {
         let m = measured("008.espresso");
+        assert!(m.speedup() > 1.05, "espresso: {:.3}", m.speedup());
+    }
+
+    #[test]
+    fn traced_measurement_is_identical_to_untraced() {
+        let p = build("124.m88ksim", InputSet::Train, 1).unwrap();
+        let cw = compile_ccr(&p, &p, &CompileConfig::paper()).unwrap();
+        let machine = MachineConfig::paper();
+        let plain = measure(&cw, &machine, CrbConfig::paper(), EmuConfig::default()).unwrap();
+        let mut null = ccr_telemetry::NullSink;
+        let a = measure_traced(
+            &cw,
+            &machine,
+            CrbConfig::paper(),
+            EmuConfig::default(),
+            4096,
+            &mut null,
+        )
+        .unwrap();
+        let mut jsonl = ccr_telemetry::JsonlSink::new(Vec::new());
+        let b = measure_traced(
+            &cw,
+            &machine,
+            CrbConfig::paper(),
+            EmuConfig::default(),
+            4096,
+            &mut jsonl,
+        )
+        .unwrap();
+        // Telemetry — disabled or fully materialized — must not move a
+        // single counter.
+        for m in [&a, &b] {
+            assert_eq!(plain.base.stats.cycles, m.base.stats.cycles);
+            assert_eq!(plain.base.stats.dyn_instrs, m.base.stats.dyn_instrs);
+            assert_eq!(plain.ccr.stats.cycles, m.ccr.stats.cycles);
+            assert_eq!(plain.ccr.stats.dyn_instrs, m.ccr.stats.dyn_instrs);
+            assert_eq!(plain.ccr.stats.skipped_instrs, m.ccr.stats.skipped_instrs);
+            assert_eq!(plain.ccr.stats.reuse_hits, m.ccr.stats.reuse_hits);
+            assert_eq!(plain.ccr.stats.reuse_misses, m.ccr.stats.reuse_misses);
+            assert_eq!(plain.ccr.stats.crb, m.ccr.stats.crb);
+            assert_eq!(plain.ccr.stats.regions, m.ccr.stats.regions);
+            assert_eq!(plain.ccr.run.returned, m.ccr.run.returned);
+        }
+        // The JSONL stream is well-formed: one versioned event per line.
+        let text = String::from_utf8(jsonl.into_inner()).unwrap();
+        assert!(text.lines().count() > 4, "expected a real event stream");
         assert!(
-            m.speedup() > 1.05,
-            "espresso: {:.3}",
-            m.speedup()
+            text.lines().all(|l| l.starts_with("{\"v\":1,\"ev\":\"")),
+            "every event carries the schema version"
         );
+        assert!(text.contains("\"ev\":\"sim_begin\""));
+        assert!(text.contains("\"ev\":\"reuse\""));
+        assert!(text.contains("\"ev\":\"ipc_window\""));
+        assert!(text.contains("\"ev\":\"sim_summary\""));
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! Plain-text table rendering for the experiment regenerators.
 
-use std::fmt::Write as _;
-
 /// A simple left-aligned text table with a header row.
 #[derive(Clone, Debug)]
 pub struct Table {
@@ -37,15 +35,37 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Renders the table as CSV (no quoting; cells must not contain
-    /// commas).
+    /// Renders the table as RFC 4180 CSV: cells containing a comma,
+    /// a double quote, or a line break are quoted, with embedded
+    /// quotes doubled. Plain cells are written verbatim.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.header.join(","));
-        for row in &self.rows {
-            let _ = writeln!(out, "{}", row.join(","));
+        for cells in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                csv_cell(cell, &mut out);
+            }
+            out.push('\n');
         }
         out
+    }
+}
+
+/// Appends one CSV cell, quoting per RFC 4180 when needed.
+fn csv_cell(cell: &str, out: &mut String) {
+    if cell.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        for ch in cell.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(cell);
     }
 }
 
@@ -113,6 +133,66 @@ mod tests {
         assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    /// A minimal RFC 4180 reader, for the round-trip test only.
+    fn parse_csv(text: &str) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        let mut row = Vec::new();
+        let mut cell = String::new();
+        let mut quoted = false;
+        let mut chars = text.chars().peekable();
+        while let Some(ch) = chars.next() {
+            if quoted {
+                match ch {
+                    '"' if chars.peek() == Some(&'"') => {
+                        chars.next();
+                        cell.push('"');
+                    }
+                    '"' => quoted = false,
+                    other => cell.push(other),
+                }
+            } else {
+                match ch {
+                    '"' => quoted = true,
+                    ',' => row.push(std::mem::take(&mut cell)),
+                    '\n' => {
+                        row.push(std::mem::take(&mut cell));
+                        rows.push(std::mem::take(&mut row));
+                    }
+                    other => cell.push(other),
+                }
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn csv_quotes_special_cells_and_round_trips() {
+        let gnarly = [
+            "plain",
+            "comma, inside",
+            "quote \" inside",
+            "both \",\" of them",
+            "line\nbreak",
+            "carriage\rreturn",
+            "\"fully quoted\"",
+            "",
+        ];
+        let mut t = Table::new(["h,1", "h\"2", "h3", "h4", "h5", "h6", "h7", "h8"]);
+        t.row(gnarly);
+        let csv = t.to_csv();
+        let parsed = parse_csv(&csv);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(
+            parsed[0],
+            vec!["h,1", "h\"2", "h3", "h4", "h5", "h6", "h7", "h8"]
+        );
+        assert_eq!(parsed[1], gnarly);
+        // Plain cells stay unquoted.
+        assert!(csv.contains("plain,"));
+        // Embedded quotes are doubled per RFC 4180.
+        assert!(csv.contains("\"quote \"\" inside\""));
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! The run report: a versioned JSON serialization of one full
+//! measurement — machine and CRB configuration, per-pass compile
+//! statistics, baseline and CCR [`SimStats`], and per-region dynamics.
+//!
+//! The schema is versioned by [`ccr_telemetry::SCHEMA_VERSION`]
+//! (`schema_version` at the top level); consumers should reject
+//! versions they do not know. All counters are serialized as the exact
+//! integers the simulator reported, so a report agrees byte-for-byte
+//! with the plain-text tables rendered from the same run.
+
+use ccr_regions::RegionInfo;
+use ccr_sim::{CrbConfig, MachineConfig, Replacement, SimStats};
+use ccr_telemetry::{emit, JsonWriter, TelemetrySink, SCHEMA_VERSION};
+
+use crate::compile::CompileTelemetry;
+use crate::measure::Measurement;
+
+/// Emits compile-time telemetry as events: one `pass` event per
+/// optimizer pass, one `formation_reject` event per rejection reason,
+/// and a `formation` summary.
+pub fn emit_compile_events(telemetry: &CompileTelemetry, sink: &mut dyn TelemetrySink) {
+    for rec in &telemetry.passes {
+        emit!(sink, "pass",
+            pass: rec.pass,
+            wall_us: rec.wall_us,
+            changes: rec.changes,
+            instrs_before: rec.instrs_before,
+            instrs_after: rec.instrs_after,
+            blocks_before: rec.blocks_before,
+            blocks_after: rec.blocks_after,
+        );
+    }
+    for (reason, count) in telemetry.formation.rejections() {
+        emit!(sink, "formation_reject", reason: reason, count: count);
+    }
+    emit!(sink, "formation",
+        candidates: telemetry.formation.candidates,
+        accepted: telemetry.formation.accepted,
+        rejected: telemetry.formation.rejected_total(),
+    );
+}
+
+/// Everything one run produced, borrowed for serialization.
+pub struct RunReport<'a> {
+    /// Workload name (benchmark or file path).
+    pub workload: &'a str,
+    /// Input set the target was built with (`train` / `ref`).
+    pub input: &'a str,
+    /// Workload scale factor.
+    pub scale: u32,
+    /// The simulated machine.
+    pub machine: &'a MachineConfig,
+    /// The CRB geometry.
+    pub crb: &'a CrbConfig,
+    /// Compile-time telemetry (pass records, formation stats).
+    pub compile: &'a CompileTelemetry,
+    /// Metadata of the formed regions.
+    pub regions: &'a [RegionInfo],
+    /// The baseline-vs-CCR measurement.
+    pub measurement: &'a Measurement,
+}
+
+impl RunReport<'_> {
+    /// Serializes the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.key("schema_version").u64_val(u64::from(SCHEMA_VERSION));
+        w.key("workload").str_val(self.workload);
+        w.key("input").str_val(self.input);
+        w.key("scale").u64_val(u64::from(self.scale));
+
+        w.key("machine");
+        machine_json(&mut w, self.machine);
+        w.key("crb");
+        crb_json(&mut w, self.crb);
+
+        w.key("compile").obj_begin();
+        w.key("passes").arr_begin();
+        for rec in &self.compile.passes {
+            w.obj_begin();
+            w.key("pass").str_val(rec.pass);
+            w.key("wall_us").u64_val(rec.wall_us);
+            w.key("changes").u64_val(rec.changes as u64);
+            w.key("instrs_before").u64_val(rec.instrs_before as u64);
+            w.key("instrs_after").u64_val(rec.instrs_after as u64);
+            w.key("blocks_before").u64_val(rec.blocks_before as u64);
+            w.key("blocks_after").u64_val(rec.blocks_after as u64);
+            w.obj_end();
+        }
+        w.arr_end();
+        w.key("formation").obj_begin();
+        w.key("candidates")
+            .u64_val(self.compile.formation.candidates);
+        w.key("accepted").u64_val(self.compile.formation.accepted);
+        w.key("rejected").obj_begin();
+        for (reason, count) in self.compile.formation.rejections() {
+            w.key(reason).u64_val(count);
+        }
+        w.obj_end();
+        w.obj_end();
+        w.obj_end();
+
+        w.key("regions").u64_val(self.regions.len() as u64);
+        w.key("base");
+        sim_stats_json(&mut w, &self.measurement.base.stats);
+        w.key("ccr");
+        sim_stats_json(&mut w, &self.measurement.ccr.stats);
+        w.key("speedup").f64_val(self.measurement.speedup());
+        w.key("eliminated_fraction")
+            .f64_val(self.measurement.eliminated_fraction());
+        w.obj_end();
+        w.finish()
+    }
+}
+
+fn machine_json(w: &mut JsonWriter, m: &MachineConfig) {
+    w.obj_begin();
+    w.key("issue_width").u64_val(u64::from(m.issue_width));
+    w.key("int_alus").u64_val(u64::from(m.int_alus));
+    w.key("mem_ports").u64_val(u64::from(m.mem_ports));
+    w.key("fp_alus").u64_val(u64::from(m.fp_alus));
+    w.key("branch_units").u64_val(u64::from(m.branch_units));
+    w.key("int_latency").u64_val(m.int_latency);
+    w.key("mul_latency").u64_val(m.mul_latency);
+    w.key("fp_latency").u64_val(m.fp_latency);
+    w.key("load_latency").u64_val(m.load_latency);
+    for (name, c) in [("icache", &m.icache), ("dcache", &m.dcache)] {
+        w.key(name).obj_begin();
+        w.key("size_bytes").u64_val(c.size_bytes);
+        w.key("line_bytes").u64_val(c.line_bytes);
+        w.key("miss_penalty").u64_val(c.miss_penalty);
+        w.obj_end();
+    }
+    w.key("btb_entries").u64_val(m.btb_entries as u64);
+    w.key("mispredict_penalty").u64_val(m.mispredict_penalty);
+    w.key("reuse_hit_latency").u64_val(m.reuse_hit_latency);
+    w.key("reuse_miss_penalty").u64_val(m.reuse_miss_penalty);
+    w.key("speculative_validation")
+        .bool_val(m.speculative_validation);
+    w.obj_end();
+}
+
+fn crb_json(w: &mut JsonWriter, c: &CrbConfig) {
+    w.obj_begin();
+    w.key("entries").u64_val(c.entries as u64);
+    w.key("instances").u64_val(c.instances as u64);
+    w.key("input_bank").u64_val(c.input_bank as u64);
+    w.key("output_bank").u64_val(c.output_bank as u64);
+    w.key("replacement").str_val(match c.replacement {
+        Replacement::Lru => "lru",
+        Replacement::Fifo => "fifo",
+        Replacement::Random => "random",
+    });
+    match c.nonuniform {
+        None => {
+            w.key("nonuniform").null_val();
+        }
+        Some(nu) => {
+            w.key("nonuniform").obj_begin();
+            w.key("boost_every").u64_val(nu.boost_every as u64);
+            w.key("boosted_instances")
+                .u64_val(nu.boosted_instances as u64);
+            w.key("mem_capable_percent")
+                .u64_val(u64::from(nu.mem_capable_percent));
+            w.obj_end();
+        }
+    }
+    w.obj_end();
+}
+
+fn sim_stats_json(w: &mut JsonWriter, s: &SimStats) {
+    w.obj_begin();
+    w.key("cycles").u64_val(s.cycles);
+    w.key("dyn_instrs").u64_val(s.dyn_instrs);
+    w.key("skipped_instrs").u64_val(s.skipped_instrs);
+    w.key("icache_hits").u64_val(s.icache_hits);
+    w.key("icache_misses").u64_val(s.icache_misses);
+    w.key("dcache_hits").u64_val(s.dcache_hits);
+    w.key("dcache_misses").u64_val(s.dcache_misses);
+    w.key("branch_correct").u64_val(s.branch_correct);
+    w.key("branch_mispredicts").u64_val(s.branch_mispredicts);
+    w.key("reuse_hits").u64_val(s.reuse_hits);
+    w.key("reuse_misses").u64_val(s.reuse_misses);
+    w.key("crb").obj_begin();
+    w.key("lookups").u64_val(s.crb.lookups);
+    w.key("hits").u64_val(s.crb.hits);
+    w.key("misses").u64_val(s.crb.misses);
+    w.key("records").u64_val(s.crb.records);
+    w.key("invalidations").u64_val(s.crb.invalidations);
+    w.key("entry_conflicts").u64_val(s.crb.entry_conflicts);
+    w.obj_end();
+    let mut regions: Vec<_> = s.regions.iter().map(|(id, rs)| (*id, *rs)).collect();
+    regions.sort_by_key(|(id, _)| id.index());
+    w.key("regions").arr_begin();
+    for (id, rs) in regions {
+        w.obj_begin();
+        w.key("region").u64_val(id.index() as u64);
+        w.key("hits").u64_val(rs.hits);
+        w.key("misses").u64_val(rs.misses);
+        w.key("skipped_instrs").u64_val(rs.skipped_instrs);
+        w.obj_end();
+    }
+    w.arr_end();
+    w.key("effective_ipc").f64_val(s.effective_ipc());
+    w.obj_end();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_ccr, CompileConfig};
+    use crate::measure::measure;
+    use ccr_profile::EmuConfig;
+    use ccr_telemetry::SummarySink;
+    use ccr_workloads::{build, InputSet};
+
+    #[test]
+    fn run_report_serializes_the_whole_measurement() {
+        let p = build("008.espresso", InputSet::Train, 1).unwrap();
+        let cw = compile_ccr(&p, &p, &CompileConfig::paper()).unwrap();
+        let machine = MachineConfig::paper();
+        let crb = CrbConfig::paper();
+        let m = measure(&cw, &machine, crb, EmuConfig::default()).unwrap();
+        let report = RunReport {
+            workload: "008.espresso",
+            input: "train",
+            scale: 1,
+            machine: &machine,
+            crb: &crb,
+            compile: &cw.telemetry,
+            regions: &cw.regions,
+            measurement: &m,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+        // The serialized counters are the exact integers the simulator
+        // reported — the same digits the text tables print.
+        assert!(json.contains(&format!("\"cycles\":{}", m.base.stats.cycles)));
+        assert!(json.contains(&format!("\"cycles\":{}", m.ccr.stats.cycles)));
+        assert!(json.contains(&format!("\"reuse_hits\":{}", m.ccr.stats.reuse_hits)));
+        assert!(json.contains("\"replacement\":\"lru\""));
+        assert!(json.contains("\"issue_width\":6"));
+        assert!(json.contains(&format!("\"regions\":{}", cw.regions.len())));
+        // Balanced braces and brackets (cheap well-formedness check:
+        // no strings in the report contain structural characters).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn compile_events_mirror_the_telemetry() {
+        let p = build("008.espresso", InputSet::Train, 1).unwrap();
+        let cw = compile_ccr(&p, &p, &CompileConfig::paper()).unwrap();
+        let mut sink = SummarySink::new();
+        emit_compile_events(&cw.telemetry, &mut sink);
+        assert_eq!(sink.count("pass"), cw.telemetry.passes.len() as u64);
+        assert_eq!(sink.count("formation"), 1);
+        assert_eq!(
+            sink.sum("formation", "candidates") as u64,
+            cw.telemetry.formation.candidates
+        );
+        assert_eq!(
+            sink.sum("formation_reject", "count") as u64,
+            cw.telemetry.formation.rejected_total()
+        );
+    }
+}

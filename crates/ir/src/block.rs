@@ -89,9 +89,7 @@ mod tests {
             .push(Instr::new(InstrId(0), Op::Jump { target: BlockId(2) }));
         assert_eq!(b.successors(), vec![BlockId(2)]);
         assert!(b.terminator().is_some());
-        b.terminator_mut()
-            .unwrap()
-            .map_successors(|_| BlockId(3));
+        b.terminator_mut().unwrap().map_successors(|_| BlockId(3));
         assert_eq!(b.successors(), vec![BlockId(3)]);
     }
 

@@ -42,7 +42,12 @@ impl ProgramBuilder {
     }
 
     /// Declares a function and returns a builder for its body.
-    pub fn function(&mut self, name: impl Into<String>, params: usize, rets: usize) -> FunctionBuilder {
+    pub fn function(
+        &mut self,
+        name: impl Into<String>,
+        params: usize,
+        rets: usize,
+    ) -> FunctionBuilder {
         let id = self.declare(name, params, rets);
         self.function_body(id)
     }
@@ -107,7 +112,8 @@ impl ProgramBuilder {
         init: Vec<Value>,
     ) -> MemObjectId {
         let id = MemObjectId(self.objects.len() as u32);
-        self.objects.push(MemObject::new(id, name, kind, size, init));
+        self.objects
+            .push(MemObject::new(id, name, kind, size, init));
         id
     }
 
@@ -196,7 +202,10 @@ impl FunctionBuilder {
         let terminates = Instr::new(InstrId(0), op.clone()).is_terminator();
         let id = InstrId(self.next_local_id);
         self.next_local_id += 1;
-        self.func.block_mut(self.cur).instrs.push(Instr::new(id, op));
+        self.func
+            .block_mut(self.cur)
+            .instrs
+            .push(Instr::new(id, op));
         if terminates {
             self.sealed = true;
         }

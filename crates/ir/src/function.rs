@@ -41,7 +41,12 @@ pub struct Function {
 
 impl Function {
     /// Creates a function shell with a single empty entry block.
-    pub fn new(id: FuncId, name: impl Into<String>, param_count: usize, ret_count: usize) -> Function {
+    pub fn new(
+        id: FuncId,
+        name: impl Into<String>,
+        param_count: usize,
+        ret_count: usize,
+    ) -> Function {
         Function {
             id,
             name: name.into(),

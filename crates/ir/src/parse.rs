@@ -103,12 +103,10 @@ pub fn parse_program(src: &str) -> Result<Program> {
             let body = t.trim_end_matches(':').trim();
             let bid_txt = body.split_whitespace().next().unwrap_or("");
             let bid = BlockId(parse_prefixed(bid_txt, 'b', lineno)?);
-            let func = functions
-                .last_mut()
-                .ok_or_else(|| ParseError {
-                    line: lineno,
-                    message: "block header before any function".into(),
-                })?;
+            let func = functions.last_mut().ok_or_else(|| ParseError {
+                line: lineno,
+                message: "block header before any function".into(),
+            })?;
             while func.blocks.len() <= bid.index() {
                 func.add_block();
             }
@@ -148,12 +146,10 @@ pub fn parse_program(src: &str) -> Result<Program> {
 fn parse_prefixed(tok: &str, prefix: char, line: usize) -> Result<u32> {
     let tok = tok.trim();
     match tok.strip_prefix(prefix) {
-        Some(num) => num
-            .parse::<u32>()
-            .map_err(|_| ParseError {
-                line,
-                message: format!("bad {prefix}-identifier `{tok}`"),
-            }),
+        Some(num) => num.parse::<u32>().map_err(|_| ParseError {
+            line,
+            message: format!("bad {prefix}-identifier `{tok}`"),
+        }),
         None => err(line, format!("expected `{prefix}N`, found `{tok}`")),
     }
 }
@@ -161,13 +157,10 @@ fn parse_prefixed(tok: &str, prefix: char, line: usize) -> Result<u32> {
 fn parse_region(tok: &str, line: usize) -> Result<RegionId> {
     let tok = tok.trim();
     match tok.strip_prefix("rcr") {
-        Some(num) => num
-            .parse::<u32>()
-            .map(RegionId)
-            .map_err(|_| ParseError {
-                line,
-                message: format!("bad region id `{tok}`"),
-            }),
+        Some(num) => num.parse::<u32>().map(RegionId).map_err(|_| ParseError {
+            line,
+            message: format!("bad region id `{tok}`"),
+        }),
         None => err(line, format!("expected `rcrN`, found `{tok}`")),
     }
 }
@@ -394,10 +387,7 @@ fn parse_ext(s: &str, line: usize) -> Result<InstrExt> {
 /// One instruction line: `iN  <op text>[  ; ext: ...]`.
 fn parse_instr(t: &str, line: usize) -> Result<Instr> {
     let (body, ext) = match t.find("; ext:") {
-        Some(p) => (
-            t[..p].trim_end(),
-            parse_ext(t[p + 6..].trim(), line)?,
-        ),
+        Some(p) => (t[..p].trim_end(), parse_ext(t[p + 6..].trim(), line)?),
         None => (t, InstrExt::NONE),
     };
     let mut parts = body.split_whitespace();
@@ -673,7 +663,10 @@ mod tests {
     fn parses_object_initializers() {
         let p = kitchen_sink();
         let q = parse_program(&p.to_string()).unwrap();
-        assert_eq!(q.object(MemObjectId(0)).init(), p.object(MemObjectId(0)).init());
+        assert_eq!(
+            q.object(MemObjectId(0)).init(),
+            p.object(MemObjectId(0)).init()
+        );
         assert_eq!(q.object(MemObjectId(0)).kind(), ObjectKind::ReadOnly);
         assert_eq!(q.object(MemObjectId(1)).kind(), ObjectKind::Named);
     }
@@ -694,7 +687,8 @@ mod tests {
 
     #[test]
     fn from_str_is_parse_program() {
-        let text = "program main=f0\nfunc f0 \"m\" (params=0, rets=0):\n  b0 (entry):\n    i0  ret \n";
+        let text =
+            "program main=f0\nfunc f0 \"m\" (params=0, rets=0):\n  b0 (entry):\n    i0  ret \n";
         let p: Program = text.parse().unwrap();
         assert_eq!(p.functions().len(), 1);
     }

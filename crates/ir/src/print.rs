@@ -10,13 +10,19 @@ use crate::program::Program;
 impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.op {
-            Op::Binary { kind, dst, lhs, rhs } => {
-                write!(f, "{dst} = {} {lhs}, {rhs}", kind.mnemonic())?
-            }
+            Op::Binary {
+                kind,
+                dst,
+                lhs,
+                rhs,
+            } => write!(f, "{dst} = {} {lhs}, {rhs}", kind.mnemonic())?,
             Op::Unary { kind, dst, src } => write!(f, "{dst} = {} {src}", kind.mnemonic())?,
-            Op::Cmp { pred, dst, lhs, rhs } => {
-                write!(f, "{dst} = cmp.{} {lhs}, {rhs}", pred.mnemonic())?
-            }
+            Op::Cmp {
+                pred,
+                dst,
+                lhs,
+                rhs,
+            } => write!(f, "{dst} = cmp.{} {lhs}, {rhs}", pred.mnemonic())?,
             Op::Load {
                 dst,
                 object,
@@ -125,8 +131,7 @@ impl fmt::Display for Program {
                 obj.size()
             )?;
             if !obj.init().is_empty() {
-                let vals: Vec<String> =
-                    obj.init().iter().map(|v| v.as_int().to_string()).collect();
+                let vals: Vec<String> = obj.init().iter().map(|v| v.as_int().to_string()).collect();
                 write!(f, " init=[{}]", vals.join(", "))?;
             }
             writeln!(f)?;

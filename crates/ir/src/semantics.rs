@@ -106,7 +106,10 @@ mod tests {
 
     #[test]
     fn unary_and_cmp() {
-        assert_eq!(eval_unary(UnKind::Neg, Value::from_int(i64::MIN)).as_int(), i64::MIN);
+        assert_eq!(
+            eval_unary(UnKind::Neg, Value::from_int(i64::MIN)).as_int(),
+            i64::MIN
+        );
         assert_eq!(eval_unary(UnKind::Not, Value::ZERO).as_int(), -1);
         assert_eq!(
             eval_cmp(CmpPred::Le, Value::from_int(2), Value::from_int(2)).as_int(),

@@ -33,7 +33,11 @@ pub struct VerifyError {
 }
 
 impl VerifyError {
-    fn new(func: Option<FuncId>, block: Option<BlockId>, message: impl Into<String>) -> VerifyError {
+    fn new(
+        func: Option<FuncId>,
+        block: Option<BlockId>,
+        message: impl Into<String>,
+    ) -> VerifyError {
         VerifyError {
             func,
             block,
@@ -121,7 +125,11 @@ fn check_object(
     object: MemObjectId,
 ) -> Result<(), VerifyError> {
     if object.index() >= program.objects().len() {
-        return Err(err(func, Some(bid), format!("object {object} out of range")));
+        return Err(err(
+            func,
+            Some(bid),
+            format!("object {object} out of range"),
+        ));
     }
     Ok(())
 }
@@ -144,7 +152,11 @@ fn verify_instr(
     }
     for target in instr.successors() {
         if target.0 >= nblocks {
-            return Err(err(func, Some(bid), format!("branch target {target} out of range")));
+            return Err(err(
+                func,
+                Some(bid),
+                format!("branch target {target} out of range"),
+            ));
         }
     }
     match &instr.op {
@@ -161,7 +173,11 @@ fn verify_instr(
         }
         Op::Call { callee, args, rets } => {
             if callee.index() >= program.functions().len() {
-                return Err(err(func, Some(bid), format!("callee {callee} out of range")));
+                return Err(err(
+                    func,
+                    Some(bid),
+                    format!("callee {callee} out of range"),
+                ));
             }
             let target = program.function(*callee);
             if args.len() != target.param_count() {
@@ -189,26 +205,26 @@ fn verify_instr(
                 ));
             }
         }
-        Op::Ret { values }
-            if values.len() != func.ret_count() => {
-                return Err(err(
-                    func,
-                    Some(bid),
-                    format!(
-                        "return of {} values from a function returning {}",
-                        values.len(),
-                        func.ret_count()
-                    ),
-                ));
-            }
+        Op::Ret { values } if values.len() != func.ret_count() => {
+            return Err(err(
+                func,
+                Some(bid),
+                format!(
+                    "return of {} values from a function returning {}",
+                    values.len(),
+                    func.ret_count()
+                ),
+            ));
+        }
         Op::Reuse { region, .. } | Op::Invalidate { region }
-            if region.index() >= program.region_count() => {
-                return Err(err(
-                    func,
-                    Some(bid),
-                    format!("region {region} was never allocated"),
-                ));
-            }
+            if region.index() >= program.region_count() =>
+        {
+            return Err(err(
+                func,
+                Some(bid),
+                format!("region {region} was never allocated"),
+            ));
+        }
         _ => {}
     }
     Ok(())
@@ -337,7 +353,9 @@ mod tests {
     use crate::instr::CmpPred;
     use crate::reg::Operand;
 
-    fn single_fn(build: impl FnOnce(&mut crate::builder::FunctionBuilder)) -> Result<(), VerifyError> {
+    fn single_fn(
+        build: impl FnOnce(&mut crate::builder::FunctionBuilder),
+    ) -> Result<(), VerifyError> {
         let mut pb = ProgramBuilder::new();
         let mut f = pb.function("main", 0, 0);
         build(&mut f);

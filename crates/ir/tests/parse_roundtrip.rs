@@ -2,8 +2,8 @@
 //! covering every opcode, operand form, and extension bit.
 
 use ccr_ir::{
-    parse_program, BinKind, BlockId, CmpPred, FuncId, Instr, InstrExt, Op, Operand, Program,
-    Reg, RegionId, UnKind,
+    parse_program, BinKind, BlockId, CmpPred, FuncId, Instr, InstrExt, Op, Operand, Program, Reg,
+    RegionId, UnKind,
 };
 use proptest::prelude::*;
 

@@ -47,9 +47,9 @@ fn run_function(func: &mut Function) -> usize {
                 Op::Unary {
                     kind: UnKind::Mov, ..
                 } => None, // moves are handled via the environment
-                Op::Unary { kind, src, .. } => src
-                    .as_imm()
-                    .map(|a| eval_unary(*kind, Value::from_int(a))),
+                Op::Unary { kind, src, .. } => {
+                    src.as_imm().map(|a| eval_unary(*kind, Value::from_int(a)))
+                }
                 Op::Cmp { pred, lhs, rhs, .. } => match (lhs.as_imm(), rhs.as_imm()) {
                     (Some(a), Some(b)) => {
                         Some(eval_cmp(*pred, Value::from_int(a), Value::from_int(b)))

@@ -94,7 +94,15 @@ fn run_function(func: &mut Function) -> usize {
             // removed by its own redefinition (dst overlaps operand).
             if let (Some(key), Some(dst)) = (key, instr.dst()) {
                 let self_referential = instr.src_regs().contains(&dst);
-                if !self_referential && !matches!(instr.op, Op::Unary { kind: UnKind::Mov, .. }) {
+                if !self_referential
+                    && !matches!(
+                        instr.op,
+                        Op::Unary {
+                            kind: UnKind::Mov,
+                            ..
+                        }
+                    )
+                {
                     available.entry(key).or_insert(dst);
                 }
             }

@@ -1,0 +1,75 @@
+//! Pass-level observation hooks.
+//!
+//! The optimizer reports one [`PassRecord`] per pass *invocation*
+//! (cleanup passes run to a fixpoint, so `constprop` & friends appear
+//! once per iteration) to a caller-supplied [`PassObserver`]. The
+//! trait lives here, not in the telemetry crate, so `ccr-opt` stays
+//! dependency-free; `ccr-core` bridges records into telemetry events.
+
+use ccr_ir::Program;
+
+/// What one optimizer pass invocation did to the IR, and how long it
+/// took.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PassRecord {
+    /// Pass name (`"inline"`, `"constprop"`, `"cse"`, `"dce"`,
+    /// `"simplify"`, `"unroll"`).
+    pub pass: &'static str,
+    /// Wall-clock time of this invocation, in microseconds.
+    pub wall_us: u64,
+    /// Number of rewrites/changes the pass reported.
+    pub changes: usize,
+    /// Static instruction count before the pass.
+    pub instrs_before: usize,
+    /// Static instruction count after the pass.
+    pub instrs_after: usize,
+    /// Basic-block count before the pass.
+    pub blocks_before: usize,
+    /// Basic-block count after the pass.
+    pub blocks_after: usize,
+}
+
+impl PassRecord {
+    /// Signed instruction delta (negative = the pass shrank the IR).
+    pub fn instr_delta(&self) -> i64 {
+        self.instrs_after as i64 - self.instrs_before as i64
+    }
+
+    /// Signed basic-block delta.
+    pub fn block_delta(&self) -> i64 {
+        self.blocks_after as i64 - self.blocks_before as i64
+    }
+}
+
+/// Receives a [`PassRecord`] after each pass invocation.
+pub trait PassObserver {
+    /// Called once per pass invocation, in execution order.
+    fn on_pass(&mut self, record: &PassRecord);
+}
+
+/// Ignores all records (the default for [`crate::optimize`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullPassObserver;
+
+impl PassObserver for NullPassObserver {
+    fn on_pass(&mut self, _record: &PassRecord) {}
+}
+
+/// Collects every record in order — handy for tests and for callers
+/// that aggregate after the fact.
+#[derive(Clone, Debug, Default)]
+pub struct RecordingObserver {
+    /// The records, in execution order.
+    pub records: Vec<PassRecord>,
+}
+
+impl PassObserver for RecordingObserver {
+    fn on_pass(&mut self, record: &PassRecord) {
+        self.records.push(*record);
+    }
+}
+
+/// Total basic-block count across all functions.
+pub fn block_count(program: &Program) -> usize {
+    program.functions().iter().map(|f| f.blocks.len()).sum()
+}

@@ -1,9 +1,12 @@
 //! The pass manager: composes the individual passes into the paper's
 //! "best base code" pipeline.
 
+use std::time::Instant;
+
 use ccr_ir::Program;
 
 use crate::inline::InlineConfig;
+use crate::observe::{block_count, NullPassObserver, PassObserver, PassRecord};
 use crate::unroll::UnrollConfig;
 use crate::{constprop, cse, dce, inline, simplify, unroll};
 
@@ -85,33 +88,54 @@ impl OptStats {
 /// Panics (in debug builds) if any pass breaks program invariants —
 /// the verifier runs after each phase.
 pub fn optimize(program: &mut Program, config: OptConfig) -> OptStats {
+    optimize_observed(program, config, &mut NullPassObserver)
+}
+
+/// Like [`optimize`], but reports a [`PassRecord`] (wall time plus
+/// instruction/block deltas) to `observer` after every pass
+/// invocation. Cleanup passes run to a fixpoint, so they report once
+/// per iteration, in execution order.
+pub fn optimize_observed(
+    program: &mut Program,
+    config: OptConfig,
+    observer: &mut dyn PassObserver,
+) -> OptStats {
     let mut stats = OptStats::default();
     if config.do_inline {
-        stats.inlined = inline::run(program, config.inline);
+        stats.inlined = observed(program, "inline", observer, |p| {
+            inline::run(p, config.inline)
+        });
         debug_assert_verified(program, "inline");
     }
-    cleanup(program, config.max_iterations, &mut stats);
+    cleanup(program, config.max_iterations, &mut stats, observer);
     if config.do_unroll {
-        stats.unrolled = unroll::run(program, config.unroll);
+        stats.unrolled = observed(program, "unroll", observer, |p| {
+            unroll::run(p, config.unroll)
+        });
         debug_assert_verified(program, "unroll");
-        cleanup(program, config.max_iterations, &mut stats);
+        cleanup(program, config.max_iterations, &mut stats, observer);
     }
     stats
 }
 
-fn cleanup(program: &mut Program, max_iterations: usize, stats: &mut OptStats) {
+fn cleanup(
+    program: &mut Program,
+    max_iterations: usize,
+    stats: &mut OptStats,
+    observer: &mut dyn PassObserver,
+) {
     for _ in 0..max_iterations {
         let mut round = 0;
-        let n = constprop::run(program);
+        let n = observed(program, "constprop", observer, constprop::run);
         stats.constprop += n;
         round += n;
-        let n = cse::run(program);
+        let n = observed(program, "cse", observer, cse::run);
         stats.cse += n;
         round += n;
-        let n = dce::run(program);
+        let n = observed(program, "dce", observer, dce::run);
         stats.dce += n;
         round += n;
-        let n = simplify::run(program);
+        let n = observed(program, "simplify", observer, simplify::run);
         stats.simplify += n;
         round += n;
         debug_assert_verified(program, "cleanup");
@@ -119,6 +143,30 @@ fn cleanup(program: &mut Program, max_iterations: usize, stats: &mut OptStats) {
             break;
         }
     }
+}
+
+/// Runs one pass under the observer: snapshots IR size, times the
+/// pass, and reports the record.
+fn observed(
+    program: &mut Program,
+    pass: &'static str,
+    observer: &mut dyn PassObserver,
+    run: impl FnOnce(&mut Program) -> usize,
+) -> usize {
+    let instrs_before = program.instr_count();
+    let blocks_before = block_count(program);
+    let started = Instant::now();
+    let changes = run(program);
+    observer.on_pass(&PassRecord {
+        pass,
+        wall_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        changes,
+        instrs_before,
+        instrs_after: program.instr_count(),
+        blocks_before,
+        blocks_after: block_count(program),
+    });
+    changes
 }
 
 fn debug_assert_verified(program: &Program, phase: &str) {
@@ -224,6 +272,35 @@ mod tests {
     }
 
     #[test]
+    fn observer_sees_every_pass_with_consistent_deltas() {
+        use crate::observe::RecordingObserver;
+        let mut p = kitchen_sink();
+        let mut obs = RecordingObserver::default();
+        let stats = optimize_observed(&mut p, OptConfig::default(), &mut obs);
+        // Every enabled pass appears at least once.
+        for pass in ["inline", "constprop", "cse", "dce", "simplify", "unroll"] {
+            assert!(
+                obs.records.iter().any(|r| r.pass == pass),
+                "no record for {pass}"
+            );
+        }
+        // Records chain: each invocation starts from the IR size the
+        // previous one left behind.
+        for w in obs.records.windows(2) {
+            assert_eq!(w[0].instrs_after, w[1].instrs_before);
+            assert_eq!(w[0].blocks_after, w[1].blocks_before);
+        }
+        // The change totals agree with the returned stats.
+        let changes: usize = obs.records.iter().map(|r| r.changes).sum();
+        assert_eq!(changes, stats.total());
+        // Observation must not perturb the result.
+        let mut q = kitchen_sink();
+        let unobserved = optimize(&mut q, OptConfig::default());
+        assert_eq!(unobserved, stats);
+        assert_eq!(p, q);
+    }
+
+    #[test]
     fn passes_can_be_disabled() {
         let mut p = kitchen_sink();
         let stats = optimize(
@@ -237,9 +314,6 @@ mod tests {
         assert_eq!(stats.inlined, 0);
         assert_eq!(stats.unrolled, 0);
         // The call must still be present.
-        assert!(p
-            .function(p.main())
-            .iter_instrs()
-            .any(|(_, i)| i.is_call()));
+        assert!(p.function(p.main()).iter_instrs().any(|(_, i)| i.is_call()));
     }
 }

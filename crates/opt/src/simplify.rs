@@ -58,9 +58,10 @@ fn merge_blocks(func: &mut Function) -> usize {
         // Block b is now empty and unreachable; give it a placeholder
         // terminator so intermediate states stay printable, then let
         // remove_unreachable drop it.
-        func.block_mut(b)
-            .instrs
-            .push(ccr_ir::Instr::new(ccr_ir::InstrId(u32::MAX), Op::Jump { target: b }));
+        func.block_mut(b).instrs.push(ccr_ir::Instr::new(
+            ccr_ir::InstrId(u32::MAX),
+            Op::Jump { target: b },
+        ));
         changed += 1;
     }
     changed

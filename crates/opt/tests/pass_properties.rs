@@ -25,14 +25,16 @@ fn spec() -> impl Strategy<Value = Spec> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(consts, ops, trips, with_call, with_branch, stores)| Spec {
-            consts,
-            ops,
-            trips,
-            with_call,
-            with_branch,
-            stores,
-        })
+        .prop_map(
+            |(consts, ops, trips, with_call, with_branch, stores)| Spec {
+                consts,
+                ops,
+                trips,
+                with_call,
+                with_branch,
+                stores,
+            },
+        )
 }
 
 const KINDS: [BinKind; 10] = [
@@ -143,7 +145,10 @@ fn check_pass(s: &Spec, pass: impl Fn(&mut Program) -> usize) -> Result<(), Test
     let expect = run(&p);
     let mut q = p.clone();
     pass(&mut q);
-    prop_assert!(ccr_ir::verify_program(&q).is_ok(), "pass broke verification");
+    prop_assert!(
+        ccr_ir::verify_program(&q).is_ok(),
+        "pass broke verification"
+    );
     prop_assert_eq!(run(&q), expect);
     Ok(())
 }

@@ -48,8 +48,11 @@ pub trait CrbModel {
     /// Looks up a valid computation instance for `region` whose input
     /// bank matches the current register values. `read_reg` reads the
     /// current architectural value of a register.
-    fn lookup(&mut self, region: RegionId, read_reg: &mut dyn FnMut(Reg) -> Value)
-        -> Option<ReuseLookup>;
+    fn lookup(
+        &mut self,
+        region: RegionId,
+        read_reg: &mut dyn FnMut(Reg) -> Value,
+    ) -> Option<ReuseLookup>;
 
     /// Records a freshly built instance for `region`.
     fn record(&mut self, region: RegionId, instance: RecordedInstance);

@@ -32,9 +32,7 @@
 use std::collections::HashSet;
 
 use ccr_ir::semantics::{eval_binary, eval_unary};
-use ccr_ir::{
-    BlockId, FuncId, Instr, Op, Operand, Program, Reg, RegionId, Value,
-};
+use ccr_ir::{BlockId, FuncId, Instr, Op, Operand, Program, Reg, RegionId, Value};
 
 use crate::crb::{CrbModel, RecordedInstance};
 use crate::trace::{ExecEvent, MemAccess, ReuseOutcome, TraceSink};
@@ -402,19 +400,18 @@ impl<'p> Emulator<'p> {
             // frame only.
             let mut overflow = false;
             if let Some((mdepth, m)) = memo.as_mut() {
-                if depth == *mdepth
-                    && instr.ext.contains(ccr_ir::InstrExt::LIVE_OUT) {
-                        for dst in instr.dsts() {
-                            if m.outputs.contains(&dst) {
-                                continue;
-                            }
-                            if m.outputs.len() >= crb.output_capacity() {
-                                overflow = true;
-                            } else {
-                                m.outputs.push(dst);
-                            }
+                if depth == *mdepth && instr.ext.contains(ccr_ir::InstrExt::LIVE_OUT) {
+                    for dst in instr.dsts() {
+                        if m.outputs.contains(&dst) {
+                            continue;
+                        }
+                        if m.outputs.len() >= crb.output_capacity() {
+                            overflow = true;
+                        } else {
+                            m.outputs.push(dst);
                         }
                     }
+                }
             }
             if overflow {
                 memo = None;
@@ -789,11 +786,7 @@ mod tests {
         let reuse_blk = BlockId(1);
         let body = BlockId(2);
         let cont = BlockId(3);
-        func.block_mut(reuse_blk).instrs[0].op = Op::Reuse {
-            region,
-            body,
-            cont,
-        };
+        func.block_mut(reuse_blk).instrs[0].op = Op::Reuse { region, body, cont };
         func.block_mut(body).instrs[0].ext = InstrExt::LIVE_OUT;
         func.block_mut(body).instrs[1].ext = InstrExt::LIVE_OUT;
         func.block_mut(body).instrs[2].ext = InstrExt::REGION_END;
@@ -948,5 +941,4 @@ mod tests {
         assert_eq!(out.reuse_hits, 0);
         assert_eq!(out.reuse_misses, 2);
     }
-
 }

@@ -117,7 +117,10 @@ impl SigAccum {
             if mem.is_store {
                 self.stores += 1;
             } else {
-                let v = loc_version.get(&(mem.object, mem.index)).copied().unwrap_or(0);
+                let v = loc_version
+                    .get(&(mem.object, mem.index))
+                    .copied()
+                    .unwrap_or(0);
                 self.loads.push((mem.object, mem.index, v));
             }
         }
@@ -329,7 +332,10 @@ impl TraceSink for PotentialStudy {
             .insert(depth, (func, block, SigAccum::default()));
 
         // Cyclic regions take precedence over paths.
-        let key = LoopKey { func, header: block };
+        let key = LoopKey {
+            func,
+            header: block,
+        };
         let in_active_loop = self.cur_loop.get(&depth).is_some_and(|l| {
             self.loops
                 .get(&l.key)
@@ -506,11 +512,7 @@ mod tests {
         pb.set_main(id);
         let p = pb.finish();
         let pot = run_study(&p);
-        assert!(
-            pot.block_ratio() < 0.1,
-            "block ratio {}",
-            pot.block_ratio()
-        );
+        assert!(pot.block_ratio() < 0.1, "block ratio {}", pot.block_ratio());
         assert!(
             pot.region_ratio() < 0.1,
             "region ratio {}",

@@ -119,9 +119,7 @@ impl InstrProfile {
             self.recent.pop_front();
         }
         self.recent.push_back(sig);
-        if self.vector_counts.len() < MAX_TRACKED_VECTORS
-            || self.vector_counts.contains_key(&sig)
-        {
+        if self.vector_counts.len() < MAX_TRACKED_VECTORS || self.vector_counts.contains_key(&sig) {
             *self.vector_counts.entry(sig).or_insert(0) += 1;
         } else {
             self.overflow += 1;
@@ -383,7 +381,10 @@ impl ValueProfiler {
 
 impl TraceSink for ValueProfiler {
     fn on_block_enter(&mut self, func: FuncId, block: BlockId) {
-        let key = LoopKey { func, header: block };
+        let key = LoopKey {
+            func,
+            header: block,
+        };
         let depth = self.depth;
         // Entering a tracked header: new invocation or next iteration.
         if self.loops.contains_key(&key) {
@@ -670,7 +671,15 @@ mod tests {
         let mul_id = p
             .function(p.main())
             .iter_instrs()
-            .find(|(_, i)| matches!(i.op, Op::Binary { kind: BinKind::Mul, .. }))
+            .find(|(_, i)| {
+                matches!(
+                    i.op,
+                    Op::Binary {
+                        kind: BinKind::Mul,
+                        ..
+                    }
+                )
+            })
             .unwrap()
             .1
             .id;
@@ -705,7 +714,15 @@ mod tests {
         let shl_id = p
             .function(p.main())
             .iter_instrs()
-            .find(|(_, i)| matches!(i.op, Op::Binary { kind: BinKind::Shl, .. }))
+            .find(|(_, i)| {
+                matches!(
+                    i.op,
+                    Op::Binary {
+                        kind: BinKind::Shl,
+                        ..
+                    }
+                )
+            })
             .unwrap()
             .1
             .id;

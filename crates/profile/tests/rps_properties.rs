@@ -7,9 +7,7 @@
 use std::collections::HashMap;
 
 use ccr_ir::{BinKind, BlockId, CmpPred, FuncId, Operand, Program, ProgramBuilder};
-use ccr_profile::{
-    hash_values, Emulator, ExecEvent, NullCrb, TraceSink, ValueProfiler, TOP_K,
-};
+use ccr_profile::{hash_values, Emulator, ExecEvent, NullCrb, TraceSink, ValueProfiler, TOP_K};
 use proptest::prelude::*;
 
 /// A recording sink: keeps per-instruction input-signature sequences

@@ -27,6 +27,7 @@ use ccr_profile::ReuseProfile;
 
 use crate::config::RegionConfig;
 use crate::spec::{ComputationClass, RegionShape, RegionSpec};
+use crate::stats::FormationStats;
 
 /// Maximum blocks on one acyclic path region.
 pub const MAX_PATH_BLOCKS: usize = 8;
@@ -41,6 +42,29 @@ pub fn find_acyclic_regions(
     alias: &AliasInfo,
     config: &RegionConfig,
     occupied: &mut HashSet<BlockId>,
+) -> Vec<RegionSpec> {
+    find_acyclic_regions_observed(
+        program,
+        func,
+        profile,
+        alias,
+        config,
+        occupied,
+        &mut FormationStats::new(),
+    )
+}
+
+/// Like [`find_acyclic_regions`], recording each seed-growth attempt
+/// and why failed ones died in `stats`.
+#[allow(clippy::too_many_arguments)]
+pub fn find_acyclic_regions_observed(
+    program: &Program,
+    func: &Function,
+    profile: &ReuseProfile,
+    alias: &AliasInfo,
+    config: &RegionConfig,
+    occupied: &mut HashSet<BlockId>,
+    stats: &mut FormationStats,
 ) -> Vec<RegionSpec> {
     let _ = program;
     let liveness = Liveness::compute(func);
@@ -72,32 +96,33 @@ pub fn find_acyclic_regions(
                 break;
             }
             let ranges = claimed.get(&seed_block).cloned().unwrap_or_default();
-            let Some(seed_pos) =
-                select_seed(func, seed_block, profile, alias, config, &ranges)
+            let Some(seed_pos) = select_seed(func, seed_block, profile, alias, config, &ranges)
             else {
                 break;
             };
-            let Some(spec) = grow(
-                func,
-                seed_block,
-                seed_pos,
-                profile,
-                alias,
-                config,
-                occupied,
-                &claimed,
-                &liveness,
-            ) else {
-                // The seed could not grow into a viable region; mark
-                // the position consumed so selection moves on.
-                claimed
-                    .entry(seed_block)
-                    .or_default()
-                    .push((seed_pos, seed_pos));
-                continue;
+            stats.candidate();
+            let spec = match grow(
+                func, seed_block, seed_pos, profile, alias, config, occupied, &claimed, &liveness,
+            ) {
+                Ok(spec) => spec,
+                Err(reason) => {
+                    // The seed could not grow into a viable region;
+                    // mark the position consumed so selection moves on.
+                    stats.reject(reason);
+                    claimed
+                        .entry(seed_block)
+                        .or_default()
+                        .push((seed_pos, seed_pos));
+                    continue;
+                }
             };
+            stats.accept();
             match &spec.shape {
-                RegionShape::Path { blocks, start_pos, end_pos } if blocks.len() == 1 => {
+                RegionShape::Path {
+                    blocks,
+                    start_pos,
+                    end_pos,
+                } if blocks.len() == 1 => {
                     let ranges = claimed.entry(blocks[0]).or_default();
                     ranges.push((*start_pos, *end_pos));
                     // Tail trimming may have dropped the seed out of
@@ -240,9 +265,8 @@ fn grow(
     occupied: &HashSet<BlockId>,
     claimed: &HashMap<BlockId, Vec<(usize, usize)>>,
     liveness: &Liveness,
-) -> Option<RegionSpec> {
-    let seed_ranges: &[(usize, usize)] =
-        claimed.get(&seed_block).map_or(&[], Vec::as_slice);
+) -> Result<RegionSpec, &'static str> {
+    let seed_ranges: &[(usize, usize)] = claimed.get(&seed_block).map_or(&[], Vec::as_slice);
     // A block already hosting other regions keeps new ones local:
     // whole-block claims by a path would collide with the ranges.
     let may_cross = seed_ranges.is_empty();
@@ -252,9 +276,12 @@ fn grow(
         end_pos: seed_pos,
         mem_objects: BTreeSet::new(),
     };
-    if let Some(Some(obj)) =
-        interior_reusable(&func.block(seed_block).instrs[seed_pos], profile, alias, config)
-    {
+    if let Some(Some(obj)) = interior_reusable(
+        &func.block(seed_block).instrs[seed_pos],
+        profile,
+        alias,
+        config,
+    ) {
         g.mem_objects.insert(obj);
     }
 
@@ -339,40 +366,43 @@ fn grow(
         let last = *g.blocks.last().expect("non-empty");
         let after = liveness.live_before(func, last, g.end_pos + 1);
         let defined: BTreeSet<Reg> = g.instrs(func).iter().flat_map(|i| i.dsts()).collect();
-        let louts: Vec<Reg> = after.into_iter().filter(|r| defined.contains(r)).collect();
+        // Sort: liveness sets iterate in hash order, and the output
+        // bank layout must not vary run to run.
+        let mut louts: Vec<Reg> = after.into_iter().filter(|r| defined.contains(r)).collect();
+        louts.sort_unstable();
         if louts.len() <= config.max_live_out {
             break louts;
         }
         if g.blocks.len() > 1 || g.end_pos == g.start_pos {
-            return None; // cannot shrink a path region's tail simply
+            return Err("live_out_overflow"); // cannot shrink a path region's tail simply
         }
         g.end_pos -= 1;
     };
 
     // Size and weight gates.
     if g.static_len(func) < config.min_region_instrs {
-        return None;
+        return Err("too_small");
     }
     let inception = &func.block(g.blocks[0]).instrs[g.start_pos];
     let exec_weight = profile.exec(inception.id);
     if exec_weight < config.min_seed_exec {
-        return None;
+        return Err("cold");
     }
     let live_ins: Vec<Reg> = g.live_in_estimate(func).into_iter().collect();
     if live_ins.len() > config.max_live_in {
-        return None;
+        return Err("live_in_overflow");
     }
     // A region that defines nothing the rest of the program reads is
     // useless (and its reuse would be removed by DCE anyway).
     if live_outs.is_empty() {
-        return None;
+        return Err("no_live_outs");
     }
     let class = if g.mem_objects.is_empty() {
         ComputationClass::Stateless
     } else {
         ComputationClass::MemoryDependent
     };
-    Some(RegionSpec {
+    Ok(RegionSpec {
         func: func.id(),
         shape: RegionShape::Path {
             blocks: g.blocks.clone(),
@@ -442,7 +472,11 @@ fn admit(
 /// The successor a region path may cross into: a jump target, or the
 /// likely arm of a biased branch whose operands are invariant enough
 /// to reuse.
-fn likely_successor(term: &Instr, profile: &ReuseProfile, config: &RegionConfig) -> Option<BlockId> {
+fn likely_successor(
+    term: &Instr,
+    profile: &ReuseProfile,
+    config: &RegionConfig,
+) -> Option<BlockId> {
     match &term.op {
         Op::Jump { target } => Some(*target),
         Op::Branch {
@@ -565,7 +599,10 @@ mod tests {
         assert_eq!(blocks.len(), 1);
         let block = p.function(p.main()).block(blocks[0]);
         assert!(*start_pos > 0, "induction-dependent prefix excluded");
-        assert!(*end_pos + 1 < block.len() - 1, "loop update suffix excluded");
+        assert!(
+            *end_pos + 1 < block.len() - 1,
+            "loop update suffix excluded"
+        );
     }
 
     #[test]
@@ -592,11 +629,8 @@ mod tests {
         Emulator::new(&p).run(&mut NullCrb, &mut prof).unwrap();
         let profile = prof.finish();
         let alias = AliasInfo::compute(&p);
-        let mut occupied: HashSet<BlockId> = p
-            .function(p.main())
-            .iter_blocks()
-            .map(|(b, _)| b)
-            .collect();
+        let mut occupied: HashSet<BlockId> =
+            p.function(p.main()).iter_blocks().map(|(b, _)| b).collect();
         let specs = find_acyclic_regions(
             &p,
             p.function(p.main()),

@@ -17,14 +17,35 @@ use ccr_profile::{LoopKey, ReuseProfile};
 
 use crate::config::RegionConfig;
 use crate::spec::{ComputationClass, RegionShape, RegionSpec};
+use crate::stats::FormationStats;
 
 /// Finds cyclic RCR candidates in one function.
 pub fn find_cyclic_regions(
+    program: &Program,
+    func: &Function,
+    profile: &ReuseProfile,
+    alias: &AliasInfo,
+    config: &RegionConfig,
+) -> Vec<RegionSpec> {
+    find_cyclic_regions_observed(
+        program,
+        func,
+        profile,
+        alias,
+        config,
+        &mut FormationStats::new(),
+    )
+}
+
+/// Like [`find_cyclic_regions`], recording each examined inner loop
+/// and the gate that rejected it in `stats`.
+pub fn find_cyclic_regions_observed(
     _program: &Program,
     func: &Function,
     profile: &ReuseProfile,
     alias: &AliasInfo,
     config: &RegionConfig,
+    stats: &mut FormationStats,
 ) -> Vec<RegionSpec> {
     if config.block_level_only {
         return Vec::new();
@@ -33,25 +54,35 @@ pub fn find_cyclic_regions(
     let liveness = Liveness::compute(func);
     let mut specs = Vec::new();
     for lp in forest.inner_loops() {
+        stats.candidate();
         let key = LoopKey {
             func: func.id(),
             header: lp.header,
         };
         // Profile gates.
         let Some(cyc) = profile.cyclic_profile(key) else {
+            stats.reject("no_profile");
             continue;
         };
-        if cyc.invocations < config.min_seed_exec
-            || cyc.reuse_ratio() < config.cyclic_reuse_min
-            || cyc.multi_iteration_ratio() < config.cyclic_multi_iter_min
-        {
+        if cyc.invocations < config.min_seed_exec {
+            stats.reject("cold");
+            continue;
+        }
+        if cyc.reuse_ratio() < config.cyclic_reuse_min {
+            stats.reject("low_reuse");
+            continue;
+        }
+        if cyc.multi_iteration_ratio() < config.cyclic_multi_iter_min {
+            stats.reject("few_multi_iter");
             continue;
         }
         // Structural gates: unique preheader, single exit target.
         let Some(preheader) = lp.preheader(func) else {
+            stats.reject("no_preheader");
             continue;
         };
         let Some(exit_target) = lp.single_exit_target() else {
+            stats.reject("multi_exit");
             continue;
         };
         // Deterministic-computation gates.
@@ -60,7 +91,10 @@ pub fn find_cyclic_regions(
         for &b in &lp.body {
             for instr in &func.block(b).instrs {
                 match &instr.op {
-                    Op::Store { .. } | Op::Call { .. } | Op::Reuse { .. } | Op::Invalidate { .. } => {
+                    Op::Store { .. }
+                    | Op::Call { .. }
+                    | Op::Reuse { .. }
+                    | Op::Invalidate { .. } => {
                         deterministic = false;
                     }
                     Op::Load { object, .. } => match alias.load_class(instr.id) {
@@ -78,12 +112,15 @@ pub fn find_cyclic_regions(
             }
         }
         if !deterministic {
+            stats.reject("nondeterministic");
             continue;
         }
         if !mem_objects.is_empty() && !config.allow_memory_dependent {
+            stats.reject("memory_dependent");
             continue;
         }
         if mem_objects.len() > config.max_mem_objects {
+            stats.reject("mem_objects_overflow");
             continue;
         }
         // Register capacity gates.
@@ -93,13 +130,17 @@ pub fn find_cyclic_regions(
             .flat_map(|&b| func.block(b).instrs.iter())
             .flat_map(|i| i.src_regs())
             .collect();
-        let live_ins: Vec<Reg> = liveness
+        // Sort: liveness sets iterate in hash order, and the input
+        // bank layout must not vary run to run.
+        let mut live_ins: Vec<Reg> = liveness
             .live_in(lp.header)
             .iter()
             .copied()
             .filter(|r| reads.contains(r))
             .collect();
+        live_ins.sort_unstable();
         if live_ins.len() > config.max_live_in {
+            stats.reject("live_in_overflow");
             continue;
         }
         let defs: BTreeSet<Reg> = lp
@@ -108,15 +149,18 @@ pub fn find_cyclic_regions(
             .flat_map(|&b| func.block(b).instrs.iter())
             .flat_map(|i| i.dsts())
             .collect();
-        let live_outs: Vec<Reg> = liveness
+        let mut live_outs: Vec<Reg> = liveness
             .live_in(exit_target)
             .iter()
             .copied()
             .filter(|r| defs.contains(r))
             .collect();
+        live_outs.sort_unstable();
         if live_outs.len() > config.max_live_out {
+            stats.reject("live_out_overflow");
             continue;
         }
+        stats.accept();
         let static_instrs: usize = lp.body.iter().map(|&b| func.block(b).len()).sum();
         specs.push(RegionSpec {
             func: func.id(),
@@ -198,9 +242,7 @@ mod tests {
 
     fn find(p: &ccr_ir::Program, config: &RegionConfig) -> Vec<RegionSpec> {
         let mut prof = ValueProfiler::for_program(p);
-        Emulator::new(p)
-            .run(&mut NullCrb, &mut prof)
-            .unwrap();
+        Emulator::new(p).run(&mut NullCrb, &mut prof).unwrap();
         let profile = prof.finish();
         let alias = AliasInfo::compute(p);
         find_cyclic_regions(p, p.function(p.main()), &profile, &alias, config)
@@ -250,6 +292,48 @@ mod tests {
         let p = scan_program(true, 8, false);
         let specs = find(&p, &RegionConfig::paper());
         assert!(specs.is_empty());
+    }
+
+    #[test]
+    fn rejection_reasons_are_recorded() {
+        // The mutated-table program fails the 40% reuse-opportunity
+        // gate; the stats must say so.
+        let p = scan_program(false, 100, true);
+        let mut prof = ValueProfiler::for_program(&p);
+        Emulator::new(&p).run(&mut NullCrb, &mut prof).unwrap();
+        let profile = prof.finish();
+        let alias = AliasInfo::compute(&p);
+        let mut stats = FormationStats::new();
+        let specs = find_cyclic_regions_observed(
+            &p,
+            p.function(p.main()),
+            &profile,
+            &alias,
+            &RegionConfig::paper(),
+            &mut stats,
+        );
+        assert!(specs.is_empty());
+        stats.check();
+        assert_eq!(stats.candidates, 1);
+        assert_eq!(stats.rejected_for("low_reuse"), 1, "{stats:?}");
+        // The accepted path counts too.
+        let p = scan_program(true, 100, false);
+        let mut prof = ValueProfiler::for_program(&p);
+        Emulator::new(&p).run(&mut NullCrb, &mut prof).unwrap();
+        let profile = prof.finish();
+        let alias = AliasInfo::compute(&p);
+        let mut stats = FormationStats::new();
+        let specs = find_cyclic_regions_observed(
+            &p,
+            p.function(p.main()),
+            &profile,
+            &alias,
+            &RegionConfig::paper(),
+            &mut stats,
+        );
+        assert_eq!(specs.len(), 1);
+        assert_eq!(stats.accepted, 1);
+        stats.check();
     }
 
     #[test]

@@ -7,11 +7,12 @@ use ccr_analysis::AliasInfo;
 use ccr_ir::Program;
 use ccr_profile::ReuseProfile;
 
-use crate::acyclic::find_acyclic_regions;
+use crate::acyclic::find_acyclic_regions_observed;
 use crate::config::RegionConfig;
-use crate::cyclic::find_cyclic_regions;
-use crate::funclevel::find_function_regions;
+use crate::cyclic::find_cyclic_regions_observed;
+use crate::funclevel::find_function_regions_observed;
 use crate::spec::{RegionInfo, RegionShape, RegionSpec};
+use crate::stats::FormationStats;
 use crate::transform::annotate;
 
 /// A program with its regions annotated.
@@ -52,25 +53,39 @@ pub fn form_regions(
     profile: &ReuseProfile,
     config: &RegionConfig,
 ) -> Vec<RegionSpec> {
+    form_regions_observed(program, profile, config, &mut FormationStats::new())
+}
+
+/// Like [`form_regions`], accumulating candidate/accepted/rejected
+/// counts (with per-gate rejection reasons) from every formation pass
+/// into `stats`. Regions dropped by the [`RegionConfig::max_regions`]
+/// budget are demoted to rejections under the `"budget"` reason, so
+/// the accounting invariant `candidates == accepted + rejected`
+/// holds for the final region list.
+pub fn form_regions_observed(
+    program: &Program,
+    profile: &ReuseProfile,
+    config: &RegionConfig,
+    stats: &mut FormationStats,
+) -> Vec<RegionSpec> {
     let alias = AliasInfo::compute(program);
     let mut specs = Vec::new();
     // Function-level regions first (future-work extension; off by
     // default). Wrapped callees are excluded from interior formation:
     // a nested reuse executing during memoization aborts the outer
     // recording.
-    let (call_specs, wrapped) = find_function_regions(program, profile, &alias, config);
+    let (call_specs, wrapped) =
+        find_function_regions_observed(program, profile, &alias, config, stats);
     specs.extend(call_specs);
     for func in program.functions() {
         if wrapped.contains(&func.id()) {
             continue;
         }
         let mut occupied: HashSet<ccr_ir::BlockId> = HashSet::new();
-        let cyclic = find_cyclic_regions(program, func, profile, &alias, config);
+        let cyclic = find_cyclic_regions_observed(program, func, profile, &alias, config, stats);
         for spec in &cyclic {
             if let RegionShape::Cyclic {
-                body,
-                preheader,
-                ..
+                body, preheader, ..
             } = &spec.shape
             {
                 occupied.extend(body.iter().copied());
@@ -80,18 +95,23 @@ pub fn form_regions(
             }
         }
         specs.extend(cyclic);
-        specs.extend(find_acyclic_regions(
+        specs.extend(find_acyclic_regions_observed(
             program,
             func,
             profile,
             &alias,
             config,
             &mut occupied,
+            stats,
         ));
     }
     // Keep the hottest regions within the region-id budget.
     specs.sort_by_key(|s| std::cmp::Reverse(s.exec_weight * s.static_instrs as u64));
-    specs.truncate(config.max_regions);
+    if specs.len() > config.max_regions {
+        stats.demote("budget", (specs.len() - config.max_regions) as u64);
+        specs.truncate(config.max_regions);
+    }
+    stats.check();
     specs
 }
 
@@ -220,6 +240,38 @@ mod tests {
                 RegionShape::Call { .. } => panic!("function-level region by default"),
             }
         }
+    }
+
+    #[test]
+    fn formation_stats_balance_and_name_reasons() {
+        let p = mixed_program();
+        let profile = profile_of(&p);
+        let mut stats = FormationStats::new();
+        let specs = form_regions_observed(&p, &profile, &RegionConfig::paper(), &mut stats);
+        stats.check();
+        assert_eq!(stats.accepted, specs.len() as u64);
+        assert!(stats.candidates >= stats.accepted);
+        // Observation changes nothing.
+        assert_eq!(specs, form_regions(&p, &profile, &RegionConfig::paper()));
+        // The budget gate demotes dropped regions under "budget".
+        let mut tight = FormationStats::new();
+        let one = form_regions_observed(
+            &p,
+            &profile,
+            &RegionConfig {
+                max_regions: 1,
+                ..RegionConfig::paper()
+            },
+            &mut tight,
+        );
+        tight.check();
+        assert_eq!(one.len(), 1);
+        assert_eq!(tight.accepted, 1);
+        assert_eq!(
+            tight.rejected_for("budget"),
+            stats.accepted - 1,
+            "{tight:?}"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use ccr_profile::ReuseProfile;
 
 use crate::config::RegionConfig;
 use crate::spec::{ComputationClass, RegionShape, RegionSpec};
+use crate::stats::FormationStats;
 
 /// Finds function-level region candidates program-wide. Returns the
 /// specs plus the set of wrapped callees (their bodies are excluded
@@ -30,6 +31,18 @@ pub fn find_function_regions(
     profile: &ReuseProfile,
     alias: &AliasInfo,
     config: &RegionConfig,
+) -> (Vec<RegionSpec>, BTreeSet<FuncId>) {
+    find_function_regions_observed(program, profile, alias, config, &mut FormationStats::new())
+}
+
+/// Like [`find_function_regions`], recording every call site examined
+/// and each gate's rejections in `stats`.
+pub fn find_function_regions_observed(
+    program: &Program,
+    profile: &ReuseProfile,
+    alias: &AliasInfo,
+    config: &RegionConfig,
+    stats: &mut FormationStats,
 ) -> (Vec<RegionSpec>, BTreeSet<FuncId>) {
     if !config.function_level {
         return (Vec::new(), BTreeSet::new());
@@ -52,30 +65,44 @@ pub fn find_function_regions(
                 let Op::Call { callee, args, rets } = &instr.op else {
                     continue;
                 };
+                stats.candidate();
                 if !eligible[callee.index()] {
+                    stats.reject("callee_ineligible");
                     continue;
                 }
                 // Profile gates at the call site: the argument vector
                 // must repeat.
-                if profile.exec(instr.id) < config.min_seed_exec
-                    || profile.invariance_ratio(instr.id, config.top_k) < config.r_threshold
-                {
+                if profile.exec(instr.id) < config.min_seed_exec {
+                    stats.reject("cold");
+                    continue;
+                }
+                if profile.invariance_ratio(instr.id, config.top_k) < config.r_threshold {
+                    stats.reject("low_invariance");
                     continue;
                 }
                 let live_ins: Vec<_> = args.iter().filter_map(|a| a.as_reg()).collect();
-                if live_ins.len() > config.max_live_in || rets.len() > config.max_live_out {
+                if live_ins.len() > config.max_live_in {
+                    stats.reject("live_in_overflow");
+                    continue;
+                }
+                if rets.len() > config.max_live_out {
+                    stats.reject("live_out_overflow");
                     continue;
                 }
                 if rets.is_empty() {
+                    stats.reject("no_live_outs");
                     continue; // nothing to reuse
                 }
                 let mem_objects = writable_reads(program, &se, *callee);
                 if mem_objects.len() > config.max_mem_objects {
+                    stats.reject("mem_objects_overflow");
                     continue;
                 }
                 if !mem_objects.is_empty() && !config.allow_memory_dependent {
+                    stats.reject("memory_dependent");
                     continue;
                 }
+                stats.accept();
                 let static_instrs: usize = cg
                     .reachable_from(*callee)
                     .iter()
@@ -131,10 +158,9 @@ fn callee_eligible(
     for reach in cg.reachable_from(callee) {
         for (_, instr) in program.function(reach).iter_instrs() {
             match &instr.op {
-                Op::Load { .. }
-                    if alias.load_class(instr.id) == Determinable::No => {
-                        return false;
-                    }
+                Op::Load { .. } if alias.load_class(instr.id) == Determinable::No => {
+                    return false;
+                }
                 Op::Reuse { .. } | Op::Invalidate { .. } => return false,
                 _ => {}
             }
@@ -145,11 +171,7 @@ fn callee_eligible(
 
 /// The writable named objects the callee may read, transitively —
 /// the invalidation set of the call region.
-fn writable_reads(
-    program: &Program,
-    se: &SideEffects,
-    callee: FuncId,
-) -> Vec<ccr_ir::MemObjectId> {
+fn writable_reads(program: &Program, se: &SideEffects, callee: FuncId) -> Vec<ccr_ir::MemObjectId> {
     se.reads(callee)
         .iter()
         .copied()
@@ -279,17 +301,20 @@ mod tests {
                 read: &mut dyn FnMut(ccr_ir::Reg) -> ccr_ir::Value,
             ) -> Option<ccr_profile::ReuseLookup> {
                 self.0.get(&region)?.iter().find_map(|inst| {
-                    inst.inputs
-                        .iter()
-                        .all(|(r, v)| read(*r) == *v)
-                        .then(|| ccr_profile::ReuseLookup {
+                    inst.inputs.iter().all(|(r, v)| read(*r) == *v).then(|| {
+                        ccr_profile::ReuseLookup {
                             outputs: inst.outputs.clone(),
                             inputs: inst.inputs.iter().map(|(r, _)| *r).collect(),
                             skipped_instrs: inst.body_instrs,
-                        })
+                        }
+                    })
                 })
             }
-            fn record(&mut self, region: ccr_ir::RegionId, instance: ccr_profile::RecordedInstance) {
+            fn record(
+                &mut self,
+                region: ccr_ir::RegionId,
+                instance: ccr_profile::RecordedInstance,
+            ) {
                 self.0.entry(region).or_default().push(instance);
             }
             fn invalidate(&mut self, region: ccr_ir::RegionId) {
@@ -302,7 +327,10 @@ mod tests {
         let out = Emulator::new(&annotated)
             .run(&mut crb, &mut ccr_profile::NullSink)
             .unwrap();
-        assert_eq!(out.returned, base.returned, "function reuse changed results");
+        assert_eq!(
+            out.returned, base.returned,
+            "function reuse changed results"
+        );
         // Three distinct pool values: three misses, the rest hits.
         assert_eq!(out.reuse_misses, 3);
         assert_eq!(out.reuse_hits, 297);

@@ -164,7 +164,11 @@ impl GroupDistribution {
 
 /// The group of an annotated region.
 pub fn group_of(info: &RegionInfo) -> ComputationGroup {
-    classify_group(info.spec.class, info.spec.input_count(), info.spec.mem_count())
+    classify_group(
+        info.spec.class,
+        info.spec.input_count(),
+        info.spec.mem_count(),
+    )
 }
 
 #[cfg(test)]

@@ -30,9 +30,11 @@ pub mod form;
 pub mod funclevel;
 pub mod groups;
 pub mod spec;
+pub mod stats;
 pub mod transform;
 
 pub use config::RegionConfig;
-pub use form::{annotate_program, form_regions, AnnotatedProgram};
+pub use form::{annotate_program, form_regions, form_regions_observed, AnnotatedProgram};
 pub use groups::{classify_group, ComputationGroup, GroupDistribution};
 pub use spec::{ComputationClass, RegionInfo, RegionShape, RegionSpec};
+pub use stats::FormationStats;

@@ -1,0 +1,133 @@
+//! Region-formation observability.
+//!
+//! Every formation pass reports how many candidates it examined, how
+//! many became regions, and why the rest were rejected — keyed by a
+//! stable reason string (`"no_preheader"`, `"live_in_overflow"`,
+//! `"budget"`, …). The driver and `ccr-core` surface these through
+//! telemetry so a formation run can be audited without a debugger.
+
+use std::collections::BTreeMap;
+
+/// Candidate / accepted / rejected counts for one formation run.
+///
+/// Invariant (checked by [`FormationStats::check`]): every candidate
+/// is either accepted or rejected exactly once, so
+/// `candidates == accepted + rejected_total()`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FormationStats {
+    /// Candidates examined (inner loops, acyclic seeds, call sites).
+    pub candidates: u64,
+    /// Candidates that became regions.
+    pub accepted: u64,
+    rejected: BTreeMap<&'static str, u64>,
+}
+
+impl FormationStats {
+    /// Creates zeroed stats.
+    pub fn new() -> FormationStats {
+        FormationStats::default()
+    }
+
+    /// Notes one candidate examined.
+    pub fn candidate(&mut self) {
+        self.candidates += 1;
+    }
+
+    /// Notes one candidate accepted.
+    pub fn accept(&mut self) {
+        self.accepted += 1;
+    }
+
+    /// Notes one candidate rejected for `reason`.
+    pub fn reject(&mut self, reason: &'static str) {
+        *self.rejected.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Notes `n` candidates rejected for `reason`.
+    pub fn reject_n(&mut self, reason: &'static str, n: u64) {
+        if n > 0 {
+            *self.rejected.entry(reason).or_insert(0) += n;
+        }
+    }
+
+    /// Moves `n` previously-accepted candidates to rejected (used by
+    /// the driver when the region-id budget truncates the list).
+    pub fn demote(&mut self, reason: &'static str, n: u64) {
+        debug_assert!(n <= self.accepted, "demoting more than accepted");
+        self.accepted -= n.min(self.accepted);
+        self.reject_n(reason, n);
+    }
+
+    /// Total rejections across all reasons.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.values().sum()
+    }
+
+    /// Count rejected for one reason.
+    pub fn rejected_for(&self, reason: &str) -> u64 {
+        self.rejected.get(reason).copied().unwrap_or(0)
+    }
+
+    /// `(reason, count)` pairs, sorted by reason.
+    pub fn rejections(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.rejected.iter().map(|(&r, &c)| (r, c))
+    }
+
+    /// Checks the accounting invariant; call once a formation run is
+    /// complete. Debug builds panic on violation.
+    pub fn check(&self) {
+        debug_assert_eq!(
+            self.candidates,
+            self.accepted + self.rejected_total(),
+            "formation stats out of balance: {self:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_balance() {
+        let mut s = FormationStats::new();
+        for _ in 0..5 {
+            s.candidate();
+        }
+        s.accept();
+        s.accept();
+        s.reject("cold");
+        s.reject("cold");
+        s.reject("live_in_overflow");
+        s.check();
+        assert_eq!(s.candidates, 5);
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.rejected_total(), 3);
+        assert_eq!(s.rejected_for("cold"), 2);
+        assert_eq!(s.rejected_for("missing"), 0);
+        let reasons: Vec<_> = s.rejections().collect();
+        assert_eq!(reasons, vec![("cold", 2), ("live_in_overflow", 1)]);
+    }
+
+    #[test]
+    fn demote_moves_accepted_to_rejected() {
+        let mut s = FormationStats::new();
+        for _ in 0..3 {
+            s.candidate();
+            s.accept();
+        }
+        s.demote("budget", 2);
+        s.check();
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.rejected_for("budget"), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of balance")]
+    fn check_catches_imbalance() {
+        let mut s = FormationStats::new();
+        s.candidate();
+        s.check();
+    }
+}

@@ -46,15 +46,8 @@ pub fn annotate(program: &mut Program, specs: Vec<RegionSpec>) -> Vec<RegionInfo
         RegionShape::Cyclic { .. } => (0u8, specs[i].func.0, 0u32, 0i64),
         RegionShape::Path {
             blocks, start_pos, ..
-        } => (
-            1,
-            specs[i].func.0,
-            blocks[0].0,
-            -(*start_pos as i64),
-        ),
-        RegionShape::Call { block, pos, .. } => {
-            (1, specs[i].func.0, block.0, -(*pos as i64))
-        }
+        } => (1, specs[i].func.0, blocks[0].0, -(*start_pos as i64)),
+        RegionShape::Call { block, pos, .. } => (1, specs[i].func.0, block.0, -(*pos as i64)),
     });
 
     let mut inval_sites = vec![0usize; specs.len()];
@@ -73,9 +66,7 @@ pub fn annotate(program: &mut Program, specs: Vec<RegionSpec>) -> Vec<RegionInfo
                 start_pos,
                 end_pos,
             } => apply_path(program, spec, region, &blocks, start_pos, end_pos),
-            RegionShape::Call { block, pos, .. } => {
-                apply_call(program, spec, region, block, pos)
-            }
+            RegionShape::Call { block, pos, .. } => apply_call(program, spec, region, block, pos),
         }
         inval_sites[i] = insert_invalidates(program, spec, region, &alias);
     }
@@ -106,7 +97,13 @@ fn split_off(program: &mut Program, func: FuncId, b: BlockId, at: usize) -> Bloc
     new
 }
 
-fn push_marked_jump(program: &mut Program, func: FuncId, b: BlockId, target: BlockId, ext: InstrExt) {
+fn push_marked_jump(
+    program: &mut Program,
+    func: FuncId,
+    b: BlockId,
+    target: BlockId,
+    ext: InstrExt,
+) {
     let mut j = program.new_instr(Op::Jump { target });
     j.ext = ext;
     program.function_mut(func).block_mut(b).instrs.push(j);
@@ -261,11 +258,7 @@ fn apply_call(
         call.ext = call.ext | InstrExt::LIVE_OUT;
     }
     push_marked_jump(program, func, body, cont, InstrExt::REGION_END);
-    let reuse = program.new_instr(Op::Reuse {
-        region,
-        body,
-        cont,
-    });
+    let reuse = program.new_instr(Op::Reuse { region, body, cont });
     program
         .function_mut(func)
         .block_mut(block)

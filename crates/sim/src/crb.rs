@@ -91,6 +91,38 @@ impl CrbConfig {
     }
 }
 
+/// Kind of a logged buffer event (see [`ReuseBuffer::set_event_logging`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrbEventKind {
+    /// A valid computation instance was overwritten by capacity
+    /// replacement within its entry.
+    Evict,
+    /// An entry was reassigned to a different region (direct-mapped
+    /// tag conflict), discarding the previous region's instances.
+    Conflict,
+    /// An `invalidate` killed one or more memory-dependent instances.
+    Invalidate,
+}
+
+/// One logged buffer event. Recorded only while event logging is on;
+/// the default-off log keeps the hot path allocation-free.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CrbEvent {
+    /// Buffer clock at the event (advances on every lookup and record).
+    pub clock: u64,
+    /// What happened.
+    pub kind: CrbEventKind,
+    /// Region whose record or invalidate triggered the event.
+    pub region: RegionId,
+    /// Direct-mapped entry index involved.
+    pub entry: usize,
+    /// Valid instances in the entry after the event.
+    pub occupancy: usize,
+    /// Instances lost: 1 for an eviction, the cleared count for a
+    /// conflict, the killed count for an invalidation.
+    pub lost: usize,
+}
+
 #[derive(Clone, Debug)]
 struct Instance {
     valid: bool,
@@ -151,6 +183,8 @@ pub struct ReuseBuffer {
     clock: u64,
     rng: u64,
     stats: CrbStats,
+    log_events: bool,
+    events: Vec<CrbEvent>,
 }
 
 impl ReuseBuffer {
@@ -182,12 +216,36 @@ impl ReuseBuffer {
             clock: 0,
             rng: 0x9e37_79b9_7f4a_7c15,
             stats: CrbStats::default(),
+            log_events: false,
+            events: Vec::new(),
         }
     }
 
     /// The buffer's counters.
     pub fn stats(&self) -> CrbStats {
+        self.stats.check();
         self.stats
+    }
+
+    /// Turns the eviction/conflict/invalidation event log on or off.
+    /// Off by default: the log allocates, and most simulations never
+    /// read it.
+    pub fn set_event_logging(&mut self, on: bool) {
+        self.log_events = on;
+    }
+
+    /// Drains the logged events, oldest first.
+    pub fn take_events(&mut self) -> Vec<CrbEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Valid instances currently held by the entry at `idx`.
+    fn occupancy(&self, idx: usize) -> usize {
+        self.entries[idx]
+            .instances
+            .iter()
+            .filter(|i| i.valid)
+            .count()
     }
 
     /// The buffer's geometry.
@@ -291,6 +349,16 @@ impl CrbModel for ReuseBuffer {
         if self.entries[idx].tag != Some(region) {
             if self.entries[idx].tag.is_some() {
                 self.stats.entry_conflicts += 1;
+                if self.log_events {
+                    self.events.push(CrbEvent {
+                        clock: self.clock,
+                        kind: CrbEventKind::Conflict,
+                        region,
+                        entry: idx,
+                        occupancy: 0,
+                        lost: self.occupancy(idx),
+                    });
+                }
             }
             let entry = &mut self.entries[idx];
             entry.tag = Some(region);
@@ -307,7 +375,22 @@ impl CrbModel for ReuseBuffer {
             .position(|i| i.valid && i.inputs == instance.inputs);
         let slot = match existing {
             Some(k) => k,
-            None => self.victim_slot(idx),
+            None => {
+                let k = self.victim_slot(idx);
+                if self.log_events && self.entries[idx].instances[k].valid {
+                    self.events.push(CrbEvent {
+                        clock: self.clock,
+                        kind: CrbEventKind::Evict,
+                        region,
+                        entry: idx,
+                        // The victim is overwritten by the incoming
+                        // instance, so occupancy is unchanged.
+                        occupancy: self.occupancy(idx),
+                        lost: 1,
+                    });
+                }
+                k
+            }
         };
         let clock = self.clock;
         self.entries[idx].instances[slot] = Instance {
@@ -325,12 +408,24 @@ impl CrbModel for ReuseBuffer {
         self.stats.invalidations += 1;
         let idx = self.entry_index(region);
         let entry = &mut self.entries[idx];
+        let mut killed = 0;
         if entry.tag == Some(region) {
             for inst in &mut entry.instances {
                 if inst.valid && inst.accesses_memory {
                     inst.valid = false;
+                    killed += 1;
                 }
             }
+        }
+        if self.log_events && killed > 0 {
+            self.events.push(CrbEvent {
+                clock: self.clock,
+                kind: CrbEventKind::Invalidate,
+                region,
+                entry: idx,
+                occupancy: self.occupancy(idx),
+                lost: killed,
+            });
         }
     }
 
@@ -480,10 +575,7 @@ mod tests {
             nonuniform: None,
         });
         let too_big = RecordedInstance {
-            inputs: vec![
-                (Reg(0), Value::from_int(1)),
-                (Reg(1), Value::from_int(2)),
-            ],
+            inputs: vec![(Reg(0), Value::from_int(1)), (Reg(1), Value::from_int(2))],
             outputs: vec![],
             accesses_memory: false,
             body_instrs: 5,
@@ -548,6 +640,62 @@ mod tests {
         // Stateless instances are fine anywhere.
         buf.record(RegionId(3), inst(2, 20, false));
         assert!(lookup_with(&mut buf, RegionId(3), 2).is_some());
+    }
+
+    #[test]
+    fn event_log_is_off_by_default() {
+        let mut buf = ReuseBuffer::new(CrbConfig::with_instances(1));
+        let r = RegionId(0);
+        buf.record(r, inst(1, 10, false));
+        buf.record(r, inst(2, 20, false)); // evicts instance 1
+        assert!(buf.take_events().is_empty());
+    }
+
+    #[test]
+    fn event_log_captures_evictions_conflicts_and_invalidations() {
+        let mut buf = ReuseBuffer::new(CrbConfig {
+            entries: 2,
+            instances: 2,
+            ..CrbConfig::paper()
+        });
+        buf.set_event_logging(true);
+        // Fill entry 0 for region 0, then overflow it: one eviction.
+        buf.record(RegionId(0), inst(1, 10, false));
+        buf.record(RegionId(0), inst(2, 20, false));
+        buf.record(RegionId(0), inst(3, 30, false));
+        // Region 2 collides with region 0 on entry 0: one conflict.
+        buf.record(RegionId(2), inst(4, 40, true));
+        // Kill region 2's memory-dependent instance: one invalidation.
+        buf.invalidate(RegionId(2));
+        // A no-op invalidate (nothing memory-dependent left) logs nothing.
+        buf.invalidate(RegionId(2));
+
+        let events = buf.take_events();
+        let kinds: Vec<CrbEventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                CrbEventKind::Evict,
+                CrbEventKind::Conflict,
+                CrbEventKind::Invalidate
+            ],
+            "{events:?}"
+        );
+        let evict = &events[0];
+        assert_eq!(evict.entry, 0);
+        assert_eq!(evict.occupancy, 2, "entry stays full across an eviction");
+        assert_eq!(evict.lost, 1);
+        let conflict = &events[1];
+        assert_eq!(conflict.region, RegionId(2));
+        assert_eq!(conflict.occupancy, 0);
+        assert_eq!(conflict.lost, 2, "both of region 0's instances cleared");
+        let inval = &events[2];
+        assert_eq!(inval.occupancy, 0);
+        assert_eq!(inval.lost, 1);
+        // Clocks are monotonically non-decreasing.
+        assert!(events.windows(2).all(|w| w[0].clock <= w[1].clock));
+        // The log drains.
+        assert!(buf.take_events().is_empty());
     }
 
     #[test]

@@ -25,11 +25,13 @@ pub mod machine;
 pub mod pipeline;
 pub mod simulator;
 pub mod stats;
+pub mod telemetry;
 
 pub use btb::Btb;
 pub use cache::{Cache, CacheConfig};
-pub use crb::{CrbConfig, NonuniformConfig, Replacement, ReuseBuffer};
+pub use crb::{CrbConfig, CrbEvent, CrbEventKind, NonuniformConfig, Replacement, ReuseBuffer};
 pub use machine::MachineConfig;
 pub use pipeline::Pipeline;
 pub use simulator::{simulate, simulate_baseline, SimOutcome};
 pub use stats::{CrbStats, RegionDynStats, SimStats};
+pub use telemetry::{simulate_traced, TelemetryBridge, DEFAULT_IPC_WINDOW};

@@ -79,9 +79,16 @@ impl Pipeline {
         }
     }
 
+    /// Cycles accumulated so far — the same quantity
+    /// [`Pipeline::into_stats`] reports at the end of the run. Usable
+    /// mid-run for interval (windowed) measurements.
+    pub fn cycles_so_far(&self) -> u64 {
+        self.horizon.max(self.last_issue + 1)
+    }
+
     /// Finalizes the run and returns its statistics.
     pub fn into_stats(mut self) -> SimStats {
-        self.stats.cycles = self.horizon.max(self.last_issue + 1);
+        self.stats.cycles = self.cycles_so_far();
         self.stats.icache_hits = self.icache.hits();
         self.stats.icache_misses = self.icache.misses();
         self.stats.dcache_hits = self.dcache.hits();
@@ -337,7 +344,11 @@ mod tests {
         let id = pb.finish_function(f);
         pb.set_main(id);
         let stats = run_cycles(&pb.finish());
-        assert!(stats.cycles >= 32, "chain of 32 adds: {} cycles", stats.cycles);
+        assert!(
+            stats.cycles >= 32,
+            "chain of 32 adds: {} cycles",
+            stats.cycles
+        );
     }
 
     /// Independent operations exploit the wide issue once the
@@ -447,7 +458,11 @@ mod tests {
         let id = pb.finish_function(f);
         pb.set_main(id);
         let stats = run_cycles(&pb.finish());
-        assert!(stats.branch_mispredicts <= 2, "{}", stats.branch_mispredicts);
+        assert!(
+            stats.branch_mispredicts <= 2,
+            "{}",
+            stats.branch_mispredicts
+        );
         assert!(stats.branch_correct >= 498);
     }
 

@@ -31,6 +31,19 @@ impl CrbStats {
             self.hits as f64 / self.lookups as f64
         }
     }
+
+    /// Checks the accounting invariant: every lookup resolves to
+    /// exactly one hit or miss. Debug builds assert; a violation means
+    /// the buffer model itself miscounted, not the workload.
+    pub fn check(&self) {
+        debug_assert!(
+            self.hits + self.misses == self.lookups,
+            "CRB stats out of balance: {} hits + {} misses != {} lookups",
+            self.hits,
+            self.misses,
+            self.lookups,
+        );
+    }
 }
 
 /// Per-region dynamic reuse statistics.
@@ -128,5 +141,30 @@ mod tests {
         };
         assert!((c.hit_ratio() - 0.7).abs() < 1e-12);
         assert_eq!(CrbStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn balanced_crb_stats_pass_check() {
+        let c = CrbStats {
+            lookups: 10,
+            hits: 7,
+            misses: 3,
+            ..CrbStats::default()
+        };
+        c.check();
+        CrbStats::default().check();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of balance")]
+    fn unbalanced_crb_stats_fail_check() {
+        let c = CrbStats {
+            lookups: 10,
+            hits: 7,
+            misses: 2,
+            ..CrbStats::default()
+        };
+        c.check();
     }
 }

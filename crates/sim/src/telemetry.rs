@@ -1,0 +1,335 @@
+//! Bridging the timing simulation into the telemetry event stream.
+//!
+//! [`TelemetryBridge`] wraps the [`Pipeline`] as a
+//! [`ccr_profile::TraceSink`], forwarding every trace callback
+//! unchanged — the pipeline sees the identical event sequence with or
+//! without telemetry, so cycle counts cannot drift — while emitting:
+//!
+//! * a per-region reuse timeline (`reuse` events: region, hit or miss,
+//!   instructions skipped, and the pipeline cycle after the lookup),
+//! * interval IPC samples (`ipc_window` events, one per window of
+//!   dynamic instructions), exposing phase behaviour that the run-wide
+//!   mean hides.
+//!
+//! [`simulate_traced`] runs a full simulation through the bridge and
+//! additionally drains the buffer's eviction/conflict/invalidation log
+//! (`crb_evict` / `crb_conflict` / `crb_invalidate` events), per-region
+//! totals (`region_summary`), and the run totals (`sim_summary`).
+
+use ccr_ir::{BlockId, CodeLayout, FuncId, Program};
+use ccr_profile::{EmuConfig, EmuError, Emulator, ExecEvent, NullCrb, TraceSink};
+use ccr_telemetry::{emit, TelemetrySink};
+
+use crate::crb::{CrbConfig, CrbEventKind, ReuseBuffer};
+use crate::machine::MachineConfig;
+use crate::pipeline::Pipeline;
+use crate::simulator::SimOutcome;
+use crate::stats::SimStats;
+
+/// Default dynamic-instruction window for interval IPC samples.
+pub const DEFAULT_IPC_WINDOW: u64 = 4096;
+
+/// A [`TraceSink`] that owns the timing [`Pipeline`] and narrates the
+/// run to a [`TelemetrySink`]. Strictly pass-through for timing.
+pub struct TelemetryBridge<'a> {
+    pipeline: Pipeline,
+    sink: &'a mut dyn TelemetrySink,
+    window: u64,
+    window_index: u64,
+    window_instrs: u64,
+    window_skipped: u64,
+    window_start_cycle: u64,
+}
+
+impl<'a> TelemetryBridge<'a> {
+    /// Wraps `pipeline`, emitting one `ipc_window` event per `window`
+    /// dynamic instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(pipeline: Pipeline, sink: &'a mut dyn TelemetrySink, window: u64) -> Self {
+        assert!(window > 0, "ipc window must be nonzero");
+        TelemetryBridge {
+            pipeline,
+            sink,
+            window,
+            window_index: 0,
+            window_instrs: 0,
+            window_skipped: 0,
+            window_start_cycle: 0,
+        }
+    }
+
+    fn flush_window(&mut self) {
+        let now = self.pipeline.cycles_so_far();
+        let cycles = now.saturating_sub(self.window_start_cycle);
+        let work = self.window_instrs + self.window_skipped;
+        let ipc = if cycles == 0 {
+            0.0
+        } else {
+            work as f64 / cycles as f64
+        };
+        emit!(self.sink, "ipc_window",
+            index: self.window_index,
+            start_cycle: self.window_start_cycle,
+            cycles: cycles,
+            instrs: self.window_instrs,
+            skipped: self.window_skipped,
+            ipc: ipc,
+        );
+        self.window_index += 1;
+        self.window_instrs = 0;
+        self.window_skipped = 0;
+        self.window_start_cycle = now;
+    }
+
+    /// Finalizes the run: emits the trailing partial window (if any)
+    /// and returns the pipeline's statistics.
+    pub fn into_stats(mut self) -> SimStats {
+        if self.window_instrs > 0 {
+            self.flush_window();
+        }
+        self.pipeline.into_stats()
+    }
+}
+
+impl TraceSink for TelemetryBridge<'_> {
+    fn on_exec(&mut self, event: &ExecEvent<'_>) {
+        self.pipeline.on_exec(event);
+        if let Some(outcome) = event.reuse {
+            emit!(self.sink, "reuse",
+                region: outcome.region.index(),
+                hit: outcome.hit,
+                skipped: outcome.skipped_instrs,
+                cycle: self.pipeline.cycles_so_far(),
+            );
+            self.window_skipped += outcome.skipped_instrs;
+        }
+        self.window_instrs += 1;
+        if self.window_instrs >= self.window {
+            self.flush_window();
+        }
+    }
+
+    fn on_block_enter(&mut self, func: FuncId, block: BlockId) {
+        self.pipeline.on_block_enter(func, block);
+    }
+
+    fn on_call(&mut self, caller: FuncId, callee: FuncId) {
+        self.pipeline.on_call(caller, callee);
+    }
+
+    fn on_ret(&mut self, from: FuncId) {
+        self.pipeline.on_ret(from);
+    }
+}
+
+/// Like [`crate::simulate`], narrating the run to `sink`: the reuse
+/// timeline and interval IPC during execution, then the CRB event log
+/// and per-region / whole-run summaries. With a disabled sink (e.g.
+/// [`ccr_telemetry::NullSink`]) no event is materialized and the CRB
+/// event log stays off, so the overhead is a branch per callback.
+///
+/// Timing is identical to an untraced [`crate::simulate`] of the same
+/// inputs — the bridge never alters what the pipeline observes.
+///
+/// # Errors
+///
+/// Propagates emulator limit violations ([`EmuError`]).
+pub fn simulate_traced(
+    program: &Program,
+    machine: &MachineConfig,
+    crb: Option<CrbConfig>,
+    emu: EmuConfig,
+    window: u64,
+    sink: &mut dyn TelemetrySink,
+) -> Result<SimOutcome, EmuError> {
+    let enabled = sink.enabled();
+    let layout = CodeLayout::of(program);
+    let pipeline = Pipeline::new(*machine, layout);
+    let emulator = Emulator::with_config(program, emu);
+    let mut bridge = TelemetryBridge::new(pipeline, &mut *sink, window);
+    let (run, stats) = match crb {
+        Some(config) => {
+            let mut buffer = ReuseBuffer::new(config);
+            buffer.set_event_logging(enabled);
+            let run = emulator.run(&mut buffer, &mut bridge)?;
+            let mut stats = bridge.into_stats();
+            stats.crb = buffer.stats();
+            for ev in buffer.take_events() {
+                let kind = match ev.kind {
+                    CrbEventKind::Evict => "crb_evict",
+                    CrbEventKind::Conflict => "crb_conflict",
+                    CrbEventKind::Invalidate => "crb_invalidate",
+                };
+                emit!(sink, kind,
+                    clock: ev.clock,
+                    region: ev.region.index(),
+                    entry: ev.entry,
+                    occupancy: ev.occupancy,
+                    lost: ev.lost,
+                );
+            }
+            (run, stats)
+        }
+        None => {
+            let run = emulator.run(&mut NullCrb, &mut bridge)?;
+            (run, bridge.into_stats())
+        }
+    };
+    let mut regions: Vec<_> = stats.regions.iter().map(|(id, rs)| (*id, *rs)).collect();
+    regions.sort_by_key(|(id, _)| id.index());
+    for (id, rs) in regions {
+        emit!(sink, "region_summary",
+            region: id.index(),
+            hits: rs.hits,
+            misses: rs.misses,
+            skipped: rs.skipped_instrs,
+        );
+    }
+    emit!(sink, "sim_summary",
+        cycles: stats.cycles,
+        dyn_instrs: stats.dyn_instrs,
+        skipped: stats.skipped_instrs,
+        reuse_hits: stats.reuse_hits,
+        reuse_misses: stats.reuse_misses,
+        effective_ipc: stats.effective_ipc(),
+    );
+    Ok(SimOutcome { run, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::simulate;
+    use ccr_ir::{BinKind, CmpPred, InstrExt, Op, Operand, ProgramBuilder};
+    use ccr_telemetry::{NullSink, SummarySink};
+
+    /// A hand-annotated reusing loop: one recording miss, then 99 hits
+    /// each skipping a 13-instruction body.
+    fn reusing_program() -> ccr_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0, 1);
+        let x = f.movi(17);
+        let count = f.movi(0);
+        let acc = f.movi(0);
+        let y = f.fresh();
+        let reuse_blk = f.block();
+        let body = f.block();
+        let cont = f.block();
+        let done = f.block();
+        f.jump(reuse_blk);
+        f.switch_to(reuse_blk);
+        f.jump(body); // patched to reuse below
+        f.switch_to(body);
+        f.bin_into(BinKind::Mul, y, x, x);
+        for _ in 0..12 {
+            f.bin_into(BinKind::Add, y, y, 1);
+        }
+        f.jump(cont);
+        f.switch_to(cont);
+        f.bin_into(BinKind::Add, acc, acc, y);
+        f.inc(count, 1);
+        f.br(CmpPred::Lt, count, 100, reuse_blk, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(acc)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let mut p = pb.finish();
+        let region = p.fresh_region_id();
+        let func = p.function_mut(id);
+        func.block_mut(ccr_ir::BlockId(1)).instrs[0].op = Op::Reuse {
+            region,
+            body: ccr_ir::BlockId(2),
+            cont: ccr_ir::BlockId(3),
+        };
+        let blen = func.block(ccr_ir::BlockId(2)).len();
+        for k in 0..blen - 1 {
+            func.block_mut(ccr_ir::BlockId(2)).instrs[k].ext = InstrExt::LIVE_OUT;
+        }
+        func.block_mut(ccr_ir::BlockId(2)).instrs[blen - 1].ext = InstrExt::REGION_END;
+        ccr_ir::verify_program(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run_exactly() {
+        let p = reusing_program();
+        let machine = MachineConfig::paper();
+        let plain = simulate(&p, &machine, Some(CrbConfig::paper()), EmuConfig::default()).unwrap();
+        let mut null = NullSink;
+        let traced = simulate_traced(
+            &p,
+            &machine,
+            Some(CrbConfig::paper()),
+            EmuConfig::default(),
+            256,
+            &mut null,
+        )
+        .unwrap();
+        assert_eq!(plain.run.returned, traced.run.returned);
+        assert_eq!(plain.stats.cycles, traced.stats.cycles);
+        assert_eq!(plain.stats.dyn_instrs, traced.stats.dyn_instrs);
+        assert_eq!(plain.stats.skipped_instrs, traced.stats.skipped_instrs);
+        assert_eq!(plain.stats.crb, traced.stats.crb);
+        assert_eq!(plain.stats.regions, traced.stats.regions);
+    }
+
+    #[test]
+    fn traced_run_narrates_reuse_windows_and_summaries() {
+        let p = reusing_program();
+        let machine = MachineConfig::paper();
+        let mut summary = SummarySink::new();
+        let out = simulate_traced(
+            &p,
+            &machine,
+            Some(CrbConfig::paper()),
+            EmuConfig::default(),
+            64,
+            &mut summary,
+        )
+        .unwrap();
+        // One reuse event per lookup.
+        assert_eq!(
+            summary.count("reuse"),
+            out.stats.reuse_hits + out.stats.reuse_misses
+        );
+        assert_eq!(
+            summary.sum("reuse", "skipped") as u64,
+            out.stats.skipped_instrs
+        );
+        // Windows tile the run: instruction counts add up exactly.
+        assert!(summary.count("ipc_window") >= 2);
+        assert_eq!(
+            summary.sum("ipc_window", "instrs") as u64,
+            out.stats.dyn_instrs
+        );
+        assert_eq!(summary.count("region_summary"), 1);
+        assert_eq!(
+            summary.sum("region_summary", "hits") as u64,
+            out.stats.reuse_hits
+        );
+        assert_eq!(summary.count("sim_summary"), 1);
+        assert_eq!(
+            summary.sum("sim_summary", "cycles") as u64,
+            out.stats.cycles
+        );
+    }
+
+    #[test]
+    fn baseline_traced_run_matches_baseline() {
+        let p = reusing_program();
+        let machine = MachineConfig::paper();
+        let plain = simulate(&p, &machine, None, EmuConfig::default()).unwrap();
+        let mut summary = SummarySink::new();
+        let traced =
+            simulate_traced(&p, &machine, None, EmuConfig::default(), 128, &mut summary).unwrap();
+        assert_eq!(plain.stats.cycles, traced.stats.cycles);
+        // Without a CRB every reuse misses; the timeline still records
+        // each lookup, and no buffer events exist.
+        assert_eq!(summary.count("reuse"), traced.stats.reuse_misses);
+        assert_eq!(summary.count("crb_evict"), 0);
+        assert_eq!(summary.count("crb_conflict"), 0);
+    }
+}

@@ -32,8 +32,7 @@ enum Cmd {
 fn cmds() -> impl Strategy<Value = Vec<Cmd>> {
     prop::collection::vec(
         prop_oneof![
-            (0u8..6, any::<i8>(), any::<bool>())
-                .prop_map(|(r, v, mem)| Cmd::Record { r, v, mem }),
+            (0u8..6, any::<i8>(), any::<bool>()).prop_map(|(r, v, mem)| Cmd::Record { r, v, mem }),
             (0u8..6, any::<i8>()).prop_map(|(r, v)| Cmd::Lookup { r, v }),
             (0u8..6).prop_map(|r| Cmd::Invalidate { r }),
         ],

@@ -1,0 +1,118 @@
+//! Borrowed, allocation-free telemetry events.
+
+/// One field value in an [`Event`]. Borrowed so that hot emit sites
+/// (per-region reuse outcomes, CRB evictions) build events on the
+/// stack with zero allocation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FieldValue<'a> {
+    /// Unsigned integer (counts, cycles, ids).
+    U64(u64),
+    /// Signed integer (deltas).
+    I64(i64),
+    /// Float (ratios, IPC).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Borrowed string (names, reasons).
+    Str(&'a str),
+}
+
+impl<'a> From<u64> for FieldValue<'a> {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl<'a> From<usize> for FieldValue<'a> {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl<'a> From<u32> for FieldValue<'a> {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl<'a> From<i64> for FieldValue<'a> {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl<'a> From<f64> for FieldValue<'a> {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl<'a> From<bool> for FieldValue<'a> {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl<'a> From<&'a str> for FieldValue<'a> {
+    fn from(v: &'a str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One telemetry event: a kind tag plus named fields, all borrowed
+/// from the emit site's stack frame.
+///
+/// ```
+/// use ccr_telemetry::{Event, FieldValue};
+/// let ev = Event {
+///     kind: "crb_evict",
+///     fields: &[("set", FieldValue::U64(3)), ("clock", FieldValue::U64(812))],
+/// };
+/// assert_eq!(ev.kind, "crb_evict");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Event<'a> {
+    /// Event kind tag, e.g. `"pass"`, `"region_reject"`, `"crb_evict"`.
+    pub kind: &'a str,
+    /// Named payload fields, in emission order.
+    pub fields: &'a [(&'a str, FieldValue<'a>)],
+}
+
+/// Builds an [`Event`] and emits it to `sink` only when the sink is
+/// enabled — the field-tuple slice is never constructed otherwise.
+///
+/// ```
+/// use ccr_telemetry::{emit, SummarySink};
+/// let mut sink = SummarySink::new();
+/// emit!(sink, "pass", name: "dce", wall_us: 12u64, changed: true);
+/// assert_eq!(sink.count("pass"), 1);
+/// ```
+#[macro_export]
+macro_rules! emit {
+    ($sink:expr, $kind:expr $(, $field:ident : $value:expr)* $(,)?) => {{
+        // Method-call syntax so `$sink` may be an owned sink or any
+        // depth of `&mut` (auto-reborrow), without a `mut` binding.
+        use $crate::TelemetrySink as _;
+        if $sink.enabled() {
+            $sink.emit(&$crate::Event {
+                kind: $kind,
+                fields: &[$((stringify!($field), $crate::FieldValue::from($value))),*],
+            });
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_value_conversions() {
+        assert_eq!(FieldValue::from(3u64), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-3i64), FieldValue::I64(-3));
+        assert_eq!(FieldValue::from(0.5f64), FieldValue::F64(0.5));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x"));
+    }
+}

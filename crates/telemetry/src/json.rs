@@ -1,0 +1,273 @@
+//! Hand-rolled JSON serialization.
+//!
+//! The workspace builds offline, so there is no serde; this module
+//! provides the small structured-writer surface the telemetry layer
+//! needs: nested objects/arrays with automatic comma placement, and
+//! RFC 8259 string escaping.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` into `out` as JSON string *contents* (no surrounding
+/// quotes): `"` `\` and control characters are escaped, everything
+/// else passes through as UTF-8.
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats `v` as a JSON number. JSON has no NaN/Infinity, so those
+/// serialize as `null`; finite values use Rust's shortest round-trip
+/// `Display`, which never emits an exponent and is valid JSON.
+pub fn number(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An incremental JSON writer with automatic comma placement.
+///
+/// Call sequence is validated only by debug assertions (a key must
+/// precede each value inside an object; arrays take bare values), so
+/// misuse shows up in tests rather than costing branches in release.
+///
+/// ```
+/// use ccr_telemetry::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.obj_begin();
+/// w.key("name");
+/// w.str_val("lex");
+/// w.key("cycles");
+/// w.u64_val(42);
+/// w.obj_end();
+/// assert_eq!(w.finish(), r#"{"name":"lex","cycles":42}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` until the first element
+    /// has been written (i.e. no comma needed yet).
+    first: Vec<bool>,
+    /// A key was just written; the next value completes the pair.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Consumes the writer and returns the serialized text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.first.is_empty(), "unclosed container");
+        self.out
+    }
+
+    /// Bytes written so far (cheap progress probe).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    fn before_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+        } else if let Some(first) = self.first.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push(',');
+            }
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn obj_begin(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push('{');
+        self.first.push(true);
+        self
+    }
+
+    /// Closes the current object (`}`).
+    pub fn obj_end(&mut self) -> &mut Self {
+        debug_assert!(!self.pending_key, "dangling key");
+        self.first.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array (`[`).
+    pub fn arr_begin(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push('[');
+        self.first.push(true);
+        self
+    }
+
+    /// Closes the current array (`]`).
+    pub fn arr_end(&mut self) -> &mut Self {
+        self.first.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Writes an object key; the next call must write its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        debug_assert!(!self.pending_key, "two keys in a row");
+        if let Some(first) = self.first.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push(',');
+            }
+        }
+        self.out.push('"');
+        escape_into(k, &mut self.out);
+        self.out.push_str("\":");
+        self.pending_key = true;
+        self
+    }
+
+    /// Writes a string value.
+    pub fn str_val(&mut self, v: &str) -> &mut Self {
+        self.before_value();
+        self.out.push('"');
+        escape_into(v, &mut self.out);
+        self.out.push('"');
+        self
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64_val(&mut self, v: u64) -> &mut Self {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Writes a signed integer value.
+    pub fn i64_val(&mut self, v: i64) -> &mut Self {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Writes a float value (`null` for NaN/Infinity).
+    pub fn f64_val(&mut self, v: f64) -> &mut Self {
+        self.before_value();
+        number(v, &mut self.out);
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn bool_val(&mut self, v: bool) -> &mut Self {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Writes a `null` value.
+    pub fn null_val(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push_str("null");
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::new();
+        escape_into(s, &mut out);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escaped("plain"), "plain");
+        assert_eq!(escaped("a\"b"), "a\\\"b");
+        assert_eq!(escaped("a\\b"), "a\\\\b");
+        assert_eq!(escaped("line\nbreak\ttab\r"), "line\\nbreak\\ttab\\r");
+        assert_eq!(escaped("\u{1}\u{1f}"), "\\u0001\\u001f");
+        assert_eq!(escaped("héllo ☃"), "héllo ☃");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        let mut out = String::new();
+        number(1.5, &mut out);
+        number(f64::NAN, &mut out);
+        number(f64::INFINITY, &mut out);
+        assert_eq!(out, "1.5nullnull");
+    }
+
+    #[test]
+    fn nested_structure_with_commas() {
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.key("a");
+        w.arr_begin();
+        w.u64_val(1).u64_val(2).u64_val(3);
+        w.arr_end();
+        w.key("b");
+        w.obj_begin();
+        w.key("x").i64_val(-1);
+        w.key("y").f64_val(0.5);
+        w.key("z").bool_val(true);
+        w.obj_end();
+        w.key("c").null_val();
+        w.obj_end();
+        assert_eq!(
+            w.finish(),
+            r#"{"a":[1,2,3],"b":{"x":-1,"y":0.5,"z":true},"c":null}"#
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.key("empty_obj");
+        w.obj_begin();
+        w.obj_end();
+        w.key("empty_arr");
+        w.arr_begin();
+        w.arr_end();
+        w.obj_end();
+        assert_eq!(w.finish(), r#"{"empty_obj":{},"empty_arr":[]}"#);
+    }
+
+    #[test]
+    fn top_level_array_of_objects() {
+        let mut w = JsonWriter::new();
+        w.arr_begin();
+        for i in 0..2u64 {
+            w.obj_begin();
+            w.key("i").u64_val(i);
+            w.obj_end();
+        }
+        w.arr_end();
+        assert_eq!(w.finish(), r#"[{"i":0},{"i":1}]"#);
+    }
+}

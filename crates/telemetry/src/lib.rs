@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # ccr-telemetry — span/event tracing for the CCR stack
+//!
+//! Lightweight, dependency-free observability plumbing shared by the
+//! compiler passes, the region former, and the timing simulator:
+//!
+//! * [`span::Span`] — wall-clock timers for phase/pass timing,
+//! * [`metrics::MetricsRegistry`] — a thread-safe registry of named
+//!   counters, gauges, and log₂-bucketed histograms with cheap
+//!   point-in-time [`metrics::MetricsSnapshot`]s,
+//! * [`event::Event`] + [`sink::TelemetrySink`] — a borrowed,
+//!   allocation-free event record fanned out to pluggable sinks:
+//!   [`sink::NullSink`] (zero-overhead default), [`sink::JsonlSink`]
+//!   (one JSON object per line), and [`sink::SummarySink`]
+//!   (per-kind aggregation),
+//! * [`json::JsonWriter`] — a hand-rolled JSON serializer (the build
+//!   environment is offline, so no serde) used for both JSONL event
+//!   streams and the versioned run report in `ccr-core`.
+//!
+//! The guiding invariant: **observability must not perturb the
+//! experiment**. Sinks observe completed facts (a pass finished, a
+//! region was rejected, a CRB entry was evicted); nothing in this
+//! crate feeds back into compilation or simulation, and the
+//! [`sink::NullSink`] path reduces to an `enabled()` check.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use event::{Event, FieldValue};
+pub use json::JsonWriter;
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use sink::{JsonlSink, NullSink, SummarySink, TelemetrySink};
+pub use span::Span;
+
+/// Version of the emitted event / run-report schema. Bumped whenever
+/// field names or semantics change, so downstream consumers can
+/// detect incompatible streams.
+pub const SCHEMA_VERSION: u32 = 1;

@@ -1,0 +1,275 @@
+//! Thread-safe named metrics: counters, gauges, and log₂ histograms.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of histogram buckets: one for zero plus one per power of
+/// two up to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples. Bucket 0 holds exact
+/// zeros; bucket `i > 0` holds values in `[2^(i-1), 2^i)`. This gives
+/// constant memory and ~2× relative resolution over the full `u64`
+/// range — plenty for latencies, occupancies, and interval lengths.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket index a value lands in.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_low(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in bucket `i` (see [`bucket_low`] for its range).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// `(bucket_low, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_low(i), c))
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A thread-safe registry of named metrics. Cheap to share by
+/// reference; all mutation goes through one internal mutex (metric
+/// updates in this codebase happen at phase granularity, not per
+/// simulated instruction, so contention is not a concern).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        match inner.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn histogram_record(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Takes a point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`]'s contents.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Monotone counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, or 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every value lands in the bucket whose low bound it clears.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let lo = bucket_low(i);
+            assert_eq!(bucket_index(lo), i, "low bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_summarizes() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 1106.0 / 6.0).abs() < 1e-9);
+        assert_eq!(h.bucket(0), 1); // the zero
+        assert_eq!(h.bucket(1), 1); // 1
+        assert_eq!(h.bucket(2), 2); // 2, 3
+        assert_eq!(h.bucket(7), 1); // 100 in [64,128)
+        assert_eq!(h.bucket(10), 1); // 1000 in [512,1024)
+        let nz: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(nz, vec![(0, 1), (1, 1), (2, 2), (64, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("regions.accepted", 3);
+        reg.counter_add("regions.accepted", 2);
+        reg.gauge_set("sim.ipc", 1.25);
+        reg.histogram_record("crb.occupancy", 12);
+        reg.histogram_record("crb.occupancy", 900);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("regions.accepted"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("sim.ipc"), Some(1.25));
+        assert_eq!(snap.gauge("missing"), None);
+        assert_eq!(snap.histograms["crb.occupancy"].count(), 2);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        reg.counter_add("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counter("n"), 4000);
+    }
+}

@@ -1,0 +1,61 @@
+//! Wall-clock span timers.
+
+use std::time::Instant;
+
+/// A named wall-clock span. Start one at the top of a phase, read the
+/// elapsed time when it completes:
+///
+/// ```
+/// use ccr_telemetry::Span;
+/// let span = Span::start("optimize");
+/// // ... work ...
+/// let us = span.elapsed_us();
+/// assert_eq!(span.name(), "optimize");
+/// let _ = us;
+/// ```
+#[derive(Clone, Debug)]
+pub struct Span {
+    name: &'static str,
+    started: Instant,
+}
+
+impl Span {
+    /// Starts a span named `name`.
+    pub fn start(name: &'static str) -> Span {
+        Span {
+            name,
+            started: Instant::now(),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Microseconds elapsed since [`Span::start`], saturating at
+    /// `u64::MAX` (≈ 584 000 years — effectively never).
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_measures_time() {
+        let span = Span::start("test");
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        // Elapsed is monotone; two successive reads never go backwards.
+        let a = span.elapsed_us();
+        let b = span.elapsed_us();
+        assert!(b >= a);
+        assert_eq!(span.name(), "test");
+    }
+}

@@ -9,7 +9,7 @@
 
 use ccr_ir::{BinKind, CmpPred, Operand, Program, ProgramBuilder};
 
-use crate::util::{DataGen, bit_count_table, call_battery, counted_loop, kernel_battery};
+use crate::util::{bit_count_table, call_battery, counted_loop, kernel_battery, DataGen};
 use crate::InputSet;
 
 /// Base driver trips at scale 1.

@@ -10,7 +10,7 @@
 
 use ccr_ir::{BinKind, CmpPred, Operand, Program, ProgramBuilder};
 
-use crate::util::{DataGen, call_battery, counted_loop, kernel_battery};
+use crate::util::{call_battery, counted_loop, kernel_battery, DataGen};
 use crate::InputSet;
 
 const TRIPS: i64 = 2800;

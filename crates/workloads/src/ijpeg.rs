@@ -9,7 +9,9 @@
 
 use ccr_ir::{BinKind, Operand, Program, ProgramBuilder};
 
-use crate::util::{DataGen, call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table};
+use crate::util::{
+    call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table, DataGen,
+};
 use crate::InputSet;
 
 const TRIPS: i64 = 1400;

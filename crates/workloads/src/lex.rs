@@ -9,7 +9,9 @@
 
 use ccr_ir::{BinKind, CmpPred, Operand, Program, ProgramBuilder};
 
-use crate::util::{DataGen, call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table};
+use crate::util::{
+    call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table, DataGen,
+};
 use crate::InputSet;
 
 const TRIPS: i64 = 3000;
@@ -19,7 +21,7 @@ const STATES: i64 = 4;
 pub fn build(input: InputSet, scale: u32) -> Program {
     let mut g = DataGen::new(0x1e4, input);
     let mut pb = ProgramBuilder::new();
-    let text = pb.table("text", g.zipfish(1024, 9, 0, 96));
+    let text = pb.table("text", g.zipfish(1024, 8, 0, 96));
     let classes = pb.table("char_class", g.noise(96, 0, 6));
     let delta = pb.table("delta", g.noise((STATES * 6) as usize, 0, 2));
     let accept = pb.table("accept_tbl", g.noise(STATES as usize, 0, 2));

@@ -10,7 +10,9 @@
 
 use ccr_ir::{BinKind, CmpPred, Operand, Program, ProgramBuilder};
 
-use crate::util::{DataGen, call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table};
+use crate::util::{
+    call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table, DataGen,
+};
 use crate::InputSet;
 
 /// Breakpoint-table entries (paper: TMPBRK = 16, scanned pairwise).

@@ -8,7 +8,9 @@
 
 use ccr_ir::{BinKind, CmpPred, Operand, Program, ProgramBuilder};
 
-use crate::util::{DataGen, call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table};
+use crate::util::{
+    call_battery, counted_loop, emit_bookkeeping, kernel_battery, rw_table, DataGen,
+};
 use crate::InputSet;
 
 const TRIPS: i64 = 1800;

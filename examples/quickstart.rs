@@ -30,12 +30,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let compiled = compile_ccr(&program, &program, &CompileConfig::paper())?;
-    println!("regions   : {} reusable computation regions", compiled.regions.len());
+    println!(
+        "regions   : {} reusable computation regions",
+        compiled.regions.len()
+    );
     for info in &compiled.regions {
         println!(
             "   {}  {:<7}  {:>3} instrs  {} inputs  {} outputs  {} mem  {} invalidation sites",
             info.id,
-            if info.spec.is_cyclic() { "cyclic" } else { "acyclic" },
+            if info.spec.is_cyclic() {
+                "cyclic"
+            } else {
+                "acyclic"
+            },
             info.spec.static_instrs,
             info.spec.input_count(),
             info.spec.live_outs.len(),

@@ -49,10 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ccr::ir::verify_program(&parsed)?;
 
     let run = |p: &ccr::ir::Program| -> Result<i64, Box<dyn std::error::Error>> {
-        Ok(Emulator::new(p)
-            .run(&mut NullCrb, &mut NullSink)?
-            .returned[0]
-            .as_int())
+        Ok(Emulator::new(p).run(&mut NullCrb, &mut NullSink)?.returned[0].as_int())
     };
     let original = run(&program)?;
     let patched = run(&parsed)?;

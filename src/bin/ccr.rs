@@ -3,12 +3,21 @@
 //! ```text
 //! ccr suite [--input train|ref] [--scale N] [--entries E] [--instances C]
 //! ccr run <benchmark|file.ccr> [--entries E] [--instances C] [--function-level]
+//!         [--telemetry DIR]
 //! ccr regions <benchmark|file.ccr>
 //! ccr potential <benchmark|file.ccr>
 //! ccr print <benchmark> [--annotated]
 //! ccr trace <benchmark|file.ccr> [--limit N]
 //! ccr list
 //! ```
+//!
+//! With `--telemetry DIR`, `ccr run` additionally writes
+//! `DIR/events.jsonl` (one versioned JSON event per line: compile pass
+//! spans, region-formation rejections, the per-region reuse timeline,
+//! interval IPC windows, and CRB eviction/conflict/invalidation
+//! events) and `DIR/report.json` (the full run report; see
+//! `ccr::runreport`). The text output and every reported number are
+//! identical with and without the flag.
 //!
 //! A `<benchmark>` is one of the thirteen built-in workload names
 //! (`ccr list`); a `file.ccr` is a textual-IR program as produced by
@@ -40,6 +49,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   ccr suite [--input train|ref] [--scale N] [--entries E] [--instances C]
   ccr run <benchmark|file.ccr> [--entries E] [--instances C] [--function-level]
+          [--telemetry DIR]
   ccr regions <benchmark|file.ccr>
   ccr potential <benchmark|file.ccr>
   ccr print <benchmark> [--annotated]
@@ -55,6 +65,7 @@ struct Flags {
     function_level: bool,
     annotated: bool,
     limit: u64,
+    telemetry: Option<String>,
     positional: Vec<String>,
 }
 
@@ -67,6 +78,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         function_level: false,
         annotated: false,
         limit: 40,
+        telemetry: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -106,6 +118,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|_| "bad --limit value".to_string())?;
             }
+            "--telemetry" => flags.telemetry = Some(take("--telemetry")?),
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
             }
@@ -191,7 +204,13 @@ fn target_of(flags: &Flags) -> Result<String, String> {
 fn cmd_suite(flags: &Flags) -> Result<(), String> {
     let machine = MachineConfig::paper();
     let crb = crb_of(flags);
-    let mut table = Table::new(["benchmark", "base cycles", "ccr cycles", "speedup", "eliminated"]);
+    let mut table = Table::new([
+        "benchmark",
+        "base cycles",
+        "ccr cycles",
+        "speedup",
+        "eliminated",
+    ]);
     let mut speedups = Vec::new();
     for name in NAMES {
         let train = build(name, InputSet::Train, flags.scale).expect("known");
@@ -228,10 +247,61 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     let spec = target_of(flags)?;
     let train = load_program(&spec, InputSet::Train, flags.scale)?;
     let target = load_program(&spec, flags.input, flags.scale)?;
+    let machine = MachineConfig::paper();
+    let crb = crb_of(flags);
     let compiled =
         compile_ccr(&train, &target, &compile_config(flags)).map_err(|e| e.to_string())?;
-    let m = measure(&compiled, &MachineConfig::paper(), crb_of(flags), emu())
-        .map_err(|e| e.to_string())?;
+
+    let m = match &flags.telemetry {
+        None => measure(&compiled, &machine, crb, emu()).map_err(|e| e.to_string())?,
+        Some(dir) => {
+            use ccr::telemetry::{emit, JsonlSink, TelemetrySink, SCHEMA_VERSION};
+            let dir = std::path::Path::new(dir);
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let events_path = dir.join("events.jsonl");
+            let mut sink = JsonlSink::create(&events_path)
+                .map_err(|e| format!("{}: {e}", events_path.display()))?;
+            emit!(&mut sink, "run_begin",
+                schema: u64::from(SCHEMA_VERSION),
+                workload: spec.as_str(),
+                input: input_name(flags.input),
+                scale: flags.scale,
+            );
+            ccr::emit_compile_events(&compiled.telemetry, &mut sink);
+            let m = ccr::measure_traced(
+                &compiled,
+                &machine,
+                crb,
+                emu(),
+                ccr::sim::DEFAULT_IPC_WINDOW,
+                &mut sink,
+            )
+            .map_err(|e| e.to_string())?;
+            sink.flush();
+            let report = ccr::RunReport {
+                workload: &spec,
+                input: input_name(flags.input),
+                scale: flags.scale,
+                machine: &machine,
+                crb: &crb,
+                compile: &compiled.telemetry,
+                regions: &compiled.regions,
+                measurement: &m,
+            };
+            let report_path = dir.join("report.json");
+            let mut json = report.to_json();
+            json.push('\n');
+            std::fs::write(&report_path, json)
+                .map_err(|e| format!("{}: {e}", report_path.display()))?;
+            println!(
+                "telemetry : {} + {}",
+                events_path.display(),
+                report_path.display()
+            );
+            m
+        }
+    };
+
     println!("program   : {spec}");
     println!("regions   : {}", compiled.regions.len());
     println!("baseline  : {} cycles", m.base.stats.cycles);
@@ -247,12 +317,26 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn input_name(input: InputSet) -> &'static str {
+    match input {
+        InputSet::Train => "train",
+        InputSet::Ref => "ref",
+    }
+}
+
 fn cmd_regions(flags: &Flags) -> Result<(), String> {
     let spec = target_of(flags)?;
     let p = load_program(&spec, flags.input, flags.scale)?;
     let compiled = compile_ccr(&p, &p, &compile_config(flags)).map_err(|e| e.to_string())?;
     let mut table = Table::new([
-        "region", "shape", "class", "instrs", "inputs", "outputs", "mem", "invalidations",
+        "region",
+        "shape",
+        "class",
+        "instrs",
+        "inputs",
+        "outputs",
+        "mem",
+        "invalidations",
     ]);
     for info in &compiled.regions {
         table.row([

@@ -193,10 +193,7 @@ fn generated_kernels_actually_reuse() {
         "selective formation must annotate the generated kernel"
     );
     let out = Emulator::with_config(&compiled.annotated, emu())
-        .run(
-            &mut ReuseBuffer::new(CrbConfig::paper()),
-            &mut NullSink,
-        )
+        .run(&mut ReuseBuffer::new(CrbConfig::paper()), &mut NullSink)
         .unwrap();
     assert!(out.reuse_hits > 0, "the kernel must actually reuse");
 }

@@ -65,7 +65,10 @@ fn speedup_ordering_matches_the_paper() {
     let m88ksim = speedup_of("124.m88ksim");
     let go = speedup_of("099.go");
     assert!(m88ksim > 1.3, "m88ksim is the best case: {m88ksim:.3}");
-    assert!(go < m88ksim, "go must trail m88ksim: {go:.3} vs {m88ksim:.3}");
+    assert!(
+        go < m88ksim,
+        "go must trail m88ksim: {go:.3} vs {m88ksim:.3}"
+    );
     assert!(go > 0.95, "reuse must not slow go down: {go:.3}");
 }
 
