@@ -1,0 +1,745 @@
+//! The analyzer: turns one run's raw telemetry into the structured
+//! views the paper's evaluation reasons about.
+//!
+//! Output is [`Analysis`], serialized as a deterministic
+//! `analysis.json` (identical input artifacts ⇒ byte-identical
+//! output; CI relies on this) plus a human-readable summary. The
+//! per-region numbers come from the event stream; the run totals come
+//! from `report.json`, which the simulator wrote from the same
+//! counters — so the two always agree, and the analyzer cross-checks
+//! nothing it would then have to arbitrate.
+
+use std::collections::BTreeMap;
+
+use ccr_telemetry::{Histogram, JsonWriter};
+
+use crate::ingest::{CrbKind, Phase, RunData};
+use crate::ANALYSIS_SCHEMA_VERSION;
+
+/// Number of equal-count windows in a region's hit-rate-over-time
+/// profile (the "does it warm up / fade" view).
+pub const HIT_RATE_WINDOWS: usize = 8;
+/// Maximum time buckets in the CRB occupancy curve.
+pub const OCCUPANCY_BUCKETS: u64 = 32;
+/// IPC values are fixed-point scaled by this factor before entering
+/// the log₂ histogram that provides the percentile estimates.
+pub const IPC_SCALE: f64 = 1000.0;
+
+/// Distribution statistics of one phase's interval-IPC samples.
+/// Percentiles are log₂-bucket interpolations from
+/// [`ccr_telemetry::Histogram`]; mean/min/max are exact.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IpcStats {
+    /// Number of windows sampled.
+    pub windows: u64,
+    /// Exact mean IPC across windows.
+    pub mean: f64,
+    /// Exact minimum.
+    pub min: f64,
+    /// Exact maximum.
+    pub max: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+impl IpcStats {
+    fn from_samples(samples: impl Iterator<Item = f64>) -> IpcStats {
+        let mut h = Histogram::default();
+        let (mut n, mut sum) = (0u64, 0.0f64);
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for ipc in samples {
+            h.record((ipc * IPC_SCALE).round() as u64);
+            n += 1;
+            sum += ipc;
+            min = min.min(ipc);
+            max = max.max(ipc);
+        }
+        if n == 0 {
+            return IpcStats::default();
+        }
+        IpcStats {
+            windows: n,
+            mean: sum / n as f64,
+            min,
+            max,
+            p50: h.p50() / IPC_SCALE,
+            p90: h.p90() / IPC_SCALE,
+            p99: h.p99() / IPC_SCALE,
+        }
+    }
+}
+
+/// One region's dynamic reuse profile (CCR phase).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegionProfile {
+    /// Region id.
+    pub region: u64,
+    /// Reuse lookups.
+    pub lookups: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Hits / lookups.
+    pub hit_rate: f64,
+    /// Instructions eliminated by the region's hits.
+    pub skipped: u64,
+    /// Pipeline cycle of the first lookup.
+    pub first_cycle: u64,
+    /// Pipeline cycle of the last lookup.
+    pub last_cycle: u64,
+    /// Hit rate over [`HIT_RATE_WINDOWS`] equal-count windows of the
+    /// region's own lookups, in time order (fewer when the region has
+    /// fewer lookups than windows).
+    pub hit_rate_windows: Vec<f64>,
+    /// Largest post-event instance occupancy observed for the
+    /// region's entry (0 when the buffer logged no event for it) — a
+    /// lower bound on the region's instance working-set size.
+    pub peak_occupancy: u64,
+    /// Capacity evictions charged to the region.
+    pub evictions: u64,
+    /// Direct-mapped conflicts charged to the region.
+    pub conflicts: u64,
+    /// Memory invalidations charged to the region.
+    pub invalidations: u64,
+    /// Miss cost in cycles: `misses × reuse_miss_penalty`.
+    pub miss_cycles: u64,
+}
+
+/// One bucket of the CRB occupancy curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OccupancyPoint {
+    /// Bucket start, in buffer clock units.
+    pub clock: u64,
+    /// Structural events in the bucket.
+    pub events: u64,
+    /// Mean post-event occupancy across those events.
+    pub mean_occupancy: f64,
+}
+
+/// Per-entry structural-event totals (set pressure).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EntryPressure {
+    /// Direct-mapped entry index.
+    pub entry: u64,
+    /// Evictions at the entry.
+    pub evictions: u64,
+    /// Conflicts at the entry.
+    pub conflicts: u64,
+    /// Invalidations at the entry.
+    pub invalidations: u64,
+}
+
+/// The full analysis of one run.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Workload name.
+    pub workload: String,
+    /// Input set.
+    pub input: String,
+    /// Scale factor.
+    pub scale: u64,
+    /// Report schema version of the source.
+    pub report_schema: u64,
+    /// Machine/CRB configuration hash (None for v1 sources).
+    pub config_hash: Option<String>,
+    /// CLI argv of the producing run (empty for v1 sources).
+    pub argv: Vec<String>,
+    /// Parsed event count.
+    pub events: u64,
+    /// Unparseable event lines skipped.
+    pub skipped_lines: u64,
+
+    /// Baseline cycles.
+    pub base_cycles: u64,
+    /// CCR cycles.
+    pub ccr_cycles: u64,
+    /// Reported speedup.
+    pub speedup: f64,
+    /// Fraction of baseline instructions eliminated.
+    pub eliminated_fraction: f64,
+    /// CRB lookups.
+    pub lookups: u64,
+    /// CRB hits.
+    pub hits: u64,
+    /// CRB misses.
+    pub misses: u64,
+    /// hits / lookups.
+    pub hit_rate: f64,
+    /// Instructions eliminated by reuse.
+    pub skipped_instrs: u64,
+    /// Total capacity evictions.
+    pub evictions: u64,
+    /// Total direct-mapped conflicts.
+    pub conflicts: u64,
+    /// Total invalidations.
+    pub invalidations: u64,
+    /// Formed regions (from the report).
+    pub regions_formed: u64,
+    /// Regions that saw at least one lookup.
+    pub regions_active: u64,
+
+    /// Total optimizer wall time (µs).
+    pub compile_wall_us: u64,
+    /// Optimizer passes (name, wall µs, changes).
+    pub passes: Vec<(String, u64, u64)>,
+    /// Region-formation rejections (reason, count).
+    pub formation_rejects: Vec<(String, u64)>,
+
+    /// Interval-IPC statistics of the baseline simulation.
+    pub ipc_base: IpcStats,
+    /// Interval-IPC statistics of the CCR simulation.
+    pub ipc_ccr: IpcStats,
+
+    /// Per-region profiles, ascending region id.
+    pub regions: Vec<RegionProfile>,
+    /// CRB occupancy curve over buffer clock.
+    pub occupancy_curve: Vec<OccupancyPoint>,
+    /// Per-entry pressure, descending (evictions + conflicts), top 16.
+    pub entry_pressure: Vec<EntryPressure>,
+    /// Region ids ranked by instructions saved, descending, top N.
+    pub hottest_by_skipped: Vec<(u64, u64)>,
+    /// Region ids ranked by miss cycles wasted, descending, top N.
+    pub hottest_by_miss_cycles: Vec<(u64, u64)>,
+}
+
+/// Analyzes one loaded run. `top_n` bounds the hottest-region tables.
+pub fn analyze(data: &RunData, top_n: usize) -> Analysis {
+    let report = &data.report;
+    let mut a = Analysis {
+        workload: report.workload.clone(),
+        input: report.input.clone(),
+        scale: report.scale,
+        report_schema: report.schema_version,
+        config_hash: report.config_hash.clone(),
+        argv: report.argv.clone(),
+        events: data.events,
+        skipped_lines: data.skipped_lines,
+        base_cycles: report.base_cycles,
+        ccr_cycles: report.ccr_cycles,
+        speedup: report.speedup,
+        eliminated_fraction: report.eliminated_fraction,
+        lookups: report.crb_lookups,
+        hits: report.crb_hits,
+        misses: report.crb_misses,
+        hit_rate: ratio(report.crb_hits, report.crb_lookups),
+        skipped_instrs: data.ccr_summary.skipped,
+        invalidations: report.crb_invalidations,
+        conflicts: report.crb_entry_conflicts,
+        regions_formed: report.regions,
+        compile_wall_us: data.passes.iter().map(|p| p.wall_us).sum(),
+        passes: data
+            .passes
+            .iter()
+            .map(|p| (p.pass.clone(), p.wall_us, p.changes))
+            .collect(),
+        formation_rejects: data.formation_rejects.clone(),
+        ipc_base: IpcStats::from_samples(
+            data.ipc_windows
+                .iter()
+                .filter(|w| w.phase == Phase::Base)
+                .map(|w| w.ipc),
+        ),
+        ipc_ccr: IpcStats::from_samples(
+            data.ipc_windows
+                .iter()
+                .filter(|w| w.phase == Phase::Ccr)
+                .map(|w| w.ipc),
+        ),
+        ..Analysis::default()
+    };
+
+    // Per-region profiles from the CCR-phase reuse timeline.
+    let mut by_region: BTreeMap<u64, Vec<(bool, u64, u64)>> = BTreeMap::new();
+    for r in data.reuse.iter().filter(|r| r.phase == Phase::Ccr) {
+        by_region
+            .entry(r.region)
+            .or_default()
+            .push((r.hit, r.skipped, r.cycle));
+    }
+    let mut profiles: BTreeMap<u64, RegionProfile> = BTreeMap::new();
+    for (&region, lookups) in &by_region {
+        let hits = lookups.iter().filter(|(h, _, _)| *h).count() as u64;
+        let n = lookups.len() as u64;
+        let mut p = RegionProfile {
+            region,
+            lookups: n,
+            hits,
+            misses: n - hits,
+            hit_rate: ratio(hits, n),
+            skipped: lookups.iter().map(|(_, s, _)| s).sum(),
+            first_cycle: lookups.first().map(|(_, _, c)| *c).unwrap_or(0),
+            last_cycle: lookups.last().map(|(_, _, c)| *c).unwrap_or(0),
+            miss_cycles: (n - hits) * report.reuse_miss_penalty,
+            ..RegionProfile::default()
+        };
+        // Equal-count hit-rate windows in time order.
+        let chunk = lookups.len().div_ceil(HIT_RATE_WINDOWS);
+        p.hit_rate_windows = lookups
+            .chunks(chunk.max(1))
+            .map(|c| {
+                ratio(
+                    c.iter().filter(|(h, _, _)| *h).count() as u64,
+                    c.len() as u64,
+                )
+            })
+            .collect();
+        profiles.insert(region, p);
+    }
+
+    // CRB structural events: per-region charges, per-entry pressure,
+    // and the run-wide occupancy curve.
+    let mut pressure: BTreeMap<u64, EntryPressure> = BTreeMap::new();
+    for ev in &data.crb_events {
+        let p = profiles.entry(ev.region).or_insert_with(|| RegionProfile {
+            region: ev.region,
+            ..RegionProfile::default()
+        });
+        match ev.kind {
+            CrbKind::Evict => p.evictions += 1,
+            CrbKind::Conflict => p.conflicts += 1,
+            CrbKind::Invalidate => p.invalidations += 1,
+        }
+        p.peak_occupancy = p.peak_occupancy.max(ev.occupancy);
+        let e = pressure.entry(ev.entry).or_insert(EntryPressure {
+            entry: ev.entry,
+            ..EntryPressure::default()
+        });
+        match ev.kind {
+            CrbKind::Evict => e.evictions += 1,
+            CrbKind::Conflict => e.conflicts += 1,
+            CrbKind::Invalidate => e.invalidations += 1,
+        }
+    }
+    a.evictions = data
+        .crb_events
+        .iter()
+        .filter(|e| e.kind == CrbKind::Evict)
+        .count() as u64;
+
+    if let (Some(first), Some(last)) = (data.crb_events.first(), data.crb_events.last()) {
+        let span = last.clock.saturating_sub(first.clock).max(1);
+        let bucket = (span / OCCUPANCY_BUCKETS).max(1);
+        let mut curve: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for ev in &data.crb_events {
+            let slot = first.clock + (ev.clock - first.clock) / bucket * bucket;
+            let c = curve.entry(slot).or_insert((0, 0));
+            c.0 += 1;
+            c.1 += ev.occupancy;
+        }
+        a.occupancy_curve = curve
+            .into_iter()
+            .map(|(clock, (events, occ))| OccupancyPoint {
+                clock,
+                events,
+                mean_occupancy: occ as f64 / events as f64,
+            })
+            .collect();
+    }
+
+    let mut pressure: Vec<EntryPressure> = pressure.into_values().collect();
+    pressure.sort_by(|x, y| {
+        (y.evictions + y.conflicts, x.entry).cmp(&(x.evictions + x.conflicts, y.entry))
+    });
+    pressure.truncate(16);
+    a.entry_pressure = pressure;
+
+    a.regions_active = by_region.len() as u64;
+    a.regions = profiles.into_values().collect();
+
+    let mut by_skipped: Vec<(u64, u64)> = a
+        .regions
+        .iter()
+        .filter(|p| p.skipped > 0)
+        .map(|p| (p.region, p.skipped))
+        .collect();
+    by_skipped.sort_by(|x, y| (y.1, x.0).cmp(&(x.1, y.0)));
+    by_skipped.truncate(top_n);
+    a.hottest_by_skipped = by_skipped;
+
+    let mut by_miss: Vec<(u64, u64)> = a
+        .regions
+        .iter()
+        .filter(|p| p.miss_cycles > 0)
+        .map(|p| (p.region, p.miss_cycles))
+        .collect();
+    by_miss.sort_by(|x, y| (y.1, x.0).cmp(&(x.1, y.0)));
+    by_miss.truncate(top_n);
+    a.hottest_by_miss_cycles = by_miss;
+
+    a
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn ipc_stats_json(w: &mut JsonWriter, s: &IpcStats) {
+    w.obj_begin();
+    w.key("windows").u64_val(s.windows);
+    w.key("mean").f64_val(s.mean);
+    w.key("min").f64_val(s.min);
+    w.key("max").f64_val(s.max);
+    w.key("p50").f64_val(s.p50);
+    w.key("p90").f64_val(s.p90);
+    w.key("p99").f64_val(s.p99);
+    w.obj_end();
+}
+
+impl Analysis {
+    /// Serializes the analysis as deterministic JSON (`analysis.json`).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.key("analysis_schema_version")
+            .u64_val(u64::from(ANALYSIS_SCHEMA_VERSION));
+        w.key("source").obj_begin();
+        w.key("workload").str_val(&self.workload);
+        w.key("input").str_val(&self.input);
+        w.key("scale").u64_val(self.scale);
+        w.key("report_schema").u64_val(self.report_schema);
+        match &self.config_hash {
+            Some(h) => w.key("config_hash").str_val(h),
+            None => w.key("config_hash").null_val(),
+        };
+        w.key("argv").arr_begin();
+        for arg in &self.argv {
+            w.str_val(arg);
+        }
+        w.arr_end();
+        w.key("events").u64_val(self.events);
+        w.key("skipped_lines").u64_val(self.skipped_lines);
+        w.obj_end();
+
+        w.key("totals").obj_begin();
+        w.key("base_cycles").u64_val(self.base_cycles);
+        w.key("ccr_cycles").u64_val(self.ccr_cycles);
+        w.key("speedup").f64_val(self.speedup);
+        w.key("eliminated_fraction")
+            .f64_val(self.eliminated_fraction);
+        w.key("lookups").u64_val(self.lookups);
+        w.key("hits").u64_val(self.hits);
+        w.key("misses").u64_val(self.misses);
+        w.key("hit_rate").f64_val(self.hit_rate);
+        w.key("skipped_instrs").u64_val(self.skipped_instrs);
+        w.key("evictions").u64_val(self.evictions);
+        w.key("conflicts").u64_val(self.conflicts);
+        w.key("invalidations").u64_val(self.invalidations);
+        w.key("regions_formed").u64_val(self.regions_formed);
+        w.key("regions_active").u64_val(self.regions_active);
+        w.obj_end();
+
+        w.key("compile").obj_begin();
+        w.key("wall_us").u64_val(self.compile_wall_us);
+        w.key("passes").arr_begin();
+        for (name, wall_us, changes) in &self.passes {
+            w.obj_begin();
+            w.key("pass").str_val(name);
+            w.key("wall_us").u64_val(*wall_us);
+            w.key("changes").u64_val(*changes);
+            w.obj_end();
+        }
+        w.arr_end();
+        w.key("formation_rejects").obj_begin();
+        for (reason, count) in &self.formation_rejects {
+            w.key(reason).u64_val(*count);
+        }
+        w.obj_end();
+        w.obj_end();
+
+        w.key("ipc").obj_begin();
+        w.key("base");
+        ipc_stats_json(&mut w, &self.ipc_base);
+        w.key("ccr");
+        ipc_stats_json(&mut w, &self.ipc_ccr);
+        w.obj_end();
+
+        w.key("regions").arr_begin();
+        for p in &self.regions {
+            w.obj_begin();
+            w.key("region").u64_val(p.region);
+            w.key("lookups").u64_val(p.lookups);
+            w.key("hits").u64_val(p.hits);
+            w.key("misses").u64_val(p.misses);
+            w.key("hit_rate").f64_val(p.hit_rate);
+            w.key("skipped").u64_val(p.skipped);
+            w.key("first_cycle").u64_val(p.first_cycle);
+            w.key("last_cycle").u64_val(p.last_cycle);
+            w.key("hit_rate_windows").arr_begin();
+            for hr in &p.hit_rate_windows {
+                w.f64_val(*hr);
+            }
+            w.arr_end();
+            w.key("peak_occupancy").u64_val(p.peak_occupancy);
+            w.key("evictions").u64_val(p.evictions);
+            w.key("conflicts").u64_val(p.conflicts);
+            w.key("invalidations").u64_val(p.invalidations);
+            w.key("miss_cycles").u64_val(p.miss_cycles);
+            w.obj_end();
+        }
+        w.arr_end();
+
+        w.key("crb").obj_begin();
+        w.key("occupancy_curve").arr_begin();
+        for pt in &self.occupancy_curve {
+            w.obj_begin();
+            w.key("clock").u64_val(pt.clock);
+            w.key("events").u64_val(pt.events);
+            w.key("mean_occupancy").f64_val(pt.mean_occupancy);
+            w.obj_end();
+        }
+        w.arr_end();
+        w.key("entry_pressure").arr_begin();
+        for e in &self.entry_pressure {
+            w.obj_begin();
+            w.key("entry").u64_val(e.entry);
+            w.key("evictions").u64_val(e.evictions);
+            w.key("conflicts").u64_val(e.conflicts);
+            w.key("invalidations").u64_val(e.invalidations);
+            w.obj_end();
+        }
+        w.arr_end();
+        w.obj_end();
+
+        w.key("hottest_by_skipped").arr_begin();
+        for (region, skipped) in &self.hottest_by_skipped {
+            w.obj_begin();
+            w.key("region").u64_val(*region);
+            w.key("skipped").u64_val(*skipped);
+            w.obj_end();
+        }
+        w.arr_end();
+        w.key("hottest_by_miss_cycles").arr_begin();
+        for (region, cycles) in &self.hottest_by_miss_cycles {
+            w.obj_begin();
+            w.key("region").u64_val(*region);
+            w.key("miss_cycles").u64_val(*cycles);
+            w.obj_end();
+        }
+        w.arr_end();
+        w.obj_end();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
+
+    /// Renders the human-readable run summary `ccr analyze` prints.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run        : {} ({}, scale {}) — report v{}{}",
+            self.workload,
+            self.input,
+            self.scale,
+            self.report_schema,
+            self.config_hash
+                .as_deref()
+                .map(|h| format!(", config {h}"))
+                .unwrap_or_default(),
+        );
+        let _ = writeln!(
+            out,
+            "events     : {} parsed, {} corrupt line(s) skipped",
+            self.events, self.skipped_lines
+        );
+        let _ = writeln!(
+            out,
+            "cycles     : base {} → ccr {}  (speedup {:.3}x, eliminated {:.1}%)",
+            self.base_cycles,
+            self.ccr_cycles,
+            self.speedup,
+            self.eliminated_fraction * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "crb        : {} lookups, {} hits ({:.1}%), {} evictions, {} conflicts, {} invalidations",
+            self.lookups,
+            self.hits,
+            self.hit_rate * 100.0,
+            self.evictions,
+            self.conflicts,
+            self.invalidations
+        );
+        for (name, s) in [("ipc (base)", &self.ipc_base), ("ipc (ccr)", &self.ipc_ccr)] {
+            if s.windows > 0 {
+                let _ = writeln!(
+                    out,
+                    "{name} : mean {:.3}  p50 {:.3}  p90 {:.3}  p99 {:.3}  ({} windows)",
+                    s.mean, s.p50, s.p90, s.p99, s.windows
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "compile    : {} passes, {} µs",
+            self.passes.len(),
+            self.compile_wall_us
+        );
+        let _ = writeln!(
+            out,
+            "regions    : {} formed, {} active",
+            self.regions_formed, self.regions_active
+        );
+        if !self.hottest_by_skipped.is_empty() {
+            let _ = writeln!(out, "hottest by instructions saved:");
+            for (region, skipped) in &self.hottest_by_skipped {
+                let p = self.regions.iter().find(|p| p.region == *region);
+                let _ = writeln!(
+                    out,
+                    "  region {:>4}: {:>10} skipped, hit rate {:>5.1}%",
+                    region,
+                    skipped,
+                    p.map(|p| p.hit_rate * 100.0).unwrap_or(0.0)
+                );
+            }
+        }
+        if !self.hottest_by_miss_cycles.is_empty() {
+            let _ = writeln!(out, "hottest by miss cycles wasted:");
+            for (region, cycles) in &self.hottest_by_miss_cycles {
+                let _ = writeln!(out, "  region {region:>4}: {cycles:>10} cycles");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::{IpcWindowRec, ReportInfo, ReuseRec};
+
+    fn sample_data() -> RunData {
+        let mut data = RunData {
+            report: ReportInfo {
+                schema_version: 2,
+                workload: "w".into(),
+                input: "train".into(),
+                scale: 1,
+                config_hash: Some("00ff00ff00ff00ff".into()),
+                base_cycles: 1000,
+                ccr_cycles: 800,
+                speedup: 1.25,
+                eliminated_fraction: 0.2,
+                reuse_miss_penalty: 2,
+                crb_lookups: 12,
+                crb_hits: 8,
+                crb_misses: 4,
+                regions: 3,
+                ..ReportInfo::default()
+            },
+            events: 20,
+            ..RunData::default()
+        };
+        // Region 0: warms up (4 misses then 4 hits); region 1: all hits.
+        for i in 0..8u64 {
+            data.reuse.push(ReuseRec {
+                phase: Phase::Ccr,
+                region: 0,
+                hit: i >= 4,
+                skipped: if i >= 4 { 10 } else { 0 },
+                cycle: 100 + i * 50,
+            });
+        }
+        for i in 0..4u64 {
+            data.reuse.push(ReuseRec {
+                phase: Phase::Ccr,
+                region: 1,
+                hit: true,
+                skipped: 5,
+                cycle: 120 + i * 50,
+            });
+        }
+        // A base-phase lookup must not leak into the CCR profiles.
+        data.reuse.push(ReuseRec {
+            phase: Phase::Base,
+            region: 0,
+            hit: false,
+            skipped: 0,
+            cycle: 10,
+        });
+        for i in 0..4u64 {
+            data.ipc_windows.push(IpcWindowRec {
+                phase: Phase::Ccr,
+                index: i,
+                start_cycle: i * 100,
+                cycles: 100,
+                instrs: 100 + i * 20,
+                skipped: 0,
+                ipc: 1.0 + i as f64 * 0.2,
+            });
+        }
+        data.ccr_summary.skipped = 60;
+        data
+    }
+
+    #[test]
+    fn per_region_profiles_and_rankings() {
+        let a = analyze(&sample_data(), 10);
+        assert_eq!(a.regions.len(), 2);
+        let r0 = &a.regions[0];
+        assert_eq!((r0.region, r0.lookups, r0.hits, r0.misses), (0, 8, 4, 4));
+        assert_eq!(r0.hit_rate, 0.5);
+        assert_eq!(r0.skipped, 40);
+        assert_eq!(r0.first_cycle, 100);
+        assert_eq!(r0.last_cycle, 450);
+        assert_eq!(r0.miss_cycles, 8);
+        // 8 lookups over 8 windows: the warm-up is visible.
+        assert_eq!(r0.hit_rate_windows.len(), 8);
+        assert_eq!(&r0.hit_rate_windows[..4], &[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&r0.hit_rate_windows[4..], &[1.0, 1.0, 1.0, 1.0]);
+        let r1 = &a.regions[1];
+        assert_eq!(r1.hit_rate, 1.0);
+        assert_eq!(r1.miss_cycles, 0);
+        // Rankings: region 0 saved more; only region 0 wasted misses.
+        assert_eq!(a.hottest_by_skipped, vec![(0, 40), (1, 20)]);
+        assert_eq!(a.hottest_by_miss_cycles, vec![(0, 8)]);
+        assert_eq!(a.regions_active, 2);
+        assert_eq!(a.regions_formed, 3);
+    }
+
+    #[test]
+    fn ipc_stats_use_percentiles() {
+        let a = analyze(&sample_data(), 10);
+        assert_eq!(a.ipc_ccr.windows, 4);
+        assert!((a.ipc_ccr.mean - 1.3).abs() < 1e-9);
+        assert_eq!(a.ipc_ccr.min, 1.0);
+        assert_eq!(a.ipc_ccr.max, 1.6);
+        assert!(a.ipc_ccr.p50 >= a.ipc_ccr.min && a.ipc_ccr.p50 <= a.ipc_ccr.max);
+        assert!(a.ipc_ccr.p99 >= a.ipc_ccr.p50);
+        assert_eq!(a.ipc_base, IpcStats::default());
+    }
+
+    #[test]
+    fn json_is_deterministic_and_versioned() {
+        let data = sample_data();
+        let a = analyze(&data, 10);
+        let j1 = analyze(&data, 10).to_json();
+        let j2 = a.to_json();
+        assert_eq!(j1, j2, "same input must give identical bytes");
+        assert!(j1.starts_with("{\"analysis_schema_version\":1,"));
+        assert!(j1.ends_with("}\n"));
+        let parsed = crate::value::parse(j1.trim_end()).expect("output must be valid JSON");
+        assert_eq!(parsed.get("totals").unwrap().u64_field("hits"), 8);
+        assert_eq!(parsed.get("regions").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn summary_mentions_the_key_numbers() {
+        let a = analyze(&sample_data(), 10);
+        let s = a.summary();
+        assert!(s.contains("speedup 1.250x"), "{s}");
+        assert!(s.contains("12 lookups"), "{s}");
+        assert!(s.contains("hottest by instructions saved"), "{s}");
+        assert!(s.contains("config 00ff00ff00ff00ff"), "{s}");
+    }
+}

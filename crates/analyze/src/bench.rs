@@ -1,0 +1,220 @@
+//! The `BENCH_ccr.json` schema — the repo's committed perf trajectory.
+//!
+//! `ccr bench` runs the standard workload suite and snapshots one
+//! [`BenchReport`]: per-workload baseline/CCR cycle counts, speedup,
+//! and hit rate, plus the provenance needed to tell whether two
+//! snapshots are comparable. The simulator's cycle counts are
+//! deterministic, so CI can gate on *zero* cycle drift against the
+//! committed baseline; `wall_ms` is recorded for orientation but never
+//! gated (it varies run to run and machine to machine).
+
+use ccr_telemetry::JsonWriter;
+
+use crate::value::{self, Value};
+
+/// Version of the `BENCH_ccr.json` schema this crate reads and writes.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One workload's measured numbers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchWorkload {
+    /// Workload name (from the suite registry).
+    pub name: String,
+    /// Baseline simulation cycles (deterministic).
+    pub base_cycles: u64,
+    /// CCR simulation cycles (deterministic).
+    pub ccr_cycles: u64,
+    /// base_cycles / ccr_cycles.
+    pub speedup: f64,
+    /// Aggregate CRB hit rate.
+    pub hit_rate: f64,
+    /// Reuse regions formed by the compiler.
+    pub regions: u64,
+    /// Host wall time for the workload, ms. Informational only —
+    /// never compared by `ccr diff`.
+    pub wall_ms: u64,
+}
+
+/// A full suite snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchReport {
+    /// Suite name (`ccr` for the standard suite).
+    pub suite: String,
+    /// Input set the suite ran with.
+    pub input: String,
+    /// Scale factor.
+    pub scale: u64,
+    /// Machine/CRB configuration hash (comparability gate).
+    pub config_hash: String,
+    /// Version of the crate that produced the snapshot.
+    pub crate_version: String,
+    /// Per-workload results, in suite order.
+    pub workloads: Vec<BenchWorkload>,
+}
+
+impl BenchReport {
+    /// Serializes the snapshot as `BENCH_ccr.json`. Deterministic for
+    /// fixed measurements (only `wall_ms` varies between otherwise
+    /// identical runs).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.key("bench_schema_version")
+            .u64_val(u64::from(BENCH_SCHEMA_VERSION));
+        w.key("suite").str_val(&self.suite);
+        w.key("input").str_val(&self.input);
+        w.key("scale").u64_val(self.scale);
+        w.key("config_hash").str_val(&self.config_hash);
+        w.key("crate_version").str_val(&self.crate_version);
+        w.key("workloads").arr_begin();
+        for wl in &self.workloads {
+            w.obj_begin();
+            w.key("name").str_val(&wl.name);
+            w.key("base_cycles").u64_val(wl.base_cycles);
+            w.key("ccr_cycles").u64_val(wl.ccr_cycles);
+            w.key("speedup").f64_val(wl.speedup);
+            w.key("hit_rate").f64_val(wl.hit_rate);
+            w.key("regions").u64_val(wl.regions);
+            w.key("wall_ms").u64_val(wl.wall_ms);
+            w.obj_end();
+        }
+        w.arr_end();
+        w.obj_end();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
+
+    /// Reads a snapshot back from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON or an unknown `bench_schema_version`.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let v = value::parse(text.trim()).map_err(|e| e.to_string())?;
+        let version = v.u64_field("bench_schema_version");
+        if version != u64::from(BENCH_SCHEMA_VERSION) {
+            return Err(format!("unknown bench_schema_version {version}"));
+        }
+        let mut report = BenchReport {
+            suite: v.str_field("suite").to_string(),
+            input: v.str_field("input").to_string(),
+            scale: v.u64_field("scale"),
+            config_hash: v.str_field("config_hash").to_string(),
+            crate_version: v.str_field("crate_version").to_string(),
+            workloads: Vec::new(),
+        };
+        let workloads = v
+            .get("workloads")
+            .and_then(Value::as_arr)
+            .ok_or("BENCH json missing `workloads` array")?;
+        for wl in workloads {
+            report.workloads.push(BenchWorkload {
+                name: wl.str_field("name").to_string(),
+                base_cycles: wl.u64_field("base_cycles"),
+                ccr_cycles: wl.u64_field("ccr_cycles"),
+                speedup: wl.f64_field("speedup"),
+                hit_rate: wl.f64_field("hit_rate"),
+                regions: wl.u64_field("regions"),
+                wall_ms: wl.u64_field("wall_ms"),
+            });
+        }
+        Ok(report)
+    }
+
+    /// Renders the table `ccr bench` prints.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8}",
+            "workload", "base_cycles", "ccr_cycles", "speedup", "hit%", "regions", "wall_ms"
+        );
+        for wl in &self.workloads {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>12} {:>12} {:>7.3}x {:>7.1}% {:>8} {:>8}",
+                wl.name,
+                wl.base_cycles,
+                wl.ccr_cycles,
+                wl.speedup,
+                wl.hit_rate * 100.0,
+                wl.regions,
+                wl.wall_ms
+            );
+        }
+        let _ = writeln!(
+            out,
+            "suite {} ({}, scale {}), config {}, v{}",
+            self.suite, self.input, self.scale, self.config_hash, self.crate_version
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            suite: "ccr".into(),
+            input: "train".into(),
+            scale: 1,
+            config_hash: "00ff00ff00ff00ff".into(),
+            crate_version: "0.1.0".into(),
+            workloads: vec![
+                BenchWorkload {
+                    name: "008.espresso".into(),
+                    base_cycles: 123_456,
+                    ccr_cycles: 100_000,
+                    speedup: 1.23456,
+                    hit_rate: 0.8125,
+                    regions: 7,
+                    wall_ms: 42,
+                },
+                BenchWorkload {
+                    name: "130.li".into(),
+                    base_cycles: 99,
+                    ccr_cycles: 99,
+                    speedup: 1.0,
+                    hit_rate: 0.0,
+                    regions: 0,
+                    wall_ms: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let report = sample();
+        let text = report.to_json();
+        assert!(text.starts_with("{\"bench_schema_version\":1,"));
+        assert!(text.ends_with("}\n"));
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        // And re-serialization is byte-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected() {
+        let text = sample()
+            .to_json()
+            .replace("\"bench_schema_version\":1", "\"bench_schema_version\":99");
+        let err = BenchReport::from_json(&text).unwrap_err();
+        assert!(err.contains("bench_schema_version 99"), "{err}");
+        assert!(BenchReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn render_lists_every_workload() {
+        let s = sample().render();
+        assert!(s.contains("008.espresso"), "{s}");
+        assert!(s.contains("130.li"), "{s}");
+        assert!(s.contains("1.235x"), "{s}");
+        assert!(s.contains("config 00ff00ff00ff00ff"), "{s}");
+    }
+}

@@ -1,0 +1,681 @@
+//! Run-to-run comparison with regression thresholds.
+//!
+//! `ccr diff` compares two runs — freshly analyzed telemetry
+//! directories, saved `analysis.json` baselines, or `BENCH_*.json`
+//! suite snapshots — and reports per-region and aggregate deltas.
+//! Thresholds turn the report into a gate: any breach makes the CLI
+//! exit non-zero, which is how CI catches cycle-count or hit-rate
+//! regressions against the committed baseline.
+//!
+//! Comparability is checked first: two runs with different workloads
+//! or different machine/CRB configuration hashes measure different
+//! things, and diffing them produces numbers that look like
+//! regressions but are configuration changes. Such pairs are refused
+//! unless explicitly forced.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::analysis::Analysis;
+use crate::bench::BenchReport;
+use crate::value::{self, Value};
+
+/// Regression thresholds. `None` disables a gate.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Thresholds {
+    /// Maximum allowed CCR cycle-count growth, percent.
+    pub max_cycle_regress_pct: Option<f64>,
+    /// Maximum allowed hit-rate drop, percentage points.
+    pub max_hit_rate_drop_pp: Option<f64>,
+    /// Maximum allowed speedup drop, percent.
+    pub max_speedup_drop_pct: Option<f64>,
+}
+
+impl Thresholds {
+    /// The default CI gate: ≤2% cycle growth, ≤1pp hit-rate drop,
+    /// ≤2% speedup drop.
+    pub fn default_gate() -> Thresholds {
+        Thresholds {
+            max_cycle_regress_pct: Some(2.0),
+            max_hit_rate_drop_pp: Some(1.0),
+            max_speedup_drop_pct: Some(2.0),
+        }
+    }
+
+    /// Report-only: no gate.
+    pub fn none() -> Thresholds {
+        Thresholds::default()
+    }
+}
+
+/// What diff needs from one run, extractable from an [`Analysis`] or
+/// a saved `analysis.json`.
+#[derive(Clone, Debug, Default)]
+pub struct RunSnapshot {
+    /// Workload name.
+    pub workload: String,
+    /// Machine/CRB configuration hash, when known.
+    pub config_hash: Option<String>,
+    /// Baseline cycles.
+    pub base_cycles: u64,
+    /// CCR cycles.
+    pub ccr_cycles: u64,
+    /// Speedup.
+    pub speedup: f64,
+    /// Aggregate CRB hit rate.
+    pub hit_rate: f64,
+    /// Aggregate CRB lookups.
+    pub lookups: u64,
+    /// Per-region `(lookups, hit_rate, skipped)`.
+    pub regions: BTreeMap<u64, (u64, f64, u64)>,
+}
+
+impl From<&Analysis> for RunSnapshot {
+    fn from(a: &Analysis) -> RunSnapshot {
+        RunSnapshot {
+            workload: a.workload.clone(),
+            config_hash: a.config_hash.clone(),
+            base_cycles: a.base_cycles,
+            ccr_cycles: a.ccr_cycles,
+            speedup: a.speedup,
+            hit_rate: a.hit_rate,
+            lookups: a.lookups,
+            regions: a
+                .regions
+                .iter()
+                .map(|p| (p.region, (p.lookups, p.hit_rate, p.skipped)))
+                .collect(),
+        }
+    }
+}
+
+impl RunSnapshot {
+    /// Reads a snapshot back from a saved `analysis.json`.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON or an unknown `analysis_schema_version`.
+    pub fn from_analysis_json(text: &str) -> Result<RunSnapshot, String> {
+        let v = value::parse(text.trim()).map_err(|e| e.to_string())?;
+        let version = v.u64_field("analysis_schema_version");
+        if version != u64::from(crate::ANALYSIS_SCHEMA_VERSION) {
+            return Err(format!("unknown analysis_schema_version {version}"));
+        }
+        let source = v.get("source").ok_or("analysis.json missing `source`")?;
+        let totals = v.get("totals").ok_or("analysis.json missing `totals`")?;
+        let mut snap = RunSnapshot {
+            workload: source.str_field("workload").to_string(),
+            config_hash: source
+                .get("config_hash")
+                .and_then(Value::as_str)
+                .map(String::from),
+            base_cycles: totals.u64_field("base_cycles"),
+            ccr_cycles: totals.u64_field("ccr_cycles"),
+            speedup: totals.f64_field("speedup"),
+            hit_rate: totals.f64_field("hit_rate"),
+            lookups: totals.u64_field("lookups"),
+            regions: BTreeMap::new(),
+        };
+        if let Some(regions) = v.get("regions").and_then(Value::as_arr) {
+            for r in regions {
+                snap.regions.insert(
+                    r.u64_field("region"),
+                    (
+                        r.u64_field("lookups"),
+                        r.f64_field("hit_rate"),
+                        r.u64_field("skipped"),
+                    ),
+                );
+            }
+        }
+        Ok(snap)
+    }
+}
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// What was compared (`total`, `region 3`, or a workload name).
+    pub scope: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// New value.
+    pub new: f64,
+    /// Rendered delta (`+1.3%`, `-0.4pp`, …).
+    pub delta: String,
+    /// Whether this row breached its threshold.
+    pub breach: bool,
+}
+
+/// The result of a diff.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// All compared metrics, aggregates first.
+    pub rows: Vec<DiffRow>,
+    /// Non-gating observations (regions appearing/disappearing, …).
+    pub notes: Vec<String>,
+    /// Human-readable breach descriptions (empty ⇒ gate passed).
+    pub breaches: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when any threshold was breached.
+    pub fn breached(&self) -> bool {
+        !self.breaches.is_empty()
+    }
+
+    /// Renders the report as the text `ccr diff` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:<12} {:>14} {:>14} {:>10}",
+            "scope", "metric", "base", "new", "delta"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<24} {:<12} {:>14} {:>14} {:>10}{}",
+                row.scope,
+                row.metric,
+                trim_float(row.base),
+                trim_float(row.new),
+                row.delta,
+                if row.breach { "  ** BREACH" } else { "" },
+            );
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        if self.breached() {
+            let _ = writeln!(out, "FAIL: {} threshold breach(es)", self.breaches.len());
+            for b in &self.breaches {
+                let _ = writeln!(out, "  {b}");
+            }
+        } else {
+            let _ = writeln!(out, "OK: all deltas within thresholds");
+        }
+        out
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn pct_delta(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+/// Refuses incomparable pairs (different workload or config hash)
+/// unless `force`; a missing hash (v1 artifacts) downgrades the check
+/// to a note.
+fn comparability(
+    base_workload: &str,
+    new_workload: &str,
+    base_hash: Option<&str>,
+    new_hash: Option<&str>,
+    force: bool,
+    report: &mut DiffReport,
+) -> Result<(), String> {
+    if base_workload != new_workload {
+        let msg = format!("workload mismatch: base is `{base_workload}`, new is `{new_workload}`");
+        if !force {
+            return Err(format!("{msg}; rerun with --force to compare anyway"));
+        }
+        report.notes.push(format!("{msg} (forced)"));
+    }
+    match (base_hash, new_hash) {
+        (Some(b), Some(n)) if b != n => {
+            let msg = format!("config hash mismatch: base {b}, new {n}");
+            if !force {
+                return Err(format!(
+                    "{msg}; the runs simulated different machines. \
+                     Rerun with --force to compare anyway"
+                ));
+            }
+            report.notes.push(format!("{msg} (forced)"));
+        }
+        (None, _) | (_, None) => {
+            report.notes.push(
+                "config hash unavailable on one side (v1 artifact); comparability not verified"
+                    .into(),
+            );
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn gate_row(
+    report: &mut DiffReport,
+    scope: &str,
+    metric: &str,
+    base: f64,
+    new: f64,
+    thresholds: &Thresholds,
+) {
+    let (delta, breach) = match metric {
+        "ccr_cycles" => {
+            let pct = pct_delta(base, new);
+            let breach = thresholds
+                .max_cycle_regress_pct
+                .is_some_and(|max| pct > max);
+            (format!("{pct:+.2}%"), breach)
+        }
+        "hit_rate" => {
+            let pp = (new - base) * 100.0;
+            let breach = thresholds.max_hit_rate_drop_pp.is_some_and(|max| -pp > max);
+            (format!("{pp:+.2}pp"), breach)
+        }
+        "speedup" => {
+            let pct = pct_delta(base, new);
+            let breach = thresholds
+                .max_speedup_drop_pct
+                .is_some_and(|max| -pct > max);
+            (format!("{pct:+.2}%"), breach)
+        }
+        _ => (format!("{:+.2}%", pct_delta(base, new)), false),
+    };
+    if breach {
+        report.breaches.push(format!(
+            "{scope}: {metric} {} → {} ({delta})",
+            trim_float(base),
+            trim_float(new)
+        ));
+    }
+    report.rows.push(DiffRow {
+        scope: scope.to_string(),
+        metric: metric.to_string(),
+        base,
+        new,
+        delta,
+        breach,
+    });
+}
+
+/// Diffs two run snapshots.
+///
+/// # Errors
+///
+/// Returns an error when the runs are incomparable (different
+/// workload or config hash) and `force` is false.
+pub fn diff_analyses(
+    base: &RunSnapshot,
+    new: &RunSnapshot,
+    thresholds: &Thresholds,
+    force: bool,
+) -> Result<DiffReport, String> {
+    let mut report = DiffReport::default();
+    comparability(
+        &base.workload,
+        &new.workload,
+        base.config_hash.as_deref(),
+        new.config_hash.as_deref(),
+        force,
+        &mut report,
+    )?;
+
+    gate_row(
+        &mut report,
+        "total",
+        "base_cycles",
+        base.base_cycles as f64,
+        new.base_cycles as f64,
+        thresholds,
+    );
+    gate_row(
+        &mut report,
+        "total",
+        "ccr_cycles",
+        base.ccr_cycles as f64,
+        new.ccr_cycles as f64,
+        thresholds,
+    );
+    gate_row(
+        &mut report,
+        "total",
+        "speedup",
+        base.speedup,
+        new.speedup,
+        thresholds,
+    );
+    gate_row(
+        &mut report,
+        "total",
+        "hit_rate",
+        base.hit_rate,
+        new.hit_rate,
+        thresholds,
+    );
+    gate_row(
+        &mut report,
+        "total",
+        "lookups",
+        base.lookups as f64,
+        new.lookups as f64,
+        thresholds,
+    );
+
+    // Per-region deltas (report-only: regions gate in aggregate).
+    for (region, (b_lookups, b_rate, b_skipped)) in &base.regions {
+        match new.regions.get(region) {
+            Some((n_lookups, n_rate, n_skipped)) => {
+                let scope = format!("region {region}");
+                if b_lookups != n_lookups {
+                    report.rows.push(DiffRow {
+                        scope: scope.clone(),
+                        metric: "lookups".into(),
+                        base: *b_lookups as f64,
+                        new: *n_lookups as f64,
+                        delta: format!("{:+.2}%", pct_delta(*b_lookups as f64, *n_lookups as f64)),
+                        breach: false,
+                    });
+                }
+                if (b_rate - n_rate).abs() > 1e-12 {
+                    report.rows.push(DiffRow {
+                        scope: scope.clone(),
+                        metric: "hit_rate".into(),
+                        base: *b_rate,
+                        new: *n_rate,
+                        delta: format!("{:+.2}pp", (n_rate - b_rate) * 100.0),
+                        breach: false,
+                    });
+                }
+                if b_skipped != n_skipped {
+                    report.rows.push(DiffRow {
+                        scope,
+                        metric: "skipped".into(),
+                        base: *b_skipped as f64,
+                        new: *n_skipped as f64,
+                        delta: format!("{:+.2}%", pct_delta(*b_skipped as f64, *n_skipped as f64)),
+                        breach: false,
+                    });
+                }
+            }
+            None => report.notes.push(format!("region {region} disappeared")),
+        }
+    }
+    for region in new.regions.keys() {
+        if !base.regions.contains_key(region) {
+            report.notes.push(format!("region {region} is new"));
+        }
+    }
+    Ok(report)
+}
+
+/// Diffs two bench suite snapshots, workload by workload.
+///
+/// # Errors
+///
+/// Returns an error for incomparable snapshots (different config
+/// hash) when `force` is false.
+pub fn diff_bench(
+    base: &BenchReport,
+    new: &BenchReport,
+    thresholds: &Thresholds,
+    force: bool,
+) -> Result<DiffReport, String> {
+    let mut report = DiffReport::default();
+    comparability(
+        &base.suite,
+        &new.suite,
+        Some(&base.config_hash)
+            .filter(|h| !h.is_empty())
+            .map(|x| x.as_str()),
+        Some(&new.config_hash)
+            .filter(|h| !h.is_empty())
+            .map(|x| x.as_str()),
+        force,
+        &mut report,
+    )?;
+    if base.input != new.input || base.scale != new.scale {
+        let msg = format!(
+            "input/scale mismatch: base {}@{}, new {}@{}",
+            base.input, base.scale, new.input, new.scale
+        );
+        if !force {
+            return Err(format!("{msg}; rerun with --force to compare anyway"));
+        }
+        report.notes.push(format!("{msg} (forced)"));
+    }
+
+    let new_by_name: BTreeMap<&str, _> =
+        new.workloads.iter().map(|w| (w.name.as_str(), w)).collect();
+    for b in &base.workloads {
+        let Some(n) = new_by_name.get(b.name.as_str()) else {
+            report
+                .notes
+                .push(format!("workload {} disappeared", b.name));
+            continue;
+        };
+        gate_row(
+            &mut report,
+            &b.name,
+            "ccr_cycles",
+            b.ccr_cycles as f64,
+            n.ccr_cycles as f64,
+            thresholds,
+        );
+        gate_row(
+            &mut report,
+            &b.name,
+            "speedup",
+            b.speedup,
+            n.speedup,
+            thresholds,
+        );
+        gate_row(
+            &mut report,
+            &b.name,
+            "hit_rate",
+            b.hit_rate,
+            n.hit_rate,
+            thresholds,
+        );
+    }
+    for w in &new.workloads {
+        if !base.workloads.iter().any(|b| b.name == w.name) {
+            report.notes.push(format!("workload {} is new", w.name));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::BenchWorkload;
+
+    fn snap() -> RunSnapshot {
+        RunSnapshot {
+            workload: "w".into(),
+            config_hash: Some("aa".into()),
+            base_cycles: 1000,
+            ccr_cycles: 800,
+            speedup: 1.25,
+            hit_rate: 0.7,
+            lookups: 10,
+            regions: [(0, (10, 0.7, 130))].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn identical_runs_have_zero_deltas_and_pass() {
+        let report = diff_analyses(&snap(), &snap(), &Thresholds::default_gate(), false).unwrap();
+        assert!(!report.breached());
+        assert!(report.rows.iter().all(|r| !r.breach));
+        // Per-region rows appear only on change.
+        assert!(report.rows.iter().all(|r| r.scope == "total"));
+        assert!(report.render().contains("OK: all deltas within thresholds"));
+    }
+
+    #[test]
+    fn cycle_regression_breaches_the_gate() {
+        let mut new = snap();
+        new.ccr_cycles = 900; // +12.5%
+        let report = diff_analyses(&snap(), &new, &Thresholds::default_gate(), false).unwrap();
+        assert!(report.breached());
+        assert!(
+            report.breaches[0].contains("ccr_cycles"),
+            "{:?}",
+            report.breaches
+        );
+        assert!(report.render().contains("** BREACH"));
+        // Improvements never breach.
+        let mut better = snap();
+        better.ccr_cycles = 700;
+        better.hit_rate = 0.9;
+        let report = diff_analyses(&snap(), &better, &Thresholds::default_gate(), false).unwrap();
+        assert!(!report.breached());
+    }
+
+    #[test]
+    fn hit_rate_and_speedup_gates_fire_on_drops() {
+        let mut new = snap();
+        new.hit_rate = 0.6; // −10pp
+        let report = diff_analyses(&snap(), &new, &Thresholds::default_gate(), false).unwrap();
+        assert!(report.breached());
+        let mut new = snap();
+        new.speedup = 1.1; // −12%
+        let report = diff_analyses(&snap(), &new, &Thresholds::default_gate(), false).unwrap();
+        assert!(report.breached());
+        // Thresholds::none never gates.
+        let report = diff_analyses(&snap(), &new, &Thresholds::none(), false).unwrap();
+        assert!(!report.breached());
+    }
+
+    #[test]
+    fn incomparable_runs_are_refused_unless_forced() {
+        let mut new = snap();
+        new.config_hash = Some("bb".into());
+        let err = diff_analyses(&snap(), &new, &Thresholds::none(), false).unwrap_err();
+        assert!(err.contains("config hash mismatch"), "{err}");
+        let report = diff_analyses(&snap(), &new, &Thresholds::none(), true).unwrap();
+        assert!(report.notes.iter().any(|n| n.contains("forced")));
+
+        let mut new = snap();
+        new.workload = "other".into();
+        assert!(diff_analyses(&snap(), &new, &Thresholds::none(), false).is_err());
+
+        // v1 artifacts (no hash): allowed, with a note.
+        let mut new = snap();
+        new.config_hash = None;
+        let report = diff_analyses(&snap(), &new, &Thresholds::none(), false).unwrap();
+        assert!(report.notes.iter().any(|n| n.contains("not verified")));
+    }
+
+    #[test]
+    fn region_changes_are_reported_not_gated() {
+        let mut new = snap();
+        new.regions.insert(0, (12, 0.5, 100));
+        new.regions.insert(7, (3, 1.0, 9));
+        let report = diff_analyses(&snap(), &new, &Thresholds::default_gate(), false).unwrap();
+        let region_rows: Vec<_> = report
+            .rows
+            .iter()
+            .filter(|r| r.scope == "region 0")
+            .collect();
+        assert_eq!(region_rows.len(), 3, "lookups, hit_rate, skipped");
+        assert!(region_rows.iter().all(|r| !r.breach));
+        assert!(report.notes.iter().any(|n| n.contains("region 7 is new")));
+        assert!(!report.breached(), "region drift alone must not gate");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_analysis_json() {
+        let mut a = Analysis {
+            workload: "w".into(),
+            config_hash: Some("aa".into()),
+            base_cycles: 1000,
+            ccr_cycles: 800,
+            speedup: 1.25,
+            hit_rate: 0.7,
+            lookups: 10,
+            ..Analysis::default()
+        };
+        a.regions.push(crate::analysis::RegionProfile {
+            region: 0,
+            lookups: 10,
+            hits: 7,
+            misses: 3,
+            hit_rate: 0.7,
+            skipped: 130,
+            ..crate::analysis::RegionProfile::default()
+        });
+        let text = a.to_json();
+        let snap = RunSnapshot::from_analysis_json(&text).unwrap();
+        assert_eq!(snap.workload, "w");
+        assert_eq!(snap.ccr_cycles, 800);
+        assert_eq!(snap.regions[&0], (10, 0.7, 130));
+        // And diffing the round-trip against the original is clean.
+        let report = diff_analyses(
+            &RunSnapshot::from(&a),
+            &snap,
+            &Thresholds::default_gate(),
+            false,
+        )
+        .unwrap();
+        assert!(!report.breached());
+        assert!(
+            report.rows.iter().all(|r| r.delta.starts_with("+0.00")),
+            "{report:?}"
+        );
+    }
+
+    fn bench(cycles: u64) -> BenchReport {
+        BenchReport {
+            suite: "ccr".into(),
+            input: "train".into(),
+            scale: 1,
+            config_hash: "aa".into(),
+            crate_version: "0.1.0".into(),
+            workloads: vec![BenchWorkload {
+                name: "130.li".into(),
+                base_cycles: 1000,
+                ccr_cycles: cycles,
+                speedup: 1000.0 / cycles as f64,
+                hit_rate: 0.8,
+                regions: 4,
+                wall_ms: 12,
+            }],
+        }
+    }
+
+    #[test]
+    fn bench_diff_gates_per_workload_and_ignores_wall_time() {
+        let report =
+            diff_bench(&bench(800), &bench(800), &Thresholds::default_gate(), false).unwrap();
+        assert!(!report.breached());
+        assert!(report.rows.iter().all(|r| r.metric != "wall_ms"));
+        let report =
+            diff_bench(&bench(800), &bench(900), &Thresholds::default_gate(), false).unwrap();
+        assert!(report.breached());
+        assert!(report.breaches.iter().any(|b| b.contains("130.li")));
+    }
+
+    #[test]
+    fn bench_diff_checks_comparability() {
+        let mut new = bench(800);
+        new.config_hash = "bb".into();
+        assert!(diff_bench(&bench(800), &new, &Thresholds::none(), false).is_err());
+        let mut new = bench(800);
+        new.scale = 2;
+        assert!(diff_bench(&bench(800), &new, &Thresholds::none(), false).is_err());
+        assert!(diff_bench(&bench(800), &new, &Thresholds::none(), true).is_ok());
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # ccr-analyze — offline analysis of CCR telemetry artifacts
+//!
+//! PR 1 made every layer of the stack a telemetry *producer*
+//! (`events.jsonl` + `report.json`); this crate is the *consumer*
+//! side. It reads those artifacts back and turns them into the views
+//! the paper's evaluation reasons about — per-region reuse behaviour
+//! (Figures 8–11), CRB set pressure, interval-IPC phase structure —
+//! plus the regression-gating machinery the perf trajectory needs:
+//!
+//! * [`value`] — a minimal recursive-descent JSON parser (the build
+//!   environment is offline, so no serde), shared by every reader,
+//! * [`ingest`] — a streaming, line-tolerant `events.jsonl` reader
+//!   with schema-version checks, and the `report.json` reader with
+//!   both v1 (no provenance) and v2 read paths,
+//! * [`analysis`] — the analyzer: per-region profiles with hit-rate
+//!   windows, CRB occupancy/pressure curves, interval-IPC percentile
+//!   statistics (via `ccr-telemetry`'s log₂-bucket histograms), and
+//!   hottest-region rankings, serialized as a deterministic
+//!   `analysis.json`,
+//! * [`chrome`] — Chrome Trace Event Format (`chrome://tracing` /
+//!   Perfetto) export of the compile passes and the reuse timeline,
+//! * [`diff`] — run-to-run comparison with configurable regression
+//!   thresholds and a provenance-based comparability gate,
+//! * [`bench`] — the `BENCH_ccr.json` schema: a versioned,
+//!   per-workload performance snapshot forming the repo's committed
+//!   perf trajectory.
+//!
+//! The crate has no dependencies beyond `ccr-telemetry` (for the
+//! shared `JsonWriter` and `Histogram`); in particular it does not
+//! depend on the simulator or compiler crates, so analysis can never
+//! perturb — or be perturbed by — the run that produced its input.
+//!
+//! Determinism is load-bearing: identical input artifacts must
+//! produce byte-identical `analysis.json` / `trace.json`, which is
+//! what lets CI diff analyzer output against committed goldens.
+
+pub mod analysis;
+pub mod bench;
+pub mod chrome;
+pub mod diff;
+pub mod ingest;
+pub mod value;
+
+pub use analysis::{analyze, Analysis, RegionProfile};
+pub use bench::{BenchReport, BenchWorkload, BENCH_SCHEMA_VERSION};
+pub use chrome::chrome_trace;
+pub use diff::{diff_analyses, diff_bench, DiffReport, Thresholds};
+pub use ingest::{load_run, EventRecord, RunData};
+pub use value::Value;
+
+/// Version of the `analysis.json` schema this crate writes.
+pub const ANALYSIS_SCHEMA_VERSION: u32 = 1;

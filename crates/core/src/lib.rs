@@ -26,7 +26,9 @@ pub mod runreport;
 pub use compile::{compile_ccr, CompileConfig, CompileTelemetry, CompiledWorkload};
 pub use measure::{measure, measure_traced, reuse_potential, Measurement};
 pub use report::Table;
-pub use runreport::{emit_compile_events, RunReport};
+pub use runreport::{
+    config_hash, emit_compile_events, Provenance, RunReport, REPORT_SCHEMA_VERSION,
+};
 
 // Re-export the crates a downstream user needs to drive everything.
 pub use ccr_analysis as analysis;

@@ -1,19 +1,80 @@
 //! The run report: a versioned JSON serialization of one full
-//! measurement — machine and CRB configuration, per-pass compile
-//! statistics, baseline and CCR [`SimStats`], and per-region dynamics.
+//! measurement — machine and CRB configuration, run provenance,
+//! per-pass compile statistics, baseline and CCR [`SimStats`], and
+//! per-region dynamics.
 //!
-//! The schema is versioned by [`ccr_telemetry::SCHEMA_VERSION`]
-//! (`schema_version` at the top level); consumers should reject
-//! versions they do not know. All counters are serialized as the exact
-//! integers the simulator reported, so a report agrees byte-for-byte
-//! with the plain-text tables rendered from the same run.
+//! The report schema is versioned by [`REPORT_SCHEMA_VERSION`]
+//! (`schema_version` at the top level, independent of the per-event
+//! `"v"` tag from [`ccr_telemetry::SCHEMA_VERSION`]); consumers
+//! should reject versions they do not know. Version history:
+//!
+//! * **1** — initial report (PR 1), no provenance block.
+//! * **2** — adds `provenance` (argv, machine/CRB config hash, crate
+//!   version) so `ccr diff` can refuse incomparable runs. Readers
+//!   (`ccr-analyze`) keep a v1 path: a v1 report simply has no
+//!   provenance.
+//!
+//! All counters are serialized as the exact integers the simulator
+//! reported, so a report agrees byte-for-byte with the plain-text
+//! tables rendered from the same run.
 
 use ccr_regions::RegionInfo;
 use ccr_sim::{CrbConfig, MachineConfig, Replacement, SimStats};
-use ccr_telemetry::{emit, JsonWriter, TelemetrySink, SCHEMA_VERSION};
+use ccr_telemetry::{emit, JsonWriter, TelemetrySink};
 
 use crate::compile::CompileTelemetry;
 use crate::measure::Measurement;
+
+/// Version of the run-report JSON schema (`schema_version`).
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
+
+/// Where a report came from: enough to decide whether two runs are
+/// comparable (same code, same simulated hardware) before diffing
+/// their numbers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// The CLI argument vector that produced the run (empty for
+    /// library-driven runs).
+    pub argv: Vec<String>,
+    /// FNV-1a hash of the serialized machine + CRB configuration
+    /// (see [`config_hash`]), as fixed-width hex.
+    pub config_hash: String,
+    /// `ccr-core` crate version that produced the report.
+    pub crate_version: String,
+}
+
+impl Provenance {
+    /// Builds provenance for a run of `machine` + `crb` launched with
+    /// `argv` (pass the post-binary-name CLI words; empty is fine).
+    pub fn new(argv: &[String], machine: &MachineConfig, crb: &CrbConfig) -> Provenance {
+        Provenance {
+            argv: argv.to_vec(),
+            config_hash: config_hash(machine, crb),
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+        }
+    }
+}
+
+/// A stable fingerprint of the simulated configuration: FNV-1a (64)
+/// over the canonical JSON of the machine and CRB blocks, rendered as
+/// 16 hex digits. Two runs with equal hashes simulated identical
+/// hardware; comparing runs with different hashes compares apples to
+/// oranges.
+pub fn config_hash(machine: &MachineConfig, crb: &CrbConfig) -> String {
+    let mut w = JsonWriter::new();
+    w.obj_begin();
+    w.key("machine");
+    machine_json(&mut w, machine);
+    w.key("crb");
+    crb_json(&mut w, crb);
+    w.obj_end();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in w.finish().bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
 
 /// Emits compile-time telemetry as events: one `pass` event per
 /// optimizer pass, one `formation_reject` event per rejection reason,
@@ -58,6 +119,8 @@ pub struct RunReport<'a> {
     pub regions: &'a [RegionInfo],
     /// The baseline-vs-CCR measurement.
     pub measurement: &'a Measurement,
+    /// Run provenance (argv, config hash, crate version).
+    pub provenance: &'a Provenance,
 }
 
 impl RunReport<'_> {
@@ -65,10 +128,22 @@ impl RunReport<'_> {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.obj_begin();
-        w.key("schema_version").u64_val(u64::from(SCHEMA_VERSION));
+        w.key("schema_version")
+            .u64_val(u64::from(REPORT_SCHEMA_VERSION));
         w.key("workload").str_val(self.workload);
         w.key("input").str_val(self.input);
         w.key("scale").u64_val(u64::from(self.scale));
+
+        w.key("provenance").obj_begin();
+        w.key("argv").arr_begin();
+        for arg in &self.provenance.argv {
+            w.str_val(arg);
+        }
+        w.arr_end();
+        w.key("config_hash").str_val(&self.provenance.config_hash);
+        w.key("crate_version")
+            .str_val(&self.provenance.crate_version);
+        w.obj_end();
 
         w.key("machine");
         machine_json(&mut w, self.machine);
@@ -222,6 +297,8 @@ mod tests {
         let machine = MachineConfig::paper();
         let crb = CrbConfig::paper();
         let m = measure(&cw, &machine, crb, EmuConfig::default()).unwrap();
+        let argv = vec!["run".to_string(), "008.espresso".to_string()];
+        let provenance = Provenance::new(&argv, &machine, &crb);
         let report = RunReport {
             workload: "008.espresso",
             input: "train",
@@ -231,9 +308,17 @@ mod tests {
             compile: &cw.telemetry,
             regions: &cw.regions,
             measurement: &m,
+            provenance: &provenance,
         };
         let json = report.to_json();
-        assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+        assert!(json.starts_with("{\"schema_version\":2,"), "{json}");
+        assert!(
+            json.contains(&format!(
+                "\"provenance\":{{\"argv\":[\"run\",\"008.espresso\"],\"config_hash\":\"{}\"",
+                provenance.config_hash
+            )),
+            "{json}"
+        );
         // The serialized counters are the exact integers the simulator
         // reported — the same digits the text tables print.
         assert!(json.contains(&format!("\"cycles\":{}", m.base.stats.cycles)));
@@ -248,6 +333,22 @@ mod tests {
         let closes = json.matches('}').count();
         assert_eq!(opens, closes, "{json}");
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn config_hash_distinguishes_configurations() {
+        let machine = MachineConfig::paper();
+        let a = config_hash(&machine, &CrbConfig::paper());
+        let b = config_hash(&machine, &CrbConfig::paper());
+        assert_eq!(a, b, "hash must be deterministic");
+        assert_eq!(a.len(), 16);
+        assert!(a.bytes().all(|c| c.is_ascii_hexdigit()));
+        let c = config_hash(&machine, &CrbConfig::with_entries(32));
+        assert_ne!(a, c, "different CRB geometry must change the hash");
+        let mut wide = machine;
+        wide.issue_width += 1;
+        let d = config_hash(&wide, &CrbConfig::paper());
+        assert_ne!(a, d, "different machine must change the hash");
     }
 
     #[test]

@@ -97,6 +97,52 @@ impl Histogram {
         self.buckets[i]
     }
 
+    /// Estimates the `p`-th percentile (`0.0..=100.0`) by linear
+    /// interpolation inside the log₂ bucket that holds the target
+    /// rank. Resolution is therefore ~2× relative (one bucket), which
+    /// is what the buckets promise; the estimate is clamped to the
+    /// exact observed `[min, max]` range. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // 1-based target rank; p=0 → first sample, p=100 → last.
+        let target = (p / 100.0 * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= target {
+                let low = bucket_low(i);
+                // Bucket i > 0 covers [2^(i-1), 2^i): width == low.
+                let width = if i == 0 { 0 } else { low };
+                let into = (target - cum as f64) / c as f64;
+                let est = low as f64 + into * width as f64;
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            cum = next;
+        }
+        self.max as f64
+    }
+
+    /// Median estimate (see [`Histogram::percentile`]).
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th-percentile estimate (see [`Histogram::percentile`]).
+    pub fn p90(&self) -> f64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th-percentile estimate (see [`Histogram::percentile`]).
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
     /// `(bucket_low, count)` for every non-empty bucket, ascending.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -240,6 +286,65 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_of_a_single_value_are_that_value() {
+        let mut h = Histogram::default();
+        h.record(42);
+        for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 42.0, "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_log2_resolution() {
+        // 1..=1000 uniformly: the exact p-th percentile is ~10*p, and
+        // the log₂-bucket estimate must land within one bucket (2×).
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for (p, exact) in [(50.0, 500.0), (90.0, 900.0), (99.0, 990.0)] {
+            let est = h.percentile(p);
+            assert!(
+                est >= exact / 2.0 && est <= exact * 2.0,
+                "p{p}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.p50(), h.percentile(50.0));
+        assert_eq!(h.p90(), h.percentile(90.0));
+        assert_eq!(h.p99(), h.percentile(99.0));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_clamped_to_observed_range() {
+        let mut h = Histogram::default();
+        for v in [3, 3, 3, 100, 100, 7000] {
+            h.record(v);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for p in 0..=100 {
+            let est = h.percentile(p as f64);
+            assert!(est >= prev, "p{p}: {est} < {prev}");
+            assert!((3.0..=7000.0).contains(&est), "p{p}: {est}");
+            prev = est;
+        }
+        // Out-of-range p clamps rather than panicking.
+        assert_eq!(h.percentile(-5.0), h.percentile(0.0));
+        assert_eq!(h.percentile(250.0), h.percentile(100.0));
+    }
+
+    #[test]
+    fn percentile_of_all_zeros_is_zero() {
+        let mut h = Histogram::default();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.percentile(100.0), 0.0);
     }
 
     #[test]

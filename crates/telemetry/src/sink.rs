@@ -64,10 +64,18 @@ impl TelemetrySink for NullSink {
 
 /// Serializes each event as one JSON object per line:
 /// `{"v":1,"ev":"<kind>",...fields}`.
+///
+/// Write errors never abort the run being observed (emitting stays
+/// infallible), but the first one is remembered; call
+/// [`JsonlSink::finish`] when the stream is complete to learn whether
+/// every line actually reached the writer.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     writer: W,
     line: String,
+    /// First write/flush error, kept so `finish()` can report that a
+    /// seemingly complete stream is in fact truncated.
+    error: Option<io::Error>,
 }
 
 impl JsonlSink<BufWriter<File>> {
@@ -83,6 +91,7 @@ impl<W: Write> JsonlSink<W> {
         JsonlSink {
             writer,
             line: String::with_capacity(256),
+            error: None,
         }
     }
 
@@ -90,6 +99,18 @@ impl<W: Write> JsonlSink<W> {
     pub fn into_inner(mut self) -> W {
         let _ = self.writer.flush();
         self.writer
+    }
+
+    /// Flushes and reports the first write error that occurred over
+    /// the sink's whole lifetime. `Ok(())` means every emitted event
+    /// reached the underlying writer; an error means the stream is
+    /// truncated or corrupt and should not be fed to the analyzer.
+    pub fn finish(&mut self) -> io::Result<()> {
+        let flushed = self.writer.flush();
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => flushed,
+        }
     }
 
     /// Serializes one event into `out` (without trailing newline).
@@ -131,12 +152,17 @@ impl<W: Write> TelemetrySink for JsonlSink<W> {
         Self::serialize(event, &mut self.line);
         self.line.push('\n');
         // Telemetry is best-effort: an I/O error must not abort the
-        // run it is observing.
-        let _ = self.writer.write_all(self.line.as_bytes());
+        // run it is observing. The first failure is remembered for
+        // `finish()` so truncation is detectable afterwards.
+        if let Err(e) = self.writer.write_all(self.line.as_bytes()) {
+            self.error.get_or_insert(e);
+        }
     }
 
     fn flush(&mut self) {
-        let _ = self.writer.flush();
+        if let Err(e) = self.writer.flush() {
+            self.error.get_or_insert(e);
+        }
     }
 }
 
@@ -244,6 +270,40 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn finish_reports_clean_streams_and_short_writes() {
+        // Healthy writer: finish is Ok and is idempotent.
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(&sample());
+        assert!(sink.finish().is_ok());
+        assert!(sink.finish().is_ok());
+
+        // A writer that fails mid-stream: the event loss must surface
+        // at finish() even though emit() stayed silent.
+        struct Failing {
+            budget: usize,
+        }
+        impl Write for Failing {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"));
+                }
+                self.budget -= 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing { budget: 1 });
+        sink.emit(&sample());
+        sink.emit(&sample()); // silently lost …
+        let err = sink.finish().expect_err("short write must surface");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        // … and the error is consumed: a second finish is clean.
+        assert!(sink.finish().is_ok());
     }
 
     #[test]

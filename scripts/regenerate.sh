@@ -9,4 +9,6 @@ for bin in fig4_potential fig8a_instances fig8b_entries fig9_groups \
     echo "== $bin"
     cargo run --release -q -p ccr-bench --bin "$bin" > "results/$bin.txt"
 done
+echo '== BENCH_ccr.json (perf baseline; CI gates ccr diff against it)'
+cargo run --release -q --bin ccr -- bench --out BENCH_ccr.json
 echo "done; see results/ and EXPERIMENTS.md"

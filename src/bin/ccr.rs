@@ -4,6 +4,12 @@
 //! ccr suite [--input train|ref] [--scale N] [--entries E] [--instances C]
 //! ccr run <benchmark|file.ccr> [--entries E] [--instances C] [--function-level]
 //!         [--telemetry DIR]
+//! ccr analyze <DIR> [--top N] [--out DIR]
+//! ccr diff <BASE> <NEW> [--thresholds default|none] [--force]
+//!          [--max-cycle-regress-pct X] [--max-hit-rate-drop-pp X]
+//!          [--max-speedup-drop-pct X]
+//! ccr bench [--input train|ref] [--scale N] [--entries E] [--instances C]
+//!           [--only NAME[,NAME...]] [--out FILE]
 //! ccr regions <benchmark|file.ccr>
 //! ccr potential <benchmark|file.ccr>
 //! ccr print <benchmark> [--annotated]
@@ -18,6 +24,16 @@
 //! events) and `DIR/report.json` (the full run report; see
 //! `ccr::runreport`). The text output and every reported number are
 //! identical with and without the flag.
+//!
+//! `ccr analyze` reads those artifacts back and writes
+//! `analysis.json` (per-region reuse profiles, CRB pressure, IPC
+//! percentiles — deterministic bytes) and a Chrome-trace `trace.json`
+//! (load it in `chrome://tracing` or Perfetto). `ccr diff` compares
+//! two runs — telemetry directories, saved `analysis.json` files, or
+//! `BENCH_*.json` snapshots — and exits with status 2 when a
+//! regression threshold is breached, which is what CI gates on.
+//! `ccr bench` runs the built-in suite and snapshots `BENCH_ccr.json`,
+//! the committed performance baseline.
 //!
 //! A `<benchmark>` is one of the thirteen built-in workload names
 //! (`ccr list`); a `file.ccr` is a textual-IR program as produced by
@@ -36,7 +52,7 @@ use ccr::{compile_ccr, measure, CompileConfig};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -50,6 +66,12 @@ const USAGE: &str = "usage:
   ccr suite [--input train|ref] [--scale N] [--entries E] [--instances C]
   ccr run <benchmark|file.ccr> [--entries E] [--instances C] [--function-level]
           [--telemetry DIR]
+  ccr analyze <DIR> [--top N] [--out DIR]
+  ccr diff <BASE> <NEW> [--thresholds default|none] [--force]
+           [--max-cycle-regress-pct X] [--max-hit-rate-drop-pp X]
+           [--max-speedup-drop-pct X]
+  ccr bench [--input train|ref] [--scale N] [--entries E] [--instances C]
+            [--only NAME[,NAME...]] [--out FILE]
   ccr regions <benchmark|file.ccr>
   ccr potential <benchmark|file.ccr>
   ccr print <benchmark> [--annotated]
@@ -66,6 +88,14 @@ struct Flags {
     annotated: bool,
     limit: u64,
     telemetry: Option<String>,
+    top: usize,
+    out: Option<String>,
+    thresholds: String,
+    force: bool,
+    only: Option<String>,
+    max_cycle_regress_pct: Option<f64>,
+    max_hit_rate_drop_pp: Option<f64>,
+    max_speedup_drop_pct: Option<f64>,
     positional: Vec<String>,
 }
 
@@ -79,6 +109,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         annotated: false,
         limit: 40,
         telemetry: None,
+        top: 10,
+        out: None,
+        thresholds: "default".to_string(),
+        force: false,
+        only: None,
+        max_cycle_regress_pct: None,
+        max_hit_rate_drop_pp: None,
+        max_speedup_drop_pct: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -119,6 +157,44 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .map_err(|_| "bad --limit value".to_string())?;
             }
             "--telemetry" => flags.telemetry = Some(take("--telemetry")?),
+            "--top" => {
+                flags.top = take("--top")?
+                    .parse()
+                    .map_err(|_| "bad --top value".to_string())?;
+            }
+            "--out" => flags.out = Some(take("--out")?),
+            "--thresholds" => {
+                flags.thresholds = take("--thresholds")?;
+                if !matches!(flags.thresholds.as_str(), "default" | "none") {
+                    return Err(format!(
+                        "--thresholds must be `default` or `none`, got `{}`",
+                        flags.thresholds
+                    ));
+                }
+            }
+            "--force" => flags.force = true,
+            "--only" => flags.only = Some(take("--only")?),
+            "--max-cycle-regress-pct" => {
+                flags.max_cycle_regress_pct = Some(
+                    take("--max-cycle-regress-pct")?
+                        .parse()
+                        .map_err(|_| "bad --max-cycle-regress-pct value".to_string())?,
+                );
+            }
+            "--max-hit-rate-drop-pp" => {
+                flags.max_hit_rate_drop_pp = Some(
+                    take("--max-hit-rate-drop-pp")?
+                        .parse()
+                        .map_err(|_| "bad --max-hit-rate-drop-pp value".to_string())?,
+                );
+            }
+            "--max-speedup-drop-pct" => {
+                flags.max_speedup_drop_pct = Some(
+                    take("--max-speedup-drop-pct")?
+                        .parse()
+                        .map_err(|_| "bad --max-speedup-drop-pct value".to_string())?,
+                );
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
             }
@@ -128,24 +204,28 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(flags)
 }
 
-fn dispatch(args: &[String]) -> Result<(), String> {
+fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
     let flags = parse_flags(&args[1..])?;
+    let ok = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match cmd.as_str() {
         "list" => {
             for name in NAMES {
                 println!("{name}");
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        "suite" => cmd_suite(&flags),
-        "run" => cmd_run(&flags),
-        "regions" => cmd_regions(&flags),
-        "potential" => cmd_potential(&flags),
-        "print" => cmd_print(&flags),
-        "trace" => cmd_trace(&flags),
+        "suite" => ok(cmd_suite(&flags)),
+        "run" => ok(cmd_run(&flags)),
+        "analyze" => ok(cmd_analyze(&flags)),
+        "diff" => cmd_diff(&flags),
+        "bench" => ok(cmd_bench(&flags)),
+        "regions" => ok(cmd_regions(&flags)),
+        "potential" => ok(cmd_potential(&flags)),
+        "print" => ok(cmd_print(&flags)),
+        "trace" => ok(cmd_trace(&flags)),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -255,7 +335,7 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     let m = match &flags.telemetry {
         None => measure(&compiled, &machine, crb, emu()).map_err(|e| e.to_string())?,
         Some(dir) => {
-            use ccr::telemetry::{emit, JsonlSink, TelemetrySink, SCHEMA_VERSION};
+            use ccr::telemetry::{emit, JsonlSink, SCHEMA_VERSION};
             let dir = std::path::Path::new(dir);
             std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
             let events_path = dir.join("events.jsonl");
@@ -277,13 +357,17 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
                 &mut sink,
             )
             .map_err(|e| e.to_string())?;
-            sink.flush();
+            sink.finish()
+                .map_err(|e| format!("{}: {e}", events_path.display()))?;
+            let argv: Vec<String> = std::env::args().collect();
+            let provenance = ccr::Provenance::new(&argv, &machine, &crb);
             let report = ccr::RunReport {
                 workload: &spec,
                 input: input_name(flags.input),
                 scale: flags.scale,
                 machine: &machine,
                 crb: &crb,
+                provenance: &provenance,
                 compile: &compiled.telemetry,
                 regions: &compiled.regions,
                 measurement: &m,
@@ -322,6 +406,171 @@ fn input_name(input: InputSet) -> &'static str {
         InputSet::Train => "train",
         InputSet::Ref => "ref",
     }
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+    let dir = flags
+        .positional
+        .first()
+        .ok_or("missing <DIR> (a `ccr run --telemetry` output directory)")?;
+    let dir = std::path::Path::new(dir);
+    let data = ccr_analyze::load_run(dir).map_err(|e| e.to_string())?;
+    let analysis = ccr_analyze::analyze(&data, flags.top);
+    let out = flags
+        .out
+        .as_ref()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| dir.to_path_buf());
+    std::fs::create_dir_all(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+    let analysis_path = out.join("analysis.json");
+    std::fs::write(&analysis_path, analysis.to_json())
+        .map_err(|e| format!("{}: {e}", analysis_path.display()))?;
+    let trace_path = out.join("trace.json");
+    std::fs::write(&trace_path, ccr_analyze::chrome_trace(&data))
+        .map_err(|e| format!("{}: {e}", trace_path.display()))?;
+    print!("{}", analysis.summary());
+    println!(
+        "wrote      : {} + {}",
+        analysis_path.display(),
+        trace_path.display()
+    );
+    Ok(())
+}
+
+/// One side of a `ccr diff`: a run (telemetry dir or saved
+/// `analysis.json`) or a bench suite snapshot.
+enum DiffSide {
+    Run(ccr_analyze::diff::RunSnapshot),
+    Bench(ccr_analyze::BenchReport),
+}
+
+fn load_diff_side(spec: &str, top: usize) -> Result<DiffSide, String> {
+    let path = std::path::Path::new(spec);
+    if path.is_dir() {
+        let data = ccr_analyze::load_run(path).map_err(|e| e.to_string())?;
+        let analysis = ccr_analyze::analyze(&data, top);
+        return Ok(DiffSide::Run((&analysis).into()));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{spec}: {e}"))?;
+    let v = ccr_analyze::value::parse(text.trim()).map_err(|e| format!("{spec}: {e}"))?;
+    if v.get("bench_schema_version").is_some() {
+        return ccr_analyze::BenchReport::from_json(&text)
+            .map(DiffSide::Bench)
+            .map_err(|e| format!("{spec}: {e}"));
+    }
+    if v.get("analysis_schema_version").is_some() {
+        return ccr_analyze::diff::RunSnapshot::from_analysis_json(&text)
+            .map(DiffSide::Run)
+            .map_err(|e| format!("{spec}: {e}"));
+    }
+    Err(format!(
+        "{spec}: not a telemetry directory, analysis.json, or BENCH json"
+    ))
+}
+
+fn thresholds_of(flags: &Flags) -> ccr_analyze::Thresholds {
+    let mut t = match flags.thresholds.as_str() {
+        "none" => ccr_analyze::Thresholds::none(),
+        _ => ccr_analyze::Thresholds::default_gate(),
+    };
+    if flags.max_cycle_regress_pct.is_some() {
+        t.max_cycle_regress_pct = flags.max_cycle_regress_pct;
+    }
+    if flags.max_hit_rate_drop_pp.is_some() {
+        t.max_hit_rate_drop_pp = flags.max_hit_rate_drop_pp;
+    }
+    if flags.max_speedup_drop_pct.is_some() {
+        t.max_speedup_drop_pct = flags.max_speedup_drop_pct;
+    }
+    t
+}
+
+fn cmd_diff(flags: &Flags) -> Result<ExitCode, String> {
+    let [base_spec, new_spec] = flags.positional.as_slice() else {
+        return Err("diff needs exactly two arguments: <BASE> <NEW>".into());
+    };
+    let thresholds = thresholds_of(flags);
+    let base = load_diff_side(base_spec, flags.top)?;
+    let new = load_diff_side(new_spec, flags.top)?;
+    let report = match (&base, &new) {
+        (DiffSide::Run(b), DiffSide::Run(n)) => {
+            ccr_analyze::diff_analyses(b, n, &thresholds, flags.force)?
+        }
+        (DiffSide::Bench(b), DiffSide::Bench(n)) => {
+            ccr_analyze::diff_bench(b, n, &thresholds, flags.force)?
+        }
+        _ => {
+            return Err(format!(
+                "cannot compare a bench snapshot with a single run \
+                 ({base_spec} vs {new_spec})"
+            ))
+        }
+    };
+    print!("{}", report.render());
+    Ok(if report.breached() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_bench(flags: &Flags) -> Result<(), String> {
+    let machine = MachineConfig::paper();
+    let crb = crb_of(flags);
+    let selected: Vec<&str> = match &flags.only {
+        None => NAMES.to_vec(),
+        Some(list) => {
+            let mut out = Vec::new();
+            for name in list.split(',').filter(|s| !s.is_empty()) {
+                let Some(&known) = NAMES.iter().find(|&&n| n == name) else {
+                    return Err(format!("unknown workload `{name}` (see `ccr list`)"));
+                };
+                out.push(known);
+            }
+            out
+        }
+    };
+    if selected.is_empty() {
+        return Err("--only selected no workloads".into());
+    }
+    let mut report = ccr_analyze::BenchReport {
+        suite: "ccr".to_string(),
+        input: input_name(flags.input).to_string(),
+        scale: u64::from(flags.scale),
+        config_hash: ccr::config_hash(&machine, &crb),
+        crate_version: env!("CARGO_PKG_VERSION").to_string(),
+        workloads: Vec::new(),
+    };
+    for name in selected {
+        let started = std::time::Instant::now();
+        let train = build(name, InputSet::Train, flags.scale).expect("known");
+        let target = build(name, flags.input, flags.scale).expect("known");
+        let compiled =
+            compile_ccr(&train, &target, &compile_config(flags)).map_err(|e| e.to_string())?;
+        let m = measure(&compiled, &machine, crb, emu()).map_err(|e| e.to_string())?;
+        let lookups = m.ccr.stats.reuse_hits + m.ccr.stats.reuse_misses;
+        report.workloads.push(ccr_analyze::BenchWorkload {
+            name: name.to_string(),
+            base_cycles: m.base.stats.cycles,
+            ccr_cycles: m.ccr.stats.cycles,
+            speedup: m.speedup(),
+            hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                m.ccr.stats.reuse_hits as f64 / lookups as f64
+            },
+            regions: compiled.regions.len() as u64,
+            wall_ms: started.elapsed().as_millis() as u64,
+        });
+    }
+    let out = flags
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_ccr.json".to_string());
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    print!("{}", report.render());
+    println!("wrote {out}");
+    Ok(())
 }
 
 fn cmd_regions(flags: &Flags) -> Result<(), String> {

@@ -1,0 +1,90 @@
+//! Golden-file test for the analyzer.
+//!
+//! `tests/fixtures/run_telemetry/` holds a frozen telemetry capture of
+//! the paper's Figure 2 bitcount program (`bitcount.ccr`, loop reduced
+//! to 300 iterations to keep the artifacts small): `events.jsonl` and
+//! `report.json` exactly as `ccr run --telemetry` wrote them. The
+//! inputs are frozen rather than regenerated because event lines carry
+//! wall-clock pass timings; the *analyzer* by contrast must be fully
+//! deterministic, so its output on the frozen inputs is compared
+//! byte-for-byte against the committed goldens in `golden/`.
+//!
+//! To refresh after an intentional schema or analyzer change:
+//!
+//! ```text
+//! CCR_UPDATE_GOLDEN=1 cargo test --test analyze_golden
+//! ```
+
+use std::path::Path;
+
+/// Matches the `ccr analyze` CLI default for the hottest-region tables.
+const TOP_N: usize = 10;
+
+fn check_golden(path: &Path, actual: &str) {
+    if std::env::var_os("CCR_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (run with CCR_UPDATE_GOLDEN=1 to create)",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{} drifted from the committed golden.\n\
+         If the change is intentional, refresh with:\n\
+         CCR_UPDATE_GOLDEN=1 cargo test --test analyze_golden\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}",
+        path.display()
+    );
+}
+
+#[test]
+fn analyzer_output_is_byte_stable_on_the_frozen_fixture() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/run_telemetry");
+    let data = ccr_analyze::load_run(&fixture).expect("fixture must ingest cleanly");
+    assert_eq!(
+        data.skipped_lines, 0,
+        "the frozen capture has no torn lines"
+    );
+
+    let analysis = ccr_analyze::analyze(&data, TOP_N);
+    let trace = ccr_analyze::chrome_trace(&data);
+
+    // Determinism first: a second pass over the same input must give
+    // identical bytes, independent of the goldens.
+    assert_eq!(
+        ccr_analyze::analyze(&data, TOP_N).to_json(),
+        analysis.to_json()
+    );
+    assert_eq!(ccr_analyze::chrome_trace(&data), trace);
+
+    check_golden(&fixture.join("golden/analysis.json"), &analysis.to_json());
+    check_golden(&fixture.join("golden/trace.json"), &trace);
+}
+
+#[test]
+fn fixture_report_is_v2_with_provenance() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/run_telemetry");
+    let data = ccr_analyze::load_run(&fixture).unwrap();
+    assert_eq!(data.report.schema_version, 2);
+    let hash = data
+        .report
+        .config_hash
+        .as_deref()
+        .expect("v2 carries a config hash");
+    assert_eq!(hash.len(), 16);
+    assert!(hash.bytes().all(|b| b.is_ascii_hexdigit()));
+    // Self-diff of the fixture is clean and within every threshold.
+    let snap: ccr_analyze::diff::RunSnapshot = (&ccr_analyze::analyze(&data, TOP_N)).into();
+    let report = ccr_analyze::diff_analyses(
+        &snap,
+        &snap,
+        &ccr_analyze::Thresholds::default_gate(),
+        false,
+    )
+    .unwrap();
+    assert!(!report.breached());
+}

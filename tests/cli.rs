@@ -59,6 +59,191 @@ fn trace_respects_the_limit() {
 }
 
 #[test]
+fn run_analyze_diff_pipeline_round_trips() {
+    let dir = std::env::temp_dir().join("ccr-cli-analyze-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let tele = dir.join("run");
+    let out = ccr()
+        .args(["run", "lex", "--telemetry", tele.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = ccr()
+        .args(["analyze", tele.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("speedup"), "{stdout}");
+    assert!(stdout.contains("hottest by instructions saved"), "{stdout}");
+    let analysis = std::fs::read_to_string(tele.join("analysis.json")).unwrap();
+    assert!(
+        analysis.starts_with("{\"analysis_schema_version\":1,"),
+        "{analysis}"
+    );
+    let trace = std::fs::read_to_string(tele.join("trace.json")).unwrap();
+    assert!(trace.contains("\"traceEvents\":["), "{trace}");
+
+    // Self-diff: zero deltas, exit 0.
+    let out = ccr()
+        .args(["diff", tele.to_str().unwrap(), tele.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("OK: all deltas within thresholds"),
+        "{stdout}"
+    );
+
+    // A saved analysis.json works as a diff baseline too.
+    let out = ccr()
+        .args([
+            "diff",
+            tele.join("analysis.json").to_str().unwrap(),
+            tele.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn diff_flags_regressions_with_exit_code_2() {
+    let dir = std::env::temp_dir().join("ccr-cli-diff-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good");
+    let bad = dir.join("bad");
+    for (tele, instances) in [(&good, "8"), (&bad, "1")] {
+        let out = ccr()
+            .args([
+                "run",
+                "lex",
+                "--instances",
+                instances,
+                "--telemetry",
+                tele.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // Different CRB geometry ⇒ different config hash ⇒ refused without
+    // --force (plain failure, exit 1).
+    let out = ccr()
+        .args(["diff", good.to_str().unwrap(), bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("config hash mismatch"), "{stderr}");
+
+    // Forced: the cycle/hit-rate regression breaches the default
+    // thresholds, exit 2.
+    let out = ccr()
+        .args([
+            "diff",
+            good.to_str().unwrap(),
+            bad.to_str().unwrap(),
+            "--force",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("** BREACH"), "{stdout}");
+    assert!(stdout.contains("FAIL:"), "{stdout}");
+
+    // The same comparison with thresholds disabled reports but passes.
+    let out = ccr()
+        .args([
+            "diff",
+            good.to_str().unwrap(),
+            bad.to_str().unwrap(),
+            "--force",
+            "--thresholds",
+            "none",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn bench_snapshot_round_trips_through_diff() {
+    let dir = std::env::temp_dir().join("ccr-cli-bench-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("BENCH_test.json");
+    let out = ccr()
+        .args(["bench", "--only", "lex", "--out", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&snap).unwrap();
+    assert!(text.starts_with("{\"bench_schema_version\":1,"), "{text}");
+    assert!(text.contains("\"name\":\"lex\""), "{text}");
+
+    let out = ccr()
+        .args(["diff", snap.to_str().unwrap(), snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("OK: all deltas within thresholds"),
+        "{stdout}"
+    );
+
+    let out = ccr()
+        .args(["bench", "--only", "no-such-workload"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn bad_arguments_fail_with_usage() {
     let out = ccr().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());
