@@ -13,8 +13,11 @@ use std::collections::BTreeMap;
 
 use ccr_telemetry::{Histogram, JsonWriter};
 
-use crate::ingest::{CrbKind, Phase, RunData};
+use crate::ingest::{AttrRec, BucketSet, CrbKind, Phase, RunData};
 use crate::ANALYSIS_SCHEMA_VERSION;
+
+/// The five miss-cause tags, in canonical order.
+pub const MISS_CAUSES: [&str; 5] = ["cold", "mismatch", "capacity", "conflict", "invalidated"];
 
 /// Number of equal-count windows in a region's hit-rate-over-time
 /// profile (the "does it warm up / fade" view).
@@ -108,6 +111,9 @@ pub struct RegionProfile {
     pub invalidations: u64,
     /// Miss cost in cycles: `misses × reuse_miss_penalty`.
     pub miss_cycles: u64,
+    /// Miss-cause mix, indexed like [`MISS_CAUSES`]. All zero for
+    /// unprofiled streams (misses carry no `cause` tag there).
+    pub miss_causes: [u64; 5],
 }
 
 /// One bucket of the CRB occupancy curve.
@@ -168,6 +174,9 @@ pub struct Analysis {
     pub hits: u64,
     /// CRB misses.
     pub misses: u64,
+    /// Run-wide miss-cause mix, indexed like [`MISS_CAUSES`] (from
+    /// the report; all zero for pre-v3 sources).
+    pub miss_causes: [u64; 5],
     /// hits / lookups.
     pub hit_rate: f64,
     /// Instructions eliminated by reuse.
@@ -205,6 +214,11 @@ pub struct Analysis {
     pub hottest_by_skipped: Vec<(u64, u64)>,
     /// Region ids ranked by miss cycles wasted, descending, top N.
     pub hottest_by_miss_cycles: Vec<(u64, u64)>,
+
+    /// Baseline-phase cycle attribution (profiled v3 runs only).
+    pub attribution_base: Option<AttrRec>,
+    /// CCR-phase cycle attribution (profiled v3 runs only).
+    pub attribution_ccr: Option<AttrRec>,
 }
 
 /// Analyzes one loaded run. `top_n` bounds the hottest-region tables.
@@ -226,6 +240,13 @@ pub fn analyze(data: &RunData, top_n: usize) -> Analysis {
         lookups: report.crb_lookups,
         hits: report.crb_hits,
         misses: report.crb_misses,
+        miss_causes: [
+            report.crb_miss_cold,
+            report.crb_miss_mismatch,
+            report.crb_miss_capacity,
+            report.crb_miss_conflict,
+            report.crb_miss_invalidated,
+        ],
         hit_rate: ratio(report.crb_hits, report.crb_lookups),
         skipped_instrs: data.ccr_summary.skipped,
         invalidations: report.crb_invalidations,
@@ -255,11 +276,19 @@ pub fn analyze(data: &RunData, top_n: usize) -> Analysis {
 
     // Per-region profiles from the CCR-phase reuse timeline.
     let mut by_region: BTreeMap<u64, Vec<(bool, u64, u64)>> = BTreeMap::new();
+    let mut causes_by_region: BTreeMap<u64, [u64; 5]> = BTreeMap::new();
     for r in data.reuse.iter().filter(|r| r.phase == Phase::Ccr) {
         by_region
             .entry(r.region)
             .or_default()
             .push((r.hit, r.skipped, r.cycle));
+        if let Some(slot) = r
+            .cause
+            .as_deref()
+            .and_then(|c| MISS_CAUSES.iter().position(|m| *m == c))
+        {
+            causes_by_region.entry(r.region).or_default()[slot] += 1;
+        }
     }
     let mut profiles: BTreeMap<u64, RegionProfile> = BTreeMap::new();
     for (&region, lookups) in &by_region {
@@ -275,6 +304,7 @@ pub fn analyze(data: &RunData, top_n: usize) -> Analysis {
             first_cycle: lookups.first().map(|(_, _, c)| *c).unwrap_or(0),
             last_cycle: lookups.last().map(|(_, _, c)| *c).unwrap_or(0),
             miss_cycles: (n - hits) * report.reuse_miss_penalty,
+            miss_causes: causes_by_region.get(&region).copied().unwrap_or_default(),
             ..RegionProfile::default()
         };
         // Equal-count hit-rate windows in time order.
@@ -371,6 +401,9 @@ pub fn analyze(data: &RunData, top_n: usize) -> Analysis {
     by_miss.truncate(top_n);
     a.hottest_by_miss_cycles = by_miss;
 
+    a.attribution_base = report.base_attribution.clone();
+    a.attribution_ccr = report.ccr_attribution.clone();
+
     a
 }
 
@@ -380,6 +413,52 @@ fn ratio(num: u64, den: u64) -> f64 {
     } else {
         num as f64 / den as f64
     }
+}
+
+fn miss_causes_json(w: &mut JsonWriter, causes: &[u64; 5]) {
+    for (name, count) in MISS_CAUSES.iter().zip(causes) {
+        w.key(&format!("miss_{name}")).u64_val(*count);
+    }
+}
+
+fn bucket_set_json(w: &mut JsonWriter, b: &BucketSet) {
+    w.obj_begin();
+    w.key("issue").u64_val(b.issue);
+    w.key("fetch").u64_val(b.fetch);
+    w.key("memory").u64_val(b.memory);
+    w.key("reuse_hit").u64_val(b.reuse_hit);
+    w.key("drain").u64_val(b.drain);
+    w.obj_end();
+}
+
+fn attribution_json(w: &mut JsonWriter, attr: Option<&AttrRec>) {
+    let Some(attr) = attr else {
+        w.null_val();
+        return;
+    };
+    w.obj_begin();
+    w.key("total");
+    bucket_set_json(w, &attr.total);
+    w.key("cycles").u64_val(attr.total.total());
+    w.key("functions").arr_begin();
+    for f in &attr.functions {
+        w.obj_begin();
+        w.key("name").str_val(&f.name);
+        w.key("cycles").u64_val(f.cycles);
+        w.key("buckets");
+        bucket_set_json(w, &f.buckets);
+        w.obj_end();
+    }
+    w.arr_end();
+    w.key("regions").arr_begin();
+    for (region, cycles) in &attr.regions {
+        w.obj_begin();
+        w.key("region").u64_val(*region);
+        w.key("cycles").u64_val(*cycles);
+        w.obj_end();
+    }
+    w.arr_end();
+    w.obj_end();
 }
 
 fn ipc_stats_json(w: &mut JsonWriter, s: &IpcStats) {
@@ -428,6 +507,7 @@ impl Analysis {
         w.key("lookups").u64_val(self.lookups);
         w.key("hits").u64_val(self.hits);
         w.key("misses").u64_val(self.misses);
+        miss_causes_json(&mut w, &self.miss_causes);
         w.key("hit_rate").f64_val(self.hit_rate);
         w.key("skipped_instrs").u64_val(self.skipped_instrs);
         w.key("evictions").u64_val(self.evictions);
@@ -483,6 +563,7 @@ impl Analysis {
             w.key("conflicts").u64_val(p.conflicts);
             w.key("invalidations").u64_val(p.invalidations);
             w.key("miss_cycles").u64_val(p.miss_cycles);
+            miss_causes_json(&mut w, &p.miss_causes);
             w.obj_end();
         }
         w.arr_end();
@@ -507,6 +588,13 @@ impl Analysis {
             w.obj_end();
         }
         w.arr_end();
+        w.obj_end();
+
+        w.key("attribution").obj_begin();
+        w.key("base");
+        attribution_json(&mut w, self.attribution_base.as_ref());
+        w.key("ccr");
+        attribution_json(&mut w, self.attribution_ccr.as_ref());
         w.obj_end();
 
         w.key("hottest_by_skipped").arr_begin();
@@ -570,6 +658,31 @@ impl Analysis {
             self.conflicts,
             self.invalidations
         );
+        if self.miss_causes.iter().any(|&c| c > 0) {
+            let [cold, mismatch, capacity, conflict, invalidated] = self.miss_causes;
+            let _ = writeln!(
+                out,
+                "misses     : {cold} cold, {mismatch} mismatch, {capacity} capacity, {conflict} conflict, {invalidated} invalidated",
+            );
+        }
+        for (name, attr) in [
+            ("attr (base)", &self.attribution_base),
+            ("attr (ccr)", &self.attribution_ccr),
+        ] {
+            if let Some(a) = attr {
+                let b = &a.total;
+                let _ = writeln!(
+                    out,
+                    "{name:<11}: {} cycles = issue {} + fetch {} + memory {} + reuse_hit {} + drain {}",
+                    b.total(),
+                    b.issue,
+                    b.fetch,
+                    b.memory,
+                    b.reuse_hit,
+                    b.drain
+                );
+            }
+        }
         for (name, s) in [("ipc (base)", &self.ipc_base), ("ipc (ccr)", &self.ipc_ccr)] {
             if s.windows > 0 {
                 let _ = writeln!(
@@ -634,6 +747,8 @@ mod tests {
                 crb_lookups: 12,
                 crb_hits: 8,
                 crb_misses: 4,
+                crb_miss_cold: 1,
+                crb_miss_mismatch: 3,
                 regions: 3,
                 ..ReportInfo::default()
             },
@@ -648,6 +763,7 @@ mod tests {
                 hit: i >= 4,
                 skipped: if i >= 4 { 10 } else { 0 },
                 cycle: 100 + i * 50,
+                cause: (i < 4).then(|| if i == 0 { "cold" } else { "mismatch" }.to_string()),
             });
         }
         for i in 0..4u64 {
@@ -657,6 +773,7 @@ mod tests {
                 hit: true,
                 skipped: 5,
                 cycle: 120 + i * 50,
+                cause: None,
             });
         }
         // A base-phase lookup must not leak into the CCR profiles.
@@ -666,6 +783,7 @@ mod tests {
             hit: false,
             skipped: 0,
             cycle: 10,
+            cause: None,
         });
         for i in 0..4u64 {
             data.ipc_windows.push(IpcWindowRec {
@@ -726,11 +844,73 @@ mod tests {
         let j1 = analyze(&data, 10).to_json();
         let j2 = a.to_json();
         assert_eq!(j1, j2, "same input must give identical bytes");
-        assert!(j1.starts_with("{\"analysis_schema_version\":1,"));
+        assert!(j1.starts_with("{\"analysis_schema_version\":2,"));
         assert!(j1.ends_with("}\n"));
         let parsed = crate::value::parse(j1.trim_end()).expect("output must be valid JSON");
         assert_eq!(parsed.get("totals").unwrap().u64_field("hits"), 8);
         assert_eq!(parsed.get("regions").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn region_miss_causes_come_from_the_event_stream() {
+        let a = analyze(&sample_data(), 10);
+        let r0 = &a.regions[0];
+        // 4 misses: 1 cold + 3 mismatch (see sample_data), summing to
+        // the region's miss count.
+        assert_eq!(r0.miss_causes, [1, 3, 0, 0, 0]);
+        assert_eq!(r0.miss_causes.iter().sum::<u64>(), r0.misses);
+        let r1 = &a.regions[1];
+        assert_eq!(r1.miss_causes, [0; 5]);
+        let json = a.to_json();
+        assert!(
+            json.contains("\"miss_cold\":1,\"miss_mismatch\":3"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn attribution_section_serializes_when_present() {
+        use crate::ingest::{AttrRec, BucketSet, FuncAttrRec};
+        let mut data = sample_data();
+        let a = analyze(&data, 10);
+        // Unprofiled source: explicit nulls keep the key present.
+        assert!(a
+            .to_json()
+            .contains("\"attribution\":{\"base\":null,\"ccr\":null}"));
+        data.report.ccr_attribution = Some(AttrRec {
+            total: BucketSet {
+                issue: 500,
+                fetch: 100,
+                memory: 150,
+                reuse_hit: 30,
+                drain: 20,
+            },
+            functions: vec![FuncAttrRec {
+                name: "main".into(),
+                cycles: 800,
+                buckets: BucketSet {
+                    issue: 500,
+                    fetch: 100,
+                    memory: 150,
+                    reuse_hit: 30,
+                    drain: 20,
+                },
+            }],
+            regions: vec![(0, 90)],
+        });
+        let a = analyze(&data, 10);
+        let json = a.to_json();
+        assert!(
+            json.contains("\"attribution\":{\"base\":null,\"ccr\":{\"total\":{\"issue\":500,"),
+            "{json}"
+        );
+        assert!(json.contains("\"cycles\":800"), "{json}");
+        let parsed = crate::value::parse(json.trim_end()).unwrap();
+        let ccr = parsed.get("attribution").unwrap().get("ccr").unwrap();
+        assert_eq!(ccr.u64_field("cycles"), 800);
+        let s = a.summary();
+        assert!(s.contains("attr (ccr) : 800 cycles = issue 500"), "{s}");
+        assert!(s.contains("1 cold, 3 mismatch"), "{s}");
     }
 
     #[test]

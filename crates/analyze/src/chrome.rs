@@ -191,6 +191,7 @@ mod tests {
             hit: false,
             skipped: 0,
             cycle: 40,
+            cause: None,
         });
         data.reuse.push(ReuseRec {
             phase: Phase::Ccr,
@@ -198,6 +199,7 @@ mod tests {
             hit: true,
             skipped: 13,
             cycle: 55,
+            cause: None,
         });
         data.ipc_windows.push(IpcWindowRec {
             phase: Phase::Ccr,
@@ -268,6 +270,7 @@ mod tests {
                 hit: true,
                 skipped: 1,
                 cycle: i,
+                cause: None,
             });
         }
         let trace = chrome_trace(&data);

@@ -1,0 +1,240 @@
+//! A self-contained flamegraph renderer over collapsed-stack text —
+//! the `flamegraph.svg` artifact.
+//!
+//! Takes [`crate::folded::fold_samples`] output (`a;b;c N` lines) and
+//! renders an icicle-layout SVG (root on top, leaves growing down)
+//! with no scripts, no external fonts, and no tool dependencies.
+//! Everything is deterministic: sibling frames are laid out in
+//! lexicographic order, colors are a pure hash of the frame name, and
+//! coordinates are emitted at fixed precision — identical folded
+//! input yields byte-identical SVG, so the artifact can be
+//! golden-file checked.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Canvas width in pixels.
+pub const WIDTH: f64 = 1200.0;
+/// Height of one frame row in pixels.
+pub const ROW_HEIGHT: f64 = 16.0;
+/// Frames narrower than this many pixels are dropped (standard
+/// flamegraph practice: they would be sub-pixel noise).
+pub const MIN_FRAME_WIDTH: f64 = 0.2;
+/// Frames at least this wide get an inline label.
+const MIN_LABEL_WIDTH: f64 = 40.0;
+/// Approximate label character width at the embedded font size.
+const CHAR_WIDTH: f64 = 7.2;
+
+#[derive(Default)]
+struct Node {
+    total: u64,
+    children: BTreeMap<String, Node>,
+}
+
+fn build_tree(folded: &str) -> Node {
+    let mut root = Node::default();
+    for line in folded.lines() {
+        let Some((stack, count)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(count) = count.parse::<u64>() else {
+            continue;
+        };
+        root.total += count;
+        let mut node = &mut root;
+        for frame in stack.split(';') {
+            node = node.children.entry(frame.to_string()).or_default();
+            node.total += count;
+        }
+    }
+    root
+}
+
+fn depth_of(node: &Node) -> usize {
+    1 + node.children.values().map(depth_of).max().unwrap_or(0)
+}
+
+fn escape_xml(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// FNV-1a over the frame name, spread over a warm palette. Pure in
+/// the name — re-renders never shuffle colors.
+fn color_of(name: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let r = 205 + (h % 50) as u8;
+    let g = 80 + ((h >> 8) % 110) as u8;
+    let b = ((h >> 16) % 55) as u8;
+    format!("rgb({r},{g},{b})")
+}
+
+fn render_frame(
+    out: &mut String,
+    name: &str,
+    node: &Node,
+    x: f64,
+    depth: usize,
+    scale: f64,
+    grand_total: u64,
+) {
+    let w = node.total as f64 * scale;
+    if w < MIN_FRAME_WIDTH {
+        return;
+    }
+    let y = depth as f64 * ROW_HEIGHT;
+    let pct = 100.0 * node.total as f64 / grand_total as f64;
+    let title = format!("{} ({} cycles, {:.2}%)", escape_xml(name), node.total, pct);
+    let _ = write!(
+        out,
+        "<g><title>{title}</title><rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" \
+         height=\"{h:.1}\" fill=\"{fill}\" rx=\"1\"/>",
+        h = ROW_HEIGHT - 1.0,
+        fill = color_of(name),
+    );
+    if w >= MIN_LABEL_WIDTH {
+        let budget = ((w - 6.0) / CHAR_WIDTH) as usize;
+        let label: String = if name.chars().count() > budget {
+            name.chars()
+                .take(budget.saturating_sub(2))
+                .collect::<String>()
+                + ".."
+        } else {
+            name.to_string()
+        };
+        let _ = write!(
+            out,
+            "<text x=\"{tx:.1}\" y=\"{ty:.1}\">{}</text>",
+            escape_xml(&label),
+            tx = x + 3.0,
+            ty = y + ROW_HEIGHT - 4.5,
+        );
+    }
+    out.push_str("</g>\n");
+    let mut child_x = x;
+    for (child_name, child) in &node.children {
+        render_frame(
+            out,
+            child_name,
+            child,
+            child_x,
+            depth + 1,
+            scale,
+            grand_total,
+        );
+        child_x += child.total as f64 * scale;
+    }
+}
+
+/// Renders collapsed-stack text as a deterministic, self-contained
+/// flamegraph SVG. Empty input yields a small placeholder SVG noting
+/// the absence of samples (still well-formed XML).
+pub fn flamegraph_svg(folded: &str) -> String {
+    let root = build_tree(folded);
+    let depth = if root.total == 0 { 1 } else { depth_of(&root) };
+    let height = (depth + 1) as f64 * ROW_HEIGHT + 24.0;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<?xml version=\"1.0\" standalone=\"no\"?>\n\
+         <svg version=\"1.1\" width=\"{WIDTH:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {WIDTH:.0} {height:.0}\" xmlns=\"http://www.w3.org/2000/svg\">\n\
+         <style>text {{ font-family: monospace; font-size: 11px; fill: #000; }}</style>\n\
+         <rect x=\"0\" y=\"0\" width=\"{WIDTH:.0}\" height=\"{height:.0}\" fill=\"#f8f8f8\"/>\n\
+         <text x=\"4\" y=\"14\">ccr cycle flamegraph — {total} sampled cycles</text>\n\
+         <g transform=\"translate(0,20)\">\n",
+        total = root.total,
+    );
+    if root.total == 0 {
+        out.push_str("<text x=\"4\" y=\"14\">no cycle samples (run was not profiled)</text>\n");
+    } else {
+        let scale = WIDTH / root.total as f64;
+        render_frame(&mut out, "all", &root, 0.0, 0, scale, root.total);
+    }
+    out.push_str("</g>\n</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FOLDED: &str = "base;main 50\nccr;main 30\nccr;main;count_ones 20\n";
+
+    #[test]
+    fn svg_is_deterministic_and_well_formed() {
+        let a = flamegraph_svg(FOLDED);
+        let b = flamegraph_svg(FOLDED);
+        assert_eq!(a, b);
+        assert!(a.starts_with("<?xml"));
+        assert!(a.trim_end().ends_with("</svg>"));
+        assert_eq!(a.matches("<g").count(), a.matches("</g>").count());
+        assert_eq!(a.matches("<svg").count(), 1);
+        assert!(!a.contains("<script"), "must be inert");
+    }
+
+    #[test]
+    fn frame_widths_are_proportional_to_cycles() {
+        let svg = flamegraph_svg(FOLDED);
+        // Root spans the canvas; base and ccr split it 50/50.
+        assert!(svg.contains("width=\"1200.0\""), "{svg}");
+        assert!(svg.contains(">all (100 cycles, 100.00%)<"), "{svg}");
+        assert!(svg.contains(">base (50 cycles, 50.00%)<"), "{svg}");
+        assert!(svg.contains(">ccr (50 cycles, 50.00%)<"), "{svg}");
+        assert!(svg.contains(">count_ones (20 cycles, 20.00%)<"), "{svg}");
+        assert!(svg.contains("width=\"600.0\""), "{svg}");
+        assert!(svg.contains("width=\"240.0\""), "{svg}");
+    }
+
+    #[test]
+    fn sibling_order_and_colors_are_stable() {
+        let svg = flamegraph_svg("ccr;b 10\nccr;a 10\n");
+        let a_pos = svg
+            .find(">a<")
+            .or_else(|| svg.find("a (10 cycles"))
+            .unwrap();
+        let b_pos = svg
+            .find(">b<")
+            .or_else(|| svg.find("b (10 cycles"))
+            .unwrap();
+        assert!(a_pos < b_pos, "siblings render lexicographically");
+        assert_eq!(color_of("main"), color_of("main"));
+    }
+
+    #[test]
+    fn names_are_xml_escaped() {
+        let svg = flamegraph_svg("ccr;f<g>&co 10\n");
+        assert!(svg.contains("f&lt;g&gt;&amp;co"), "{svg}");
+        assert!(!svg.contains("f<g>"), "{svg}");
+    }
+
+    #[test]
+    fn empty_input_renders_a_placeholder() {
+        let svg = flamegraph_svg("");
+        assert!(svg.contains("no cycle samples"), "{svg}");
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn subpixel_frames_are_dropped_not_distorted() {
+        let mut folded = String::from("ccr;big 1000000\n");
+        folded.push_str("ccr;tiny 1\n");
+        let svg = flamegraph_svg(&folded);
+        assert!(svg.contains("big"), "{svg}");
+        assert!(!svg.contains("tiny"), "{svg}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Collapsed-stack ("folded") output of a profiled run's
+//! `cycle_sample` events — the `profile.folded` artifact.
+//!
+//! The format is the one every flamegraph tool consumes: one line per
+//! distinct stack, `frame;frame;...;frame <count>`, here with cycles
+//! as the count. Each line is prefixed with the simulation phase
+//! (`base` or `ccr`) as the root frame, so one file holds both runs
+//! side by side and the renderer shows them as two top-level towers.
+//! Lines are sorted lexicographically, making the output
+//! deterministic for identical inputs.
+
+use std::collections::BTreeMap;
+
+use crate::ingest::{Phase, RunData};
+
+/// Folds a run's `cycle_sample` events into collapsed-stack lines.
+///
+/// Returns the empty string when the run carried no samples (i.e. it
+/// was not profiled).
+pub fn fold_samples(data: &RunData) -> String {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for s in &data.cycle_samples {
+        let phase = match s.phase {
+            Phase::Base => "base",
+            Phase::Ccr => "ccr",
+            Phase::Compile => continue,
+        };
+        let stack = if s.stack.is_empty() { "?" } else { &s.stack };
+        *folded.entry(format!("{phase};{stack}")).or_insert(0) += s.cycles;
+    }
+    let mut out = String::new();
+    for (stack, cycles) in folded {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&cycles.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::CycleSampleRec;
+
+    fn sample(phase: Phase, stack: &str, cycles: u64) -> CycleSampleRec {
+        CycleSampleRec {
+            phase,
+            stack: stack.to_string(),
+            cycles,
+        }
+    }
+
+    #[test]
+    fn folds_merge_sort_and_prefix_by_phase() {
+        let mut data = RunData::default();
+        data.cycle_samples.push(sample(Phase::Ccr, "main;f", 10));
+        data.cycle_samples.push(sample(Phase::Base, "main", 5));
+        data.cycle_samples.push(sample(Phase::Ccr, "main;f", 7));
+        data.cycle_samples.push(sample(Phase::Ccr, "main", 3));
+        // Compile-phase samples cannot occur, but must not crash.
+        data.cycle_samples.push(sample(Phase::Compile, "x", 1));
+        let folded = fold_samples(&data);
+        assert_eq!(folded, "base;main 5\nccr;main 3\nccr;main;f 17\n");
+    }
+
+    #[test]
+    fn unprofiled_runs_fold_to_nothing() {
+        assert_eq!(fold_samples(&RunData::default()), "");
+    }
+
+    #[test]
+    fn empty_stacks_get_a_placeholder_frame() {
+        let mut data = RunData::default();
+        data.cycle_samples.push(sample(Phase::Base, "", 2));
+        assert_eq!(fold_samples(&data), "base;? 2\n");
+    }
+}

@@ -21,8 +21,9 @@ use crate::value::{self, Value};
 /// Event-stream schema versions this reader understands.
 pub const KNOWN_EVENT_VERSIONS: &[u64] = &[1];
 /// Run-report schema versions this reader understands. Version 1
-/// (PR 1) has no provenance block; version 2 adds it.
-pub const KNOWN_REPORT_VERSIONS: &[u64] = &[1, 2];
+/// (PR 1) has no provenance block; version 2 adds it; version 3 adds
+/// CRB miss-cause counters and per-phase cycle attribution.
+pub const KNOWN_REPORT_VERSIONS: &[u64] = &[1, 2, 3];
 
 /// What went wrong while loading run artifacts.
 #[derive(Debug)]
@@ -76,7 +77,7 @@ pub struct PassRec {
 }
 
 /// One reuse-lookup outcome (`reuse` event).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ReuseRec {
     /// Phase the lookup happened in.
     pub phase: Phase,
@@ -88,6 +89,65 @@ pub struct ReuseRec {
     pub skipped: u64,
     /// Pipeline cycle after the lookup.
     pub cycle: u64,
+    /// Miss-cause tag (`cold` / `mismatch` / `capacity` / `conflict`
+    /// / `invalidated`). Present only on misses from profiled runs.
+    pub cause: Option<String>,
+}
+
+/// One periodic call-stack sample (`cycle_sample` event, profiled
+/// runs only).
+#[derive(Clone, Debug)]
+pub struct CycleSampleRec {
+    /// Phase the sample belongs to.
+    pub phase: Phase,
+    /// `;`-joined call stack, outermost frame first.
+    pub stack: String,
+    /// Cycles the sample accounts for.
+    pub cycles: u64,
+}
+
+/// One cycle-attribution bucket set (report v3, profiled runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BucketSet {
+    /// Cycles issuing, or structurally stalled at issue.
+    pub issue: u64,
+    /// Cycles waiting on fetch (redirects, icache misses).
+    pub fetch: u64,
+    /// Cycles waiting on memory results.
+    pub memory: u64,
+    /// Cycles attributed to reuse-hit handling.
+    pub reuse_hit: u64,
+    /// End-of-run drain cycles.
+    pub drain: u64,
+}
+
+impl BucketSet {
+    /// Sum across the buckets.
+    pub fn total(&self) -> u64 {
+        self.issue + self.fetch + self.memory + self.reuse_hit + self.drain
+    }
+}
+
+/// One function's cycle attribution (report v3).
+#[derive(Clone, Debug)]
+pub struct FuncAttrRec {
+    /// Function name.
+    pub name: String,
+    /// Total cycles charged to the function.
+    pub cycles: u64,
+    /// Breakdown of those cycles.
+    pub buckets: BucketSet,
+}
+
+/// One phase's full cycle attribution (report v3, profiled runs).
+#[derive(Clone, Debug, Default)]
+pub struct AttrRec {
+    /// Run-wide bucket totals (sums to the phase's cycle count).
+    pub total: BucketSet,
+    /// Per-function breakdowns, descending by cycles.
+    pub functions: Vec<FuncAttrRec>,
+    /// Per-region `(region, cycles)` charges, ascending region id.
+    pub regions: Vec<(u64, u64)>,
 }
 
 /// One interval-IPC sample (`ipc_window` event).
@@ -194,10 +254,24 @@ pub struct ReportInfo {
     pub crb_hits: u64,
     /// CRB misses.
     pub crb_misses: u64,
+    /// Cold misses — region never recorded (v3 reports only).
+    pub crb_miss_cold: u64,
+    /// Input-vector mismatch misses (v3 reports only).
+    pub crb_miss_mismatch: u64,
+    /// Misses on instances lost to capacity eviction (v3 only).
+    pub crb_miss_capacity: u64,
+    /// Misses on instances lost to entry conflicts (v3 only).
+    pub crb_miss_conflict: u64,
+    /// Misses on instances lost to invalidation (v3 only).
+    pub crb_miss_invalidated: u64,
     /// CRB invalidations.
     pub crb_invalidations: u64,
     /// CRB entry conflicts.
     pub crb_entry_conflicts: u64,
+    /// Baseline-phase cycle attribution (v3, profiled runs only).
+    pub base_attribution: Option<AttrRec>,
+    /// CCR-phase cycle attribution (v3, profiled runs only).
+    pub ccr_attribution: Option<AttrRec>,
 }
 
 /// Everything `load_run` extracted from one telemetry directory.
@@ -215,6 +289,8 @@ pub struct RunData {
     pub ipc_windows: Vec<IpcWindowRec>,
     /// CRB structural events, in stream order.
     pub crb_events: Vec<CrbRec>,
+    /// Call-stack samples, in stream order (profiled runs only).
+    pub cycle_samples: Vec<CycleSampleRec>,
     /// End-of-phase totals for the baseline simulation.
     pub base_summary: SimSummaryRec,
     /// End-of-phase totals for the CCR simulation.
@@ -304,6 +380,12 @@ fn ingest_event(data: &mut RunData, phase: &mut Phase, ev: &Value) {
             hit: ev.get("hit").and_then(Value::as_bool).unwrap_or(false),
             skipped: ev.u64_field("skipped"),
             cycle: ev.u64_field("cycle"),
+            cause: ev.get("cause").and_then(Value::as_str).map(String::from),
+        }),
+        "cycle_sample" => data.cycle_samples.push(CycleSampleRec {
+            phase: *phase,
+            stack: ev.str_field("stack").to_string(),
+            cycles: ev.u64_field("cycles"),
         }),
         "ipc_window" => data.ipc_windows.push(IpcWindowRec {
             phase: *phase,
@@ -392,18 +474,62 @@ fn extract_report(v: &Value) -> Result<ReportInfo, IngestError> {
     info.regions = v.u64_field("regions");
     if let Some(base) = v.get("base") {
         info.base_cycles = base.u64_field("cycles");
+        info.base_attribution = base.get("attribution").and_then(extract_attribution);
     }
     if let Some(ccr) = v.get("ccr") {
         info.ccr_cycles = ccr.u64_field("cycles");
+        info.ccr_attribution = ccr.get("attribution").and_then(extract_attribution);
         if let Some(crb) = ccr.get("crb") {
             info.crb_lookups = crb.u64_field("lookups");
             info.crb_hits = crb.u64_field("hits");
             info.crb_misses = crb.u64_field("misses");
+            // v3; zero on older reports.
+            info.crb_miss_cold = crb.u64_field("miss_cold");
+            info.crb_miss_mismatch = crb.u64_field("miss_mismatch");
+            info.crb_miss_capacity = crb.u64_field("miss_capacity");
+            info.crb_miss_conflict = crb.u64_field("miss_conflict");
+            info.crb_miss_invalidated = crb.u64_field("miss_invalidated");
             info.crb_invalidations = crb.u64_field("invalidations");
             info.crb_entry_conflicts = crb.u64_field("entry_conflicts");
         }
     }
     Ok(info)
+}
+
+fn extract_buckets(v: &Value) -> BucketSet {
+    BucketSet {
+        issue: v.u64_field("issue"),
+        fetch: v.u64_field("fetch"),
+        memory: v.u64_field("memory"),
+        reuse_hit: v.u64_field("reuse_hit"),
+        drain: v.u64_field("drain"),
+    }
+}
+
+fn extract_attribution(v: &Value) -> Option<AttrRec> {
+    // Unprofiled v3 reports carry `"attribution":null`.
+    let total = v.get("total")?;
+    let mut attr = AttrRec {
+        total: extract_buckets(total),
+        ..AttrRec::default()
+    };
+    if let Some(funcs) = v.get("functions").and_then(Value::as_arr) {
+        attr.functions = funcs
+            .iter()
+            .map(|f| FuncAttrRec {
+                name: f.str_field("name").to_string(),
+                cycles: f.u64_field("cycles"),
+                buckets: f.get("buckets").map(extract_buckets).unwrap_or_default(),
+            })
+            .collect();
+    }
+    if let Some(regions) = v.get("regions").and_then(Value::as_arr) {
+        attr.regions = regions
+            .iter()
+            .map(|r| (r.u64_field("region"), r.u64_field("cycles")))
+            .collect();
+    }
+    Some(attr)
 }
 
 #[cfg(test)]
@@ -512,6 +638,48 @@ mod tests {
         assert_eq!(data.report.config_hash, None);
         assert!(data.report.argv.is_empty());
         assert_eq!(data.report.crb_entries, 64);
+    }
+
+    const REPORT_V3: &str = r#"{"schema_version":3,"workload":"w","input":"train","scale":1,
+        "provenance":{"argv":["profile","w"],"config_hash":"00ff00ff00ff00ff","crate_version":"0.1.0"},
+        "machine":{"reuse_miss_penalty":2},"crb":{"entries":128,"instances":8},
+        "regions":3,"base":{"cycles":1000,"attribution":null},
+        "ccr":{"cycles":800,
+          "crb":{"lookups":10,"hits":7,"misses":3,"miss_cold":1,"miss_mismatch":1,"miss_capacity":0,"miss_conflict":1,"miss_invalidated":0,"invalidations":1,"entry_conflicts":0},
+          "attribution":{"total":{"issue":500,"fetch":100,"memory":150,"reuse_hit":30,"drain":20},
+            "functions":[{"name":"main","cycles":800,"buckets":{"issue":500,"fetch":100,"memory":150,"reuse_hit":30,"drain":20}}],
+            "regions":[{"region":0,"cycles":90}]}},
+        "speedup":1.25,"eliminated_fraction":0.2}"#;
+
+    #[test]
+    fn reads_v3_reports_with_causes_and_attribution() {
+        let events = concat!(
+            r#"{"v":1,"ev":"sim_begin","phase":"ccr"}"#,
+            "\n",
+            r#"{"v":1,"ev":"reuse","region":0,"hit":false,"skipped":0,"cycle":50,"cause":"cold"}"#,
+            "\n",
+            r#"{"v":1,"ev":"reuse","region":0,"hit":true,"skipped":13,"cycle":60}"#,
+            "\n",
+            r#"{"v":1,"ev":"cycle_sample","stack":"main;count_ones","cycles":256}"#,
+            "\n",
+        );
+        let dir = write_dir(events, REPORT_V3);
+        let data = load_run(&dir).unwrap();
+        assert_eq!(data.report.schema_version, 3);
+        assert_eq!(data.report.crb_miss_cold, 1);
+        assert_eq!(data.report.crb_miss_conflict, 1);
+        assert!(data.report.base_attribution.is_none());
+        let attr = data.report.ccr_attribution.as_ref().unwrap();
+        assert_eq!(attr.total.total(), 800);
+        assert_eq!(attr.functions[0].name, "main");
+        assert_eq!(attr.functions[0].buckets.memory, 150);
+        assert_eq!(attr.regions, vec![(0, 90)]);
+        assert_eq!(data.reuse[0].cause.as_deref(), Some("cold"));
+        assert_eq!(data.reuse[1].cause, None);
+        assert_eq!(data.cycle_samples.len(), 1);
+        assert_eq!(data.cycle_samples[0].phase, Phase::Ccr);
+        assert_eq!(data.cycle_samples[0].stack, "main;count_ones");
+        assert_eq!(data.cycle_samples[0].cycles, 256);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   `analysis.json`,
 //! * [`chrome`] — Chrome Trace Event Format (`chrome://tracing` /
 //!   Perfetto) export of the compile passes and the reuse timeline,
+//! * [`folded`] — collapsed-stack folding of a profiled run's
+//!   `cycle_sample` events (the `profile.folded` artifact),
+//! * [`flamegraph`] — a self-contained, deterministic flamegraph SVG
+//!   renderer over the folded stacks (no external tooling),
 //! * [`diff`] — run-to-run comparison with configurable regression
 //!   thresholds and a provenance-based comparability gate,
 //! * [`bench`] — the `BENCH_ccr.json` schema: a versioned,
@@ -40,15 +44,21 @@ pub mod analysis;
 pub mod bench;
 pub mod chrome;
 pub mod diff;
+pub mod flamegraph;
+pub mod folded;
 pub mod ingest;
 pub mod value;
 
-pub use analysis::{analyze, Analysis, RegionProfile};
+pub use analysis::{analyze, Analysis, RegionProfile, MISS_CAUSES};
 pub use bench::{BenchReport, BenchWorkload, BENCH_SCHEMA_VERSION};
 pub use chrome::chrome_trace;
 pub use diff::{diff_analyses, diff_bench, DiffReport, Thresholds};
+pub use flamegraph::flamegraph_svg;
+pub use folded::fold_samples;
 pub use ingest::{load_run, EventRecord, RunData};
 pub use value::Value;
 
-/// Version of the `analysis.json` schema this crate writes.
-pub const ANALYSIS_SCHEMA_VERSION: u32 = 1;
+/// Version of the `analysis.json` schema this crate writes. Version 2
+/// adds miss-cause counters (totals and per region) and the
+/// `attribution` section.
+pub const ANALYSIS_SCHEMA_VERSION: u32 = 2;

@@ -24,7 +24,7 @@ pub mod report;
 pub mod runreport;
 
 pub use compile::{compile_ccr, CompileConfig, CompileTelemetry, CompiledWorkload};
-pub use measure::{measure, measure_traced, reuse_potential, Measurement};
+pub use measure::{measure, measure_profiled, measure_traced, reuse_potential, Measurement};
 pub use report::Table;
 pub use runreport::{
     config_hash, emit_compile_events, Provenance, RunReport, REPORT_SCHEMA_VERSION,

@@ -2,7 +2,10 @@
 
 use ccr_ir::Program;
 use ccr_profile::{EmuConfig, EmuError, Emulator, NullCrb, PotentialStudy, ReusePotential};
-use ccr_sim::{simulate, simulate_baseline, simulate_traced, CrbConfig, MachineConfig, SimOutcome};
+use ccr_sim::{
+    simulate, simulate_baseline, simulate_traced, simulate_traced_cfg, CrbConfig, MachineConfig,
+    SimOutcome, TraceConfig,
+};
 use ccr_telemetry::{emit, TelemetrySink};
 
 use crate::compile::CompiledWorkload;
@@ -86,6 +89,38 @@ pub fn measure_traced(
     let base = simulate_traced(&compiled.base, machine, None, emu, window, sink)?;
     emit!(sink, "sim_begin", phase: "ccr");
     let ccr = simulate_traced(&compiled.annotated, machine, Some(crb), emu, window, sink)?;
+    assert_eq!(
+        base.run.returned, ccr.run.returned,
+        "computation reuse changed architectural results"
+    );
+    Ok(Measurement { base, ccr })
+}
+
+/// [`measure_traced`] with full [`TraceConfig`] control. With
+/// `cfg.profile` on, both phases run under cycle attribution: the
+/// returned stats carry [`ccr_sim::Attribution`] blocks and the
+/// stream gains `cycle_sample` and per-miss `cause` events. Cycle
+/// counts are identical to [`measure`] either way.
+///
+/// # Errors
+///
+/// Returns [`EmuError`] if either simulation exceeds emulator limits.
+///
+/// # Panics
+///
+/// Panics if the two runs return different architectural results.
+pub fn measure_profiled(
+    compiled: &CompiledWorkload,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+    emu: EmuConfig,
+    cfg: &TraceConfig,
+    sink: &mut dyn TelemetrySink,
+) -> Result<Measurement, EmuError> {
+    emit!(sink, "sim_begin", phase: "base");
+    let base = simulate_traced_cfg(&compiled.base, machine, None, emu, cfg, sink)?;
+    emit!(sink, "sim_begin", phase: "ccr");
+    let ccr = simulate_traced_cfg(&compiled.annotated, machine, Some(crb), emu, cfg, sink)?;
     assert_eq!(
         base.run.returned, ccr.run.returned,
         "computation reuse changed architectural results"
@@ -181,9 +216,35 @@ mod tests {
             &mut jsonl,
         )
         .unwrap();
+        // Profiling (cycle attribution + stack sampling), with the
+        // sink disabled or fully materialized, must be just as inert.
+        let cfg = TraceConfig {
+            profile: true,
+            ..TraceConfig::default()
+        };
+        let mut null2 = ccr_telemetry::NullSink;
+        let c = measure_profiled(
+            &cw,
+            &machine,
+            CrbConfig::paper(),
+            EmuConfig::default(),
+            &cfg,
+            &mut null2,
+        )
+        .unwrap();
+        let mut profiled_jsonl = ccr_telemetry::JsonlSink::new(Vec::new());
+        let d = measure_profiled(
+            &cw,
+            &machine,
+            CrbConfig::paper(),
+            EmuConfig::default(),
+            &cfg,
+            &mut profiled_jsonl,
+        )
+        .unwrap();
         // Telemetry — disabled or fully materialized — must not move a
         // single counter.
-        for m in [&a, &b] {
+        for m in [&a, &b, &c, &d] {
             assert_eq!(plain.base.stats.cycles, m.base.stats.cycles);
             assert_eq!(plain.base.stats.dyn_instrs, m.base.stats.dyn_instrs);
             assert_eq!(plain.ccr.stats.cycles, m.ccr.stats.cycles);
@@ -206,6 +267,24 @@ mod tests {
         assert!(text.contains("\"ev\":\"reuse\""));
         assert!(text.contains("\"ev\":\"ipc_window\""));
         assert!(text.contains("\"ev\":\"sim_summary\""));
+        // The profiled stream stays at event schema v1 (additive) and
+        // carries the attribution extras.
+        let ptext = String::from_utf8(profiled_jsonl.into_inner()).unwrap();
+        assert!(
+            ptext.lines().all(|l| l.starts_with("{\"v\":1,\"ev\":\"")),
+            "profiled events stay at v1"
+        );
+        assert!(ptext.contains("\"ev\":\"cycle_sample\""));
+        assert!(ptext.contains("\"cause\":\""));
+        // And the profiled measurement carries conserved attributions.
+        for outcome in [&d.base, &d.ccr] {
+            let attr = outcome.stats.attribution.as_ref().expect("profiled");
+            assert_eq!(attr.total.total(), outcome.stats.cycles);
+        }
+        assert!(
+            a.base.stats.attribution.is_none(),
+            "tracing alone does not attribute"
+        );
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!   version) so `ccr diff` can refuse incomparable runs. Readers
 //!   (`ccr-analyze`) keep a v1 path: a v1 report simply has no
 //!   provenance.
+//! * **3** — adds CRB miss-cause counters (`miss_cold` … in the `crb`
+//!   block and per-region entries) and an `attribution` key in each
+//!   phase's stats (a cycle breakdown object for profiled runs, else
+//!   `null`). Readers keep v1/v2 paths: the new keys simply read as
+//!   absent.
 //!
 //! All counters are serialized as the exact integers the simulator
 //! reported, so a report agrees byte-for-byte with the plain-text
@@ -26,7 +31,7 @@ use crate::compile::CompileTelemetry;
 use crate::measure::Measurement;
 
 /// Version of the run-report JSON schema (`schema_version`).
-pub const REPORT_SCHEMA_VERSION: u32 = 2;
+pub const REPORT_SCHEMA_VERSION: u32 = 3;
 
 /// Where a report came from: enough to decide whether two runs are
 /// comparable (same code, same simulated hardware) before diffing
@@ -261,6 +266,11 @@ fn sim_stats_json(w: &mut JsonWriter, s: &SimStats) {
     w.key("lookups").u64_val(s.crb.lookups);
     w.key("hits").u64_val(s.crb.hits);
     w.key("misses").u64_val(s.crb.misses);
+    w.key("miss_cold").u64_val(s.crb.miss_cold);
+    w.key("miss_mismatch").u64_val(s.crb.miss_mismatch);
+    w.key("miss_capacity").u64_val(s.crb.miss_capacity);
+    w.key("miss_conflict").u64_val(s.crb.miss_conflict);
+    w.key("miss_invalidated").u64_val(s.crb.miss_invalidated);
     w.key("records").u64_val(s.crb.records);
     w.key("invalidations").u64_val(s.crb.invalidations);
     w.key("entry_conflicts").u64_val(s.crb.entry_conflicts);
@@ -273,11 +283,60 @@ fn sim_stats_json(w: &mut JsonWriter, s: &SimStats) {
         w.key("region").u64_val(id.index() as u64);
         w.key("hits").u64_val(rs.hits);
         w.key("misses").u64_val(rs.misses);
+        w.key("miss_cold").u64_val(rs.miss_cold);
+        w.key("miss_mismatch").u64_val(rs.miss_mismatch);
+        w.key("miss_capacity").u64_val(rs.miss_capacity);
+        w.key("miss_conflict").u64_val(rs.miss_conflict);
+        w.key("miss_invalidated").u64_val(rs.miss_invalidated);
         w.key("skipped_instrs").u64_val(rs.skipped_instrs);
         w.obj_end();
     }
     w.arr_end();
     w.key("effective_ipc").f64_val(s.effective_ipc());
+    match &s.attribution {
+        None => {
+            w.key("attribution").null_val();
+        }
+        Some(attr) => {
+            w.key("attribution");
+            attribution_json(w, attr);
+        }
+    }
+    w.obj_end();
+}
+
+fn buckets_json(w: &mut JsonWriter, b: &ccr_sim::CycleBuckets) {
+    w.obj_begin();
+    w.key("issue").u64_val(b.issue);
+    w.key("fetch").u64_val(b.fetch);
+    w.key("memory").u64_val(b.memory);
+    w.key("reuse_hit").u64_val(b.reuse_hit);
+    w.key("drain").u64_val(b.drain);
+    w.obj_end();
+}
+
+fn attribution_json(w: &mut JsonWriter, attr: &ccr_sim::Attribution) {
+    w.obj_begin();
+    w.key("total");
+    buckets_json(w, &attr.total);
+    w.key("functions").arr_begin();
+    for f in &attr.functions {
+        w.obj_begin();
+        w.key("name").str_val(&f.name);
+        w.key("cycles").u64_val(f.buckets.total());
+        w.key("buckets");
+        buckets_json(w, &f.buckets);
+        w.obj_end();
+    }
+    w.arr_end();
+    w.key("regions").arr_begin();
+    for (id, cycles) in &attr.regions {
+        w.obj_begin();
+        w.key("region").u64_val(id.index() as u64);
+        w.key("cycles").u64_val(*cycles);
+        w.obj_end();
+    }
+    w.arr_end();
     w.obj_end();
 }
 
@@ -311,7 +370,12 @@ mod tests {
             provenance: &provenance,
         };
         let json = report.to_json();
-        assert!(json.starts_with("{\"schema_version\":2,"), "{json}");
+        assert!(json.starts_with("{\"schema_version\":3,"), "{json}");
+        assert!(json.contains("\"miss_cold\":"), "{json}");
+        assert!(
+            json.contains("\"attribution\":null"),
+            "unprofiled runs carry a null attribution"
+        );
         assert!(
             json.contains(&format!(
                 "\"provenance\":{{\"argv\":[\"run\",\"008.espresso\"],\"config_hash\":\"{}\"",

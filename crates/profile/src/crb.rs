@@ -30,6 +30,62 @@ pub struct RecordedInstance {
     pub body_instrs: u64,
 }
 
+/// Why a CRB lookup missed, classified at lookup time by the buffer.
+///
+/// The cause is purely observational: it never feeds back into timing
+/// or replacement, so a profiled run is cycle-identical to an
+/// unprofiled one. The five causes partition every miss:
+///
+/// * [`Cold`](MissCause::Cold) — the region has never had an instance
+///   recorded (compulsory miss).
+/// * [`Mismatch`](MissCause::Mismatch) — the entry holds live
+///   instances for this region, but none whose input bank matches the
+///   current register values.
+/// * [`Capacity`](MissCause::Capacity) — a matching instance existed
+///   but was evicted by the entry's replacement policy to make room
+///   for another instance of the *same* region.
+/// * [`Conflict`](MissCause::Conflict) — the region's instances were
+///   cleared when a different region claimed the direct-mapped entry.
+/// * [`Invalidated`](MissCause::Invalidated) — a matching
+///   memory-dependent instance was killed by a *computation
+///   invalidate* instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MissCause {
+    /// Region never recorded: compulsory (cold) miss.
+    Cold,
+    /// Live instances exist, but no input bank matches.
+    Mismatch,
+    /// A matching instance was evicted by same-region replacement.
+    Capacity,
+    /// The entry was reassigned to another region, clearing instances.
+    Conflict,
+    /// A matching memory-dependent instance was invalidated.
+    Invalidated,
+}
+
+impl MissCause {
+    /// Stable lowercase name used in the telemetry event stream and
+    /// all JSON schemas.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MissCause::Cold => "cold",
+            MissCause::Mismatch => "mismatch",
+            MissCause::Capacity => "capacity",
+            MissCause::Conflict => "conflict",
+            MissCause::Invalidated => "invalidated",
+        }
+    }
+
+    /// All causes, in the canonical (schema) order.
+    pub const ALL: [MissCause; 5] = [
+        MissCause::Cold,
+        MissCause::Mismatch,
+        MissCause::Capacity,
+        MissCause::Conflict,
+        MissCause::Invalidated,
+    ];
+}
+
 /// Result of a successful CRB lookup.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ReuseLookup {
@@ -71,6 +127,14 @@ pub trait CrbModel {
     fn output_capacity(&self) -> usize {
         8
     }
+
+    /// Cause of the most recent [`lookup`](CrbModel::lookup) miss, if
+    /// the model classifies misses. Models without classification
+    /// (including [`NullCrb`]) return `None`; the consumer treats an
+    /// unclassified miss as cold.
+    fn last_miss_cause(&self) -> Option<MissCause> {
+        None
+    }
 }
 
 /// A buffer that never hits and never records: runs the program purely.
@@ -105,5 +169,15 @@ mod tests {
         assert!(crb.lookup(RegionId(0), &mut read).is_none());
         assert_eq!(crb.input_capacity(), 8);
         assert_eq!(crb.output_capacity(), 8);
+        assert_eq!(crb.last_miss_cause(), None);
+    }
+
+    #[test]
+    fn miss_cause_names_are_stable_and_distinct() {
+        let names: Vec<&str> = MissCause::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(
+            names,
+            ["cold", "mismatch", "capacity", "conflict", "invalidated"]
+        );
     }
 }

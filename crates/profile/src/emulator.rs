@@ -372,6 +372,7 @@ impl<'p> Emulator<'p> {
                                 inputs: hit.inputs,
                                 outputs: hit.outputs.iter().map(|(r, _)| *r).collect(),
                                 skipped_instrs: hit.skipped_instrs,
+                                miss_cause: None,
                             });
                             ctl = Ctl::Goto(*cont);
                         }
@@ -384,6 +385,7 @@ impl<'p> Emulator<'p> {
                                 inputs: Vec::new(),
                                 outputs: Vec::new(),
                                 skipped_instrs: 0,
+                                miss_cause: crb.last_miss_cause(),
                             });
                             ctl = Ctl::Goto(*body);
                         }

@@ -26,7 +26,7 @@ pub mod potential;
 pub mod rps;
 pub mod trace;
 
-pub use crb::{CrbModel, NullCrb, RecordedInstance, ReuseLookup};
+pub use crb::{CrbModel, MissCause, NullCrb, RecordedInstance, ReuseLookup};
 pub use emulator::{EmuConfig, EmuError, Emulator, RunOutcome};
 pub use potential::{PotentialConfig, PotentialStudy, ReusePotential};
 pub use rps::{

@@ -7,6 +7,8 @@
 
 use ccr_ir::{BlockId, FuncId, Instr, MemObjectId, Reg, RegionId, Value};
 
+use crate::crb::MissCause;
+
 /// A memory access performed by a load or store.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MemAccess {
@@ -36,6 +38,9 @@ pub struct ReuseOutcome {
     /// Dynamic instructions skipped by this hit (as measured when the
     /// matched instance was recorded).
     pub skipped_instrs: u64,
+    /// Why the lookup missed (misses only, and only when the CRB model
+    /// classifies misses — see [`crate::crb::MissCause`]).
+    pub miss_cause: Option<MissCause>,
 }
 
 /// One executed instruction, as reported to sinks.

@@ -10,8 +10,10 @@
 //! match the current architectural state and its memory state has not
 //! been invalidated.
 
+use std::collections::HashSet;
+
 use ccr_ir::{Reg, RegionId, Value};
-use ccr_profile::{CrbModel, RecordedInstance, ReuseLookup};
+use ccr_profile::{CrbModel, MissCause, RecordedInstance, ReuseLookup};
 
 use crate::stats::CrbStats;
 
@@ -148,10 +150,34 @@ impl Instance {
     }
 }
 
+/// Observational remnant of an instance that left the entry while its
+/// region kept the tag: the input bank it matched on and why it died.
+/// Ghosts let a later miss on the same inputs be classified as a
+/// capacity or invalidation casualty instead of a plain mismatch.
+/// Purely diagnostic — never consulted by hit/replacement decisions.
+#[derive(Clone, Debug)]
+struct Ghost {
+    inputs: Vec<(Reg, Value)>,
+    cause: MissCause,
+}
+
 #[derive(Clone, Debug)]
 struct Entry {
     tag: Option<RegionId>,
     instances: Vec<Instance>,
+    ghosts: Vec<Ghost>,
+}
+
+impl Entry {
+    /// Remembers a departed instance's input bank, keeping at most
+    /// twice the entry's instance count (oldest dropped first).
+    fn push_ghost(&mut self, inputs: Vec<(Reg, Value)>, cause: MissCause) {
+        let cap = self.instances.len() * 2;
+        if self.ghosts.len() >= cap {
+            self.ghosts.remove(0);
+        }
+        self.ghosts.push(Ghost { inputs, cause });
+    }
 }
 
 /// The hardware buffer. Implements [`CrbModel`] so the emulator can
@@ -185,6 +211,12 @@ pub struct ReuseBuffer {
     stats: CrbStats,
     log_events: bool,
     events: Vec<CrbEvent>,
+    /// Regions that ever had an instance actually inserted (dropped
+    /// records — oversized banks, mem-incapable entries — don't
+    /// count). Misses on regions outside this set are cold.
+    ever_recorded: HashSet<RegionId>,
+    /// Cause of the most recent miss; `None` after a hit.
+    last_miss_cause: Option<MissCause>,
 }
 
 impl ReuseBuffer {
@@ -209,6 +241,7 @@ impl ReuseBuffer {
                     Entry {
                         tag: None,
                         instances: vec![Instance::empty(); count],
+                        ghosts: Vec::new(),
                     }
                 })
                 .collect(),
@@ -218,6 +251,8 @@ impl ReuseBuffer {
             stats: CrbStats::default(),
             log_events: false,
             events: Vec::new(),
+            ever_recorded: HashSet::new(),
+            last_miss_cause: None,
         }
     }
 
@@ -311,9 +346,20 @@ impl CrbModel for ReuseBuffer {
         self.clock += 1;
         let idx = self.entry_index(region);
         let clock = self.clock;
+        let recorded_before = self.ever_recorded.contains(&region);
         let entry = &mut self.entries[idx];
         if entry.tag != Some(region) {
+            // The tag only moves away from a recorded region via a
+            // direct-mapped reassignment, so a tag miss on a known
+            // region is a conflict casualty.
+            let cause = if recorded_before {
+                MissCause::Conflict
+            } else {
+                MissCause::Cold
+            };
             self.stats.misses += 1;
+            self.stats.count_miss_cause(cause);
+            self.last_miss_cause = Some(cause);
             return None;
         }
         for inst in &mut entry.instances {
@@ -323,6 +369,7 @@ impl CrbModel for ReuseBuffer {
             if inst.inputs.iter().all(|(r, v)| read_reg(*r) == *v) {
                 inst.last_use = clock;
                 self.stats.hits += 1;
+                self.last_miss_cause = None;
                 return Some(ReuseLookup {
                     outputs: inst.outputs.clone(),
                     inputs: inst.inputs.iter().map(|(r, _)| *r).collect(),
@@ -330,7 +377,26 @@ impl CrbModel for ReuseBuffer {
                 });
             }
         }
+        // No live instance matched. If a ghost of this entry matches
+        // the current register values, the instance that would have
+        // hit was lost — blame its recorded cause (most recent ghost
+        // first). A tagged entry with no live instances at all was
+        // emptied by invalidation (records always leave one instance).
+        let cause = if let Some(ghost) = entry
+            .ghosts
+            .iter()
+            .rev()
+            .find(|g| g.inputs.iter().all(|(r, v)| read_reg(*r) == *v))
+        {
+            ghost.cause
+        } else if entry.instances.iter().all(|i| !i.valid) {
+            MissCause::Invalidated
+        } else {
+            MissCause::Mismatch
+        };
         self.stats.misses += 1;
+        self.stats.count_miss_cause(cause);
+        self.last_miss_cause = Some(cause);
         None
     }
 
@@ -365,6 +431,7 @@ impl CrbModel for ReuseBuffer {
             for inst in &mut entry.instances {
                 *inst = Instance::empty();
             }
+            entry.ghosts.clear();
         }
         // An instance with the identical input bank is refreshed in
         // place rather than duplicated (duplicates would waste
@@ -377,23 +444,29 @@ impl CrbModel for ReuseBuffer {
             Some(k) => k,
             None => {
                 let k = self.victim_slot(idx);
-                if self.log_events && self.entries[idx].instances[k].valid {
-                    self.events.push(CrbEvent {
-                        clock: self.clock,
-                        kind: CrbEventKind::Evict,
-                        region,
-                        entry: idx,
-                        // The victim is overwritten by the incoming
-                        // instance, so occupancy is unchanged.
-                        occupancy: self.occupancy(idx),
-                        lost: 1,
-                    });
+                if self.entries[idx].instances[k].valid {
+                    if self.log_events {
+                        self.events.push(CrbEvent {
+                            clock: self.clock,
+                            kind: CrbEventKind::Evict,
+                            region,
+                            entry: idx,
+                            // The victim is overwritten by the incoming
+                            // instance, so occupancy is unchanged.
+                            occupancy: self.occupancy(idx),
+                            lost: 1,
+                        });
+                    }
+                    let victim_inputs = self.entries[idx].instances[k].inputs.clone();
+                    self.entries[idx].push_ghost(victim_inputs, MissCause::Capacity);
                 }
                 k
             }
         };
         let clock = self.clock;
-        self.entries[idx].instances[slot] = Instance {
+        let entry = &mut self.entries[idx];
+        entry.ghosts.retain(|g| g.inputs != instance.inputs);
+        entry.instances[slot] = Instance {
             valid: true,
             inputs: instance.inputs,
             outputs: instance.outputs,
@@ -402,6 +475,7 @@ impl CrbModel for ReuseBuffer {
             last_use: clock,
             inserted: clock,
         };
+        self.ever_recorded.insert(region);
     }
 
     fn invalidate(&mut self, region: RegionId) {
@@ -410,11 +484,16 @@ impl CrbModel for ReuseBuffer {
         let entry = &mut self.entries[idx];
         let mut killed = 0;
         if entry.tag == Some(region) {
+            let mut dead_inputs = Vec::new();
             for inst in &mut entry.instances {
                 if inst.valid && inst.accesses_memory {
                     inst.valid = false;
                     killed += 1;
+                    dead_inputs.push(inst.inputs.clone());
                 }
+            }
+            for inputs in dead_inputs {
+                entry.push_ghost(inputs, MissCause::Invalidated);
             }
         }
         if self.log_events && killed > 0 {
@@ -435,6 +514,10 @@ impl CrbModel for ReuseBuffer {
 
     fn output_capacity(&self) -> usize {
         self.config.output_bank
+    }
+
+    fn last_miss_cause(&self) -> Option<MissCause> {
+        self.last_miss_cause
     }
 }
 
@@ -696,6 +779,140 @@ mod tests {
         assert!(events.windows(2).all(|w| w[0].clock <= w[1].clock));
         // The log drains.
         assert!(buf.take_events().is_empty());
+    }
+
+    fn assert_causes(buf: &ReuseBuffer, expected: &[(MissCause, u64)]) {
+        let s = buf.stats();
+        for &(cause, want) in expected {
+            let got = match cause {
+                MissCause::Cold => s.miss_cold,
+                MissCause::Mismatch => s.miss_mismatch,
+                MissCause::Capacity => s.miss_capacity,
+                MissCause::Conflict => s.miss_conflict,
+                MissCause::Invalidated => s.miss_invalidated,
+            };
+            assert_eq!(got, want, "{cause:?}: {s:?}");
+        }
+        assert_eq!(s.miss_cause_total(), s.misses, "{s:?}");
+    }
+
+    #[test]
+    fn cold_miss_is_classified_cold() {
+        let mut buf = ReuseBuffer::new(CrbConfig::paper());
+        assert!(lookup_with(&mut buf, RegionId(3), 5).is_none());
+        assert_eq!(buf.last_miss_cause(), Some(MissCause::Cold));
+        assert_causes(&buf, &[(MissCause::Cold, 1)]);
+    }
+
+    #[test]
+    fn input_mismatch_is_classified_mismatch() {
+        let mut buf = ReuseBuffer::new(CrbConfig::paper());
+        let r = RegionId(3);
+        buf.record(r, inst(5, 50, false));
+        assert!(lookup_with(&mut buf, r, 6).is_none());
+        assert_eq!(buf.last_miss_cause(), Some(MissCause::Mismatch));
+        assert!(lookup_with(&mut buf, r, 5).is_some());
+        assert_eq!(buf.last_miss_cause(), None, "hits clear the cause");
+        assert_causes(&buf, &[(MissCause::Mismatch, 1), (MissCause::Cold, 0)]);
+    }
+
+    #[test]
+    fn capacity_eviction_is_classified_capacity() {
+        let mut buf = ReuseBuffer::new(CrbConfig::with_instances(1));
+        let r = RegionId(0);
+        buf.record(r, inst(1, 10, false));
+        buf.record(r, inst(2, 20, false)); // evicts input set 1
+        assert!(lookup_with(&mut buf, r, 1).is_none());
+        assert_eq!(buf.last_miss_cause(), Some(MissCause::Capacity));
+        // Inputs never recorded at all are a mismatch, not capacity.
+        assert!(lookup_with(&mut buf, r, 9).is_none());
+        assert_eq!(buf.last_miss_cause(), Some(MissCause::Mismatch));
+        assert_causes(&buf, &[(MissCause::Capacity, 1), (MissCause::Mismatch, 1)]);
+    }
+
+    #[test]
+    fn entry_conflict_is_classified_conflict() {
+        let mut buf = ReuseBuffer::new(CrbConfig {
+            entries: 2,
+            instances: 4,
+            ..CrbConfig::paper()
+        });
+        // Regions 0 and 2 collide on entry 0.
+        buf.record(RegionId(0), inst(1, 10, false));
+        buf.record(RegionId(2), inst(1, 99, false));
+        assert!(lookup_with(&mut buf, RegionId(0), 1).is_none());
+        assert_eq!(buf.last_miss_cause(), Some(MissCause::Conflict));
+        // A region that never recorded stays cold even when its entry
+        // is held by someone else.
+        assert!(lookup_with(&mut buf, RegionId(4), 1).is_none());
+        assert_eq!(buf.last_miss_cause(), Some(MissCause::Cold));
+        assert_causes(&buf, &[(MissCause::Conflict, 1), (MissCause::Cold, 1)]);
+    }
+
+    #[test]
+    fn invalidation_is_classified_invalidated() {
+        let mut buf = ReuseBuffer::new(CrbConfig::paper());
+        let r = RegionId(7);
+        buf.record(r, inst(1, 10, true));
+        buf.invalidate(r);
+        assert!(lookup_with(&mut buf, r, 1).is_none());
+        assert_eq!(buf.last_miss_cause(), Some(MissCause::Invalidated));
+        // With a stateless sibling alive, an unrelated input set is a
+        // mismatch while the killed set still blames the invalidate.
+        buf.record(r, inst(2, 20, false));
+        assert!(lookup_with(&mut buf, r, 3).is_none());
+        assert_eq!(buf.last_miss_cause(), Some(MissCause::Mismatch));
+        assert!(lookup_with(&mut buf, r, 1).is_none());
+        assert_eq!(buf.last_miss_cause(), Some(MissCause::Invalidated));
+        assert_causes(
+            &buf,
+            &[(MissCause::Invalidated, 2), (MissCause::Mismatch, 1)],
+        );
+    }
+
+    #[test]
+    fn rerecorded_inputs_shed_their_ghost() {
+        let mut buf = ReuseBuffer::new(CrbConfig::with_instances(1));
+        let r = RegionId(0);
+        buf.record(r, inst(1, 10, false));
+        buf.record(r, inst(2, 20, false)); // ghost for input set 1
+        buf.record(r, inst(1, 10, false)); // input set 1 live again, ghost gone
+        buf.record(r, inst(3, 30, false)); // new ghost for input set 1
+        assert!(lookup_with(&mut buf, r, 1).is_none());
+        assert_eq!(buf.last_miss_cause(), Some(MissCause::Capacity));
+        assert_causes(&buf, &[(MissCause::Capacity, 1)]);
+    }
+
+    #[test]
+    fn cause_counters_sum_to_misses_across_a_mixed_history() {
+        let mut buf = ReuseBuffer::new(CrbConfig {
+            entries: 2,
+            instances: 1,
+            ..CrbConfig::paper()
+        });
+        let _ = lookup_with(&mut buf, RegionId(0), 1); // cold
+        buf.record(RegionId(0), inst(1, 10, false));
+        let _ = lookup_with(&mut buf, RegionId(0), 2); // mismatch
+        buf.record(RegionId(0), inst(2, 20, false)); // evicts set 1
+        let _ = lookup_with(&mut buf, RegionId(0), 1); // capacity
+        buf.record(RegionId(2), inst(7, 70, true)); // conflict on entry 0
+        let _ = lookup_with(&mut buf, RegionId(0), 2); // conflict
+        buf.invalidate(RegionId(2));
+        let _ = lookup_with(&mut buf, RegionId(2), 7); // invalidated
+        let _ = lookup_with(&mut buf, RegionId(0), 1); // conflict again
+        let s = buf.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 6);
+        assert_causes(
+            &buf,
+            &[
+                (MissCause::Cold, 1),
+                (MissCause::Mismatch, 1),
+                (MissCause::Capacity, 1),
+                (MissCause::Conflict, 2),
+                (MissCause::Invalidated, 1),
+            ],
+        );
     }
 
     #[test]

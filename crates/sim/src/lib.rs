@@ -33,5 +33,10 @@ pub use crb::{CrbConfig, CrbEvent, CrbEventKind, NonuniformConfig, Replacement, 
 pub use machine::MachineConfig;
 pub use pipeline::Pipeline;
 pub use simulator::{simulate, simulate_baseline, SimOutcome};
-pub use stats::{CrbStats, RegionDynStats, SimStats};
-pub use telemetry::{simulate_traced, TelemetryBridge, DEFAULT_IPC_WINDOW};
+pub use stats::{
+    AttrBucket, Attribution, CrbStats, CycleBuckets, FuncCycles, RegionDynStats, SimStats,
+};
+pub use telemetry::{
+    simulate_traced, simulate_traced_cfg, TelemetryBridge, TraceConfig, DEFAULT_IPC_WINDOW,
+    DEFAULT_SAMPLE_PERIOD,
+};

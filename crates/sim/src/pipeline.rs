@@ -13,13 +13,13 @@
 
 use std::collections::HashMap;
 
-use ccr_ir::{CodeLayout, FuncId, Op, OpClass, Reg, RegionId};
-use ccr_profile::{ExecEvent, TraceSink};
+use ccr_ir::{CodeLayout, FuncId, InstrExt, Op, OpClass, Reg, RegionId};
+use ccr_profile::{ExecEvent, MissCause, TraceSink};
 
 use crate::btb::Btb;
 use crate::cache::Cache;
 use crate::machine::MachineConfig;
-use crate::stats::{RegionDynStats, SimStats};
+use crate::stats::{AttrBucket, Attribution, CycleBuckets, FuncCycles, RegionDynStats, SimStats};
 
 #[derive(Clone, Copy, Default)]
 struct FuUse {
@@ -32,6 +32,58 @@ struct FuUse {
 struct Frame {
     ready: HashMap<Reg, u64>,
     ret_regs: Vec<Reg>,
+    /// Attribution bucket of the producer of each ready register
+    /// (profiled runs only; empty otherwise). A register absent here
+    /// counts as issue-produced.
+    src_kind: HashMap<Reg, AttrBucket>,
+}
+
+impl Frame {
+    fn new(ready: HashMap<Reg, u64>, ret_regs: Vec<Reg>) -> Frame {
+        Frame {
+            ready,
+            ret_regs,
+            src_kind: HashMap::new(),
+        }
+    }
+}
+
+/// Cycle-attribution bookkeeping, present only when profiling is
+/// enabled. Strictly write-only with respect to timing: nothing in
+/// the issue/readiness/fetch logic reads it, which is what makes a
+/// profiled run cycle-identical to an unprofiled one.
+struct AttrState {
+    /// Function names indexed by `FuncId::index()`.
+    names: Vec<String>,
+    /// Watermark: every cycle below this has been charged to exactly
+    /// one bucket. Advances to `t + 1` as each instruction issues at
+    /// `t`, so bucket totals always sum to the cycle count.
+    attributed: u64,
+    /// What last advanced `fetch_ready` (I-cache fill, mispredict or
+    /// reuse-miss flush ⇒ `Fetch`; reuse-hit redirect ⇒ `ReuseHit`).
+    fetch_cause: AttrBucket,
+    /// Region whose `reuse` instruction is in flight (set at the
+    /// lookup, cleared at the hit commit or the region-end marker).
+    cur_region: Option<RegionId>,
+    /// Function charged most recently — the drain bucket lands here.
+    last_func: FuncId,
+    funcs: HashMap<FuncId, CycleBuckets>,
+    regions: HashMap<RegionId, u64>,
+    total: CycleBuckets,
+}
+
+impl AttrState {
+    fn charge(&mut self, func: FuncId, bucket: AttrBucket, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.total.charge(bucket, n);
+        self.funcs.entry(func).or_default().charge(bucket, n);
+        if let Some(region) = self.cur_region {
+            *self.regions.entry(region).or_default() += n;
+        }
+        self.last_func = func;
+    }
 }
 
 /// The timing model. Create one per simulated run, attach it to an
@@ -52,6 +104,7 @@ pub struct Pipeline {
     pending_call: Option<(u64, Vec<Reg>)>,
     horizon: u64,
     stats: SimStats,
+    attr: Option<Box<AttrState>>,
 }
 
 impl Pipeline {
@@ -69,14 +122,31 @@ impl Pipeline {
             fu_used: FuUse::default(),
             fetch_ready: 0,
             last_fetch_line: None,
-            frames: vec![Frame {
-                ready: HashMap::new(),
-                ret_regs: Vec::new(),
-            }],
+            frames: vec![Frame::new(HashMap::new(), Vec::new())],
             pending_call: None,
             horizon: 0,
             stats: SimStats::default(),
+            attr: None,
         }
+    }
+
+    /// Turns on cycle attribution. `func_names` is indexed by
+    /// [`FuncId::index`] (pass the program's function names in id
+    /// order). Profiling is observational only: the cycle counts of a
+    /// profiled run are identical to an unprofiled one, and
+    /// [`Pipeline::into_stats`] additionally carries an
+    /// [`Attribution`] whose buckets sum to the total cycles.
+    pub fn enable_profiling(&mut self, func_names: Vec<String>) {
+        self.attr = Some(Box::new(AttrState {
+            names: func_names,
+            attributed: 0,
+            fetch_cause: AttrBucket::Fetch,
+            cur_region: None,
+            last_func: FuncId(0),
+            funcs: HashMap::new(),
+            regions: HashMap::new(),
+            total: CycleBuckets::default(),
+        }));
     }
 
     /// Cycles accumulated so far — the same quantity
@@ -95,6 +165,39 @@ impl Pipeline {
         self.stats.dcache_misses = self.dcache.misses();
         self.stats.branch_correct = self.btb.correct();
         self.stats.branch_mispredicts = self.btb.mispredicts();
+        if let Some(mut attr) = self.attr.take() {
+            // Cycles past the last issue are the end-of-run drain.
+            attr.cur_region = None;
+            let drain = self.stats.cycles.saturating_sub(attr.attributed);
+            let last = attr.last_func;
+            attr.charge(last, AttrBucket::Drain, drain);
+            let names = std::mem::take(&mut attr.names);
+            let mut functions: Vec<FuncCycles> = attr
+                .funcs
+                .iter()
+                .map(|(f, buckets)| FuncCycles {
+                    name: names
+                        .get(f.index())
+                        .cloned()
+                        .unwrap_or_else(|| format!("fn{}", f.index())),
+                    buckets: *buckets,
+                })
+                .collect();
+            functions.sort_by(|a, b| {
+                b.buckets
+                    .total()
+                    .cmp(&a.buckets.total())
+                    .then_with(|| a.name.cmp(&b.name))
+            });
+            let mut regions: Vec<(RegionId, u64)> =
+                attr.regions.iter().map(|(r, c)| (*r, *c)).collect();
+            regions.sort_by_key(|(r, _)| r.index());
+            self.stats.attribution = Some(Attribution {
+                total: attr.total,
+                functions,
+                regions,
+            });
+        }
         self.stats
     }
 
@@ -139,22 +242,59 @@ impl Pipeline {
             .unwrap_or(0)
     }
 
-    fn set_ready(&mut self, reg: Reg, cycle: u64) {
-        self.frames
-            .last_mut()
-            .expect("frame")
-            .ready
-            .insert(reg, cycle);
+    fn set_ready(&mut self, reg: Reg, cycle: u64, kind: AttrBucket) {
+        let profiled = self.attr.is_some();
+        let frame = self.frames.last_mut().expect("frame");
+        frame.ready.insert(reg, cycle);
+        if profiled {
+            frame.src_kind.insert(reg, kind);
+        }
         self.horizon = self.horizon.max(cycle);
     }
 
-    fn redirect_fetch(&mut self, cycle: u64) {
-        self.fetch_ready = self.fetch_ready.max(cycle);
+    fn redirect_fetch(&mut self, cycle: u64, cause: AttrBucket) {
+        if cycle > self.fetch_ready {
+            self.fetch_ready = cycle;
+            if let Some(attr) = self.attr.as_mut() {
+                attr.fetch_cause = cause;
+            }
+        }
         self.last_fetch_line = None;
     }
 
     fn region_stats(&mut self, region: RegionId) -> &mut RegionDynStats {
         self.stats.regions.entry(region).or_default()
+    }
+
+    /// Charges every cycle in `[attributed, t]` for an instruction
+    /// issued at `t`: the stall gap to its dominant constraint
+    /// (operand producer kind, or the pending fetch cause), the issue
+    /// cycle itself to `Issue`.
+    fn charge_cycles(&mut self, func: FuncId, t: u64, ops_ready: u64, bind: Option<Reg>) {
+        let Some(attr) = self.attr.as_ref() else {
+            return;
+        };
+        let start = attr.attributed;
+        if t < start {
+            return; // issued into an already-charged cycle
+        }
+        let bind_kind = bind
+            .and_then(|r| self.frames.last().expect("frame").src_kind.get(&r).copied())
+            .unwrap_or(AttrBucket::Issue);
+        let fetch_ready = self.fetch_ready;
+        let attr = self.attr.as_mut().expect("profiling on");
+        if t > start {
+            let bucket = if ops_ready > start && ops_ready >= fetch_ready {
+                bind_kind
+            } else if fetch_ready > start {
+                attr.fetch_cause
+            } else {
+                AttrBucket::Issue // structural: width or FU contention
+            };
+            attr.charge(func, bucket, t - start);
+        }
+        attr.charge(func, AttrBucket::Issue, 1);
+        attr.attributed = t + 1;
     }
 }
 
@@ -170,6 +310,11 @@ impl TraceSink for Pipeline {
             let extra = self.icache.access(addr);
             self.fetch_ready += extra;
             self.last_fetch_line = Some(line);
+            if extra > 0 {
+                if let Some(attr) = self.attr.as_mut() {
+                    attr.fetch_cause = AttrBucket::Fetch;
+                }
+            }
         }
 
         // Operand readiness: a reuse hit waits on the matched
@@ -187,14 +332,27 @@ impl TraceSink for Pipeline {
             }
             _ => instr.src_regs(),
         };
-        let mut earliest = self.fetch_ready;
+        let mut ops_ready = 0;
+        let mut bind: Option<Reg> = None;
         for r in &src_regs {
-            earliest = earliest.max(self.ready_of(*r));
+            let at = self.ready_of(*r);
+            if at > ops_ready {
+                ops_ready = at;
+                bind = Some(*r);
+            }
         }
+        let earliest = self.fetch_ready.max(ops_ready);
 
         let class = instr.class();
         let t = self.issue_at(earliest, class);
         self.horizon = self.horizon.max(t + 1);
+
+        if self.attr.is_some() {
+            if let Op::Reuse { region, .. } = &instr.op {
+                self.attr.as_mut().expect("profiling on").cur_region = Some(*region);
+            }
+            self.charge_cycles(event.func, t, ops_ready, bind);
+        }
 
         match &instr.op {
             Op::Binary { dst, .. } => {
@@ -203,7 +361,7 @@ impl TraceSink for Pipeline {
                     OpClass::FpAlu => self.machine.fp_latency,
                     _ => self.machine.int_latency,
                 };
-                self.set_ready(*dst, t + lat);
+                self.set_ready(*dst, t + lat, AttrBucket::Issue);
             }
             Op::Unary { dst, .. } => {
                 let lat = if class == OpClass::FpAlu {
@@ -211,16 +369,20 @@ impl TraceSink for Pipeline {
                 } else {
                     self.machine.int_latency
                 };
-                self.set_ready(*dst, t + lat);
+                self.set_ready(*dst, t + lat, AttrBucket::Issue);
             }
             Op::Cmp { dst, .. } => {
-                self.set_ready(*dst, t + self.machine.int_latency);
+                self.set_ready(*dst, t + self.machine.int_latency, AttrBucket::Issue);
             }
             Op::Load { dst, .. } => {
                 let mem = event.mem.expect("load has a memory access");
                 let daddr = self.layout.data_addr(mem.object, mem.index);
                 let extra = self.dcache.access(daddr);
-                self.set_ready(*dst, t + self.machine.load_latency + extra);
+                self.set_ready(
+                    *dst,
+                    t + self.machine.load_latency + extra,
+                    AttrBucket::Memory,
+                );
             }
             Op::Store { .. } => {
                 let mem = event.mem.expect("store has a memory access");
@@ -231,7 +393,7 @@ impl TraceSink for Pipeline {
                 let taken = event.taken.expect("branch outcome");
                 let correct = self.btb.update(addr, taken);
                 if !correct {
-                    self.redirect_fetch(t + 1 + self.machine.mispredict_penalty);
+                    self.redirect_fetch(t + 1 + self.machine.mispredict_penalty, AttrBucket::Fetch);
                 } else if taken {
                     // Correctly-predicted taken branch: fetch stream
                     // moves to a new line next access.
@@ -263,7 +425,7 @@ impl TraceSink for Pipeline {
                         (outcome.outputs.len() as u64).div_ceil(self.machine.issue_width as u64);
                     let done = t + lat + groups;
                     for r in outcome.outputs.iter() {
-                        self.set_ready(*r, done);
+                        self.set_ready(*r, done, AttrBucket::ReuseHit);
                     }
                     self.stats.reuse_hits += 1;
                     self.stats.skipped_instrs += outcome.skipped_instrs;
@@ -276,14 +438,26 @@ impl TraceSink for Pipeline {
                     } else {
                         self.machine.reuse_hit_latency
                     };
-                    self.redirect_fetch(t + redirect);
+                    self.redirect_fetch(t + redirect, AttrBucket::ReuseHit);
+                    if let Some(attr) = self.attr.as_mut() {
+                        attr.cur_region = None;
+                    }
                 } else {
                     self.stats.reuse_misses += 1;
-                    self.region_stats(*region).misses += 1;
-                    self.redirect_fetch(t + 1 + self.machine.reuse_miss_penalty);
+                    let cause = outcome.miss_cause.unwrap_or(MissCause::Cold);
+                    let rs = self.region_stats(*region);
+                    rs.misses += 1;
+                    rs.count_miss_cause(cause);
+                    self.redirect_fetch(t + 1 + self.machine.reuse_miss_penalty, AttrBucket::Fetch);
                 }
             }
             Op::Invalidate { .. } | Op::Nop => {}
+        }
+
+        if instr.ext.contains(InstrExt::REGION_END) {
+            if let Some(attr) = self.attr.as_mut() {
+                attr.cur_region = None;
+            }
         }
     }
 
@@ -298,7 +472,7 @@ impl TraceSink for Pipeline {
         for i in 0..64u32 {
             ready.insert(Reg(i), ready_at);
         }
-        self.frames.push(Frame { ready, ret_regs });
+        self.frames.push(Frame::new(ready, ret_regs));
     }
 
     fn on_ret(&mut self, _from: FuncId) {
@@ -306,14 +480,11 @@ impl TraceSink for Pipeline {
         let at = self.last_issue + 1;
         if let Some(_caller) = self.frames.last() {
             for r in done.ret_regs {
-                self.set_ready(r, at);
+                self.set_ready(r, at, AttrBucket::Issue);
             }
         } else {
             // Returning from main: keep a frame for robustness.
-            self.frames.push(Frame {
-                ready: HashMap::new(),
-                ret_regs: Vec::new(),
-            });
+            self.frames.push(Frame::new(HashMap::new(), Vec::new()));
         }
     }
 }
@@ -498,13 +669,10 @@ mod tests {
         assert!(miss_heavy.cycles > hit_heavy.cycles);
     }
 
-    /// Reuse hits cost less than executing the region; misses add the
-    /// flush penalty.
-    #[test]
-    fn reuse_timing_hit_vs_miss() {
-        use ccr_ir::{InstrExt, Op, RegionId};
-        // Build an annotated region by hand (same shape as the
-        // emulator tests) and run with a real buffer.
+    /// A hand-annotated reusing loop (same shape as the emulator
+    /// tests): one region, 100 trips, 13-instruction body.
+    fn reusing_region_program() -> (ccr_ir::Program, RegionId) {
+        use ccr_ir::{InstrExt, Op};
         let mut pb = ProgramBuilder::new();
         let mut f = pb.function("main", 0, 1);
         let x = f.movi(17);
@@ -547,7 +715,14 @@ mod tests {
         }
         func.block_mut(ccr_ir::BlockId(2)).instrs[blen - 1].ext = InstrExt::REGION_END;
         ccr_ir::verify_program(&p).unwrap();
-        let _ = RegionId(0);
+        (p, region)
+    }
+
+    /// Reuse hits cost less than executing the region; misses add the
+    /// flush penalty.
+    #[test]
+    fn reuse_timing_hit_vs_miss() {
+        let (p, region) = reusing_region_program();
 
         // Baseline: no buffer, every reuse misses and pays the flush.
         let layout = CodeLayout::of(&p);
@@ -573,5 +748,98 @@ mod tests {
         let region_stats = with_buf.regions[&region];
         assert_eq!(region_stats.hits, 99);
         assert_eq!(region_stats.misses, 1);
+    }
+
+    fn run_profiled(p: &ccr_ir::Program, with_crb: bool) -> SimStats {
+        let layout = CodeLayout::of(p);
+        let mut pipe = Pipeline::new(MachineConfig::paper(), layout);
+        pipe.enable_profiling(p.functions().iter().map(|f| f.name().to_string()).collect());
+        if with_crb {
+            let mut buf = crate::crb::ReuseBuffer::new(crate::crb::CrbConfig::paper());
+            Emulator::new(p).run(&mut buf, &mut pipe).unwrap();
+        } else {
+            Emulator::new(p).run(&mut NullCrb, &mut pipe).unwrap();
+        }
+        pipe.into_stats()
+    }
+
+    /// Profiling must not perturb timing: cycles (and every other
+    /// counter) are identical with attribution on or off.
+    #[test]
+    fn profiling_is_cycle_invariant() {
+        let (p, _region) = reusing_region_program();
+        for with_crb in [false, true] {
+            let layout = CodeLayout::of(&p);
+            let mut pipe = Pipeline::new(MachineConfig::paper(), layout);
+            if with_crb {
+                let mut buf = crate::crb::ReuseBuffer::new(crate::crb::CrbConfig::paper());
+                Emulator::new(&p).run(&mut buf, &mut pipe).unwrap();
+            } else {
+                Emulator::new(&p).run(&mut NullCrb, &mut pipe).unwrap();
+            }
+            let plain = pipe.into_stats();
+            let profiled = run_profiled(&p, with_crb);
+            assert_eq!(plain.cycles, profiled.cycles, "with_crb={with_crb}");
+            assert_eq!(plain.dyn_instrs, profiled.dyn_instrs);
+            assert_eq!(plain.reuse_hits, profiled.reuse_hits);
+            assert_eq!(plain.branch_mispredicts, profiled.branch_mispredicts);
+            assert!(plain.attribution.is_none());
+            assert!(profiled.attribution.is_some());
+        }
+    }
+
+    /// Every cycle is charged to exactly one bucket: the bucket
+    /// totals, and the per-function rows, sum to the cycle count.
+    #[test]
+    fn attribution_buckets_sum_to_total_cycles() {
+        let (p, region) = reusing_region_program();
+        let stats = run_profiled(&p, true);
+        let attr = stats.attribution.as_ref().expect("profiled");
+        assert_eq!(attr.total.total(), stats.cycles, "{attr:?}");
+        let func_sum: u64 = attr.functions.iter().map(|f| f.buckets.total()).sum();
+        assert_eq!(func_sum, stats.cycles);
+        assert_eq!(attr.functions[0].name, "main");
+        assert!(
+            attr.total.reuse_hit > 0,
+            "99 hits must charge cycles: {attr:?}"
+        );
+        // The region is live from the reuse lookup to the region end,
+        // so it accrues cycles on both the miss and hit paths.
+        let region_cycles = attr
+            .regions
+            .iter()
+            .find(|(r, _)| *r == region)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        assert!(region_cycles > 0, "{attr:?}");
+        assert!(region_cycles <= stats.cycles);
+    }
+
+    /// Memory waits show up in the memory bucket for a load-bound
+    /// dependence chain.
+    #[test]
+    fn memory_stalls_land_in_the_memory_bucket() {
+        let mut pb = ProgramBuilder::new();
+        let o = pb.object("o", 4096);
+        let mut f = pb.function("main", 0, 1);
+        let acc = f.movi(0);
+        let i = f.movi(0);
+        let body = f.block();
+        let done = f.block();
+        f.jump(body);
+        f.switch_to(body);
+        let idx = f.mul(i, 4);
+        let v = f.load(o, idx);
+        f.bin_into(BinKind::Add, acc, acc, v);
+        f.inc(i, 1);
+        f.br(CmpPred::Lt, i, 256, body, done);
+        f.switch_to(done);
+        f.ret(&[Operand::Reg(acc)]);
+        let id = pb.finish_function(f);
+        pb.set_main(id);
+        let stats = run_profiled(&pb.finish(), false);
+        let attr = stats.attribution.as_ref().unwrap();
+        assert_eq!(attr.total.total(), stats.cycles);
+        assert!(attr.total.memory > 0, "{attr:?}");
     }
 }

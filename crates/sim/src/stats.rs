@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use ccr_ir::RegionId;
+use ccr_profile::MissCause;
 
 /// Counters kept by the Computation Reuse Buffer.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -13,6 +14,18 @@ pub struct CrbStats {
     pub hits: u64,
     /// Lookups that found no usable instance.
     pub misses: u64,
+    /// Misses against a region that never recorded an instance.
+    pub miss_cold: u64,
+    /// Misses where live instances existed but no input bank matched.
+    pub miss_mismatch: u64,
+    /// Misses where the matching instance was evicted by same-region
+    /// replacement pressure.
+    pub miss_capacity: u64,
+    /// Misses where the entry had been reassigned to another region.
+    pub miss_conflict: u64,
+    /// Misses where the matching memory-dependent instance was killed
+    /// by an `invalidate` instruction.
+    pub miss_invalidated: u64,
     /// Computation instances recorded.
     pub records: u64,
     /// `invalidate` instructions executed against this buffer.
@@ -32,9 +45,31 @@ impl CrbStats {
         }
     }
 
-    /// Checks the accounting invariant: every lookup resolves to
-    /// exactly one hit or miss. Debug builds assert; a violation means
-    /// the buffer model itself miscounted, not the workload.
+    /// Counts one classified miss (the `misses` total itself is bumped
+    /// separately, at the lookup site).
+    pub fn count_miss_cause(&mut self, cause: MissCause) {
+        match cause {
+            MissCause::Cold => self.miss_cold += 1,
+            MissCause::Mismatch => self.miss_mismatch += 1,
+            MissCause::Capacity => self.miss_capacity += 1,
+            MissCause::Conflict => self.miss_conflict += 1,
+            MissCause::Invalidated => self.miss_invalidated += 1,
+        }
+    }
+
+    /// Sum of the per-cause miss counters; must equal `misses`.
+    pub fn miss_cause_total(&self) -> u64 {
+        self.miss_cold
+            + self.miss_mismatch
+            + self.miss_capacity
+            + self.miss_conflict
+            + self.miss_invalidated
+    }
+
+    /// Checks the accounting invariants: every lookup resolves to
+    /// exactly one hit or miss, and every miss to exactly one cause.
+    /// Debug builds assert; a violation means the buffer model itself
+    /// miscounted, not the workload.
     pub fn check(&self) {
         debug_assert!(
             self.hits + self.misses == self.lookups,
@@ -42,6 +77,18 @@ impl CrbStats {
             self.hits,
             self.misses,
             self.lookups,
+        );
+        debug_assert!(
+            self.miss_cause_total() == self.misses,
+            "CRB miss causes out of balance: {} classified != {} misses \
+             (cold {} + mismatch {} + capacity {} + conflict {} + invalidated {})",
+            self.miss_cause_total(),
+            self.misses,
+            self.miss_cold,
+            self.miss_mismatch,
+            self.miss_capacity,
+            self.miss_conflict,
+            self.miss_invalidated,
         );
     }
 }
@@ -53,8 +100,113 @@ pub struct RegionDynStats {
     pub hits: u64,
     /// Reuse misses attributed to the region.
     pub misses: u64,
+    /// Region misses classified as cold.
+    pub miss_cold: u64,
+    /// Region misses classified as input mismatch.
+    pub miss_mismatch: u64,
+    /// Region misses classified as capacity eviction.
+    pub miss_capacity: u64,
+    /// Region misses classified as entry conflict.
+    pub miss_conflict: u64,
+    /// Region misses classified as invalidation.
+    pub miss_invalidated: u64,
     /// Dynamic instructions eliminated by the region's hits.
     pub skipped_instrs: u64,
+}
+
+impl RegionDynStats {
+    /// Counts one classified miss for the region (the `misses` total is
+    /// bumped separately).
+    pub fn count_miss_cause(&mut self, cause: MissCause) {
+        match cause {
+            MissCause::Cold => self.miss_cold += 1,
+            MissCause::Mismatch => self.miss_mismatch += 1,
+            MissCause::Capacity => self.miss_capacity += 1,
+            MissCause::Conflict => self.miss_conflict += 1,
+            MissCause::Invalidated => self.miss_invalidated += 1,
+        }
+    }
+}
+
+/// Attribution buckets: where a simulated cycle went. Every cycle of a
+/// profiled run is charged to exactly one bucket (see
+/// `Pipeline::enable_profiling`), so the five counters sum to the
+/// run's total cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleBuckets {
+    /// Cycles spent issuing, waiting on ALU-produced operands, or
+    /// stalled on issue-width/functional-unit structural limits.
+    pub issue: u64,
+    /// Cycles lost to the front end: I-cache miss fill, branch
+    /// mispredict redirect, reuse-miss flush.
+    pub fetch: u64,
+    /// Cycles waiting on load-produced operands (D-cache latency).
+    pub memory: u64,
+    /// Cycles spent in reuse-hit commit: output writeback groups,
+    /// validation-read waits, and the hit's fetch redirect.
+    pub reuse_hit: u64,
+    /// End-of-run drain: cycles after the last issue while in-flight
+    /// results complete.
+    pub drain: u64,
+}
+
+impl CycleBuckets {
+    /// Total cycles across all buckets.
+    pub fn total(&self) -> u64 {
+        self.issue + self.fetch + self.memory + self.reuse_hit + self.drain
+    }
+
+    /// Adds `n` cycles to one bucket.
+    pub fn charge(&mut self, bucket: AttrBucket, n: u64) {
+        match bucket {
+            AttrBucket::Issue => self.issue += n,
+            AttrBucket::Fetch => self.fetch += n,
+            AttrBucket::Memory => self.memory += n,
+            AttrBucket::ReuseHit => self.reuse_hit += n,
+            AttrBucket::Drain => self.drain += n,
+        }
+    }
+}
+
+/// Identifies one [`CycleBuckets`] bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AttrBucket {
+    /// Issue / ALU-operand / structural.
+    Issue,
+    /// Front-end (I-cache, mispredict, reuse-miss flush).
+    Fetch,
+    /// Load-operand (memory) wait.
+    Memory,
+    /// Reuse-hit commit and redirect.
+    ReuseHit,
+    /// End-of-run drain.
+    Drain,
+}
+
+/// Cycle breakdown for one function.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FuncCycles {
+    /// Function name.
+    pub name: String,
+    /// Cycles charged while this function was executing.
+    pub buckets: CycleBuckets,
+}
+
+/// Cycle-attribution profile of one simulated run, present only when
+/// profiling was enabled. The bucket totals, the per-function rows,
+/// and the per-region rows each sum to the run's total cycles resp.
+/// the cycles spent inside regions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Attribution {
+    /// Whole-run bucket totals (sum == `SimStats::cycles`).
+    pub total: CycleBuckets,
+    /// Per-function breakdown, sorted by descending total cycles then
+    /// name for determinism.
+    pub functions: Vec<FuncCycles>,
+    /// Cycles charged while a reuse region was active (between its
+    /// `reuse` instruction and its region end), keyed by region,
+    /// sorted by region id.
+    pub regions: Vec<(RegionId, u64)>,
 }
 
 /// Whole-run statistics from the timing pipeline.
@@ -86,6 +238,8 @@ pub struct SimStats {
     pub crb: CrbStats,
     /// Per-region dynamics.
     pub regions: HashMap<RegionId, RegionDynStats>,
+    /// Cycle attribution (profiled runs only).
+    pub attribution: Option<Attribution>,
 }
 
 impl SimStats {
@@ -137,6 +291,7 @@ mod tests {
             lookups: 10,
             hits: 7,
             misses: 3,
+            miss_cold: 3,
             ..CrbStats::default()
         };
         assert!((c.hit_ratio() - 0.7).abs() < 1e-12);
@@ -149,6 +304,8 @@ mod tests {
             lookups: 10,
             hits: 7,
             misses: 3,
+            miss_cold: 1,
+            miss_mismatch: 2,
             ..CrbStats::default()
         };
         c.check();
@@ -163,8 +320,61 @@ mod tests {
             lookups: 10,
             hits: 7,
             misses: 2,
+            miss_cold: 2,
             ..CrbStats::default()
         };
         c.check();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "miss causes out of balance")]
+    fn unclassified_misses_fail_check() {
+        let c = CrbStats {
+            lookups: 10,
+            hits: 7,
+            misses: 3,
+            miss_cold: 1,
+            miss_capacity: 1,
+            ..CrbStats::default()
+        };
+        c.check();
+    }
+
+    #[test]
+    fn cause_counting_covers_every_cause() {
+        let mut c = CrbStats::default();
+        let mut r = RegionDynStats::default();
+        for cause in MissCause::ALL {
+            c.misses += 1;
+            c.lookups += 1;
+            c.count_miss_cause(cause);
+            r.misses += 1;
+            r.count_miss_cause(cause);
+        }
+        c.check();
+        assert_eq!(c.miss_cause_total(), 5);
+        assert_eq!(
+            (
+                r.miss_cold,
+                r.miss_mismatch,
+                r.miss_capacity,
+                r.miss_conflict,
+                r.miss_invalidated
+            ),
+            (1, 1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn cycle_buckets_sum_and_charge() {
+        let mut b = CycleBuckets::default();
+        b.charge(AttrBucket::Issue, 3);
+        b.charge(AttrBucket::Fetch, 2);
+        b.charge(AttrBucket::Memory, 4);
+        b.charge(AttrBucket::ReuseHit, 1);
+        b.charge(AttrBucket::Drain, 5);
+        assert_eq!(b.total(), 15);
+        assert_eq!(b.memory, 4);
     }
 }

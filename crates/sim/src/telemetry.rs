@@ -29,6 +29,43 @@ use crate::stats::SimStats;
 /// Default dynamic-instruction window for interval IPC samples.
 pub const DEFAULT_IPC_WINDOW: u64 = 4096;
 
+/// Default cycle period between call-stack samples in profiled runs.
+pub const DEFAULT_SAMPLE_PERIOD: u64 = 256;
+
+/// Tracing knobs for [`simulate_traced_cfg`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Dynamic-instruction window for interval IPC samples.
+    pub window: u64,
+    /// Enables cycle attribution ([`Pipeline::enable_profiling`]) and
+    /// periodic `cycle_sample` call-stack events. Timing is identical
+    /// either way.
+    pub profile: bool,
+    /// Cycle period between call-stack samples (profiled runs only).
+    pub sample_period: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            window: DEFAULT_IPC_WINDOW,
+            profile: false,
+            sample_period: DEFAULT_SAMPLE_PERIOD,
+        }
+    }
+}
+
+/// Call-stack sampling state (profiled runs only).
+struct Sampler {
+    /// Function names indexed by `FuncId::index()`.
+    names: Vec<String>,
+    /// The simulated call stack, outermost first.
+    stack: Vec<FuncId>,
+    period: u64,
+    /// Next cycle at which a sample is due.
+    next: u64,
+}
+
 /// A [`TraceSink`] that owns the timing [`Pipeline`] and narrates the
 /// run to a [`TelemetrySink`]. Strictly pass-through for timing.
 pub struct TelemetryBridge<'a> {
@@ -39,6 +76,7 @@ pub struct TelemetryBridge<'a> {
     window_instrs: u64,
     window_skipped: u64,
     window_start_cycle: u64,
+    sampler: Option<Sampler>,
 }
 
 impl<'a> TelemetryBridge<'a> {
@@ -58,7 +96,55 @@ impl<'a> TelemetryBridge<'a> {
             window_instrs: 0,
             window_skipped: 0,
             window_start_cycle: 0,
+            sampler: None,
         }
+    }
+
+    /// Turns on periodic `cycle_sample` call-stack events: one every
+    /// `period` cycles, carrying the `;`-joined stack of function
+    /// names (outermost first) and the cycles covered since the
+    /// previous sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn enable_sampling(&mut self, names: Vec<String>, period: u64) {
+        assert!(period > 0, "sample period must be nonzero");
+        self.sampler = Some(Sampler {
+            names,
+            stack: Vec::new(),
+            period,
+            next: period,
+        });
+    }
+
+    fn maybe_sample(&mut self) {
+        let Some(sampler) = self.sampler.as_mut() else {
+            return;
+        };
+        let now = self.pipeline.cycles_so_far();
+        if now < sampler.next {
+            return;
+        }
+        // A long-latency gap can straddle several periods; one sample
+        // carries the whole covered span so sampled cycles still tile
+        // the run.
+        let periods = (now - sampler.next) / sampler.period + 1;
+        let cycles = periods * sampler.period;
+        if self.sink.enabled() {
+            let mut stack = String::new();
+            for (i, f) in sampler.stack.iter().enumerate() {
+                if i > 0 {
+                    stack.push(';');
+                }
+                match sampler.names.get(f.index()) {
+                    Some(name) => stack.push_str(name),
+                    None => stack.push('?'),
+                }
+            }
+            emit!(self.sink, "cycle_sample", stack: stack.as_str(), cycles: cycles);
+        }
+        sampler.next += cycles;
     }
 
     fn flush_window(&mut self) {
@@ -98,14 +184,28 @@ impl TraceSink for TelemetryBridge<'_> {
     fn on_exec(&mut self, event: &ExecEvent<'_>) {
         self.pipeline.on_exec(event);
         if let Some(outcome) = event.reuse {
-            emit!(self.sink, "reuse",
-                region: outcome.region.index(),
-                hit: outcome.hit,
-                skipped: outcome.skipped_instrs,
-                cycle: self.pipeline.cycles_so_far(),
-            );
+            match outcome.miss_cause {
+                Some(cause) if !outcome.hit => {
+                    emit!(self.sink, "reuse",
+                        region: outcome.region.index(),
+                        hit: outcome.hit,
+                        skipped: outcome.skipped_instrs,
+                        cycle: self.pipeline.cycles_so_far(),
+                        cause: cause.as_str(),
+                    );
+                }
+                _ => {
+                    emit!(self.sink, "reuse",
+                        region: outcome.region.index(),
+                        hit: outcome.hit,
+                        skipped: outcome.skipped_instrs,
+                        cycle: self.pipeline.cycles_so_far(),
+                    );
+                }
+            }
             self.window_skipped += outcome.skipped_instrs;
         }
+        self.maybe_sample();
         self.window_instrs += 1;
         if self.window_instrs >= self.window {
             self.flush_window();
@@ -113,14 +213,27 @@ impl TraceSink for TelemetryBridge<'_> {
     }
 
     fn on_block_enter(&mut self, func: FuncId, block: BlockId) {
+        if let Some(sampler) = self.sampler.as_mut() {
+            if sampler.stack.is_empty() {
+                sampler.stack.push(func);
+            }
+        }
         self.pipeline.on_block_enter(func, block);
     }
 
     fn on_call(&mut self, caller: FuncId, callee: FuncId) {
+        if let Some(sampler) = self.sampler.as_mut() {
+            sampler.stack.push(callee);
+        }
         self.pipeline.on_call(caller, callee);
     }
 
     fn on_ret(&mut self, from: FuncId) {
+        if let Some(sampler) = self.sampler.as_mut() {
+            if sampler.stack.len() > 1 {
+                sampler.stack.pop();
+            }
+        }
         self.pipeline.on_ret(from);
     }
 }
@@ -145,11 +258,54 @@ pub fn simulate_traced(
     window: u64,
     sink: &mut dyn TelemetrySink,
 ) -> Result<SimOutcome, EmuError> {
+    let cfg = TraceConfig {
+        window,
+        ..TraceConfig::default()
+    };
+    simulate_traced_cfg(program, machine, crb, emu, &cfg, sink)
+}
+
+/// [`simulate_traced`] with full [`TraceConfig`] control. With
+/// `profile` on, the pipeline additionally attributes every cycle
+/// (surfaced as [`SimStats::attribution`]) and the stream gains
+/// `cycle_sample` call-stack events and per-miss `cause` fields on
+/// `reuse` events — without changing a single cycle of timing.
+///
+/// # Errors
+///
+/// Propagates emulator limit violations ([`EmuError`]).
+pub fn simulate_traced_cfg(
+    program: &Program,
+    machine: &MachineConfig,
+    crb: Option<CrbConfig>,
+    emu: EmuConfig,
+    cfg: &TraceConfig,
+    sink: &mut dyn TelemetrySink,
+) -> Result<SimOutcome, EmuError> {
     let enabled = sink.enabled();
     let layout = CodeLayout::of(program);
-    let pipeline = Pipeline::new(*machine, layout);
+    let mut pipeline = Pipeline::new(*machine, layout);
+    if cfg.profile {
+        pipeline.enable_profiling(
+            program
+                .functions()
+                .iter()
+                .map(|f| f.name().to_string())
+                .collect(),
+        );
+    }
     let emulator = Emulator::with_config(program, emu);
-    let mut bridge = TelemetryBridge::new(pipeline, &mut *sink, window);
+    let mut bridge = TelemetryBridge::new(pipeline, &mut *sink, cfg.window);
+    if cfg.profile {
+        bridge.enable_sampling(
+            program
+                .functions()
+                .iter()
+                .map(|f| f.name().to_string())
+                .collect(),
+            cfg.sample_period,
+        );
+    }
     let (run, stats) = match crb {
         Some(config) => {
             let mut buffer = ReuseBuffer::new(config);
@@ -185,6 +341,11 @@ pub fn simulate_traced(
             region: id.index(),
             hits: rs.hits,
             misses: rs.misses,
+            miss_cold: rs.miss_cold,
+            miss_mismatch: rs.miss_mismatch,
+            miss_capacity: rs.miss_capacity,
+            miss_conflict: rs.miss_conflict,
+            miss_invalidated: rs.miss_invalidated,
             skipped: rs.skipped_instrs,
         );
     }
@@ -314,6 +475,84 @@ mod tests {
         assert_eq!(
             summary.sum("sim_summary", "cycles") as u64,
             out.stats.cycles
+        );
+    }
+
+    #[test]
+    fn profiled_traced_run_is_cycle_identical() {
+        let p = reusing_program();
+        let machine = MachineConfig::paper();
+        let plain = simulate(&p, &machine, Some(CrbConfig::paper()), EmuConfig::default()).unwrap();
+        let cfg = TraceConfig {
+            window: 256,
+            profile: true,
+            sample_period: 64,
+        };
+        let mut null = NullSink;
+        let profiled = simulate_traced_cfg(
+            &p,
+            &machine,
+            Some(CrbConfig::paper()),
+            EmuConfig::default(),
+            &cfg,
+            &mut null,
+        )
+        .unwrap();
+        assert_eq!(plain.stats.cycles, profiled.stats.cycles);
+        assert_eq!(plain.stats.dyn_instrs, profiled.stats.dyn_instrs);
+        assert_eq!(plain.stats.crb, profiled.stats.crb);
+        assert_eq!(plain.stats.regions, profiled.stats.regions);
+        let attr = profiled.stats.attribution.as_ref().expect("profiled");
+        assert_eq!(attr.total.total(), profiled.stats.cycles);
+    }
+
+    #[test]
+    fn profiled_run_emits_samples_and_miss_causes() {
+        let p = reusing_program();
+        let machine = MachineConfig::paper();
+        let cfg = TraceConfig {
+            window: 256,
+            profile: true,
+            sample_period: 32,
+        };
+        let mut summary = SummarySink::new();
+        let out = simulate_traced_cfg(
+            &p,
+            &machine,
+            Some(CrbConfig::paper()),
+            EmuConfig::default(),
+            &cfg,
+            &mut summary,
+        )
+        .unwrap();
+        // Samples tile the run in whole periods: their covered cycles
+        // never exceed the total and reach within one gap of it.
+        assert!(summary.count("cycle_sample") >= 1);
+        let sampled = summary.sum("cycle_sample", "cycles") as u64;
+        assert!(sampled > 0 && sampled <= out.stats.cycles, "{sampled}");
+        // The JSONL form carries the stack and the miss cause.
+        let mut jsonl = ccr_telemetry::JsonlSink::new(Vec::new());
+        simulate_traced_cfg(
+            &p,
+            &machine,
+            Some(CrbConfig::paper()),
+            EmuConfig::default(),
+            &cfg,
+            &mut jsonl,
+        )
+        .unwrap();
+        let text = String::from_utf8(jsonl.into_inner()).unwrap();
+        assert!(
+            text.contains("\"ev\":\"cycle_sample\",\"stack\":\"main\""),
+            "{text}"
+        );
+        assert!(text.contains("\"cause\":\"cold\""), "{text}");
+        // Hits never carry a cause.
+        assert!(
+            !text
+                .lines()
+                .any(|l| l.contains("\"hit\":true") && l.contains("\"cause\"")),
+            "{text}"
         );
     }
 

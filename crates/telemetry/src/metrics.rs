@@ -101,10 +101,21 @@ impl Histogram {
     /// interpolation inside the log₂ bucket that holds the target
     /// rank. Resolution is therefore ~2× relative (one bucket), which
     /// is what the buckets promise; the estimate is clamped to the
-    /// exact observed `[min, max]` range. Returns 0 when empty.
+    /// exact observed `[min, max]` range.
+    ///
+    /// On an empty histogram this returns the documented sentinel
+    /// `0.0`, indistinguishable from an all-zero sample set — use
+    /// [`Histogram::try_percentile`] (or check [`Histogram::count`])
+    /// when "no samples" must be told apart from "samples of zero".
     pub fn percentile(&self, p: f64) -> f64 {
+        self.try_percentile(p).unwrap_or(0.0)
+    }
+
+    /// Like [`Histogram::percentile`], but `None` on an empty
+    /// histogram instead of the `0.0` sentinel.
+    pub fn try_percentile(&self, p: f64) -> Option<f64> {
         if self.count == 0 {
-            return 0.0;
+            return None;
         }
         let p = p.clamp(0.0, 100.0);
         // 1-based target rank; p=0 → first sample, p=100 → last.
@@ -121,11 +132,11 @@ impl Histogram {
                 let width = if i == 0 { 0 } else { low };
                 let into = (target - cum as f64) / c as f64;
                 let est = low as f64 + into * width as f64;
-                return est.clamp(self.min as f64, self.max as f64);
+                return Some(est.clamp(self.min as f64, self.max as f64));
             }
             cum = next;
         }
-        self.max as f64
+        Some(self.max as f64)
     }
 
     /// Median estimate (see [`Histogram::percentile`]).
@@ -288,6 +299,21 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.percentile(50.0), 0.0);
         assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn empty_percentile_is_none_not_a_sentinel() {
+        let h = Histogram::default();
+        // try_percentile distinguishes "no samples" from "all zeros"
+        // at every p, including the clamped out-of-range ones.
+        for p in [-5.0, 0.0, 50.0, 99.0, 100.0, 250.0] {
+            assert_eq!(h.try_percentile(p), None, "p{p}");
+        }
+        let mut zeros = Histogram::default();
+        zeros.record(0);
+        assert_eq!(zeros.try_percentile(50.0), Some(0.0));
+        // The f64 convenience wrapper maps None to the 0.0 sentinel.
+        assert_eq!(h.percentile(50.0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! `bitcount` — the paper's Figure 2 `count_ones` macro as a tiny
+//! standalone smoke workload.
+//!
+//! A few hundred trips over a pooled word stream feeding the
+//! four-byte `bit_count[]` decomposition. Small enough for CI smoke
+//! runs and telemetry fixtures, with the same high block-level value
+//! locality as `008.espresso`'s motivating kernel. Not part of
+//! [`crate::NAMES`] — it models a figure, not a paper benchmark.
+
+use ccr_ir::{BinKind, Operand, Program, ProgramBuilder};
+
+use crate::util::{bit_count_table, counted_loop, DataGen};
+use crate::InputSet;
+
+/// Base driver trips at scale 1.
+const TRIPS: i64 = 300;
+
+/// Builds the workload.
+pub fn build(input: InputSet, scale: u32) -> Program {
+    let mut g = DataGen::new(0xb17c, input);
+    let mut pb = ProgramBuilder::new();
+    let bit_count = pb.table("bit_count", bit_count_table());
+    // The examined words repeat: a 64-slot stream from a 6-word pool.
+    let words = pb.table("words", g.pooled(64, 6, 0, 1 << 31));
+
+    // count_ones(v): the Figure 2 macro, verbatim structure.
+    let count_ones = pb.declare("count_ones", 1, 1);
+    {
+        let mut f = pb.function_body(count_ones);
+        let v = f.param(0);
+        let b0 = f.and(v, 255);
+        let c0 = f.load(bit_count, b0);
+        let s1 = f.shr(v, 8);
+        let b1 = f.and(s1, 255);
+        let c1 = f.load(bit_count, b1);
+        let s2 = f.shr(v, 16);
+        let b2 = f.and(s2, 255);
+        let c2 = f.load(bit_count, b2);
+        let s3 = f.shr(v, 24);
+        let b3 = f.and(s3, 255);
+        let c3 = f.load(bit_count, b3);
+        let t0 = f.add(c0, c1);
+        let t1 = f.add(c2, c3);
+        let n = f.add(t0, t1);
+        f.ret(&[Operand::Reg(n)]);
+        pb.finish_function(f);
+    }
+
+    let mut f = pb.function("main", 0, 1);
+    let acc = f.movi(0);
+    counted_loop(&mut f, TRIPS * i64::from(scale), |f, i, _exit| {
+        let sel = f.and(i, 63);
+        let v = f.load(words, sel);
+        let ones = f.call(count_ones, &[Operand::Reg(v)], 1)[0];
+        f.bin_into(BinKind::Add, acc, acc, ones);
+    });
+    f.ret(&[Operand::Reg(acc)]);
+    let main = pb.finish_function(f);
+    pb.set_main(main);
+    pb.finish()
+}

@@ -31,6 +31,7 @@
 
 use ccr_ir::Program;
 
+mod bitcount;
 mod compress;
 mod espresso;
 mod gcc;
@@ -94,10 +95,15 @@ pub const NAMES: [&str; 13] = [
 /// Builds one benchmark. `scale` multiplies the main driver's trip
 /// count (1 ≈ a few hundred thousand dynamic instructions).
 ///
+/// Besides the thirteen [`NAMES`], accepts `bitcount` — a tiny
+/// Figure 2 smoke workload for CI and telemetry fixtures that is not
+/// part of the measured suite.
+///
 /// Returns `None` for unknown names.
 pub fn build(name: &str, input: InputSet, scale: u32) -> Option<Program> {
     let scale = scale.max(1);
     Some(match name {
+        "bitcount" => bitcount::build(input, scale),
         "008.espresso" => espresso::build(input, scale),
         "072.sc" => sc::build(input, scale),
         "099.go" => go::build(input, scale),
@@ -195,6 +201,21 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(build("999.nope", InputSet::Train, 1).is_none());
+    }
+
+    #[test]
+    fn bitcount_smoke_workload_builds_but_stays_out_of_the_suite() {
+        assert!(!NAMES.contains(&"bitcount"));
+        let p = build("bitcount", InputSet::Train, 1).unwrap();
+        ccr_ir::verify_program(&p).unwrap();
+        let out = Emulator::new(&p).run(&mut NullCrb, &mut NullSink).unwrap();
+        assert!(out.dyn_instrs > 1_000, "{}", out.dyn_instrs);
+        assert!(out.dyn_instrs < 100_000, "{}", out.dyn_instrs);
+        let reference = build("bitcount", InputSet::Ref, 1).unwrap();
+        let ref_out = Emulator::new(&reference)
+            .run(&mut NullCrb, &mut NullSink)
+            .unwrap();
+        assert_ne!(out.returned, ref_out.returned);
     }
 
     #[test]

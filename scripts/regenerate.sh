@@ -11,4 +11,14 @@ for bin in fig4_potential fig8a_instances fig8b_entries fig9_groups \
 done
 echo '== BENCH_ccr.json (perf baseline; CI gates ccr diff against it)'
 cargo run --release -q --bin ccr -- bench --out BENCH_ccr.json
+echo '== profile fixture (tests/fixtures/run_telemetry + goldens)'
+# Refresh the frozen `ccr profile` capture the golden tests run against,
+# then rewrite the goldens from it. Events/report carry wall-clock pass
+# timings (not byte-stable); the analyzer artifacts are deterministic.
+cargo run --release -q --bin ccr -- profile bitcount \
+    --telemetry tests/fixtures/run_telemetry > /dev/null
+cargo run --release -q --bin ccr -- print bitcount \
+    > tests/fixtures/run_telemetry/bitcount.ccr
+rm -f tests/fixtures/run_telemetry/{analysis.json,trace.json,profile.folded,flamegraph.svg}
+CCR_UPDATE_GOLDEN=1 cargo test --release -q --test analyze_golden > /dev/null
 echo "done; see results/ and EXPERIMENTS.md"

@@ -4,6 +4,8 @@
 //! ccr suite [--input train|ref] [--scale N] [--entries E] [--instances C]
 //! ccr run <benchmark|file.ccr> [--entries E] [--instances C] [--function-level]
 //!         [--telemetry DIR]
+//! ccr profile <benchmark|file.ccr> [--telemetry DIR] [--sample-period N]
+//!             [--entries E] [--instances C] [--function-level] [--top N]
 //! ccr analyze <DIR> [--top N] [--out DIR]
 //! ccr diff <BASE> <NEW> [--thresholds default|none] [--force]
 //!          [--max-cycle-regress-pct X] [--max-hit-rate-drop-pp X]
@@ -25,19 +27,29 @@
 //! `ccr::runreport`). The text output and every reported number are
 //! identical with and without the flag.
 //!
+//! `ccr profile` is `ccr run --telemetry` plus cycle attribution: the
+//! simulation charges every cycle to a stall bucket keyed by the
+//! executing function, classifies every CRB miss by cause, and emits
+//! periodic call-stack samples — then runs the analyzer, leaving
+//! `DIR/analysis.json` (with its `attribution` section),
+//! `DIR/trace.json`, `DIR/profile.folded` (collapsed stacks), and
+//! `DIR/flamegraph.svg` (self-contained, deterministic SVG). Cycle
+//! counts are bit-identical to an unprofiled `ccr run`.
+//!
 //! `ccr analyze` reads those artifacts back and writes
 //! `analysis.json` (per-region reuse profiles, CRB pressure, IPC
 //! percentiles — deterministic bytes) and a Chrome-trace `trace.json`
-//! (load it in `chrome://tracing` or Perfetto). `ccr diff` compares
-//! two runs — telemetry directories, saved `analysis.json` files, or
-//! `BENCH_*.json` snapshots — and exits with status 2 when a
-//! regression threshold is breached, which is what CI gates on.
+//! (load it in `chrome://tracing` or Perfetto); on profiled captures
+//! it also refreshes `profile.folded` + `flamegraph.svg`. `ccr diff`
+//! compares two runs — telemetry directories, saved `analysis.json`
+//! files, or `BENCH_*.json` snapshots — and exits with status 2 when
+//! a regression threshold is breached, which is what CI gates on.
 //! `ccr bench` runs the built-in suite and snapshots `BENCH_ccr.json`,
 //! the committed performance baseline.
 //!
 //! A `<benchmark>` is one of the thirteen built-in workload names
-//! (`ccr list`); a `file.ccr` is a textual-IR program as produced by
-//! `ccr print`.
+//! (`ccr list`, plus the `bitcount` smoke workload); a `file.ccr` is
+//! a textual-IR program as produced by `ccr print`.
 
 use std::process::ExitCode;
 
@@ -49,11 +61,35 @@ use ccr::sim::{CrbConfig, MachineConfig};
 use ccr::workloads::{build, InputSet, NAMES};
 use ccr::{compile_ccr, measure, CompileConfig};
 
+/// A CLI failure. `Usage` errors (bad subcommand, bad flags, missing
+/// arguments) get the usage text appended; `Failure` errors (a
+/// command that started and could not finish — missing files,
+/// unparseable input, simulation limits) print exactly one line.
+/// Both exit with status 1.
+enum CliError {
+    Usage(String),
+    Failure(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Failure(msg)
+    }
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
         Ok(code) => code,
-        Err(msg) => {
+        Err(CliError::Failure(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
@@ -66,6 +102,8 @@ const USAGE: &str = "usage:
   ccr suite [--input train|ref] [--scale N] [--entries E] [--instances C]
   ccr run <benchmark|file.ccr> [--entries E] [--instances C] [--function-level]
           [--telemetry DIR]
+  ccr profile <benchmark|file.ccr> [--telemetry DIR] [--sample-period N]
+              [--entries E] [--instances C] [--function-level] [--top N]
   ccr analyze <DIR> [--top N] [--out DIR]
   ccr diff <BASE> <NEW> [--thresholds default|none] [--force]
            [--max-cycle-regress-pct X] [--max-hit-rate-drop-pp X]
@@ -87,6 +125,7 @@ struct Flags {
     function_level: bool,
     annotated: bool,
     limit: u64,
+    sample_period: u64,
     telemetry: Option<String>,
     top: usize,
     out: Option<String>,
@@ -108,6 +147,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         function_level: false,
         annotated: false,
         limit: 40,
+        sample_period: ccr::sim::DEFAULT_SAMPLE_PERIOD,
         telemetry: None,
         top: 10,
         out: None,
@@ -155,6 +195,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.limit = take("--limit")?
                     .parse()
                     .map_err(|_| "bad --limit value".to_string())?;
+            }
+            "--sample-period" => {
+                flags.sample_period = take("--sample-period")?
+                    .parse()
+                    .map_err(|_| "bad --sample-period value".to_string())?;
+                if flags.sample_period == 0 {
+                    return Err("--sample-period must be at least 1".to_string());
+                }
             }
             "--telemetry" => flags.telemetry = Some(take("--telemetry")?),
             "--top" => {
@@ -204,12 +252,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(flags)
 }
 
-fn dispatch(args: &[String]) -> Result<ExitCode, String> {
+fn dispatch(args: &[String]) -> Result<ExitCode, CliError> {
     let Some(cmd) = args.first() else {
-        return Err("missing subcommand".into());
+        return Err(usage_err("missing subcommand"));
     };
-    let flags = parse_flags(&args[1..])?;
-    let ok = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
+    let flags = parse_flags(&args[1..]).map_err(usage_err)?;
+    let ok = |r: Result<(), CliError>| r.map(|()| ExitCode::SUCCESS);
     match cmd.as_str() {
         "list" => {
             for name in NAMES {
@@ -219,6 +267,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         }
         "suite" => ok(cmd_suite(&flags)),
         "run" => ok(cmd_run(&flags)),
+        "profile" => ok(cmd_profile(&flags)),
         "analyze" => ok(cmd_analyze(&flags)),
         "diff" => cmd_diff(&flags),
         "bench" => ok(cmd_bench(&flags)),
@@ -226,7 +275,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "potential" => ok(cmd_potential(&flags)),
         "print" => ok(cmd_print(&flags)),
         "trace" => ok(cmd_trace(&flags)),
-        other => Err(format!("unknown subcommand `{other}`")),
+        other => Err(usage_err(format!("unknown subcommand `{other}`"))),
     }
 }
 
@@ -273,15 +322,15 @@ fn load_program(spec: &str, input: InputSet, scale: u32) -> Result<Program, Stri
     ))
 }
 
-fn target_of(flags: &Flags) -> Result<String, String> {
+fn target_of(flags: &Flags) -> Result<String, CliError> {
     flags
         .positional
         .first()
         .cloned()
-        .ok_or_else(|| "missing <benchmark|file.ccr>".to_string())
+        .ok_or_else(|| usage_err("missing <benchmark|file.ccr>"))
 }
 
-fn cmd_suite(flags: &Flags) -> Result<(), String> {
+fn cmd_suite(flags: &Flags) -> Result<(), CliError> {
     let machine = MachineConfig::paper();
     let crb = crb_of(flags);
     let mut table = Table::new([
@@ -323,7 +372,7 @@ fn cmd_suite(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(flags: &Flags) -> Result<(), String> {
+fn cmd_run(flags: &Flags) -> Result<(), CliError> {
     let spec = target_of(flags)?;
     let train = load_program(&spec, InputSet::Train, flags.scale)?;
     let target = load_program(&spec, flags.input, flags.scale)?;
@@ -408,12 +457,136 @@ fn input_name(input: InputSet) -> &'static str {
     }
 }
 
-fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+fn cmd_profile(flags: &Flags) -> Result<(), CliError> {
+    use ccr::telemetry::{emit, JsonlSink, SCHEMA_VERSION};
+    let spec = target_of(flags)?;
+    let train = load_program(&spec, InputSet::Train, flags.scale)?;
+    let target = load_program(&spec, flags.input, flags.scale)?;
+    let machine = MachineConfig::paper();
+    let crb = crb_of(flags);
+    let compiled =
+        compile_ccr(&train, &target, &compile_config(flags)).map_err(|e| e.to_string())?;
+
+    // Default the output directory to one derived from the target, so
+    // `ccr profile bitcount` works bare.
+    let dir = flags.telemetry.clone().unwrap_or_else(|| {
+        let stem = spec.trim_end_matches(".ccr").replace(['/', '\\'], "_");
+        format!("{stem}-profile")
+    });
+    let dir = std::path::Path::new(&dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let events_path = dir.join("events.jsonl");
+    let mut sink =
+        JsonlSink::create(&events_path).map_err(|e| format!("{}: {e}", events_path.display()))?;
+    emit!(&mut sink, "run_begin",
+        schema: u64::from(SCHEMA_VERSION),
+        workload: spec.as_str(),
+        input: input_name(flags.input),
+        scale: flags.scale,
+        profiled: true,
+    );
+    ccr::emit_compile_events(&compiled.telemetry, &mut sink);
+    let cfg = ccr::sim::TraceConfig {
+        profile: true,
+        sample_period: flags.sample_period,
+        ..ccr::sim::TraceConfig::default()
+    };
+    let m = ccr::measure_profiled(&compiled, &machine, crb, emu(), &cfg, &mut sink)
+        .map_err(|e| e.to_string())?;
+    sink.finish()
+        .map_err(|e| format!("{}: {e}", events_path.display()))?;
+    let argv: Vec<String> = std::env::args().collect();
+    let provenance = ccr::Provenance::new(&argv, &machine, &crb);
+    let report = ccr::RunReport {
+        workload: &spec,
+        input: input_name(flags.input),
+        scale: flags.scale,
+        machine: &machine,
+        crb: &crb,
+        provenance: &provenance,
+        compile: &compiled.telemetry,
+        regions: &compiled.regions,
+        measurement: &m,
+    };
+    let report_path = dir.join("report.json");
+    let mut json = report.to_json();
+    json.push('\n');
+    std::fs::write(&report_path, json).map_err(|e| format!("{}: {e}", report_path.display()))?;
+
+    // Read the capture back through the same path `ccr analyze` uses:
+    // the committed artifacts are exactly what an offline analysis of
+    // this directory would produce.
+    let data = ccr_analyze::load_run(dir).map_err(|e| e.to_string())?;
+    let analysis = ccr_analyze::analyze(&data, flags.top);
+    let written = write_analysis_artifacts(dir, &data, &analysis)?;
+    print!("{}", analysis.summary());
+    println!(
+        "samples    : {} cycle samples (period {})",
+        data.cycle_samples.len(),
+        flags.sample_period
+    );
+    println!(
+        "wrote      : {} + {} + {written}",
+        events_path.display(),
+        report_path.display()
+    );
+    Ok(())
+}
+
+/// Checks a telemetry directory has both run artifacts before any
+/// analysis starts, so a wrong path fails with one clear line naming
+/// the missing piece instead of a usage dump (or worse, a panic).
+fn require_run_artifacts(dir: &std::path::Path) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Err(format!(
+            "{}: not a directory (expected a `ccr run --telemetry` or `ccr profile` output)",
+            dir.display()
+        ));
+    }
+    for name in ["events.jsonl", "report.json"] {
+        if !dir.join(name).is_file() {
+            return Err(format!(
+                "{}: missing {name} (expected a `ccr run --telemetry` or `ccr profile` output)",
+                dir.display()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Writes `analysis.json` + `trace.json` (and, when the capture was
+/// profiled, `profile.folded` + `flamegraph.svg`) for a loaded run.
+/// Returns the human-readable list of files written.
+fn write_analysis_artifacts(
+    out: &std::path::Path,
+    data: &ccr_analyze::RunData,
+    analysis: &ccr_analyze::Analysis,
+) -> Result<String, String> {
+    std::fs::create_dir_all(out).map_err(|e| format!("{}: {e}", out.display()))?;
+    let mut written = Vec::new();
+    let mut write = |name: &str, contents: String| -> Result<(), String> {
+        let path = out.join(name);
+        std::fs::write(&path, contents).map_err(|e| format!("{}: {e}", path.display()))?;
+        written.push(path.display().to_string());
+        Ok(())
+    };
+    write("analysis.json", analysis.to_json())?;
+    write("trace.json", ccr_analyze::chrome_trace(data))?;
+    if !data.cycle_samples.is_empty() {
+        let folded = ccr_analyze::fold_samples(data);
+        write("flamegraph.svg", ccr_analyze::flamegraph_svg(&folded))?;
+        write("profile.folded", folded)?;
+    }
+    Ok(written.join(" + "))
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<(), CliError> {
     let dir = flags
         .positional
         .first()
-        .ok_or("missing <DIR> (a `ccr run --telemetry` output directory)")?;
+        .ok_or_else(|| usage_err("missing <DIR> (a `ccr run --telemetry` output directory)"))?;
     let dir = std::path::Path::new(dir);
+    require_run_artifacts(dir)?;
     let data = ccr_analyze::load_run(dir).map_err(|e| e.to_string())?;
     let analysis = ccr_analyze::analyze(&data, flags.top);
     let out = flags
@@ -421,19 +594,9 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
         .as_ref()
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| dir.to_path_buf());
-    std::fs::create_dir_all(&out).map_err(|e| format!("{}: {e}", out.display()))?;
-    let analysis_path = out.join("analysis.json");
-    std::fs::write(&analysis_path, analysis.to_json())
-        .map_err(|e| format!("{}: {e}", analysis_path.display()))?;
-    let trace_path = out.join("trace.json");
-    std::fs::write(&trace_path, ccr_analyze::chrome_trace(&data))
-        .map_err(|e| format!("{}: {e}", trace_path.display()))?;
+    let written = write_analysis_artifacts(&out, &data, &analysis)?;
     print!("{}", analysis.summary());
-    println!(
-        "wrote      : {} + {}",
-        analysis_path.display(),
-        trace_path.display()
-    );
+    println!("wrote      : {written}");
     Ok(())
 }
 
@@ -447,6 +610,7 @@ enum DiffSide {
 fn load_diff_side(spec: &str, top: usize) -> Result<DiffSide, String> {
     let path = std::path::Path::new(spec);
     if path.is_dir() {
+        require_run_artifacts(path)?;
         let data = ccr_analyze::load_run(path).map_err(|e| e.to_string())?;
         let analysis = ccr_analyze::analyze(&data, top);
         return Ok(DiffSide::Run((&analysis).into()));
@@ -485,9 +649,9 @@ fn thresholds_of(flags: &Flags) -> ccr_analyze::Thresholds {
     t
 }
 
-fn cmd_diff(flags: &Flags) -> Result<ExitCode, String> {
+fn cmd_diff(flags: &Flags) -> Result<ExitCode, CliError> {
     let [base_spec, new_spec] = flags.positional.as_slice() else {
-        return Err("diff needs exactly two arguments: <BASE> <NEW>".into());
+        return Err(usage_err("diff needs exactly two arguments: <BASE> <NEW>"));
     };
     let thresholds = thresholds_of(flags);
     let base = load_diff_side(base_spec, flags.top)?;
@@ -503,7 +667,8 @@ fn cmd_diff(flags: &Flags) -> Result<ExitCode, String> {
             return Err(format!(
                 "cannot compare a bench snapshot with a single run \
                  ({base_spec} vs {new_spec})"
-            ))
+            )
+            .into())
         }
     };
     print!("{}", report.render());
@@ -514,7 +679,7 @@ fn cmd_diff(flags: &Flags) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_bench(flags: &Flags) -> Result<(), String> {
+fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
     let machine = MachineConfig::paper();
     let crb = crb_of(flags);
     let selected: Vec<&str> = match &flags.only {
@@ -523,7 +688,7 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
             let mut out = Vec::new();
             for name in list.split(',').filter(|s| !s.is_empty()) {
                 let Some(&known) = NAMES.iter().find(|&&n| n == name) else {
-                    return Err(format!("unknown workload `{name}` (see `ccr list`)"));
+                    return Err(format!("unknown workload `{name}` (see `ccr list`)").into());
                 };
                 out.push(known);
             }
@@ -531,7 +696,7 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
         }
     };
     if selected.is_empty() {
-        return Err("--only selected no workloads".into());
+        return Err(usage_err("--only selected no workloads"));
     }
     let mut report = ccr_analyze::BenchReport {
         suite: "ccr".to_string(),
@@ -573,7 +738,7 @@ fn cmd_bench(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_regions(flags: &Flags) -> Result<(), String> {
+fn cmd_regions(flags: &Flags) -> Result<(), CliError> {
     let spec = target_of(flags)?;
     let p = load_program(&spec, flags.input, flags.scale)?;
     let compiled = compile_ccr(&p, &p, &compile_config(flags)).map_err(|e| e.to_string())?;
@@ -609,7 +774,7 @@ fn cmd_regions(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_potential(flags: &Flags) -> Result<(), String> {
+fn cmd_potential(flags: &Flags) -> Result<(), CliError> {
     let spec = target_of(flags)?;
     let p = load_program(&spec, flags.input, flags.scale)?;
     let pot = ccr::measure::reuse_potential(&p, emu()).map_err(|e| e.to_string())?;
@@ -619,7 +784,7 @@ fn cmd_potential(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_trace(flags: &Flags) -> Result<(), String> {
+fn cmd_trace(flags: &Flags) -> Result<(), CliError> {
     use ccr::profile::{EmuError, ExecEvent, NullCrb, TraceSink};
     let spec = target_of(flags)?;
     let p = load_program(&spec, flags.input, flags.scale)?;
@@ -673,11 +838,11 @@ fn cmd_trace(flags: &Flags) -> Result<(), String> {
     };
     match ccr::profile::Emulator::with_config(&p, limited).run(&mut NullCrb, &mut tracer) {
         Ok(_) | Err(EmuError::StepLimit) => Ok(()),
-        Err(e) => Err(e.to_string()),
+        Err(e) => Err(e.to_string().into()),
     }
 }
 
-fn cmd_print(flags: &Flags) -> Result<(), String> {
+fn cmd_print(flags: &Flags) -> Result<(), CliError> {
     let spec = target_of(flags)?;
     let p = load_program(&spec, flags.input, flags.scale)?;
     if flags.annotated {

@@ -1,13 +1,16 @@
 //! Golden-file test for the analyzer.
 //!
 //! `tests/fixtures/run_telemetry/` holds a frozen telemetry capture of
-//! the paper's Figure 2 bitcount program (`bitcount.ccr`, loop reduced
-//! to 300 iterations to keep the artifacts small): `events.jsonl` and
-//! `report.json` exactly as `ccr run --telemetry` wrote them. The
-//! inputs are frozen rather than regenerated because event lines carry
-//! wall-clock pass timings; the *analyzer* by contrast must be fully
-//! deterministic, so its output on the frozen inputs is compared
-//! byte-for-byte against the committed goldens in `golden/`.
+//! the paper's Figure 2 bitcount program (the built-in `bitcount`
+//! smoke workload, 300 loop iterations to keep the artifacts small):
+//! `events.jsonl` and `report.json` exactly as `ccr profile` wrote
+//! them, so the capture carries cycle attribution, miss-cause tags,
+//! and `cycle_sample` stacks. The inputs are frozen rather than
+//! regenerated because event lines carry wall-clock pass timings; the
+//! *analyzer* by contrast must be fully deterministic, so its output
+//! on the frozen inputs — `analysis.json`, `trace.json`,
+//! `profile.folded`, and `flamegraph.svg` — is compared byte-for-byte
+//! against the committed goldens in `golden/`.
 //!
 //! To refresh after an intentional schema or analyzer change:
 //!
@@ -52,6 +55,8 @@ fn analyzer_output_is_byte_stable_on_the_frozen_fixture() {
 
     let analysis = ccr_analyze::analyze(&data, TOP_N);
     let trace = ccr_analyze::chrome_trace(&data);
+    let folded = ccr_analyze::fold_samples(&data);
+    let svg = ccr_analyze::flamegraph_svg(&folded);
 
     // Determinism first: a second pass over the same input must give
     // identical bytes, independent of the goldens.
@@ -60,16 +65,50 @@ fn analyzer_output_is_byte_stable_on_the_frozen_fixture() {
         analysis.to_json()
     );
     assert_eq!(ccr_analyze::chrome_trace(&data), trace);
+    assert_eq!(ccr_analyze::fold_samples(&data), folded);
+    assert_eq!(ccr_analyze::flamegraph_svg(&folded), svg);
 
     check_golden(&fixture.join("golden/analysis.json"), &analysis.to_json());
     check_golden(&fixture.join("golden/trace.json"), &trace);
+    check_golden(&fixture.join("golden/profile.folded"), &folded);
+    check_golden(&fixture.join("golden/flamegraph.svg"), &svg);
 }
 
 #[test]
-fn fixture_report_is_v2_with_provenance() {
+fn fixture_is_a_profiled_v3_capture() {
     let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/run_telemetry");
     let data = ccr_analyze::load_run(&fixture).unwrap();
-    assert_eq!(data.report.schema_version, 2);
+    assert!(
+        !data.cycle_samples.is_empty(),
+        "the fixture is a `ccr profile` capture"
+    );
+    let attr = data
+        .report
+        .ccr_attribution
+        .as_ref()
+        .expect("profiled capture carries attribution");
+    assert_eq!(
+        attr.total.total(),
+        data.report.ccr_cycles,
+        "every cycle is attributed to exactly one bucket"
+    );
+    // Per-region miss causes sum to the region's misses.
+    let analysis = ccr_analyze::analyze(&data, TOP_N);
+    for r in &analysis.regions {
+        assert_eq!(
+            r.miss_causes.iter().sum::<u64>(),
+            r.misses,
+            "region {} miss causes out of balance",
+            r.region
+        );
+    }
+}
+
+#[test]
+fn fixture_report_is_v3_with_provenance() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/run_telemetry");
+    let data = ccr_analyze::load_run(&fixture).unwrap();
+    assert_eq!(data.report.schema_version, 3);
     let hash = data
         .report
         .config_hash

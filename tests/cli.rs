@@ -88,7 +88,7 @@ fn run_analyze_diff_pipeline_round_trips() {
     assert!(stdout.contains("hottest by instructions saved"), "{stdout}");
     let analysis = std::fs::read_to_string(tele.join("analysis.json")).unwrap();
     assert!(
-        analysis.starts_with("{\"analysis_schema_version\":1,"),
+        analysis.starts_with("{\"analysis_schema_version\":2,"),
         "{analysis}"
     );
     let trace = std::fs::read_to_string(tele.join("trace.json")).unwrap();
@@ -241,6 +241,135 @@ fn bench_snapshot_round_trips_through_diff() {
         .output()
         .unwrap();
     assert!(!out.status.success());
+}
+
+#[test]
+fn profile_writes_attribution_and_flamegraph_artifacts() {
+    let dir = std::env::temp_dir().join("ccr-cli-profile-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let tele = dir.join("prof");
+    let out = ccr()
+        .args(["profile", "bitcount", "--telemetry", tele.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("attr (base)"), "{stdout}");
+    assert!(stdout.contains("cycle samples"), "{stdout}");
+    assert!(stdout.contains("misses     :"), "{stdout}");
+
+    // Profiling must not perturb timing: a plain run of the same
+    // workload reports byte-identical cycle counts.
+    let run = ccr().args(["run", "bitcount"]).output().unwrap();
+    assert!(run.status.success());
+    let run_stdout = String::from_utf8(run.stdout).unwrap();
+    // First integer token after `tag` on the line containing it.
+    let cycles_of = |text: &str, tag: &str| -> u64 {
+        let line = text
+            .lines()
+            .find(|l| l.contains(tag))
+            .unwrap_or_else(|| panic!("no `{tag}` line in:\n{text}"));
+        line[line.find(tag).unwrap() + tag.len()..]
+            .split_whitespace()
+            .find_map(|tok| tok.parse().ok())
+            .unwrap_or_else(|| panic!("no number after `{tag}` in `{line}`"))
+    };
+    assert_eq!(
+        cycles_of(&stdout, "base"),
+        cycles_of(&run_stdout, "baseline"),
+        "profiled baseline cycles drifted:\n{stdout}\n{run_stdout}"
+    );
+    assert_eq!(
+        cycles_of(&stdout, "ccr"),
+        cycles_of(&run_stdout, "with CCR"),
+        "profiled CCR cycles drifted:\n{stdout}\n{run_stdout}"
+    );
+
+    let analysis = std::fs::read_to_string(tele.join("analysis.json")).unwrap();
+    assert!(
+        analysis.contains("\"attribution\":{\"base\":{"),
+        "{analysis}"
+    );
+    assert!(analysis.contains("\"miss_cold\":"), "{analysis}");
+
+    let folded = std::fs::read_to_string(tele.join("profile.folded")).unwrap();
+    assert!(!folded.is_empty(), "profiled run must produce samples");
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("stack<space>count");
+        assert!(
+            stack.starts_with("base;") || stack.starts_with("ccr;"),
+            "{line}"
+        );
+        count.parse::<u64>().expect("count is an integer");
+    }
+
+    let svg = std::fs::read_to_string(tele.join("flamegraph.svg")).unwrap();
+    assert!(svg.starts_with("<?xml"), "{svg}");
+    assert!(svg.trim_end().ends_with("</svg>"), "{svg}");
+
+    // The capture analyzes cleanly through the offline path too.
+    let out = ccr()
+        .args(["analyze", tele.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn analyze_and_diff_reject_incomplete_run_directories() {
+    let dir = std::env::temp_dir().join("ccr-cli-missing-artifacts-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Empty directory: missing events.jsonl, one-line error, no usage.
+    let out = ccr()
+        .args(["analyze", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("missing events.jsonl"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
+
+    // events.jsonl present but report.json absent.
+    std::fs::write(dir.join("events.jsonl"), "").unwrap();
+    let out = ccr()
+        .args(["analyze", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("missing report.json"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+
+    // diff pre-flights both sides the same way.
+    let out = ccr()
+        .args(["diff", dir.to_str().unwrap(), dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("missing report.json"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+
+    // A path that is not a directory at all.
+    let out = ccr()
+        .args(["analyze", "/no/such/ccr-dir"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("not a directory"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
 }
 
 #[test]
