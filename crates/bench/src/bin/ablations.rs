@@ -11,7 +11,7 @@
 //! 7. Speculative reuse validation (paper §6 future work).
 //! 8. Nonuniform CRB capacities (paper §6 future work).
 
-use ccr_bench::{mean, run_suite, SCALE};
+use ccr_bench::{cli_jobs, mean, run_suite, SCALE};
 use ccr_core::report::{speedup, Table};
 use ccr_regions::RegionConfig;
 use ccr_sim::{CrbConfig, MachineConfig, NonuniformConfig, Replacement};
@@ -19,7 +19,7 @@ use ccr_workloads::InputSet;
 
 fn average_speedup(region: &RegionConfig, machine: &MachineConfig, crb: CrbConfig) -> f64 {
     mean(
-        run_suite(InputSet::Train, SCALE, region, machine, crb)
+        run_suite(InputSet::Train, SCALE, region, machine, crb, cli_jobs())
             .iter()
             .map(|r| r.measurement.speedup()),
     )

@@ -8,7 +8,7 @@
 //! nearly 90 % of total reuse — except `129.compress`, whose regions
 //! contribute almost uniformly.
 
-use ccr_bench::{run_suite, SCALE};
+use ccr_bench::{cli_jobs, run_suite, SCALE};
 use ccr_core::report::{pct, Table};
 use ccr_sim::{CrbConfig, MachineConfig};
 use ccr_workloads::InputSet;
@@ -20,6 +20,7 @@ fn main() {
         &ccr_regions::RegionConfig::paper(),
         &MachineConfig::paper(),
         CrbConfig::paper(),
+        cli_jobs(),
     );
 
     let mut table = Table::new([

@@ -9,7 +9,7 @@
 //! eliminated drops from ~40 % to ~33 % — "the general applicability
 //! of directing the reuse of computation at compile time".
 
-use ccr_bench::{mean, run_suite, SCALE};
+use ccr_bench::{cli_jobs, mean, run_suite, SCALE};
 use ccr_core::report::{pct, speedup, Table};
 use ccr_regions::RegionConfig;
 use ccr_sim::{CrbConfig, MachineConfig};
@@ -20,8 +20,9 @@ fn main() {
     let region = RegionConfig::paper();
     let crb = CrbConfig::paper();
 
-    let train_runs = run_suite(InputSet::Train, SCALE, &region, &machine, crb);
-    let ref_runs = run_suite(InputSet::Ref, SCALE, &region, &machine, crb);
+    let jobs = cli_jobs();
+    let train_runs = run_suite(InputSet::Train, SCALE, &region, &machine, crb, jobs);
+    let ref_runs = run_suite(InputSet::Ref, SCALE, &region, &machine, crb, jobs);
 
     let mut table = Table::new(["benchmark", "train", "ref", "elim(train)", "elim(ref)"]);
     for (t, r) in train_runs.iter().zip(&ref_runs) {

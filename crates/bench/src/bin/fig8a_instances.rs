@@ -6,13 +6,14 @@
 //! Also prints the Section 5.2 headline: the fraction of dynamic
 //! instruction repetition eliminated.
 
-use ccr_bench::{mean, run_suite, SCALE};
+use ccr_bench::{cli_jobs, mean, run_suite, SCALE};
 use ccr_core::report::{pct, speedup, Table};
 use ccr_regions::RegionConfig;
 use ccr_sim::{CrbConfig, MachineConfig};
 use ccr_workloads::InputSet;
 
 fn main() {
+    let jobs = cli_jobs();
     let machine = MachineConfig::paper();
     let region = RegionConfig::paper();
     let instance_counts = [4usize, 8, 16];
@@ -35,6 +36,7 @@ fn main() {
                 &region,
                 &machine,
                 CrbConfig::with_instances(ci),
+                jobs,
             )
         })
         .collect();

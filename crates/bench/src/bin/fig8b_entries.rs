@@ -5,13 +5,14 @@
 //! reuse are sustained for even a small number of computation
 //! entries", because a few hot computations dominate each program.
 
-use ccr_bench::{mean, run_suite, SCALE};
+use ccr_bench::{cli_jobs, mean, run_suite, SCALE};
 use ccr_core::report::{speedup, Table};
 use ccr_regions::RegionConfig;
 use ccr_sim::{CrbConfig, MachineConfig};
 use ccr_workloads::InputSet;
 
 fn main() {
+    let jobs = cli_jobs();
     let machine = MachineConfig::paper();
     let region = RegionConfig::paper();
     let entry_counts = [32usize, 64, 128];
@@ -28,6 +29,7 @@ fn main() {
                 &region,
                 &machine,
                 CrbConfig::with_entries(e),
+                jobs,
             )
         })
         .collect();

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use ccr_bench::{run_suite, SCALE};
+use ccr_bench::{cli_jobs, run_suite, SCALE};
 use ccr_core::report::{pct, Table};
 use ccr_regions::{ComputationGroup, GroupDistribution};
 use ccr_sim::{CrbConfig, MachineConfig};
@@ -23,6 +23,7 @@ fn main() {
         &ccr_regions::RegionConfig::paper(),
         &MachineConfig::paper(),
         CrbConfig::paper(),
+        cli_jobs(),
     );
 
     let mut header = vec!["benchmark".to_string()];

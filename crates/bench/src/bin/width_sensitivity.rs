@@ -9,7 +9,7 @@
 //! baseline is already mostly latency-bound (base IPC saturates near
 //! 0.84).
 
-use ccr_bench::{mean, run_suite, SCALE};
+use ccr_bench::{cli_jobs, mean, run_suite, SCALE};
 use ccr_core::report::{speedup, Table};
 use ccr_regions::RegionConfig;
 use ccr_sim::{CrbConfig, MachineConfig};
@@ -27,6 +27,7 @@ fn machine_of_width(width: u32) -> MachineConfig {
 }
 
 fn main() {
+    let jobs = cli_jobs();
     let region = RegionConfig::paper();
     let widths = [2u32, 4, 6, 8];
 
@@ -39,6 +40,7 @@ fn main() {
             &region,
             &machine,
             CrbConfig::paper(),
+            jobs,
         );
         let avg = mean(runs.iter().map(|r| r.measurement.speedup()));
         let base_ipc = mean(runs.iter().map(|r| {

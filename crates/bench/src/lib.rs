@@ -18,15 +18,32 @@
 //! components themselves.
 
 use ccr_core::compile::{compile_ccr, CompileConfig, CompiledWorkload};
-use ccr_core::measure::{measure, Measurement};
+use ccr_core::jobs::{parallel_map, resolve_jobs};
+use ccr_core::measure::Measurement;
 use ccr_profile::EmuConfig;
 use ccr_regions::RegionConfig;
-use ccr_sim::{CrbConfig, MachineConfig};
+use ccr_sim::{simulate, simulate_baseline, CrbConfig, MachineConfig};
 use ccr_workloads::{build, InputSet, NAMES};
 
 /// Default driver scale for experiment binaries (kept moderate so the
 /// full suite regenerates in seconds per configuration).
 pub const SCALE: u32 = 1;
+
+/// Worker count for an experiment binary: the last `--jobs N` (or
+/// `--jobs=N`) on the command line, else the `CCR_JOBS` environment
+/// variable, else serial. `0` means one worker per hardware thread.
+pub fn cli_jobs() -> usize {
+    let mut requested = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            requested = args.next().and_then(|v| v.parse().ok());
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            requested = v.parse().ok();
+        }
+    }
+    resolve_jobs(requested)
+}
 
 /// Emulator limits for experiment runs.
 pub fn emu_config() -> EmuConfig {
@@ -44,6 +61,10 @@ pub struct SuiteRun {
     pub compiled: CompiledWorkload,
     /// Baseline vs CCR measurement.
     pub measurement: Measurement,
+    /// Host milliseconds spent on this workload (compile + baseline
+    /// sim + CCR sim), each phase timed on the thread that ran it —
+    /// so per-workload cost stays comparable across job counts.
+    pub wall_ms: u64,
 }
 
 /// Compiles one benchmark: profile on Train, annotate the `target`
@@ -59,14 +80,97 @@ pub fn compile_benchmark(
     scale: u32,
     region: &RegionConfig,
 ) -> CompiledWorkload {
-    let train = build(name, InputSet::Train, scale).expect("known benchmark");
-    let target = build(name, target, scale).expect("known benchmark");
     let config = CompileConfig {
         region: *region,
         emu: emu_config(),
         ..CompileConfig::paper()
     };
-    compile_ccr(&train, &target, &config).expect("profiling within limits")
+    compile_with(name, target, scale, &config).expect("known benchmark, profiling within limits")
+}
+
+fn compile_with(
+    name: &str,
+    target: InputSet,
+    scale: u32,
+    config: &CompileConfig,
+) -> Result<CompiledWorkload, String> {
+    let train =
+        build(name, InputSet::Train, scale).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let target = build(name, target, scale).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    compile_ccr(&train, &target, config).map_err(|e| format!("{name}: {e}"))
+}
+
+/// Runs a selection of benchmarks end-to-end under one configuration,
+/// fanning the compiles and the per-workload {base, ccr} simulations
+/// out over `jobs` worker threads. Results come back in `names`
+/// order, and every simulated statistic is identical to a serial run
+/// (each simulation is self-contained and deterministic) — only
+/// `wall_ms` reflects the host.
+///
+/// `config.region.trial_instances` should already match
+/// `crb.instances` (callers deriving the region config from a CRB can
+/// use [`run_benchmark`]/[`run_suite`], which enforce it).
+///
+/// # Errors
+///
+/// Returns the first failing workload's error (unknown name or
+/// emulator limit breach), in `names` order.
+#[allow(clippy::too_many_arguments)]
+pub fn run_selected(
+    names: &[&'static str],
+    target: InputSet,
+    scale: u32,
+    config: &CompileConfig,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+    emu: EmuConfig,
+    jobs: usize,
+) -> Result<Vec<SuiteRun>, String> {
+    use std::time::Instant;
+    let compiled: Vec<(CompiledWorkload, u64)> = {
+        let results = parallel_map(names, jobs, |_, name| {
+            let started = Instant::now();
+            compile_with(name, target, scale, config)
+                .map(|cw| (cw, started.elapsed().as_millis() as u64))
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for r in results {
+            out.push(r?);
+        }
+        out
+    };
+    // Fan every workload's two independent simulations out as their
+    // own work items: 2N sims over `jobs` workers.
+    let tasks: Vec<(usize, bool)> = (0..compiled.len())
+        .flat_map(|i| [(i, false), (i, true)])
+        .collect();
+    let sims = parallel_map(&tasks, jobs, |_, &(i, is_ccr)| {
+        let started = Instant::now();
+        let out = if is_ccr {
+            simulate(&compiled[i].0.annotated, machine, Some(crb), emu)
+        } else {
+            simulate_baseline(&compiled[i].0.base, machine, emu)
+        };
+        out.map(|o| (o, started.elapsed().as_millis() as u64))
+            .map_err(|e| format!("{}: {e}", names[i]))
+    });
+    let mut sims = sims.into_iter();
+    let mut runs = Vec::with_capacity(compiled.len());
+    for (name, (compiled, compile_ms)) in names.iter().zip(compiled) {
+        let (base, base_ms) = sims.next().expect("one base sim per workload")?;
+        let (ccr, ccr_ms) = sims.next().expect("one ccr sim per workload")?;
+        assert_eq!(
+            base.run.returned, ccr.run.returned,
+            "computation reuse changed architectural results"
+        );
+        runs.push(SuiteRun {
+            name,
+            compiled,
+            measurement: Measurement { base, ccr },
+            wall_ms: compile_ms + base_ms + ccr_ms,
+        });
+    }
+    Ok(runs)
 }
 
 /// Runs one benchmark end-to-end under the given CRB.
@@ -82,34 +186,54 @@ pub fn run_benchmark(
     machine: &MachineConfig,
     crb: CrbConfig,
 ) -> SuiteRun {
-    // The compiler targets the actual machine: the selection trial
-    // assumes the hardware's instance count.
-    let region = RegionConfig {
-        trial_instances: crb.instances,
-        ..*region
-    };
-    let compiled = compile_benchmark(name, target, scale, &region);
-    let measurement =
-        measure(&compiled, machine, crb, emu_config()).expect("simulation within limits");
-    SuiteRun {
-        name: Box::leak(name.to_string().into_boxed_str()),
-        compiled,
-        measurement,
-    }
+    run_suite_with(&[name], target, scale, region, machine, crb, 1)
+        .pop()
+        .expect("one run for one name")
 }
 
-/// Runs the whole suite under one configuration.
+/// Runs the whole suite under one configuration on `jobs` workers.
 pub fn run_suite(
     target: InputSet,
     scale: u32,
     region: &RegionConfig,
     machine: &MachineConfig,
     crb: CrbConfig,
+    jobs: usize,
 ) -> Vec<SuiteRun> {
-    NAMES
-        .iter()
-        .map(|name| run_benchmark(name, target, scale, region, machine, crb))
-        .collect()
+    run_suite_with(&NAMES, target, scale, region, machine, crb, jobs)
+}
+
+fn run_suite_with(
+    names: &[&'static str],
+    target: InputSet,
+    scale: u32,
+    region: &RegionConfig,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+    jobs: usize,
+) -> Vec<SuiteRun> {
+    // The compiler targets the actual machine: the selection trial
+    // assumes the hardware's instance count.
+    let region = RegionConfig {
+        trial_instances: crb.instances,
+        ..*region
+    };
+    let config = CompileConfig {
+        region,
+        emu: emu_config(),
+        ..CompileConfig::paper()
+    };
+    run_selected(
+        names,
+        target,
+        scale,
+        &config,
+        machine,
+        crb,
+        emu_config(),
+        jobs,
+    )
+    .expect("known benchmarks, emulation within limits")
 }
 
 /// Arithmetic mean of a sequence (the paper reports average speedups).

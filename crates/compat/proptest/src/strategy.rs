@@ -64,7 +64,10 @@ impl<T> Union<T> {
     ///
     /// Panics if `alternatives` is empty.
     pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Union<T> {
-        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            !alternatives.is_empty(),
+            "prop_oneof! needs at least one arm"
+        );
         Union(alternatives)
     }
 }

@@ -1,0 +1,137 @@
+//! A dependency-free scoped-thread job pool for the evaluation
+//! harness.
+//!
+//! The paper's evaluation sweeps 13 benchmarks × many CRB
+//! configurations; every simulation is independent, so the suite
+//! parallelizes embarrassingly well. This module provides the one
+//! primitive the harness needs — an order-preserving parallel map —
+//! built on `std::thread::scope`, so the workspace stays free of
+//! external dependencies (matching the vendored-shim policy).
+//!
+//! Parallelism is strictly a *host* concern: each work item runs the
+//! exact same deterministic simulation it would run serially, and
+//! results are collected back in input order, so every simulated
+//! statistic is bit-identical regardless of the job count. Only wall
+//! clock changes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Environment variable consulted by [`resolve_jobs`] when no
+/// explicit `--jobs` value was given.
+pub const JOBS_ENV: &str = "CCR_JOBS";
+
+/// Resolves a worker count from an explicit request (a `--jobs` flag)
+/// falling back to the `CCR_JOBS` environment variable, then to `1`
+/// (serial). A value of `0` means "auto": one worker per available
+/// hardware thread.
+pub fn resolve_jobs(requested: Option<usize>) -> usize {
+    let raw = requested.or_else(|| {
+        std::env::var(JOBS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+    });
+    match raw {
+        None => 1,
+        Some(0) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Some(n) => n,
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads,
+/// returning results in input order.
+///
+/// `f` receives `(index, &item)`. With `jobs <= 1` (or one item) the
+/// map runs serially on the calling thread — the parallel and serial
+/// paths call `f` with identical arguments, so a deterministic `f`
+/// yields identical results either way. Workers pull items from a
+/// shared counter (work stealing), so uneven item costs balance
+/// across threads.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all workers stop.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = jobs.min(n);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Collect out-of-order arrivals into their input-order slots.
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let square = |_i: usize, x: &u64| x * x;
+        let serial = parallel_map(&items, 1, square);
+        for jobs in [2, 4, 16, 128] {
+            assert_eq!(parallel_map(&items, jobs, square), serial, "jobs={jobs}");
+        }
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(&none, 8, |_, x| *x).is_empty());
+        assert_eq!(parallel_map(&[42u32], 8, |i, x| (i, *x)), vec![(0, 42)]);
+    }
+
+    #[test]
+    fn indexes_match_items() {
+        let items: Vec<usize> = (0..57).collect();
+        let got = parallel_map(&items, 5, |i, x| {
+            assert_eq!(i, *x);
+            i
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn resolve_jobs_defaults_and_auto() {
+        // Explicit values win; 0 means auto (at least one worker).
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert!(resolve_jobs(Some(0)) >= 1);
+    }
+}

@@ -19,12 +19,17 @@
 //!    experiment regenerators in `ccr-bench`.
 
 pub mod compile;
+pub mod jobs;
 pub mod measure;
 pub mod report;
 pub mod runreport;
 
 pub use compile::{compile_ccr, CompileConfig, CompileTelemetry, CompiledWorkload};
-pub use measure::{measure, measure_profiled, measure_traced, reuse_potential, Measurement};
+pub use jobs::{parallel_map, resolve_jobs};
+pub use measure::{
+    measure, measure_par, measure_profiled, measure_traced, measure_traced_par, reuse_potential,
+    Measurement,
+};
 pub use report::Table;
 pub use runreport::{
     config_hash, emit_compile_events, Provenance, RunReport, REPORT_SCHEMA_VERSION,

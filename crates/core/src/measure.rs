@@ -6,7 +6,7 @@ use ccr_sim::{
     simulate, simulate_baseline, simulate_traced, simulate_traced_cfg, CrbConfig, MachineConfig,
     SimOutcome, TraceConfig,
 };
-use ccr_telemetry::{emit, TelemetrySink};
+use ccr_telemetry::{emit, RecordSink, TelemetrySink};
 
 use crate::compile::CompiledWorkload;
 
@@ -62,6 +62,42 @@ pub fn measure(
     Ok(Measurement { base, ccr })
 }
 
+/// [`measure`] with the baseline and CCR simulations running on two
+/// scoped threads when `jobs > 1` (serially otherwise). The two runs
+/// are independent — separate programs, separate buffers — so the
+/// resulting [`Measurement`] is identical to [`measure`]'s; only wall
+/// clock changes.
+///
+/// # Errors
+///
+/// Returns [`EmuError`] if either simulation exceeds emulator limits.
+///
+/// # Panics
+///
+/// Panics if the two runs return different architectural results.
+pub fn measure_par(
+    compiled: &CompiledWorkload,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+    emu: EmuConfig,
+    jobs: usize,
+) -> Result<Measurement, EmuError> {
+    if jobs <= 1 {
+        return measure(compiled, machine, crb, emu);
+    }
+    let (base, ccr) = std::thread::scope(|scope| {
+        let base = scope.spawn(|| simulate_baseline(&compiled.base, machine, emu));
+        let ccr = simulate(&compiled.annotated, machine, Some(crb), emu);
+        (base.join().expect("baseline simulation panicked"), ccr)
+    });
+    let (base, ccr) = (base?, ccr?);
+    assert_eq!(
+        base.run.returned, ccr.run.returned,
+        "computation reuse changed architectural results"
+    );
+    Ok(Measurement { base, ccr })
+}
+
 /// Like [`measure`], narrating both simulations to `sink`: a
 /// `sim_begin` marker per phase (`base`, then `ccr`), followed by each
 /// run's reuse timeline, interval IPC windows, CRB events, and
@@ -89,6 +125,62 @@ pub fn measure_traced(
     let base = simulate_traced(&compiled.base, machine, None, emu, window, sink)?;
     emit!(sink, "sim_begin", phase: "ccr");
     let ccr = simulate_traced(&compiled.annotated, machine, Some(crb), emu, window, sink)?;
+    assert_eq!(
+        base.run.returned, ccr.run.returned,
+        "computation reuse changed architectural results"
+    );
+    Ok(Measurement { base, ccr })
+}
+
+/// [`measure_traced`] with the two phases running on scoped threads
+/// when `jobs > 1`. Each phase narrates into its own
+/// [`RecordSink`] (including its `sim_begin` marker); the recordings
+/// are replayed into `sink` in serial order (`base`, then `ccr`)
+/// afterwards, so the delivered event stream is byte-identical to
+/// [`measure_traced`]'s — and so are the statistics.
+///
+/// # Errors
+///
+/// Returns [`EmuError`] if either simulation exceeds emulator limits.
+///
+/// # Panics
+///
+/// Panics if the two runs return different architectural results.
+pub fn measure_traced_par(
+    compiled: &CompiledWorkload,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+    emu: EmuConfig,
+    window: u64,
+    jobs: usize,
+    sink: &mut dyn TelemetrySink,
+) -> Result<Measurement, EmuError> {
+    if jobs <= 1 || !sink.enabled() {
+        return measure_traced(compiled, machine, crb, emu, window, sink);
+    }
+    let mut base_rec = RecordSink::new();
+    let mut ccr_rec = RecordSink::new();
+    let (base, ccr) = std::thread::scope(|scope| {
+        let base = scope.spawn(move || {
+            emit!(base_rec, "sim_begin", phase: "base");
+            let out = simulate_traced(&compiled.base, machine, None, emu, window, &mut base_rec);
+            (out, base_rec)
+        });
+        emit!(ccr_rec, "sim_begin", phase: "ccr");
+        let ccr = simulate_traced(
+            &compiled.annotated,
+            machine,
+            Some(crb),
+            emu,
+            window,
+            &mut ccr_rec,
+        );
+        (base.join().expect("baseline simulation panicked"), ccr)
+    });
+    let (base, base_rec) = base;
+    let (base, ccr) = (base?, ccr?);
+    base_rec.replay_into(sink);
+    ccr_rec.replay_into(sink);
     assert_eq!(
         base.run.returned, ccr.run.returned,
         "computation reuse changed architectural results"
@@ -285,6 +377,49 @@ mod tests {
             a.base.stats.attribution.is_none(),
             "tracing alone does not attribute"
         );
+    }
+
+    #[test]
+    fn parallel_measure_matches_serial_stats_and_stream() {
+        let p = build("124.m88ksim", InputSet::Train, 1).unwrap();
+        let cw = compile_ccr(&p, &p, &CompileConfig::paper()).unwrap();
+        let machine = MachineConfig::paper();
+        let serial = measure(&cw, &machine, CrbConfig::paper(), EmuConfig::default()).unwrap();
+        let par = measure_par(&cw, &machine, CrbConfig::paper(), EmuConfig::default(), 2).unwrap();
+        for (s, p) in [(&serial.base, &par.base), (&serial.ccr, &par.ccr)] {
+            assert_eq!(s.stats.cycles, p.stats.cycles);
+            assert_eq!(s.stats.dyn_instrs, p.stats.dyn_instrs);
+            assert_eq!(s.stats.skipped_instrs, p.stats.skipped_instrs);
+            assert_eq!(s.stats.reuse_hits, p.stats.reuse_hits);
+            assert_eq!(s.stats.reuse_misses, p.stats.reuse_misses);
+            assert_eq!(s.stats.crb, p.stats.crb);
+            assert_eq!(s.stats.regions, p.stats.regions);
+            assert_eq!(s.run.returned, p.run.returned);
+        }
+        // The traced variant must deliver a byte-identical JSONL
+        // stream: per-phase recordings replayed in serial order.
+        let mut serial_sink = ccr_telemetry::JsonlSink::new(Vec::new());
+        measure_traced(
+            &cw,
+            &machine,
+            CrbConfig::paper(),
+            EmuConfig::default(),
+            4096,
+            &mut serial_sink,
+        )
+        .unwrap();
+        let mut par_sink = ccr_telemetry::JsonlSink::new(Vec::new());
+        measure_traced_par(
+            &cw,
+            &machine,
+            CrbConfig::paper(),
+            EmuConfig::default(),
+            4096,
+            2,
+            &mut par_sink,
+        )
+        .unwrap();
+        assert_eq!(serial_sink.into_inner(), par_sink.into_inner());
     }
 
     #[test]

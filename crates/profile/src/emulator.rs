@@ -128,12 +128,15 @@ impl MemoState {
     }
 }
 
-struct Frame {
+struct Frame<'p> {
     func: FuncId,
     regs: Vec<Value>,
     block: BlockId,
     pos: usize,
-    ret_regs: Vec<Reg>,
+    /// Caller registers receiving the return values — borrowed from
+    /// the call instruction in the program, so pushing a frame never
+    /// clones the register list.
+    ret_regs: &'p [Reg],
 }
 
 /// The emulator. Holds a borrowed program; all run state is local to
@@ -203,7 +206,7 @@ impl<'p> Emulator<'p> {
             regs: vec![Value::ZERO; main.reg_limit().max(1) as usize],
             block: main.entry(),
             pos: 0,
-            ret_regs: Vec::new(),
+            ret_regs: &[],
         }];
         sink.on_block_enter(main.id(), main.entry());
 
@@ -215,6 +218,9 @@ impl<'p> Emulator<'p> {
         let mut reuse_hits = 0u64;
         let mut reuse_misses = 0u64;
         let mut inputs_buf: Vec<Value> = Vec::with_capacity(4);
+        // Register files of popped frames, recycled by later calls so
+        // the call/ret hot path stops allocating.
+        let mut regs_pool: Vec<Vec<Value>> = Vec::new();
 
         loop {
             if dyn_instrs >= self.config.max_instrs {
@@ -266,16 +272,17 @@ impl<'p> Emulator<'p> {
             let mut taken: Option<bool> = None;
             let mut reuse_outcome: Option<ReuseOutcome> = None;
 
-            // Control transfer decided during execution.
-            enum Ctl {
+            // Control transfer decided during execution. Call
+            // arguments and return values live in `inputs_buf` (which
+            // is untouched between operand gathering and the transfer
+            // below), and the destination register list is borrowed
+            // from the instruction, so deciding a transfer allocates
+            // nothing.
+            enum Ctl<'a> {
                 Next,
                 Goto(BlockId),
-                Call {
-                    callee: FuncId,
-                    args: Vec<Value>,
-                    rets: Vec<Reg>,
-                },
-                Ret(Vec<Value>),
+                Call { callee: FuncId, rets: &'a [Reg] },
+                Ret,
             }
             let mut ctl = Ctl::Next;
 
@@ -346,12 +353,11 @@ impl<'p> Emulator<'p> {
                 Op::Call { callee, rets, .. } => {
                     ctl = Ctl::Call {
                         callee: *callee,
-                        args: inputs_buf.clone(),
-                        rets: rets.clone(),
+                        rets,
                     };
                 }
                 Op::Ret { .. } => {
-                    ctl = Ctl::Ret(inputs_buf.clone());
+                    ctl = Ctl::Ret;
                 }
                 Op::Reuse { region, body, cont } => {
                     // A reuse inside an active memoization aborts the
@@ -461,17 +467,18 @@ impl<'p> Emulator<'p> {
                     let fid = frame.func;
                     sink.on_block_enter(fid, target);
                 }
-                Ctl::Call { callee, args, rets } => {
+                Ctl::Call { callee, rets } => {
                     frame.pos += 1; // resume after the call
                     if stack.len() >= self.config.max_depth {
                         return Err(EmuError::StackOverflow);
                     }
                     let caller_id = stack.last().expect("frame").func;
                     let target = program.function(callee);
-                    let mut regs = vec![Value::ZERO; target.reg_limit().max(1) as usize];
-                    for (i, v) in args.iter().enumerate() {
-                        regs[i] = *v;
-                    }
+                    // The call arguments are still in `inputs_buf`.
+                    let mut regs = regs_pool.pop().unwrap_or_default();
+                    regs.clear();
+                    regs.resize(target.reg_limit().max(1) as usize, Value::ZERO);
+                    regs[..inputs_buf.len()].copy_from_slice(&inputs_buf);
                     stack.push(Frame {
                         func: callee,
                         regs,
@@ -482,18 +489,19 @@ impl<'p> Emulator<'p> {
                     sink.on_call(caller_id, callee);
                     sink.on_block_enter(callee, target.entry());
                 }
-                Ctl::Ret(values) => {
+                Ctl::Ret => {
                     // Returning out of (or past) the anchor frame
                     // makes the recording meaningless.
                     if memo.as_ref().is_some_and(|(mdepth, _)| depth <= *mdepth) {
                         memo = None;
                     }
+                    // The returned values are still in `inputs_buf`.
                     let done = stack.pop().expect("frame");
                     sink.on_ret(done.func);
                     match stack.last_mut() {
                         None => {
                             return Ok(RunOutcome {
-                                returned: values,
+                                returned: std::mem::take(&mut inputs_buf),
                                 dyn_instrs,
                                 skipped_instrs,
                                 reuse_hits,
@@ -501,9 +509,10 @@ impl<'p> Emulator<'p> {
                             });
                         }
                         Some(caller) => {
-                            for (r, v) in done.ret_regs.iter().zip(values.iter()) {
+                            for (r, v) in done.ret_regs.iter().zip(inputs_buf.iter()) {
                                 caller.regs[r.index()] = *v;
                             }
+                            regs_pool.push(done.regs);
                         }
                     }
                 }

@@ -10,12 +10,99 @@
 //! match the current architectural state and its memory state has not
 //! been invalidated.
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 use ccr_ir::{Reg, RegionId, Value};
 use ccr_profile::{CrbModel, MissCause, RecordedInstance, ReuseLookup};
 
 use crate::stats::CrbStats;
+
+/// FNV-1a fold of one `(register, value)` pair into a running hash.
+/// Folds whole words rather than bytes: the fingerprint is a
+/// host-side filter that never leaves the process, so xor-multiply
+/// mixing per word gives the same reject power at a fraction of the
+/// cost.
+#[inline]
+fn fnv1a_pair(mut h: u64, r: Reg, v: Value) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    h = (h ^ u64::from(r.0)).wrapping_mul(PRIME);
+    h = (h ^ v.0 as u64).wrapping_mul(PRIME);
+    h
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a fingerprint of a recorded input bank.
+fn fingerprint(inputs: &[(Reg, Value)]) -> u64 {
+    inputs
+        .iter()
+        .fold(FNV_OFFSET, |h, &(r, v)| fnv1a_pair(h, r, v))
+}
+
+/// Reads `r` through a per-lookup memo so each distinct register is
+/// fetched from architectural state exactly once per lookup, no
+/// matter how many instances and ghosts are scanned. Input banks hold
+/// at most 8 registers, so linear search beats any map.
+#[inline]
+fn cached_read(
+    cache: &mut Vec<(Reg, Value)>,
+    read_reg: &mut dyn FnMut(Reg) -> Value,
+    r: Reg,
+) -> Value {
+    if let Some(&(_, v)) = cache.iter().find(|&&(cr, _)| cr == r) {
+        return v;
+    }
+    let v = read_reg(r);
+    cache.push((r, v));
+    v
+}
+
+/// Fingerprint the *current* architectural values of an input bank's
+/// registers, using the same fold as [`fingerprint`]. Equal recorded
+/// and live values therefore produce equal hashes, so a hash mismatch
+/// proves at least one value differs — the filter can only reject
+/// banks the full compare would reject too.
+fn live_fingerprint(
+    cache: &mut Vec<(Reg, Value)>,
+    read_reg: &mut dyn FnMut(Reg) -> Value,
+    inputs: &[(Reg, Value)],
+) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &(r, _) in inputs {
+        h = fnv1a_pair(h, r, cached_read(cache, read_reg, r));
+    }
+    h
+}
+
+/// [`live_fingerprint`] memoized on the input bank's register
+/// sequence: all instances (and ghosts) of an entry share the
+/// region's input register set, so in practice the fold runs once per
+/// lookup and every further bank costs one sequence compare. Banks
+/// with a different register sequence (defensive — they should not
+/// occur within an entry) fall back to a fresh fold, so the cache can
+/// never produce a wrong fingerprint.
+fn cached_live_fp(
+    fp_regs: &mut Vec<Reg>,
+    fp: &mut Option<u64>,
+    reads: &mut Vec<(Reg, Value)>,
+    read_reg: &mut dyn FnMut(Reg) -> Value,
+    inputs: &[(Reg, Value)],
+) -> u64 {
+    let cached = fp.filter(|_| {
+        fp_regs.len() == inputs.len() && fp_regs.iter().zip(inputs).all(|(a, (b, _))| a == b)
+    });
+    match cached {
+        Some(h) => h,
+        None => {
+            let h = live_fingerprint(reads, read_reg, inputs);
+            fp_regs.clear();
+            fp_regs.extend(inputs.iter().map(|(r, _)| *r));
+            *fp = Some(h);
+            h
+        }
+    }
+}
 
 /// Instance replacement policy within a computation entry (the paper
 /// specifies LRU; the alternatives support the ablation benches).
@@ -129,6 +216,9 @@ pub struct CrbEvent {
 struct Instance {
     valid: bool,
     inputs: Vec<(Reg, Value)>,
+    /// FNV-1a fingerprint of `inputs`, maintained as a cheap reject
+    /// filter for `lookup` (see [`fingerprint`]).
+    fp: u64,
     outputs: Vec<(Reg, Value)>,
     accesses_memory: bool,
     body_instrs: u64,
@@ -141,6 +231,7 @@ impl Instance {
         Instance {
             valid: false,
             inputs: Vec::new(),
+            fp: 0,
             outputs: Vec::new(),
             accesses_memory: false,
             body_instrs: 0,
@@ -158,6 +249,9 @@ impl Instance {
 #[derive(Clone, Debug)]
 struct Ghost {
     inputs: Vec<(Reg, Value)>,
+    /// FNV-1a fingerprint of `inputs`, same filter role as
+    /// [`Instance::fp`].
+    fp: u64,
     cause: MissCause,
 }
 
@@ -165,18 +259,18 @@ struct Ghost {
 struct Entry {
     tag: Option<RegionId>,
     instances: Vec<Instance>,
-    ghosts: Vec<Ghost>,
+    ghosts: VecDeque<Ghost>,
 }
 
 impl Entry {
     /// Remembers a departed instance's input bank, keeping at most
     /// twice the entry's instance count (oldest dropped first).
-    fn push_ghost(&mut self, inputs: Vec<(Reg, Value)>, cause: MissCause) {
+    fn push_ghost(&mut self, inputs: Vec<(Reg, Value)>, fp: u64, cause: MissCause) {
         let cap = self.instances.len() * 2;
         if self.ghosts.len() >= cap {
-            self.ghosts.remove(0);
+            self.ghosts.pop_front();
         }
-        self.ghosts.push(Ghost { inputs, cause });
+        self.ghosts.push_back(Ghost { inputs, fp, cause });
     }
 }
 
@@ -217,6 +311,18 @@ pub struct ReuseBuffer {
     ever_recorded: HashSet<RegionId>,
     /// Cause of the most recent miss; `None` after a hit.
     last_miss_cause: Option<MissCause>,
+    /// When on (the default), `lookup` rejects instances and ghosts
+    /// whose stored fingerprint differs from the fingerprint of the
+    /// current register values before doing the full bank compare.
+    /// Host-speed filter only — outcomes are identical either way
+    /// (enforced by a property test).
+    fp_filter: bool,
+    /// Per-lookup register-read memo, kept on the buffer so the hot
+    /// path never allocates after warmup.
+    read_scratch: Vec<(Reg, Value)>,
+    /// Register sequence of the last live-fingerprint fold (see
+    /// [`cached_live_fp`]); same allocation-reuse rationale.
+    fp_regs_scratch: Vec<Reg>,
 }
 
 impl ReuseBuffer {
@@ -241,7 +347,7 @@ impl ReuseBuffer {
                     Entry {
                         tag: None,
                         instances: vec![Instance::empty(); count],
-                        ghosts: Vec::new(),
+                        ghosts: VecDeque::new(),
                     }
                 })
                 .collect(),
@@ -253,7 +359,19 @@ impl ReuseBuffer {
             events: Vec::new(),
             ever_recorded: HashSet::new(),
             last_miss_cause: None,
+            fp_filter: true,
+            read_scratch: Vec::new(),
+            fp_regs_scratch: Vec::new(),
         }
+    }
+
+    /// Enables or disables the fingerprint reject filter in `lookup`.
+    /// On by default; turning it off forces the full bank compare for
+    /// every instance and ghost. Exists so tests and benches can pit
+    /// the filtered path against the reference path — simulated
+    /// outcomes are identical either way.
+    pub fn set_fingerprint_filter(&mut self, on: bool) {
+        self.fp_filter = on;
     }
 
     /// The buffer's counters.
@@ -362,19 +480,47 @@ impl CrbModel for ReuseBuffer {
             self.last_miss_cause = Some(cause);
             return None;
         }
+        // All instances of an entry share the region's input register
+        // set, so a small per-lookup memo makes repeated scans read
+        // each architectural register once. The memo vector lives on
+        // the buffer so the hot path never allocates after warmup.
+        let mut reads = std::mem::take(&mut self.read_scratch);
+        reads.clear();
+        let mut fp_regs = std::mem::take(&mut self.fp_regs_scratch);
+        fp_regs.clear();
+        let mut live_fp: Option<u64> = None;
+        let fp_filter = self.fp_filter;
         for inst in &mut entry.instances {
             if !inst.valid {
                 continue;
             }
-            if inst.inputs.iter().all(|(r, v)| read_reg(*r) == *v) {
+            if fp_filter
+                && cached_live_fp(
+                    &mut fp_regs,
+                    &mut live_fp,
+                    &mut reads,
+                    read_reg,
+                    &inst.inputs,
+                ) != inst.fp
+            {
+                continue; // some input value differs — cannot match
+            }
+            if inst
+                .inputs
+                .iter()
+                .all(|&(r, v)| cached_read(&mut reads, read_reg, r) == v)
+            {
                 inst.last_use = clock;
-                self.stats.hits += 1;
-                self.last_miss_cause = None;
-                return Some(ReuseLookup {
+                let hit = ReuseLookup {
                     outputs: inst.outputs.clone(),
                     inputs: inst.inputs.iter().map(|(r, _)| *r).collect(),
                     skipped_instrs: inst.body_instrs,
-                });
+                };
+                self.stats.hits += 1;
+                self.last_miss_cause = None;
+                self.read_scratch = reads;
+                self.fp_regs_scratch = fp_regs;
+                return Some(hit);
             }
         }
         // No live instance matched. If a ghost of this entry matches
@@ -382,12 +528,14 @@ impl CrbModel for ReuseBuffer {
         // hit was lost — blame its recorded cause (most recent ghost
         // first). A tagged entry with no live instances at all was
         // emptied by invalidation (records always leave one instance).
-        let cause = if let Some(ghost) = entry
-            .ghosts
-            .iter()
-            .rev()
-            .find(|g| g.inputs.iter().all(|(r, v)| read_reg(*r) == *v))
-        {
+        let cause = if let Some(ghost) = entry.ghosts.iter().rev().find(|g| {
+            (!fp_filter
+                || cached_live_fp(&mut fp_regs, &mut live_fp, &mut reads, read_reg, &g.inputs)
+                    == g.fp)
+                && g.inputs
+                    .iter()
+                    .all(|&(r, v)| cached_read(&mut reads, read_reg, r) == v)
+        }) {
             ghost.cause
         } else if entry.instances.iter().all(|i| !i.valid) {
             MissCause::Invalidated
@@ -397,6 +545,8 @@ impl CrbModel for ReuseBuffer {
         self.stats.misses += 1;
         self.stats.count_miss_cause(cause);
         self.last_miss_cause = Some(cause);
+        self.read_scratch = reads;
+        self.fp_regs_scratch = fp_regs;
         None
     }
 
@@ -436,10 +586,13 @@ impl CrbModel for ReuseBuffer {
         // An instance with the identical input bank is refreshed in
         // place rather than duplicated (duplicates would waste
         // capacity and let a replacement evict live input sets).
+        // Equal banks hash equal, so the fingerprint pre-check below
+        // never changes which slot is found — it only skips compares.
+        let fp = fingerprint(&instance.inputs);
         let existing = self.entries[idx]
             .instances
             .iter()
-            .position(|i| i.valid && i.inputs == instance.inputs);
+            .position(|i| i.valid && i.fp == fp && i.inputs == instance.inputs);
         let slot = match existing {
             Some(k) => k,
             None => {
@@ -457,18 +610,22 @@ impl CrbModel for ReuseBuffer {
                             lost: 1,
                         });
                     }
-                    let victim_inputs = self.entries[idx].instances[k].inputs.clone();
-                    self.entries[idx].push_ghost(victim_inputs, MissCause::Capacity);
+                    let victim = &self.entries[idx].instances[k];
+                    let (victim_inputs, victim_fp) = (victim.inputs.clone(), victim.fp);
+                    self.entries[idx].push_ghost(victim_inputs, victim_fp, MissCause::Capacity);
                 }
                 k
             }
         };
         let clock = self.clock;
         let entry = &mut self.entries[idx];
-        entry.ghosts.retain(|g| g.inputs != instance.inputs);
+        entry
+            .ghosts
+            .retain(|g| g.fp != fp || g.inputs != instance.inputs);
         entry.instances[slot] = Instance {
             valid: true,
             inputs: instance.inputs,
+            fp,
             outputs: instance.outputs,
             accesses_memory: instance.accesses_memory,
             body_instrs: instance.body_instrs,
@@ -489,11 +646,11 @@ impl CrbModel for ReuseBuffer {
                 if inst.valid && inst.accesses_memory {
                     inst.valid = false;
                     killed += 1;
-                    dead_inputs.push(inst.inputs.clone());
+                    dead_inputs.push((inst.inputs.clone(), inst.fp));
                 }
             }
-            for inputs in dead_inputs {
-                entry.push_ghost(inputs, MissCause::Invalidated);
+            for (inputs, fp) in dead_inputs {
+                entry.push_ghost(inputs, fp, MissCause::Invalidated);
             }
         }
         if self.log_events && killed > 0 {

@@ -29,21 +29,27 @@ struct FuUse {
     branch: u32,
 }
 
+/// Per-call-frame register scoreboard. The IR numbers registers
+/// densely from zero within each function, so readiness and producer
+/// kind live in plain vectors indexed by [`Reg::index`] — the hottest
+/// structures in the simulator. Both grow on demand; a register past
+/// the end reads as ready-at-0 / issue-produced, exactly the defaults
+/// the old hash-map representation gave absent keys.
 struct Frame {
-    ready: HashMap<Reg, u64>,
+    ready: Vec<u64>,
     ret_regs: Vec<Reg>,
     /// Attribution bucket of the producer of each ready register
     /// (profiled runs only; empty otherwise). A register absent here
     /// counts as issue-produced.
-    src_kind: HashMap<Reg, AttrBucket>,
+    src_kind: Vec<AttrBucket>,
 }
 
 impl Frame {
-    fn new(ready: HashMap<Reg, u64>, ret_regs: Vec<Reg>) -> Frame {
+    fn new(ready: Vec<u64>, ret_regs: Vec<Reg>) -> Frame {
         Frame {
             ready,
             ret_regs,
-            src_kind: HashMap::new(),
+            src_kind: Vec::new(),
         }
     }
 }
@@ -122,7 +128,7 @@ impl Pipeline {
             fu_used: FuUse::default(),
             fetch_ready: 0,
             last_fetch_line: None,
-            frames: vec![Frame::new(HashMap::new(), Vec::new())],
+            frames: vec![Frame::new(Vec::new(), Vec::new())],
             pending_call: None,
             horizon: 0,
             stats: SimStats::default(),
@@ -237,7 +243,7 @@ impl Pipeline {
             .last()
             .expect("frame")
             .ready
-            .get(&reg)
+            .get(reg.index())
             .copied()
             .unwrap_or(0)
     }
@@ -245,9 +251,16 @@ impl Pipeline {
     fn set_ready(&mut self, reg: Reg, cycle: u64, kind: AttrBucket) {
         let profiled = self.attr.is_some();
         let frame = self.frames.last_mut().expect("frame");
-        frame.ready.insert(reg, cycle);
+        let idx = reg.index();
+        if frame.ready.len() <= idx {
+            frame.ready.resize(idx + 1, 0);
+        }
+        frame.ready[idx] = cycle;
         if profiled {
-            frame.src_kind.insert(reg, kind);
+            if frame.src_kind.len() <= idx {
+                frame.src_kind.resize(idx + 1, AttrBucket::Issue);
+            }
+            frame.src_kind[idx] = kind;
         }
         self.horizon = self.horizon.max(cycle);
     }
@@ -279,7 +292,14 @@ impl Pipeline {
             return; // issued into an already-charged cycle
         }
         let bind_kind = bind
-            .and_then(|r| self.frames.last().expect("frame").src_kind.get(&r).copied())
+            .and_then(|r| {
+                self.frames
+                    .last()
+                    .expect("frame")
+                    .src_kind
+                    .get(r.index())
+                    .copied()
+            })
             .unwrap_or(AttrBucket::Issue);
         let fetch_ready = self.fetch_ready;
         let attr = self.attr.as_mut().expect("profiling on");
@@ -466,13 +486,9 @@ impl TraceSink for Pipeline {
             .pending_call
             .take()
             .unwrap_or((self.last_issue + 1, Vec::new()));
-        let mut ready = HashMap::new();
         // Parameters become available once the call has issued; the
         // callee numbers them r0..rN.
-        for i in 0..64u32 {
-            ready.insert(Reg(i), ready_at);
-        }
-        self.frames.push(Frame::new(ready, ret_regs));
+        self.frames.push(Frame::new(vec![ready_at; 64], ret_regs));
     }
 
     fn on_ret(&mut self, _from: FuncId) {
@@ -484,7 +500,7 @@ impl TraceSink for Pipeline {
             }
         } else {
             // Returning from main: keep a frame for robustness.
-            self.frames.push(Frame::new(HashMap::new(), Vec::new()));
+            self.frames.push(Frame::new(Vec::new(), Vec::new()));
         }
     }
 }

@@ -210,7 +210,7 @@ pub struct Attribution {
 }
 
 /// Whole-run statistics from the timing pipeline.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimStats {
     /// Total simulated cycles.
     pub cycles: u64,

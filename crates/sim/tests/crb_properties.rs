@@ -144,6 +144,55 @@ proptest! {
         }
     }
 
+    /// The fingerprint pre-filter is a host-speed optimization only:
+    /// a buffer with the filter disabled, driven through an identical
+    /// command script, must produce identical lookup outcomes, miss
+    /// causes, and statistics.
+    #[test]
+    fn fingerprint_filter_never_changes_outcomes(
+        script in cmds(),
+        entries in 1usize..8,
+        instances in 1usize..6,
+        policy in 0u8..3,
+    ) {
+        let config = CrbConfig {
+            entries,
+            instances,
+            input_bank: 8,
+            output_bank: 8,
+            replacement: match policy {
+                0 => Replacement::Lru,
+                1 => Replacement::Fifo,
+                _ => Replacement::Random,
+            },
+            nonuniform: None,
+        };
+        let mut filtered = ReuseBuffer::new(config);
+        let mut unfiltered = ReuseBuffer::new(config);
+        unfiltered.set_fingerprint_filter(false);
+        for cmd in &script {
+            match *cmd {
+                Cmd::Record { r, v, mem } => {
+                    filtered.record(RegionId(r as u32), instance(r, v, mem));
+                    unfiltered.record(RegionId(r as u32), instance(r, v, mem));
+                }
+                Cmd::Lookup { r, v } => {
+                    let fast = lookup(&mut filtered, r, v);
+                    let slow = lookup(&mut unfiltered, r, v);
+                    prop_assert_eq!(&fast, &slow,
+                        "fingerprint filter flipped a lookup outcome for ({}, {})", r, v);
+                    prop_assert_eq!(filtered.last_miss_cause(), unfiltered.last_miss_cause(),
+                        "fingerprint filter changed a miss cause for ({}, {})", r, v);
+                }
+                Cmd::Invalidate { r } => {
+                    filtered.invalidate(RegionId(r as u32));
+                    unfiltered.invalidate(RegionId(r as u32));
+                }
+            }
+        }
+        prop_assert_eq!(filtered.stats(), unfiltered.stats());
+    }
+
     /// LRU retention: after interleaved records and lookups on one
     /// region, the `instances` most recently *touched* distinct inputs
     /// all hit.

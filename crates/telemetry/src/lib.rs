@@ -33,7 +33,7 @@ pub mod span;
 pub use event::{Event, FieldValue};
 pub use json::JsonWriter;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
-pub use sink::{JsonlSink, NullSink, SummarySink, TelemetrySink};
+pub use sink::{JsonlSink, NullSink, RecordSink, SummarySink, TelemetrySink};
 pub use span::Span;
 
 /// Version of the emitted event / run-report schema. Bumped whenever

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates every experiment output into results/ (deterministic:
-# identical inputs produce identical tables).
+# identical inputs produce identical tables; set CCR_JOBS=0 to fan the
+# suite runs out over all cores — parallelism never changes a table).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
@@ -10,7 +11,9 @@ for bin in fig4_potential fig8a_instances fig8b_entries fig9_groups \
     cargo run --release -q -p ccr-bench --bin "$bin" > "results/$bin.txt"
 done
 echo '== BENCH_ccr.json (perf baseline; CI gates ccr diff against it)'
-cargo run --release -q --bin ccr -- bench --out BENCH_ccr.json
+# The committed baseline is always taken serially so its per-workload
+# wall_ms stays comparable across regenerations.
+cargo run --release -q --bin ccr -- bench --jobs 1 --out BENCH_ccr.json
 echo '== profile fixture (tests/fixtures/run_telemetry + goldens)'
 # Refresh the frozen `ccr profile` capture the golden tests run against,
 # then rewrite the goldens from it. Events/report carry wall-clock pass

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! ccr suite [--input train|ref] [--scale N] [--entries E] [--instances C]
+//!           [--jobs N]
 //! ccr run <benchmark|file.ccr> [--entries E] [--instances C] [--function-level]
-//!         [--telemetry DIR]
+//!         [--telemetry DIR] [--jobs N]
 //! ccr profile <benchmark|file.ccr> [--telemetry DIR] [--sample-period N]
 //!             [--entries E] [--instances C] [--function-level] [--top N]
 //! ccr analyze <DIR> [--top N] [--out DIR]
@@ -11,7 +12,7 @@
 //!          [--max-cycle-regress-pct X] [--max-hit-rate-drop-pp X]
 //!          [--max-speedup-drop-pct X]
 //! ccr bench [--input train|ref] [--scale N] [--entries E] [--instances C]
-//!           [--only NAME[,NAME...]] [--out FILE]
+//!           [--only NAME[,NAME...]] [--out FILE] [--jobs N]
 //! ccr regions <benchmark|file.ccr>
 //! ccr potential <benchmark|file.ccr>
 //! ccr print <benchmark> [--annotated]
@@ -47,6 +48,12 @@
 //! `ccr bench` runs the built-in suite and snapshots `BENCH_ccr.json`,
 //! the committed performance baseline.
 //!
+//! `--jobs N` (or the `CCR_JOBS` environment variable; `0` = one per
+//! hardware thread) fans independent compiles and simulations out
+//! over N worker threads. Parallelism is a host concern only: every
+//! simulated statistic is bit-identical to a serial run — just the
+//! `wall_ms` numbers change.
+//!
 //! A `<benchmark>` is one of the thirteen built-in workload names
 //! (`ccr list`, plus the `bitcount` smoke workload); a `file.ccr` is
 //! a textual-IR program as produced by `ccr print`.
@@ -59,7 +66,7 @@ use ccr::regions::RegionConfig;
 use ccr::report::{pct, speedup, Table};
 use ccr::sim::{CrbConfig, MachineConfig};
 use ccr::workloads::{build, InputSet, NAMES};
-use ccr::{compile_ccr, measure, CompileConfig};
+use ccr::{compile_ccr, CompileConfig};
 
 /// A CLI failure. `Usage` errors (bad subcommand, bad flags, missing
 /// arguments) get the usage text appended; `Failure` errors (a
@@ -100,8 +107,9 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   ccr suite [--input train|ref] [--scale N] [--entries E] [--instances C]
+            [--jobs N]
   ccr run <benchmark|file.ccr> [--entries E] [--instances C] [--function-level]
-          [--telemetry DIR]
+          [--telemetry DIR] [--jobs N]
   ccr profile <benchmark|file.ccr> [--telemetry DIR] [--sample-period N]
               [--entries E] [--instances C] [--function-level] [--top N]
   ccr analyze <DIR> [--top N] [--out DIR]
@@ -109,7 +117,7 @@ const USAGE: &str = "usage:
            [--max-cycle-regress-pct X] [--max-hit-rate-drop-pp X]
            [--max-speedup-drop-pct X]
   ccr bench [--input train|ref] [--scale N] [--entries E] [--instances C]
-            [--only NAME[,NAME...]] [--out FILE]
+            [--only NAME[,NAME...]] [--out FILE] [--jobs N]
   ccr regions <benchmark|file.ccr>
   ccr potential <benchmark|file.ccr>
   ccr print <benchmark> [--annotated]
@@ -132,6 +140,7 @@ struct Flags {
     thresholds: String,
     force: bool,
     only: Option<String>,
+    jobs: Option<usize>,
     max_cycle_regress_pct: Option<f64>,
     max_hit_rate_drop_pp: Option<f64>,
     max_speedup_drop_pct: Option<f64>,
@@ -154,6 +163,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         thresholds: "default".to_string(),
         force: false,
         only: None,
+        jobs: None,
         max_cycle_regress_pct: None,
         max_hit_rate_drop_pp: None,
         max_speedup_drop_pct: None,
@@ -222,6 +232,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--force" => flags.force = true,
             "--only" => flags.only = Some(take("--only")?),
+            "--jobs" => {
+                flags.jobs = Some(
+                    take("--jobs")?
+                        .parse()
+                        .map_err(|_| "bad --jobs value".to_string())?,
+                );
+            }
             "--max-cycle-regress-pct" => {
                 flags.max_cycle_regress_pct = Some(
                     take("--max-cycle-regress-pct")?
@@ -333,6 +350,16 @@ fn target_of(flags: &Flags) -> Result<String, CliError> {
 fn cmd_suite(flags: &Flags) -> Result<(), CliError> {
     let machine = MachineConfig::paper();
     let crb = crb_of(flags);
+    let runs = ccr_bench::run_selected(
+        &NAMES,
+        flags.input,
+        flags.scale,
+        &compile_config(flags),
+        &machine,
+        crb,
+        emu(),
+        ccr::resolve_jobs(flags.jobs),
+    )?;
     let mut table = Table::new([
         "benchmark",
         "base cycles",
@@ -341,15 +368,11 @@ fn cmd_suite(flags: &Flags) -> Result<(), CliError> {
         "eliminated",
     ]);
     let mut speedups = Vec::new();
-    for name in NAMES {
-        let train = build(name, InputSet::Train, flags.scale).expect("known");
-        let target = build(name, flags.input, flags.scale).expect("known");
-        let compiled =
-            compile_ccr(&train, &target, &compile_config(flags)).map_err(|e| e.to_string())?;
-        let m = measure(&compiled, &machine, crb, emu()).map_err(|e| e.to_string())?;
+    for run in &runs {
+        let m = &run.measurement;
         speedups.push(m.speedup());
         table.row([
-            name.to_string(),
+            run.name.to_string(),
             m.base.stats.cycles.to_string(),
             m.ccr.stats.cycles.to_string(),
             speedup(m.speedup()),
@@ -380,9 +403,12 @@ fn cmd_run(flags: &Flags) -> Result<(), CliError> {
     let crb = crb_of(flags);
     let compiled =
         compile_ccr(&train, &target, &compile_config(flags)).map_err(|e| e.to_string())?;
+    let jobs = ccr::resolve_jobs(flags.jobs);
 
     let m = match &flags.telemetry {
-        None => measure(&compiled, &machine, crb, emu()).map_err(|e| e.to_string())?,
+        None => {
+            ccr::measure_par(&compiled, &machine, crb, emu(), jobs).map_err(|e| e.to_string())?
+        }
         Some(dir) => {
             use ccr::telemetry::{emit, JsonlSink, SCHEMA_VERSION};
             let dir = std::path::Path::new(dir);
@@ -397,12 +423,13 @@ fn cmd_run(flags: &Flags) -> Result<(), CliError> {
                 scale: flags.scale,
             );
             ccr::emit_compile_events(&compiled.telemetry, &mut sink);
-            let m = ccr::measure_traced(
+            let m = ccr::measure_traced_par(
                 &compiled,
                 &machine,
                 crb,
                 emu(),
                 ccr::sim::DEFAULT_IPC_WINDOW,
+                jobs,
                 &mut sink,
             )
             .map_err(|e| e.to_string())?;
@@ -682,7 +709,7 @@ fn cmd_diff(flags: &Flags) -> Result<ExitCode, CliError> {
 fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
     let machine = MachineConfig::paper();
     let crb = crb_of(flags);
-    let selected: Vec<&str> = match &flags.only {
+    let selected: Vec<&'static str> = match &flags.only {
         None => NAMES.to_vec(),
         Some(list) => {
             let mut out = Vec::new();
@@ -706,16 +733,21 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
         crate_version: env!("CARGO_PKG_VERSION").to_string(),
         workloads: Vec::new(),
     };
-    for name in selected {
-        let started = std::time::Instant::now();
-        let train = build(name, InputSet::Train, flags.scale).expect("known");
-        let target = build(name, flags.input, flags.scale).expect("known");
-        let compiled =
-            compile_ccr(&train, &target, &compile_config(flags)).map_err(|e| e.to_string())?;
-        let m = measure(&compiled, &machine, crb, emu()).map_err(|e| e.to_string())?;
+    let runs = ccr_bench::run_selected(
+        &selected,
+        flags.input,
+        flags.scale,
+        &compile_config(flags),
+        &machine,
+        crb,
+        emu(),
+        ccr::resolve_jobs(flags.jobs),
+    )?;
+    for run in &runs {
+        let m = &run.measurement;
         let lookups = m.ccr.stats.reuse_hits + m.ccr.stats.reuse_misses;
         report.workloads.push(ccr_analyze::BenchWorkload {
-            name: name.to_string(),
+            name: run.name.to_string(),
             base_cycles: m.base.stats.cycles,
             ccr_cycles: m.ccr.stats.cycles,
             speedup: m.speedup(),
@@ -724,8 +756,8 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
             } else {
                 m.ccr.stats.reuse_hits as f64 / lookups as f64
             },
-            regions: compiled.regions.len() as u64,
-            wall_ms: started.elapsed().as_millis() as u64,
+            regions: run.compiled.regions.len() as u64,
+            wall_ms: run.wall_ms,
         });
     }
     let out = flags
