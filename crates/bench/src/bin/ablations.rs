@@ -1,181 +1,9 @@
-//! Design-space ablations (DESIGN.md §5).
+//! Design-space ablations — thin shim over the experiment engine.
 //!
-//! 1. CRB instance replacement: LRU (paper) vs FIFO vs random.
-//! 2. Region granularity: block-level-only vs full regions — the
-//!    end-to-end version of Figure 4's motivation.
-//! 3. Memory-dependent regions on/off — what the invalidation
-//!    machinery buys.
-//! 4. Reusability threshold R sweep (paper: 0.65 empirically best).
-//! 5. Reuse-failure penalty sensitivity.
-//! 6. Function-level reuse (paper §6 future work).
-//! 7. Speculative reuse validation (paper §6 future work).
-//! 8. Nonuniform CRB capacities (paper §6 future work).
-
-use ccr_bench::{cli_jobs, mean, run_suite, SCALE};
-use ccr_core::report::{speedup, Table};
-use ccr_regions::RegionConfig;
-use ccr_sim::{CrbConfig, MachineConfig, NonuniformConfig, Replacement};
-use ccr_workloads::InputSet;
-
-fn average_speedup(region: &RegionConfig, machine: &MachineConfig, crb: CrbConfig) -> f64 {
-    mean(
-        run_suite(InputSet::Train, SCALE, region, machine, crb, cli_jobs())
-            .iter()
-            .map(|r| r.measurement.speedup()),
-    )
-}
+//! `ccr exp ablations` is the canonical entry point; this binary is
+//! kept for one release so existing scripts keep working. Output is
+//! byte-identical to the pre-engine binary.
 
 fn main() {
-    let machine = MachineConfig::paper();
-    let paper = RegionConfig::paper();
-
-    println!("Ablation 1 — instance replacement policy (128e/8CI)");
-    let mut t = Table::new(["policy", "avg speedup"]);
-    for (label, policy) in [
-        ("LRU (paper)", Replacement::Lru),
-        ("FIFO", Replacement::Fifo),
-        ("random", Replacement::Random),
-    ] {
-        let crb = CrbConfig {
-            replacement: policy,
-            ..CrbConfig::paper()
-        };
-        t.row([
-            label.to_string(),
-            speedup(average_speedup(&paper, &machine, crb)),
-        ]);
-    }
-    println!("{t}");
-
-    println!("Ablation 2 — region granularity");
-    let mut t = Table::new(["granularity", "avg speedup"]);
-    t.row([
-        "full regions (paper)".to_string(),
-        speedup(average_speedup(&paper, &machine, CrbConfig::paper())),
-    ]);
-    t.row([
-        "single block only".to_string(),
-        speedup(average_speedup(
-            &RegionConfig::block_level(),
-            &machine,
-            CrbConfig::paper(),
-        )),
-    ]);
-    println!("{t}");
-
-    println!("Ablation 3 — memory-dependent regions");
-    let mut t = Table::new(["classes", "avg speedup"]);
-    t.row([
-        "SL + MD (paper)".to_string(),
-        speedup(average_speedup(&paper, &machine, CrbConfig::paper())),
-    ]);
-    t.row([
-        "SL only".to_string(),
-        speedup(average_speedup(
-            &RegionConfig::stateless_only(),
-            &machine,
-            CrbConfig::paper(),
-        )),
-    ]);
-    println!("{t}");
-
-    println!("Ablation 4 — reusability threshold R");
-    let mut t = Table::new(["R", "avg speedup"]);
-    for r in [0.50, 0.65, 0.80] {
-        let region = RegionConfig {
-            r_threshold: r,
-            rm_threshold: r,
-            ..paper
-        };
-        t.row([
-            format!("{r:.2}{}", if r == 0.65 { " (paper)" } else { "" }),
-            speedup(average_speedup(&region, &machine, CrbConfig::paper())),
-        ]);
-    }
-    println!("{t}");
-
-    println!("Ablation 5 — reuse-failure penalty");
-    let mut t = Table::new(["penalty (cycles)", "avg speedup"]);
-    for pen in [0u64, 4, 8, 16] {
-        let m = MachineConfig {
-            reuse_miss_penalty: pen,
-            ..machine
-        };
-        t.row([
-            format!("{pen}{}", if pen == 8 { " (paper)" } else { "" }),
-            speedup(average_speedup(&paper, &m, CrbConfig::paper())),
-        ]);
-    }
-    println!("{t}");
-
-    println!("Ablation 6 — function-level reuse (paper §6 future work)");
-    let mut t = Table::new(["regions", "avg speedup"]);
-    t.row([
-        "interior only (paper)".to_string(),
-        speedup(average_speedup(&paper, &machine, CrbConfig::paper())),
-    ]);
-    t.row([
-        "interior + function-level".to_string(),
-        speedup(average_speedup(
-            &RegionConfig::with_function_level(),
-            &machine,
-            CrbConfig::paper(),
-        )),
-    ]);
-    println!("{t}");
-
-    println!("Ablation 7 — speculative reuse validation (paper §6 future work)");
-    let mut t = Table::new(["validation", "avg speedup"]);
-    t.row([
-        "architectural (paper)".to_string(),
-        speedup(average_speedup(&paper, &machine, CrbConfig::paper())),
-    ]);
-    t.row([
-        "value-speculated".to_string(),
-        speedup(average_speedup(
-            &paper,
-            &MachineConfig::with_speculative_validation(),
-            CrbConfig::paper(),
-        )),
-    ]);
-    println!("{t}");
-
-    println!("Ablation 8 — nonuniform CRB capacities (paper §6 future work)");
-    let mut t = Table::new(["geometry", "storage (CIs)", "avg speedup"]);
-    t.row([
-        "uniform 128 x 8 (paper)".to_string(),
-        "1024".to_string(),
-        speedup(average_speedup(&paper, &machine, CrbConfig::paper())),
-    ]);
-    // Same total instance storage, skewed: every 4th entry holds 20,
-    // the rest hold 4.
-    let skewed = CrbConfig {
-        instances: 4,
-        nonuniform: Some(NonuniformConfig {
-            boost_every: 4,
-            boosted_instances: 20,
-            mem_capable_percent: 100,
-        }),
-        ..CrbConfig::paper()
-    };
-    t.row([
-        "skewed 32 x 20 + 96 x 4".to_string(),
-        "1024".to_string(),
-        speedup(average_speedup(&paper, &machine, skewed)),
-    ]);
-    // Half the entries without memory-validation hardware.
-    let half_mem = CrbConfig {
-        nonuniform: Some(NonuniformConfig {
-            boost_every: 1,
-            boosted_instances: 8,
-            mem_capable_percent: 50,
-        }),
-        ..CrbConfig::paper()
-    };
-    t.row([
-        "50% entries memory-capable".to_string(),
-        "1024".to_string(),
-        speedup(average_speedup(&paper, &machine, half_mem)),
-    ]);
-    println!("{t}");
+    ccr_bench::exp::shim_main("ablations");
 }

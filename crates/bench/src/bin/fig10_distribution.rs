@@ -1,90 +1,9 @@
-//! Figure 10: dynamic reuse distribution over static computations.
+//! Figure 10 — thin shim over the experiment engine.
 //!
-//! For each benchmark, regions are sorted by their contribution to
-//! total eliminated execution; the table reports the cumulative share
-//! captured by the top 10/20/30/40 % of static computations.
-//!
-//! Paper shape: the top 40 % of static computations account for
-//! nearly 90 % of total reuse — except `129.compress`, whose regions
-//! contribute almost uniformly.
-
-use ccr_bench::{cli_jobs, run_suite, SCALE};
-use ccr_core::report::{pct, Table};
-use ccr_sim::{CrbConfig, MachineConfig};
-use ccr_workloads::InputSet;
+//! `ccr exp fig10` is the canonical entry point; this binary is kept
+//! for one release so existing scripts keep working. Output is
+//! byte-identical to the pre-engine binary.
 
 fn main() {
-    let runs = run_suite(
-        InputSet::Train,
-        SCALE,
-        &ccr_regions::RegionConfig::paper(),
-        &MachineConfig::paper(),
-        CrbConfig::paper(),
-        cli_jobs(),
-    );
-
-    let mut table = Table::new([
-        "benchmark",
-        "regions",
-        "top10%",
-        "top20%",
-        "top30%",
-        "top40%",
-    ]);
-    for run in &runs {
-        let mut contributions: Vec<u64> = run
-            .compiled
-            .regions
-            .iter()
-            .map(|info| {
-                run.measurement
-                    .ccr
-                    .stats
-                    .regions
-                    .get(&info.id)
-                    .map_or(0, |s| s.skipped_instrs)
-            })
-            .collect();
-        contributions.sort_unstable_by(|a, b| b.cmp(a));
-        let total: u64 = contributions.iter().sum();
-        let n = contributions.len();
-        if total == 0 || n == 0 {
-            table.row([
-                run.name.to_string(),
-                n.to_string(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-            ]);
-            continue;
-        }
-        let cum_at = |frac: f64| -> f64 {
-            // Fractional static coverage: partial credit for the
-            // marginal region keeps tiny region counts meaningful.
-            let want = frac * n as f64;
-            let full = want.floor() as usize;
-            let mut acc: u64 = contributions.iter().take(full).sum();
-            let part = want - full as f64;
-            if full < n {
-                acc += (contributions[full] as f64 * part) as u64;
-            }
-            acc as f64 / total as f64
-        };
-        table.row([
-            run.name.to_string(),
-            n.to_string(),
-            pct(cum_at(0.10)),
-            pct(cum_at(0.20)),
-            pct(cum_at(0.30)),
-            pct(cum_at(0.40)),
-        ]);
-    }
-
-    println!("Figure 10 — cumulative dynamic reuse of top static computations");
-    println!("{table}");
-    println!(
-        "Paper: top 40% of static computations ≈ 90% of total reuse; \
-         129.compress is the notable flat exception."
-    );
+    ccr_bench::exp::shim_main("fig10_distribution");
 }

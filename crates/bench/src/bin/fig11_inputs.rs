@@ -1,54 +1,9 @@
-//! Figure 11: speedup with training vs reference input data sets
-//! (128-entry CRB, 8 instances per entry).
+//! Figure 11 — thin shim over the experiment engine.
 //!
-//! The compiler always profiles on the *training* input; the
-//! reference column measures how well compile-time region selection
-//! generalizes to data it never saw.
-//!
-//! Paper shape: average 1.26 (train) vs 1.23 (ref); the repetition
-//! eliminated drops from ~40 % to ~33 % — "the general applicability
-//! of directing the reuse of computation at compile time".
-
-use ccr_bench::{cli_jobs, mean, run_suite, SCALE};
-use ccr_core::report::{pct, speedup, Table};
-use ccr_regions::RegionConfig;
-use ccr_sim::{CrbConfig, MachineConfig};
-use ccr_workloads::InputSet;
+//! `ccr exp fig11` is the canonical entry point; this binary is kept
+//! for one release so existing scripts keep working. Output is
+//! byte-identical to the pre-engine binary.
 
 fn main() {
-    let machine = MachineConfig::paper();
-    let region = RegionConfig::paper();
-    let crb = CrbConfig::paper();
-
-    let jobs = cli_jobs();
-    let train_runs = run_suite(InputSet::Train, SCALE, &region, &machine, crb, jobs);
-    let ref_runs = run_suite(InputSet::Ref, SCALE, &region, &machine, crb, jobs);
-
-    let mut table = Table::new(["benchmark", "train", "ref", "elim(train)", "elim(ref)"]);
-    for (t, r) in train_runs.iter().zip(&ref_runs) {
-        table.row([
-            t.name.to_string(),
-            speedup(t.measurement.speedup()),
-            speedup(r.measurement.speedup()),
-            pct(t.measurement.eliminated_fraction()),
-            pct(r.measurement.eliminated_fraction()),
-        ]);
-    }
-    table.row([
-        "average".to_string(),
-        speedup(mean(train_runs.iter().map(|r| r.measurement.speedup()))),
-        speedup(mean(ref_runs.iter().map(|r| r.measurement.speedup()))),
-        pct(mean(
-            train_runs
-                .iter()
-                .map(|r| r.measurement.eliminated_fraction()),
-        )),
-        pct(mean(
-            ref_runs.iter().map(|r| r.measurement.eliminated_fraction()),
-        )),
-    ]);
-
-    println!("Figure 11 — training vs reference input (128 entries, 8 CIs)");
-    println!("{table}");
-    println!("Paper: avg 1.26 (train) vs 1.23 (ref); repetition eliminated 40% vs 33%.");
+    ccr_bench::exp::shim_main("fig11_inputs");
 }

@@ -1,51 +1,9 @@
-//! Figure 4: dynamic reuse potential — the fraction of dynamic
-//! program execution reusable at basic-block vs region granularity,
-//! with eight records of previous dynamic information per code
-//! segment.
+//! Figure 4 — thin shim over the experiment engine.
 //!
-//! Paper shape: block average ≈ 30 %, region average ≈ 55 % — region
-//! exploitation "can potentially exploit almost twice the amount of
-//! program execution available to block-level approaches".
-
-use ccr_bench::{emu_config, mean, SCALE};
-use ccr_core::measure::reuse_potential;
-use ccr_core::report::{pct, Table};
-use ccr_workloads::{build, InputSet, NAMES};
+//! `ccr exp fig4` is the canonical entry point; this binary is kept
+//! for one release so existing scripts keep working. Output is
+//! byte-identical to the pre-engine binary.
 
 fn main() {
-    let mut table = Table::new(["benchmark", "block", "region", "region/block"]);
-    let mut blocks = Vec::new();
-    let mut regions = Vec::new();
-    for name in NAMES {
-        let program = build(name, InputSet::Train, SCALE).expect("known benchmark");
-        let pot = reuse_potential(&program, emu_config()).expect("within limits");
-        blocks.push(pot.block_ratio());
-        regions.push(pot.region_ratio());
-        let ratio = if pot.block_ratio() > 0.0 {
-            format!("{:.2}x", pot.region_ratio() / pot.block_ratio())
-        } else {
-            "-".to_string()
-        };
-        table.row([
-            name.to_string(),
-            pct(pot.block_ratio()),
-            pct(pot.region_ratio()),
-            ratio,
-        ]);
-    }
-    let avg_block = mean(blocks);
-    let avg_region = mean(regions);
-    table.row([
-        "average".to_string(),
-        pct(avg_block),
-        pct(avg_region),
-        format!("{:.2}x", avg_region / avg_block.max(1e-9)),
-    ]);
-
-    println!("Figure 4 — dynamic reuse potential (8-record history)");
-    println!("{table}");
-    println!(
-        "Paper: block avg ~30%, region avg ~55%; region-level reuse roughly \
-         doubles the exploitable execution."
-    );
+    ccr_bench::exp::shim_main("fig4_potential");
 }

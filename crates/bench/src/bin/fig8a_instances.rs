@@ -1,71 +1,9 @@
-//! Figure 8(a): speedup for a 128-entry CRB with 4, 8, and 16
-//! computation instances per entry, per benchmark.
+//! Figure 8(a) — thin shim over the experiment engine.
 //!
-//! Paper shape: averages ≈ 1.20 / 1.25 / 1.30; `124.m88ksim` is the
-//! best case; `pgpencode` gains the most from extra instances.
-//! Also prints the Section 5.2 headline: the fraction of dynamic
-//! instruction repetition eliminated.
-
-use ccr_bench::{cli_jobs, mean, run_suite, SCALE};
-use ccr_core::report::{pct, speedup, Table};
-use ccr_regions::RegionConfig;
-use ccr_sim::{CrbConfig, MachineConfig};
-use ccr_workloads::InputSet;
+//! `ccr exp fig8a` is the canonical entry point; this binary is kept
+//! for one release so existing scripts keep working. Output is
+//! byte-identical to the pre-engine binary.
 
 fn main() {
-    let jobs = cli_jobs();
-    let machine = MachineConfig::paper();
-    let region = RegionConfig::paper();
-    let instance_counts = [4usize, 8, 16];
-
-    let mut table = Table::new([
-        "benchmark",
-        "128e/4CI",
-        "128e/8CI",
-        "128e/16CI",
-        "eliminated(16CI)",
-    ]);
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); instance_counts.len()];
-
-    let runs_per_config: Vec<Vec<ccr_bench::SuiteRun>> = instance_counts
-        .iter()
-        .map(|&ci| {
-            run_suite(
-                InputSet::Train,
-                SCALE,
-                &region,
-                &machine,
-                CrbConfig::with_instances(ci),
-                jobs,
-            )
-        })
-        .collect();
-
-    for (b, name) in ccr_workloads::NAMES.iter().enumerate() {
-        let mut cells = vec![name.to_string()];
-        for (c, runs) in runs_per_config.iter().enumerate() {
-            let s = runs[b].measurement.speedup();
-            columns[c].push(s);
-            cells.push(speedup(s));
-        }
-        cells.push(pct(runs_per_config[2][b].measurement.eliminated_fraction()));
-        table.row(cells);
-    }
-    let mut avg = vec!["average".to_string()];
-    for col in &columns {
-        avg.push(speedup(mean(col.iter().copied())));
-    }
-    avg.push(pct(mean(
-        runs_per_config[2]
-            .iter()
-            .map(|r| r.measurement.eliminated_fraction()),
-    )));
-    table.row(avg);
-
-    println!("Figure 8(a) — speedup vs computation instances (128 entries)");
-    println!("{table}");
-    println!(
-        "Paper: avg 1.20 (4 CI), 1.25 (8 CI), 1.30 (16 CI); ~40% of dynamic \
-         instruction repetition eliminated."
-    );
+    ccr_bench::exp::shim_main("fig8a_instances");
 }

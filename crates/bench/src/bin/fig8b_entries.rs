@@ -1,62 +1,9 @@
-//! Figure 8(b): speedup for CRBs of 32, 64, and 128 computation
-//! entries (8 instances each), per benchmark.
+//! Figure 8(b) — thin shim over the experiment engine.
 //!
-//! Paper shape: averages ≈ 1.20 / 1.23 / 1.25 — "the benefits of
-//! reuse are sustained for even a small number of computation
-//! entries", because a few hot computations dominate each program.
-
-use ccr_bench::{cli_jobs, mean, run_suite, SCALE};
-use ccr_core::report::{speedup, Table};
-use ccr_regions::RegionConfig;
-use ccr_sim::{CrbConfig, MachineConfig};
-use ccr_workloads::InputSet;
+//! `ccr exp fig8b` is the canonical entry point; this binary is kept
+//! for one release so existing scripts keep working. Output is
+//! byte-identical to the pre-engine binary.
 
 fn main() {
-    let jobs = cli_jobs();
-    let machine = MachineConfig::paper();
-    let region = RegionConfig::paper();
-    let entry_counts = [32usize, 64, 128];
-
-    let mut table = Table::new(["benchmark", "32e/8CI", "64e/8CI", "128e/8CI", "regions"]);
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); entry_counts.len()];
-
-    let runs_per_config: Vec<Vec<ccr_bench::SuiteRun>> = entry_counts
-        .iter()
-        .map(|&e| {
-            run_suite(
-                InputSet::Train,
-                SCALE,
-                &region,
-                &machine,
-                CrbConfig::with_entries(e),
-                jobs,
-            )
-        })
-        .collect();
-
-    for (b, name) in ccr_workloads::NAMES.iter().enumerate() {
-        let mut cells = vec![name.to_string()];
-        for (c, runs) in runs_per_config.iter().enumerate() {
-            let s = runs[b].measurement.speedup();
-            columns[c].push(s);
-            cells.push(speedup(s));
-        }
-        cells.push(runs_per_config[2][b].compiled.regions.len().to_string());
-        table.row(cells);
-    }
-    let mut avg = vec!["average".to_string()];
-    for col in &columns {
-        avg.push(speedup(mean(col.iter().copied())));
-    }
-    avg.push(String::new());
-    table.row(avg);
-
-    println!("Figure 8(b) — speedup vs computation entries (8 instances)");
-    println!("{table}");
-    println!(
-        "Paper: avg 1.20 (32e), 1.23 (64e), 1.25 (128e) — a moderate number of \
-         entries suffices. Our synthetic programs form fewer static regions \
-         than full SPEC binaries, so entry-count sensitivity is even lower; \
-         the conclusion (no loss at small CRBs) is the same."
-    );
+    ccr_bench::exp::shim_main("fig8b_entries");
 }

@@ -1,117 +1,9 @@
-//! Figure 9: static and dynamic distribution of computation groups.
+//! Figure 9 — thin shim over the experiment engine.
 //!
-//! Groups classify each region by class and input type: `SL_{n}` for
-//! stateless with ≤ n register inputs, `MD_{n}_{m}` for
-//! memory-dependent with ≤ n inputs and m distinguishable structures.
-//!
-//! Paper shape: the seven groups cover ~90 % of formed computations;
-//! stateless groups are ~65 % of the static count and ~60 % of the
-//! dynamic reuse.
-
-use std::collections::HashMap;
-
-use ccr_bench::{cli_jobs, run_suite, SCALE};
-use ccr_core::report::{pct, Table};
-use ccr_regions::{ComputationGroup, GroupDistribution};
-use ccr_sim::{CrbConfig, MachineConfig};
-use ccr_workloads::InputSet;
+//! `ccr exp fig9` is the canonical entry point; this binary is kept
+//! for one release so existing scripts keep working. Output is
+//! byte-identical to the pre-engine binary.
 
 fn main() {
-    let runs = run_suite(
-        InputSet::Train,
-        SCALE,
-        &ccr_regions::RegionConfig::paper(),
-        &MachineConfig::paper(),
-        CrbConfig::paper(),
-        cli_jobs(),
-    );
-
-    let mut header = vec!["benchmark".to_string()];
-    header.extend(ComputationGroup::ALL.iter().map(|g| g.label().to_string()));
-    let mut static_table = Table::new(header.clone());
-    let mut dynamic_table = Table::new(header);
-
-    let mut all_static = GroupDistribution::default();
-    let mut all_dynamic = GroupDistribution::default();
-
-    for run in &runs {
-        let stat = GroupDistribution::static_of(&run.compiled.regions);
-        let weights: HashMap<_, _> = run
-            .measurement
-            .ccr
-            .stats
-            .regions
-            .iter()
-            .map(|(id, s)| (*id, s.skipped_instrs))
-            .collect();
-        let dynamic = GroupDistribution::dynamic_of(&run.compiled.regions, &weights);
-        let render = |d: &GroupDistribution| -> Vec<String> {
-            ComputationGroup::ALL
-                .iter()
-                .map(|g| {
-                    if d.total() == 0.0 {
-                        "-".to_string()
-                    } else {
-                        pct(d.fraction(*g))
-                    }
-                })
-                .collect()
-        };
-        let mut srow = vec![run.name.to_string()];
-        srow.extend(render(&stat));
-        static_table.row(srow);
-        let mut drow = vec![run.name.to_string()];
-        drow.extend(render(&dynamic));
-        dynamic_table.row(drow);
-        for g in ComputationGroup::ALL {
-            all_static.add(g, stat.fraction(g));
-            if dynamic.total() > 0.0 {
-                all_dynamic.add(g, dynamic.fraction(g));
-            }
-        }
-    }
-    let avg_row = |d: &GroupDistribution, t: &mut Table| {
-        let mut row = vec!["average".to_string()];
-        row.extend(
-            ComputationGroup::ALL
-                .iter()
-                .map(|g| pct(d.fraction(*g)))
-                .collect::<Vec<_>>(),
-        );
-        t.row(row);
-    };
-    avg_row(&all_static, &mut static_table);
-    avg_row(&all_dynamic, &mut dynamic_table);
-
-    println!("Figure 9(a) — static computation-group distribution");
-    println!("{static_table}");
-    println!(
-        "stateless static fraction: {}",
-        pct(all_static.stateless_fraction())
-    );
-    println!();
-    println!("Figure 9(b) — dynamic computation-group distribution (by eliminated instructions)");
-    println!("{dynamic_table}");
-    println!(
-        "stateless dynamic fraction: {}",
-        pct(all_dynamic.stateless_fraction())
-    );
-    println!();
-    println!("Paper: ~90% of computations in the seven groups; SL ≈ 65% static, ≈ 60% dynamic.");
-
-    // Section 5.2: acyclic regions replace ~10 instructions on average.
-    let mut sizes = Vec::new();
-    for run in &runs {
-        for info in &run.compiled.regions {
-            if !info.spec.is_cyclic() {
-                sizes.push(info.spec.static_instrs as f64);
-            }
-        }
-    }
-    if !sizes.is_empty() {
-        println!(
-            "acyclic regions replace on average {:.1} instructions (paper: ~10)",
-            sizes.iter().sum::<f64>() / sizes.len() as f64
-        );
-    }
+    ccr_bench::exp::shim_main("fig9_groups");
 }

@@ -1,65 +1,9 @@
-//! Extension study: how does the CCR benefit scale with machine
-//! width? Two forces pull in opposite directions: on a *narrow*,
-//! throughput-bound machine every eliminated instruction frees a
-//! scarce issue slot (reuse as bandwidth), while on a *wide* machine
-//! the benefit comes from breaking dependence chains (reuse as the
-//! dataflow-limit escape the paper emphasizes). On this suite the
-//! bandwidth effect dominates slightly: speedups shrink from ~1.31 at
-//! 2-wide to ~1.27 at 6-wide and then flatten, because the 6-wide
-//! baseline is already mostly latency-bound (base IPC saturates near
-//! 0.84).
-
-use ccr_bench::{cli_jobs, mean, run_suite, SCALE};
-use ccr_core::report::{speedup, Table};
-use ccr_regions::RegionConfig;
-use ccr_sim::{CrbConfig, MachineConfig};
-use ccr_workloads::InputSet;
-
-fn machine_of_width(width: u32) -> MachineConfig {
-    MachineConfig {
-        issue_width: width,
-        int_alus: (width * 2 / 3).max(1),
-        mem_ports: (width / 3).max(1),
-        fp_alus: (width / 3).max(1),
-        branch_units: 1,
-        ..MachineConfig::paper()
-    }
-}
+//! Width sensitivity — thin shim over the experiment engine.
+//!
+//! `ccr exp width` is the canonical entry point; this binary is kept
+//! for one release so existing scripts keep working. Output is
+//! byte-identical to the pre-engine binary.
 
 fn main() {
-    let jobs = cli_jobs();
-    let region = RegionConfig::paper();
-    let widths = [2u32, 4, 6, 8];
-
-    let mut table = Table::new(["issue width", "avg speedup", "avg base IPC", "avg CCR IPC"]);
-    for &w in &widths {
-        let machine = machine_of_width(w);
-        let runs = run_suite(
-            InputSet::Train,
-            SCALE,
-            &region,
-            &machine,
-            CrbConfig::paper(),
-            jobs,
-        );
-        let avg = mean(runs.iter().map(|r| r.measurement.speedup()));
-        let base_ipc = mean(runs.iter().map(|r| {
-            r.measurement.base.stats.dyn_instrs as f64 / r.measurement.base.stats.cycles as f64
-        }));
-        let ccr_ipc = mean(runs.iter().map(|r| r.measurement.ccr.stats.effective_ipc()));
-        table.row([
-            format!("{w}{}", if w == 6 { " (paper)" } else { "" }),
-            speedup(avg),
-            format!("{base_ipc:.2}"),
-            format!("{ccr_ipc:.2}"),
-        ]);
-    }
-    println!("Width sensitivity — CCR speedup vs machine issue width");
-    println!("{table}");
-    println!(
-        "Two regimes: on narrow machines reuse frees scarce issue slots \
-         (bandwidth); on wide machines it breaks dependence chains (latency). \
-         Base IPC saturating with width shows where one regime hands off to \
-         the other."
-    );
+    ccr_bench::exp::shim_main("width_sensitivity");
 }

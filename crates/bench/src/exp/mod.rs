@@ -1,0 +1,714 @@
+//! Declarative experiment engine: specs, a deduplicating sweep
+//! planner, and a parallel executor.
+//!
+//! The paper's evaluation is a family of *sweeps*: run the benchmark
+//! suite under a set of configurations that differ along one axis
+//! (CRB instances, CRB entries, input set, machine width, a formation
+//! knob) and render tables from the measurements. Historically each
+//! figure was a hand-rolled binary that re-implemented the sweep loop
+//! — and re-simulated (workload, config) points other figures had
+//! already run. This module replaces that with three layers:
+//!
+//! 1. **Specs** ([`ExperimentSpec`], registry in [`specs`]): a named
+//!    experiment is a workload selection, a list of [`Scenario`]s
+//!    (input set + region/machine/CRB configuration), and a renderer
+//!    that turns measurements into the figure's tables.
+//! 2. **Planner** ([`plan`]): expands the selected specs into the
+//!    *unique* set of compile and simulation units. Distinct specs
+//!    (and repeated scenarios within one spec) that need the same
+//!    (workload, region-config) pair compile it once; the same full
+//!    (workload, region, machine, CRB) point simulates once. Units
+//!    are keyed by FNV-1a hashes of the canonical config field
+//!    enumerations ([`ccr_regions::RegionConfig::fields`],
+//!    [`ccr_sim::MachineConfig::fields`],
+//!    [`ccr_sim::CrbConfig::fields`]) and the PR-2
+//!    [`ccr_core::config_hash`]. Baseline simulations do not depend
+//!    on the region configuration at all (the baseline program is the
+//!    optimized, unannotated build), so they deduplicate even across
+//!    scenarios that form different regions.
+//! 3. **Executor** ([`execute`]): fans the planned units through the
+//!    [`ccr_core::jobs`] pool — compiles and reuse-potential studies
+//!    first, then every simulation as an independent work item.
+//!
+//! **Bit-identity contract:** every rendered table is byte-identical
+//! to what the legacy per-figure binary printed. Deduplication only
+//! elides *repeats* of deterministic work; each spec's renderer reads
+//! the same statistics it always did (`tests/exp_golden.rs` pins this
+//! against the committed `results/` tables).
+
+pub mod specs;
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ccr_core::compile::{CompileConfig, CompiledWorkload};
+use ccr_core::jobs::parallel_map;
+use ccr_core::measure::{reuse_potential, Measurement};
+use ccr_core::report::Table;
+use ccr_core::{config_hash, fnv1a_hex};
+use ccr_profile::ReusePotential;
+use ccr_regions::RegionConfig;
+use ccr_sim::{simulate, simulate_baseline, CrbConfig, MachineConfig, SimOutcome};
+use ccr_workloads::InputSet;
+
+use crate::{compile_with, emu_config, SCALE};
+
+/// One configuration a spec wants the workload selection run under.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Human-readable label (planner log only; renderers carry their
+    /// own column headings).
+    pub label: String,
+    /// Input set the target build uses (profiling is always Train).
+    pub input: InputSet,
+    /// Workload scale factor.
+    pub scale: u32,
+    /// Region-formation configuration (with `trial_instances` already
+    /// matched to the CRB — see [`Scenario::new`]).
+    pub region: RegionConfig,
+    /// Simulated machine.
+    pub machine: MachineConfig,
+    /// Simulated reuse buffer.
+    pub crb: CrbConfig,
+}
+
+impl Scenario {
+    /// Builds a scenario at the default experiment [`SCALE`], matching
+    /// the compiler's selection trial to the hardware's instance count
+    /// (`region.trial_instances = crb.instances`) exactly as the
+    /// legacy `run_suite` harness did.
+    pub fn new(
+        label: impl Into<String>,
+        input: InputSet,
+        region: &RegionConfig,
+        machine: &MachineConfig,
+        crb: CrbConfig,
+    ) -> Scenario {
+        Scenario {
+            label: label.into(),
+            input,
+            scale: SCALE,
+            region: RegionConfig {
+                trial_instances: crb.instances,
+                ..*region
+            },
+            machine: *machine,
+            crb,
+        }
+    }
+
+    /// The compile configuration this scenario's workloads build with.
+    fn compile_config(&self) -> CompileConfig {
+        CompileConfig {
+            region: self.region,
+            emu: emu_config(),
+            ..CompileConfig::paper()
+        }
+    }
+
+    /// Every knob that identifies this scenario's point, as prefixed
+    /// `(field, value)` pairs — the planner's axis detection and the
+    /// human side of its dedup keys.
+    fn point_fields(&self) -> Vec<(String, String)> {
+        let mut out = vec![
+            ("input".to_string(), input_tag(self.input).to_string()),
+            ("scale".to_string(), self.scale.to_string()),
+        ];
+        for (prefix, fields) in [
+            ("region", self.region.fields()),
+            ("machine", self.machine.fields()),
+            ("crb", self.crb.fields()),
+        ] {
+            out.extend(
+                fields
+                    .into_iter()
+                    .map(|(n, v)| (format!("{prefix}.{n}"), v)),
+            );
+        }
+        out
+    }
+}
+
+/// A named, declarative experiment: what to run and how to render it.
+pub struct ExperimentSpec {
+    /// Short CLI name (`ccr exp fig8a`).
+    pub name: &'static str,
+    /// Output file stem — also the legacy binary's name, accepted as
+    /// a CLI alias (`ccr exp fig8a_instances`).
+    pub output: &'static str,
+    /// One-line description (`ccr exp --list`).
+    pub title: &'static str,
+    /// Workload selection, in presentation order.
+    pub workloads: &'static [&'static str],
+    /// Sweep scenarios, in presentation order. Repeats are fine — the
+    /// planner deduplicates; renderers index scenarios positionally.
+    pub scenarios: Vec<Scenario>,
+    /// Whether the spec also needs the compiler-side reuse-potential
+    /// study (Figure 4) for each workload on the Train input.
+    pub potential: bool,
+    /// Renders measurements into the figure's text and tables.
+    pub render: fn(&SpecResults<'_>) -> Rendered,
+}
+
+/// A rendered experiment: the exact text the legacy binary printed,
+/// plus each table for CSV export.
+pub struct Rendered {
+    /// Byte-identical stdout of the legacy per-figure binary.
+    pub text: String,
+    /// Named tables (`<output>.<name>.csv` under `--out`).
+    pub tables: Vec<(&'static str, Table)>,
+}
+
+/// One workload's measured point within a scenario (the engine's
+/// analogue of [`crate::SuiteRun`], with compiles shared via [`Arc`]).
+pub struct ExpRun {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Compile products, shared across every scenario that needs them.
+    pub compiled: Arc<CompiledWorkload>,
+    /// Baseline vs CCR measurement.
+    pub measurement: Measurement,
+}
+
+/// Everything one spec's renderer may read: per-scenario runs (in
+/// workload order) and, for potential studies, per-workload
+/// [`ReusePotential`].
+pub struct SpecResults<'a> {
+    /// The spec being rendered.
+    pub spec: &'a ExperimentSpec,
+    scenario_runs: Vec<Vec<ExpRun>>,
+    potentials: Vec<ReusePotential>,
+}
+
+impl SpecResults<'_> {
+    /// The runs of scenario `i`, in `spec.workloads` order.
+    pub fn runs(&self, scenario: usize) -> &[ExpRun] {
+        &self.scenario_runs[scenario]
+    }
+
+    /// Per-workload reuse potential (empty unless `spec.potential`).
+    pub fn potentials(&self) -> &[ReusePotential] {
+        &self.potentials
+    }
+
+    /// Renders the spec from these results.
+    pub fn render(&self) -> Rendered {
+        (self.spec.render)(self)
+    }
+}
+
+fn input_tag(input: InputSet) -> &'static str {
+    match input {
+        InputSet::Train => "train",
+        InputSet::Ref => "ref",
+    }
+}
+
+fn hash_fields(fields: &[(&'static str, String)]) -> String {
+    let mut s = String::new();
+    for (n, v) in fields {
+        s.push_str(n);
+        s.push('=');
+        s.push_str(v);
+        s.push(';');
+    }
+    fnv1a_hex(s.as_bytes())
+}
+
+/// The key a compile unit deduplicates under: workload, target input,
+/// scale, the FNV-1a hash of the region-config field enumeration, and
+/// the (constant across specs) optimizer + emulator settings.
+pub(crate) fn compile_key(
+    name: &str,
+    input: InputSet,
+    scale: u32,
+    config: &CompileConfig,
+) -> String {
+    format!(
+        "{name}|{}|{scale}|r:{}|opt:{:?}|emu:{}/{}",
+        input_tag(input),
+        hash_fields(&config.region.fields()),
+        config.opt,
+        config.emu.max_instrs,
+        config.emu.max_depth,
+    )
+}
+
+/// Baseline simulations depend on the optimized program and the
+/// machine — not on regions or the CRB — so their key drops the
+/// region-config hash entirely.
+fn base_sim_key(
+    name: &str,
+    input: InputSet,
+    scale: u32,
+    config: &CompileConfig,
+    machine: &MachineConfig,
+) -> String {
+    format!(
+        "base|{name}|{}|{scale}|opt:{:?}|emu:{}/{}|m:{}",
+        input_tag(input),
+        config.opt,
+        config.emu.max_instrs,
+        config.emu.max_depth,
+        hash_fields(&machine.fields()),
+    )
+}
+
+/// CCR simulations depend on the compiled (annotated) program plus
+/// the full simulated hardware, keyed by the PR-2 FNV-1a
+/// [`config_hash`] over machine + CRB.
+fn ccr_sim_key(compile_key: &str, machine: &MachineConfig, crb: &CrbConfig) -> String {
+    format!("ccr|{compile_key}|cfg:{}", config_hash(machine, crb))
+}
+
+fn potential_key(name: &str, input: InputSet, scale: u32) -> String {
+    format!("pot|{name}|{}|{scale}", input_tag(input))
+}
+
+struct CompileUnit {
+    name: &'static str,
+    input: InputSet,
+    scale: u32,
+    config: CompileConfig,
+    key: String,
+}
+
+struct BaseUnit {
+    name: &'static str,
+    machine: MachineConfig,
+    /// Any compile unit whose `base` program this sim runs (every
+    /// region config yields the same optimized baseline).
+    compile_key: String,
+    key: String,
+}
+
+struct CcrUnit {
+    name: &'static str,
+    machine: MachineConfig,
+    crb: CrbConfig,
+    compile_key: String,
+    key: String,
+}
+
+struct PotentialUnit {
+    name: &'static str,
+    input: InputSet,
+    scale: u32,
+    key: String,
+}
+
+/// What the planner decided to run: the deduplicated unit lists plus
+/// accounting for the log.
+pub struct Plan<'s> {
+    specs: Vec<&'s ExperimentSpec>,
+    compiles: Vec<CompileUnit>,
+    bases: Vec<BaseUnit>,
+    ccrs: Vec<CcrUnit>,
+    potentials: Vec<PotentialUnit>,
+    /// Dedup accounting and per-spec axis summaries.
+    pub stats: PlanStats,
+}
+
+/// Planner accounting: how much work the specs requested vs how much
+/// survives deduplication.
+#[derive(Clone, Debug, Default)]
+pub struct PlanStats {
+    /// Number of specs planned.
+    pub specs: usize,
+    /// (workload, scenario) simulation points requested, duplicates
+    /// included.
+    pub requested_points: usize,
+    /// Compile units after deduplication.
+    pub unique_compiles: usize,
+    /// Compile requests elided as duplicates.
+    pub deduped_compiles: usize,
+    /// Simulation runs (baseline + CCR) after deduplication.
+    pub unique_sims: usize,
+    /// Simulation runs elided as duplicates (a requested point wants
+    /// one baseline and one CCR run; shared baselines and shared full
+    /// points both count here).
+    pub deduped_sims: usize,
+    /// Reuse-potential studies after deduplication.
+    pub potential_points: usize,
+    /// Per-spec one-line summaries: point count and the config fields
+    /// that vary across its scenarios.
+    pub axes: Vec<String>,
+}
+
+impl PlanStats {
+    /// Multi-line human-readable plan log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "experiment plan: {} spec(s), {} requested points -> {} compiles \
+             (+{} shared), {} sims (+{} deduplicated), {} potential studies",
+            self.specs,
+            self.requested_points,
+            self.unique_compiles,
+            self.deduped_compiles,
+            self.unique_sims,
+            self.deduped_sims,
+            self.potential_points,
+        )
+        .unwrap();
+        for line in &self.axes {
+            writeln!(out, "  {line}").unwrap();
+        }
+        out
+    }
+}
+
+/// Which config fields vary across a spec's scenarios, as
+/// `name ∈ {v1, v2, ...}` clauses.
+fn axis_summary(spec: &ExperimentSpec) -> String {
+    let points = spec.scenarios.len() * spec.workloads.len();
+    let mut clauses: Vec<String> = Vec::new();
+    if spec.scenarios.len() > 1 {
+        let field_sets: Vec<Vec<(String, String)>> =
+            spec.scenarios.iter().map(Scenario::point_fields).collect();
+        for (i, (name, _)) in field_sets[0].iter().enumerate() {
+            let mut values: Vec<&str> = Vec::new();
+            for fields in &field_sets {
+                let v = fields[i].1.as_str();
+                if !values.contains(&v) {
+                    values.push(v);
+                }
+            }
+            if values.len() > 1 {
+                clauses.push(format!("{name} in {{{}}}", values.join(", ")));
+            }
+        }
+    }
+    let axes = if clauses.is_empty() {
+        if spec.potential && spec.scenarios.is_empty() {
+            "compiler-side potential study, no simulation axis".to_string()
+        } else {
+            "single configuration".to_string()
+        }
+    } else {
+        format!("axes: {}", clauses.join(", "))
+    };
+    format!(
+        "{}: {} scenario(s), {} sim point(s); {}",
+        spec.output,
+        spec.scenarios.len(),
+        points,
+        axes
+    )
+}
+
+/// Expands `specs` into deduplicated compile / simulation /
+/// potential-study units.
+///
+/// Unit order is deterministic: first-encounter order over specs in
+/// the given order, scenarios in spec order, workloads in selection
+/// order.
+pub fn plan<'s>(specs: &[&'s ExperimentSpec]) -> Plan<'s> {
+    let mut plan = Plan {
+        specs: specs.to_vec(),
+        compiles: Vec::new(),
+        bases: Vec::new(),
+        ccrs: Vec::new(),
+        potentials: Vec::new(),
+        stats: PlanStats {
+            specs: specs.len(),
+            ..PlanStats::default()
+        },
+    };
+    let mut seen_compiles: HashMap<String, ()> = HashMap::new();
+    let mut seen_sims: HashMap<String, ()> = HashMap::new();
+    let mut seen_potentials: HashMap<String, ()> = HashMap::new();
+    for spec in specs {
+        plan.stats.axes.push(axis_summary(spec));
+        for sc in &spec.scenarios {
+            let config = sc.compile_config();
+            for &name in spec.workloads {
+                plan.stats.requested_points += 1;
+                let ck = compile_key(name, sc.input, sc.scale, &config);
+                if seen_compiles.insert(ck.clone(), ()).is_none() {
+                    plan.compiles.push(CompileUnit {
+                        name,
+                        input: sc.input,
+                        scale: sc.scale,
+                        config,
+                        key: ck.clone(),
+                    });
+                } else {
+                    plan.stats.deduped_compiles += 1;
+                }
+                let bk = base_sim_key(name, sc.input, sc.scale, &config, &sc.machine);
+                if seen_sims.insert(bk.clone(), ()).is_none() {
+                    plan.bases.push(BaseUnit {
+                        name,
+                        machine: sc.machine,
+                        compile_key: ck.clone(),
+                        key: bk,
+                    });
+                } else {
+                    plan.stats.deduped_sims += 1;
+                }
+                let sk = ccr_sim_key(&ck, &sc.machine, &sc.crb);
+                if seen_sims.insert(sk.clone(), ()).is_none() {
+                    plan.ccrs.push(CcrUnit {
+                        name,
+                        machine: sc.machine,
+                        crb: sc.crb,
+                        compile_key: ck,
+                        key: sk,
+                    });
+                } else {
+                    plan.stats.deduped_sims += 1;
+                }
+            }
+        }
+        if spec.potential {
+            for &name in spec.workloads {
+                let pk = potential_key(name, InputSet::Train, SCALE);
+                if seen_potentials.insert(pk.clone(), ()).is_none() {
+                    plan.potentials.push(PotentialUnit {
+                        name,
+                        input: InputSet::Train,
+                        scale: SCALE,
+                        key: pk,
+                    });
+                }
+            }
+        }
+    }
+    plan.stats.unique_compiles = plan.compiles.len();
+    plan.stats.unique_sims = plan.bases.len() + plan.ccrs.len();
+    plan.stats.potential_points = plan.potentials.len();
+    plan
+}
+
+/// A shared compile memo keyed by (workload, target input, scale,
+/// region-config hash): the fix for sweeps that vary only the CRB
+/// geometry recompiling an identical program per configuration.
+///
+/// Thread-safe. Concurrent misses on the same key may compile twice
+/// (both produce identical artifacts and the first insert wins); the
+/// experiment planner pre-deduplicates its units, so the engine never
+/// does, and [`crate::run_selected_cached`] only shares across
+/// sequential calls.
+#[derive(Default)]
+pub struct CompileCache {
+    map: Mutex<HashMap<String, Arc<CompiledWorkload>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> CompileCache {
+        CompileCache::default()
+    }
+
+    /// Lookups that returned a previously compiled workload.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compile.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Returns the cached compile of `(name, target, scale, config)`,
+    /// compiling and memoizing on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the compile error (unknown benchmark, emulator limit
+    /// breach) without caching it.
+    pub fn get_or_compile(
+        &self,
+        name: &str,
+        target: InputSet,
+        scale: u32,
+        config: &CompileConfig,
+    ) -> Result<Arc<CompiledWorkload>, String> {
+        let key = compile_key(name, target, scale, config);
+        if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(compile_with(name, target, scale, config)?);
+        Ok(Arc::clone(
+            self.map
+                .lock()
+                .expect("cache lock")
+                .entry(key)
+                .or_insert(compiled),
+        ))
+    }
+}
+
+/// Executed results, keyed for assembly into per-spec views.
+pub struct Executed<'s> {
+    specs: Vec<&'s ExperimentSpec>,
+    compiles: HashMap<String, Arc<CompiledWorkload>>,
+    bases: HashMap<String, SimOutcome>,
+    ccrs: HashMap<String, SimOutcome>,
+    potentials: HashMap<String, ReusePotential>,
+}
+
+/// Runs a plan's units over `jobs` workers: compiles and potential
+/// studies first (a simulation needs its compile), then every
+/// simulation as an independent work item.
+///
+/// # Errors
+///
+/// Returns the first failing unit's error (unknown workload or
+/// emulator limit breach), in unit order.
+pub fn execute<'s>(plan: &Plan<'s>, jobs: usize) -> Result<Executed<'s>, String> {
+    enum Prep<'a> {
+        Compile(&'a CompileUnit),
+        Potential(&'a PotentialUnit),
+    }
+    enum PrepOut {
+        Compile(String, Arc<CompiledWorkload>),
+        Potential(String, ReusePotential),
+    }
+    let cache = CompileCache::new();
+    let prep_items: Vec<Prep<'_>> = plan
+        .compiles
+        .iter()
+        .map(Prep::Compile)
+        .chain(plan.potentials.iter().map(Prep::Potential))
+        .collect();
+    let prep = parallel_map(&prep_items, jobs, |_, item| match item {
+        Prep::Compile(u) => cache
+            .get_or_compile(u.name, u.input, u.scale, &u.config)
+            .map(|cw| PrepOut::Compile(u.key.clone(), cw)),
+        Prep::Potential(u) => {
+            let program = ccr_workloads::build(u.name, u.input, u.scale)
+                .ok_or_else(|| format!("unknown benchmark `{}`", u.name))?;
+            reuse_potential(&program, emu_config())
+                .map(|p| PrepOut::Potential(u.key.clone(), p))
+                .map_err(|e| format!("{}: {e}", u.name))
+        }
+    });
+    let mut executed = Executed {
+        specs: plan.specs.clone(),
+        compiles: HashMap::new(),
+        bases: HashMap::new(),
+        ccrs: HashMap::new(),
+        potentials: HashMap::new(),
+    };
+    for out in prep {
+        match out? {
+            PrepOut::Compile(key, cw) => {
+                executed.compiles.insert(key, cw);
+            }
+            PrepOut::Potential(key, p) => {
+                executed.potentials.insert(key, p);
+            }
+        }
+    }
+
+    enum Sim<'a> {
+        Base(&'a BaseUnit, Arc<CompiledWorkload>),
+        Ccr(&'a CcrUnit, Arc<CompiledWorkload>),
+    }
+    let sim_items: Vec<Sim<'_>> = plan
+        .bases
+        .iter()
+        .map(|u| Sim::Base(u, Arc::clone(&executed.compiles[&u.compile_key])))
+        .chain(
+            plan.ccrs
+                .iter()
+                .map(|u| Sim::Ccr(u, Arc::clone(&executed.compiles[&u.compile_key]))),
+        )
+        .collect();
+    let sims = parallel_map(&sim_items, jobs, |_, item| match item {
+        Sim::Base(u, cw) => simulate_baseline(&cw.base, &u.machine, emu_config())
+            .map(|o| (u.key.clone(), true, o))
+            .map_err(|e| format!("{}: {e}", u.name)),
+        Sim::Ccr(u, cw) => simulate(&cw.annotated, &u.machine, Some(u.crb), emu_config())
+            .map(|o| (u.key.clone(), false, o))
+            .map_err(|e| format!("{}: {e}", u.name)),
+    });
+    for out in sims {
+        let (key, is_base, outcome) = out?;
+        if is_base {
+            executed.bases.insert(key, outcome);
+        } else {
+            executed.ccrs.insert(key, outcome);
+        }
+    }
+    Ok(executed)
+}
+
+impl<'s> Executed<'s> {
+    /// Assembles one planned spec's results for rendering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` was not part of the executed plan, or if any
+    /// point's baseline and CCR runs disagree architecturally (reuse
+    /// must never change program semantics).
+    pub fn results(&self, spec: &'s ExperimentSpec) -> SpecResults<'s> {
+        assert!(
+            self.specs.iter().any(|s| std::ptr::eq(*s, spec)),
+            "spec `{}` was not part of the executed plan",
+            spec.name
+        );
+        let mut scenario_runs = Vec::with_capacity(spec.scenarios.len());
+        for sc in &spec.scenarios {
+            let config = sc.compile_config();
+            let mut runs = Vec::with_capacity(spec.workloads.len());
+            for &name in spec.workloads {
+                let ck = compile_key(name, sc.input, sc.scale, &config);
+                let compiled = Arc::clone(&self.compiles[&ck]);
+                let base = self.bases
+                    [&base_sim_key(name, sc.input, sc.scale, &config, &sc.machine)]
+                    .clone();
+                let ccr = self.ccrs[&ccr_sim_key(&ck, &sc.machine, &sc.crb)].clone();
+                assert_eq!(
+                    base.run.returned, ccr.run.returned,
+                    "computation reuse changed architectural results"
+                );
+                runs.push(ExpRun {
+                    name,
+                    compiled,
+                    measurement: Measurement { base, ccr },
+                });
+            }
+            scenario_runs.push(runs);
+        }
+        let potentials = if spec.potential {
+            spec.workloads
+                .iter()
+                .map(|&n| self.potentials[&potential_key(n, InputSet::Train, SCALE)])
+                .collect()
+        } else {
+            Vec::new()
+        };
+        SpecResults {
+            spec,
+            scenario_runs,
+            potentials,
+        }
+    }
+}
+
+/// Entry point for the thin legacy binaries: plans, executes (jobs
+/// from `--jobs` / `CCR_JOBS` via [`crate::cli_jobs`]), and prints
+/// the named experiment exactly as the original binary did.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name or an execution failure —
+/// the experiment binaries treat both as fatal.
+pub fn shim_main(name: &str) {
+    let spec = specs::find(name)
+        .unwrap_or_else(|| panic!("unknown experiment `{name}` (see `ccr exp --list`)"));
+    let jobs = crate::cli_jobs();
+    let plan = plan(&[&spec]);
+    let executed = execute(&plan, jobs).expect("known benchmarks, emulation within limits");
+    print!("{}", executed.results(&spec).render().text);
+}

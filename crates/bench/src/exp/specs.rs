@@ -1,0 +1,872 @@
+//! The built-in experiment registry: one [`ExperimentSpec`] per
+//! legacy figure binary.
+//!
+//! Each spec's renderer is the corresponding binary's `main` body
+//! ported verbatim (`println!` → `writeln!` into the rendered text),
+//! so the engine's output is byte-identical to the binary's stdout —
+//! `tests/exp_golden.rs` pins this against the committed `results/`
+//! tables. Scenario lists mirror each binary's sweep loop in row
+//! order; repeats (the ablations binary re-measures the paper
+//! configuration in most sections) are kept so renderers can index
+//! scenarios positionally, and the planner deduplicates them.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use ccr_core::report::{pct, speedup, Table};
+use ccr_regions::{ComputationGroup, GroupDistribution, RegionConfig};
+use ccr_sim::{CrbConfig, MachineConfig, NonuniformConfig, Replacement};
+use ccr_workloads::{InputSet, NAMES};
+
+use super::{ExperimentSpec, Rendered, Scenario, SpecResults};
+use crate::mean;
+
+/// All built-in experiments, in `results/` presentation order.
+pub fn registry() -> Vec<ExperimentSpec> {
+    vec![
+        fig4(),
+        fig8a(),
+        fig8b(),
+        fig9(),
+        fig10(),
+        fig11(),
+        ablations(),
+        width_sensitivity(),
+    ]
+}
+
+/// Looks an experiment up by short name (`fig8a`) or legacy binary
+/// name (`fig8a_instances`).
+pub fn find(name: &str) -> Option<ExperimentSpec> {
+    registry()
+        .into_iter()
+        .find(|s| s.name == name || s.output == name)
+}
+
+/// Figure 4: block vs region dynamic reuse potential (compiler-side
+/// study; no simulation scenarios).
+pub fn fig4() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig4",
+        output: "fig4_potential",
+        title: "Figure 4 — dynamic reuse potential, block vs region",
+        workloads: &NAMES,
+        scenarios: Vec::new(),
+        potential: true,
+        render: render_fig4,
+    }
+}
+
+fn render_fig4(res: &SpecResults<'_>) -> Rendered {
+    let mut table = Table::new(["benchmark", "block", "region", "region/block"]);
+    let mut blocks = Vec::new();
+    let mut regions = Vec::new();
+    for (name, pot) in res.spec.workloads.iter().zip(res.potentials()) {
+        blocks.push(pot.block_ratio());
+        regions.push(pot.region_ratio());
+        let ratio = if pot.block_ratio() > 0.0 {
+            format!("{:.2}x", pot.region_ratio() / pot.block_ratio())
+        } else {
+            "-".to_string()
+        };
+        table.row([
+            name.to_string(),
+            pct(pot.block_ratio()),
+            pct(pot.region_ratio()),
+            ratio,
+        ]);
+    }
+    let avg_block = mean(blocks);
+    let avg_region = mean(regions);
+    table.row([
+        "average".to_string(),
+        pct(avg_block),
+        pct(avg_region),
+        format!("{:.2}x", avg_region / avg_block.max(1e-9)),
+    ]);
+
+    let mut text = String::new();
+    writeln!(
+        text,
+        "Figure 4 — dynamic reuse potential (8-record history)"
+    )
+    .unwrap();
+    writeln!(text, "{table}").unwrap();
+    writeln!(
+        text,
+        "Paper: block avg ~30%, region avg ~55%; region-level reuse roughly \
+         doubles the exploitable execution."
+    )
+    .unwrap();
+    Rendered {
+        text,
+        tables: vec![("potential", table)],
+    }
+}
+
+/// Figure 8(a): speedup vs computation instances (128 entries × 4/8/16
+/// CIs).
+pub fn fig8a() -> ExperimentSpec {
+    let machine = MachineConfig::paper();
+    let region = RegionConfig::paper();
+    ExperimentSpec {
+        name: "fig8a",
+        output: "fig8a_instances",
+        title: "Figure 8(a) — speedup vs computation instances (128 entries)",
+        workloads: &NAMES,
+        scenarios: [4usize, 8, 16]
+            .into_iter()
+            .map(|ci| {
+                Scenario::new(
+                    format!("128e/{ci}CI"),
+                    InputSet::Train,
+                    &region,
+                    &machine,
+                    CrbConfig::with_instances(ci),
+                )
+            })
+            .collect(),
+        potential: false,
+        render: render_fig8a,
+    }
+}
+
+fn render_fig8a(res: &SpecResults<'_>) -> Rendered {
+    let mut table = Table::new([
+        "benchmark",
+        "128e/4CI",
+        "128e/8CI",
+        "128e/16CI",
+        "eliminated(16CI)",
+    ]);
+    let configs = res.spec.scenarios.len();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); configs];
+
+    for (b, name) in res.spec.workloads.iter().enumerate() {
+        let mut cells = vec![name.to_string()];
+        for (c, col) in columns.iter_mut().enumerate() {
+            let s = res.runs(c)[b].measurement.speedup();
+            col.push(s);
+            cells.push(speedup(s));
+        }
+        cells.push(pct(res.runs(2)[b].measurement.eliminated_fraction()));
+        table.row(cells);
+    }
+    let mut avg = vec!["average".to_string()];
+    for col in &columns {
+        avg.push(speedup(mean(col.iter().copied())));
+    }
+    avg.push(pct(mean(
+        res.runs(2)
+            .iter()
+            .map(|r| r.measurement.eliminated_fraction()),
+    )));
+    table.row(avg);
+
+    let mut text = String::new();
+    writeln!(
+        text,
+        "Figure 8(a) — speedup vs computation instances (128 entries)"
+    )
+    .unwrap();
+    writeln!(text, "{table}").unwrap();
+    writeln!(
+        text,
+        "Paper: avg 1.20 (4 CI), 1.25 (8 CI), 1.30 (16 CI); ~40% of dynamic \
+         instruction repetition eliminated."
+    )
+    .unwrap();
+    Rendered {
+        text,
+        tables: vec![("speedup", table)],
+    }
+}
+
+/// Figure 8(b): speedup vs computation entries (32/64/128 × 8 CIs).
+pub fn fig8b() -> ExperimentSpec {
+    let machine = MachineConfig::paper();
+    let region = RegionConfig::paper();
+    ExperimentSpec {
+        name: "fig8b",
+        output: "fig8b_entries",
+        title: "Figure 8(b) — speedup vs computation entries (8 instances)",
+        workloads: &NAMES,
+        scenarios: [32usize, 64, 128]
+            .into_iter()
+            .map(|e| {
+                Scenario::new(
+                    format!("{e}e/8CI"),
+                    InputSet::Train,
+                    &region,
+                    &machine,
+                    CrbConfig::with_entries(e),
+                )
+            })
+            .collect(),
+        potential: false,
+        render: render_fig8b,
+    }
+}
+
+fn render_fig8b(res: &SpecResults<'_>) -> Rendered {
+    let mut table = Table::new(["benchmark", "32e/8CI", "64e/8CI", "128e/8CI", "regions"]);
+    let configs = res.spec.scenarios.len();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); configs];
+
+    for (b, name) in res.spec.workloads.iter().enumerate() {
+        let mut cells = vec![name.to_string()];
+        for (c, col) in columns.iter_mut().enumerate() {
+            let s = res.runs(c)[b].measurement.speedup();
+            col.push(s);
+            cells.push(speedup(s));
+        }
+        cells.push(res.runs(2)[b].compiled.regions.len().to_string());
+        table.row(cells);
+    }
+    let mut avg = vec!["average".to_string()];
+    for col in &columns {
+        avg.push(speedup(mean(col.iter().copied())));
+    }
+    avg.push(String::new());
+    table.row(avg);
+
+    let mut text = String::new();
+    writeln!(
+        text,
+        "Figure 8(b) — speedup vs computation entries (8 instances)"
+    )
+    .unwrap();
+    writeln!(text, "{table}").unwrap();
+    writeln!(
+        text,
+        "Paper: avg 1.20 (32e), 1.23 (64e), 1.25 (128e) — a moderate number of \
+         entries suffices. Our synthetic programs form fewer static regions \
+         than full SPEC binaries, so entry-count sensitivity is even lower; \
+         the conclusion (no loss at small CRBs) is the same."
+    )
+    .unwrap();
+    Rendered {
+        text,
+        tables: vec![("speedup", table)],
+    }
+}
+
+/// Figure 9: static and dynamic computation-group distributions under
+/// the paper configuration.
+pub fn fig9() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig9",
+        output: "fig9_groups",
+        title: "Figure 9 — static & dynamic computation-group distributions",
+        workloads: &NAMES,
+        scenarios: vec![Scenario::new(
+            "paper",
+            InputSet::Train,
+            &RegionConfig::paper(),
+            &MachineConfig::paper(),
+            CrbConfig::paper(),
+        )],
+        potential: false,
+        render: render_fig9,
+    }
+}
+
+fn render_fig9(res: &SpecResults<'_>) -> Rendered {
+    let runs = res.runs(0);
+
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(ComputationGroup::ALL.iter().map(|g| g.label().to_string()));
+    let mut static_table = Table::new(header.clone());
+    let mut dynamic_table = Table::new(header);
+
+    let mut all_static = GroupDistribution::default();
+    let mut all_dynamic = GroupDistribution::default();
+
+    for run in runs {
+        let stat = GroupDistribution::static_of(&run.compiled.regions);
+        let weights: HashMap<_, _> = run
+            .measurement
+            .ccr
+            .stats
+            .regions
+            .iter()
+            .map(|(id, s)| (*id, s.skipped_instrs))
+            .collect();
+        let dynamic = GroupDistribution::dynamic_of(&run.compiled.regions, &weights);
+        let render = |d: &GroupDistribution| -> Vec<String> {
+            ComputationGroup::ALL
+                .iter()
+                .map(|g| {
+                    if d.total() == 0.0 {
+                        "-".to_string()
+                    } else {
+                        pct(d.fraction(*g))
+                    }
+                })
+                .collect()
+        };
+        let mut srow = vec![run.name.to_string()];
+        srow.extend(render(&stat));
+        static_table.row(srow);
+        let mut drow = vec![run.name.to_string()];
+        drow.extend(render(&dynamic));
+        dynamic_table.row(drow);
+        for g in ComputationGroup::ALL {
+            all_static.add(g, stat.fraction(g));
+            if dynamic.total() > 0.0 {
+                all_dynamic.add(g, dynamic.fraction(g));
+            }
+        }
+    }
+    let avg_row = |d: &GroupDistribution, t: &mut Table| {
+        let mut row = vec!["average".to_string()];
+        row.extend(
+            ComputationGroup::ALL
+                .iter()
+                .map(|g| pct(d.fraction(*g)))
+                .collect::<Vec<_>>(),
+        );
+        t.row(row);
+    };
+    avg_row(&all_static, &mut static_table);
+    avg_row(&all_dynamic, &mut dynamic_table);
+
+    let mut text = String::new();
+    writeln!(text, "Figure 9(a) — static computation-group distribution").unwrap();
+    writeln!(text, "{static_table}").unwrap();
+    writeln!(
+        text,
+        "stateless static fraction: {}",
+        pct(all_static.stateless_fraction())
+    )
+    .unwrap();
+    writeln!(text).unwrap();
+    writeln!(
+        text,
+        "Figure 9(b) — dynamic computation-group distribution (by eliminated instructions)"
+    )
+    .unwrap();
+    writeln!(text, "{dynamic_table}").unwrap();
+    writeln!(
+        text,
+        "stateless dynamic fraction: {}",
+        pct(all_dynamic.stateless_fraction())
+    )
+    .unwrap();
+    writeln!(text).unwrap();
+    writeln!(
+        text,
+        "Paper: ~90% of computations in the seven groups; SL ≈ 65% static, ≈ 60% dynamic."
+    )
+    .unwrap();
+
+    // Section 5.2: acyclic regions replace ~10 instructions on average.
+    let mut sizes = Vec::new();
+    for run in runs {
+        for info in &run.compiled.regions {
+            if !info.spec.is_cyclic() {
+                sizes.push(info.spec.static_instrs as f64);
+            }
+        }
+    }
+    if !sizes.is_empty() {
+        writeln!(
+            text,
+            "acyclic regions replace on average {:.1} instructions (paper: ~10)",
+            sizes.iter().sum::<f64>() / sizes.len() as f64
+        )
+        .unwrap();
+    }
+    Rendered {
+        text,
+        tables: vec![("static", static_table), ("dynamic", dynamic_table)],
+    }
+}
+
+/// Figure 10: cumulative dynamic reuse of the top static computations.
+pub fn fig10() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig10",
+        output: "fig10_distribution",
+        title: "Figure 10 — cumulative reuse of the top static computations",
+        workloads: &NAMES,
+        scenarios: vec![Scenario::new(
+            "paper",
+            InputSet::Train,
+            &RegionConfig::paper(),
+            &MachineConfig::paper(),
+            CrbConfig::paper(),
+        )],
+        potential: false,
+        render: render_fig10,
+    }
+}
+
+fn render_fig10(res: &SpecResults<'_>) -> Rendered {
+    let mut table = Table::new([
+        "benchmark",
+        "regions",
+        "top10%",
+        "top20%",
+        "top30%",
+        "top40%",
+    ]);
+    for run in res.runs(0) {
+        let mut contributions: Vec<u64> = run
+            .compiled
+            .regions
+            .iter()
+            .map(|info| {
+                run.measurement
+                    .ccr
+                    .stats
+                    .regions
+                    .get(&info.id)
+                    .map_or(0, |s| s.skipped_instrs)
+            })
+            .collect();
+        contributions.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = contributions.iter().sum();
+        let n = contributions.len();
+        if total == 0 || n == 0 {
+            table.row([
+                run.name.to_string(),
+                n.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+        let cum_at = |frac: f64| -> f64 {
+            // Fractional static coverage: partial credit for the
+            // marginal region keeps tiny region counts meaningful.
+            let want = frac * n as f64;
+            let full = want.floor() as usize;
+            let mut acc: u64 = contributions.iter().take(full).sum();
+            let part = want - full as f64;
+            if full < n {
+                acc += (contributions[full] as f64 * part) as u64;
+            }
+            acc as f64 / total as f64
+        };
+        table.row([
+            run.name.to_string(),
+            n.to_string(),
+            pct(cum_at(0.10)),
+            pct(cum_at(0.20)),
+            pct(cum_at(0.30)),
+            pct(cum_at(0.40)),
+        ]);
+    }
+
+    let mut text = String::new();
+    writeln!(
+        text,
+        "Figure 10 — cumulative dynamic reuse of top static computations"
+    )
+    .unwrap();
+    writeln!(text, "{table}").unwrap();
+    writeln!(
+        text,
+        "Paper: top 40% of static computations ≈ 90% of total reuse; \
+         129.compress is the notable flat exception."
+    )
+    .unwrap();
+    Rendered {
+        text,
+        tables: vec![("distribution", table)],
+    }
+}
+
+/// Figure 11: training vs reference input speedup (scenario 0 is
+/// Train, scenario 1 is Ref).
+pub fn fig11() -> ExperimentSpec {
+    let machine = MachineConfig::paper();
+    let region = RegionConfig::paper();
+    let crb = CrbConfig::paper();
+    ExperimentSpec {
+        name: "fig11",
+        output: "fig11_inputs",
+        title: "Figure 11 — training vs reference input speedup",
+        workloads: &NAMES,
+        scenarios: vec![
+            Scenario::new("train", InputSet::Train, &region, &machine, crb),
+            Scenario::new("ref", InputSet::Ref, &region, &machine, crb),
+        ],
+        potential: false,
+        render: render_fig11,
+    }
+}
+
+fn render_fig11(res: &SpecResults<'_>) -> Rendered {
+    let train_runs = res.runs(0);
+    let ref_runs = res.runs(1);
+
+    let mut table = Table::new(["benchmark", "train", "ref", "elim(train)", "elim(ref)"]);
+    for (t, r) in train_runs.iter().zip(ref_runs) {
+        table.row([
+            t.name.to_string(),
+            speedup(t.measurement.speedup()),
+            speedup(r.measurement.speedup()),
+            pct(t.measurement.eliminated_fraction()),
+            pct(r.measurement.eliminated_fraction()),
+        ]);
+    }
+    table.row([
+        "average".to_string(),
+        speedup(mean(train_runs.iter().map(|r| r.measurement.speedup()))),
+        speedup(mean(ref_runs.iter().map(|r| r.measurement.speedup()))),
+        pct(mean(
+            train_runs
+                .iter()
+                .map(|r| r.measurement.eliminated_fraction()),
+        )),
+        pct(mean(
+            ref_runs.iter().map(|r| r.measurement.eliminated_fraction()),
+        )),
+    ]);
+
+    let mut text = String::new();
+    writeln!(
+        text,
+        "Figure 11 — training vs reference input (128 entries, 8 CIs)"
+    )
+    .unwrap();
+    writeln!(text, "{table}").unwrap();
+    writeln!(
+        text,
+        "Paper: avg 1.26 (train) vs 1.23 (ref); repetition eliminated 40% vs 33%."
+    )
+    .unwrap();
+    Rendered {
+        text,
+        tables: vec![("speedup", table)],
+    }
+}
+
+/// The design-space ablations (DESIGN.md §5): eight sections, each a
+/// contiguous slice of scenarios in table-row order. Repeats of the
+/// paper configuration are deliberate — the planner collapses them.
+pub fn ablations() -> ExperimentSpec {
+    let machine = MachineConfig::paper();
+    let paper = RegionConfig::paper();
+    let mut scenarios = Vec::new();
+    // 1. Replacement policy (rows 0-2; LRU is the paper CRB).
+    for (label, policy) in [
+        ("LRU (paper)", Replacement::Lru),
+        ("FIFO", Replacement::Fifo),
+        ("random", Replacement::Random),
+    ] {
+        let crb = CrbConfig {
+            replacement: policy,
+            ..CrbConfig::paper()
+        };
+        scenarios.push(Scenario::new(label, InputSet::Train, &paper, &machine, crb));
+    }
+    // 2. Region granularity (rows 3-4).
+    for (label, region) in [
+        ("full regions (paper)", paper),
+        ("single block only", RegionConfig::block_level()),
+    ] {
+        scenarios.push(Scenario::new(
+            label,
+            InputSet::Train,
+            &region,
+            &machine,
+            CrbConfig::paper(),
+        ));
+    }
+    // 3. Memory-dependent regions (rows 5-6).
+    for (label, region) in [
+        ("SL + MD (paper)", paper),
+        ("SL only", RegionConfig::stateless_only()),
+    ] {
+        scenarios.push(Scenario::new(
+            label,
+            InputSet::Train,
+            &region,
+            &machine,
+            CrbConfig::paper(),
+        ));
+    }
+    // 4. Reusability threshold R (rows 7-9).
+    for r in [0.50, 0.65, 0.80] {
+        let region = RegionConfig {
+            r_threshold: r,
+            rm_threshold: r,
+            ..paper
+        };
+        scenarios.push(Scenario::new(
+            format!("R={r:.2}"),
+            InputSet::Train,
+            &region,
+            &machine,
+            CrbConfig::paper(),
+        ));
+    }
+    // 5. Reuse-failure penalty (rows 10-13).
+    for pen in [0u64, 4, 8, 16] {
+        let m = MachineConfig {
+            reuse_miss_penalty: pen,
+            ..machine
+        };
+        scenarios.push(Scenario::new(
+            format!("penalty={pen}"),
+            InputSet::Train,
+            &paper,
+            &m,
+            CrbConfig::paper(),
+        ));
+    }
+    // 6. Function-level reuse (rows 14-15).
+    for (label, region) in [
+        ("interior only (paper)", paper),
+        (
+            "interior + function-level",
+            RegionConfig::with_function_level(),
+        ),
+    ] {
+        scenarios.push(Scenario::new(
+            label,
+            InputSet::Train,
+            &region,
+            &machine,
+            CrbConfig::paper(),
+        ));
+    }
+    // 7. Speculative reuse validation (rows 16-17).
+    for (label, m) in [
+        ("architectural (paper)", machine),
+        (
+            "value-speculated",
+            MachineConfig::with_speculative_validation(),
+        ),
+    ] {
+        scenarios.push(Scenario::new(
+            label,
+            InputSet::Train,
+            &paper,
+            &m,
+            CrbConfig::paper(),
+        ));
+    }
+    // 8. Nonuniform CRB capacities (rows 18-20).
+    scenarios.push(Scenario::new(
+        "uniform 128 x 8 (paper)",
+        InputSet::Train,
+        &paper,
+        &machine,
+        CrbConfig::paper(),
+    ));
+    // Same total instance storage, skewed: every 4th entry holds 20,
+    // the rest hold 4.
+    scenarios.push(Scenario::new(
+        "skewed 32 x 20 + 96 x 4",
+        InputSet::Train,
+        &paper,
+        &machine,
+        CrbConfig {
+            instances: 4,
+            nonuniform: Some(NonuniformConfig {
+                boost_every: 4,
+                boosted_instances: 20,
+                mem_capable_percent: 100,
+            }),
+            ..CrbConfig::paper()
+        },
+    ));
+    // Half the entries without memory-validation hardware.
+    scenarios.push(Scenario::new(
+        "50% entries memory-capable",
+        InputSet::Train,
+        &paper,
+        &machine,
+        CrbConfig {
+            nonuniform: Some(NonuniformConfig {
+                boost_every: 1,
+                boosted_instances: 8,
+                mem_capable_percent: 50,
+            }),
+            ..CrbConfig::paper()
+        },
+    ));
+    ExperimentSpec {
+        name: "ablations",
+        output: "ablations",
+        title: "Design-space ablations (DESIGN.md §5)",
+        workloads: &NAMES,
+        scenarios,
+        potential: false,
+        render: render_ablations,
+    }
+}
+
+fn render_ablations(res: &SpecResults<'_>) -> Rendered {
+    let avg = |sc: usize| -> f64 { mean(res.runs(sc).iter().map(|r| r.measurement.speedup())) };
+    let mut text = String::new();
+    let mut tables = Vec::new();
+
+    writeln!(text, "Ablation 1 — instance replacement policy (128e/8CI)").unwrap();
+    let mut t = Table::new(["policy", "avg speedup"]);
+    for (sc, label) in [(0, "LRU (paper)"), (1, "FIFO"), (2, "random")] {
+        t.row([label.to_string(), speedup(avg(sc))]);
+    }
+    writeln!(text, "{t}").unwrap();
+    tables.push(("replacement", t));
+
+    writeln!(text, "Ablation 2 — region granularity").unwrap();
+    let mut t = Table::new(["granularity", "avg speedup"]);
+    t.row(["full regions (paper)".to_string(), speedup(avg(3))]);
+    t.row(["single block only".to_string(), speedup(avg(4))]);
+    writeln!(text, "{t}").unwrap();
+    tables.push(("granularity", t));
+
+    writeln!(text, "Ablation 3 — memory-dependent regions").unwrap();
+    let mut t = Table::new(["classes", "avg speedup"]);
+    t.row(["SL + MD (paper)".to_string(), speedup(avg(5))]);
+    t.row(["SL only".to_string(), speedup(avg(6))]);
+    writeln!(text, "{t}").unwrap();
+    tables.push(("memory", t));
+
+    writeln!(text, "Ablation 4 — reusability threshold R").unwrap();
+    let mut t = Table::new(["R", "avg speedup"]);
+    for (sc, r) in [(7, 0.50), (8, 0.65), (9, 0.80)] {
+        t.row([
+            format!("{r:.2}{}", if r == 0.65 { " (paper)" } else { "" }),
+            speedup(avg(sc)),
+        ]);
+    }
+    writeln!(text, "{t}").unwrap();
+    tables.push(("threshold", t));
+
+    writeln!(text, "Ablation 5 — reuse-failure penalty").unwrap();
+    let mut t = Table::new(["penalty (cycles)", "avg speedup"]);
+    for (sc, pen) in [(10, 0u64), (11, 4), (12, 8), (13, 16)] {
+        t.row([
+            format!("{pen}{}", if pen == 8 { " (paper)" } else { "" }),
+            speedup(avg(sc)),
+        ]);
+    }
+    writeln!(text, "{t}").unwrap();
+    tables.push(("penalty", t));
+
+    writeln!(
+        text,
+        "Ablation 6 — function-level reuse (paper §6 future work)"
+    )
+    .unwrap();
+    let mut t = Table::new(["regions", "avg speedup"]);
+    t.row(["interior only (paper)".to_string(), speedup(avg(14))]);
+    t.row(["interior + function-level".to_string(), speedup(avg(15))]);
+    writeln!(text, "{t}").unwrap();
+    tables.push(("function_level", t));
+
+    writeln!(
+        text,
+        "Ablation 7 — speculative reuse validation (paper §6 future work)"
+    )
+    .unwrap();
+    let mut t = Table::new(["validation", "avg speedup"]);
+    t.row(["architectural (paper)".to_string(), speedup(avg(16))]);
+    t.row(["value-speculated".to_string(), speedup(avg(17))]);
+    writeln!(text, "{t}").unwrap();
+    tables.push(("speculation", t));
+
+    writeln!(
+        text,
+        "Ablation 8 — nonuniform CRB capacities (paper §6 future work)"
+    )
+    .unwrap();
+    let mut t = Table::new(["geometry", "storage (CIs)", "avg speedup"]);
+    for (sc, label) in [
+        (18, "uniform 128 x 8 (paper)"),
+        (19, "skewed 32 x 20 + 96 x 4"),
+        (20, "50% entries memory-capable"),
+    ] {
+        t.row([label.to_string(), "1024".to_string(), speedup(avg(sc))]);
+    }
+    writeln!(text, "{t}").unwrap();
+    tables.push(("nonuniform", t));
+
+    Rendered { text, tables }
+}
+
+/// The width-sensitivity machine: issue width scales the unit mix,
+/// one branch unit throughout (width 6 is exactly the paper machine).
+fn machine_of_width(width: u32) -> MachineConfig {
+    MachineConfig {
+        issue_width: width,
+        int_alus: (width * 2 / 3).max(1),
+        mem_ports: (width / 3).max(1),
+        fp_alus: (width / 3).max(1),
+        branch_units: 1,
+        ..MachineConfig::paper()
+    }
+}
+
+const WIDTHS: [u32; 4] = [2, 4, 6, 8];
+
+/// Extension study: CCR speedup vs machine issue width.
+pub fn width_sensitivity() -> ExperimentSpec {
+    let region = RegionConfig::paper();
+    ExperimentSpec {
+        name: "width",
+        output: "width_sensitivity",
+        title: "Extension — CCR speedup vs machine issue width",
+        workloads: &NAMES,
+        scenarios: WIDTHS
+            .into_iter()
+            .map(|w| {
+                Scenario::new(
+                    format!("width={w}"),
+                    InputSet::Train,
+                    &region,
+                    &machine_of_width(w),
+                    CrbConfig::paper(),
+                )
+            })
+            .collect(),
+        potential: false,
+        render: render_width,
+    }
+}
+
+fn render_width(res: &SpecResults<'_>) -> Rendered {
+    let mut table = Table::new(["issue width", "avg speedup", "avg base IPC", "avg CCR IPC"]);
+    for (sc, &w) in WIDTHS.iter().enumerate() {
+        let runs = res.runs(sc);
+        let avg = mean(runs.iter().map(|r| r.measurement.speedup()));
+        let base_ipc = mean(runs.iter().map(|r| {
+            r.measurement.base.stats.dyn_instrs as f64 / r.measurement.base.stats.cycles as f64
+        }));
+        let ccr_ipc = mean(runs.iter().map(|r| r.measurement.ccr.stats.effective_ipc()));
+        table.row([
+            format!("{w}{}", if w == 6 { " (paper)" } else { "" }),
+            speedup(avg),
+            format!("{base_ipc:.2}"),
+            format!("{ccr_ipc:.2}"),
+        ]);
+    }
+
+    let mut text = String::new();
+    writeln!(
+        text,
+        "Width sensitivity — CCR speedup vs machine issue width"
+    )
+    .unwrap();
+    writeln!(text, "{table}").unwrap();
+    writeln!(
+        text,
+        "Two regimes: on narrow machines reuse frees scarce issue slots \
+         (bandwidth); on wide machines it breaks dependence chains (latency). \
+         Base IPC saturating with width shows where one regime hands off to \
+         the other."
+    )
+    .unwrap();
+    Rendered {
+        text,
+        tables: vec![("width", table)],
+    }
+}

@@ -17,6 +17,8 @@
 //! Criterion benches under `benches/` time the simulator and compiler
 //! components themselves.
 
+pub mod exp;
+
 use ccr_core::compile::{compile_ccr, CompileConfig, CompiledWorkload};
 use ccr_core::jobs::{parallel_map, resolve_jobs};
 use ccr_core::measure::Measurement;
@@ -24,6 +26,8 @@ use ccr_profile::EmuConfig;
 use ccr_regions::RegionConfig;
 use ccr_sim::{simulate, simulate_baseline, CrbConfig, MachineConfig};
 use ccr_workloads::{build, InputSet, NAMES};
+
+pub use exp::CompileCache;
 
 /// Default driver scale for experiment binaries (kept moderate so the
 /// full suite regenerates in seconds per configuration).
@@ -88,7 +92,7 @@ pub fn compile_benchmark(
     compile_with(name, target, scale, &config).expect("known benchmark, profiling within limits")
 }
 
-fn compile_with(
+pub(crate) fn compile_with(
     name: &str,
     target: InputSet,
     scale: u32,
@@ -126,12 +130,45 @@ pub fn run_selected(
     emu: EmuConfig,
     jobs: usize,
 ) -> Result<Vec<SuiteRun>, String> {
+    run_selected_cached(names, target, scale, config, machine, crb, emu, jobs, None)
+}
+
+/// [`run_selected`] with an optional shared-compile cache.
+///
+/// Sweeps that vary only the simulated hardware (CRB geometry,
+/// machine width) used to recompile an identical program once per
+/// configuration; passing the same [`CompileCache`] across calls
+/// compiles each distinct (workload, target, scale, region-config)
+/// combination once and reuses it — the compiler is deterministic, so
+/// every measured number is unchanged.
+///
+/// # Errors
+///
+/// Returns the first failing workload's error (unknown name or
+/// emulator limit breach), in `names` order.
+#[allow(clippy::too_many_arguments)]
+pub fn run_selected_cached(
+    names: &[&'static str],
+    target: InputSet,
+    scale: u32,
+    config: &CompileConfig,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+    emu: EmuConfig,
+    jobs: usize,
+    cache: Option<&CompileCache>,
+) -> Result<Vec<SuiteRun>, String> {
     use std::time::Instant;
     let compiled: Vec<(CompiledWorkload, u64)> = {
         let results = parallel_map(names, jobs, |_, name| {
             let started = Instant::now();
-            compile_with(name, target, scale, config)
-                .map(|cw| (cw, started.elapsed().as_millis() as u64))
+            match cache {
+                Some(cache) => cache
+                    .get_or_compile(name, target, scale, config)
+                    .map(|cw| ((*cw).clone(), started.elapsed().as_millis() as u64)),
+                None => compile_with(name, target, scale, config)
+                    .map(|cw| (cw, started.elapsed().as_millis() as u64)),
+            }
         });
         let mut out = Vec::with_capacity(results.len());
         for r in results {
@@ -254,6 +291,39 @@ mod tests {
     fn mean_of_empty_is_zero() {
         assert_eq!(mean([]), 0.0);
         assert_eq!(mean([2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn compile_cache_hits_on_identical_config_only() {
+        let cache = CompileCache::new();
+        let config = CompileConfig {
+            emu: emu_config(),
+            ..CompileConfig::paper()
+        };
+        let a = cache
+            .get_or_compile("bitcount", InputSet::Train, 1, &config)
+            .unwrap();
+        let b = cache
+            .get_or_compile("bitcount", InputSet::Train, 1, &config)
+            .unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&a, &b),
+            "identical configs must share one compile"
+        );
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        // A different region configuration is a different program.
+        let block = CompileConfig {
+            region: RegionConfig::block_level(),
+            ..config
+        };
+        let c = cache
+            .get_or_compile("bitcount", InputSet::Train, 1, &block)
+            .unwrap();
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+        assert_eq!((cache.misses(), cache.hits()), (2, 1));
+        assert!(cache
+            .get_or_compile("no_such_benchmark", InputSet::Train, 1, &config)
+            .is_err());
     }
 
     #[test]

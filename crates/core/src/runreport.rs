@@ -73,8 +73,15 @@ pub fn config_hash(machine: &MachineConfig, crb: &CrbConfig) -> String {
     w.key("crb");
     crb_json(&mut w, crb);
     w.obj_end();
+    fnv1a_hex(w.finish().as_bytes())
+}
+
+/// FNV-1a (64-bit) over `bytes`, rendered as 16 hex digits — the hash
+/// behind [`config_hash`] and the experiment planner's point keys
+/// (`ccr_bench::exp`).
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in w.finish().bytes() {
+    for &byte in bytes {
         hash ^= u64::from(byte);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }

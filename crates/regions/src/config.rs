@@ -88,6 +88,41 @@ impl RegionConfig {
         RegionConfig::default()
     }
 
+    /// Canonical `(field, value)` enumeration of every formation knob,
+    /// in declaration order.
+    ///
+    /// The experiment planner keys compile units by hashing these
+    /// pairs and describes sweep axes by diffing them between
+    /// scenarios, so the list must stay exhaustive: a field missing
+    /// here would silently alias two distinct configurations.
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("r_threshold", format!("{:?}", self.r_threshold)),
+            ("rm_threshold", format!("{:?}", self.rm_threshold)),
+            ("top_k", self.top_k.to_string()),
+            ("max_live_in", self.max_live_in.to_string()),
+            ("max_live_out", self.max_live_out.to_string()),
+            ("max_mem_objects", self.max_mem_objects.to_string()),
+            ("min_region_instrs", self.min_region_instrs.to_string()),
+            ("min_seed_exec", self.min_seed_exec.to_string()),
+            ("cyclic_reuse_min", format!("{:?}", self.cyclic_reuse_min)),
+            (
+                "cyclic_multi_iter_min",
+                format!("{:?}", self.cyclic_multi_iter_min),
+            ),
+            ("likely_edge_ratio", format!("{:?}", self.likely_edge_ratio)),
+            (
+                "allow_memory_dependent",
+                self.allow_memory_dependent.to_string(),
+            ),
+            ("block_level_only", self.block_level_only.to_string()),
+            ("max_regions", self.max_regions.to_string()),
+            ("min_predicted_hit", format!("{:?}", self.min_predicted_hit)),
+            ("trial_instances", self.trial_instances.to_string()),
+            ("function_level", self.function_level.to_string()),
+        ]
+    }
+
     /// Ablation: stateless regions only.
     pub fn stateless_only() -> RegionConfig {
         RegionConfig {
@@ -129,6 +164,31 @@ mod tests {
         assert_eq!(c.cyclic_reuse_min, 0.40);
         assert_eq!(c.cyclic_multi_iter_min, 0.60);
         assert_eq!(c.likely_edge_ratio, 0.60);
+    }
+
+    #[test]
+    fn fields_enumeration_is_exhaustive_and_distinguishes_configs() {
+        let paper = RegionConfig::paper();
+        let fields = paper.fields();
+        // One pair per struct field, unique names. Update this count
+        // (and `fields()`) together when RegionConfig grows.
+        assert_eq!(fields.len(), 17);
+        let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 17, "field names must be unique");
+        // A changed knob shows up as exactly one changed pair.
+        let tweaked = RegionConfig {
+            trial_instances: 16,
+            ..paper
+        };
+        let diff: Vec<&str> = fields
+            .iter()
+            .zip(tweaked.fields())
+            .filter(|(a, b)| a.1 != b.1)
+            .map(|(a, _)| a.0)
+            .collect();
+        assert_eq!(diff, ["trial_instances"]);
     }
 
     #[test]

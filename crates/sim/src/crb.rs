@@ -178,6 +178,43 @@ impl CrbConfig {
             ..CrbConfig::paper()
         }
     }
+
+    /// Canonical `(field, value)` enumeration of the buffer geometry,
+    /// in declaration order (the optional nonuniform block flattened
+    /// as `nonuniform.*`, `"-"` when absent).
+    ///
+    /// The experiment planner keys simulation units by hashing these
+    /// pairs and labels sweep axes by diffing them, so the list must
+    /// stay exhaustive — a missing field would alias two distinct
+    /// buffer geometries.
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        let (boost_every, boosted, mem_pct) = match self.nonuniform {
+            None => ("-".to_string(), "-".to_string(), "-".to_string()),
+            Some(nu) => (
+                nu.boost_every.to_string(),
+                nu.boosted_instances.to_string(),
+                nu.mem_capable_percent.to_string(),
+            ),
+        };
+        vec![
+            ("entries", self.entries.to_string()),
+            ("instances", self.instances.to_string()),
+            ("input_bank", self.input_bank.to_string()),
+            ("output_bank", self.output_bank.to_string()),
+            (
+                "replacement",
+                match self.replacement {
+                    Replacement::Lru => "lru",
+                    Replacement::Fifo => "fifo",
+                    Replacement::Random => "random",
+                }
+                .to_string(),
+            ),
+            ("nonuniform.boost_every", boost_every),
+            ("nonuniform.boosted_instances", boosted),
+            ("nonuniform.mem_capable_percent", mem_pct),
+        ]
+    }
 }
 
 /// Kind of a logged buffer event (see [`ReuseBuffer::set_event_logging`]).

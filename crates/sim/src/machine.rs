@@ -86,6 +86,61 @@ impl MachineConfig {
             ..MachineConfig::paper()
         }
     }
+
+    /// Canonical `(field, value)` enumeration of the machine model, in
+    /// declaration order (caches flattened as `icache.size_bytes`
+    /// etc.).
+    ///
+    /// The experiment planner keys simulation units by hashing these
+    /// pairs and labels sweep axes by diffing them, so the list must
+    /// stay exhaustive — a missing field would alias two distinct
+    /// machines.
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        let mut out = vec![
+            ("issue_width", self.issue_width.to_string()),
+            ("int_alus", self.int_alus.to_string()),
+            ("mem_ports", self.mem_ports.to_string()),
+            ("fp_alus", self.fp_alus.to_string()),
+            ("branch_units", self.branch_units.to_string()),
+            ("int_latency", self.int_latency.to_string()),
+            ("mul_latency", self.mul_latency.to_string()),
+            ("fp_latency", self.fp_latency.to_string()),
+            ("load_latency", self.load_latency.to_string()),
+        ];
+        for (name, cache) in [
+            (
+                [
+                    "icache.size_bytes",
+                    "icache.line_bytes",
+                    "icache.miss_penalty",
+                ],
+                &self.icache,
+            ),
+            (
+                [
+                    "dcache.size_bytes",
+                    "dcache.line_bytes",
+                    "dcache.miss_penalty",
+                ],
+                &self.dcache,
+            ),
+        ] {
+            out.push((name[0], cache.size_bytes.to_string()));
+            out.push((name[1], cache.line_bytes.to_string()));
+            out.push((name[2], cache.miss_penalty.to_string()));
+        }
+        out.extend([
+            ("btb_entries", self.btb_entries.to_string()),
+            ("mispredict_penalty", self.mispredict_penalty.to_string()),
+            ("reuse_hit_latency", self.reuse_hit_latency.to_string()),
+            ("reuse_miss_penalty", self.reuse_miss_penalty.to_string()),
+            (
+                "speculative_validation",
+                self.speculative_validation.to_string(),
+            ),
+        ]);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +163,42 @@ mod tests {
         assert_eq!(m.btb_entries, 4096);
         assert_eq!(m.mispredict_penalty, 8);
         assert_eq!(m.reuse_miss_penalty, 8);
+    }
+
+    #[test]
+    fn machine_fields_enumeration_is_exhaustive() {
+        let fields = MachineConfig::paper().fields();
+        // 9 scalar units/latencies + 2×3 cache fields + 5 trailing
+        // knobs. Update together with the struct.
+        assert_eq!(fields.len(), 20);
+        let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20, "field names must be unique");
+        let wide = MachineConfig {
+            issue_width: 8,
+            ..MachineConfig::paper()
+        };
+        assert_ne!(fields, wide.fields());
+    }
+
+    #[test]
+    fn crb_fields_enumeration_flattens_nonuniform() {
+        use crate::{CrbConfig, NonuniformConfig};
+        let uniform = CrbConfig::paper().fields();
+        assert_eq!(uniform.len(), 8);
+        assert!(uniform.contains(&("nonuniform.boost_every", "-".to_string())));
+        let skewed = CrbConfig {
+            nonuniform: Some(NonuniformConfig {
+                boost_every: 4,
+                boosted_instances: 20,
+                mem_capable_percent: 100,
+            }),
+            ..CrbConfig::paper()
+        };
+        let fields = skewed.fields();
+        assert!(fields.contains(&("nonuniform.boosted_instances", "20".to_string())));
+        assert_ne!(uniform, fields);
+        assert_ne!(uniform, CrbConfig::with_entries(32).fields());
     }
 }

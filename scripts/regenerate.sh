@@ -5,11 +5,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
-for bin in fig4_potential fig8a_instances fig8b_entries fig9_groups \
-           fig10_distribution fig11_inputs ablations width_sensitivity; do
-    echo "== $bin"
-    cargo run --release -q -p ccr-bench --bin "$bin" > "results/$bin.txt"
-done
+echo '== ccr exp --all (every experiment, one deduplicated parallel pass)'
+# The planner compiles each distinct (workload, region-config) pair
+# once and simulates each distinct sweep point once across all eight
+# experiments; tables are byte-identical to the old one-binary-per-
+# figure regeneration (tests/exp_golden.rs pins this).
+cargo run --release -q --bin ccr -- exp --all --jobs "$(nproc)" --out results
 echo '== BENCH_ccr.json (perf baseline; CI gates ccr diff against it)'
 # The committed baseline is always taken serially so its per-workload
 # wall_ms stays comparable across regenerations.

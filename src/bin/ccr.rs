@@ -13,6 +13,8 @@
 //!          [--max-speedup-drop-pct X]
 //! ccr bench [--input train|ref] [--scale N] [--entries E] [--instances C]
 //!           [--only NAME[,NAME...]] [--out FILE] [--jobs N]
+//! ccr exp <NAME>... | --all [--jobs N] [--out DIR]
+//! ccr exp --list
 //! ccr regions <benchmark|file.ccr>
 //! ccr potential <benchmark|file.ccr>
 //! ccr print <benchmark> [--annotated]
@@ -47,6 +49,16 @@
 //! a regression threshold is breached, which is what CI gates on.
 //! `ccr bench` runs the built-in suite and snapshots `BENCH_ccr.json`,
 //! the committed performance baseline.
+//!
+//! `ccr exp` is the declarative experiment engine (`ccr-bench`'s
+//! `exp` module): it plans the selected experiment specs into a
+//! deduplicated set of compile and simulation units — each distinct
+//! (workload, region-config) pair compiled once, each distinct sweep
+//! point simulated once across experiments — runs them in parallel,
+//! and renders each figure's tables byte-identically to the retired
+//! per-figure binaries. `--out DIR` writes `<name>.txt` plus
+//! `<name>.<table>.csv`; without it the tables go to stdout and the
+//! plan log to stderr. See DESIGN.md §10.
 //!
 //! `--jobs N` (or the `CCR_JOBS` environment variable; `0` = one per
 //! hardware thread) fans independent compiles and simulations out
@@ -118,6 +130,8 @@ const USAGE: &str = "usage:
            [--max-speedup-drop-pct X]
   ccr bench [--input train|ref] [--scale N] [--entries E] [--instances C]
             [--only NAME[,NAME...]] [--out FILE] [--jobs N]
+  ccr exp <NAME>... | --all [--jobs N] [--out DIR]
+  ccr exp --list
   ccr regions <benchmark|file.ccr>
   ccr potential <benchmark|file.ccr>
   ccr print <benchmark> [--annotated]
@@ -140,6 +154,8 @@ struct Flags {
     thresholds: String,
     force: bool,
     only: Option<String>,
+    all: bool,
+    list: bool,
     jobs: Option<usize>,
     max_cycle_regress_pct: Option<f64>,
     max_hit_rate_drop_pp: Option<f64>,
@@ -163,6 +179,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         thresholds: "default".to_string(),
         force: false,
         only: None,
+        all: false,
+        list: false,
         jobs: None,
         max_cycle_regress_pct: None,
         max_hit_rate_drop_pp: None,
@@ -232,6 +250,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--force" => flags.force = true,
             "--only" => flags.only = Some(take("--only")?),
+            "--all" => flags.all = true,
+            "--list" => flags.list = true,
             "--jobs" => {
                 flags.jobs = Some(
                     take("--jobs")?
@@ -288,6 +308,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, CliError> {
         "analyze" => ok(cmd_analyze(&flags)),
         "diff" => cmd_diff(&flags),
         "bench" => ok(cmd_bench(&flags)),
+        "exp" => ok(cmd_exp(&flags)),
         "regions" => ok(cmd_regions(&flags)),
         "potential" => ok(cmd_potential(&flags)),
         "print" => ok(cmd_print(&flags)),
@@ -767,6 +788,77 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
     std::fs::write(&out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
     print!("{}", report.render());
     println!("wrote {out}");
+    Ok(())
+}
+
+/// `ccr exp`: the declarative experiment engine. Plans the selected
+/// specs into a deduplicated set of compile and simulation units,
+/// runs them in parallel, and renders each experiment exactly as its
+/// legacy binary did (tables to stdout, or `<output>.txt` +
+/// `<output>.<table>.csv` under `--out DIR`). The plan log — how many
+/// points were requested and how many survived deduplication — goes
+/// to stderr so piped table output stays clean.
+fn cmd_exp(flags: &Flags) -> Result<(), CliError> {
+    use ccr_bench::exp;
+    let registry = exp::specs::registry();
+    if flags.list {
+        let mut table = Table::new(["name", "output", "experiment"]);
+        for spec in &registry {
+            table.row([
+                spec.name.to_string(),
+                spec.output.to_string(),
+                spec.title.to_string(),
+            ]);
+        }
+        print!("{table}");
+        return Ok(());
+    }
+    let selected: Vec<&exp::ExperimentSpec> = if flags.all {
+        if !flags.positional.is_empty() {
+            return Err(usage_err("--all takes no experiment names"));
+        }
+        registry.iter().collect()
+    } else {
+        if flags.positional.is_empty() {
+            return Err(usage_err(
+                "exp needs experiment names or --all (see `ccr exp --list`)",
+            ));
+        }
+        let mut out = Vec::new();
+        for name in &flags.positional {
+            let Some(spec) = registry
+                .iter()
+                .find(|s| s.name == name.as_str() || s.output == name.as_str())
+            else {
+                return Err(format!("unknown experiment `{name}` (see `ccr exp --list`)").into());
+            };
+            out.push(spec);
+        }
+        out
+    };
+    let plan = exp::plan(&selected);
+    eprint!("{}", plan.stats.render());
+    let executed = exp::execute(&plan, ccr::resolve_jobs(flags.jobs))?;
+    for spec in &selected {
+        let rendered = executed.results(spec).render();
+        match &flags.out {
+            Some(dir) => {
+                let dir = std::path::Path::new(dir);
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("create {}: {e}", dir.display()))?;
+                let txt = dir.join(format!("{}.txt", spec.output));
+                std::fs::write(&txt, &rendered.text)
+                    .map_err(|e| format!("write {}: {e}", txt.display()))?;
+                for (name, table) in &rendered.tables {
+                    let csv = dir.join(format!("{}.{name}.csv", spec.output));
+                    std::fs::write(&csv, table.to_csv())
+                        .map_err(|e| format!("write {}: {e}", csv.display()))?;
+                }
+                eprintln!("wrote {}", txt.display());
+            }
+            None => print!("{}", rendered.text),
+        }
+    }
     Ok(())
 }
 
