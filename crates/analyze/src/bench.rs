@@ -6,14 +6,21 @@
 //! snapshots are comparable. The simulator's cycle counts are
 //! deterministic, so CI can gate on *zero* cycle drift against the
 //! committed baseline; `wall_ms` is recorded for orientation but never
-//! gated (it varies run to run and machine to machine).
+//! gated (it varies run to run and machine to machine). Schema v2 adds
+//! a derived `sim_cycles_per_host_sec` host-throughput figure per
+//! workload — gated only with a generous, explicitly requested
+//! tolerance — and a `git_commit` provenance field. v1 snapshots stay
+//! readable: the new fields read as `0.0` / `"unknown"`.
 
 use ccr_telemetry::JsonWriter;
 
 use crate::value::{self, Value};
 
-/// Version of the `BENCH_ccr.json` schema this crate reads and writes.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// Version of the `BENCH_ccr.json` schema this crate writes.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Schema versions [`BenchReport::from_json`] understands.
+pub const KNOWN_BENCH_VERSIONS: &[u64] = &[1, 2];
 
 /// One workload's measured numbers.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -33,6 +40,24 @@ pub struct BenchWorkload {
     /// Host wall time for the workload, ms. Informational only —
     /// never compared by `ccr diff`.
     pub wall_ms: u64,
+    /// Simulated cycles (base + CCR) retired per host second —
+    /// the simulator's own throughput on this machine. `0.0` when
+    /// wall time was too small to measure, or on v1 snapshots.
+    /// Gated only when a host-throughput threshold is explicitly
+    /// set (it is host-dependent, so the default gate ignores it).
+    pub sim_cycles_per_host_sec: f64,
+}
+
+impl BenchWorkload {
+    /// Derives the host-throughput figure from the cycle counts and
+    /// measured wall time: `(base + ccr) / wall_seconds`, or `0.0`
+    /// when the wall time is below the clock's resolution.
+    pub fn host_throughput(base_cycles: u64, ccr_cycles: u64, wall_ms: u64) -> f64 {
+        if wall_ms == 0 {
+            return 0.0;
+        }
+        (base_cycles + ccr_cycles) as f64 / (wall_ms as f64 / 1000.0)
+    }
 }
 
 /// A full suite snapshot.
@@ -48,14 +73,17 @@ pub struct BenchReport {
     pub config_hash: String,
     /// Version of the crate that produced the snapshot.
     pub crate_version: String,
+    /// Git commit of the producing checkout (v2; `"unknown"` on v1
+    /// snapshots or outside a checkout).
+    pub git_commit: String,
     /// Per-workload results, in suite order.
     pub workloads: Vec<BenchWorkload>,
 }
 
 impl BenchReport {
     /// Serializes the snapshot as `BENCH_ccr.json`. Deterministic for
-    /// fixed measurements (only `wall_ms` varies between otherwise
-    /// identical runs).
+    /// fixed measurements (only `wall_ms` and the derived host
+    /// throughput vary between otherwise identical runs).
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.obj_begin();
@@ -66,6 +94,7 @@ impl BenchReport {
         w.key("scale").u64_val(self.scale);
         w.key("config_hash").str_val(&self.config_hash);
         w.key("crate_version").str_val(&self.crate_version);
+        w.key("git_commit").str_val(&self.git_commit);
         w.key("workloads").arr_begin();
         for wl in &self.workloads {
             w.obj_begin();
@@ -76,6 +105,8 @@ impl BenchReport {
             w.key("hit_rate").f64_val(wl.hit_rate);
             w.key("regions").u64_val(wl.regions);
             w.key("wall_ms").u64_val(wl.wall_ms);
+            w.key("sim_cycles_per_host_sec")
+                .f64_val(wl.sim_cycles_per_host_sec);
             w.obj_end();
         }
         w.arr_end();
@@ -85,7 +116,7 @@ impl BenchReport {
         out
     }
 
-    /// Reads a snapshot back from its JSON form.
+    /// Reads a snapshot back from its JSON form (v1 or v2).
     ///
     /// # Errors
     ///
@@ -93,15 +124,20 @@ impl BenchReport {
     pub fn from_json(text: &str) -> Result<BenchReport, String> {
         let v = value::parse(text.trim()).map_err(|e| e.to_string())?;
         let version = v.u64_field("bench_schema_version");
-        if version != u64::from(BENCH_SCHEMA_VERSION) {
+        if !KNOWN_BENCH_VERSIONS.contains(&version) {
             return Err(format!("unknown bench_schema_version {version}"));
         }
+        let git_commit = match v.get("git_commit").and_then(Value::as_str) {
+            Some(c) => c.to_string(),
+            None => "unknown".to_string(), // v1 read path
+        };
         let mut report = BenchReport {
             suite: v.str_field("suite").to_string(),
             input: v.str_field("input").to_string(),
             scale: v.u64_field("scale"),
             config_hash: v.str_field("config_hash").to_string(),
             crate_version: v.str_field("crate_version").to_string(),
+            git_commit,
             workloads: Vec::new(),
         };
         let workloads = v
@@ -117,6 +153,8 @@ impl BenchReport {
                 hit_rate: wl.f64_field("hit_rate"),
                 regions: wl.u64_field("regions"),
                 wall_ms: wl.u64_field("wall_ms"),
+                // v1 read path: absent, reads as 0.0 (untracked).
+                sim_cycles_per_host_sec: wl.f64_field("sim_cycles_per_host_sec"),
             });
         }
         Ok(report)
@@ -128,28 +166,51 @@ impl BenchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<16} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8}",
-            "workload", "base_cycles", "ccr_cycles", "speedup", "hit%", "regions", "wall_ms"
+            "{:<16} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8} {:>10}",
+            "workload",
+            "base_cycles",
+            "ccr_cycles",
+            "speedup",
+            "hit%",
+            "regions",
+            "wall_ms",
+            "Mcyc/s"
         );
         for wl in &self.workloads {
             let _ = writeln!(
                 out,
-                "{:<16} {:>12} {:>12} {:>7.3}x {:>7.1}% {:>8} {:>8}",
+                "{:<16} {:>12} {:>12} {:>7.3}x {:>7.1}% {:>8} {:>8} {:>10.1}",
                 wl.name,
                 wl.base_cycles,
                 wl.ccr_cycles,
                 wl.speedup,
                 wl.hit_rate * 100.0,
                 wl.regions,
-                wl.wall_ms
+                wl.wall_ms,
+                wl.sim_cycles_per_host_sec / 1.0e6
             );
         }
         let _ = writeln!(
             out,
-            "suite {} ({}, scale {}), config {}, v{}",
-            self.suite, self.input, self.scale, self.config_hash, self.crate_version
+            "suite {} ({}, scale {}), config {}, v{}, commit {}",
+            self.suite,
+            self.input,
+            self.scale,
+            self.config_hash,
+            self.crate_version,
+            short_commit(&self.git_commit)
         );
         out
+    }
+}
+
+/// Abbreviates a 40-hex commit id to 12 characters for display;
+/// passes `"unknown"` (or anything shorter) through untouched.
+pub fn short_commit(commit: &str) -> &str {
+    if commit.len() >= 12 && commit.bytes().all(|b| b.is_ascii_hexdigit()) {
+        &commit[..12]
+    } else {
+        commit
     }
 }
 
@@ -164,6 +225,7 @@ mod tests {
             scale: 1,
             config_hash: "00ff00ff00ff00ff".into(),
             crate_version: "0.1.0".into(),
+            git_commit: "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".into(),
             workloads: vec![
                 BenchWorkload {
                     name: "008.espresso".into(),
@@ -173,6 +235,7 @@ mod tests {
                     hit_rate: 0.8125,
                     regions: 7,
                     wall_ms: 42,
+                    sim_cycles_per_host_sec: BenchWorkload::host_throughput(123_456, 100_000, 42),
                 },
                 BenchWorkload {
                     name: "130.li".into(),
@@ -182,6 +245,7 @@ mod tests {
                     hit_rate: 0.0,
                     regions: 0,
                     wall_ms: 0,
+                    sim_cycles_per_host_sec: 0.0,
                 },
             ],
         }
@@ -191,7 +255,7 @@ mod tests {
     fn json_round_trips_exactly() {
         let report = sample();
         let text = report.to_json();
-        assert!(text.starts_with("{\"bench_schema_version\":1,"));
+        assert!(text.starts_with("{\"bench_schema_version\":2,"));
         assert!(text.ends_with("}\n"));
         let back = BenchReport::from_json(&text).unwrap();
         assert_eq!(back, report);
@@ -200,10 +264,30 @@ mod tests {
     }
 
     #[test]
+    fn v1_snapshots_stay_readable() {
+        let v1 = r#"{"bench_schema_version":1,"suite":"ccr","input":"train","scale":1,
+            "config_hash":"00ff00ff00ff00ff","crate_version":"0.1.0",
+            "workloads":[{"name":"008.espresso","base_cycles":100,"ccr_cycles":80,
+            "speedup":1.25,"hit_rate":0.5,"regions":2,"wall_ms":10}]}"#;
+        let report = BenchReport::from_json(v1).unwrap();
+        assert_eq!(report.git_commit, "unknown");
+        assert_eq!(report.workloads[0].sim_cycles_per_host_sec, 0.0);
+        assert_eq!(report.workloads[0].base_cycles, 100);
+    }
+
+    #[test]
+    fn host_throughput_derivation() {
+        // 180 kilocycles over 42 ms hosts at ~5.32 Mc/s.
+        let t = BenchWorkload::host_throughput(123_456, 100_000, 42);
+        assert!((t - 223_456.0 / 0.042).abs() < 1e-6, "{t}");
+        assert_eq!(BenchWorkload::host_throughput(1, 1, 0), 0.0);
+    }
+
+    #[test]
     fn unknown_schema_version_is_rejected() {
         let text = sample()
             .to_json()
-            .replace("\"bench_schema_version\":1", "\"bench_schema_version\":99");
+            .replace("\"bench_schema_version\":2", "\"bench_schema_version\":99");
         let err = BenchReport::from_json(&text).unwrap_err();
         assert!(err.contains("bench_schema_version 99"), "{err}");
         assert!(BenchReport::from_json("not json").is_err());
@@ -215,6 +299,18 @@ mod tests {
         assert!(s.contains("008.espresso"), "{s}");
         assert!(s.contains("130.li"), "{s}");
         assert!(s.contains("1.235x"), "{s}");
+        assert!(s.contains("Mcyc/s"), "{s}");
         assert!(s.contains("config 00ff00ff00ff00ff"), "{s}");
+        assert!(s.contains("commit aaaaaaaaaaaa"), "{s}");
+    }
+
+    #[test]
+    fn short_commit_abbreviates_only_hex_ids() {
+        assert_eq!(
+            short_commit("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"),
+            "aaaaaaaaaaaa"
+        );
+        assert_eq!(short_commit("unknown"), "unknown");
+        assert_eq!(short_commit("abc"), "abc");
     }
 }

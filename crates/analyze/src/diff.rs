@@ -29,16 +29,22 @@ pub struct Thresholds {
     pub max_hit_rate_drop_pp: Option<f64>,
     /// Maximum allowed speedup drop, percent.
     pub max_speedup_drop_pct: Option<f64>,
+    /// Maximum allowed host-throughput (`sim_cycles_per_host_sec`)
+    /// drop, percent. Off by default — host speed varies machine to
+    /// machine, so this gate only makes sense with a generous,
+    /// explicitly chosen tolerance (CI uses 95%).
+    pub max_host_throughput_drop_pct: Option<f64>,
 }
 
 impl Thresholds {
     /// The default CI gate: ≤2% cycle growth, ≤1pp hit-rate drop,
-    /// ≤2% speedup drop.
+    /// ≤2% speedup drop. Host throughput is not gated by default.
     pub fn default_gate() -> Thresholds {
         Thresholds {
             max_cycle_regress_pct: Some(2.0),
             max_hit_rate_drop_pp: Some(1.0),
             max_speedup_drop_pct: Some(2.0),
+            max_host_throughput_drop_pct: None,
         }
     }
 
@@ -289,6 +295,13 @@ fn gate_row(
                 .is_some_and(|max| -pct > max);
             (format!("{pct:+.2}%"), breach)
         }
+        "host_mcps" => {
+            let pct = pct_delta(base, new);
+            let breach = thresholds
+                .max_host_throughput_drop_pct
+                .is_some_and(|max| -pct > max);
+            (format!("{pct:+.2}%"), breach)
+        }
         _ => (format!("{:+.2}%", pct_delta(base, new)), false),
     };
     if breach {
@@ -487,6 +500,26 @@ pub fn diff_bench(
             n.hit_rate,
             thresholds,
         );
+        // Host throughput gates only on request: it is host-dependent
+        // (unlike the deterministic cycle counts), and v1 snapshots
+        // carry no figure at all.
+        if thresholds.max_host_throughput_drop_pct.is_some() {
+            if b.sim_cycles_per_host_sec > 0.0 && n.sim_cycles_per_host_sec > 0.0 {
+                gate_row(
+                    &mut report,
+                    &b.name,
+                    "host_mcps",
+                    b.sim_cycles_per_host_sec / 1.0e6,
+                    n.sim_cycles_per_host_sec / 1.0e6,
+                    thresholds,
+                );
+            } else {
+                report.notes.push(format!(
+                    "workload {}: host throughput unavailable on one side; not gated",
+                    b.name
+                ));
+            }
+        }
     }
     for w in &new.workloads {
         if !base.workloads.iter().any(|b| b.name == w.name) {
@@ -644,6 +677,7 @@ mod tests {
             scale: 1,
             config_hash: "aa".into(),
             crate_version: "0.1.0".into(),
+            git_commit: "unknown".into(),
             workloads: vec![BenchWorkload {
                 name: "130.li".into(),
                 base_cycles: 1000,
@@ -652,6 +686,7 @@ mod tests {
                 hit_rate: 0.8,
                 regions: 4,
                 wall_ms: 12,
+                sim_cycles_per_host_sec: 2.0e6,
             }],
         }
     }
@@ -666,6 +701,44 @@ mod tests {
             diff_bench(&bench(800), &bench(900), &Thresholds::default_gate(), false).unwrap();
         assert!(report.breached());
         assert!(report.breaches.iter().any(|b| b.contains("130.li")));
+    }
+
+    #[test]
+    fn host_throughput_gates_only_when_requested() {
+        let mut slow = bench(800);
+        slow.workloads[0].sim_cycles_per_host_sec = 0.5e6; // −75%
+                                                           // Default gate: host throughput is never compared.
+        let report = diff_bench(&bench(800), &slow, &Thresholds::default_gate(), false).unwrap();
+        assert!(!report.breached());
+        assert!(report.rows.iter().all(|r| r.metric != "host_mcps"));
+        // Explicit tolerance: a drop past it breaches.
+        let gate = Thresholds {
+            max_host_throughput_drop_pct: Some(50.0),
+            ..Thresholds::none()
+        };
+        let report = diff_bench(&bench(800), &slow, &gate, false).unwrap();
+        assert!(report.breached());
+        assert!(
+            report.breaches[0].contains("host_mcps"),
+            "{:?}",
+            report.breaches
+        );
+        // Within the tolerance: reported but clean.
+        let mut ok = bench(800);
+        ok.workloads[0].sim_cycles_per_host_sec = 1.5e6; // −25%
+        let report = diff_bench(&bench(800), &ok, &gate, false).unwrap();
+        assert!(!report.breached());
+        assert!(report.rows.iter().any(|r| r.metric == "host_mcps"));
+        // v1 side (no figure): a note, never a gate.
+        let mut v1 = bench(800);
+        v1.workloads[0].sim_cycles_per_host_sec = 0.0;
+        let report = diff_bench(&bench(800), &v1, &gate, false).unwrap();
+        assert!(!report.breached());
+        assert!(
+            report.notes.iter().any(|n| n.contains("not gated")),
+            "{:?}",
+            report.notes
+        );
     }
 
     #[test]

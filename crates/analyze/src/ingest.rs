@@ -22,8 +22,9 @@ use crate::value::{self, Value};
 pub const KNOWN_EVENT_VERSIONS: &[u64] = &[1];
 /// Run-report schema versions this reader understands. Version 1
 /// (PR 1) has no provenance block; version 2 adds it; version 3 adds
-/// CRB miss-cause counters and per-phase cycle attribution.
-pub const KNOWN_REPORT_VERSIONS: &[u64] = &[1, 2, 3];
+/// CRB miss-cause counters and per-phase cycle attribution; version 4
+/// adds `git_commit` to the provenance block.
+pub const KNOWN_REPORT_VERSIONS: &[u64] = &[1, 2, 3, 4];
 
 /// What went wrong while loading run artifacts.
 #[derive(Debug)]
@@ -232,6 +233,9 @@ pub struct ReportInfo {
     pub argv: Vec<String>,
     /// Producing crate version (v2 reports only).
     pub crate_version: Option<String>,
+    /// Git commit id of the producing checkout (v4 reports only;
+    /// `"unknown"` when the producer ran outside a checkout).
+    pub git_commit: Option<String>,
     /// Baseline cycles.
     pub base_cycles: u64,
     /// CCR cycles.
@@ -457,6 +461,11 @@ fn extract_report(v: &Value) -> Result<ReportInfo, IngestError> {
             .get("crate_version")
             .and_then(Value::as_str)
             .map(String::from);
+        // v4; absent on older reports.
+        info.git_commit = p
+            .get("git_commit")
+            .and_then(Value::as_str)
+            .map(String::from);
         if let Some(argv) = p.get("argv").and_then(Value::as_arr) {
             info.argv = argv
                 .iter()
@@ -680,6 +689,26 @@ mod tests {
         assert_eq!(data.cycle_samples[0].phase, Phase::Ccr);
         assert_eq!(data.cycle_samples[0].stack, "main;count_ones");
         assert_eq!(data.cycle_samples[0].cycles, 256);
+    }
+
+    #[test]
+    fn reads_v4_reports_with_git_commit() {
+        let report_v4 = r#"{"schema_version":4,"workload":"w","input":"train","scale":1,
+            "provenance":{"argv":["run","w"],"config_hash":"00ff00ff00ff00ff","crate_version":"0.1.0","git_commit":"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"},
+            "machine":{"reuse_miss_penalty":2},"crb":{"entries":128,"instances":8},
+            "regions":3,"base":{"cycles":1000},
+            "ccr":{"cycles":800,"crb":{"lookups":10,"hits":7,"misses":3,"invalidations":1,"entry_conflicts":0}},
+            "speedup":1.25,"eliminated_fraction":0.2}"#;
+        let dir = write_dir("", report_v4);
+        let data = load_run(&dir).unwrap();
+        assert_eq!(data.report.schema_version, 4);
+        assert_eq!(
+            data.report.git_commit.as_deref(),
+            Some("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+        );
+        // v3 and older: the field reads as absent.
+        let dir = write_dir("", REPORT_V3);
+        assert_eq!(load_run(&dir).unwrap().report.git_commit, None);
     }
 
     #[test]

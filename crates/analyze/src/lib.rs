@@ -29,7 +29,14 @@
 //!   thresholds and a provenance-based comparability gate,
 //! * [`bench`] — the `BENCH_ccr.json` schema: a versioned,
 //!   per-workload performance snapshot forming the repo's committed
-//!   perf trajectory.
+//!   perf trajectory,
+//! * [`store`] — the append-only cross-run store: one versioned JSONL
+//!   record per (workload, config) measurement, keyed by git commit
+//!   and timestamp, with line-tolerant loading and builders from
+//!   BENCH / analysis.json artifacts,
+//! * [`report`] — the `ccr report` engine: per-series speedup /
+//!   hit-rate / miss-mix / host-throughput trend tables over a store,
+//!   plus first-regression flagging against configurable thresholds.
 //!
 //! The crate has no dependencies beyond `ccr-telemetry` (for the
 //! shared `JsonWriter` and `Histogram`); in particular it does not
@@ -47,15 +54,19 @@ pub mod diff;
 pub mod flamegraph;
 pub mod folded;
 pub mod ingest;
+pub mod report;
+pub mod store;
 pub mod value;
 
 pub use analysis::{analyze, Analysis, RegionProfile, MISS_CAUSES};
-pub use bench::{BenchReport, BenchWorkload, BENCH_SCHEMA_VERSION};
+pub use bench::{short_commit, BenchReport, BenchWorkload, BENCH_SCHEMA_VERSION};
 pub use chrome::chrome_trace;
 pub use diff::{diff_analyses, diff_bench, DiffReport, Thresholds};
 pub use flamegraph::flamegraph_svg;
 pub use folded::fold_samples;
 pub use ingest::{load_run, EventRecord, RunData};
+pub use report::{report_over, ReportOutput};
+pub use store::{RunRecord, RunStore, STORE_SCHEMA_VERSION};
 pub use value::Value;
 
 /// Version of the `analysis.json` schema this crate writes. Version 2

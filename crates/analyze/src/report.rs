@@ -1,0 +1,458 @@
+//! The `ccr report` engine: cross-run trend tables and
+//! first-regression flagging over a loaded [`RunStore`].
+//!
+//! Records are grouped into series — `(workload, input, scale,
+//! config_hash)`, so only like-for-like measurements ever sit in the
+//! same trend — and each series is walked in timestamp order. Four
+//! deterministic tables come out:
+//!
+//! * **trend** — cycles / speedup / hit-rate per record,
+//! * **miss_mix** — the five-cause miss breakdown per record (all
+//!   zero for cause-lossy BENCH imports),
+//! * **host** — wall time and `sim_cycles_per_host_sec` trajectory,
+//! * **regressions** — the flagged first-regressions (below).
+//!
+//! **First-regression flagging**: for every series and every gated
+//! metric, adjacent record pairs are compared with the same
+//! [`Thresholds`] semantics `ccr diff` gates on (cycle *growth*
+//! percent, hit-rate *drop* points, speedup and host-throughput
+//! *drop* percent). The earliest breaching pair is flagged — that
+//! record is the first-bad run, the regression's introduction point —
+//! and later breaches of the same (series, metric) are suppressed, so
+//! a regression that persists for twenty runs is one finding, not
+//! twenty. Any flag makes `ccr report` exit 2, like `ccr diff`.
+//!
+//! Determinism is load-bearing, as everywhere in this crate: a report
+//! over a given store file is byte-identical across invocations and
+//! hosts (timestamps render through the hand-rolled
+//! [`store::format_utc`]), which is what lets a golden test pin the
+//! output.
+
+use std::fmt::Write as _;
+
+use ccr_telemetry::Table;
+
+use crate::bench::short_commit;
+use crate::diff::Thresholds;
+use crate::store::{self, RunRecord, RunStore, SeriesKey};
+
+/// One flagged first-regression.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// The series the regression happened in.
+    pub series: SeriesKey,
+    /// Which metric breached (`ccr_cycles`, `hit_rate`, `speedup`,
+    /// `host_mcps`).
+    pub metric: String,
+    /// Timestamp of the first-bad record.
+    pub timestamp: u64,
+    /// Commit of the first-bad record.
+    pub commit: String,
+    /// Metric value at the predecessor (last-good) record.
+    pub prev: f64,
+    /// Metric value at the first-bad record.
+    pub new: f64,
+    /// Rendered delta (`+4.20%`, `-2.10pp`, …).
+    pub delta: String,
+}
+
+/// Everything `ccr report` renders: the tables (name → [`Table`], in
+/// display order) and the flagged regressions behind the last one.
+#[derive(Clone, Debug, Default)]
+pub struct ReportOutput {
+    /// `(name, table)` pairs: `trend`, `miss_mix`, `host`,
+    /// `regressions`.
+    pub tables: Vec<(&'static str, Table)>,
+    /// Flagged first-regressions, in series order then time order.
+    pub regressions: Vec<Regression>,
+    /// Records the report covered.
+    pub records: usize,
+    /// Trend series the records grouped into.
+    pub series: usize,
+    /// Unreadable store lines skipped during loading.
+    pub skipped_lines: u64,
+}
+
+impl ReportOutput {
+    /// True when at least one regression was flagged (`ccr report`
+    /// exits 2).
+    pub fn flagged(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Renders the full plain-text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run store: {} record(s), {} series",
+            self.records, self.series
+        );
+        if self.skipped_lines > 0 {
+            let _ = writeln!(
+                out,
+                "note: {} unreadable line(s) skipped",
+                self.skipped_lines
+            );
+        }
+        for (name, table) in &self.tables {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "== {name} ==");
+            if table.is_empty() {
+                let _ = writeln!(out, "(no rows)");
+            } else {
+                let _ = write!(out, "{table}");
+            }
+        }
+        let _ = writeln!(out);
+        if self.flagged() {
+            let _ = writeln!(
+                out,
+                "FAIL: {} first-regression(s) flagged",
+                self.regressions.len()
+            );
+        } else {
+            let _ = writeln!(out, "OK: no regressions against thresholds");
+        }
+        out
+    }
+}
+
+/// The metrics the regression scan gates, in fixed display order.
+const GATED_METRICS: &[&str] = &["ccr_cycles", "hit_rate", "speedup", "host_mcps"];
+
+/// Extracts one gated metric from a record; `None` means the record
+/// carries no figure for it (host throughput on imports) and the pair
+/// is not compared.
+fn metric_value(rec: &RunRecord, metric: &str) -> Option<f64> {
+    match metric {
+        "ccr_cycles" => Some(rec.ccr_cycles as f64),
+        "hit_rate" => Some(rec.hit_rate),
+        "speedup" => Some(rec.speedup),
+        "host_mcps" => {
+            (rec.sim_cycles_per_host_sec > 0.0).then(|| rec.sim_cycles_per_host_sec / 1.0e6)
+        }
+        _ => None,
+    }
+}
+
+/// Applies the `ccr diff` gating semantics to one adjacent pair.
+/// Returns the rendered delta when the pair breaches.
+fn pair_breach(metric: &str, prev: f64, new: f64, thresholds: &Thresholds) -> Option<String> {
+    let pct = if prev == 0.0 {
+        0.0
+    } else {
+        (new - prev) / prev * 100.0
+    };
+    match metric {
+        "ccr_cycles" => thresholds
+            .max_cycle_regress_pct
+            .filter(|max| pct > *max)
+            .map(|_| format!("{pct:+.2}%")),
+        "hit_rate" => {
+            let pp = (new - prev) * 100.0;
+            thresholds
+                .max_hit_rate_drop_pp
+                .filter(|max| -pp > *max)
+                .map(|_| format!("{pp:+.2}pp"))
+        }
+        "speedup" => thresholds
+            .max_speedup_drop_pct
+            .filter(|max| -pct > *max)
+            .map(|_| format!("{pct:+.2}%")),
+        "host_mcps" => thresholds
+            .max_host_throughput_drop_pct
+            .filter(|max| -pct > *max)
+            .map(|_| format!("{pct:+.2}%")),
+        _ => None,
+    }
+}
+
+fn series_label(key: &SeriesKey) -> String {
+    let (workload, input, scale, config) = key;
+    format!("{workload} ({input}@{scale}, {config})")
+}
+
+/// Builds the full report over a loaded store.
+pub fn report_over(store: &RunStore, thresholds: &Thresholds) -> ReportOutput {
+    let series = store.series();
+    let mut out = ReportOutput {
+        records: store.records.len(),
+        series: series.len(),
+        skipped_lines: store.skipped_lines,
+        ..ReportOutput::default()
+    };
+
+    let mut trend = Table::new([
+        "workload",
+        "input",
+        "scale",
+        "config",
+        "when",
+        "commit",
+        "source",
+        "base_cycles",
+        "ccr_cycles",
+        "speedup",
+        "hit%",
+        "regions",
+    ]);
+    let mut miss_mix = Table::new([
+        "workload",
+        "config",
+        "when",
+        "commit",
+        "cold",
+        "mismatch",
+        "capacity",
+        "conflict",
+        "invalidated",
+        "misses",
+    ]);
+    let mut host = Table::new(["workload", "config", "when", "commit", "wall_ms", "Mcyc/s"]);
+    for (key, records) in &series {
+        let (workload, input, scale, config) = key;
+        for rec in records {
+            let when = store::format_utc(rec.timestamp);
+            let commit = short_commit(&rec.commit).to_string();
+            trend.row([
+                workload.clone(),
+                input.clone(),
+                scale.to_string(),
+                config.clone(),
+                when.clone(),
+                commit.clone(),
+                rec.source.clone(),
+                rec.base_cycles.to_string(),
+                rec.ccr_cycles.to_string(),
+                format!("{:.3}", rec.speedup),
+                format!("{:.1}", rec.hit_rate * 100.0),
+                rec.regions.to_string(),
+            ]);
+            let misses: u64 = rec.miss_causes.iter().sum();
+            let mut mix_row = vec![
+                workload.clone(),
+                config.clone(),
+                when.clone(),
+                commit.clone(),
+            ];
+            mix_row.extend(rec.miss_causes.iter().map(u64::to_string));
+            mix_row.push(misses.to_string());
+            miss_mix.row(mix_row);
+            host.row([
+                workload.clone(),
+                config.clone(),
+                when,
+                commit,
+                rec.wall_ms.to_string(),
+                if rec.sim_cycles_per_host_sec > 0.0 {
+                    format!("{:.1}", rec.sim_cycles_per_host_sec / 1.0e6)
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+    }
+
+    // First-regression scan: earliest breaching adjacent pair per
+    // (series, metric); later breaches of the same pair suppressed.
+    for (key, records) in &series {
+        for metric in GATED_METRICS {
+            for pair in records.windows(2) {
+                let (Some(prev), Some(new)) =
+                    (metric_value(pair[0], metric), metric_value(pair[1], metric))
+                else {
+                    continue;
+                };
+                if let Some(delta) = pair_breach(metric, prev, new, thresholds) {
+                    out.regressions.push(Regression {
+                        series: key.clone(),
+                        metric: metric.to_string(),
+                        timestamp: pair[1].timestamp,
+                        commit: pair[1].commit.clone(),
+                        prev,
+                        new,
+                        delta,
+                    });
+                    break; // first-bad only, for this (series, metric)
+                }
+            }
+        }
+    }
+
+    let mut regressions = Table::new([
+        "series",
+        "metric",
+        "first-bad when",
+        "first-bad commit",
+        "prev",
+        "new",
+        "delta",
+    ]);
+    for r in &out.regressions {
+        regressions.row([
+            series_label(&r.series),
+            r.metric.clone(),
+            store::format_utc(r.timestamp),
+            short_commit(&r.commit).to_string(),
+            format!("{:.4}", r.prev),
+            format!("{:.4}", r.new),
+            r.delta.clone(),
+        ]);
+    }
+
+    out.tables = vec![
+        ("trend", trend),
+        ("miss_mix", miss_mix),
+        ("host", host),
+        ("regressions", regressions),
+    ];
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts: u64, ccr_cycles: u64, hit_rate: f64) -> RunRecord {
+        RunRecord {
+            timestamp: ts,
+            commit: format!("{ts:040}"),
+            config_hash: "00ff00ff00ff00ff".into(),
+            source: "bench".into(),
+            workload: "w".into(),
+            input: "train".into(),
+            scale: 1,
+            base_cycles: 1000,
+            ccr_cycles,
+            speedup: 1000.0 / ccr_cycles as f64,
+            hit_rate,
+            miss_causes: [1, 1, 0, 0, 0],
+            regions: 4,
+            wall_ms: 10,
+            sim_cycles_per_host_sec: 2.0e6,
+        }
+    }
+
+    fn store_of(records: Vec<RunRecord>) -> RunStore {
+        RunStore {
+            records,
+            skipped_lines: 0,
+        }
+    }
+
+    #[test]
+    fn clean_history_reports_ok() {
+        let store = store_of(vec![rec(100, 800, 0.8), rec(200, 800, 0.8)]);
+        let out = report_over(&store, &Thresholds::default_gate());
+        assert!(!out.flagged());
+        assert_eq!(out.records, 2);
+        assert_eq!(out.series, 1);
+        let text = out.render();
+        assert!(text.contains("OK: no regressions"), "{text}");
+        assert!(text.contains("== trend =="), "{text}");
+        // All four tables render even when regressions is empty.
+        assert!(text.contains("== regressions =="), "{text}");
+        assert!(text.contains("(no rows)"), "{text}");
+    }
+
+    #[test]
+    fn first_bad_record_is_flagged_not_later_ones() {
+        // Regression lands at ts=300 (+10% cycles) and persists at 400.
+        let store = store_of(vec![
+            rec(100, 800, 0.8),
+            rec(200, 800, 0.8),
+            rec(300, 880, 0.8),
+            rec(400, 882, 0.8),
+        ]);
+        let out = report_over(&store, &Thresholds::default_gate());
+        assert!(out.flagged());
+        let cycles: Vec<_> = out
+            .regressions
+            .iter()
+            .filter(|r| r.metric == "ccr_cycles")
+            .collect();
+        assert_eq!(cycles.len(), 1, "one finding per (series, metric)");
+        assert_eq!(cycles[0].timestamp, 300, "the FIRST bad record");
+        // speedup drops with the cycle growth, so it flags too — also
+        // at the introduction point.
+        assert!(
+            out.regressions.iter().all(|r| r.timestamp == 300),
+            "{:?}",
+            out.regressions
+        );
+        assert!(out.render().contains("FAIL: "), "{}", out.render());
+    }
+
+    #[test]
+    fn unordered_appends_are_scanned_in_time_order() {
+        // Appended out of order; in time order the metric is flat.
+        let store = store_of(vec![
+            rec(300, 802, 0.8),
+            rec(100, 800, 0.8),
+            rec(200, 801, 0.8),
+        ]);
+        let out = report_over(&store, &Thresholds::default_gate());
+        assert!(!out.flagged(), "{:?}", out.regressions);
+    }
+
+    #[test]
+    fn series_isolate_configs_from_each_other() {
+        // A config change makes a new series; the big cycle jump
+        // between configs must not flag.
+        let mut other = rec(200, 1600, 0.8);
+        other.config_hash = "1111111111111111".into();
+        let store = store_of(vec![rec(100, 800, 0.8), other]);
+        let out = report_over(&store, &Thresholds::default_gate());
+        assert_eq!(out.series, 2);
+        assert!(!out.flagged());
+    }
+
+    #[test]
+    fn hit_rate_and_host_gates_fire() {
+        let store = store_of(vec![rec(100, 800, 0.8), rec(200, 800, 0.75)]); // −5pp
+        let out = report_over(&store, &Thresholds::default_gate());
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].metric, "hit_rate");
+        assert!(out.regressions[0].delta.ends_with("pp"));
+
+        let mut slow = rec(200, 800, 0.8);
+        slow.sim_cycles_per_host_sec = 0.4e6; // −80%
+        let store = store_of(vec![rec(100, 800, 0.8), slow]);
+        // Default gate ignores host throughput...
+        assert!(!report_over(&store, &Thresholds::default_gate()).flagged());
+        // ...an explicit tolerance gates it.
+        let gate = Thresholds {
+            max_host_throughput_drop_pct: Some(50.0),
+            ..Thresholds::none()
+        };
+        let out = report_over(&store, &gate);
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].metric, "host_mcps");
+    }
+
+    #[test]
+    fn missing_host_figures_never_compare() {
+        let gate = Thresholds {
+            max_host_throughput_drop_pct: Some(1.0),
+            ..Thresholds::none()
+        };
+        let mut import = rec(200, 800, 0.8);
+        import.sim_cycles_per_host_sec = 0.0; // an import, no figure
+        let store = store_of(vec![rec(100, 800, 0.8), import, rec(300, 800, 0.8)]);
+        // 2.0 → (absent) → 2.0: no pair compares, nothing flags.
+        assert!(!report_over(&store, &gate).flagged());
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let store = store_of(vec![rec(100, 800, 0.8), rec(200, 900, 0.7)]);
+        let a = report_over(&store, &Thresholds::default_gate());
+        let b = report_over(&store, &Thresholds::default_gate());
+        assert_eq!(a.render(), b.render());
+        for ((na, ta), (nb, tb)) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(na, nb);
+            assert_eq!(ta.to_csv(), tb.to_csv());
+        }
+    }
+}

@@ -286,9 +286,13 @@ struct BaseUnit {
 
 struct CcrUnit {
     name: &'static str,
+    input: InputSet,
+    scale: u32,
     machine: MachineConfig,
     crb: CrbConfig,
     compile_key: String,
+    /// Key of the baseline sim this point pairs with (for summaries).
+    base_key: String,
     key: String,
 }
 
@@ -445,7 +449,7 @@ pub fn plan<'s>(specs: &[&'s ExperimentSpec]) -> Plan<'s> {
                         name,
                         machine: sc.machine,
                         compile_key: ck.clone(),
-                        key: bk,
+                        key: bk.clone(),
                     });
                 } else {
                     plan.stats.deduped_sims += 1;
@@ -454,9 +458,12 @@ pub fn plan<'s>(specs: &[&'s ExperimentSpec]) -> Plan<'s> {
                 if seen_sims.insert(sk.clone(), ()).is_none() {
                     plan.ccrs.push(CcrUnit {
                         name,
+                        input: sc.input,
+                        scale: sc.scale,
                         machine: sc.machine,
                         crb: sc.crb,
                         compile_key: ck,
+                        base_key: bk,
                         key: sk,
                     });
                 } else {
@@ -554,6 +561,58 @@ pub struct Executed<'s> {
     bases: HashMap<String, SimOutcome>,
     ccrs: HashMap<String, SimOutcome>,
     potentials: HashMap<String, ReusePotential>,
+    /// Host wall time per simulation unit key (base and CCR alike).
+    sim_wall_ms: HashMap<String, u64>,
+    /// One entry per unique executed CCR point, in plan order.
+    points: Vec<PointMeta>,
+}
+
+/// Identity of one unique CCR sweep point, kept by the executor so
+/// summaries can pair each CCR sim with its baseline and compile.
+struct PointMeta {
+    name: &'static str,
+    input: InputSet,
+    scale: u32,
+    config_hash: String,
+    compile_key: String,
+    base_key: String,
+    ccr_key: String,
+}
+
+/// One unique executed CCR sweep point flattened to the fields the
+/// cross-run store records: the simulated outcome (cycles, speedup,
+/// hit rate, miss-cause mix, regions) plus host-side cost (wall time
+/// of the base + CCR sims for the point).
+///
+/// This is a plain value type on purpose: `ccr-bench` does not depend
+/// on `ccr-analyze`, so the CLI converts these into store records.
+#[derive(Clone, Debug)]
+pub struct PointSummary {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Input-set tag (`"train"` / `"ref"`).
+    pub input: &'static str,
+    /// Workload scale factor.
+    pub scale: u32,
+    /// [`ccr_core::config_hash`] of the point's machine + CRB.
+    pub config_hash: String,
+    /// Baseline simulated cycles.
+    pub base_cycles: u64,
+    /// CCR simulated cycles.
+    pub ccr_cycles: u64,
+    /// Baseline cycles over CCR cycles.
+    pub speedup: f64,
+    /// Reuse hits over reuse lookups (0.0 when no lookups ran).
+    pub hit_rate: f64,
+    /// Miss-cause counters in `ccr_analyze::MISS_CAUSES` order:
+    /// cold, mismatch, capacity, conflict, invalidated.
+    pub miss_causes: [u64; 5],
+    /// Regions the compiler formed for the point.
+    pub regions: u64,
+    /// Host wall time of the point's base + CCR simulations. Baseline
+    /// sims are shared across CRB configs, so a shared base's wall
+    /// time is attributed to every point that reads it.
+    pub wall_ms: u64,
 }
 
 /// Runs a plan's units over `jobs` workers: compiles and potential
@@ -598,6 +657,20 @@ pub fn execute<'s>(plan: &Plan<'s>, jobs: usize) -> Result<Executed<'s>, String>
         bases: HashMap::new(),
         ccrs: HashMap::new(),
         potentials: HashMap::new(),
+        sim_wall_ms: HashMap::new(),
+        points: plan
+            .ccrs
+            .iter()
+            .map(|u| PointMeta {
+                name: u.name,
+                input: u.input,
+                scale: u.scale,
+                config_hash: config_hash(&u.machine, &u.crb),
+                compile_key: u.compile_key.clone(),
+                base_key: u.base_key.clone(),
+                ccr_key: u.key.clone(),
+            })
+            .collect(),
     };
     for out in prep {
         match out? {
@@ -624,16 +697,21 @@ pub fn execute<'s>(plan: &Plan<'s>, jobs: usize) -> Result<Executed<'s>, String>
                 .map(|u| Sim::Ccr(u, Arc::clone(&executed.compiles[&u.compile_key]))),
         )
         .collect();
-    let sims = parallel_map(&sim_items, jobs, |_, item| match item {
-        Sim::Base(u, cw) => simulate_baseline(&cw.base, &u.machine, emu_config())
-            .map(|o| (u.key.clone(), true, o))
-            .map_err(|e| format!("{}: {e}", u.name)),
-        Sim::Ccr(u, cw) => simulate(&cw.annotated, &u.machine, Some(u.crb), emu_config())
-            .map(|o| (u.key.clone(), false, o))
-            .map_err(|e| format!("{}: {e}", u.name)),
+    let sims = parallel_map(&sim_items, jobs, |_, item| {
+        let start = std::time::Instant::now();
+        let out = match item {
+            Sim::Base(u, cw) => simulate_baseline(&cw.base, &u.machine, emu_config())
+                .map(|o| (u.key.clone(), true, o))
+                .map_err(|e| format!("{}: {e}", u.name)),
+            Sim::Ccr(u, cw) => simulate(&cw.annotated, &u.machine, Some(u.crb), emu_config())
+                .map(|o| (u.key.clone(), false, o))
+                .map_err(|e| format!("{}: {e}", u.name)),
+        };
+        out.map(|(key, is_base, o)| (key, is_base, o, start.elapsed().as_millis() as u64))
     });
     for out in sims {
-        let (key, is_base, outcome) = out?;
+        let (key, is_base, outcome, wall_ms) = out?;
+        executed.sim_wall_ms.insert(key.clone(), wall_ms);
         if is_base {
             executed.bases.insert(key, outcome);
         } else {
@@ -644,6 +722,46 @@ pub fn execute<'s>(plan: &Plan<'s>, jobs: usize) -> Result<Executed<'s>, String>
 }
 
 impl<'s> Executed<'s> {
+    /// Flattens every unique executed CCR point into a
+    /// [`PointSummary`], in plan (first-encounter) order — the hook
+    /// the CLI uses to append an `ccr exp` invocation's measurements
+    /// to the cross-run store.
+    pub fn point_summaries(&self) -> Vec<PointSummary> {
+        self.points
+            .iter()
+            .map(|p| {
+                let base = &self.bases[&p.base_key];
+                let ccr = &self.ccrs[&p.ccr_key];
+                let crb = &ccr.stats.crb;
+                let lookups = ccr.stats.reuse_hits + ccr.stats.reuse_misses;
+                PointSummary {
+                    workload: p.name,
+                    input: input_tag(p.input),
+                    scale: p.scale,
+                    config_hash: p.config_hash.clone(),
+                    base_cycles: base.stats.cycles,
+                    ccr_cycles: ccr.stats.cycles,
+                    speedup: ccr.speedup_over(base.stats.cycles),
+                    hit_rate: if lookups == 0 {
+                        0.0
+                    } else {
+                        ccr.stats.reuse_hits as f64 / lookups as f64
+                    },
+                    miss_causes: [
+                        crb.miss_cold,
+                        crb.miss_mismatch,
+                        crb.miss_capacity,
+                        crb.miss_conflict,
+                        crb.miss_invalidated,
+                    ],
+                    regions: self.compiles[&p.compile_key].regions.len() as u64,
+                    wall_ms: self.sim_wall_ms.get(&p.base_key).copied().unwrap_or(0)
+                        + self.sim_wall_ms.get(&p.ccr_key).copied().unwrap_or(0),
+                }
+            })
+            .collect()
+    }
+
     /// Assembles one planned spec's results for rendering.
     ///
     /// # Panics

@@ -32,7 +32,8 @@ pub use measure::{
 };
 pub use report::Table;
 pub use runreport::{
-    config_hash, emit_compile_events, fnv1a_hex, Provenance, RunReport, REPORT_SCHEMA_VERSION,
+    config_hash, emit_compile_events, fnv1a_hex, git_commit_id, Provenance, RunReport,
+    REPORT_SCHEMA_VERSION,
 };
 
 // Re-export the crates a downstream user needs to drive everything.

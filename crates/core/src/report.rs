@@ -1,100 +1,12 @@
 //! Plain-text table rendering for the experiment regenerators.
+//!
+//! The [`Table`] type itself lives in `ccr-telemetry` (see
+//! `ccr_telemetry::table`) so that `ccr-analyze` — which depends only
+//! on the telemetry crate — can render the same deterministic tables;
+//! it is re-exported here to keep the experiment engine's historical
+//! `ccr_core::report::Table` path working.
 
-/// A simple left-aligned text table with a header row.
-#[derive(Clone, Debug)]
-pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with the given column headers.
-    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Table {
-        Table {
-            header: header.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row. Short rows are padded with empty cells; long
-    /// rows are truncated to the header width.
-    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
-        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
-        row.resize(self.header.len(), String::new());
-        self.rows.push(row);
-        self
-    }
-
-    /// Number of data rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// True if the table has no data rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Renders the table as RFC 4180 CSV: cells containing a comma,
-    /// a double quote, or a line break are quoted, with embedded
-    /// quotes doubled. Plain cells are written verbatim.
-    pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        for cells in std::iter::once(&self.header).chain(&self.rows) {
-            for (i, cell) in cells.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                csv_cell(cell, &mut out);
-            }
-            out.push('\n');
-        }
-        out
-    }
-}
-
-/// Appends one CSV cell, quoting per RFC 4180 when needed.
-fn csv_cell(cell: &str, out: &mut String) {
-    if cell.contains([',', '"', '\n', '\r']) {
-        out.push('"');
-        for ch in cell.chars() {
-            if ch == '"' {
-                out.push('"');
-            }
-            out.push(ch);
-        }
-        out.push('"');
-    } else {
-        out.push_str(cell);
-    }
-}
-
-impl std::fmt::Display for Table {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        let render = |cells: &[String], f: &mut std::fmt::Formatter<'_>| -> std::fmt::Result {
-            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
-                if i > 0 {
-                    write!(f, "  ")?;
-                }
-                write!(f, "{cell:<w$}", w = *w)?;
-            }
-            writeln!(f)
-        };
-        render(&self.header, f)?;
-        let total = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
-        writeln!(f, "{}", "-".repeat(total))?;
-        for row in &self.rows {
-            render(row, f)?;
-        }
-        Ok(())
-    }
-}
+pub use ccr_telemetry::Table;
 
 /// Formats a ratio as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
@@ -111,100 +23,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn renders_aligned_columns() {
-        let mut t = Table::new(["bench", "speedup"]);
-        t.row(["124.m88ksim", "1.600"]);
-        t.row(["go", "1.05"]);
-        let s = t.to_string();
-        assert!(s.contains("bench"), "{s}");
-        assert!(s.lines().count() == 4, "{s}");
-        // Alignment: both data rows have the speedup column starting
-        // at the same offset.
-        let lines: Vec<&str> = s.lines().collect();
-        let col = lines[2].find("1.600").unwrap();
-        assert_eq!(lines[3].find("1.05").unwrap(), col);
-    }
-
-    #[test]
-    fn csv_round_trip() {
-        let mut t = Table::new(["a", "b"]);
-        t.row(["1", "2"]);
-        t.row(["3", "4"]);
-        assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
-        assert_eq!(t.len(), 2);
-        assert!(!t.is_empty());
-    }
-
-    /// A minimal RFC 4180 reader, for the round-trip test only.
-    fn parse_csv(text: &str) -> Vec<Vec<String>> {
-        let mut rows = Vec::new();
-        let mut row = Vec::new();
-        let mut cell = String::new();
-        let mut quoted = false;
-        let mut chars = text.chars().peekable();
-        while let Some(ch) = chars.next() {
-            if quoted {
-                match ch {
-                    '"' if chars.peek() == Some(&'"') => {
-                        chars.next();
-                        cell.push('"');
-                    }
-                    '"' => quoted = false,
-                    other => cell.push(other),
-                }
-            } else {
-                match ch {
-                    '"' => quoted = true,
-                    ',' => row.push(std::mem::take(&mut cell)),
-                    '\n' => {
-                        row.push(std::mem::take(&mut cell));
-                        rows.push(std::mem::take(&mut row));
-                    }
-                    other => cell.push(other),
-                }
-            }
-        }
-        rows
-    }
-
-    #[test]
-    fn csv_quotes_special_cells_and_round_trips() {
-        let gnarly = [
-            "plain",
-            "comma, inside",
-            "quote \" inside",
-            "both \",\" of them",
-            "line\nbreak",
-            "carriage\rreturn",
-            "\"fully quoted\"",
-            "",
-        ];
-        let mut t = Table::new(["h,1", "h\"2", "h3", "h4", "h5", "h6", "h7", "h8"]);
-        t.row(gnarly);
-        let csv = t.to_csv();
-        let parsed = parse_csv(&csv);
-        assert_eq!(parsed.len(), 2);
-        assert_eq!(
-            parsed[0],
-            vec!["h,1", "h\"2", "h3", "h4", "h5", "h6", "h7", "h8"]
-        );
-        assert_eq!(parsed[1], gnarly);
-        // Plain cells stay unquoted.
-        assert!(csv.contains("plain,"));
-        // Embedded quotes are doubled per RFC 4180.
-        assert!(csv.contains("\"quote \"\" inside\""));
-    }
-
-    #[test]
-    fn short_rows_are_padded() {
-        let mut t = Table::new(["a", "b", "c"]);
-        t.row(["only"]);
-        assert_eq!(t.to_csv(), "a,b,c\nonly,,\n");
-    }
-
-    #[test]
     fn formatting_helpers() {
         assert_eq!(pct(0.256), "25.6%");
         assert_eq!(speedup(1.2345), "1.234");
+    }
+
+    #[test]
+    fn table_reexport_is_the_telemetry_table() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
     }
 }

@@ -18,6 +18,10 @@
 //!   phase's stats (a cycle breakdown object for profiled runs, else
 //!   `null`). Readers keep v1/v2 paths: the new keys simply read as
 //!   absent.
+//! * **4** — adds `git_commit` to the provenance block (best-effort
+//!   `git rev-parse HEAD`, `"unknown"` outside a checkout) so the
+//!   cross-run store can key records by commit. Readers keep the
+//!   v1–v3 paths: an absent `git_commit` reads as unknown.
 //!
 //! All counters are serialized as the exact integers the simulator
 //! reported, so a report agrees byte-for-byte with the plain-text
@@ -31,7 +35,32 @@ use crate::compile::CompileTelemetry;
 use crate::measure::Measurement;
 
 /// Version of the run-report JSON schema (`schema_version`).
-pub const REPORT_SCHEMA_VERSION: u32 = 3;
+pub const REPORT_SCHEMA_VERSION: u32 = 4;
+
+/// The current git commit id, resolved once per process via
+/// `git rev-parse HEAD` in the working directory. Returns `"unknown"`
+/// when git is unavailable, the directory is not a checkout, or the
+/// output is not a well-formed hex id — provenance is best-effort and
+/// must never fail a run.
+pub fn git_commit_id() -> &'static str {
+    static COMMIT: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    COMMIT.get_or_init(|| {
+        let out = std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output();
+        match out {
+            Ok(out) if out.status.success() => {
+                let id = String::from_utf8_lossy(&out.stdout).trim().to_string();
+                if !id.is_empty() && id.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    id
+                } else {
+                    "unknown".to_string()
+                }
+            }
+            _ => "unknown".to_string(),
+        }
+    })
+}
 
 /// Where a report came from: enough to decide whether two runs are
 /// comparable (same code, same simulated hardware) before diffing
@@ -46,6 +75,9 @@ pub struct Provenance {
     pub config_hash: String,
     /// `ccr-core` crate version that produced the report.
     pub crate_version: String,
+    /// Git commit id of the checkout that produced the run
+    /// ([`git_commit_id`]), `"unknown"` outside a checkout.
+    pub git_commit: String,
 }
 
 impl Provenance {
@@ -56,6 +88,7 @@ impl Provenance {
             argv: argv.to_vec(),
             config_hash: config_hash(machine, crb),
             crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            git_commit: git_commit_id().to_string(),
         }
     }
 }
@@ -155,6 +188,7 @@ impl RunReport<'_> {
         w.key("config_hash").str_val(&self.provenance.config_hash);
         w.key("crate_version")
             .str_val(&self.provenance.crate_version);
+        w.key("git_commit").str_val(&self.provenance.git_commit);
         w.obj_end();
 
         w.key("machine");
@@ -377,7 +411,11 @@ mod tests {
             provenance: &provenance,
         };
         let json = report.to_json();
-        assert!(json.starts_with("{\"schema_version\":3,"), "{json}");
+        assert!(json.starts_with("{\"schema_version\":4,"), "{json}");
+        assert!(
+            json.contains(&format!("\"git_commit\":\"{}\"", provenance.git_commit)),
+            "{json}"
+        );
         assert!(json.contains("\"miss_cold\":"), "{json}");
         assert!(
             json.contains("\"attribution\":null"),
@@ -420,6 +458,17 @@ mod tests {
         wide.issue_width += 1;
         let d = config_hash(&wide, &CrbConfig::paper());
         assert_ne!(a, d, "different machine must change the hash");
+    }
+
+    #[test]
+    fn git_commit_id_is_hex_or_unknown() {
+        let id = git_commit_id();
+        assert!(
+            id == "unknown" || (id.len() == 40 && id.bytes().all(|b| b.is_ascii_hexdigit())),
+            "unexpected commit id {id:?}"
+        );
+        // Cached: a second call returns the same value.
+        assert_eq!(git_commit_id(), id);
     }
 
     #[test]

@@ -29,12 +29,14 @@ pub mod json;
 pub mod metrics;
 pub mod sink;
 pub mod span;
+pub mod table;
 
 pub use event::{Event, FieldValue};
 pub use json::JsonWriter;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use sink::{JsonlSink, NullSink, RecordSink, SummarySink, TelemetrySink};
 pub use span::Span;
+pub use table::Table;
 
 /// Version of the emitted event / run-report schema. Bumped whenever
 /// field names or semantics change, so downstream consumers can

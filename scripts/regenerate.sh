@@ -10,19 +10,30 @@ echo '== ccr exp --all (every experiment, one deduplicated parallel pass)'
 # once and simulates each distinct sweep point once across all eight
 # experiments; tables are byte-identical to the old one-binary-per-
 # figure regeneration (tests/exp_golden.rs pins this).
-cargo run --release -q --bin ccr -- exp --all --jobs "$(nproc)" --out results
+# --no-store: sweep points would bloat the committed run store; the
+# store's history is the bench suite's (below).
+cargo run --release -q --bin ccr -- exp --all --jobs "$(nproc)" --out results --no-store
 echo '== BENCH_ccr.json (perf baseline; CI gates ccr diff against it)'
 # The committed baseline is always taken serially so its per-workload
-# wall_ms stays comparable across regenerations.
-cargo run --release -q --bin ccr -- bench --jobs 1 --out BENCH_ccr.json
+# wall_ms stays comparable across regenerations. The same run appends
+# one record per workload to the committed run store (runs/store.jsonl,
+# the `ccr report` history), timestamped at the HEAD commit so a
+# re-regeneration at the same commit lands at the same instant.
+cargo run --release -q --bin ccr -- bench --jobs 1 --out BENCH_ccr.json \
+    --store runs/store.jsonl --at "$(git log -1 --format=%ct)"
 echo '== profile fixture (tests/fixtures/run_telemetry + goldens)'
 # Refresh the frozen `ccr profile` capture the golden tests run against,
 # then rewrite the goldens from it. Events/report carry wall-clock pass
 # timings (not byte-stable); the analyzer artifacts are deterministic.
 cargo run --release -q --bin ccr -- profile bitcount \
-    --telemetry tests/fixtures/run_telemetry > /dev/null
+    --telemetry tests/fixtures/run_telemetry --no-store > /dev/null
 cargo run --release -q --bin ccr -- print bitcount \
     > tests/fixtures/run_telemetry/bitcount.ccr
 rm -f tests/fixtures/run_telemetry/{analysis.json,trace.json,profile.folded,flamegraph.svg}
 CCR_UPDATE_GOLDEN=1 cargo test --release -q --test analyze_golden > /dev/null
+echo '== report goldens (tests/fixtures/run_store)'
+# The run-store fixture itself is hand-frozen (it carries a *planted*
+# regression the test pins first-bad detection against) — only the
+# report goldens over it are rewritten.
+CCR_UPDATE_GOLDEN=1 cargo test --release -q --test report_golden > /dev/null
 echo "done; see results/ and EXPERIMENTS.md"

@@ -15,6 +15,10 @@
 //!           [--only NAME[,NAME...]] [--out FILE] [--jobs N]
 //! ccr exp <NAME>... | --all [--jobs N] [--out DIR]
 //! ccr exp --list
+//! ccr report [--store FILE] [--out DIR] [--thresholds default|none]
+//!            [--max-cycle-regress-pct X] [--max-hit-rate-drop-pp X]
+//!            [--max-speedup-drop-pct X] [--max-host-throughput-drop-pct X]
+//! ccr report import <FILE>... [--store FILE] [--commit HASH] [--at TS]
 //! ccr regions <benchmark|file.ccr>
 //! ccr potential <benchmark|file.ccr>
 //! ccr print <benchmark> [--annotated]
@@ -49,6 +53,19 @@
 //! a regression threshold is breached, which is what CI gates on.
 //! `ccr bench` runs the built-in suite and snapshots `BENCH_ccr.json`,
 //! the committed performance baseline.
+//!
+//! Every measuring command (`ccr bench`, `ccr exp`, `ccr profile`)
+//! also appends its measurements to the append-only cross-run store —
+//! `runs/store.jsonl` by default, `--store FILE` to redirect,
+//! `--no-store` to opt out, `--at TS` to pin the record timestamp.
+//! `ccr report` reads the store back and renders per-series trend
+//! tables (speedup / hit rate / miss-cause mix / host throughput)
+//! plus first-regression flags: for each (workload, input, scale,
+//! config-hash) series and each gated metric, the earliest adjacent
+//! pair breaching the thresholds is flagged as the regression's
+//! introduction point, and the command exits 2 — the same contract
+//! `ccr diff` has. `ccr report import` backfills a store from saved
+//! `BENCH_*.json` / `analysis.json` artifacts. See DESIGN.md §11.
 //!
 //! `ccr exp` is the declarative experiment engine (`ccr-bench`'s
 //! `exp` module): it plans the selected experiment specs into a
@@ -132,6 +149,11 @@ const USAGE: &str = "usage:
             [--only NAME[,NAME...]] [--out FILE] [--jobs N]
   ccr exp <NAME>... | --all [--jobs N] [--out DIR]
   ccr exp --list
+  ccr report [--store FILE] [--out DIR] [--thresholds default|none]
+             [--max-cycle-regress-pct X] [--max-hit-rate-drop-pp X]
+             [--max-speedup-drop-pct X] [--max-host-throughput-drop-pct X]
+  ccr report import <FILE>... [--store FILE] [--commit HASH] [--at TS]
+  (bench/exp/profile also take [--store FILE] [--no-store] [--at TS])
   ccr regions <benchmark|file.ccr>
   ccr potential <benchmark|file.ccr>
   ccr print <benchmark> [--annotated]
@@ -160,6 +182,11 @@ struct Flags {
     max_cycle_regress_pct: Option<f64>,
     max_hit_rate_drop_pp: Option<f64>,
     max_speedup_drop_pct: Option<f64>,
+    max_host_throughput_drop_pct: Option<f64>,
+    store: Option<String>,
+    no_store: bool,
+    commit: Option<String>,
+    at: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -185,6 +212,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         max_cycle_regress_pct: None,
         max_hit_rate_drop_pp: None,
         max_speedup_drop_pct: None,
+        max_host_throughput_drop_pct: None,
+        store: None,
+        no_store: false,
+        commit: None,
+        at: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -280,6 +312,23 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .map_err(|_| "bad --max-speedup-drop-pct value".to_string())?,
                 );
             }
+            "--max-host-throughput-drop-pct" => {
+                flags.max_host_throughput_drop_pct = Some(
+                    take("--max-host-throughput-drop-pct")?
+                        .parse()
+                        .map_err(|_| "bad --max-host-throughput-drop-pct value".to_string())?,
+                );
+            }
+            "--store" => flags.store = Some(take("--store")?),
+            "--no-store" => flags.no_store = true,
+            "--commit" => flags.commit = Some(take("--commit")?),
+            "--at" => {
+                flags.at = Some(
+                    take("--at")?
+                        .parse()
+                        .map_err(|_| "bad --at value (unix seconds)".to_string())?,
+                );
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
             }
@@ -309,6 +358,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, CliError> {
         "diff" => cmd_diff(&flags),
         "bench" => ok(cmd_bench(&flags)),
         "exp" => ok(cmd_exp(&flags)),
+        "report" => cmd_report(&flags),
         "regions" => ok(cmd_regions(&flags)),
         "potential" => ok(cmd_potential(&flags)),
         "print" => ok(cmd_print(&flags)),
@@ -539,8 +589,10 @@ fn cmd_profile(flags: &Flags) -> Result<(), CliError> {
         sample_period: flags.sample_period,
         ..ccr::sim::TraceConfig::default()
     };
+    let sim_start = std::time::Instant::now();
     let m = ccr::measure_profiled(&compiled, &machine, crb, emu(), &cfg, &mut sink)
         .map_err(|e| e.to_string())?;
+    let sim_wall_ms = sim_start.elapsed().as_millis() as u64;
     sink.finish()
         .map_err(|e| format!("{}: {e}", events_path.display()))?;
     let argv: Vec<String> = std::env::args().collect();
@@ -578,7 +630,30 @@ fn cmd_profile(flags: &Flags) -> Result<(), CliError> {
         events_path.display(),
         report_path.display()
     );
-    Ok(())
+    // Store hook: one record from the analysis totals, with the miss
+    // mix the profiled run classified.
+    let rec = ccr_analyze::RunRecord {
+        timestamp: record_timestamp(flags),
+        commit: ccr::git_commit_id().to_string(),
+        config_hash: analysis.config_hash.clone().unwrap_or_default(),
+        source: "profile".to_string(),
+        workload: analysis.workload.clone(),
+        input: analysis.input.clone(),
+        scale: analysis.scale,
+        base_cycles: analysis.base_cycles,
+        ccr_cycles: analysis.ccr_cycles,
+        speedup: analysis.speedup,
+        hit_rate: analysis.hit_rate,
+        miss_causes: analysis.miss_causes,
+        regions: analysis.regions_formed,
+        wall_ms: sim_wall_ms,
+        sim_cycles_per_host_sec: ccr_analyze::BenchWorkload::host_throughput(
+            analysis.base_cycles,
+            analysis.ccr_cycles,
+            sim_wall_ms,
+        ),
+    };
+    append_to_store(flags, &[rec])
 }
 
 /// Checks a telemetry directory has both run artifacts before any
@@ -694,7 +769,48 @@ fn thresholds_of(flags: &Flags) -> ccr_analyze::Thresholds {
     if flags.max_speedup_drop_pct.is_some() {
         t.max_speedup_drop_pct = flags.max_speedup_drop_pct;
     }
+    if flags.max_host_throughput_drop_pct.is_some() {
+        t.max_host_throughput_drop_pct = flags.max_host_throughput_drop_pct;
+    }
     t
+}
+
+/// The run-store path a command appends to / reads from.
+fn store_path(flags: &Flags) -> std::path::PathBuf {
+    std::path::PathBuf::from(
+        flags
+            .store
+            .as_deref()
+            .unwrap_or(ccr_analyze::store::DEFAULT_STORE_PATH),
+    )
+}
+
+/// Timestamp for new store records: `--at` when given (deterministic
+/// runs, tests), the system clock otherwise.
+fn record_timestamp(flags: &Flags) -> u64 {
+    flags.at.unwrap_or_else(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    })
+}
+
+/// Appends a measuring command's records to the run store unless the
+/// user opted out. The confirmation goes to stderr so piped table
+/// output (the `ccr exp` bit-identity contract) stays clean.
+fn append_to_store(flags: &Flags, records: &[ccr_analyze::RunRecord]) -> Result<(), CliError> {
+    if flags.no_store || records.is_empty() {
+        return Ok(());
+    }
+    let path = store_path(flags);
+    ccr_analyze::RunStore::append(&path, records)?;
+    eprintln!(
+        "store: appended {} record(s) to {}",
+        records.len(),
+        path.display()
+    );
+    Ok(())
 }
 
 fn cmd_diff(flags: &Flags) -> Result<ExitCode, CliError> {
@@ -752,6 +868,7 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
         scale: u64::from(flags.scale),
         config_hash: ccr::config_hash(&machine, &crb),
         crate_version: env!("CARGO_PKG_VERSION").to_string(),
+        git_commit: ccr::git_commit_id().to_string(),
         workloads: Vec::new(),
     };
     let runs = ccr_bench::run_selected(
@@ -779,6 +896,11 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
             },
             regions: run.compiled.regions.len() as u64,
             wall_ms: run.wall_ms,
+            sim_cycles_per_host_sec: ccr_analyze::BenchWorkload::host_throughput(
+                m.base.stats.cycles,
+                m.ccr.stats.cycles,
+                run.wall_ms,
+            ),
         });
     }
     let out = flags
@@ -788,7 +910,22 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
     std::fs::write(&out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
     print!("{}", report.render());
     println!("wrote {out}");
-    Ok(())
+    // Store hook: the snapshot's records, with the real miss-cause mix
+    // from the live simulator stats (the BENCH file itself is
+    // cause-lossy, so imports of it stay all-zero).
+    let mut records =
+        ccr_analyze::store::records_from_bench(&report, record_timestamp(flags), "bench");
+    for (rec, run) in records.iter_mut().zip(&runs) {
+        let crb = &run.measurement.ccr.stats.crb;
+        rec.miss_causes = [
+            crb.miss_cold,
+            crb.miss_mismatch,
+            crb.miss_capacity,
+            crb.miss_conflict,
+            crb.miss_invalidated,
+        ];
+    }
+    append_to_store(flags, &records)
 }
 
 /// `ccr exp`: the declarative experiment engine. Plans the selected
@@ -859,6 +996,119 @@ fn cmd_exp(flags: &Flags) -> Result<(), CliError> {
             None => print!("{}", rendered.text),
         }
     }
+    // Store hook: one record per unique executed CCR sweep point.
+    let ts = record_timestamp(flags);
+    let commit = ccr::git_commit_id();
+    let records: Vec<ccr_analyze::RunRecord> = executed
+        .point_summaries()
+        .into_iter()
+        .map(|p| ccr_analyze::RunRecord {
+            timestamp: ts,
+            commit: commit.to_string(),
+            config_hash: p.config_hash,
+            source: "exp".to_string(),
+            workload: p.workload.to_string(),
+            input: p.input.to_string(),
+            scale: u64::from(p.scale),
+            base_cycles: p.base_cycles,
+            ccr_cycles: p.ccr_cycles,
+            speedup: p.speedup,
+            hit_rate: p.hit_rate,
+            miss_causes: p.miss_causes,
+            regions: p.regions,
+            wall_ms: p.wall_ms,
+            sim_cycles_per_host_sec: ccr_analyze::BenchWorkload::host_throughput(
+                p.base_cycles,
+                p.ccr_cycles,
+                p.wall_ms,
+            ),
+        })
+        .collect();
+    append_to_store(flags, &records)
+}
+
+/// `ccr report`: cross-run trend tables and first-regression flags
+/// over the run store, exiting 2 on a flag (like `ccr diff`).
+/// `ccr report import <FILE>...` backfills the store from saved
+/// BENCH / analysis artifacts instead.
+fn cmd_report(flags: &Flags) -> Result<ExitCode, CliError> {
+    match flags.positional.first().map(String::as_str) {
+        Some("import") => cmd_report_import(flags).map(|()| ExitCode::SUCCESS),
+        Some(other) => Err(usage_err(format!(
+            "unknown report subcommand `{other}` (expected `import` or no argument)"
+        ))),
+        None => {
+            let path = store_path(flags);
+            let store = ccr_analyze::RunStore::load(&path)?;
+            let output = ccr_analyze::report_over(&store, &thresholds_of(flags));
+            if let Some(dir) = &flags.out {
+                let dir = std::path::Path::new(dir);
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("create {}: {e}", dir.display()))?;
+                for (name, table) in &output.tables {
+                    let csv = dir.join(format!("report.{name}.csv"));
+                    std::fs::write(&csv, table.to_csv())
+                        .map_err(|e| format!("write {}: {e}", csv.display()))?;
+                }
+                eprintln!(
+                    "wrote {} csv table(s) under {}",
+                    output.tables.len(),
+                    dir.display()
+                );
+            }
+            print!("{}", output.render());
+            Ok(if output.flagged() {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+    }
+}
+
+/// `ccr report import`: turns saved `BENCH_*.json` (one record per
+/// workload, cause-lossy) and `analysis.json` (one record, full miss
+/// mix) files into store appends. `--commit` overrides the recorded
+/// commit — artifacts produced before provenance carried one say
+/// "unknown" otherwise.
+fn cmd_report_import(flags: &Flags) -> Result<(), CliError> {
+    let files = &flags.positional[1..];
+    if files.is_empty() {
+        return Err(usage_err(
+            "report import needs at least one BENCH_*.json or analysis.json file",
+        ));
+    }
+    let ts = record_timestamp(flags);
+    let mut records = Vec::new();
+    for spec in files {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+        let v = ccr_analyze::value::parse(text.trim()).map_err(|e| format!("{spec}: {e}"))?;
+        if v.get("bench_schema_version").is_some() {
+            let report =
+                ccr_analyze::BenchReport::from_json(&text).map_err(|e| format!("{spec}: {e}"))?;
+            let mut recs = ccr_analyze::store::records_from_bench(&report, ts, "import");
+            if let Some(commit) = &flags.commit {
+                for rec in &mut recs {
+                    rec.commit = commit.clone();
+                }
+            }
+            records.extend(recs);
+        } else if v.get("analysis_schema_version").is_some() {
+            records.push(
+                ccr_analyze::store::record_from_analysis_json(&text, ts, flags.commit.as_deref())
+                    .map_err(|e| format!("{spec}: {e}"))?,
+            );
+        } else {
+            return Err(format!("{spec}: not a BENCH json or analysis.json").into());
+        }
+    }
+    let path = store_path(flags);
+    ccr_analyze::RunStore::append(&path, &records)?;
+    println!(
+        "imported {} record(s) into {}",
+        records.len(),
+        path.display()
+    );
     Ok(())
 }
 

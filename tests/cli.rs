@@ -208,8 +208,19 @@ fn bench_snapshot_round_trips_through_diff() {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let snap = dir.join("BENCH_test.json");
+    let store = dir.join("runs/store.jsonl");
     let out = ccr()
-        .args(["bench", "--only", "lex", "--out", snap.to_str().unwrap()])
+        .args([
+            "bench",
+            "--only",
+            "lex",
+            "--out",
+            snap.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--at",
+            "1700000000",
+        ])
         .output()
         .unwrap();
     assert!(
@@ -218,8 +229,22 @@ fn bench_snapshot_round_trips_through_diff() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = std::fs::read_to_string(&snap).unwrap();
-    assert!(text.starts_with("{\"bench_schema_version\":1,"), "{text}");
+    assert!(text.starts_with("{\"bench_schema_version\":2,"), "{text}");
     assert!(text.contains("\"name\":\"lex\""), "{text}");
+    assert!(text.contains("\"sim_cycles_per_host_sec\":"), "{text}");
+    assert!(text.contains("\"git_commit\":"), "{text}");
+
+    // The run appended one store record — with the *live* miss-cause
+    // mix, which the BENCH file itself doesn't carry.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("appended 1 record(s)"), "{stderr}");
+    let line = std::fs::read_to_string(&store).unwrap();
+    assert!(
+        line.starts_with("{\"store_v\":1,\"ts\":1700000000,"),
+        "{line}"
+    );
+    assert!(line.contains("\"source\":\"bench\""), "{line}");
+    assert!(!line.contains("\"miss_capacity\":0,"), "{line}");
 
     let out = ccr()
         .args(["diff", snap.to_str().unwrap(), snap.to_str().unwrap()])
@@ -248,8 +273,16 @@ fn profile_writes_attribution_and_flamegraph_artifacts() {
     let dir = std::env::temp_dir().join("ccr-cli-profile-test");
     let _ = std::fs::remove_dir_all(&dir);
     let tele = dir.join("prof");
+    let store = dir.join("runs/store.jsonl");
     let out = ccr()
-        .args(["profile", "bitcount", "--telemetry", tele.to_str().unwrap()])
+        .args([
+            "profile",
+            "bitcount",
+            "--telemetry",
+            tele.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(
@@ -261,6 +294,12 @@ fn profile_writes_attribution_and_flamegraph_artifacts() {
     assert!(stdout.contains("attr (base)"), "{stdout}");
     assert!(stdout.contains("cycle samples"), "{stdout}");
     assert!(stdout.contains("misses     :"), "{stdout}");
+
+    // The profiled run appended a store record with its analysis totals.
+    let line = std::fs::read_to_string(&store).unwrap();
+    assert!(line.starts_with("{\"store_v\":1,"), "{line}");
+    assert!(line.contains("\"source\":\"profile\""), "{line}");
+    assert!(line.contains("\"workload\":\"bitcount\""), "{line}");
 
     // Profiling must not perturb timing: a plain run of the same
     // workload reports byte-identical cycle counts.
@@ -369,6 +408,125 @@ fn analyze_and_diff_reject_incomplete_run_directories() {
     assert_eq!(out.status.code(), Some(1));
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("not a directory"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn report_imports_renders_and_preflights_the_store() {
+    let dir = std::env::temp_dir().join("ccr-cli-report-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("runs/store.jsonl");
+
+    // Missing store: one-line pre-flight error, exit 1, no usage dump.
+    let out = ccr()
+        .args(["report", "--store", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("no run store here"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
+
+    // A bench run with --no-store must not create one.
+    let snap = dir.join("BENCH_test.json");
+    let out = ccr()
+        .args([
+            "bench",
+            "--only",
+            "lex",
+            "--out",
+            snap.to_str().unwrap(),
+            "--no-store",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!store.exists(), "--no-store must not write a store");
+
+    // Backfill the snapshot twice at pinned timestamps, then report:
+    // a flat two-run history, exit 0, CSVs under --out.
+    for ts in ["100", "200"] {
+        let out = ccr()
+            .args([
+                "report",
+                "import",
+                snap.to_str().unwrap(),
+                "--store",
+                store.to_str().unwrap(),
+                "--at",
+                ts,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let csv_dir = dir.join("csv");
+    let out = ccr()
+        .args([
+            "report",
+            "--store",
+            store.to_str().unwrap(),
+            "--out",
+            csv_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "flat history must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 record(s), 1 series"), "{stdout}");
+    assert!(
+        stdout.contains("\"import\"") || stdout.contains("import"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("OK: no regressions"), "{stdout}");
+    for table in ["trend", "miss_mix", "host", "regressions"] {
+        let csv = csv_dir.join(format!("report.{table}.csv"));
+        assert!(csv.is_file(), "missing {}", csv.display());
+    }
+
+    // A torn final line (killed mid-append) is recovered, noted, and
+    // does not fail the report.
+    let mut text = std::fs::read_to_string(&store).unwrap();
+    text.push_str("{\"store_v\":1,\"ts\":300,\"commit\":\"tor");
+    std::fs::write(&store, text).unwrap();
+    let out = ccr()
+        .args(["report", "--store", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("note: 1 unreadable line(s) skipped"),
+        "{stdout}"
+    );
+
+    // A fully unreadable store is a one-line corrupt-store error.
+    std::fs::write(&store, "not a store\n").unwrap();
+    let out = ccr()
+        .args(["report", "--store", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("corrupt run store"), "{stderr}");
     assert!(!stderr.contains("usage:"), "{stderr}");
 }
 

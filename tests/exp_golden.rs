@@ -123,3 +123,32 @@ fn shared_point_across_two_specs_runs_exactly_once() {
     let speedup: f64 = ra.trim().parse().expect("rendered speedup");
     assert!(speedup > 0.5, "implausible speedup {speedup}");
 }
+
+#[test]
+fn point_summaries_flatten_each_unique_ccr_point_once() {
+    let a = tiny_spec("tiny_a");
+    let b = tiny_spec("tiny_b");
+    let plan = exp::plan(&[&a, &b]);
+    let executed = exp::execute(&plan, 1).expect("bitcount runs within limits");
+    let points = executed.point_summaries();
+    // The two specs share one (workload, config) point: one summary.
+    assert_eq!(points.len(), 1);
+    let p = &points[0];
+    assert_eq!(p.workload, "bitcount");
+    assert_eq!(p.input, "train");
+    assert_eq!(
+        p.config_hash,
+        ccr::config_hash(&MachineConfig::paper(), &CrbConfig::paper()),
+        "summary must carry the PR-2 config hash of its point"
+    );
+    assert!(p.base_cycles > 0 && p.ccr_cycles > 0);
+    let expected = p.base_cycles as f64 / p.ccr_cycles as f64;
+    assert!((p.speedup - expected).abs() < 1e-12);
+    assert!((0.0..=1.0).contains(&p.hit_rate));
+    assert!(p.regions > 0, "paper config must form regions on bitcount");
+    let misses: u64 = p.miss_causes.iter().sum();
+    assert!(
+        p.hit_rate < 1.0 || misses == 0,
+        "a perfect hit rate cannot coexist with classified misses"
+    );
+}

@@ -1,0 +1,117 @@
+//! Golden-file test for the cross-run report.
+//!
+//! `tests/fixtures/run_store/store.jsonl` is a frozen eight-record
+//! run store: two workloads (`008.espresso`, `lex`) measured across
+//! four runs under one configuration. The espresso series carries a
+//! planted regression at the third run — CCR cycles jump ~10% and the
+//! hit rate drops ~5pp — which *persists* into the fourth run, so the
+//! test can pin that `ccr report` flags the introduction point (run
+//! three) and not every run after it. The lex series is flat and must
+//! never flag.
+//!
+//! The report over the fixture is compared byte-for-byte against the
+//! committed goldens (`golden/report.txt` plus one CSV per table),
+//! and run through the actual `ccr` binary twice to pin the CLI
+//! contract: identical bytes, exit code 2.
+//!
+//! To refresh after an intentional schema or report change:
+//!
+//! ```text
+//! CCR_UPDATE_GOLDEN=1 cargo test --test report_golden
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/run_store")
+}
+
+fn check_golden(path: &Path, actual: &str) {
+    if std::env::var_os("CCR_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (run with CCR_UPDATE_GOLDEN=1 to create)",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{} drifted from the committed golden.\n\
+         If the change is intentional, refresh with:\n\
+         CCR_UPDATE_GOLDEN=1 cargo test --test report_golden\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}",
+        path.display()
+    );
+}
+
+#[test]
+fn report_output_is_byte_stable_on_the_frozen_fixture() {
+    let store = ccr_analyze::RunStore::load(&fixture().join("store.jsonl"))
+        .expect("fixture must load cleanly");
+    assert_eq!(store.skipped_lines, 0, "the frozen store has no torn lines");
+    assert_eq!(store.records.len(), 8);
+
+    let out = ccr_analyze::report_over(&store, &ccr_analyze::Thresholds::default_gate());
+
+    // Determinism first, independent of the goldens.
+    let again = ccr_analyze::report_over(&store, &ccr_analyze::Thresholds::default_gate());
+    assert_eq!(out.render(), again.render());
+
+    check_golden(&fixture().join("golden/report.txt"), &out.render());
+    for (name, table) in &out.tables {
+        check_golden(
+            &fixture().join(format!("golden/report.{name}.csv")),
+            &table.to_csv(),
+        );
+    }
+}
+
+#[test]
+fn planted_regression_is_flagged_at_its_introduction_point() {
+    let store = ccr_analyze::RunStore::load(&fixture().join("store.jsonl")).unwrap();
+    let out = ccr_analyze::report_over(&store, &ccr_analyze::Thresholds::default_gate());
+    assert!(out.flagged());
+    // Only the espresso series regressed; its cycles, hit rate, and
+    // (as a consequence of the cycle growth) speedup all breach — each
+    // exactly once, at the first-bad run, despite the fourth run also
+    // being bad.
+    assert!(out.regressions.iter().all(|r| r.series.0 == "008.espresso"));
+    for metric in ["ccr_cycles", "hit_rate", "speedup"] {
+        let hits: Vec<_> = out
+            .regressions
+            .iter()
+            .filter(|r| r.metric == metric)
+            .collect();
+        assert_eq!(hits.len(), 1, "{metric}: one finding per series");
+        assert_eq!(hits[0].timestamp, 1_700_172_800, "{metric}: first-bad run");
+        assert!(hits[0].commit.starts_with("3333"), "{metric}");
+    }
+}
+
+#[test]
+fn report_cli_is_byte_identical_across_invocations_and_exits_2() {
+    let store = fixture().join("store.jsonl");
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_ccr"))
+            .args(["report", "--store", store.to_str().unwrap()])
+            .output()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.status.code(),
+        Some(2),
+        "planted regression must exit 2: {}",
+        String::from_utf8_lossy(&a.stderr)
+    );
+    assert_eq!(a.stdout, b.stdout, "report output must be byte-stable");
+    assert_eq!(b.status.code(), Some(2));
+    let text = String::from_utf8(a.stdout).unwrap();
+    assert!(text.contains("FAIL: "), "{text}");
+    check_golden(&fixture().join("golden/report.txt"), &text);
+}
