@@ -209,7 +209,9 @@ pub fn report_over(store: &RunStore, thresholds: &Thresholds) -> ReportOutput {
         "invalidated",
         "misses",
     ]);
-    let mut host = Table::new(["workload", "config", "when", "commit", "wall_ms", "Mcyc/s"]);
+    let mut host = Table::new([
+        "workload", "config", "when", "commit", "wall_ms", "Mcyc/s", "util%",
+    ]);
     for (key, records) in &series {
         let (workload, input, scale, config) = key;
         for rec in records {
@@ -247,6 +249,11 @@ pub fn report_over(store: &RunStore, thresholds: &Thresholds) -> ReportOutput {
                 rec.wall_ms.to_string(),
                 if rec.sim_cycles_per_host_sec > 0.0 {
                     format!("{:.1}", rec.sim_cycles_per_host_sec / 1.0e6)
+                } else {
+                    "-".to_string()
+                },
+                if rec.host_util_pct > 0.0 {
+                    format!("{:.0}", rec.host_util_pct)
                 } else {
                     "-".to_string()
                 },
@@ -331,6 +338,7 @@ mod tests {
             regions: 4,
             wall_ms: 10,
             sim_cycles_per_host_sec: 2.0e6,
+            host_util_pct: 0.0,
         }
     }
 

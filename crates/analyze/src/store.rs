@@ -74,6 +74,11 @@ pub struct RunRecord {
     pub wall_ms: u64,
     /// Simulated cycles per host second (0.0 when unmeasured).
     pub sim_cycles_per_host_sec: f64,
+    /// Job-pool worker utilization of the producing harness run, in
+    /// percent (0.0 when unmeasured — harness off, imports, and every
+    /// record written before the field existed; readers default
+    /// missing numeric fields to zero, so no `store_v` bump).
+    pub host_util_pct: f64,
 }
 
 impl RunRecord {
@@ -100,6 +105,7 @@ impl RunRecord {
         w.key("wall_ms").u64_val(self.wall_ms);
         w.key("sim_cycles_per_host_sec")
             .f64_val(self.sim_cycles_per_host_sec);
+        w.key("host_util_pct").f64_val(self.host_util_pct);
         w.obj_end();
         w.finish()
     }
@@ -125,6 +131,7 @@ impl RunRecord {
             regions: v.u64_field("regions"),
             wall_ms: v.u64_field("wall_ms"),
             sim_cycles_per_host_sec: v.f64_field("sim_cycles_per_host_sec"),
+            host_util_pct: v.f64_field("host_util_pct"),
         }
     }
 
@@ -277,6 +284,7 @@ pub fn records_from_bench(
             regions: wl.regions,
             wall_ms: wl.wall_ms,
             sim_cycles_per_host_sec: wl.sim_cycles_per_host_sec,
+            host_util_pct: 0.0,
         })
         .collect()
 }
@@ -322,6 +330,7 @@ pub fn record_from_analysis_json(
         regions: totals.u64_field("regions_formed"),
         wall_ms: 0,
         sim_cycles_per_host_sec: 0.0,
+        host_util_pct: 0.0,
     })
 }
 
@@ -375,6 +384,7 @@ mod tests {
             regions: 4,
             wall_ms: 20,
             sim_cycles_per_host_sec: 1.5e6,
+            host_util_pct: 62.5,
         }
     }
 

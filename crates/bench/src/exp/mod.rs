@@ -44,7 +44,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ccr_core::compile::{CompileConfig, CompiledWorkload};
-use ccr_core::jobs::parallel_map;
+use ccr_core::harness::Harness;
+use ccr_core::jobs::parallel_map_observed;
 use ccr_core::measure::{reuse_potential, Measurement};
 use ccr_core::report::Table;
 use ccr_core::{config_hash, fnv1a_hex};
@@ -565,6 +566,9 @@ pub struct Executed<'s> {
     sim_wall_ms: HashMap<String, u64>,
     /// One entry per unique executed CCR point, in plan order.
     points: Vec<PointMeta>,
+    /// Compile-cache (hits, misses) for the run (satellite of the
+    /// observability PR: counted since PR 5, now surfaced).
+    cache: (u64, u64),
 }
 
 /// Identity of one unique CCR sweep point, kept by the executor so
@@ -619,11 +623,34 @@ pub struct PointSummary {
 /// studies first (a simulation needs its compile), then every
 /// simulation as an independent work item.
 ///
+/// Equivalent to [`execute_observed`] with a disabled harness.
+///
 /// # Errors
 ///
 /// Returns the first failing unit's error (unknown workload or
 /// emulator limit breach), in unit order.
 pub fn execute<'s>(plan: &Plan<'s>, jobs: usize) -> Result<Executed<'s>, String> {
+    execute_observed(plan, jobs, &Harness::disabled())
+}
+
+/// [`execute`] with host-side observability: every unit runs under a
+/// stable task label (`compile:`/`potential:`/`sim:base:`/`sim:ccr:`
+/// × workload × config hash), the job pool reports per-worker
+/// busy/idle accounting to `harness`, and start/finish/cache events
+/// land in `harness.jsonl`.
+///
+/// The harness only observes (clocks, atomics, stderr, the event
+/// file): results are bit-identical to [`execute`] with the harness
+/// disabled — `tests/harness_observability.rs` pins this.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_observed<'s>(
+    plan: &Plan<'s>,
+    jobs: usize,
+    harness: &Harness,
+) -> Result<Executed<'s>, String> {
     enum Prep<'a> {
         Compile(&'a CompileUnit),
         Potential(&'a PotentialUnit),
@@ -632,6 +659,36 @@ pub fn execute<'s>(plan: &Plan<'s>, jobs: usize) -> Result<Executed<'s>, String>
         Compile(String, Arc<CompiledWorkload>),
         Potential(String, ReusePotential),
     }
+    impl Prep<'_> {
+        fn label(&self) -> String {
+            match self {
+                Prep::Compile(u) => format!(
+                    "compile:{}:{}@r{}",
+                    u.name,
+                    input_tag(u.input),
+                    &hash_fields(&u.config.region.fields())[..8],
+                ),
+                Prep::Potential(u) => format!("potential:{}:{}", u.name, input_tag(u.input)),
+            }
+        }
+        fn phase(&self) -> &'static str {
+            match self {
+                Prep::Compile(_) => "compile",
+                Prep::Potential(_) => "potential",
+            }
+        }
+    }
+    harness.plan(
+        (plan.compiles.len() + plan.potentials.len()) as u64,
+        (plan.bases.len() + plan.ccrs.len()) as u64,
+        &[
+            ("specs", plan.stats.specs as u64),
+            ("requested_points", plan.stats.requested_points as u64),
+            ("deduped_compiles", plan.stats.deduped_compiles as u64),
+            ("deduped_sims", plan.stats.deduped_sims as u64),
+            ("jobs", jobs as u64),
+        ],
+    );
     let cache = CompileCache::new();
     let prep_items: Vec<Prep<'_>> = plan
         .compiles
@@ -639,18 +696,36 @@ pub fn execute<'s>(plan: &Plan<'s>, jobs: usize) -> Result<Executed<'s>, String>
         .map(Prep::Compile)
         .chain(plan.potentials.iter().map(Prep::Potential))
         .collect();
-    let prep = parallel_map(&prep_items, jobs, |_, item| match item {
-        Prep::Compile(u) => cache
-            .get_or_compile(u.name, u.input, u.scale, &u.config)
-            .map(|cw| PrepOut::Compile(u.key.clone(), cw)),
-        Prep::Potential(u) => {
-            let program = ccr_workloads::build(u.name, u.input, u.scale)
-                .ok_or_else(|| format!("unknown benchmark `{}`", u.name))?;
-            reuse_potential(&program, emu_config())
-                .map(|p| PrepOut::Potential(u.key.clone(), p))
-                .map_err(|e| format!("{}: {e}", u.name))
-        }
-    });
+    let prep_labels: Vec<String> = prep_items.iter().map(Prep::label).collect();
+    let (prep, prep_pool) = parallel_map_observed(
+        &prep_items,
+        jobs,
+        Some(&prep_labels),
+        harness.observer(),
+        |i, item| {
+            harness.task_start(item.phase(), &prep_labels[i]);
+            let start = std::time::Instant::now();
+            let out = match item {
+                Prep::Compile(u) => cache
+                    .get_or_compile(u.name, u.input, u.scale, &u.config)
+                    .map(|cw| PrepOut::Compile(u.key.clone(), cw)),
+                Prep::Potential(u) => {
+                    let program = ccr_workloads::build(u.name, u.input, u.scale)
+                        .ok_or_else(|| format!("unknown benchmark `{}`", u.name))?;
+                    reuse_potential(&program, emu_config())
+                        .map(|p| PrepOut::Potential(u.key.clone(), p))
+                        .map_err(|e| format!("{}: {e}", u.name))
+                }
+            };
+            if out.is_ok() {
+                let wall_ms = start.elapsed().as_millis() as u64;
+                harness.task_finish(item.phase(), &prep_labels[i], wall_ms, None);
+            }
+            out
+        },
+    );
+    harness.pool("prep", &prep_pool);
+    harness.compile_cache(cache.hits(), cache.misses());
     let mut executed = Executed {
         specs: plan.specs.clone(),
         compiles: HashMap::new(),
@@ -671,6 +746,7 @@ pub fn execute<'s>(plan: &Plan<'s>, jobs: usize) -> Result<Executed<'s>, String>
                 ccr_key: u.key.clone(),
             })
             .collect(),
+        cache: (cache.hits(), cache.misses()),
     };
     for out in prep {
         match out? {
@@ -697,18 +773,42 @@ pub fn execute<'s>(plan: &Plan<'s>, jobs: usize) -> Result<Executed<'s>, String>
                 .map(|u| Sim::Ccr(u, Arc::clone(&executed.compiles[&u.compile_key]))),
         )
         .collect();
-    let sims = parallel_map(&sim_items, jobs, |_, item| {
-        let start = std::time::Instant::now();
-        let out = match item {
-            Sim::Base(u, cw) => simulate_baseline(&cw.base, &u.machine, emu_config())
-                .map(|o| (u.key.clone(), true, o))
-                .map_err(|e| format!("{}: {e}", u.name)),
-            Sim::Ccr(u, cw) => simulate(&cw.annotated, &u.machine, Some(u.crb), emu_config())
-                .map(|o| (u.key.clone(), false, o))
-                .map_err(|e| format!("{}: {e}", u.name)),
-        };
-        out.map(|(key, is_base, o)| (key, is_base, o, start.elapsed().as_millis() as u64))
-    });
+    let sim_labels: Vec<String> = sim_items
+        .iter()
+        .map(|item| match item {
+            Sim::Base(u, _) => format!(
+                "sim:base:{}:m{}",
+                u.name,
+                &hash_fields(&u.machine.fields())[..8]
+            ),
+            Sim::Ccr(u, _) => format!("sim:ccr:{}:{}", u.name, config_hash(&u.machine, &u.crb)),
+        })
+        .collect();
+    let (sims, sim_pool) = parallel_map_observed(
+        &sim_items,
+        jobs,
+        Some(&sim_labels),
+        harness.observer(),
+        |i, item| {
+            harness.task_start("sim", &sim_labels[i]);
+            let start = std::time::Instant::now();
+            let out = match item {
+                Sim::Base(u, cw) => simulate_baseline(&cw.base, &u.machine, emu_config())
+                    .map(|o| (u.key.clone(), true, o))
+                    .map_err(|e| format!("{}: {e}", u.name)),
+                Sim::Ccr(u, cw) => simulate(&cw.annotated, &u.machine, Some(u.crb), emu_config())
+                    .map(|o| (u.key.clone(), false, o))
+                    .map_err(|e| format!("{}: {e}", u.name)),
+            };
+            let out =
+                out.map(|(key, is_base, o)| (key, is_base, o, start.elapsed().as_millis() as u64));
+            if let Ok((_, _, outcome, wall_ms)) = &out {
+                harness.task_finish("sim", &sim_labels[i], *wall_ms, Some(outcome.stats.cycles));
+            }
+            out
+        },
+    );
+    harness.pool("sim", &sim_pool);
     for out in sims {
         let (key, is_base, outcome, wall_ms) = out?;
         executed.sim_wall_ms.insert(key.clone(), wall_ms);
@@ -722,6 +822,13 @@ pub fn execute<'s>(plan: &Plan<'s>, jobs: usize) -> Result<Executed<'s>, String>
 }
 
 impl<'s> Executed<'s> {
+    /// Compile-cache `(hits, misses)` for the run — the PR-5 counters,
+    /// surfaced so the CLI can print them and the harness can log
+    /// them.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache
+    }
+
     /// Flattens every unique executed CCR point into a
     /// [`PointSummary`], in plan (first-encounter) order — the hook
     /// the CLI uses to append an `ccr exp` invocation's measurements

@@ -20,7 +20,8 @@
 pub mod exp;
 
 use ccr_core::compile::{compile_ccr, CompileConfig, CompiledWorkload};
-use ccr_core::jobs::{parallel_map, resolve_jobs};
+use ccr_core::harness::Harness;
+use ccr_core::jobs::{parallel_map_observed, resolve_jobs};
 use ccr_core::measure::Measurement;
 use ccr_profile::EmuConfig;
 use ccr_regions::RegionConfig;
@@ -158,18 +159,83 @@ pub fn run_selected_cached(
     jobs: usize,
     cache: Option<&CompileCache>,
 ) -> Result<Vec<SuiteRun>, String> {
+    run_selected_harnessed(
+        names,
+        target,
+        scale,
+        config,
+        machine,
+        crb,
+        emu,
+        jobs,
+        cache,
+        &Harness::disabled(),
+    )
+}
+
+/// [`run_selected_cached`] with host-side observability: compiles and
+/// simulations run under stable task labels, the job pool reports
+/// per-worker accounting to `harness`, and start/finish events land
+/// in `harness.jsonl`. With `Harness::disabled()` this is exactly
+/// [`run_selected_cached`]; either way every simulated statistic is
+/// identical (the harness only reads clocks and writes to side
+/// channels).
+///
+/// # Errors
+///
+/// Returns the first failing workload's error (unknown name or
+/// emulator limit breach), in `names` order.
+#[allow(clippy::too_many_arguments)]
+pub fn run_selected_harnessed(
+    names: &[&'static str],
+    target: InputSet,
+    scale: u32,
+    config: &CompileConfig,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+    emu: EmuConfig,
+    jobs: usize,
+    cache: Option<&CompileCache>,
+    harness: &Harness,
+) -> Result<Vec<SuiteRun>, String> {
     use std::time::Instant;
+    let input = match target {
+        InputSet::Train => "train",
+        InputSet::Ref => "ref",
+    };
+    let cfg_hash = ccr_core::config_hash(machine, &crb);
+    harness.plan(
+        names.len() as u64,
+        2 * names.len() as u64,
+        &[("jobs", jobs as u64)],
+    );
+    let compile_labels: Vec<String> = names
+        .iter()
+        .map(|name| format!("compile:{name}:{input}@{scale}"))
+        .collect();
     let compiled: Vec<(CompiledWorkload, u64)> = {
-        let results = parallel_map(names, jobs, |_, name| {
-            let started = Instant::now();
-            match cache {
-                Some(cache) => cache
-                    .get_or_compile(name, target, scale, config)
-                    .map(|cw| ((*cw).clone(), started.elapsed().as_millis() as u64)),
-                None => compile_with(name, target, scale, config)
-                    .map(|cw| (cw, started.elapsed().as_millis() as u64)),
-            }
-        });
+        let (results, pool) = parallel_map_observed(
+            names,
+            jobs,
+            Some(&compile_labels),
+            harness.observer(),
+            |i, name| {
+                harness.task_start("compile", &compile_labels[i]);
+                let started = Instant::now();
+                let out = match cache {
+                    Some(cache) => cache
+                        .get_or_compile(name, target, scale, config)
+                        .map(|cw| ((*cw).clone(), started.elapsed().as_millis() as u64)),
+                    None => compile_with(name, target, scale, config)
+                        .map(|cw| (cw, started.elapsed().as_millis() as u64)),
+                };
+                if let Ok((_, wall_ms)) = &out {
+                    harness.task_finish("compile", &compile_labels[i], *wall_ms, None);
+                }
+                out
+            },
+        );
+        harness.pool("compile", &pool);
         let mut out = Vec::with_capacity(results.len());
         for r in results {
             out.push(r?);
@@ -181,16 +247,36 @@ pub fn run_selected_cached(
     let tasks: Vec<(usize, bool)> = (0..compiled.len())
         .flat_map(|i| [(i, false), (i, true)])
         .collect();
-    let sims = parallel_map(&tasks, jobs, |_, &(i, is_ccr)| {
-        let started = Instant::now();
-        let out = if is_ccr {
-            simulate(&compiled[i].0.annotated, machine, Some(crb), emu)
-        } else {
-            simulate_baseline(&compiled[i].0.base, machine, emu)
-        };
-        out.map(|o| (o, started.elapsed().as_millis() as u64))
-            .map_err(|e| format!("{}: {e}", names[i]))
-    });
+    let sim_labels: Vec<String> = tasks
+        .iter()
+        .map(|&(i, is_ccr)| {
+            let kind = if is_ccr { "ccr" } else { "base" };
+            format!("sim:{kind}:{}:{cfg_hash}", names[i])
+        })
+        .collect();
+    let (sims, sim_pool) = parallel_map_observed(
+        &tasks,
+        jobs,
+        Some(&sim_labels),
+        harness.observer(),
+        |t, &(i, is_ccr)| {
+            harness.task_start("sim", &sim_labels[t]);
+            let started = Instant::now();
+            let out = if is_ccr {
+                simulate(&compiled[i].0.annotated, machine, Some(crb), emu)
+            } else {
+                simulate_baseline(&compiled[i].0.base, machine, emu)
+            };
+            let out = out
+                .map(|o| (o, started.elapsed().as_millis() as u64))
+                .map_err(|e| format!("{}: {e}", names[i]));
+            if let Ok((outcome, wall_ms)) = &out {
+                harness.task_finish("sim", &sim_labels[t], *wall_ms, Some(outcome.stats.cycles));
+            }
+            out
+        },
+    );
+    harness.pool("sim", &sim_pool);
     let mut sims = sims.into_iter();
     let mut runs = Vec::with_capacity(compiled.len());
     for (name, (compiled, compile_ms)) in names.iter().zip(compiled) {

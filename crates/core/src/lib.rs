@@ -19,13 +19,18 @@
 //!    experiment regenerators in `ccr-bench`.
 
 pub mod compile;
+pub mod harness;
 pub mod jobs;
 pub mod measure;
 pub mod report;
 pub mod runreport;
 
 pub use compile::{compile_ccr, CompileConfig, CompileTelemetry, CompiledWorkload};
-pub use jobs::{parallel_map, resolve_jobs};
+pub use harness::{Harness, HarnessOptions, HarnessSummary, ProgressMode, HARNESS_SCHEMA_VERSION};
+pub use jobs::{
+    parallel_map, parallel_map_observed, resolve_jobs, PoolObserver, PoolStats, TaskStats,
+    WorkerStats,
+};
 pub use measure::{
     measure, measure_par, measure_profiled, measure_traced, measure_traced_par, reuse_potential,
     Measurement,

@@ -7,8 +7,13 @@
 //!
 //! * [`span::Span`] — wall-clock timers for phase/pass timing,
 //! * [`metrics::MetricsRegistry`] — a thread-safe registry of named
-//!   counters, gauges, and log₂-bucketed histograms with cheap
-//!   point-in-time [`metrics::MetricsSnapshot`]s,
+//!   counters, gauges, and log₂-bucketed histograms; counters and
+//!   gauges are atomics behind lock-free [`metrics::Counter`] /
+//!   [`metrics::Gauge`] handles, with cheap point-in-time
+//!   [`metrics::MetricsSnapshot`]s,
+//! * [`monitor::Monitor`] — a background thread sampling a shared
+//!   registry on a fixed period (the live-progress backbone of the
+//!   experiment harness),
 //! * [`event::Event`] + [`sink::TelemetrySink`] — a borrowed,
 //!   allocation-free event record fanned out to pluggable sinks:
 //!   [`sink::NullSink`] (zero-overhead default), [`sink::JsonlSink`]
@@ -27,13 +32,15 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod monitor;
 pub mod sink;
 pub mod span;
 pub mod table;
 
 pub use event::{Event, FieldValue};
 pub use json::JsonWriter;
-pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use monitor::{Monitor, MonitorSample};
 pub use sink::{JsonlSink, NullSink, RecordSink, SummarySink, TelemetrySink};
 pub use span::Span;
 pub use table::Table;

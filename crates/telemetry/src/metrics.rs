@@ -1,7 +1,16 @@
 //! Thread-safe named metrics: counters, gauges, and log₂ histograms.
+//!
+//! Counters and gauges are plain atomics shared through cheap
+//! [`Counter`]/[`Gauge`] handles, so hot paths (a job-pool worker
+//! finishing a task, a simulation retiring) update them without
+//! taking a lock; the registry mutex is only held to register a name
+//! or take a [`MetricsSnapshot`]. The [`crate::monitor::Monitor`]
+//! thread samples a registry on a fixed period off exactly these
+//! snapshots.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Number of histogram buckets: one for zero plus one per power of
 /// two up to `u64::MAX`.
@@ -164,17 +173,60 @@ impl Histogram {
     }
 }
 
+/// A lock-free handle to one named counter in a [`MetricsRegistry`].
+/// Clones share the same underlying atomic; updates are visible to
+/// concurrent [`MetricsRegistry::snapshot`]s immediately.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free handle to one named gauge (an `f64` stored as bits in
+/// an atomic). Last write wins.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
 #[derive(Default)]
 struct RegistryInner {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
     histograms: BTreeMap<String, Histogram>,
 }
 
 /// A thread-safe registry of named metrics. Cheap to share by
-/// reference; all mutation goes through one internal mutex (metric
-/// updates in this codebase happen at phase granularity, not per
-/// simulated instruction, so contention is not a concern).
+/// reference. Counters and gauges are atomics: the internal mutex is
+/// held only to register a name, hand out a [`Counter`]/[`Gauge`]
+/// handle, or snapshot — updates through a handle never lock, so
+/// job-pool workers can bump progress counters without contending.
+/// Histograms stay under the mutex (recorded at phase granularity,
+/// not per simulated instruction).
 #[derive(Default)]
 pub struct MetricsRegistry {
     inner: Mutex<RegistryInner>,
@@ -186,21 +238,33 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// A lock-free handle to counter `name` (created at zero).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        Counter(Arc::clone(
+            inner.counters.entry(name.to_string()).or_default(),
+        ))
+    }
+
+    /// A lock-free handle to gauge `name` (created at 0.0).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        Gauge(Arc::clone(
+            inner
+                .gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0.0f64.to_bits()))),
+        ))
+    }
+
     /// Adds `delta` to counter `name` (creating it at zero).
     pub fn counter_add(&self, name: &str, delta: u64) {
-        let mut inner = self.inner.lock().expect("metrics poisoned");
-        match inner.counters.get_mut(name) {
-            Some(c) => *c += delta,
-            None => {
-                inner.counters.insert(name.to_string(), delta);
-            }
-        }
+        self.counter(name).add(delta);
     }
 
     /// Sets gauge `name` to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        let mut inner = self.inner.lock().expect("metrics poisoned");
-        inner.gauges.insert(name.to_string(), value);
+        self.gauge(name).set(value);
     }
 
     /// Records `value` into histogram `name`.
@@ -217,8 +281,16 @@ impl MetricsRegistry {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().expect("metrics poisoned");
         MetricsSnapshot {
-            counters: inner.counters.clone(),
-            gauges: inner.gauges.clone(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
             histograms: inner.histograms.clone(),
         }
     }
@@ -387,6 +459,28 @@ mod tests {
         assert_eq!(snap.gauge("sim.ipc"), Some(1.25));
         assert_eq!(snap.gauge("missing"), None);
         assert_eq!(snap.histograms["crb.occupancy"].count(), 2);
+    }
+
+    #[test]
+    fn handles_are_lock_free_views_of_the_same_metric() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("sims.done");
+        let c2 = reg.counter("sims.done");
+        c.add(2);
+        c2.inc();
+        assert_eq!(c.get(), 3, "clones share one atomic");
+        assert_eq!(reg.snapshot().counter("sims.done"), 3);
+        // Registry-path updates land in the same cell as handle updates.
+        reg.counter_add("sims.done", 4);
+        assert_eq!(c.get(), 7);
+
+        let g = reg.gauge("queue.depth");
+        assert_eq!(g.get(), 0.0, "gauges register at 0.0");
+        g.set(12.5);
+        assert_eq!(reg.gauge("queue.depth").get(), 12.5);
+        assert_eq!(reg.snapshot().gauge("queue.depth"), Some(12.5));
+        reg.gauge_set("queue.depth", -1.0);
+        assert_eq!(g.get(), -1.0);
     }
 
     #[test]

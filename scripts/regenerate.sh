@@ -36,4 +36,8 @@ echo '== report goldens (tests/fixtures/run_store)'
 # regression the test pins first-bad detection against) — only the
 # report goldens over it are rewritten.
 CCR_UPDATE_GOLDEN=1 cargo test --release -q --test report_golden > /dev/null
+echo '== harness.jsonl schema golden (tests/fixtures/harness)'
+# Key sets per event type, not values (wall times are host-dependent);
+# rewriting is only needed after an intentional schema change.
+CCR_UPDATE_GOLDEN=1 cargo test --release -q --test harness_observability > /dev/null
 echo "done; see results/ and EXPERIMENTS.md"

@@ -154,6 +154,9 @@ const USAGE: &str = "usage:
              [--max-speedup-drop-pct X] [--max-host-throughput-drop-pct X]
   ccr report import <FILE>... [--store FILE] [--commit HASH] [--at TS]
   (bench/exp/profile also take [--store FILE] [--no-store] [--at TS])
+  (suite/bench/exp/profile also take [--progress[=plain|json]] [--no-progress]
+   [--harness-out FILE] — live progress to stderr and a structured
+   harness.jsonl event log; simulated results are bit-identical either way)
   ccr regions <benchmark|file.ccr>
   ccr potential <benchmark|file.ccr>
   ccr print <benchmark> [--annotated]
@@ -187,6 +190,9 @@ struct Flags {
     no_store: bool,
     commit: Option<String>,
     at: Option<u64>,
+    progress: Option<String>,
+    no_progress: bool,
+    harness_out: Option<String>,
     positional: Vec<String>,
 }
 
@@ -217,6 +223,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         no_store: false,
         commit: None,
         at: None,
+        progress: None,
+        no_progress: false,
+        harness_out: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -321,6 +330,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--store" => flags.store = Some(take("--store")?),
             "--no-store" => flags.no_store = true,
+            "--progress" => flags.progress = Some("plain".to_string()),
+            "--no-progress" => flags.no_progress = true,
+            "--harness-out" => flags.harness_out = Some(take("--harness-out")?),
             "--commit" => flags.commit = Some(take("--commit")?),
             "--at" => {
                 flags.at = Some(
@@ -328,6 +340,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .parse()
                         .map_err(|_| "bad --at value (unix seconds)".to_string())?,
                 );
+            }
+            other if other.starts_with("--progress=") => {
+                let mode = other.trim_start_matches("--progress=");
+                if ccr::ProgressMode::parse(mode).is_none() {
+                    return Err(format!(
+                        "--progress must be `plain` or `json`, got `{mode}`"
+                    ));
+                }
+                flags.progress = Some(mode.to_string());
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag `{other}`"));
@@ -372,6 +393,36 @@ fn emu() -> EmuConfig {
         max_instrs: 500_000_000,
         max_depth: 1024,
     }
+}
+
+/// Builds the harness from `--progress` / `--no-progress` /
+/// `--harness-out`. Disabled (a guaranteed no-op) unless some sink
+/// was requested; `--no-progress` silences the stderr stream but
+/// leaves a requested `--harness-out` file active.
+fn harness_of(flags: &Flags) -> Result<ccr::Harness, CliError> {
+    let progress = match (&flags.progress, flags.no_progress) {
+        (_, true) | (None, _) => ccr::ProgressMode::Off,
+        (Some(mode), false) => ccr::ProgressMode::parse(mode).ok_or_else(|| {
+            usage_err(format!(
+                "--progress must be `plain` or `json`, got `{mode}`"
+            ))
+        })?,
+    };
+    let opts = ccr::HarnessOptions {
+        progress,
+        out: flags.harness_out.as_ref().map(std::path::PathBuf::from),
+        ..ccr::HarnessOptions::default()
+    };
+    ccr::Harness::start(&opts).map_err(|e| CliError::Failure(format!("harness: {e}")))
+}
+
+/// Ends a harnessed command: stops the monitor, emits the
+/// `harness_summary` event, and renders the summary to stderr (off
+/// when the harness is disabled, so undecorated runs stay silent).
+fn finish_harness(harness: &ccr::Harness) -> Option<ccr::HarnessSummary> {
+    let summary = harness.finish()?;
+    eprint!("{}", summary.render());
+    Some(summary)
 }
 
 fn crb_of(flags: &Flags) -> CrbConfig {
@@ -421,7 +472,8 @@ fn target_of(flags: &Flags) -> Result<String, CliError> {
 fn cmd_suite(flags: &Flags) -> Result<(), CliError> {
     let machine = MachineConfig::paper();
     let crb = crb_of(flags);
-    let runs = ccr_bench::run_selected(
+    let harness = harness_of(flags)?;
+    let runs = ccr_bench::run_selected_harnessed(
         &NAMES,
         flags.input,
         flags.scale,
@@ -430,7 +482,10 @@ fn cmd_suite(flags: &Flags) -> Result<(), CliError> {
         crb,
         emu(),
         ccr::resolve_jobs(flags.jobs),
+        None,
+        &harness,
     )?;
+    finish_harness(&harness);
     let mut table = Table::new([
         "benchmark",
         "base cycles",
@@ -562,8 +617,19 @@ fn cmd_profile(flags: &Flags) -> Result<(), CliError> {
     let target = load_program(&spec, flags.input, flags.scale)?;
     let machine = MachineConfig::paper();
     let crb = crb_of(flags);
+    let harness = harness_of(flags)?;
+    harness.plan(1, 1, &[("scale", u64::from(flags.scale))]);
+    let compile_label = format!("compile:{spec}:{}@{}", input_name(flags.input), flags.scale);
+    harness.task_start("compile", &compile_label);
+    let compile_start = std::time::Instant::now();
     let compiled =
         compile_ccr(&train, &target, &compile_config(flags)).map_err(|e| e.to_string())?;
+    harness.task_finish(
+        "compile",
+        &compile_label,
+        compile_start.elapsed().as_millis() as u64,
+        None,
+    );
 
     // Default the output directory to one derived from the target, so
     // `ccr profile bitcount` works bare.
@@ -589,10 +655,19 @@ fn cmd_profile(flags: &Flags) -> Result<(), CliError> {
         sample_period: flags.sample_period,
         ..ccr::sim::TraceConfig::default()
     };
+    let sim_label = format!("sim:profile:{spec}:{}", ccr::config_hash(&machine, &crb));
+    harness.task_start("sim", &sim_label);
     let sim_start = std::time::Instant::now();
     let m = ccr::measure_profiled(&compiled, &machine, crb, emu(), &cfg, &mut sink)
         .map_err(|e| e.to_string())?;
     let sim_wall_ms = sim_start.elapsed().as_millis() as u64;
+    harness.task_finish(
+        "sim",
+        &sim_label,
+        sim_wall_ms,
+        Some(m.base.stats.cycles + m.ccr.stats.cycles),
+    );
+    finish_harness(&harness);
     sink.finish()
         .map_err(|e| format!("{}: {e}", events_path.display()))?;
     let argv: Vec<String> = std::env::args().collect();
@@ -652,6 +727,9 @@ fn cmd_profile(flags: &Flags) -> Result<(), CliError> {
             analysis.ccr_cycles,
             sim_wall_ms,
         ),
+        // A profile run is single-threaded host-side: no pool, no
+        // utilization measurement.
+        host_util_pct: 0.0,
     };
     append_to_store(flags, &[rec])
 }
@@ -871,7 +949,8 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
         git_commit: ccr::git_commit_id().to_string(),
         workloads: Vec::new(),
     };
-    let runs = ccr_bench::run_selected(
+    let harness = harness_of(flags)?;
+    let runs = ccr_bench::run_selected_harnessed(
         &selected,
         flags.input,
         flags.scale,
@@ -880,7 +959,10 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
         crb,
         emu(),
         ccr::resolve_jobs(flags.jobs),
+        None,
+        &harness,
     )?;
+    let harness_summary = finish_harness(&harness);
     for run in &runs {
         let m = &run.measurement;
         let lookups = m.ccr.stats.reuse_hits + m.ccr.stats.reuse_misses;
@@ -915,6 +997,10 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
     // cause-lossy, so imports of it stay all-zero).
     let mut records =
         ccr_analyze::store::records_from_bench(&report, record_timestamp(flags), "bench");
+    let host_util_pct = harness_summary
+        .as_ref()
+        .map(|s| s.utilization_pct)
+        .unwrap_or(0.0);
     for (rec, run) in records.iter_mut().zip(&runs) {
         let crb = &run.measurement.ccr.stats.crb;
         rec.miss_causes = [
@@ -924,6 +1010,7 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
             crb.miss_conflict,
             crb.miss_invalidated,
         ];
+        rec.host_util_pct = host_util_pct;
     }
     append_to_store(flags, &records)
 }
@@ -975,7 +1062,15 @@ fn cmd_exp(flags: &Flags) -> Result<(), CliError> {
     };
     let plan = exp::plan(&selected);
     eprint!("{}", plan.stats.render());
-    let executed = exp::execute(&plan, ccr::resolve_jobs(flags.jobs))?;
+    let harness = harness_of(flags)?;
+    let executed = exp::execute_observed(&plan, ccr::resolve_jobs(flags.jobs), &harness)?;
+    let (cache_hits, cache_misses) = executed.cache_stats();
+    eprintln!(
+        "compile cache: {cache_hits} hit(s), {cache_misses} miss(es) \
+         across {} compile unit(s)",
+        cache_hits + cache_misses
+    );
+    let harness_summary = finish_harness(&harness);
     for spec in &selected {
         let rendered = executed.results(spec).render();
         match &flags.out {
@@ -999,6 +1094,10 @@ fn cmd_exp(flags: &Flags) -> Result<(), CliError> {
     // Store hook: one record per unique executed CCR sweep point.
     let ts = record_timestamp(flags);
     let commit = ccr::git_commit_id();
+    let host_util_pct = harness_summary
+        .as_ref()
+        .map(|s| s.utilization_pct)
+        .unwrap_or(0.0);
     let records: Vec<ccr_analyze::RunRecord> = executed
         .point_summaries()
         .into_iter()
@@ -1022,6 +1121,7 @@ fn cmd_exp(flags: &Flags) -> Result<(), CliError> {
                 p.ccr_cycles,
                 p.wall_ms,
             ),
+            host_util_pct,
         })
         .collect();
     append_to_store(flags, &records)
