@@ -10,7 +10,9 @@
 //! plus the regression-gating machinery the perf trajectory needs:
 //!
 //! * [`value`] — a minimal recursive-descent JSON parser (the build
-//!   environment is offline, so no serde), shared by every reader,
+//!   environment is offline, so no serde), shared by every reader —
+//!   it lives in `ccr-telemetry` next to its producer (`JsonWriter`)
+//!   and is re-exported here so readers keep one import path,
 //! * [`ingest`] — a streaming, line-tolerant `events.jsonl` reader
 //!   with schema-version checks, and the `report.json` reader with
 //!   both v1 (no provenance) and v2 read paths,
@@ -51,17 +53,22 @@ pub mod analysis;
 pub mod bench;
 pub mod chrome;
 pub mod diff;
+pub mod fingerprint;
 pub mod flamegraph;
 pub mod folded;
 pub mod ingest;
 pub mod report;
 pub mod store;
-pub mod value;
+pub use ccr_telemetry::value;
 
 pub use analysis::{analyze, Analysis, RegionProfile, MISS_CAUSES};
 pub use bench::{short_commit, BenchReport, BenchWorkload, BENCH_SCHEMA_VERSION};
 pub use chrome::chrome_trace;
 pub use diff::{diff_analyses, diff_bench, DiffReport, Thresholds};
+pub use fingerprint::{
+    compare_digests, format_hash, parse_digest_file, write_digest_file, DigestFile, DigestWindow,
+    FingerprintDiff, FP_VERSION,
+};
 pub use flamegraph::flamegraph_svg;
 pub use folded::fold_samples;
 pub use ingest::{load_run, EventRecord, RunData};

@@ -22,6 +22,16 @@
 //! a regression that persists for twenty runs is one finding, not
 //! twenty. Any flag makes `ccr report` exit 2, like `ccr diff`.
 //!
+//! **Fingerprint-drift flagging**: records can carry the final
+//! determinism-fingerprint chain hash of the run that produced them
+//! (see `ccr_sim::FingerprintStream`; `""` = unmeasured). A series
+//! key includes the config hash, so when two measured records in the
+//! same series disagree on the fingerprint, the simulated trajectory
+//! changed *without* a configuration change — a behaviour change some
+//! commit introduced, whether or not any gated metric moved. The
+//! first changed record per series is flagged as metric
+//! `fingerprint`, alongside the numeric regressions.
+//!
 //! Determinism is load-bearing, as everywhere in this crate: a report
 //! over a given store file is byte-identical across invocations and
 //! hosts (timestamps render through the hand-rolled
@@ -42,7 +52,7 @@ pub struct Regression {
     /// The series the regression happened in.
     pub series: SeriesKey,
     /// Which metric breached (`ccr_cycles`, `hit_rate`, `speedup`,
-    /// `host_mcps`).
+    /// `host_mcps`, or `fingerprint` for trajectory drift).
     pub metric: String,
     /// Timestamp of the first-bad record.
     pub timestamp: u64,
@@ -173,6 +183,16 @@ fn series_label(key: &SeriesKey) -> String {
     format!("{workload} ({input}@{scale}, {config})")
 }
 
+/// Abbreviates a 16-digit fingerprint hash for table cells, the way
+/// [`short_commit`] abbreviates commits.
+fn short_fp(fp: &str) -> &str {
+    if fp.len() > 8 {
+        &fp[..8]
+    } else {
+        fp
+    }
+}
+
 /// Builds the full report over a loaded store.
 pub fn report_over(store: &RunStore, thresholds: &Thresholds) -> ReportOutput {
     let series = store.series();
@@ -196,6 +216,7 @@ pub fn report_over(store: &RunStore, thresholds: &Thresholds) -> ReportOutput {
         "speedup",
         "hit%",
         "regions",
+        "fingerprint",
     ]);
     let mut miss_mix = Table::new([
         "workload",
@@ -230,6 +251,11 @@ pub fn report_over(store: &RunStore, thresholds: &Thresholds) -> ReportOutput {
                 format!("{:.3}", rec.speedup),
                 format!("{:.1}", rec.hit_rate * 100.0),
                 rec.regions.to_string(),
+                if rec.fingerprint.is_empty() {
+                    "-".to_string()
+                } else {
+                    short_fp(&rec.fingerprint).to_string()
+                },
             ]);
             let misses: u64 = rec.miss_causes.iter().sum();
             let mut mix_row = vec![
@@ -287,6 +313,36 @@ pub fn report_over(store: &RunStore, thresholds: &Thresholds) -> ReportOutput {
         }
     }
 
+    // Fingerprint-drift scan: a series key includes the config hash,
+    // so consecutive *measured* records (unmeasured `""` ones are
+    // skipped, not chain-breaking) disagreeing on the fingerprint
+    // means the trajectory changed under an unchanged configuration.
+    // First changed record per series only, like the metric scan.
+    for (key, records) in &series {
+        let measured: Vec<&&RunRecord> = records
+            .iter()
+            .filter(|r| !r.fingerprint.is_empty())
+            .collect();
+        if let Some(pair) = measured
+            .windows(2)
+            .find(|p| p[0].fingerprint != p[1].fingerprint)
+        {
+            out.regressions.push(Regression {
+                series: key.clone(),
+                metric: "fingerprint".to_string(),
+                timestamp: pair[1].timestamp,
+                commit: pair[1].commit.clone(),
+                prev: 0.0,
+                new: 0.0,
+                delta: format!(
+                    "{}\u{2192}{}",
+                    short_fp(&pair[0].fingerprint),
+                    short_fp(&pair[1].fingerprint)
+                ),
+            });
+        }
+    }
+
     let mut regressions = Table::new([
         "series",
         "metric",
@@ -297,13 +353,20 @@ pub fn report_over(store: &RunStore, thresholds: &Thresholds) -> ReportOutput {
         "delta",
     ]);
     for r in &out.regressions {
+        // Fingerprint drift has no numeric before/after; the delta
+        // cell carries the hash change instead.
+        let (prev, new) = if r.metric == "fingerprint" {
+            ("-".to_string(), "-".to_string())
+        } else {
+            (format!("{:.4}", r.prev), format!("{:.4}", r.new))
+        };
         regressions.row([
             series_label(&r.series),
             r.metric.clone(),
             store::format_utc(r.timestamp),
             short_commit(&r.commit).to_string(),
-            format!("{:.4}", r.prev),
-            format!("{:.4}", r.new),
+            prev,
+            new,
             r.delta.clone(),
         ]);
     }
@@ -339,6 +402,7 @@ mod tests {
             wall_ms: 10,
             sim_cycles_per_host_sec: 2.0e6,
             host_util_pct: 0.0,
+            fingerprint: String::new(),
         }
     }
 
@@ -450,6 +514,76 @@ mod tests {
         let store = store_of(vec![rec(100, 800, 0.8), import, rec(300, 800, 0.8)]);
         // 2.0 → (absent) → 2.0: no pair compares, nothing flags.
         assert!(!report_over(&store, &gate).flagged());
+    }
+
+    #[test]
+    fn fingerprint_drift_flags_the_first_changed_record() {
+        let fp = |ts, hash: &str| {
+            let mut r = rec(ts, 800, 0.8);
+            r.fingerprint = hash.into();
+            r
+        };
+        // Same config throughout; trajectory changes at ts=300 and the
+        // change persists — one finding, at the introduction point.
+        let store = store_of(vec![
+            fp(100, "aaaaaaaaaaaaaaaa"),
+            fp(200, "aaaaaaaaaaaaaaaa"),
+            fp(300, "bbbbbbbbbbbbbbbb"),
+            fp(400, "bbbbbbbbbbbbbbbb"),
+        ]);
+        let out = report_over(&store, &Thresholds::default_gate());
+        let drifts: Vec<_> = out
+            .regressions
+            .iter()
+            .filter(|r| r.metric == "fingerprint")
+            .collect();
+        assert_eq!(drifts.len(), 1, "{:?}", out.regressions);
+        assert_eq!(drifts[0].timestamp, 300, "the FIRST changed record");
+        assert_eq!(drifts[0].delta, "aaaaaaaa\u{2192}bbbbbbbb");
+        assert!(out.flagged(), "drift gates like a regression");
+        let text = out.render();
+        assert!(text.contains("aaaaaaaa\u{2192}bbbbbbbb"), "{text}");
+    }
+
+    #[test]
+    fn unmeasured_fingerprints_never_compare_or_break_the_chain() {
+        let fp = |ts, hash: &str| {
+            let mut r = rec(ts, 800, 0.8);
+            r.fingerprint = hash.into();
+            r
+        };
+        // "" gaps (imports, old records) are skipped, not treated as
+        // a change — a flat measured chain around them stays quiet...
+        let store = store_of(vec![
+            fp(100, "aaaaaaaaaaaaaaaa"),
+            rec(200, 800, 0.8),
+            fp(300, "aaaaaaaaaaaaaaaa"),
+        ]);
+        assert!(!report_over(&store, &Thresholds::default_gate()).flagged());
+        // ...and a change across a gap still flags on the record that
+        // introduced it.
+        let store = store_of(vec![
+            fp(100, "aaaaaaaaaaaaaaaa"),
+            rec(200, 800, 0.8),
+            fp(300, "cccccccccccccccc"),
+        ]);
+        let out = report_over(&store, &Thresholds::default_gate());
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].metric, "fingerprint");
+        assert_eq!(out.regressions[0].timestamp, 300);
+    }
+
+    #[test]
+    fn fingerprint_change_with_config_change_is_a_new_series_not_drift() {
+        let mut a = rec(100, 800, 0.8);
+        a.fingerprint = "aaaaaaaaaaaaaaaa".into();
+        let mut b = rec(200, 800, 0.8);
+        b.fingerprint = "bbbbbbbbbbbbbbbb".into();
+        b.config_hash = "1111111111111111".into();
+        let store = store_of(vec![a, b]);
+        let out = report_over(&store, &Thresholds::default_gate());
+        assert_eq!(out.series, 2);
+        assert!(!out.flagged(), "{:?}", out.regressions);
     }
 
     #[test]

@@ -79,6 +79,13 @@ pub struct RunRecord {
     /// record written before the field existed; readers default
     /// missing numeric fields to zero, so no `store_v` bump).
     pub host_util_pct: f64,
+    /// Final determinism-fingerprint chain hash of the CCR run
+    /// (16-digit lowercase hex; `""` when unmeasured — fingerprinting
+    /// off, imports, and every record written before the field
+    /// existed; readers default missing string fields to empty, so no
+    /// `store_v` bump). Equal config hash + different fingerprint
+    /// across commits means the simulated trajectory changed.
+    pub fingerprint: String,
 }
 
 impl RunRecord {
@@ -106,6 +113,7 @@ impl RunRecord {
         w.key("sim_cycles_per_host_sec")
             .f64_val(self.sim_cycles_per_host_sec);
         w.key("host_util_pct").f64_val(self.host_util_pct);
+        w.key("fingerprint").str_val(&self.fingerprint);
         w.obj_end();
         w.finish()
     }
@@ -132,6 +140,7 @@ impl RunRecord {
             wall_ms: v.u64_field("wall_ms"),
             sim_cycles_per_host_sec: v.f64_field("sim_cycles_per_host_sec"),
             host_util_pct: v.f64_field("host_util_pct"),
+            fingerprint: v.str_field("fingerprint").to_string(),
         }
     }
 
@@ -285,6 +294,7 @@ pub fn records_from_bench(
             wall_ms: wl.wall_ms,
             sim_cycles_per_host_sec: wl.sim_cycles_per_host_sec,
             host_util_pct: 0.0,
+            fingerprint: String::new(),
         })
         .collect()
 }
@@ -331,6 +341,7 @@ pub fn record_from_analysis_json(
         wall_ms: 0,
         sim_cycles_per_host_sec: 0.0,
         host_util_pct: 0.0,
+        fingerprint: String::new(),
     })
 }
 
@@ -385,6 +396,7 @@ mod tests {
             wall_ms: 20,
             sim_cycles_per_host_sec: 1.5e6,
             host_util_pct: 62.5,
+            fingerprint: "00c0ffee00c0ffee".into(),
         }
     }
 

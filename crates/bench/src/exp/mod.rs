@@ -35,11 +35,26 @@
 //! elides *repeats* of deterministic work; each spec's renderer reads
 //! the same statistics it always did (`tests/exp_golden.rs` pins this
 //! against the committed `results/` tables).
+//!
+//! **Resumable sweeps** ([`execute_resumable`]): with a checkpoint
+//! path, every finished simulation unit is appended to a line-tolerant
+//! `{"ckpt_v":1,...}` JSONL file as it completes, and a later run of
+//! the same plan restores those units instead of re-simulating them.
+//! Units are keyed by the planner's dedup keys — which embed the
+//! workload, input, scale, emulator limits, and the config-field
+//! hashes — so a stale checkpoint from a different sweep simply never
+//! matches. A torn final line (crashed run) fails to parse and is
+//! silently re-simulated. With a fingerprint window, every CCR
+//! simulation additionally runs through [`ccr_sim::SimSession`]
+//! (bit-identical to [`simulate`]) and reports its final determinism-
+//! fingerprint chain hash in [`PointSummary::fingerprint`].
 
 pub mod specs;
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -48,10 +63,13 @@ use ccr_core::harness::Harness;
 use ccr_core::jobs::parallel_map_observed;
 use ccr_core::measure::{reuse_potential, Measurement};
 use ccr_core::report::Table;
+use ccr_core::telemetry::value::{self, Value};
+use ccr_core::telemetry::JsonWriter;
 use ccr_core::{config_hash, fnv1a_hex};
-use ccr_profile::ReusePotential;
+use ccr_profile::{ReusePotential, RunOutcome};
 use ccr_regions::RegionConfig;
-use ccr_sim::{simulate, simulate_baseline, CrbConfig, MachineConfig, SimOutcome};
+use ccr_sim::snapshot::{parse_sim_stats, write_sim_stats};
+use ccr_sim::{simulate, simulate_baseline, CrbConfig, MachineConfig, SimOutcome, SimSession};
 use ccr_workloads::InputSet;
 
 use crate::{compile_with, emu_config, SCALE};
@@ -555,6 +573,114 @@ impl CompileCache {
     }
 }
 
+/// Version tag of experiment-checkpoint JSONL lines. Bumped only on
+/// incompatible changes; additive fields ride under the same version.
+pub const CKPT_VERSION: u64 = 1;
+
+/// One restored simulation unit: the full [`SimOutcome`] plus the
+/// host wall time and fingerprint measured when it originally ran
+/// (kept so a resumed run reproduces the original's summaries).
+struct CkptEntry {
+    outcome: SimOutcome,
+    wall_ms: u64,
+    fingerprint: String,
+}
+
+fn ckpt_line(key: &str, is_base: bool, wall_ms: u64, fingerprint: &str, o: &SimOutcome) -> String {
+    let mut w = JsonWriter::new();
+    w.obj_begin();
+    w.key("ckpt_v").u64_val(CKPT_VERSION);
+    w.key("key").str_val(key);
+    w.key("is_base").bool_val(is_base);
+    w.key("wall_ms").u64_val(wall_ms);
+    w.key("fingerprint").str_val(fingerprint);
+    w.key("returned").arr_begin();
+    for v in &o.run.returned {
+        w.i64_val(v.0);
+    }
+    w.arr_end();
+    w.key("dyn_instrs").u64_val(o.run.dyn_instrs);
+    w.key("skipped_instrs").u64_val(o.run.skipped_instrs);
+    w.key("reuse_hits").u64_val(o.run.reuse_hits);
+    w.key("reuse_misses").u64_val(o.run.reuse_misses);
+    w.key("stats");
+    write_sim_stats(&mut w, &o.stats);
+    w.obj_end();
+    w.finish()
+}
+
+fn ckpt_u64(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{ctx}: missing or non-integer `{key}`"))
+}
+
+/// Loads a checkpoint file into unit-key → entry form. A missing file
+/// is an empty checkpoint (first run); an unreadable or wrong-version
+/// file is a one-line error. Lines that fail to parse as JSON are
+/// skipped — that is the torn final line of a crashed run, and the
+/// unit it would have recorded simply re-simulates.
+fn load_checkpoint(path: &Path) -> Result<HashMap<String, CkptEntry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut out = HashMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = value::parse(line) else { continue };
+        let ctx = format!("{}:{}", path.display(), i + 1);
+        let version = v.u64_field("ckpt_v");
+        if version != CKPT_VERSION {
+            return Err(format!(
+                "{ctx}: unknown ckpt_v {version} (known: [{CKPT_VERSION}])"
+            ));
+        }
+        let key = v.str_field("key").to_string();
+        if key.is_empty() {
+            return Err(format!("{ctx}: missing `key`"));
+        }
+        let returned = v
+            .get("returned")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("{ctx}: missing `returned` array"))?
+            .iter()
+            .map(|x| match x {
+                Value::U64(n) => i64::try_from(*n)
+                    .map(ccr_ir::Value)
+                    .map_err(|_| format!("{ctx}: returned value out of i64 range")),
+                Value::I64(n) => Ok(ccr_ir::Value(*n)),
+                _ => Err(format!("{ctx}: non-integer returned value")),
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let stats_v = v
+            .get("stats")
+            .ok_or_else(|| format!("{ctx}: missing `stats`"))?;
+        out.insert(
+            key,
+            CkptEntry {
+                outcome: SimOutcome {
+                    run: RunOutcome {
+                        returned,
+                        dyn_instrs: ckpt_u64(&v, "dyn_instrs", &ctx)?,
+                        skipped_instrs: ckpt_u64(&v, "skipped_instrs", &ctx)?,
+                        reuse_hits: ckpt_u64(&v, "reuse_hits", &ctx)?,
+                        reuse_misses: ckpt_u64(&v, "reuse_misses", &ctx)?,
+                    },
+                    stats: parse_sim_stats(stats_v, &ctx)?,
+                },
+                wall_ms: v.u64_field("wall_ms"),
+                fingerprint: v.str_field("fingerprint").to_string(),
+            },
+        );
+    }
+    Ok(out)
+}
+
 /// Executed results, keyed for assembly into per-spec views.
 pub struct Executed<'s> {
     specs: Vec<&'s ExperimentSpec>,
@@ -564,6 +690,9 @@ pub struct Executed<'s> {
     potentials: HashMap<String, ReusePotential>,
     /// Host wall time per simulation unit key (base and CCR alike).
     sim_wall_ms: HashMap<String, u64>,
+    /// Final fingerprint chain hash per CCR sim unit key (16-digit
+    /// lowercase hex), present only for fingerprinted runs.
+    fingerprints: HashMap<String, String>,
     /// One entry per unique executed CCR point, in plan order.
     points: Vec<PointMeta>,
     /// Compile-cache (hits, misses) for the run (satellite of the
@@ -617,6 +746,10 @@ pub struct PointSummary {
     /// sims are shared across CRB configs, so a shared base's wall
     /// time is attributed to every point that reads it.
     pub wall_ms: u64,
+    /// Final determinism-fingerprint chain hash of the point's CCR
+    /// simulation (16-digit lowercase hex); `""` when the run was not
+    /// fingerprinted.
+    pub fingerprint: String,
 }
 
 /// Runs a plan's units over `jobs` workers: compiles and potential
@@ -650,6 +783,36 @@ pub fn execute_observed<'s>(
     plan: &Plan<'s>,
     jobs: usize,
     harness: &Harness,
+) -> Result<Executed<'s>, String> {
+    execute_resumable(plan, jobs, harness, None, None)
+}
+
+/// [`execute_observed`] with two orthogonal extras:
+///
+/// - `checkpoint`: a JSONL file finished simulation units are appended
+///   to as they complete (crash-resumable: every line is flushed the
+///   moment its sim finishes). On entry, units already present in the
+///   file are restored instead of re-simulated — with their original
+///   wall times, so a resumed run reproduces the original run's
+///   [`PointSummary`] list exactly. Restored units still report
+///   `task_finish` to the harness (wall time as recorded) so progress
+///   accounting covers the whole plan.
+/// - `fingerprint_window`: when set, every CCR simulation runs through
+///   a [`SimSession`] folding the determinism fingerprint every that
+///   many cycles (bit-identical statistics to [`simulate`] — pinned by
+///   the session tests and by this module's own tests), and the final
+///   chain hash lands in [`PointSummary::fingerprint`].
+///
+/// # Errors
+///
+/// As [`execute`], plus one-line errors for an unreadable, truncated,
+/// or wrong-version checkpoint file.
+pub fn execute_resumable<'s>(
+    plan: &Plan<'s>,
+    jobs: usize,
+    harness: &Harness,
+    checkpoint: Option<&Path>,
+    fingerprint_window: Option<u64>,
 ) -> Result<Executed<'s>, String> {
     enum Prep<'a> {
         Compile(&'a CompileUnit),
@@ -733,6 +896,7 @@ pub fn execute_observed<'s>(
         ccrs: HashMap::new(),
         potentials: HashMap::new(),
         sim_wall_ms: HashMap::new(),
+        fingerprints: HashMap::new(),
         points: plan
             .ccrs
             .iter()
@@ -759,11 +923,52 @@ pub fn execute_observed<'s>(
         }
     }
 
+    let restored = match checkpoint {
+        Some(path) => load_checkpoint(path)?,
+        None => HashMap::new(),
+    };
+    let ckpt_sink = match checkpoint {
+        Some(path) => {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| format!("{}: {e}", parent.display()))?;
+                }
+            }
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            Some(Mutex::new(file))
+        }
+        None => None,
+    };
+
     enum Sim<'a> {
         Base(&'a BaseUnit, Arc<CompiledWorkload>),
         Ccr(&'a CcrUnit, Arc<CompiledWorkload>),
     }
-    let sim_items: Vec<Sim<'_>> = plan
+    impl Sim<'_> {
+        fn key(&self) -> &str {
+            match self {
+                Sim::Base(u, _) => &u.key,
+                Sim::Ccr(u, _) => &u.key,
+            }
+        }
+        fn label(&self) -> String {
+            match self {
+                Sim::Base(u, _) => format!(
+                    "sim:base:{}:m{}",
+                    u.name,
+                    &hash_fields(&u.machine.fields())[..8]
+                ),
+                Sim::Ccr(u, _) => format!("sim:ccr:{}:{}", u.name, config_hash(&u.machine, &u.crb)),
+            }
+        }
+    }
+    let mut sim_items: Vec<Sim<'_>> = Vec::new();
+    for item in plan
         .bases
         .iter()
         .map(|u| Sim::Base(u, Arc::clone(&executed.compiles[&u.compile_key])))
@@ -772,18 +977,39 @@ pub fn execute_observed<'s>(
                 .iter()
                 .map(|u| Sim::Ccr(u, Arc::clone(&executed.compiles[&u.compile_key]))),
         )
-        .collect();
-    let sim_labels: Vec<String> = sim_items
-        .iter()
-        .map(|item| match item {
-            Sim::Base(u, _) => format!(
-                "sim:base:{}:m{}",
-                u.name,
-                &hash_fields(&u.machine.fields())[..8]
-            ),
-            Sim::Ccr(u, _) => format!("sim:ccr:{}:{}", u.name, config_hash(&u.machine, &u.crb)),
-        })
-        .collect();
+    {
+        let Some(entry) = restored.get(item.key()) else {
+            sim_items.push(item);
+            continue;
+        };
+        let key = item.key().to_string();
+        harness.task_finish(
+            "sim",
+            &item.label(),
+            entry.wall_ms,
+            Some(entry.outcome.stats.cycles),
+        );
+        executed.sim_wall_ms.insert(key.clone(), entry.wall_ms);
+        match item {
+            Sim::Base(..) => {
+                executed.bases.insert(key, entry.outcome.clone());
+            }
+            Sim::Ccr(..) => {
+                if !entry.fingerprint.is_empty() {
+                    executed
+                        .fingerprints
+                        .insert(key.clone(), entry.fingerprint.clone());
+                }
+                executed.ccrs.insert(key, entry.outcome.clone());
+            }
+        }
+    }
+    let planned_sims = plan.bases.len() + plan.ccrs.len();
+    let restored_sims = planned_sims - sim_items.len();
+    if restored_sims > 0 {
+        eprintln!("checkpoint: restored {restored_sims} of {planned_sims} sim unit(s)");
+    }
+    let sim_labels: Vec<String> = sim_items.iter().map(Sim::label).collect();
     let (sims, sim_pool) = parallel_map_observed(
         &sim_items,
         jobs,
@@ -794,27 +1020,60 @@ pub fn execute_observed<'s>(
             let start = std::time::Instant::now();
             let out = match item {
                 Sim::Base(u, cw) => simulate_baseline(&cw.base, &u.machine, emu_config())
-                    .map(|o| (u.key.clone(), true, o))
+                    .map(|o| (u.key.clone(), true, o, String::new()))
                     .map_err(|e| format!("{}: {e}", u.name)),
-                Sim::Ccr(u, cw) => simulate(&cw.annotated, &u.machine, Some(u.crb), emu_config())
-                    .map(|o| (u.key.clone(), false, o))
-                    .map_err(|e| format!("{}: {e}", u.name)),
+                Sim::Ccr(u, cw) => match fingerprint_window {
+                    None => simulate(&cw.annotated, &u.machine, Some(u.crb), emu_config())
+                        .map(|o| (u.key.clone(), false, o, String::new()))
+                        .map_err(|e| format!("{}: {e}", u.name)),
+                    Some(window) => {
+                        let mut session = SimSession::new(
+                            &cw.annotated,
+                            &u.machine,
+                            Some(u.crb),
+                            emu_config(),
+                            window,
+                        );
+                        session.set_provenance(u.name, &config_hash(&u.machine, &u.crb));
+                        session
+                            .run_to_end()
+                            .map_err(|e| format!("{}: {e}", u.name))
+                            .map(|()| {
+                                let hash = session.final_hash().expect("finished run");
+                                (
+                                    u.key.clone(),
+                                    false,
+                                    session.into_outcome(),
+                                    format!("{hash:016x}"),
+                                )
+                            })
+                    }
+                },
             };
-            let out =
-                out.map(|(key, is_base, o)| (key, is_base, o, start.elapsed().as_millis() as u64));
-            if let Ok((_, _, outcome, wall_ms)) = &out {
+            let out = out.map(|(key, is_base, o, fp)| {
+                (key, is_base, o, fp, start.elapsed().as_millis() as u64)
+            });
+            if let Ok((key, is_base, outcome, fp, wall_ms)) = &out {
                 harness.task_finish("sim", &sim_labels[i], *wall_ms, Some(outcome.stats.cycles));
+                if let Some(sink) = &ckpt_sink {
+                    let line = ckpt_line(key, *is_base, *wall_ms, fp, outcome);
+                    let mut f = sink.lock().expect("checkpoint lock");
+                    let _ = writeln!(f, "{line}").and_then(|()| f.flush());
+                }
             }
             out
         },
     );
     harness.pool("sim", &sim_pool);
     for out in sims {
-        let (key, is_base, outcome, wall_ms) = out?;
+        let (key, is_base, outcome, fp, wall_ms) = out?;
         executed.sim_wall_ms.insert(key.clone(), wall_ms);
         if is_base {
             executed.bases.insert(key, outcome);
         } else {
+            if !fp.is_empty() {
+                executed.fingerprints.insert(key.clone(), fp);
+            }
             executed.ccrs.insert(key, outcome);
         }
     }
@@ -864,6 +1123,11 @@ impl<'s> Executed<'s> {
                     regions: self.compiles[&p.compile_key].regions.len() as u64,
                     wall_ms: self.sim_wall_ms.get(&p.base_key).copied().unwrap_or(0)
                         + self.sim_wall_ms.get(&p.ccr_key).copied().unwrap_or(0),
+                    fingerprint: self
+                        .fingerprints
+                        .get(&p.ccr_key)
+                        .cloned()
+                        .unwrap_or_default(),
                 }
             })
             .collect()
@@ -936,4 +1200,158 @@ pub fn shim_main(name: &str) {
     let plan = plan(&[&spec]);
     let executed = execute(&plan, jobs).expect("known benchmarks, emulation within limits");
     print!("{}", executed.results(&spec).render().text);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    static ONE_WORKLOAD: [&str; 1] = ["bitcount"];
+
+    fn tiny_render(_res: &SpecResults<'_>) -> Rendered {
+        Rendered {
+            text: String::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "ckpt_tiny",
+            output: "ckpt_tiny",
+            title: "checkpoint/fingerprint engine tests",
+            workloads: &ONE_WORKLOAD,
+            scenarios: vec![Scenario::new(
+                "paper",
+                InputSet::Train,
+                &RegionConfig::paper(),
+                &MachineConfig::paper(),
+                CrbConfig::paper(),
+            )],
+            potential: false,
+            render: tiny_render,
+        }
+    }
+
+    fn temp_file(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ccr-exp-ckpt-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn summary_view(points: &[PointSummary]) -> Vec<String> {
+        points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{} {} {} {} {} {} {:.12} {:.12} {:?} {} {} {}",
+                    p.workload,
+                    p.input,
+                    p.scale,
+                    p.config_hash,
+                    p.base_cycles,
+                    p.ccr_cycles,
+                    p.speedup,
+                    p.hit_rate,
+                    p.miss_causes,
+                    p.regions,
+                    p.wall_ms,
+                    p.fingerprint,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn checkpoint_restores_instead_of_resimulating_and_survives_a_torn_tail() {
+        let spec = tiny_spec();
+        let plan = plan(&[&spec]);
+        let path = temp_file("roundtrip.ckpt.jsonl");
+        let harness = Harness::disabled();
+
+        let first = execute_resumable(&plan, 2, &harness, Some(&path), None).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keys: Vec<String> = text
+            .lines()
+            .map(|l| {
+                let v = value::parse(l).expect("every committed line parses");
+                assert_eq!(v.u64_field("ckpt_v"), CKPT_VERSION, "{l}");
+                v.str_field("key").to_string()
+            })
+            .collect();
+        assert_eq!(keys.len(), 2, "one base + one CCR unit:\n{text}");
+
+        // Resume: the file must not grow (growth would mean a unit was
+        // re-simulated and re-appended) and summaries must match the
+        // original run exactly — including wall_ms, which is restored
+        // from the checkpoint rather than re-measured.
+        let second = execute_resumable(&plan, 2, &harness, Some(&path), None).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        assert_eq!(
+            summary_view(&first.point_summaries()),
+            summary_view(&second.point_summaries()),
+        );
+
+        // Crash simulation: tear the last line in half and append raw
+        // garbage. The torn unit re-simulates; the run still succeeds
+        // and reaches the same statistics.
+        let torn: String = text[..text.len() - text.len() / 3].to_string();
+        std::fs::write(&path, format!("{torn}\n{{\"ckpt_v\":1,\"key\"")).unwrap();
+        let third = execute_resumable(&plan, 2, &harness, Some(&path), None).unwrap();
+        let a = summary_view(&first.point_summaries());
+        let b = summary_view(&third.point_summaries());
+        // wall_ms of the re-simulated unit is re-measured, so compare
+        // everything but the wall column.
+        let strip = |rows: &[String]| -> Vec<String> {
+            rows.iter()
+                .map(|r| {
+                    let mut cols: Vec<&str> = r.split(' ').collect();
+                    cols.remove(cols.len() - 2);
+                    cols.join(" ")
+                })
+                .collect()
+        };
+        assert_eq!(strip(&a), strip(&b));
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_checkpoint_version_is_a_one_line_error() {
+        let path = temp_file("badversion.ckpt.jsonl");
+        std::fs::write(&path, "{\"ckpt_v\":99,\"key\":\"x\"}\n").unwrap();
+        let err = load_checkpoint(&path).err().expect("must reject");
+        assert!(
+            err.contains("unknown ckpt_v 99 (known: [1])") && !err.contains('\n'),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprinted_execution_is_bit_identical_and_deterministic() {
+        let spec = tiny_spec();
+        let plan = plan(&[&spec]);
+        let harness = Harness::disabled();
+        let plain = execute(&plan, 1).unwrap();
+        let fp1 = execute_resumable(&plan, 1, &harness, None, Some(50_000)).unwrap();
+        let fp2 = execute_resumable(&plan, 2, &harness, None, Some(50_000)).unwrap();
+
+        let points = fp1.point_summaries();
+        assert_eq!(points.len(), 1);
+        let hash = &points[0].fingerprint;
+        assert_eq!(hash.len(), 16, "chain hash is 16 hex digits: {hash}");
+        assert!(hash.bytes().all(|b| b.is_ascii_hexdigit()));
+        // Deterministic across runs and worker counts.
+        assert_eq!(*hash, fp2.point_summaries()[0].fingerprint);
+        // And the session path changes nothing about the statistics.
+        let plain_points = plain.point_summaries();
+        assert_eq!(plain_points[0].base_cycles, points[0].base_cycles);
+        assert_eq!(plain_points[0].ccr_cycles, points[0].ccr_cycles);
+        assert_eq!(plain_points[0].miss_causes, points[0].miss_causes);
+        assert_eq!(plain_points[0].fingerprint, "", "unmeasured stays empty");
+    }
 }

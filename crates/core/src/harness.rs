@@ -430,6 +430,33 @@ impl Harness {
         shared.emit_line(w);
     }
 
+    /// Records a simulation-state snapshot crossing the host boundary:
+    /// `action` is `save` or `restore`, `cycle` the simulated cycle
+    /// the snapshot captures, `path` where it lives. Additive under
+    /// `harness_v: 1` like every event kind.
+    pub fn snapshot(&self, action: &str, workload: &str, cycle: u64, path: &str) {
+        let Some(shared) = &self.shared else { return };
+        let mut w = shared.line_begin("snapshot");
+        w.key("action").str_val(action);
+        w.key("workload").str_val(workload);
+        w.key("cycle").u64_val(cycle);
+        w.key("path").str_val(path);
+        shared.emit_line(w);
+    }
+
+    /// Records a completed determinism fingerprint: the final chain
+    /// `hash` (16-digit hex) over `cycles` simulated cycles, with
+    /// `windows` sealed window digests behind it.
+    pub fn fingerprint(&self, workload: &str, windows: u64, cycles: u64, hash: &str) {
+        let Some(shared) = &self.shared else { return };
+        let mut w = shared.line_begin("fingerprint");
+        w.key("workload").str_val(workload);
+        w.key("windows").u64_val(windows);
+        w.key("cycles").u64_val(cycles);
+        w.key("hash").str_val(hash);
+        shared.emit_line(w);
+    }
+
     /// Records the compile-cache hit/miss counters (cumulative for the
     /// run) and emits a `compile_cache` event.
     pub fn compile_cache(&self, hits: u64, misses: u64) {
@@ -542,6 +569,8 @@ mod tests {
         h.plan(3, 5, &[("specs", 1)]);
         h.task_start("sim", "sim:ccr:x");
         h.task_finish("sim", "sim:ccr:x", 12, Some(1000));
+        h.snapshot("save", "x", 5000, "/tmp/x.snap.jsonl");
+        h.fingerprint("x", 3, 200_000, "00c0ffee00c0ffee");
         h.compile_cache(1, 2);
         h.pool("sim", &PoolStats::default());
         assert!(h.finish().is_none());
@@ -584,6 +613,8 @@ mod tests {
         h.task_start("compile", "compile:bitcount:train");
         h.task_finish("compile", "compile:bitcount:train", 3, None);
         h.task_finish("sim", "sim:ccr:bitcount:abc", 7, Some(12345));
+        h.snapshot("save", "bitcount", 64_000, "runs/bitcount.snap.jsonl");
+        h.fingerprint("bitcount", 2, 130_000, "0123456789abcdef");
         h.compile_cache(5, 2);
         let summary = h.finish().expect("enabled harness summarizes");
         assert_eq!(summary.compiles, 1);
@@ -603,6 +634,8 @@ mod tests {
             "\"ev\":\"compile_start\"",
             "\"ev\":\"compile_finish\"",
             "\"ev\":\"sim_finish\"",
+            "\"ev\":\"snapshot\"",
+            "\"ev\":\"fingerprint\"",
             "\"ev\":\"compile_cache\"",
             "\"ev\":\"monitor\"",
             "\"ev\":\"harness_summary\"",

@@ -93,6 +93,7 @@ pub struct RunOutcome {
     pub reuse_misses: u64,
 }
 
+#[derive(Debug)]
 struct MemoState {
     region: RegionId,
     inputs: Vec<(Reg, Value)>,
@@ -128,6 +129,7 @@ impl MemoState {
     }
 }
 
+#[derive(Debug)]
 struct Frame<'p> {
     func: FuncId,
     regs: Vec<Value>,
@@ -194,14 +196,26 @@ impl<'p> Emulator<'p> {
         crb: &mut dyn CrbModel,
         sink: &mut dyn TraceSink,
     ) -> Result<RunOutcome, EmuError> {
+        let mut run = self.start(sink);
+        loop {
+            if let Some(out) = run.step(crb, sink)? {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Begins a resumable run: builds the initial architectural state
+    /// and reports entry of `main` to the sink. Drive the returned
+    /// [`EmuRun`] with [`EmuRun::step`].
+    pub fn start(&self, sink: &mut dyn TraceSink) -> EmuRun<'p> {
         let program = self.program;
-        let mut memory: Vec<Vec<Value>> = program
+        let memory: Vec<Vec<Value>> = program
             .objects()
             .iter()
             .map(|o| o.initial_contents())
             .collect();
         let main = program.function(program.main());
-        let mut stack = vec![Frame {
+        let stack = vec![Frame {
             func: main.id(),
             regs: vec![Value::ZERO; main.reg_limit().max(1) as usize],
             block: main.entry(),
@@ -209,316 +223,651 @@ impl<'p> Emulator<'p> {
             ret_regs: &[],
         }];
         sink.on_block_enter(main.id(), main.entry());
+        EmuRun {
+            program,
+            config: self.config,
+            memory,
+            stack,
+            dyn_instrs: 0,
+            memo: None,
+            skipped_instrs: 0,
+            reuse_hits: 0,
+            reuse_misses: 0,
+            inputs_buf: Vec::with_capacity(4),
+            regs_pool: Vec::new(),
+        }
+    }
 
-        let mut dyn_instrs = 0u64;
-        // Active memoization, anchored to the frame depth that
-        // executed the reuse instruction.
-        let mut memo: Option<(usize, MemoState)> = None;
-        let mut skipped_instrs = 0u64;
-        let mut reuse_hits = 0u64;
-        let mut reuse_misses = 0u64;
-        let mut inputs_buf: Vec<Value> = Vec::with_capacity(4);
-        // Register files of popped frames, recycled by later calls so
-        // the call/ret hot path stops allocating.
-        let mut regs_pool: Vec<Vec<Value>> = Vec::new();
-
-        loop {
-            if dyn_instrs >= self.config.max_instrs {
-                return Err(EmuError::StepLimit);
+    /// Rebuilds a mid-run state from a snapshot taken on an identical
+    /// program. The sink is *not* replayed: the caller restores the
+    /// sink's own state separately (that is the simulator snapshot's
+    /// job), so resuming begins exactly at the next [`EmuRun::step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description when the snapshot is
+    /// structurally inconsistent with the program — wrong object
+    /// sizes, out-of-range functions/blocks/positions, or a caller
+    /// frame not suspended at a call to its callee.
+    pub fn resume(&self, snap: &EmuSnapshot) -> Result<EmuRun<'p>, String> {
+        let program = self.program;
+        if snap.memory.len() != program.objects().len() {
+            return Err(format!(
+                "snapshot has {} memory objects, program has {}",
+                snap.memory.len(),
+                program.objects().len()
+            ));
+        }
+        let mut memory: Vec<Vec<Value>> = Vec::with_capacity(snap.memory.len());
+        for (i, words) in snap.memory.iter().enumerate() {
+            let want = program.objects()[i].initial_contents().len();
+            if words.len() != want {
+                return Err(format!(
+                    "memory object {i} has {} words, program wants {want}",
+                    words.len()
+                ));
             }
-            let depth = stack.len() - 1;
-            let frame = stack.last_mut().expect("non-empty stack");
-            let func = program.function(frame.func);
-            let block = func.block(frame.block);
-            let instr: &Instr = &block.instrs[frame.pos];
-            dyn_instrs += 1;
+            memory.push(words.iter().map(|w| Value(*w as i64)).collect());
+        }
 
-            // Gather input values.
-            inputs_buf.clear();
-            for op in instr.src_operands() {
-                inputs_buf.push(read_operand(&frame.regs, op));
+        if snap.frames.is_empty() {
+            return Err("snapshot has no call frames".to_string());
+        }
+        let mut stack: Vec<Frame<'p>> = Vec::with_capacity(snap.frames.len());
+        for (i, fs) in snap.frames.iter().enumerate() {
+            if fs.func as usize >= program.functions().len() {
+                return Err(format!("frame {i}: function {} out of range", fs.func));
             }
-
-            // Memoization: record inputs (used-before-defined in the
-            // anchor frame) before the instruction executes. Deeper
-            // frames have fresh registers and contribute no inputs,
-            // only execution (counted for the skip total) and memory
-            // accesses.
-            let mut abort_memo = false;
-            if let Some((mdepth, m)) = memo.as_mut() {
-                m.body_instrs += 1;
-                if depth == *mdepth {
-                    for r in instr.src_regs() {
-                        if m.written.contains(&r) || m.inputs.iter().any(|(x, _)| *x == r) {
-                            continue;
-                        }
-                        if m.inputs.len() >= crb.input_capacity() {
-                            abort_memo = true;
-                            break;
-                        }
-                        m.inputs.push((r, frame.regs[r.index()]));
+            let func = program.function(FuncId(fs.func));
+            if fs.block as usize >= func.iter_blocks().count() {
+                return Err(format!("frame {i}: block {} out of range", fs.block));
+            }
+            let block = func.block(BlockId(fs.block));
+            if fs.pos as usize >= block.instrs.len() {
+                return Err(format!("frame {i}: position {} out of range", fs.pos));
+            }
+            if fs.regs.len() != func.reg_limit().max(1) as usize {
+                return Err(format!(
+                    "frame {i}: {} registers, function wants {}",
+                    fs.regs.len(),
+                    func.reg_limit().max(1)
+                ));
+            }
+            // The caller's register list receiving our return values
+            // is borrowed from the call instruction the caller is
+            // suspended after (`pos` was advanced past the call before
+            // this frame was pushed), re-borrowed here from the
+            // program so the frame stays allocation-free.
+            let ret_regs: &'p [Reg] = if i == 0 {
+                &[]
+            } else {
+                let caller = &snap.frames[i - 1];
+                let call_pos = (caller.pos as usize)
+                    .checked_sub(1)
+                    .ok_or_else(|| format!("frame {i}: caller is not past a call site"))?;
+                let cb = program
+                    .function(FuncId(caller.func))
+                    .block(BlockId(caller.block));
+                match &cb.instrs[call_pos].op {
+                    Op::Call { callee, rets, .. } if *callee == FuncId(fs.func) => rets,
+                    _ => {
+                        return Err(format!(
+                            "frame {i}: caller is not suspended at a call to function {}",
+                            fs.func
+                        ))
                     }
                 }
-                if instr.is_store() {
-                    abort_memo = true;
-                }
-            }
-            if abort_memo {
-                memo = None;
-            }
-
-            let mut result: Option<Value> = None;
-            let mut mem_access: Option<MemAccess> = None;
-            let mut taken: Option<bool> = None;
-            let mut reuse_outcome: Option<ReuseOutcome> = None;
-
-            // Control transfer decided during execution. Call
-            // arguments and return values live in `inputs_buf` (which
-            // is untouched between operand gathering and the transfer
-            // below), and the destination register list is borrowed
-            // from the instruction, so deciding a transfer allocates
-            // nothing.
-            enum Ctl<'a> {
-                Next,
-                Goto(BlockId),
-                Call { callee: FuncId, rets: &'a [Reg] },
-                Ret,
-            }
-            let mut ctl = Ctl::Next;
-
-            match &instr.op {
-                Op::Binary { kind, dst, .. } => {
-                    let v = eval_binary(*kind, inputs_buf[0], inputs_buf[1]);
-                    frame.regs[dst.index()] = v;
-                    result = Some(v);
-                }
-                Op::Unary { kind, dst, .. } => {
-                    let v = eval_unary(*kind, inputs_buf[0]);
-                    frame.regs[dst.index()] = v;
-                    result = Some(v);
-                }
-                Op::Cmp { pred, dst, .. } => {
-                    let v = Value::from_int(
-                        pred.eval(inputs_buf[0].as_int(), inputs_buf[1].as_int()) as i64,
-                    );
-                    frame.regs[dst.index()] = v;
-                    result = Some(v);
-                }
-                Op::Load {
-                    dst,
-                    object,
-                    offset,
-                    ..
-                } => {
-                    let data = &memory[object.index()];
-                    let idx = mask_index(inputs_buf[0].as_int() + offset, data.len());
-                    let v = data[idx as usize];
-                    frame.regs[dst.index()] = v;
-                    result = Some(v);
-                    mem_access = Some(MemAccess {
-                        object: *object,
-                        index: idx,
-                        value: v,
-                        is_store: false,
-                    });
-                    if let Some((_, m)) = memo.as_mut() {
-                        m.accesses_memory = true;
-                    }
-                }
-                Op::Store { object, offset, .. } => {
-                    let data = &mut memory[object.index()];
-                    let idx = mask_index(inputs_buf[0].as_int() + offset, data.len());
-                    let v = inputs_buf[1];
-                    data[idx as usize] = v;
-                    mem_access = Some(MemAccess {
-                        object: *object,
-                        index: idx,
-                        value: v,
-                        is_store: true,
-                    });
-                }
-                Op::Branch {
-                    pred,
-                    taken: t_blk,
-                    not_taken,
-                    ..
-                } => {
-                    let is_taken = pred.eval(inputs_buf[0].as_int(), inputs_buf[1].as_int());
-                    taken = Some(is_taken);
-                    ctl = Ctl::Goto(if is_taken { *t_blk } else { *not_taken });
-                }
-                Op::Jump { target } => {
-                    ctl = Ctl::Goto(*target);
-                }
-                Op::Call { callee, rets, .. } => {
-                    ctl = Ctl::Call {
-                        callee: *callee,
-                        rets,
-                    };
-                }
-                Op::Ret { .. } => {
-                    ctl = Ctl::Ret;
-                }
-                Op::Reuse { region, body, cont } => {
-                    // A reuse inside an active memoization aborts the
-                    // outer recording (regions do not nest).
-                    memo = None;
-                    let regs = &mut frame.regs;
-                    let lookup = crb.lookup(*region, &mut |r| regs[r.index()]);
-                    match lookup {
-                        Some(hit) => {
-                            reuse_hits += 1;
-                            skipped_instrs += hit.skipped_instrs;
-                            for (r, v) in &hit.outputs {
-                                frame.regs[r.index()] = *v;
-                            }
-                            reuse_outcome = Some(ReuseOutcome {
-                                region: *region,
-                                hit: true,
-                                inputs: hit.inputs,
-                                outputs: hit.outputs.iter().map(|(r, _)| *r).collect(),
-                                skipped_instrs: hit.skipped_instrs,
-                                miss_cause: None,
-                            });
-                            ctl = Ctl::Goto(*cont);
-                        }
-                        None => {
-                            reuse_misses += 1;
-                            memo = Some((depth, MemoState::new(*region)));
-                            reuse_outcome = Some(ReuseOutcome {
-                                region: *region,
-                                hit: false,
-                                inputs: Vec::new(),
-                                outputs: Vec::new(),
-                                skipped_instrs: 0,
-                                miss_cause: crb.last_miss_cause(),
-                            });
-                            ctl = Ctl::Goto(*body);
-                        }
-                    }
-                }
-                Op::Invalidate { region } => {
-                    crb.invalidate(*region);
-                }
-                Op::Nop => {}
-            }
-
-            // Memoization: record live-outs and handle region
-            // endpoints after the instruction has executed — anchor
-            // frame only.
-            let mut overflow = false;
-            if let Some((mdepth, m)) = memo.as_mut() {
-                if depth == *mdepth && instr.ext.contains(ccr_ir::InstrExt::LIVE_OUT) {
-                    for dst in instr.dsts() {
-                        if m.outputs.contains(&dst) {
-                            continue;
-                        }
-                        if m.outputs.len() >= crb.output_capacity() {
-                            overflow = true;
-                        } else {
-                            m.outputs.push(dst);
-                        }
-                    }
-                }
-            }
-            if overflow {
-                memo = None;
-            }
-            if let Some((mdepth, m)) = memo.as_mut() {
-                if depth == *mdepth {
-                    for dst in instr.dsts() {
-                        m.written.insert(dst);
-                    }
-                    if instr.ext.contains(ccr_ir::InstrExt::REGION_END) {
-                        let (_, done) = memo.take().expect("memo present");
-                        // Output values are read at the endpoint, when
-                        // every write (including a wrapped callee's
-                        // return values) has landed.
-                        let regs = &frame.regs;
-                        crb.record(done.region, done.into_instance(|r| regs[r.index()]));
-                    } else if instr.ext.contains(ccr_ir::InstrExt::REGION_EXIT) {
-                        memo = None;
-                    }
-                }
-            }
-
-            // Report the event.
-            let event = ExecEvent {
-                func: frame.func,
-                block: frame.block,
-                instr,
-                inputs: &inputs_buf,
-                result,
-                mem: mem_access,
-                taken,
-                reuse: reuse_outcome.as_ref(),
-                depth,
             };
-            sink.on_exec(&event);
+            stack.push(Frame {
+                func: FuncId(fs.func),
+                regs: fs.regs.iter().map(|w| Value(*w as i64)).collect(),
+                block: BlockId(fs.block),
+                pos: fs.pos as usize,
+                ret_regs,
+            });
+        }
 
-            // Perform the control transfer.
-            match ctl {
-                Ctl::Next => {
-                    frame.pos += 1;
+        let memo = match &snap.memo {
+            None => None,
+            Some(ms) => {
+                if ms.depth as usize >= stack.len() {
+                    return Err(format!(
+                        "memoization depth {} exceeds stack depth {}",
+                        ms.depth,
+                        stack.len()
+                    ));
                 }
-                Ctl::Goto(target) => {
-                    frame.block = target;
-                    frame.pos = 0;
-                    let fid = frame.func;
-                    sink.on_block_enter(fid, target);
+                let mut m = MemoState::new(RegionId(ms.region));
+                m.inputs = ms
+                    .inputs
+                    .iter()
+                    .map(|(r, w)| (Reg(*r), Value(*w as i64)))
+                    .collect();
+                m.outputs = ms.outputs.iter().map(|r| Reg(*r)).collect();
+                m.written = ms.written.iter().map(|r| Reg(*r)).collect();
+                m.accesses_memory = ms.accesses_memory;
+                m.body_instrs = ms.body_instrs;
+                Some((ms.depth as usize, m))
+            }
+        };
+
+        Ok(EmuRun {
+            program,
+            config: self.config,
+            memory,
+            stack,
+            dyn_instrs: snap.dyn_instrs,
+            memo,
+            skipped_instrs: snap.skipped_instrs,
+            reuse_hits: snap.reuse_hits,
+            reuse_misses: snap.reuse_misses,
+            inputs_buf: Vec::with_capacity(4),
+            regs_pool: Vec::new(),
+        })
+    }
+}
+
+/// An in-flight emulation: the loop state of [`Emulator::run`] made
+/// resumable. Created by [`Emulator::start`] (cold) or
+/// [`Emulator::resume`] (from an [`EmuSnapshot`]); advanced one
+/// dynamic instruction at a time by [`EmuRun::step`], which lets a
+/// driver interleave snapshotting and state fingerprinting at exact
+/// instruction boundaries without a second semantics implementation.
+#[derive(Debug)]
+pub struct EmuRun<'p> {
+    program: &'p Program,
+    config: EmuConfig,
+    memory: Vec<Vec<Value>>,
+    stack: Vec<Frame<'p>>,
+    dyn_instrs: u64,
+    // Active memoization, anchored to the frame depth that executed
+    // the reuse instruction.
+    memo: Option<(usize, MemoState)>,
+    skipped_instrs: u64,
+    reuse_hits: u64,
+    reuse_misses: u64,
+    inputs_buf: Vec<Value>,
+    // Register files of popped frames, recycled by later calls so the
+    // call/ret hot path stops allocating. Scratch: not state.
+    regs_pool: Vec<Vec<Value>>,
+}
+
+impl<'p> EmuRun<'p> {
+    /// Dynamic instructions executed so far.
+    pub fn dyn_instrs(&self) -> u64 {
+        self.dyn_instrs
+    }
+
+    /// True once the entry function has returned.
+    pub fn finished(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Captures the complete architectural state as plain data. The
+    /// two scratch pools (`inputs_buf`, `regs_pool`) are excluded:
+    /// their contents are dead between steps.
+    pub fn snapshot(&self) -> EmuSnapshot {
+        EmuSnapshot {
+            memory: self
+                .memory
+                .iter()
+                .map(|m| m.iter().map(|v| v.0 as u64).collect())
+                .collect(),
+            frames: self
+                .stack
+                .iter()
+                .map(|f| EmuFrameSnapshot {
+                    func: f.func.0,
+                    block: f.block.0,
+                    pos: f.pos as u64,
+                    regs: f.regs.iter().map(|v| v.0 as u64).collect(),
+                })
+                .collect(),
+            dyn_instrs: self.dyn_instrs,
+            skipped_instrs: self.skipped_instrs,
+            reuse_hits: self.reuse_hits,
+            reuse_misses: self.reuse_misses,
+            memo: self.memo.as_ref().map(|(depth, m)| {
+                let mut written: Vec<u32> = m.written.iter().map(|r| r.0).collect();
+                written.sort_unstable();
+                EmuMemoSnapshot {
+                    depth: *depth as u64,
+                    region: m.region.0,
+                    inputs: m.inputs.iter().map(|(r, v)| (r.0, v.0 as u64)).collect(),
+                    outputs: m.outputs.iter().map(|r| r.0).collect(),
+                    written,
+                    accesses_memory: m.accesses_memory,
+                    body_instrs: m.body_instrs,
                 }
-                Ctl::Call { callee, rets } => {
-                    frame.pos += 1; // resume after the call
-                    if stack.len() >= self.config.max_depth {
-                        return Err(EmuError::StackOverflow);
+            }),
+        }
+    }
+
+    /// Folds every word of architectural state into `push`, in a
+    /// deterministic order (unordered sets are sorted first). This is
+    /// the emulator's contribution to the determinism fingerprint.
+    pub fn fold_state(&self, push: &mut dyn FnMut(u64)) {
+        push(self.dyn_instrs);
+        push(self.skipped_instrs);
+        push(self.reuse_hits);
+        push(self.reuse_misses);
+        push(self.memory.len() as u64);
+        for obj in &self.memory {
+            push(obj.len() as u64);
+            for v in obj {
+                push(v.0 as u64);
+            }
+        }
+        push(self.stack.len() as u64);
+        for f in &self.stack {
+            push(u64::from(f.func.0));
+            push(u64::from(f.block.0));
+            push(f.pos as u64);
+            push(f.regs.len() as u64);
+            for v in &f.regs {
+                push(v.0 as u64);
+            }
+        }
+        match &self.memo {
+            None => push(0),
+            Some((depth, m)) => {
+                push(1);
+                push(*depth as u64);
+                push(u64::from(m.region.0));
+                push(m.inputs.len() as u64);
+                for (r, v) in &m.inputs {
+                    push(u64::from(r.0));
+                    push(v.0 as u64);
+                }
+                push(m.outputs.len() as u64);
+                for r in &m.outputs {
+                    push(u64::from(r.0));
+                }
+                let mut written: Vec<u32> = m.written.iter().map(|r| r.0).collect();
+                written.sort_unstable();
+                push(written.len() as u64);
+                for r in written {
+                    push(u64::from(r));
+                }
+                push(u64::from(m.accesses_memory));
+                push(m.body_instrs);
+            }
+        }
+    }
+
+    /// Executes one dynamic instruction.
+    ///
+    /// Returns `Ok(None)` while the program has more work to do and
+    /// `Ok(Some(outcome))` when the entry function returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError`] if a configured limit is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called again after the program has returned.
+    pub fn step(
+        &mut self,
+        crb: &mut dyn CrbModel,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Option<RunOutcome>, EmuError> {
+        let program = self.program;
+        assert!(!self.stack.is_empty(), "step after the program returned");
+        if self.dyn_instrs >= self.config.max_instrs {
+            return Err(EmuError::StepLimit);
+        }
+        let depth = self.stack.len() - 1;
+        let frame = self.stack.last_mut().expect("non-empty stack");
+        let func = program.function(frame.func);
+        let block = func.block(frame.block);
+        let instr: &Instr = &block.instrs[frame.pos];
+        self.dyn_instrs += 1;
+
+        // Gather input values.
+        self.inputs_buf.clear();
+        for op in instr.src_operands() {
+            self.inputs_buf.push(read_operand(&frame.regs, op));
+        }
+
+        // Memoization: record inputs (used-before-defined in the
+        // anchor frame) before the instruction executes. Deeper
+        // frames have fresh registers and contribute no inputs,
+        // only execution (counted for the skip total) and memory
+        // accesses.
+        let mut abort_memo = false;
+        if let Some((mdepth, m)) = self.memo.as_mut() {
+            m.body_instrs += 1;
+            if depth == *mdepth {
+                for r in instr.src_regs() {
+                    if m.written.contains(&r) || m.inputs.iter().any(|(x, _)| *x == r) {
+                        continue;
                     }
-                    let caller_id = stack.last().expect("frame").func;
-                    let target = program.function(callee);
-                    // The call arguments are still in `inputs_buf`.
-                    let mut regs = regs_pool.pop().unwrap_or_default();
-                    regs.clear();
-                    regs.resize(target.reg_limit().max(1) as usize, Value::ZERO);
-                    regs[..inputs_buf.len()].copy_from_slice(&inputs_buf);
-                    stack.push(Frame {
-                        func: callee,
-                        regs,
-                        block: target.entry(),
-                        pos: 0,
-                        ret_regs: rets,
-                    });
-                    sink.on_call(caller_id, callee);
-                    sink.on_block_enter(callee, target.entry());
-                }
-                Ctl::Ret => {
-                    // Returning out of (or past) the anchor frame
-                    // makes the recording meaningless.
-                    if memo.as_ref().is_some_and(|(mdepth, _)| depth <= *mdepth) {
-                        memo = None;
+                    if m.inputs.len() >= crb.input_capacity() {
+                        abort_memo = true;
+                        break;
                     }
-                    // The returned values are still in `inputs_buf`.
-                    let done = stack.pop().expect("frame");
-                    sink.on_ret(done.func);
-                    match stack.last_mut() {
-                        None => {
-                            return Ok(RunOutcome {
-                                returned: std::mem::take(&mut inputs_buf),
-                                dyn_instrs,
-                                skipped_instrs,
-                                reuse_hits,
-                                reuse_misses,
-                            });
+                    m.inputs.push((r, frame.regs[r.index()]));
+                }
+            }
+            if instr.is_store() {
+                abort_memo = true;
+            }
+        }
+        if abort_memo {
+            self.memo = None;
+        }
+
+        let mut result: Option<Value> = None;
+        let mut mem_access: Option<MemAccess> = None;
+        let mut taken: Option<bool> = None;
+        let mut reuse_outcome: Option<ReuseOutcome> = None;
+
+        // Control transfer decided during execution. Call
+        // arguments and return values live in `inputs_buf` (which
+        // is untouched between operand gathering and the transfer
+        // below), and the destination register list is borrowed
+        // from the instruction, so deciding a transfer allocates
+        // nothing.
+        enum Ctl<'a> {
+            Next,
+            Goto(BlockId),
+            Call { callee: FuncId, rets: &'a [Reg] },
+            Ret,
+        }
+        let mut ctl = Ctl::Next;
+
+        match &instr.op {
+            Op::Binary { kind, dst, .. } => {
+                let v = eval_binary(*kind, self.inputs_buf[0], self.inputs_buf[1]);
+                frame.regs[dst.index()] = v;
+                result = Some(v);
+            }
+            Op::Unary { kind, dst, .. } => {
+                let v = eval_unary(*kind, self.inputs_buf[0]);
+                frame.regs[dst.index()] = v;
+                result = Some(v);
+            }
+            Op::Cmp { pred, dst, .. } => {
+                let v = Value::from_int(
+                    pred.eval(self.inputs_buf[0].as_int(), self.inputs_buf[1].as_int()) as i64,
+                );
+                frame.regs[dst.index()] = v;
+                result = Some(v);
+            }
+            Op::Load {
+                dst,
+                object,
+                offset,
+                ..
+            } => {
+                let data = &self.memory[object.index()];
+                let idx = mask_index(self.inputs_buf[0].as_int() + offset, data.len());
+                let v = data[idx as usize];
+                frame.regs[dst.index()] = v;
+                result = Some(v);
+                mem_access = Some(MemAccess {
+                    object: *object,
+                    index: idx,
+                    value: v,
+                    is_store: false,
+                });
+                if let Some((_, m)) = self.memo.as_mut() {
+                    m.accesses_memory = true;
+                }
+            }
+            Op::Store { object, offset, .. } => {
+                let data = &mut self.memory[object.index()];
+                let idx = mask_index(self.inputs_buf[0].as_int() + offset, data.len());
+                let v = self.inputs_buf[1];
+                data[idx as usize] = v;
+                mem_access = Some(MemAccess {
+                    object: *object,
+                    index: idx,
+                    value: v,
+                    is_store: true,
+                });
+            }
+            Op::Branch {
+                pred,
+                taken: t_blk,
+                not_taken,
+                ..
+            } => {
+                let is_taken = pred.eval(self.inputs_buf[0].as_int(), self.inputs_buf[1].as_int());
+                taken = Some(is_taken);
+                ctl = Ctl::Goto(if is_taken { *t_blk } else { *not_taken });
+            }
+            Op::Jump { target } => {
+                ctl = Ctl::Goto(*target);
+            }
+            Op::Call { callee, rets, .. } => {
+                ctl = Ctl::Call {
+                    callee: *callee,
+                    rets,
+                };
+            }
+            Op::Ret { .. } => {
+                ctl = Ctl::Ret;
+            }
+            Op::Reuse { region, body, cont } => {
+                // A reuse inside an active memoization aborts the
+                // outer recording (regions do not nest).
+                self.memo = None;
+                let regs = &mut frame.regs;
+                let lookup = crb.lookup(*region, &mut |r| regs[r.index()]);
+                match lookup {
+                    Some(hit) => {
+                        self.reuse_hits += 1;
+                        self.skipped_instrs += hit.skipped_instrs;
+                        for (r, v) in &hit.outputs {
+                            frame.regs[r.index()] = *v;
                         }
-                        Some(caller) => {
-                            for (r, v) in done.ret_regs.iter().zip(inputs_buf.iter()) {
-                                caller.regs[r.index()] = *v;
-                            }
-                            regs_pool.push(done.regs);
-                        }
+                        reuse_outcome = Some(ReuseOutcome {
+                            region: *region,
+                            hit: true,
+                            inputs: hit.inputs,
+                            outputs: hit.outputs.iter().map(|(r, _)| *r).collect(),
+                            skipped_instrs: hit.skipped_instrs,
+                            miss_cause: None,
+                        });
+                        ctl = Ctl::Goto(*cont);
+                    }
+                    None => {
+                        self.reuse_misses += 1;
+                        self.memo = Some((depth, MemoState::new(*region)));
+                        reuse_outcome = Some(ReuseOutcome {
+                            region: *region,
+                            hit: false,
+                            inputs: Vec::new(),
+                            outputs: Vec::new(),
+                            skipped_instrs: 0,
+                            miss_cause: crb.last_miss_cause(),
+                        });
+                        ctl = Ctl::Goto(*body);
+                    }
+                }
+            }
+            Op::Invalidate { region } => {
+                crb.invalidate(*region);
+            }
+            Op::Nop => {}
+        }
+
+        // Memoization: record live-outs and handle region
+        // endpoints after the instruction has executed — anchor
+        // frame only.
+        let mut overflow = false;
+        if let Some((mdepth, m)) = self.memo.as_mut() {
+            if depth == *mdepth && instr.ext.contains(ccr_ir::InstrExt::LIVE_OUT) {
+                for dst in instr.dsts() {
+                    if m.outputs.contains(&dst) {
+                        continue;
+                    }
+                    if m.outputs.len() >= crb.output_capacity() {
+                        overflow = true;
+                    } else {
+                        m.outputs.push(dst);
                     }
                 }
             }
         }
+        if overflow {
+            self.memo = None;
+        }
+        if let Some((mdepth, m)) = self.memo.as_mut() {
+            if depth == *mdepth {
+                for dst in instr.dsts() {
+                    m.written.insert(dst);
+                }
+                if instr.ext.contains(ccr_ir::InstrExt::REGION_END) {
+                    let (_, done) = self.memo.take().expect("memo present");
+                    // Output values are read at the endpoint, when
+                    // every write (including a wrapped callee's
+                    // return values) has landed.
+                    let regs = &frame.regs;
+                    crb.record(done.region, done.into_instance(|r| regs[r.index()]));
+                } else if instr.ext.contains(ccr_ir::InstrExt::REGION_EXIT) {
+                    self.memo = None;
+                }
+            }
+        }
+
+        // Report the event.
+        let event = ExecEvent {
+            func: frame.func,
+            block: frame.block,
+            instr,
+            inputs: &self.inputs_buf,
+            result,
+            mem: mem_access,
+            taken,
+            reuse: reuse_outcome.as_ref(),
+            depth,
+        };
+        sink.on_exec(&event);
+
+        // Perform the control transfer.
+        match ctl {
+            Ctl::Next => {
+                frame.pos += 1;
+            }
+            Ctl::Goto(target) => {
+                frame.block = target;
+                frame.pos = 0;
+                let fid = frame.func;
+                sink.on_block_enter(fid, target);
+            }
+            Ctl::Call { callee, rets } => {
+                frame.pos += 1; // resume after the call
+                if self.stack.len() >= self.config.max_depth {
+                    return Err(EmuError::StackOverflow);
+                }
+                let caller_id = self.stack.last().expect("frame").func;
+                let target = program.function(callee);
+                // The call arguments are still in `inputs_buf`.
+                let mut regs = self.regs_pool.pop().unwrap_or_default();
+                regs.clear();
+                regs.resize(target.reg_limit().max(1) as usize, Value::ZERO);
+                regs[..self.inputs_buf.len()].copy_from_slice(&self.inputs_buf);
+                self.stack.push(Frame {
+                    func: callee,
+                    regs,
+                    block: target.entry(),
+                    pos: 0,
+                    ret_regs: rets,
+                });
+                sink.on_call(caller_id, callee);
+                sink.on_block_enter(callee, target.entry());
+            }
+            Ctl::Ret => {
+                // Returning out of (or past) the anchor frame
+                // makes the recording meaningless.
+                if self
+                    .memo
+                    .as_ref()
+                    .is_some_and(|(mdepth, _)| depth <= *mdepth)
+                {
+                    self.memo = None;
+                }
+                // The returned values are still in `inputs_buf`.
+                let done = self.stack.pop().expect("frame");
+                sink.on_ret(done.func);
+                match self.stack.last_mut() {
+                    None => {
+                        return Ok(Some(RunOutcome {
+                            returned: std::mem::take(&mut self.inputs_buf),
+                            dyn_instrs: self.dyn_instrs,
+                            skipped_instrs: self.skipped_instrs,
+                            reuse_hits: self.reuse_hits,
+                            reuse_misses: self.reuse_misses,
+                        }));
+                    }
+                    Some(caller) => {
+                        for (r, v) in done.ret_regs.iter().zip(self.inputs_buf.iter()) {
+                            caller.regs[r.index()] = *v;
+                        }
+                        self.regs_pool.push(done.regs);
+                    }
+                }
+            }
+        }
+        Ok(None)
     }
+}
+
+/// Complete architectural state of an [`EmuRun`] as plain integers
+/// (each [`Value`] is its `u64` bit pattern), so a snapshot can be
+/// serialized without touching `ccr-ir` types. Produced by
+/// [`EmuRun::snapshot`], consumed by [`Emulator::resume`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EmuSnapshot {
+    /// Per-object memory contents.
+    pub memory: Vec<Vec<u64>>,
+    /// Call stack, outermost (entry function) first.
+    pub frames: Vec<EmuFrameSnapshot>,
+    /// Dynamic instructions executed so far.
+    pub dyn_instrs: u64,
+    /// Dynamic instructions skipped by reuse hits so far.
+    pub skipped_instrs: u64,
+    /// Reuse-instruction hits so far.
+    pub reuse_hits: u64,
+    /// Reuse-instruction misses so far.
+    pub reuse_misses: u64,
+    /// Active memoization, if a region recording is in flight.
+    pub memo: Option<EmuMemoSnapshot>,
+}
+
+/// One suspended call frame of an [`EmuSnapshot`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EmuFrameSnapshot {
+    /// Function index.
+    pub func: u32,
+    /// Current block index.
+    pub block: u32,
+    /// Next instruction position within the block.
+    pub pos: u64,
+    /// Register file (bit patterns).
+    pub regs: Vec<u64>,
+}
+
+/// In-flight region memoization of an [`EmuSnapshot`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EmuMemoSnapshot {
+    /// Anchor frame depth (index into the stack).
+    pub depth: u64,
+    /// Region being recorded.
+    pub region: u32,
+    /// Input bank: `(register, value bit pattern)` in record order.
+    pub inputs: Vec<(u32, u64)>,
+    /// Output bank registers in record order.
+    pub outputs: Vec<u32>,
+    /// Registers written since inception, sorted.
+    pub written: Vec<u32>,
+    /// Whether the body loaded from memory.
+    pub accesses_memory: bool,
+    /// Body instructions executed so far.
+    pub body_instrs: u64,
 }
 
 fn read_operand(regs: &[Value], op: Operand) -> Value {
@@ -897,6 +1246,63 @@ mod tests {
         let mut crb = ScriptCrb::default();
         Emulator::new(&p).run(&mut crb, &mut NullSink).unwrap();
         assert_eq!(crb.records, 0);
+    }
+
+    #[test]
+    fn snapshot_resume_reproduces_the_run_at_every_step() {
+        // Drive the reuse program to every intermediate instruction,
+        // snapshot, resume, and finish: the outcome must be identical
+        // to the uninterrupted run — including steps taken mid-way
+        // through a memoization recording and inside callee frames.
+        let p = reuse_program(3);
+        let emu = Emulator::new(&p);
+        let mut crb = ScriptCrb::default();
+        let cold = emu.run(&mut crb, &mut NullSink).unwrap();
+        for k in 0..cold.dyn_instrs {
+            let mut crb = ScriptCrb::default();
+            let mut run = emu.start(&mut NullSink);
+            for _ in 0..k {
+                assert!(run.step(&mut crb, &mut NullSink).unwrap().is_none());
+            }
+            let snap = run.snapshot();
+            // The snapshot round-trips through resume exactly.
+            let mut resumed = emu.resume(&snap).unwrap();
+            assert_eq!(resumed.snapshot(), snap);
+            let out = loop {
+                if let Some(o) = resumed.step(&mut crb, &mut NullSink).unwrap() {
+                    break o;
+                }
+            };
+            assert_eq!(out, cold, "divergence after resuming at step {k}");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_inconsistent_snapshots() {
+        let p = reuse_program(1);
+        let emu = Emulator::new(&p);
+        let mut run = emu.start(&mut NullSink);
+        let mut crb = ScriptCrb::default();
+        for _ in 0..5 {
+            run.step(&mut crb, &mut NullSink).unwrap();
+        }
+        let snap = run.snapshot();
+
+        let mut bad = snap.clone();
+        bad.frames[0].block = 999;
+        assert!(emu.resume(&bad).unwrap_err().contains("block 999"));
+
+        let mut bad = snap.clone();
+        bad.frames[0].pos = 10_000;
+        assert!(emu.resume(&bad).unwrap_err().contains("position"));
+
+        let mut bad = snap.clone();
+        bad.frames.clear();
+        assert!(emu.resume(&bad).unwrap_err().contains("no call frames"));
+
+        let mut bad = snap;
+        bad.memory.push(vec![0]);
+        assert!(emu.resume(&bad).unwrap_err().contains("memory objects"));
     }
 
     #[test]

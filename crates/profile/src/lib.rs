@@ -27,7 +27,10 @@ pub mod rps;
 pub mod trace;
 
 pub use crb::{CrbModel, MissCause, NullCrb, RecordedInstance, ReuseLookup};
-pub use emulator::{EmuConfig, EmuError, Emulator, RunOutcome};
+pub use emulator::{
+    EmuConfig, EmuError, EmuFrameSnapshot, EmuMemoSnapshot, EmuRun, EmuSnapshot, Emulator,
+    RunOutcome,
+};
 pub use potential::{PotentialConfig, PotentialStudy, ReusePotential};
 pub use rps::{
     hash_values, CyclicProfile, InstrProfile, LoopKey, MemProfile, ReuseProfile, ValueProfiler,

@@ -82,6 +82,50 @@ impl Btb {
             self.mispredicts as f64 / total as f64
         }
     }
+
+    /// The counter array (snapshot support).
+    pub fn counters(&self) -> &[u8] {
+        &self.counters
+    }
+
+    /// Rebuilds a BTB from snapshot state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description if the counter array does not
+    /// match `entries` or holds an out-of-range counter.
+    pub fn restore(
+        entries: usize,
+        counters: Vec<u8>,
+        correct: u64,
+        mispredicts: u64,
+    ) -> Result<Btb, String> {
+        if counters.len() != entries {
+            return Err(format!(
+                "btb snapshot has {} counters, config wants {entries}",
+                counters.len()
+            ));
+        }
+        if let Some(c) = counters.iter().find(|c| **c > 3) {
+            return Err(format!("btb snapshot counter {c} out of range (0..=3)"));
+        }
+        let mut btb = Btb::new(entries);
+        btb.counters = counters;
+        btb.correct = correct;
+        btb.mispredicts = mispredicts;
+        Ok(btb)
+    }
+
+    /// Folds the full predictor state into `push` (fingerprint
+    /// support).
+    pub fn fold_state(&self, push: &mut dyn FnMut(u64)) {
+        push(self.correct);
+        push(self.mispredicts);
+        push(self.counters.len() as u64);
+        for c in &self.counters {
+            push(u64::from(*c));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,53 @@ impl Cache {
     pub fn config(&self) -> CacheConfig {
         self.config
     }
+
+    /// The tag array (snapshot support). `None` = invalid line.
+    pub fn tags(&self) -> &[Option<u64>] {
+        &self.tags
+    }
+
+    /// Rebuilds a cache from snapshot state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description if the tag array does not match
+    /// the configured line count.
+    pub fn restore(
+        config: CacheConfig,
+        tags: Vec<Option<u64>>,
+        hits: u64,
+        misses: u64,
+    ) -> Result<Cache, String> {
+        if tags.len() as u64 != config.lines() {
+            return Err(format!(
+                "cache snapshot has {} lines, config wants {}",
+                tags.len(),
+                config.lines()
+            ));
+        }
+        let mut cache = Cache::new(config);
+        cache.tags = tags;
+        cache.hits = hits;
+        cache.misses = misses;
+        Ok(cache)
+    }
+
+    /// Folds the full cache state into `push` (fingerprint support).
+    pub fn fold_state(&self, push: &mut dyn FnMut(u64)) {
+        push(self.hits);
+        push(self.misses);
+        push(self.tags.len() as u64);
+        for tag in &self.tags {
+            match tag {
+                None => push(0),
+                Some(t) => {
+                    push(1);
+                    push(*t);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,10 @@ use std::collections::{HashSet, VecDeque};
 use ccr_ir::{Reg, RegionId, Value};
 use ccr_profile::{CrbModel, MissCause, RecordedInstance, ReuseLookup};
 
+use crate::snapshot::{
+    cause_from_index, cause_index, CrbEntrySnapshot, CrbGhostSnapshot, CrbInstanceSnapshot,
+    CrbSnapshot,
+};
 use crate::stats::CrbStats;
 
 /// FNV-1a fold of one `(register, value)` pair into a running hash.
@@ -463,6 +467,204 @@ impl ReuseBuffer {
         x ^= x >> 27;
         self.rng = x;
         x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Captures the complete buffer state as plain data.
+    ///
+    /// # Errors
+    ///
+    /// Event-logging buffers cannot be snapshotted: the event log is
+    /// diagnostic state the snapshot format deliberately excludes.
+    pub fn snapshot(&self) -> Result<CrbSnapshot, String> {
+        if self.log_events {
+            return Err("cannot snapshot a reuse buffer with event logging enabled".to_string());
+        }
+        let mut ever: Vec<u32> = self.ever_recorded.iter().map(|r| r.0).collect();
+        ever.sort_unstable();
+        Ok(CrbSnapshot {
+            clock: self.clock,
+            rng: self.rng,
+            stats: self.stats,
+            last_miss_cause: self.last_miss_cause.map(cause_index),
+            ever_recorded: ever,
+            entries: self
+                .entries
+                .iter()
+                .map(|e| CrbEntrySnapshot {
+                    tag: e.tag.map(|r| r.0),
+                    instances: e
+                        .instances
+                        .iter()
+                        .map(|i| CrbInstanceSnapshot {
+                            valid: i.valid,
+                            inputs: i.inputs.iter().map(|(r, v)| (r.0, v.0 as u64)).collect(),
+                            fp: i.fp,
+                            outputs: i.outputs.iter().map(|(r, v)| (r.0, v.0 as u64)).collect(),
+                            accesses_memory: i.accesses_memory,
+                            body_instrs: i.body_instrs,
+                            last_use: i.last_use,
+                            inserted: i.inserted,
+                        })
+                        .collect(),
+                    ghosts: e
+                        .ghosts
+                        .iter()
+                        .map(|g| CrbGhostSnapshot {
+                            inputs: g.inputs.iter().map(|(r, v)| (r.0, v.0 as u64)).collect(),
+                            fp: g.fp,
+                            cause: cause_index(g.cause),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Rebuilds a mid-run buffer from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description when the snapshot geometry does
+    /// not match `config` or a miss-cause index is out of range.
+    pub fn restore(config: CrbConfig, snap: &CrbSnapshot) -> Result<ReuseBuffer, String> {
+        let mut buf = ReuseBuffer::new(config);
+        if snap.entries.len() != buf.entries.len() {
+            return Err(format!(
+                "crb snapshot has {} entries, config wants {}",
+                snap.entries.len(),
+                buf.entries.len()
+            ));
+        }
+        for (idx, (es, entry)) in snap.entries.iter().zip(buf.entries.iter_mut()).enumerate() {
+            if es.instances.len() != entry.instances.len() {
+                return Err(format!(
+                    "crb entry {idx} has {} instances, config wants {}",
+                    es.instances.len(),
+                    entry.instances.len()
+                ));
+            }
+            if es.ghosts.len() > es.instances.len() * 2 {
+                return Err(format!(
+                    "crb entry {idx} has {} ghosts, capacity is {}",
+                    es.ghosts.len(),
+                    es.instances.len() * 2
+                ));
+            }
+            entry.tag = es.tag.map(RegionId);
+            entry.instances = es
+                .instances
+                .iter()
+                .map(|i| Instance {
+                    valid: i.valid,
+                    inputs: i
+                        .inputs
+                        .iter()
+                        .map(|(r, v)| (Reg(*r), Value(*v as i64)))
+                        .collect(),
+                    fp: i.fp,
+                    outputs: i
+                        .outputs
+                        .iter()
+                        .map(|(r, v)| (Reg(*r), Value(*v as i64)))
+                        .collect(),
+                    accesses_memory: i.accesses_memory,
+                    body_instrs: i.body_instrs,
+                    last_use: i.last_use,
+                    inserted: i.inserted,
+                })
+                .collect();
+            entry.ghosts = es
+                .ghosts
+                .iter()
+                .map(|g| {
+                    Ok(Ghost {
+                        inputs: g
+                            .inputs
+                            .iter()
+                            .map(|(r, v)| (Reg(*r), Value(*v as i64)))
+                            .collect(),
+                        fp: g.fp,
+                        cause: cause_from_index(g.cause)?,
+                    })
+                })
+                .collect::<Result<_, String>>()?;
+        }
+        buf.clock = snap.clock;
+        buf.rng = snap.rng;
+        buf.stats = snap.stats;
+        buf.last_miss_cause = snap.last_miss_cause.map(cause_from_index).transpose()?;
+        buf.ever_recorded = snap.ever_recorded.iter().map(|r| RegionId(*r)).collect();
+        Ok(buf)
+    }
+
+    /// Folds the full buffer state into `push` in a deterministic
+    /// order (the `ever_recorded` set is sorted first). The event log,
+    /// the fingerprint-filter switch, and the two scratch vectors are
+    /// excluded: none of them alters simulated outcomes.
+    pub fn fold_state(&self, push: &mut dyn FnMut(u64)) {
+        push(self.clock);
+        push(self.rng);
+        self.stats.fold_state(push);
+        match self.last_miss_cause {
+            None => push(0),
+            Some(c) => {
+                push(1);
+                push(cause_index(c));
+            }
+        }
+        let mut ever: Vec<u32> = self.ever_recorded.iter().map(|r| r.0).collect();
+        ever.sort_unstable();
+        push(ever.len() as u64);
+        for r in ever {
+            push(u64::from(r));
+        }
+        push(self.entries.len() as u64);
+        for e in &self.entries {
+            match e.tag {
+                None => push(0),
+                Some(r) => {
+                    push(1);
+                    push(u64::from(r.0));
+                }
+            }
+            push(e.instances.len() as u64);
+            for i in &e.instances {
+                push(u64::from(i.valid));
+                push(i.inputs.len() as u64);
+                for (r, v) in &i.inputs {
+                    push(u64::from(r.0));
+                    push(v.0 as u64);
+                }
+                push(i.fp);
+                push(i.outputs.len() as u64);
+                for (r, v) in &i.outputs {
+                    push(u64::from(r.0));
+                    push(v.0 as u64);
+                }
+                push(u64::from(i.accesses_memory));
+                push(i.body_instrs);
+                push(i.last_use);
+                push(i.inserted);
+            }
+            push(e.ghosts.len() as u64);
+            for g in &e.ghosts {
+                push(g.inputs.len() as u64);
+                for (r, v) in &g.inputs {
+                    push(u64::from(r.0));
+                    push(v.0 as u64);
+                }
+                push(g.fp);
+                push(cause_index(g.cause));
+            }
+        }
+    }
+
+    /// Test hook: XORs the replacement RNG stream with a constant,
+    /// deterministically disturbing internal state so fingerprint
+    /// divergence can be injected at a chosen point.
+    #[doc(hidden)]
+    pub fn perturb_for_tests(&mut self) {
+        self.rng ^= 0xdead_beef_0bad_f00d;
     }
 
     fn victim_slot(&mut self, idx: usize) -> usize {

@@ -21,18 +21,28 @@
 pub mod btb;
 pub mod cache;
 pub mod crb;
+pub mod fingerprint;
 pub mod machine;
 pub mod pipeline;
+pub mod session;
 pub mod simulator;
+pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
 
 pub use btb::Btb;
 pub use cache::{Cache, CacheConfig};
 pub use crb::{CrbConfig, CrbEvent, CrbEventKind, NonuniformConfig, Replacement, ReuseBuffer};
+pub use fingerprint::{
+    FingerprintStream, Fold, WindowDigest, DEFAULT_FINGERPRINT_WINDOW, FNV_OFFSET, FNV_PRIME,
+};
 pub use machine::MachineConfig;
 pub use pipeline::Pipeline;
+pub use session::SimSession;
 pub use simulator::{simulate, simulate_baseline, SimOutcome};
+pub use snapshot::{
+    load_snapshot, parse_snapshot, save_snapshot, write_snapshot, SimSnapshot, SNAP_VERSION,
+};
 pub use stats::{
     AttrBucket, Attribution, CrbStats, CycleBuckets, FuncCycles, RegionDynStats, SimStats,
 };

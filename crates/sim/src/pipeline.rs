@@ -19,6 +19,7 @@ use ccr_profile::{ExecEvent, MissCause, TraceSink};
 use crate::btb::Btb;
 use crate::cache::Cache;
 use crate::machine::MachineConfig;
+use crate::snapshot::{BtbSnapshot, CacheSnapshot, PipelineFrameSnapshot, PipelineSnapshot};
 use crate::stats::{AttrBucket, Attribution, CycleBuckets, FuncCycles, RegionDynStats, SimStats};
 
 #[derive(Clone, Copy, Default)]
@@ -315,6 +316,175 @@ impl Pipeline {
         }
         attr.charge(func, AttrBucket::Issue, 1);
         attr.attributed = t + 1;
+    }
+
+    /// Captures the complete timing state as plain data.
+    ///
+    /// # Errors
+    ///
+    /// Profiled pipelines cannot be snapshotted: attribution is
+    /// observational-only state the snapshot format deliberately
+    /// excludes (a replay would lose its history).
+    pub fn snapshot(&self) -> Result<PipelineSnapshot, String> {
+        if self.attr.is_some() {
+            return Err("cannot snapshot a profiled pipeline".to_string());
+        }
+        Ok(PipelineSnapshot {
+            last_issue: self.last_issue,
+            slot_cycle: self.slot_cycle,
+            slots_used: self.slots_used,
+            fu_used: [
+                self.fu_used.int,
+                self.fu_used.mem,
+                self.fu_used.fp,
+                self.fu_used.branch,
+            ],
+            fetch_ready: self.fetch_ready,
+            last_fetch_line: self.last_fetch_line,
+            frames: self
+                .frames
+                .iter()
+                .map(|f| PipelineFrameSnapshot {
+                    ready: f.ready.clone(),
+                    ret_regs: f.ret_regs.iter().map(|r| r.0).collect(),
+                })
+                .collect(),
+            pending_call: self
+                .pending_call
+                .as_ref()
+                .map(|(c, rs)| (*c, rs.iter().map(|r| r.0).collect())),
+            horizon: self.horizon,
+            stats: self.stats.clone(),
+            icache: CacheSnapshot {
+                tags: self.icache.tags().to_vec(),
+                hits: self.icache.hits(),
+                misses: self.icache.misses(),
+            },
+            dcache: CacheSnapshot {
+                tags: self.dcache.tags().to_vec(),
+                hits: self.dcache.hits(),
+                misses: self.dcache.misses(),
+            },
+            btb: BtbSnapshot {
+                counters: self.btb.counters().to_vec(),
+                correct: self.btb.correct(),
+                mispredicts: self.btb.mispredicts(),
+            },
+        })
+    }
+
+    /// Rebuilds a mid-run pipeline from a snapshot. The restored
+    /// pipeline is unprofiled (matching the snapshot contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description when cache/BTB geometry in the
+    /// snapshot does not match `machine`, or the frame stack is empty.
+    pub fn restore(
+        machine: MachineConfig,
+        layout: CodeLayout,
+        snap: &PipelineSnapshot,
+    ) -> Result<Pipeline, String> {
+        if snap.frames.is_empty() {
+            return Err("pipeline snapshot has no frames".to_string());
+        }
+        let mut p = Pipeline::new(machine, layout);
+        p.icache = Cache::restore(
+            machine.icache,
+            snap.icache.tags.clone(),
+            snap.icache.hits,
+            snap.icache.misses,
+        )
+        .map_err(|e| format!("icache: {e}"))?;
+        p.dcache = Cache::restore(
+            machine.dcache,
+            snap.dcache.tags.clone(),
+            snap.dcache.hits,
+            snap.dcache.misses,
+        )
+        .map_err(|e| format!("dcache: {e}"))?;
+        p.btb = Btb::restore(
+            machine.btb_entries,
+            snap.btb.counters.clone(),
+            snap.btb.correct,
+            snap.btb.mispredicts,
+        )?;
+        p.last_issue = snap.last_issue;
+        p.slot_cycle = snap.slot_cycle;
+        p.slots_used = snap.slots_used;
+        p.fu_used = FuUse {
+            int: snap.fu_used[0],
+            mem: snap.fu_used[1],
+            fp: snap.fu_used[2],
+            branch: snap.fu_used[3],
+        };
+        p.fetch_ready = snap.fetch_ready;
+        p.last_fetch_line = snap.last_fetch_line;
+        p.frames = snap
+            .frames
+            .iter()
+            .map(|f| {
+                Frame::new(
+                    f.ready.clone(),
+                    f.ret_regs.iter().map(|r| Reg(*r)).collect(),
+                )
+            })
+            .collect();
+        p.pending_call = snap
+            .pending_call
+            .as_ref()
+            .map(|(c, rs)| (*c, rs.iter().map(|r| Reg(*r)).collect()));
+        p.horizon = snap.horizon;
+        p.stats = snap.stats.clone();
+        Ok(p)
+    }
+
+    /// Folds the full timing state into `push` (fingerprint support).
+    /// Profile-only state (`attr`, per-frame `src_kind`) is excluded:
+    /// it is observational and never feeds back into timing.
+    pub fn fold_state(&self, push: &mut dyn FnMut(u64)) {
+        push(self.last_issue);
+        push(self.slot_cycle);
+        push(u64::from(self.slots_used));
+        push(u64::from(self.fu_used.int));
+        push(u64::from(self.fu_used.mem));
+        push(u64::from(self.fu_used.fp));
+        push(u64::from(self.fu_used.branch));
+        push(self.fetch_ready);
+        match self.last_fetch_line {
+            None => push(0),
+            Some(line) => {
+                push(1);
+                push(line);
+            }
+        }
+        push(self.frames.len() as u64);
+        for f in &self.frames {
+            push(f.ready.len() as u64);
+            for r in &f.ready {
+                push(*r);
+            }
+            push(f.ret_regs.len() as u64);
+            for r in &f.ret_regs {
+                push(u64::from(r.0));
+            }
+        }
+        match &self.pending_call {
+            None => push(0),
+            Some((c, rs)) => {
+                push(1);
+                push(*c);
+                push(rs.len() as u64);
+                for r in rs {
+                    push(u64::from(r.0));
+                }
+            }
+        }
+        push(self.horizon);
+        self.stats.fold_state(push);
+        self.icache.fold_state(push);
+        self.dcache.fold_state(push);
+        self.btb.fold_state(push);
     }
 }
 

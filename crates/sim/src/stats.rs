@@ -57,6 +57,21 @@ impl CrbStats {
         }
     }
 
+    /// Folds every counter into `push` (fingerprint support).
+    pub fn fold_state(&self, push: &mut dyn FnMut(u64)) {
+        push(self.lookups);
+        push(self.hits);
+        push(self.misses);
+        push(self.miss_cold);
+        push(self.miss_mismatch);
+        push(self.miss_capacity);
+        push(self.miss_conflict);
+        push(self.miss_invalidated);
+        push(self.records);
+        push(self.invalidations);
+        push(self.entry_conflicts);
+    }
+
     /// Sum of the per-cause miss counters; must equal `misses`.
     pub fn miss_cause_total(&self) -> u64 {
         self.miss_cold
@@ -115,6 +130,18 @@ pub struct RegionDynStats {
 }
 
 impl RegionDynStats {
+    /// Folds every counter into `push` (fingerprint support).
+    pub fn fold_state(&self, push: &mut dyn FnMut(u64)) {
+        push(self.hits);
+        push(self.misses);
+        push(self.miss_cold);
+        push(self.miss_mismatch);
+        push(self.miss_capacity);
+        push(self.miss_conflict);
+        push(self.miss_invalidated);
+        push(self.skipped_instrs);
+    }
+
     /// Counts one classified miss for the region (the `misses` total is
     /// bumped separately).
     pub fn count_miss_cause(&mut self, cause: MissCause) {
@@ -250,6 +277,32 @@ impl SimStats {
             0.0
         } else {
             (self.dyn_instrs + self.skipped_instrs) as f64 / self.cycles as f64
+        }
+    }
+
+    /// Folds every simulated counter into `push` in a deterministic
+    /// order (the per-region map is folded in sorted key order).
+    /// `attribution` is deliberately excluded: it exists only on
+    /// profiled runs, which the snapshot/fingerprint paths reject.
+    pub fn fold_state(&self, push: &mut dyn FnMut(u64)) {
+        push(self.cycles);
+        push(self.dyn_instrs);
+        push(self.skipped_instrs);
+        push(self.icache_hits);
+        push(self.icache_misses);
+        push(self.dcache_hits);
+        push(self.dcache_misses);
+        push(self.branch_correct);
+        push(self.branch_mispredicts);
+        push(self.reuse_hits);
+        push(self.reuse_misses);
+        self.crb.fold_state(push);
+        let mut regions: Vec<(&RegionId, &RegionDynStats)> = self.regions.iter().collect();
+        regions.sort_by_key(|(r, _)| r.index());
+        push(regions.len() as u64);
+        for (r, s) in regions {
+            push(r.index() as u64);
+            s.fold_state(push);
         }
     }
 

@@ -21,7 +21,11 @@
 //!   (per-kind aggregation),
 //! * [`json::JsonWriter`] — a hand-rolled JSON serializer (the build
 //!   environment is offline, so no serde) used for both JSONL event
-//!   streams and the versioned run report in `ccr-core`.
+//!   streams and the versioned run report in `ccr-core`,
+//! * [`value`] — the matching reader: a minimal JSON value model and
+//!   recursive-descent parser shared by every artifact consumer
+//!   (`ccr-analyze` re-exports it) and by the simulator's snapshot
+//!   decoder.
 //!
 //! The guiding invariant: **observability must not perturb the
 //! experiment**. Sinks observe completed facts (a pass finished, a
@@ -36,6 +40,7 @@ pub mod monitor;
 pub mod sink;
 pub mod span;
 pub mod table;
+pub mod value;
 
 pub use event::{Event, FieldValue};
 pub use json::JsonWriter;

@@ -40,4 +40,17 @@ echo '== harness.jsonl schema golden (tests/fixtures/harness)'
 # Key sets per event type, not values (wall times are host-dependent);
 # rewriting is only needed after an intentional schema change.
 CCR_UPDATE_GOLDEN=1 cargo test --release -q --test harness_observability > /dev/null
+echo '== fingerprint chains golden (tests/fixtures/fingerprint)'
+# The final trajectory chain hash per workload at the default window.
+# CI's fingerprint-smoke job cmp's a fresh serial and parallel run
+# against this file — drift means the simulator's state trajectory
+# changed, which must always be an intentional, reviewed event
+# (DESIGN.md §13).
+mkdir -p tests/fixtures/fingerprint
+rm -rf fp-golden-tmp
+cargo run --release -q --bin ccr -- fingerprint \
+    $(cargo run --release -q --bin ccr -- list) \
+    --jobs "$(nproc)" --out fp-golden-tmp > /dev/null
+mv fp-golden-tmp/chains.txt tests/fixtures/fingerprint/chains.golden
+rm -rf fp-golden-tmp
 echo "done; see results/ and EXPERIMENTS.md"

@@ -19,6 +19,10 @@
 //!            [--max-cycle-regress-pct X] [--max-hit-rate-drop-pp X]
 //!            [--max-speedup-drop-pct X] [--max-host-throughput-drop-pct X]
 //! ccr report import <FILE>... [--store FILE] [--commit HASH] [--at TS]
+//! ccr fingerprint <benchmark|file.ccr>... [--window K] [--out DIR] [--jobs N]
+//! ccr fingerprint --compare <A.fp.jsonl> <B.fp.jsonl> [--out DIR]
+//! ccr snapshot save <benchmark|file.ccr> --at-cycle N [--out FILE] [--window K]
+//! ccr snapshot restore <FILE>
 //! ccr regions <benchmark|file.ccr>
 //! ccr potential <benchmark|file.ccr>
 //! ccr print <benchmark> [--annotated]
@@ -77,6 +81,25 @@
 //! `<name>.<table>.csv`; without it the tables go to stdout and the
 //! plan log to stderr. See DESIGN.md §10.
 //!
+//! `ccr fingerprint` runs each named workload under the simulator's
+//! streaming determinism fingerprint (an FNV-1a fold over the full
+//! architectural + CRB state, chained every `--window` cycles) and
+//! prints the final chain hash plus every per-window digest; `--out
+//! DIR` additionally writes one `<name>.fp.jsonl` digest file per
+//! workload and a `chains.txt` summary for CI `cmp` gating. `ccr
+//! fingerprint --compare A B` bisects two digest files to the exact
+//! first divergent cycle window (chained hashes make the first
+//! mismatch the first divergence), dumps a state snapshot at the last
+//! agreed boundary when the workload is locally reproducible, and
+//! exits 2 — the `ccr diff` contract. `ccr snapshot save/restore`
+//! captures the complete mid-run simulation state at a cycle as
+//! versioned `{"snap_v":1}` JSONL and resumes it later with
+//! bit-identical final statistics; `ccr run --save-snapshot FILE
+//! --snapshot-cycle N` / `--restore-snapshot FILE` does the same
+//! inside a full measurement, and `ccr exp --checkpoint FILE` makes
+//! long sweeps crash-resumable at simulation-unit granularity. See
+//! DESIGN.md §13.
+//!
 //! `--jobs N` (or the `CCR_JOBS` environment variable; `0` = one per
 //! hardware thread) fans independent compiles and simulations out
 //! over N worker threads. Parallelism is a host concern only: every
@@ -93,7 +116,7 @@ use ccr::ir::Program;
 use ccr::profile::EmuConfig;
 use ccr::regions::RegionConfig;
 use ccr::report::{pct, speedup, Table};
-use ccr::sim::{CrbConfig, MachineConfig};
+use ccr::sim::{CrbConfig, MachineConfig, SimSession};
 use ccr::workloads::{build, InputSet, NAMES};
 use ccr::{compile_ccr, CompileConfig};
 
@@ -153,6 +176,15 @@ const USAGE: &str = "usage:
              [--max-cycle-regress-pct X] [--max-hit-rate-drop-pp X]
              [--max-speedup-drop-pct X] [--max-host-throughput-drop-pct X]
   ccr report import <FILE>... [--store FILE] [--commit HASH] [--at TS]
+  ccr fingerprint <benchmark|file.ccr>... [--window K] [--out DIR] [--jobs N]
+                  [--input train|ref] [--scale N] [--entries E] [--instances C]
+  ccr fingerprint --compare <A.fp.jsonl> <B.fp.jsonl> [--out DIR]
+  ccr snapshot save <benchmark|file.ccr> --at-cycle N [--out FILE] [--window K]
+               [--input train|ref] [--scale N] [--entries E] [--instances C]
+  ccr snapshot restore <FILE> [--entries E] [--instances C]
+  (run also takes [--save-snapshot FILE --snapshot-cycle N] and
+   [--restore-snapshot FILE]; exp also takes [--checkpoint FILE] and
+   [--fingerprint] — resumable sweeps and stored trajectory hashes)
   (bench/exp/profile also take [--store FILE] [--no-store] [--at TS])
   (suite/bench/exp/profile also take [--progress[=plain|json]] [--no-progress]
    [--harness-out FILE] — live progress to stderr and a structured
@@ -193,6 +225,14 @@ struct Flags {
     progress: Option<String>,
     no_progress: bool,
     harness_out: Option<String>,
+    window: Option<u64>,
+    at_cycle: Option<u64>,
+    snapshot_cycle: Option<u64>,
+    compare: bool,
+    checkpoint: Option<String>,
+    fingerprint: bool,
+    save_snapshot: Option<String>,
+    restore_snapshot: Option<String>,
     positional: Vec<String>,
 }
 
@@ -226,6 +266,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         progress: None,
         no_progress: false,
         harness_out: None,
+        window: None,
+        at_cycle: None,
+        snapshot_cycle: None,
+        compare: false,
+        checkpoint: None,
+        fingerprint: false,
+        save_snapshot: None,
+        restore_snapshot: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -333,6 +381,35 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--progress" => flags.progress = Some("plain".to_string()),
             "--no-progress" => flags.no_progress = true,
             "--harness-out" => flags.harness_out = Some(take("--harness-out")?),
+            "--window" => {
+                flags.window = Some(
+                    take("--window")?
+                        .parse()
+                        .map_err(|_| "bad --window value".to_string())?,
+                );
+                if flags.window == Some(0) {
+                    return Err("--window must be at least 1 cycle".to_string());
+                }
+            }
+            "--at-cycle" => {
+                flags.at_cycle = Some(
+                    take("--at-cycle")?
+                        .parse()
+                        .map_err(|_| "bad --at-cycle value".to_string())?,
+                );
+            }
+            "--snapshot-cycle" => {
+                flags.snapshot_cycle = Some(
+                    take("--snapshot-cycle")?
+                        .parse()
+                        .map_err(|_| "bad --snapshot-cycle value".to_string())?,
+                );
+            }
+            "--compare" => flags.compare = true,
+            "--checkpoint" => flags.checkpoint = Some(take("--checkpoint")?),
+            "--fingerprint" => flags.fingerprint = true,
+            "--save-snapshot" => flags.save_snapshot = Some(take("--save-snapshot")?),
+            "--restore-snapshot" => flags.restore_snapshot = Some(take("--restore-snapshot")?),
             "--commit" => flags.commit = Some(take("--commit")?),
             "--at" => {
                 flags.at = Some(
@@ -380,6 +457,8 @@ fn dispatch(args: &[String]) -> Result<ExitCode, CliError> {
         "bench" => ok(cmd_bench(&flags)),
         "exp" => ok(cmd_exp(&flags)),
         "report" => cmd_report(&flags),
+        "fingerprint" => cmd_fingerprint(&flags),
+        "snapshot" => ok(cmd_snapshot(&flags)),
         "regions" => ok(cmd_regions(&flags)),
         "potential" => ok(cmd_potential(&flags)),
         "print" => ok(cmd_print(&flags)),
@@ -522,6 +601,25 @@ fn cmd_suite(flags: &Flags) -> Result<(), CliError> {
 }
 
 fn cmd_run(flags: &Flags) -> Result<(), CliError> {
+    if flags.save_snapshot.is_some() || flags.restore_snapshot.is_some() {
+        if flags.save_snapshot.is_some() && flags.restore_snapshot.is_some() {
+            return Err(usage_err(
+                "--save-snapshot and --restore-snapshot are mutually exclusive",
+            ));
+        }
+        if flags.telemetry.is_some() {
+            return Err(usage_err(
+                "--telemetry cannot be combined with --save-snapshot/--restore-snapshot",
+            ));
+        }
+        if flags.save_snapshot.is_some() && flags.snapshot_cycle.is_none() {
+            return Err(usage_err("--save-snapshot needs --snapshot-cycle N"));
+        }
+        return cmd_run_snapshotted(flags);
+    }
+    if flags.snapshot_cycle.is_some() {
+        return Err(usage_err("--snapshot-cycle needs --save-snapshot FILE"));
+    }
     let spec = target_of(flags)?;
     let train = load_program(&spec, InputSet::Train, flags.scale)?;
     let target = load_program(&spec, flags.input, flags.scale)?;
@@ -730,6 +828,9 @@ fn cmd_profile(flags: &Flags) -> Result<(), CliError> {
         // A profile run is single-threaded host-side: no pool, no
         // utilization measurement.
         host_util_pct: 0.0,
+        // Profiled runs go through the attributing simulator, which
+        // has no fingerprint stream.
+        fingerprint: String::new(),
     };
     append_to_store(flags, &[rec])
 }
@@ -1063,7 +1164,13 @@ fn cmd_exp(flags: &Flags) -> Result<(), CliError> {
     let plan = exp::plan(&selected);
     eprint!("{}", plan.stats.render());
     let harness = harness_of(flags)?;
-    let executed = exp::execute_observed(&plan, ccr::resolve_jobs(flags.jobs), &harness)?;
+    let executed = exp::execute_resumable(
+        &plan,
+        ccr::resolve_jobs(flags.jobs),
+        &harness,
+        flags.checkpoint.as_deref().map(std::path::Path::new),
+        flags.fingerprint.then(|| fingerprint_window(flags)),
+    )?;
     let (cache_hits, cache_misses) = executed.cache_stats();
     eprintln!(
         "compile cache: {cache_hits} hit(s), {cache_misses} miss(es) \
@@ -1122,6 +1229,7 @@ fn cmd_exp(flags: &Flags) -> Result<(), CliError> {
                 p.wall_ms,
             ),
             host_util_pct,
+            fingerprint: p.fingerprint,
         })
         .collect();
     append_to_store(flags, &records)
@@ -1325,5 +1433,611 @@ fn cmd_print(flags: &Flags) -> Result<(), CliError> {
     } else {
         print!("{p}");
     }
+    Ok(())
+}
+
+/// The fingerprint window in cycles: `--window` when given, the
+/// simulator's conventional default otherwise.
+fn fingerprint_window(flags: &Flags) -> u64 {
+    flags.window.unwrap_or(ccr::sim::DEFAULT_FINGERPRINT_WINDOW)
+}
+
+/// The canonical workload label carried inside digest files and
+/// snapshots: `spec:input@scale`. [`decode_workload`] inverts it so a
+/// restore or a divergence dump can rebuild the exact same run.
+fn encode_workload(spec: &str, input: InputSet, scale: u32) -> String {
+    format!("{spec}:{}@{}", input_name(input), scale)
+}
+
+/// Parses an [`encode_workload`] label back into its parts — from the
+/// right, so `.ccr` file paths containing `:` or `@` still round-trip.
+fn decode_workload(s: &str) -> Result<(String, InputSet, u32), String> {
+    let err = || format!("`{s}` is not a `workload:input@scale` label");
+    let (rest, scale) = s.rsplit_once('@').ok_or_else(err)?;
+    let scale: u32 = scale.parse().map_err(|_| err())?;
+    let (spec, input) = rest.rsplit_once(':').ok_or_else(err)?;
+    let input = match input {
+        "train" => InputSet::Train,
+        "ref" => InputSet::Ref,
+        _ => return Err(err()),
+    };
+    Ok((spec.to_string(), input, scale))
+}
+
+/// Compiles a workload the way `ccr run` does: the train input drives
+/// region selection, the requested input is the measured target.
+fn compile_target(
+    flags: &Flags,
+    spec: &str,
+    input: InputSet,
+    scale: u32,
+) -> Result<ccr::CompiledWorkload, CliError> {
+    let train = load_program(spec, InputSet::Train, scale)?;
+    let target = load_program(spec, input, scale)?;
+    compile_ccr(&train, &target, &compile_config(flags))
+        .map_err(|e| CliError::Failure(e.to_string()))
+}
+
+/// Filesystem-safe stem for per-workload output files.
+fn file_stem(spec: &str) -> String {
+    spec.trim_end_matches(".ccr").replace(['/', '\\'], "_")
+}
+
+/// Test hook: `CCR_FP_PERTURB=N` deterministically flips one CRB bit
+/// once the N-th window digest has sealed, manufacturing a divergent
+/// twin so the bisection tests can pin the exact reported window
+/// without a second simulator implementation.
+fn fp_perturb_env() -> Result<Option<u64>, CliError> {
+    match std::env::var("CCR_FP_PERTURB") {
+        Err(_) => Ok(None),
+        Ok(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::Failure(format!("CCR_FP_PERTURB: bad window index `{v}`"))),
+    }
+}
+
+/// Runs one compiled workload to completion under the streaming
+/// determinism fingerprint and returns its digest file.
+fn fingerprint_run(
+    compiled: &ccr::CompiledWorkload,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+    window: u64,
+    workload: &str,
+    config_hash: &str,
+    perturb_at: Option<u64>,
+) -> Result<ccr_analyze::DigestFile, String> {
+    let mut session = SimSession::new(&compiled.annotated, machine, Some(crb), emu(), window);
+    session.set_provenance(workload, config_hash);
+    if let Some(n) = perturb_at {
+        while !session.finished() && (session.windows().len() as u64) < n {
+            session.step().map_err(|e| e.to_string())?;
+        }
+        session.perturb_for_tests();
+    }
+    session.run_to_end().map_err(|e| e.to_string())?;
+    Ok(ccr_analyze::DigestFile {
+        workload: workload.to_string(),
+        config_hash: config_hash.to_string(),
+        window,
+        windows: session
+            .windows()
+            .iter()
+            .map(|w| ccr_analyze::DigestWindow {
+                index: w.index,
+                cycle: w.cycle,
+                hash: w.hash,
+            })
+            .collect(),
+        cycles: session.cycles_so_far(),
+        final_hash: session.final_hash().expect("finished run has a final hash"),
+    })
+}
+
+/// `ccr fingerprint`: runs each named workload under the streaming
+/// determinism fingerprint and prints the final chain hash plus every
+/// per-window digest; `--compare A B` bisects two saved digest files
+/// to the first divergent window instead.
+fn cmd_fingerprint(flags: &Flags) -> Result<ExitCode, CliError> {
+    if flags.compare {
+        return cmd_fingerprint_compare(flags);
+    }
+    if flags.positional.is_empty() {
+        return Err(usage_err(
+            "fingerprint needs at least one <benchmark|file.ccr> (or --compare A B)",
+        ));
+    }
+    let machine = MachineConfig::paper();
+    let crb = crb_of(flags);
+    let config_hash = ccr::config_hash(&machine, &crb);
+    let window = fingerprint_window(flags);
+    let perturb_at = fp_perturb_env()?;
+    let harness = harness_of(flags)?;
+    let n = flags.positional.len() as u64;
+    harness.plan(n, n, &[("window", window)]);
+    let labels: Vec<String> = flags
+        .positional
+        .iter()
+        .map(|s| format!("fingerprint:{s}"))
+        .collect();
+    let (results, pool) = ccr::parallel_map_observed(
+        &flags.positional,
+        ccr::resolve_jobs(flags.jobs),
+        Some(&labels),
+        harness.observer(),
+        |i, spec| -> Result<ccr_analyze::DigestFile, String> {
+            harness.task_start("sim", &labels[i]);
+            let start = std::time::Instant::now();
+            let train = load_program(spec, InputSet::Train, flags.scale)?;
+            let target = load_program(spec, flags.input, flags.scale)?;
+            let compiled =
+                compile_ccr(&train, &target, &compile_config(flags)).map_err(|e| e.to_string())?;
+            let workload = encode_workload(spec, flags.input, flags.scale);
+            let digest = fingerprint_run(
+                &compiled,
+                &machine,
+                crb,
+                window,
+                &workload,
+                &config_hash,
+                perturb_at,
+            )?;
+            harness.task_finish(
+                "sim",
+                &labels[i],
+                start.elapsed().as_millis() as u64,
+                Some(digest.cycles),
+            );
+            Ok(digest)
+        },
+    );
+    harness.pool("fingerprint", &pool);
+    let mut digests = Vec::new();
+    for (spec, res) in flags.positional.iter().zip(results) {
+        let d = res.map_err(|e| CliError::Failure(format!("{spec}: {e}")))?;
+        harness.fingerprint(
+            &d.workload,
+            d.windows.len() as u64,
+            d.cycles,
+            &ccr_analyze::format_hash(d.final_hash),
+        );
+        digests.push(d);
+    }
+    finish_harness(&harness);
+    for (spec, d) in flags.positional.iter().zip(&digests) {
+        println!(
+            "{spec}: final {} ({} windows of {} cycles, {} cycles)",
+            ccr_analyze::format_hash(d.final_hash),
+            d.windows.len(),
+            d.window,
+            d.cycles
+        );
+        for w in &d.windows {
+            println!(
+                "  window {} @ cycle {}: {}",
+                w.index,
+                w.cycle,
+                ccr_analyze::format_hash(w.hash)
+            );
+        }
+    }
+    if let Some(dir) = &flags.out {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let mut chains = String::new();
+        for (spec, d) in flags.positional.iter().zip(&digests) {
+            let path = dir.join(format!("{}.fp.jsonl", file_stem(spec)));
+            std::fs::write(&path, ccr_analyze::write_digest_file(d))
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+            chains.push_str(&format!(
+                "{spec} {}\n",
+                ccr_analyze::format_hash(d.final_hash)
+            ));
+        }
+        let chains_path = dir.join("chains.txt");
+        std::fs::write(&chains_path, chains)
+            .map_err(|e| format!("write {}: {e}", chains_path.display()))?;
+        eprintln!("wrote {}", chains_path.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `ccr fingerprint --compare A B`: loads two digest files and
+/// bisects to the first divergent cycle window (chained hashes make
+/// the first mismatch the first divergence). Exits 2 on any
+/// divergence — the `ccr diff` contract.
+fn cmd_fingerprint_compare(flags: &Flags) -> Result<ExitCode, CliError> {
+    let [a_path, b_path] = flags.positional.as_slice() else {
+        return Err(usage_err(
+            "--compare needs exactly two digest files: <A.fp.jsonl> <B.fp.jsonl>",
+        ));
+    };
+    let load = |p: &str| -> Result<ccr_analyze::DigestFile, CliError> {
+        let text =
+            std::fs::read_to_string(p).map_err(|e| CliError::Failure(format!("{p}: {e}")))?;
+        ccr_analyze::parse_digest_file(p, &text).map_err(CliError::Failure)
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    match ccr_analyze::compare_digests(&a, &b)? {
+        ccr_analyze::FingerprintDiff::Identical => {
+            println!(
+                "identical: {} windows, final {}",
+                a.windows.len(),
+                ccr_analyze::format_hash(a.final_hash)
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        ccr_analyze::FingerprintDiff::Window {
+            index,
+            cycle,
+            a_hash,
+            b_hash,
+        } => {
+            println!("divergence at window {index} (cycle {cycle}):");
+            println!("  A {a_path}: {}", ccr_analyze::format_hash(a_hash));
+            println!("  B {b_path}: {}", ccr_analyze::format_hash(b_hash));
+            dump_divergence_snapshot(flags, &a, &b, index);
+            Ok(ExitCode::from(2))
+        }
+        ccr_analyze::FingerprintDiff::LengthMismatch {
+            a_windows,
+            b_windows,
+        } => {
+            println!(
+                "window-count mismatch: {a_path} has {a_windows} window(s), {b_path} has \
+                 {b_windows} (final {} vs {})",
+                ccr_analyze::format_hash(a.final_hash),
+                ccr_analyze::format_hash(b.final_hash)
+            );
+            Ok(ExitCode::from(2))
+        }
+        ccr_analyze::FingerprintDiff::FinalOnly { a_hash, b_hash } => {
+            println!(
+                "every sealed window matches but the final hashes differ: {} vs {} \
+                 (divergence after the last {}-cycle boundary)",
+                ccr_analyze::format_hash(a_hash),
+                ccr_analyze::format_hash(b_hash),
+                a.window
+            );
+            Ok(ExitCode::from(2))
+        }
+    }
+}
+
+/// Best-effort local replay at a `--compare` divergence: when digest
+/// A's workload is reproducible here (decodable label, matching
+/// config hash), re-runs it to the last agreed window boundary, saves
+/// a `SimSnapshot` there for inspection, then steps through the
+/// divergent window and reports which side this host agrees with.
+/// Every failure degrades to a printed note — the exit-2 verdict
+/// stands on the digests alone.
+fn dump_divergence_snapshot(
+    flags: &Flags,
+    a: &ccr_analyze::DigestFile,
+    b: &ccr_analyze::DigestFile,
+    index: u64,
+) {
+    let note = |msg: String| println!("  note: {msg}");
+    let (spec, input, scale) = match decode_workload(&a.workload) {
+        Ok(parts) => parts,
+        Err(e) => return note(format!("{e}; skipping the local snapshot dump")),
+    };
+    let machine = MachineConfig::paper();
+    let crb = crb_of(flags);
+    let config_hash = ccr::config_hash(&machine, &crb);
+    if config_hash != a.config_hash {
+        return note(format!(
+            "digest config hash {} does not match the local configuration {config_hash}; \
+             rerun with the matching --entries/--instances to dump a snapshot",
+            a.config_hash
+        ));
+    }
+    let train = match load_program(&spec, InputSet::Train, scale) {
+        Ok(p) => p,
+        Err(e) => return note(e),
+    };
+    let target = match load_program(&spec, input, scale) {
+        Ok(p) => p,
+        Err(e) => return note(e),
+    };
+    let compiled = match compile_ccr(&train, &target, &compile_config(flags)) {
+        Ok(c) => c,
+        Err(e) => return note(e.to_string()),
+    };
+    let mut session = SimSession::new(&compiled.annotated, &machine, Some(crb), emu(), a.window);
+    session.set_provenance(&a.workload, &config_hash);
+    // The last boundary both digests agree on: window `index - 1`'s
+    // seal cycle (cycle 0 when the very first window diverged).
+    let boundary = if index == 0 {
+        0
+    } else {
+        match a.windows.get(index as usize - 1) {
+            Some(w) => w.cycle,
+            None => return note(format!("digest A lacks window {}", index - 1)),
+        }
+    };
+    if let Err(e) = session.run_until_cycle(boundary) {
+        return note(e.to_string());
+    }
+    let snap = match session.snapshot() {
+        Ok(s) => s,
+        Err(e) => return note(e),
+    };
+    let out_dir = flags.out.clone().unwrap_or_else(|| ".".to_string());
+    let out_dir = std::path::Path::new(&out_dir);
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        return note(format!("create {}: {e}", out_dir.display()));
+    }
+    let path = out_dir.join(format!("{}.diverge.w{index}.snap.jsonl", file_stem(&spec)));
+    if let Err(e) = ccr::sim::save_snapshot(&path, &snap) {
+        return note(e);
+    }
+    println!(
+        "  wrote pre-divergence snapshot (cycle {}) to {}",
+        snap.cycle,
+        path.display()
+    );
+    // Step through the divergent window locally and say which side
+    // this host reproduces — the arbiter between A and B.
+    while !session.finished() && (session.windows().len() as u64) <= index {
+        if let Err(e) = session.step() {
+            return note(e.to_string());
+        }
+    }
+    match session.windows().get(index as usize) {
+        None => note(format!("local replay finished before window {index}")),
+        Some(w) => {
+            let a_hash = a.windows.get(index as usize).map(|x| x.hash);
+            let b_hash = b.windows.get(index as usize).map(|x| x.hash);
+            let verdict = if Some(w.hash) == a_hash {
+                "matches side A".to_string()
+            } else if Some(w.hash) == b_hash {
+                "matches side B".to_string()
+            } else {
+                "matches neither side".to_string()
+            };
+            println!(
+                "  local replay of window {index}: {} — {verdict}",
+                ccr_analyze::format_hash(w.hash)
+            );
+        }
+    }
+}
+
+/// `ccr snapshot save|restore`: captures the complete mid-run
+/// simulation state at a cycle as versioned `{"snap_v":1}` JSONL, or
+/// resumes one to completion with bit-identical final statistics.
+fn cmd_snapshot(flags: &Flags) -> Result<(), CliError> {
+    match flags.positional.first().map(String::as_str) {
+        Some("save") => cmd_snapshot_save(flags),
+        Some("restore") => cmd_snapshot_restore(flags),
+        Some(other) => Err(usage_err(format!(
+            "unknown snapshot subcommand `{other}` (expected `save` or `restore`)"
+        ))),
+        None => Err(usage_err(
+            "snapshot needs a subcommand: `save` or `restore`",
+        )),
+    }
+}
+
+fn cmd_snapshot_save(flags: &Flags) -> Result<(), CliError> {
+    let spec = flags
+        .positional
+        .get(1)
+        .ok_or_else(|| usage_err("snapshot save needs <benchmark|file.ccr>"))?;
+    let at = flags
+        .at_cycle
+        .ok_or_else(|| usage_err("snapshot save needs --at-cycle N"))?;
+    let machine = MachineConfig::paper();
+    let crb = crb_of(flags);
+    let config_hash = ccr::config_hash(&machine, &crb);
+    let compiled = compile_target(flags, spec, flags.input, flags.scale)?;
+    let workload = encode_workload(spec, flags.input, flags.scale);
+    let mut session = SimSession::new(
+        &compiled.annotated,
+        &machine,
+        Some(crb),
+        emu(),
+        fingerprint_window(flags),
+    );
+    session.set_provenance(&workload, &config_hash);
+    session.run_until_cycle(at).map_err(|e| e.to_string())?;
+    if session.finished() {
+        return Err(format!(
+            "{spec}: run finished at cycle {} before --at-cycle {at}",
+            session.cycles_so_far()
+        )
+        .into());
+    }
+    let chain_so_far = session.fingerprint_hash();
+    let windows_so_far = session.windows().len();
+    let snap = session.snapshot()?;
+    let path = flags
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("{}.snap.jsonl", file_stem(spec)));
+    ccr::sim::save_snapshot(std::path::Path::new(&path), &snap)?;
+    let harness = harness_of(flags)?;
+    harness.snapshot("save", &workload, snap.cycle, &path);
+    finish_harness(&harness);
+    println!("workload   : {workload}");
+    println!("cycle      : {}", snap.cycle);
+    println!(
+        "fingerprint: {} ({windows_so_far} window(s) sealed)",
+        ccr_analyze::format_hash(chain_so_far)
+    );
+    println!("wrote      : {path}");
+    Ok(())
+}
+
+fn cmd_snapshot_restore(flags: &Flags) -> Result<(), CliError> {
+    let file = flags
+        .positional
+        .get(1)
+        .ok_or_else(|| usage_err("snapshot restore needs <FILE>"))?;
+    let snap = ccr::sim::load_snapshot(std::path::Path::new(file))?;
+    let (spec, input, scale) = decode_workload(&snap.workload)
+        .map_err(|e| format!("{file}: {e} (was it written by `ccr snapshot save`?)"))?;
+    let machine = MachineConfig::paper();
+    let crb = crb_of(flags);
+    let config_hash = ccr::config_hash(&machine, &crb);
+    if snap.config_hash != config_hash {
+        return Err(format!(
+            "{file}: snapshot config hash {} does not match the local configuration \
+             {config_hash}; rerun with the --entries/--instances it was saved under",
+            snap.config_hash
+        )
+        .into());
+    }
+    let compiled = compile_target(flags, &spec, input, scale)?;
+    let mut session = SimSession::restore(&compiled.annotated, &machine, Some(crb), emu(), &snap)
+        .map_err(|e| format!("{file}: {e}"))?;
+    let harness = harness_of(flags)?;
+    harness.snapshot("restore", &snap.workload, snap.cycle, file);
+    session.run_to_end().map_err(|e| e.to_string())?;
+    let windows = session.windows().len() as u64;
+    let cycles = session.cycles_so_far();
+    let final_hash = session.final_hash().expect("finished run has a final hash");
+    harness.fingerprint(
+        &snap.workload,
+        windows,
+        cycles,
+        &ccr_analyze::format_hash(final_hash),
+    );
+    finish_harness(&harness);
+    let out = session.into_outcome();
+    println!(
+        "resumed    : {} from cycle {} ({file})",
+        snap.workload, snap.cycle
+    );
+    println!(
+        "cycles     : {} ({} hits / {} misses)",
+        out.stats.cycles, out.stats.reuse_hits, out.stats.reuse_misses
+    );
+    println!(
+        "fingerprint: {} ({windows} window(s))",
+        ccr_analyze::format_hash(final_hash)
+    );
+    Ok(())
+}
+
+/// `ccr run --save-snapshot/--restore-snapshot`: the full measurement
+/// (baseline + CCR + speedup) with the CCR leg driven through a
+/// [`SimSession`] so it can be checkpointed mid-flight or resumed
+/// from a prior checkpoint. Final statistics are bit-identical to a
+/// plain `ccr run`.
+fn cmd_run_snapshotted(flags: &Flags) -> Result<(), CliError> {
+    let spec = target_of(flags)?;
+    let machine = MachineConfig::paper();
+    let crb = crb_of(flags);
+    let config_hash = ccr::config_hash(&machine, &crb);
+    let window = fingerprint_window(flags);
+    let harness = harness_of(flags)?;
+    match &flags.restore_snapshot {
+        None => {
+            let cycle = flags.snapshot_cycle.expect("checked by cmd_run");
+            let file = flags.save_snapshot.as_deref().expect("checked by cmd_run");
+            let compiled = compile_target(flags, &spec, flags.input, flags.scale)?;
+            let workload = encode_workload(&spec, flags.input, flags.scale);
+            let mut session =
+                SimSession::new(&compiled.annotated, &machine, Some(crb), emu(), window);
+            session.set_provenance(&workload, &config_hash);
+            session.run_until_cycle(cycle).map_err(|e| e.to_string())?;
+            if session.finished() {
+                return Err(format!(
+                    "{spec}: run finished at cycle {} before --snapshot-cycle {cycle}",
+                    session.cycles_so_far()
+                )
+                .into());
+            }
+            let snap = session.snapshot()?;
+            ccr::sim::save_snapshot(std::path::Path::new(file), &snap)?;
+            harness.snapshot("save", &workload, snap.cycle, file);
+            println!("snapshot  : cycle {} -> {file}", snap.cycle);
+            finish_session_measurement(&spec, &compiled, &machine, session, &harness, &workload)
+        }
+        Some(file) => {
+            let snap = ccr::sim::load_snapshot(std::path::Path::new(file))?;
+            let (snap_spec, input, scale) =
+                decode_workload(&snap.workload).map_err(|e| format!("{file}: {e}"))?;
+            if snap_spec != spec {
+                return Err(format!("{file}: snapshot is of `{snap_spec}`, not `{spec}`").into());
+            }
+            if snap.config_hash != config_hash {
+                return Err(format!(
+                    "{file}: snapshot config hash {} does not match the local configuration \
+                     {config_hash}; rerun with the --entries/--instances it was saved under",
+                    snap.config_hash
+                )
+                .into());
+            }
+            let compiled = compile_target(flags, &spec, input, scale)?;
+            let session =
+                SimSession::restore(&compiled.annotated, &machine, Some(crb), emu(), &snap)
+                    .map_err(|e| format!("{file}: {e}"))?;
+            harness.snapshot("restore", &snap.workload, snap.cycle, file);
+            println!("resumed   : cycle {} <- {file}", snap.cycle);
+            finish_session_measurement(
+                &spec,
+                &compiled,
+                &machine,
+                session,
+                &harness,
+                &snap.workload,
+            )
+        }
+    }
+}
+
+/// Runs a mid-measurement CCR session to completion, simulates the
+/// baseline, checks the architectural results agree, and prints the
+/// standard `ccr run` lines plus the trajectory fingerprint.
+fn finish_session_measurement(
+    spec: &str,
+    compiled: &ccr::CompiledWorkload,
+    machine: &MachineConfig,
+    mut session: SimSession<'_>,
+    harness: &ccr::Harness,
+    workload: &str,
+) -> Result<(), CliError> {
+    session.run_to_end().map_err(|e| e.to_string())?;
+    let windows = session.windows().len() as u64;
+    let cycles = session.cycles_so_far();
+    let final_hash = session.final_hash().expect("finished run has a final hash");
+    harness.fingerprint(
+        workload,
+        windows,
+        cycles,
+        &ccr_analyze::format_hash(final_hash),
+    );
+    finish_harness(harness);
+    let ccr_out = session.into_outcome();
+    let base =
+        ccr::sim::simulate_baseline(&compiled.base, machine, emu()).map_err(|e| e.to_string())?;
+    if base.run.returned != ccr_out.run.returned {
+        return Err("computation reuse changed architectural results"
+            .to_string()
+            .into());
+    }
+    let m = ccr::Measurement { base, ccr: ccr_out };
+    println!("program   : {spec}");
+    println!("regions   : {}", compiled.regions.len());
+    println!("baseline  : {} cycles", m.base.stats.cycles);
+    println!(
+        "with CCR  : {} cycles ({} hits / {} misses)",
+        m.ccr.stats.cycles, m.ccr.stats.reuse_hits, m.ccr.stats.reuse_misses
+    );
+    println!(
+        "speedup   : {}x  eliminated {}",
+        speedup(m.speedup()),
+        pct(m.eliminated_fraction())
+    );
+    println!(
+        "fingerprint: {} ({windows} window(s))",
+        ccr_analyze::format_hash(final_hash)
+    );
     Ok(())
 }

@@ -33,7 +33,7 @@ use std::process::Command;
 use ccr::regions::RegionConfig;
 use ccr::sim::{CrbConfig, MachineConfig};
 use ccr::workloads::InputSet;
-use ccr_bench::exp::{self, specs};
+use ccr_bench::exp;
 
 static TINY_WORKLOADS: [&str; 2] = ["bitcount", "lex"];
 
@@ -160,6 +160,12 @@ fn harness_jsonl_schema_matches_the_committed_golden() {
     let out = dir.join("harness.jsonl");
     let harness = live_harness(&out);
     exp::execute_observed(&plan, 2, &harness).expect("observed run succeeds");
+    // The snapshot / fingerprint events cross the host boundary from
+    // `ccr run --save-snapshot` and `ccr fingerprint`, not from a
+    // plain experiment; emit one of each here so the golden pins
+    // their key sets alongside the organically-produced events.
+    harness.snapshot("save", "bitcount", 65_536, "runs/bitcount.snap.jsonl");
+    harness.fingerprint("bitcount", 2, 150_000, "0123456789abcdef");
     harness.finish().expect("live harness yields a summary");
 
     let text = std::fs::read_to_string(&out).unwrap();
