@@ -60,6 +60,26 @@ impl BenchWorkload {
     }
 }
 
+/// Geometric mean of the nonzero per-workload host-throughput figures
+/// — the suite-level `sim_cycles_per_host_sec` aggregate the CI bench
+/// gate compares across runs. The geomean (rather than a sum or
+/// arithmetic mean) weights every workload's *ratio* equally, so one
+/// long workload cannot mask a collapse on the short ones; workloads
+/// whose wall time was unmeasurable (`0.0`) are excluded rather than
+/// zeroing the product. Returns `0.0` when no workload has a figure.
+pub fn geomean_host_throughput(workloads: &[BenchWorkload]) -> f64 {
+    let figures: Vec<f64> = workloads
+        .iter()
+        .map(|w| w.sim_cycles_per_host_sec)
+        .filter(|&t| t > 0.0)
+        .collect();
+    if figures.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = figures.iter().map(|t| t.ln()).sum();
+    (log_sum / figures.len() as f64).exp()
+}
+
 /// A full suite snapshot.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BenchReport {
@@ -76,6 +96,16 @@ pub struct BenchReport {
     /// Git commit of the producing checkout (v2; `"unknown"` on v1
     /// snapshots or outside a checkout).
     pub git_commit: String,
+    /// Host-timing repetitions behind each workload's `wall_ms`
+    /// (`ccr bench --host-reps N` records the median of N). Additive
+    /// v2 field: absent reads as `1` (single-shot timing).
+    pub host_reps: u64,
+    /// Suite-level host throughput: the geometric mean of the
+    /// per-workload `sim_cycles_per_host_sec` figures (see
+    /// [`geomean_host_throughput`]). The aggregate the CI gate
+    /// compares. Additive v2 field: absent reads as `0.0`
+    /// (untracked).
+    pub agg_sim_cycles_per_host_sec: f64,
     /// Per-workload results, in suite order.
     pub workloads: Vec<BenchWorkload>,
 }
@@ -95,6 +125,9 @@ impl BenchReport {
         w.key("config_hash").str_val(&self.config_hash);
         w.key("crate_version").str_val(&self.crate_version);
         w.key("git_commit").str_val(&self.git_commit);
+        w.key("host_reps").u64_val(self.host_reps);
+        w.key("agg_sim_cycles_per_host_sec")
+            .f64_val(self.agg_sim_cycles_per_host_sec);
         w.key("workloads").arr_begin();
         for wl in &self.workloads {
             w.obj_begin();
@@ -138,6 +171,10 @@ impl BenchReport {
             config_hash: v.str_field("config_hash").to_string(),
             crate_version: v.str_field("crate_version").to_string(),
             git_commit,
+            // Additive v2 fields: older snapshots read as single-shot
+            // timing with an untracked aggregate.
+            host_reps: v.get("host_reps").and_then(Value::as_u64).unwrap_or(1),
+            agg_sim_cycles_per_host_sec: v.f64_field("agg_sim_cycles_per_host_sec"),
             workloads: Vec::new(),
         };
         let workloads = v
@@ -190,6 +227,15 @@ impl BenchReport {
                 wl.sim_cycles_per_host_sec / 1.0e6
             );
         }
+        if self.agg_sim_cycles_per_host_sec > 0.0 {
+            let _ = writeln!(
+                out,
+                "host throughput (geomean) {:>10.1} Mcyc/s over {} rep{}",
+                self.agg_sim_cycles_per_host_sec / 1.0e6,
+                self.host_reps,
+                if self.host_reps == 1 { "" } else { "s" }
+            );
+        }
         let _ = writeln!(
             out,
             "suite {} ({}, scale {}), config {}, v{}, commit {}",
@@ -226,6 +272,8 @@ mod tests {
             config_hash: "00ff00ff00ff00ff".into(),
             crate_version: "0.1.0".into(),
             git_commit: "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".into(),
+            host_reps: 3,
+            agg_sim_cycles_per_host_sec: BenchWorkload::host_throughput(123_456, 100_000, 42),
             workloads: vec![
                 BenchWorkload {
                     name: "008.espresso".into(),
@@ -271,8 +319,34 @@ mod tests {
             "speedup":1.25,"hit_rate":0.5,"regions":2,"wall_ms":10}]}"#;
         let report = BenchReport::from_json(v1).unwrap();
         assert_eq!(report.git_commit, "unknown");
+        assert_eq!(report.host_reps, 1);
+        assert_eq!(report.agg_sim_cycles_per_host_sec, 0.0);
         assert_eq!(report.workloads[0].sim_cycles_per_host_sec, 0.0);
         assert_eq!(report.workloads[0].base_cycles, 100);
+    }
+
+    #[test]
+    fn geomean_skips_unmeasured_workloads() {
+        // 130.li in the sample has no host figure; the geomean must
+        // cover only the measured workload, not zero out.
+        let report = sample();
+        let g = geomean_host_throughput(&report.workloads);
+        let only = report.workloads[0].sim_cycles_per_host_sec;
+        assert!((g - only).abs() < 1e-9, "{g} vs {only}");
+        // Two measured workloads: geomean of 1e6 and 4e6 is 2e6.
+        let two = vec![
+            BenchWorkload {
+                sim_cycles_per_host_sec: 1.0e6,
+                ..BenchWorkload::default()
+            },
+            BenchWorkload {
+                sim_cycles_per_host_sec: 4.0e6,
+                ..BenchWorkload::default()
+            },
+        ];
+        assert!((geomean_host_throughput(&two) - 2.0e6).abs() < 1e-3);
+        // No figures at all: untracked, not NaN.
+        assert_eq!(geomean_host_throughput(&[]), 0.0);
     }
 
     #[test]
@@ -302,6 +376,8 @@ mod tests {
         assert!(s.contains("Mcyc/s"), "{s}");
         assert!(s.contains("config 00ff00ff00ff00ff"), "{s}");
         assert!(s.contains("commit aaaaaaaaaaaa"), "{s}");
+        assert!(s.contains("host throughput (geomean)"), "{s}");
+        assert!(s.contains("over 3 reps"), "{s}");
     }
 
     #[test]

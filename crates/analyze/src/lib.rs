@@ -62,7 +62,9 @@ pub mod store;
 pub use ccr_telemetry::value;
 
 pub use analysis::{analyze, Analysis, RegionProfile, MISS_CAUSES};
-pub use bench::{short_commit, BenchReport, BenchWorkload, BENCH_SCHEMA_VERSION};
+pub use bench::{
+    geomean_host_throughput, short_commit, BenchReport, BenchWorkload, BENCH_SCHEMA_VERSION,
+};
 pub use chrome::chrome_trace;
 pub use diff::{diff_analyses, diff_bench, DiffReport, Thresholds};
 pub use fingerprint::{

@@ -10,6 +10,8 @@
 //! * **miss_mix** — the five-cause miss breakdown per record (all
 //!   zero for cause-lossy BENCH imports),
 //! * **host** — wall time and `sim_cycles_per_host_sec` trajectory,
+//!   plus one `(geomean)` row per bench run: the suite-level host
+//!   aggregate `ccr diff` gates, tracked cross-run,
 //! * **regressions** — the flagged first-regressions (below).
 //!
 //! **First-regression flagging**: for every series and every gated
@@ -38,6 +40,7 @@
 //! [`store::format_utc`]), which is what lets a golden test pin the
 //! output.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use ccr_telemetry::Table;
@@ -52,7 +55,8 @@ pub struct Regression {
     /// The series the regression happened in.
     pub series: SeriesKey,
     /// Which metric breached (`ccr_cycles`, `hit_rate`, `speedup`,
-    /// `host_mcps`, or `fingerprint` for trajectory drift).
+    /// `host_mcps`, `host_mcps_geomean` for the suite-level host
+    /// aggregate, or `fingerprint` for trajectory drift).
     pub metric: String,
     /// Timestamp of the first-bad record.
     pub timestamp: u64,
@@ -170,7 +174,7 @@ fn pair_breach(metric: &str, prev: f64, new: f64, thresholds: &Thresholds) -> Op
             .max_speedup_drop_pct
             .filter(|max| -pct > *max)
             .map(|_| format!("{pct:+.2}%")),
-        "host_mcps" => thresholds
+        "host_mcps" | "host_mcps_geomean" => thresholds
             .max_host_throughput_drop_pct
             .filter(|max| -pct > *max)
             .map(|_| format!("{pct:+.2}%")),
@@ -287,6 +291,49 @@ pub fn report_over(store: &RunStore, thresholds: &Thresholds) -> ReportOutput {
         }
     }
 
+    // Suite-level host aggregate: one "(geomean)" row per bench run
+    // (records sharing input/scale/config/source/timestamp/commit),
+    // the geometric mean of that run's measured per-workload host
+    // figures — the same aggregate `ccr diff` gates. wall_ms is the
+    // run's total wall time across workloads.
+    type RunKey = (String, u64, String, String, u64, String);
+    type AggPoint = (u64, String, f64);
+    let mut runs: BTreeMap<RunKey, (f64, usize, u64)> = BTreeMap::new();
+    for rec in &store.records {
+        if rec.sim_cycles_per_host_sec <= 0.0 {
+            continue;
+        }
+        let key = (
+            rec.input.clone(),
+            rec.scale,
+            rec.config_hash.clone(),
+            rec.source.clone(),
+            rec.timestamp,
+            rec.commit.clone(),
+        );
+        let e = runs.entry(key).or_insert((0.0, 0, 0));
+        e.0 += rec.sim_cycles_per_host_sec.ln();
+        e.1 += 1;
+        e.2 += rec.wall_ms;
+    }
+    let mut agg_series: BTreeMap<(String, u64, String), Vec<AggPoint>> = BTreeMap::new();
+    for ((input, scale, config, _source, ts, commit), (ln_sum, n, wall)) in &runs {
+        let geomean = (ln_sum / *n as f64).exp();
+        host.row([
+            "(geomean)".to_string(),
+            config.clone(),
+            store::format_utc(*ts),
+            short_commit(commit).to_string(),
+            wall.to_string(),
+            format!("{:.1}", geomean / 1.0e6),
+            "-".to_string(),
+        ]);
+        agg_series
+            .entry((input.clone(), *scale, config.clone()))
+            .or_default()
+            .push((*ts, commit.clone(), geomean));
+    }
+
     // First-regression scan: earliest breaching adjacent pair per
     // (series, metric); later breaches of the same pair suppressed.
     for (key, records) in &series {
@@ -309,6 +356,34 @@ pub fn report_over(store: &RunStore, thresholds: &Thresholds) -> ReportOutput {
                     });
                     break; // first-bad only, for this (series, metric)
                 }
+            }
+        }
+    }
+
+    // Aggregate host-throughput scan: the same first-bad walk over
+    // the per-run "(geomean)" series, so a suite-wide host slowdown
+    // is flagged cross-run even when no single workload's drop is
+    // eye-catching on its own.
+    for ((input, scale, config), mut points) in agg_series {
+        points.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        for pair in points.windows(2) {
+            let (prev, new) = (pair[0].2 / 1.0e6, pair[1].2 / 1.0e6);
+            if let Some(delta) = pair_breach("host_mcps_geomean", prev, new, thresholds) {
+                out.regressions.push(Regression {
+                    series: (
+                        "(geomean)".to_string(),
+                        input.clone(),
+                        scale,
+                        config.clone(),
+                    ),
+                    metric: "host_mcps_geomean".to_string(),
+                    timestamp: pair[1].0,
+                    commit: pair[1].1.clone(),
+                    prev,
+                    new,
+                    delta,
+                });
+                break; // first-bad only
             }
         }
     }
@@ -499,8 +574,55 @@ mod tests {
             ..Thresholds::none()
         };
         let out = report_over(&store, &gate);
-        assert_eq!(out.regressions.len(), 1);
-        assert_eq!(out.regressions[0].metric, "host_mcps");
+        // Both the per-workload figure and the (one-workload) suite
+        // geomean flag the drop.
+        assert_eq!(out.regressions.len(), 2, "{:?}", out.regressions);
+        assert!(out.regressions.iter().any(|r| r.metric == "host_mcps"));
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.metric == "host_mcps_geomean"));
+    }
+
+    #[test]
+    fn geomean_series_rows_and_aggregate_regressions() {
+        // Two workloads per run, two runs; the second run's host
+        // throughput halves across the whole suite (−50% geomean)
+        // while each workload alone also drops — only the aggregate
+        // series must carry the `host_mcps_geomean` finding.
+        let wl = |ts, name: &str, mcps: f64| {
+            let mut r = rec(ts, 800, 0.8);
+            r.workload = name.into();
+            r.sim_cycles_per_host_sec = mcps;
+            r
+        };
+        let store = store_of(vec![
+            wl(100, "a", 2.0e6),
+            wl(100, "b", 8.0e6),
+            wl(200, "a", 1.0e6),
+            wl(200, "b", 4.0e6),
+        ]);
+        let gate = Thresholds {
+            max_host_throughput_drop_pct: Some(30.0),
+            ..Thresholds::none()
+        };
+        let out = report_over(&store, &gate);
+        // Host table: one "(geomean)" row per run, geomean(2,8)=4.
+        let host = &out.tables.iter().find(|(n, _)| *n == "host").unwrap().1;
+        let csv = host.to_csv();
+        assert!(csv.contains("(geomean)"), "{csv}");
+        assert!(csv.contains("4.0"), "geomean(2,8) Mcyc/s: {csv}");
+        assert!(csv.contains("2.0"), "geomean(1,4) Mcyc/s: {csv}");
+        // The aggregate regression is flagged at the second run.
+        let agg: Vec<_> = out
+            .regressions
+            .iter()
+            .filter(|r| r.metric == "host_mcps_geomean")
+            .collect();
+        assert_eq!(agg.len(), 1, "{:?}", out.regressions);
+        assert_eq!(agg[0].timestamp, 200);
+        assert_eq!(agg[0].series.0, "(geomean)");
+        assert!(out.flagged());
     }
 
     #[test]

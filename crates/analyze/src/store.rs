@@ -529,6 +529,8 @@ mod tests {
             config_hash: "00ff00ff00ff00ff".into(),
             crate_version: "0.1.0".into(),
             git_commit: "b".repeat(40),
+            host_reps: 1,
+            agg_sim_cycles_per_host_sec: 9.0e4,
             workloads: vec![crate::BenchWorkload {
                 name: "008.espresso".into(),
                 base_cycles: 1000,

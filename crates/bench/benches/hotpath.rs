@@ -32,6 +32,20 @@ fn full_entry() -> ReuseBuffer {
     buf
 }
 
+/// A buffer whose entry for region 7 holds sixty-four 4-input
+/// instances — the long-entry case the chunked fingerprint-lane
+/// compare targets.
+fn long_entry() -> ReuseBuffer {
+    let mut buf = ReuseBuffer::new(CrbConfig {
+        instances: 64,
+        ..CrbConfig::paper()
+    });
+    for seed in 0..64 {
+        buf.record(RegionId(7), wide_instance(seed));
+    }
+    buf
+}
+
 fn bench_crb_lookup(c: &mut Criterion) {
     let mut g = c.benchmark_group("crb_hotpath");
 
@@ -74,6 +88,75 @@ fn bench_crb_lookup(c: &mut Criterion) {
         for seed in 8..24 {
             buf.record(RegionId(7), wide_instance(seed));
         }
+        b.iter(|| {
+            black_box(buf.lookup(RegionId(7), &mut |r| Value::from_int(r.0 as i64)));
+        });
+    });
+
+    // ---- SoA batched scan vs the scalar reference path ----
+    // `set_batched_scan(false)` forces the per-candidate walk the
+    // pre-SoA layout performed; the `_scalar` twins measure what the
+    // structure-of-arrays banks buy on identical probes.
+
+    g.bench_function("lookup_hit_scalar", |b| {
+        let mut buf = full_entry();
+        buf.set_batched_scan(false);
+        b.iter(|| {
+            black_box(buf.lookup(RegionId(7), &mut |r| Value::from_int(r.0 as i64)));
+        });
+    });
+
+    g.bench_function("lookup_mismatch_miss_scalar", |b| {
+        let mut buf = full_entry();
+        buf.set_batched_scan(false);
+        b.iter(|| {
+            black_box(buf.lookup(RegionId(7), &mut |_r| Value::from_int(-1)));
+        });
+    });
+
+    // Long entry: a 64-instance bank, mismatch probe — the chunked
+    // fingerprint-lane compare's best case (sixteen 4-wide chunks,
+    // zero full verifies) against sixty-four scalar fp folds.
+    g.bench_function("lookup_mismatch_long_entry", |b| {
+        let mut buf = long_entry();
+        b.iter(|| {
+            black_box(buf.lookup(RegionId(7), &mut |_r| Value::from_int(-1)));
+        });
+    });
+    g.bench_function("lookup_mismatch_long_entry_scalar", |b| {
+        let mut buf = long_entry();
+        buf.set_batched_scan(false);
+        b.iter(|| {
+            black_box(buf.lookup(RegionId(7), &mut |_r| Value::from_int(-1)));
+        });
+    });
+
+    // Batched ghost classification vs the per-ghost walk.
+    g.bench_function("lookup_ghost_scan_scalar", |b| {
+        let mut buf = full_entry();
+        for seed in 8..24 {
+            buf.record(RegionId(7), wide_instance(seed));
+        }
+        buf.set_batched_scan(false);
+        b.iter(|| {
+            black_box(buf.lookup(RegionId(7), &mut |r| Value::from_int(r.0 as i64)));
+        });
+    });
+
+    // Contiguous-slice verify vs pointer-chased pairs: with the
+    // fingerprint filter off, every candidate pays a full input
+    // compare — flat value rows against per-instance Vec walks.
+    g.bench_function("lookup_verify_hit_contiguous", |b| {
+        let mut buf = full_entry();
+        buf.set_fingerprint_filter(false);
+        b.iter(|| {
+            black_box(buf.lookup(RegionId(7), &mut |r| Value::from_int(r.0 as i64)));
+        });
+    });
+    g.bench_function("lookup_verify_hit_scalar", |b| {
+        let mut buf = full_entry();
+        buf.set_fingerprint_filter(false);
+        buf.set_batched_scan(false);
         b.iter(|| {
             black_box(buf.lookup(RegionId(7), &mut |r| Value::from_int(r.0 as i64)));
         });

@@ -296,6 +296,91 @@ pub fn run_selected_harnessed(
     Ok(runs)
 }
 
+/// [`run_selected_harnessed`] repeated `host_reps` times, reporting
+/// each workload's **median** `wall_ms` across the repetitions — the
+/// noise-damped host-throughput mode behind `ccr bench --host-reps`.
+///
+/// Simulated statistics are deterministic, so every rep produces the
+/// same counters (asserted); the returned runs are the first rep's,
+/// with only `wall_ms` replaced by the median. Repetitions share
+/// `cache`, so reps after the first reuse every compile: with three
+/// or more reps the median reflects steady-state simulation
+/// throughput rather than one cold compile pass.
+///
+/// # Errors
+///
+/// Returns the first failing workload's error (unknown name or
+/// emulator limit breach), in `names` order.
+#[allow(clippy::too_many_arguments)]
+pub fn run_selected_reps(
+    names: &[&'static str],
+    target: InputSet,
+    scale: u32,
+    config: &CompileConfig,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+    emu: EmuConfig,
+    jobs: usize,
+    cache: Option<&CompileCache>,
+    harness: &Harness,
+    host_reps: usize,
+) -> Result<Vec<SuiteRun>, String> {
+    let run_once = |cache: Option<&CompileCache>| {
+        run_selected_harnessed(
+            names, target, scale, config, machine, crb, emu, jobs, cache, harness,
+        )
+    };
+    if host_reps <= 1 {
+        return run_once(cache);
+    }
+    // Repetitions need a shared compile cache to amortize compiles;
+    // fall back to a local one when the caller didn't bring their own.
+    let local_cache;
+    let cache = match cache {
+        Some(c) => c,
+        None => {
+            local_cache = CompileCache::new();
+            &local_cache
+        }
+    };
+    let mut runs = run_once(Some(cache))?;
+    let mut walls: Vec<Vec<u64>> = runs.iter().map(|r| vec![r.wall_ms]).collect();
+    for _ in 1..host_reps {
+        let rep = run_once(Some(cache))?;
+        for (i, r) in rep.iter().enumerate() {
+            assert_eq!(
+                runs[i].measurement.base.stats, r.measurement.base.stats,
+                "{}: host repetition changed baseline statistics",
+                r.name
+            );
+            assert_eq!(
+                runs[i].measurement.ccr.stats, r.measurement.ccr.stats,
+                "{}: host repetition changed CCR statistics",
+                r.name
+            );
+            walls[i].push(r.wall_ms);
+        }
+    }
+    for (run, wall) in runs.iter_mut().zip(&mut walls) {
+        run.wall_ms = median_ms(wall);
+    }
+    Ok(runs)
+}
+
+/// Median of a sample of millisecond timings (midpoint of the two
+/// central values for even sample sizes).
+fn median_ms(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    let n = samples.len();
+    if n == 0 {
+        0
+    } else if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
+    }
+}
+
 /// Runs one benchmark end-to-end under the given CRB.
 ///
 /// # Panics
@@ -377,6 +462,14 @@ mod tests {
     fn mean_of_empty_is_zero() {
         assert_eq!(mean([]), 0.0);
         assert_eq!(mean([2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        assert_eq!(median_ms(&mut []), 0);
+        assert_eq!(median_ms(&mut [7]), 7);
+        assert_eq!(median_ms(&mut [9, 1, 5]), 5);
+        assert_eq!(median_ms(&mut [4, 2, 8, 6]), 5);
     }
 
     #[test]

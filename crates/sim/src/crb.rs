@@ -9,8 +9,17 @@
 //! computation instance is reusable when its input register values
 //! match the current architectural state and its memory state has not
 //! been invalidated.
+//!
+//! Host layout: instances and ghosts are stored as structure-of-arrays
+//! banks ([`InstanceBank`], [`GhostBank`]) — one contiguous
+//! fingerprint lane per entry scanned in fixed 4-wide chunks, and
+//! flattened fixed-stride input/output rows so a surviving candidate's
+//! full verify is one contiguous-slice compare (DESIGN.md §9). The
+//! layout is invisible to the simulation: lookups, replacement,
+//! snapshots, and `fold_state` all behave exactly as the previous
+//! per-instance-`Vec` representation did.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 
 use ccr_ir::{Reg, RegionId, Value};
 use ccr_profile::{CrbModel, MissCause, RecordedInstance, ReuseLookup};
@@ -63,17 +72,17 @@ fn cached_read(
 }
 
 /// Fingerprint the *current* architectural values of an input bank's
-/// registers, using the same fold as [`fingerprint`]. Equal recorded
-/// and live values therefore produce equal hashes, so a hash mismatch
-/// proves at least one value differs — the filter can only reject
-/// banks the full compare would reject too.
+/// register sequence, using the same fold as [`fingerprint`]. Equal
+/// recorded and live values therefore produce equal hashes, so a hash
+/// mismatch proves at least one value differs — the filter can only
+/// reject banks the full compare would reject too.
 fn live_fingerprint(
     cache: &mut Vec<(Reg, Value)>,
     read_reg: &mut dyn FnMut(Reg) -> Value,
-    inputs: &[(Reg, Value)],
+    regs: &[Reg],
 ) -> u64 {
     let mut h = FNV_OFFSET;
-    for &(r, _) in inputs {
+    for &r in regs {
         h = fnv1a_pair(h, r, cached_read(cache, read_reg, r));
     }
     h
@@ -91,21 +100,67 @@ fn cached_live_fp(
     fp: &mut Option<u64>,
     reads: &mut Vec<(Reg, Value)>,
     read_reg: &mut dyn FnMut(Reg) -> Value,
-    inputs: &[(Reg, Value)],
+    regs: &[Reg],
 ) -> u64 {
-    let cached = fp.filter(|_| {
-        fp_regs.len() == inputs.len() && fp_regs.iter().zip(inputs).all(|(a, (b, _))| a == b)
-    });
+    let cached = fp.filter(|_| fp_regs.as_slice() == regs);
     match cached {
         Some(h) => h,
         None => {
-            let h = live_fingerprint(reads, read_reg, inputs);
+            let h = live_fingerprint(reads, read_reg, regs);
             fp_regs.clear();
-            fp_regs.extend(inputs.iter().map(|(r, _)| *r));
+            fp_regs.extend_from_slice(regs);
             *fp = Some(h);
             h
         }
     }
+}
+
+/// Slots per chunk in the fingerprint-lane scan.
+const FP_CHUNK: usize = 4;
+
+/// Scans a contiguous fingerprint lane for `target` in fixed 4-wide
+/// chunks with a scalar tail (portable — no `std::simd`), visiting
+/// matching slots in ascending order until `visit` accepts one
+/// (returns `true`). Each chunk reduces four independent compares to
+/// one mask word, so the common all-miss chunk costs a single branch;
+/// equality on `u64` fingerprints is exactly the scalar filter's
+/// predicate, so chunking can never change which slots survive.
+#[inline]
+fn scan_fp_lane(lane: &[u64], target: u64, visit: &mut impl FnMut(usize) -> bool) -> bool {
+    let mut chunks = lane.chunks_exact(FP_CHUNK);
+    let mut base = 0usize;
+    for c in &mut chunks {
+        let mut mask = (c[0] == target) as u32
+            | (((c[1] == target) as u32) << 1)
+            | (((c[2] == target) as u32) << 2)
+            | (((c[3] == target) as u32) << 3);
+        while mask != 0 {
+            let bit = mask.trailing_zeros() as usize;
+            if visit(base + bit) {
+                return true;
+            }
+            mask &= mask - 1;
+        }
+        base += FP_CHUNK;
+    }
+    for (i, &f) in chunks.remainder().iter().enumerate() {
+        if f == target && visit(base + i) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Index of the first minimum in a lane (the tie-break
+/// `Iterator::min_by_key` used on the old per-instance structs).
+fn min_index(lane: &[u64]) -> usize {
+    let mut best = 0;
+    for (k, &v) in lane.iter().enumerate().skip(1) {
+        if v < lane[best] {
+            best = k;
+        }
+    }
+    best
 }
 
 /// Instance replacement policy within a computation entry (the paper
@@ -253,65 +308,323 @@ pub struct CrbEvent {
     pub lost: usize,
 }
 
+/// Structure-of-arrays storage for one entry's computation instances.
+///
+/// Slot `k`'s scalar fields live at index `k` of each lane; its input
+/// and output banks occupy rows `k * stride ..` of the flattened
+/// register/value vectors (`in_len`/`out_len` give the live prefix of
+/// each row). The fingerprint lane `fps` is the lane `lookup` scans
+/// with [`scan_fp_lane`]; an invalid slot keeps whatever stale lane
+/// data it last held, exactly as the old per-instance structs kept
+/// stale `Vec`s after `valid` was cleared — `fold_state` and
+/// snapshots observe that stale data, so it is part of the simulated
+/// state trajectory and must survive the layout change.
 #[derive(Clone, Debug)]
-struct Instance {
-    valid: bool,
-    inputs: Vec<(Reg, Value)>,
-    /// FNV-1a fingerprint of `inputs`, maintained as a cheap reject
-    /// filter for `lookup` (see [`fingerprint`]).
-    fp: u64,
-    outputs: Vec<(Reg, Value)>,
-    accesses_memory: bool,
-    body_instrs: u64,
-    last_use: u64,
-    inserted: u64,
+struct InstanceBank {
+    /// Slot count (the entry's instance capacity).
+    slots: usize,
+    /// Row width of the flattened input banks.
+    in_stride: usize,
+    /// Row width of the flattened output banks.
+    out_stride: usize,
+    valid: Vec<bool>,
+    /// Contiguous fingerprint lane, one `u64` per slot (see
+    /// [`fingerprint`]; 0 for never-written slots).
+    fps: Vec<u64>,
+    accesses_memory: Vec<bool>,
+    body_instrs: Vec<u64>,
+    last_use: Vec<u64>,
+    inserted: Vec<u64>,
+    in_len: Vec<u32>,
+    in_regs: Vec<Reg>,
+    in_vals: Vec<Value>,
+    out_len: Vec<u32>,
+    out_regs: Vec<Reg>,
+    out_vals: Vec<Value>,
 }
 
-impl Instance {
-    fn empty() -> Instance {
-        Instance {
-            valid: false,
-            inputs: Vec::new(),
-            fp: 0,
-            outputs: Vec::new(),
-            accesses_memory: false,
-            body_instrs: 0,
-            last_use: 0,
-            inserted: 0,
+impl InstanceBank {
+    fn new(slots: usize, in_stride: usize, out_stride: usize) -> InstanceBank {
+        InstanceBank {
+            slots,
+            in_stride,
+            out_stride,
+            valid: vec![false; slots],
+            fps: vec![0; slots],
+            accesses_memory: vec![false; slots],
+            body_instrs: vec![0; slots],
+            last_use: vec![0; slots],
+            inserted: vec![0; slots],
+            in_len: vec![0; slots],
+            in_regs: vec![Reg(0); slots * in_stride],
+            in_vals: vec![Value::ZERO; slots * in_stride],
+            out_len: vec![0; slots],
+            out_regs: vec![Reg(0); slots * out_stride],
+            out_vals: vec![Value::ZERO; slots * out_stride],
         }
+    }
+
+    /// Input-bank register sequence of slot `k`.
+    fn in_regs_row(&self, k: usize) -> &[Reg] {
+        &self.in_regs[k * self.in_stride..][..self.in_len[k] as usize]
+    }
+
+    /// Input-bank recorded values of slot `k` (contiguous; the whole
+    /// full-verify compare is one slice equality against the gathered
+    /// live values).
+    fn in_vals_row(&self, k: usize) -> &[Value] {
+        &self.in_vals[k * self.in_stride..][..self.in_len[k] as usize]
+    }
+
+    /// Output bank of slot `k`, materialized as the `(reg, value)`
+    /// pairs a [`ReuseLookup`] carries.
+    fn out_pairs(&self, k: usize) -> Vec<(Reg, Value)> {
+        let base = k * self.out_stride;
+        let len = self.out_len[k] as usize;
+        self.out_regs[base..base + len]
+            .iter()
+            .zip(&self.out_vals[base..base + len])
+            .map(|(&r, &v)| (r, v))
+            .collect()
+    }
+
+    /// True when slot `k` holds exactly `inputs` (register sequence
+    /// and values) — the dedup predicate of `record`.
+    fn in_row_eq(&self, k: usize, inputs: &[(Reg, Value)]) -> bool {
+        self.in_len[k] as usize == inputs.len()
+            && self
+                .in_regs_row(k)
+                .iter()
+                .zip(self.in_vals_row(k))
+                .zip(inputs)
+                .all(|((&r, &v), &(ir, iv))| r == ir && v == iv)
+    }
+
+    /// Writes a freshly recorded instance into slot `k`.
+    fn write_slot(&mut self, k: usize, inst: &RecordedInstance, fp: u64, clock: u64) {
+        self.valid[k] = true;
+        self.fps[k] = fp;
+        self.accesses_memory[k] = inst.accesses_memory;
+        self.body_instrs[k] = inst.body_instrs;
+        self.last_use[k] = clock;
+        self.inserted[k] = clock;
+        self.in_len[k] = inst.inputs.len() as u32;
+        let base = k * self.in_stride;
+        for (j, &(r, v)) in inst.inputs.iter().enumerate() {
+            self.in_regs[base + j] = r;
+            self.in_vals[base + j] = v;
+        }
+        self.out_len[k] = inst.outputs.len() as u32;
+        let base = k * self.out_stride;
+        for (j, &(r, v)) in inst.outputs.iter().enumerate() {
+            self.out_regs[base + j] = r;
+            self.out_vals[base + j] = v;
+        }
+    }
+
+    /// Resets every slot to the empty instance (a conflict clearing
+    /// the entry; the old code assigned `Instance::empty()`, which
+    /// dropped stale data rather than just clearing `valid`).
+    fn clear_all(&mut self) {
+        self.valid.fill(false);
+        self.fps.fill(0);
+        self.accesses_memory.fill(false);
+        self.body_instrs.fill(0);
+        self.last_use.fill(0);
+        self.inserted.fill(0);
+        self.in_len.fill(0);
+        self.out_len.fill(0);
     }
 }
 
-/// Observational remnant of an instance that left the entry while its
-/// region kept the tag: the input bank it matched on and why it died.
-/// Ghosts let a later miss on the same inputs be classified as a
-/// capacity or invalidation casualty instead of a plain mismatch.
-/// Purely diagnostic — never consulted by hit/replacement decisions.
+/// Structure-of-arrays ghost list: the observational remnants of
+/// instances that left the entry while its region kept the tag — the
+/// input bank each matched on and why it died. Ghosts let a later miss
+/// on the same inputs be classified as a capacity or invalidation
+/// casualty instead of a plain mismatch. Purely diagnostic — never
+/// consulted by hit/replacement decisions.
+///
+/// Index 0 is the oldest ghost; classification scans newest-first.
+/// The same lane layout as [`InstanceBank`] makes that scan one
+/// batched fingerprint pass instead of a per-ghost pointer walk.
 #[derive(Clone, Debug)]
-struct Ghost {
-    inputs: Vec<(Reg, Value)>,
-    /// FNV-1a fingerprint of `inputs`, same filter role as
-    /// [`Instance::fp`].
-    fp: u64,
-    cause: MissCause,
+struct GhostBank {
+    /// Row width of the flattened input banks.
+    stride: usize,
+    fps: Vec<u64>,
+    causes: Vec<MissCause>,
+    lens: Vec<u32>,
+    regs: Vec<Reg>,
+    vals: Vec<Value>,
+}
+
+impl GhostBank {
+    fn new(stride: usize) -> GhostBank {
+        GhostBank {
+            stride,
+            fps: Vec::new(),
+            causes: Vec::new(),
+            lens: Vec::new(),
+            regs: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.fps.len()
+    }
+
+    fn regs_row(&self, k: usize) -> &[Reg] {
+        &self.regs[k * self.stride..][..self.lens[k] as usize]
+    }
+
+    fn vals_row(&self, k: usize) -> &[Value] {
+        &self.vals[k * self.stride..][..self.lens[k] as usize]
+    }
+
+    /// Appends a ghost (newest position).
+    fn push(&mut self, regs: &[Reg], vals: &[Value], fp: u64, cause: MissCause) {
+        self.fps.push(fp);
+        self.causes.push(cause);
+        self.lens.push(regs.len() as u32);
+        let base = self.regs.len();
+        self.regs.resize(base + self.stride, Reg(0));
+        self.vals.resize(base + self.stride, Value::ZERO);
+        self.regs[base..base + regs.len()].copy_from_slice(regs);
+        self.vals[base..base + vals.len()].copy_from_slice(vals);
+    }
+
+    /// Drops the oldest ghost. O(len) lane copies, but it only runs
+    /// when a record overflows the ghost cap — never on a lookup.
+    fn pop_front(&mut self) {
+        self.fps.remove(0);
+        self.causes.remove(0);
+        self.lens.remove(0);
+        self.regs.drain(..self.stride);
+        self.vals.drain(..self.stride);
+    }
+
+    fn clear(&mut self) {
+        self.fps.clear();
+        self.causes.clear();
+        self.lens.clear();
+        self.regs.clear();
+        self.vals.clear();
+    }
+
+    /// Removes every ghost whose fingerprint and input bank equal
+    /// (`fp`, `inputs`), preserving order — `record`'s re-recorded-
+    /// inputs shedding.
+    fn remove_matching(&mut self, fp: u64, inputs: &[(Reg, Value)]) {
+        let mut write = 0;
+        for read in 0..self.len() {
+            let matches = self.fps[read] == fp
+                && self.lens[read] as usize == inputs.len()
+                && self
+                    .regs_row(read)
+                    .iter()
+                    .zip(self.vals_row(read))
+                    .zip(inputs)
+                    .all(|((&r, &v), &(ir, iv))| r == ir && v == iv);
+            if matches {
+                continue;
+            }
+            if write != read {
+                self.fps[write] = self.fps[read];
+                self.causes[write] = self.causes[read];
+                self.lens[write] = self.lens[read];
+                let (dst, src) = (write * self.stride, read * self.stride);
+                self.regs.copy_within(src..src + self.stride, dst);
+                self.vals.copy_within(src..src + self.stride, dst);
+            }
+            write += 1;
+        }
+        self.fps.truncate(write);
+        self.causes.truncate(write);
+        self.lens.truncate(write);
+        self.regs.truncate(write * self.stride);
+        self.vals.truncate(write * self.stride);
+    }
 }
 
 #[derive(Clone, Debug)]
 struct Entry {
     tag: Option<RegionId>,
-    instances: Vec<Instance>,
-    ghosts: VecDeque<Ghost>,
+    bank: InstanceBank,
+    ghosts: GhostBank,
+    /// Canonical input register sequence shared by every valid
+    /// instance and every ghost while `uniform` holds. Set by the
+    /// first insert after the entry was (re)claimed; the batched scan
+    /// relies on it to gather live values and fold the live
+    /// fingerprint exactly once per lookup.
+    seq: Vec<Reg>,
+    /// Whether `seq` has been established.
+    has_seq: bool,
+    /// True while every valid instance and ghost shares `seq`. In
+    /// practice always true (an entry's instances all come from one
+    /// region, whose input register set is static); a divergent insert
+    /// — possible only via hand-built snapshots — drops the entry to
+    /// the scalar reference scan, which handles arbitrary sequences.
+    uniform: bool,
 }
 
 impl Entry {
-    /// Remembers a departed instance's input bank, keeping at most
-    /// twice the entry's instance count (oldest dropped first).
-    fn push_ghost(&mut self, inputs: Vec<(Reg, Value)>, fp: u64, cause: MissCause) {
-        let cap = self.instances.len() * 2;
-        if self.ghosts.len() >= cap {
+    fn new(slots: usize, in_stride: usize, out_stride: usize) -> Entry {
+        Entry {
+            tag: None,
+            bank: InstanceBank::new(slots, in_stride, out_stride),
+            ghosts: GhostBank::new(in_stride),
+            seq: Vec::new(),
+            has_seq: false,
+            uniform: true,
+        }
+    }
+
+    /// The entry's ghost capacity: twice its instance count.
+    fn ghost_cap(&self) -> usize {
+        self.bank.slots * 2
+    }
+
+    /// Remembers a departed instance's input bank (slot `k`), keeping
+    /// at most [`ghost_cap`](Entry::ghost_cap) ghosts (oldest dropped
+    /// first).
+    fn ghost_from_slot(&mut self, k: usize, cause: MissCause) {
+        if self.ghosts.len() >= self.ghost_cap() {
             self.ghosts.pop_front();
         }
-        self.ghosts.push_back(Ghost { inputs, fp, cause });
+        let base = k * self.bank.in_stride;
+        let len = self.bank.in_len[k] as usize;
+        self.ghosts.push(
+            &self.bank.in_regs[base..base + len],
+            &self.bank.in_vals[base..base + len],
+            self.bank.fps[k],
+            cause,
+        );
+    }
+
+    /// Folds a new instance's register sequence into the uniformity
+    /// tracking.
+    fn note_seq(&mut self, inputs: &[(Reg, Value)]) {
+        if !self.has_seq {
+            self.seq.clear();
+            self.seq.extend(inputs.iter().map(|&(r, _)| r));
+            self.has_seq = true;
+        } else if self.uniform
+            && !(self.seq.len() == inputs.len()
+                && self.seq.iter().zip(inputs).all(|(&s, &(r, _))| s == r))
+        {
+            self.uniform = false;
+        }
+    }
+
+    /// Clears instances, ghosts, and the uniformity tracking (a tag
+    /// conflict reclaiming the entry).
+    fn clear_contents(&mut self) {
+        self.bank.clear_all();
+        self.ghosts.clear();
+        self.seq.clear();
+        self.has_seq = false;
+        self.uniform = true;
     }
 }
 
@@ -358,12 +671,21 @@ pub struct ReuseBuffer {
     /// Host-speed filter only — outcomes are identical either way
     /// (enforced by a property test).
     fp_filter: bool,
-    /// Per-lookup register-read memo, kept on the buffer so the hot
-    /// path never allocates after warmup.
+    /// When false, `lookup` uses the scalar reference scan even for
+    /// uniform entries. Host-speed switch only, like `fp_filter`.
+    batched_scan: bool,
+    /// Per-lookup register-read memo for the scalar scan, kept on the
+    /// buffer so the hot path never allocates after warmup.
     read_scratch: Vec<(Reg, Value)>,
     /// Register sequence of the last live-fingerprint fold (see
     /// [`cached_live_fp`]); same allocation-reuse rationale.
     fp_regs_scratch: Vec<Reg>,
+    /// Live values of the entry's shared register sequence, gathered
+    /// once per batched lookup.
+    live_vals_scratch: Vec<Value>,
+    /// Fingerprint-surviving ghost indices of a batched scan (the
+    /// forward chunked pass feeds the newest-first verify order).
+    ghost_match_scratch: Vec<u32>,
 }
 
 impl ReuseBuffer {
@@ -385,11 +707,7 @@ impl ReuseBuffer {
                         Some(nu) if idx % nu.boost_every == 0 => nu.boosted_instances,
                         _ => config.instances,
                     };
-                    Entry {
-                        tag: None,
-                        instances: vec![Instance::empty(); count],
-                        ghosts: VecDeque::new(),
-                    }
+                    Entry::new(count, config.input_bank, config.output_bank)
                 })
                 .collect(),
             config,
@@ -401,8 +719,11 @@ impl ReuseBuffer {
             ever_recorded: HashSet::new(),
             last_miss_cause: None,
             fp_filter: true,
+            batched_scan: true,
             read_scratch: Vec::new(),
             fp_regs_scratch: Vec::new(),
+            live_vals_scratch: Vec::new(),
+            ghost_match_scratch: Vec::new(),
         }
     }
 
@@ -413,6 +734,15 @@ impl ReuseBuffer {
     /// outcomes are identical either way.
     pub fn set_fingerprint_filter(&mut self, on: bool) {
         self.fp_filter = on;
+    }
+
+    /// Enables or disables the batched (chunked fingerprint-lane)
+    /// scan in `lookup`. On by default; turning it off forces the
+    /// scalar reference scan for every entry. Same outcome-invariance
+    /// contract (and property test) as
+    /// [`set_fingerprint_filter`](ReuseBuffer::set_fingerprint_filter).
+    pub fn set_batched_scan(&mut self, on: bool) {
+        self.batched_scan = on;
     }
 
     /// The buffer's counters.
@@ -435,11 +765,7 @@ impl ReuseBuffer {
 
     /// Valid instances currently held by the entry at `idx`.
     fn occupancy(&self, idx: usize) -> usize {
-        self.entries[idx]
-            .instances
-            .iter()
-            .filter(|i| i.valid)
-            .count()
+        self.entries[idx].bank.valid.iter().filter(|&&v| v).count()
     }
 
     /// The buffer's geometry.
@@ -492,27 +818,40 @@ impl ReuseBuffer {
                 .iter()
                 .map(|e| CrbEntrySnapshot {
                     tag: e.tag.map(|r| r.0),
-                    instances: e
-                        .instances
-                        .iter()
-                        .map(|i| CrbInstanceSnapshot {
-                            valid: i.valid,
-                            inputs: i.inputs.iter().map(|(r, v)| (r.0, v.0 as u64)).collect(),
-                            fp: i.fp,
-                            outputs: i.outputs.iter().map(|(r, v)| (r.0, v.0 as u64)).collect(),
-                            accesses_memory: i.accesses_memory,
-                            body_instrs: i.body_instrs,
-                            last_use: i.last_use,
-                            inserted: i.inserted,
+                    instances: (0..e.bank.slots)
+                        .map(|k| CrbInstanceSnapshot {
+                            valid: e.bank.valid[k],
+                            inputs: e
+                                .bank
+                                .in_regs_row(k)
+                                .iter()
+                                .zip(e.bank.in_vals_row(k))
+                                .map(|(&r, &v)| (r.0, v.0 as u64))
+                                .collect(),
+                            fp: e.bank.fps[k],
+                            outputs: e
+                                .bank
+                                .out_pairs(k)
+                                .iter()
+                                .map(|&(r, v)| (r.0, v.0 as u64))
+                                .collect(),
+                            accesses_memory: e.bank.accesses_memory[k],
+                            body_instrs: e.bank.body_instrs[k],
+                            last_use: e.bank.last_use[k],
+                            inserted: e.bank.inserted[k],
                         })
                         .collect(),
-                    ghosts: e
-                        .ghosts
-                        .iter()
-                        .map(|g| CrbGhostSnapshot {
-                            inputs: g.inputs.iter().map(|(r, v)| (r.0, v.0 as u64)).collect(),
-                            fp: g.fp,
-                            cause: cause_index(g.cause),
+                    ghosts: (0..e.ghosts.len())
+                        .map(|k| CrbGhostSnapshot {
+                            inputs: e
+                                .ghosts
+                                .regs_row(k)
+                                .iter()
+                                .zip(e.ghosts.vals_row(k))
+                                .map(|(&r, &v)| (r.0, v.0 as u64))
+                                .collect(),
+                            fp: e.ghosts.fps[k],
+                            cause: cause_index(e.ghosts.causes[k]),
                         })
                         .collect(),
                 })
@@ -520,7 +859,11 @@ impl ReuseBuffer {
         })
     }
 
-    /// Rebuilds a mid-run buffer from a snapshot.
+    /// Rebuilds a mid-run buffer from a snapshot. The snapshot format
+    /// is layout-independent plain data (one instance/ghost struct per
+    /// candidate), so restoring through the structure-of-arrays banks
+    /// needs no `snap_v` bump; uniformity of each entry's register
+    /// sequences is recomputed from the restored rows.
     ///
     /// # Errors
     ///
@@ -536,58 +879,88 @@ impl ReuseBuffer {
             ));
         }
         for (idx, (es, entry)) in snap.entries.iter().zip(buf.entries.iter_mut()).enumerate() {
-            if es.instances.len() != entry.instances.len() {
+            if es.instances.len() != entry.bank.slots {
                 return Err(format!(
                     "crb entry {idx} has {} instances, config wants {}",
                     es.instances.len(),
-                    entry.instances.len()
+                    entry.bank.slots
                 ));
             }
-            if es.ghosts.len() > es.instances.len() * 2 {
+            if es.ghosts.len() > entry.ghost_cap() {
                 return Err(format!(
                     "crb entry {idx} has {} ghosts, capacity is {}",
                     es.ghosts.len(),
-                    es.instances.len() * 2
+                    entry.ghost_cap()
                 ));
             }
-            entry.tag = es.tag.map(RegionId);
-            entry.instances = es
+            // Hand-built snapshots may carry banks wider than the
+            // configured strides; grow the rows to fit rather than
+            // corrupting neighbors (records at runtime still enforce
+            // the configured capacities).
+            let in_stride = es
                 .instances
                 .iter()
-                .map(|i| Instance {
-                    valid: i.valid,
+                .map(|i| i.inputs.len())
+                .chain(es.ghosts.iter().map(|g| g.inputs.len()))
+                .max()
+                .unwrap_or(0)
+                .max(config.input_bank);
+            let out_stride = es
+                .instances
+                .iter()
+                .map(|i| i.outputs.len())
+                .max()
+                .unwrap_or(0)
+                .max(config.output_bank);
+            entry.tag = es.tag.map(RegionId);
+            entry.bank = InstanceBank::new(es.instances.len(), in_stride, out_stride);
+            entry.ghosts = GhostBank::new(in_stride);
+            for (k, i) in es.instances.iter().enumerate() {
+                let inst = RecordedInstance {
                     inputs: i
                         .inputs
                         .iter()
-                        .map(|(r, v)| (Reg(*r), Value(*v as i64)))
+                        .map(|&(r, v)| (Reg(r), Value(v as i64)))
                         .collect(),
-                    fp: i.fp,
                     outputs: i
                         .outputs
                         .iter()
-                        .map(|(r, v)| (Reg(*r), Value(*v as i64)))
+                        .map(|&(r, v)| (Reg(r), Value(v as i64)))
                         .collect(),
                     accesses_memory: i.accesses_memory,
                     body_instrs: i.body_instrs,
-                    last_use: i.last_use,
-                    inserted: i.inserted,
-                })
-                .collect();
-            entry.ghosts = es
-                .ghosts
-                .iter()
-                .map(|g| {
-                    Ok(Ghost {
-                        inputs: g
-                            .inputs
-                            .iter()
-                            .map(|(r, v)| (Reg(*r), Value(*v as i64)))
-                            .collect(),
-                        fp: g.fp,
-                        cause: cause_from_index(g.cause)?,
-                    })
-                })
-                .collect::<Result<_, String>>()?;
+                };
+                entry.bank.write_slot(k, &inst, i.fp, 0);
+                entry.bank.valid[k] = i.valid;
+                entry.bank.last_use[k] = i.last_use;
+                entry.bank.inserted[k] = i.inserted;
+            }
+            for g in &es.ghosts {
+                let pairs: Vec<(Reg, Value)> = g
+                    .inputs
+                    .iter()
+                    .map(|&(r, v)| (Reg(r), Value(v as i64)))
+                    .collect();
+                let regs: Vec<Reg> = pairs.iter().map(|&(r, _)| r).collect();
+                let vals: Vec<Value> = pairs.iter().map(|&(_, v)| v).collect();
+                entry
+                    .ghosts
+                    .push(&regs, &vals, g.fp, cause_from_index(g.cause)?);
+            }
+            // Recompute the shared-sequence invariant over the valid
+            // instances and ghosts actually restored.
+            entry.seq.clear();
+            entry.has_seq = false;
+            entry.uniform = true;
+            let mut sequences = (0..entry.bank.slots)
+                .filter(|&k| entry.bank.valid[k])
+                .map(|k| entry.bank.in_regs_row(k))
+                .chain((0..entry.ghosts.len()).map(|k| entry.ghosts.regs_row(k)));
+            if let Some(first) = sequences.next() {
+                entry.seq = first.to_vec();
+                entry.has_seq = true;
+                entry.uniform = sequences.all(|s| s == entry.seq.as_slice());
+            }
         }
         buf.clock = snap.clock;
         buf.rng = snap.rng;
@@ -599,8 +972,11 @@ impl ReuseBuffer {
 
     /// Folds the full buffer state into `push` in a deterministic
     /// order (the `ever_recorded` set is sorted first). The event log,
-    /// the fingerprint-filter switch, and the two scratch vectors are
-    /// excluded: none of them alters simulated outcomes.
+    /// the fingerprint-filter and batched-scan switches, the scratch
+    /// vectors, and the uniformity tracking are excluded: none of them
+    /// alters simulated outcomes. The per-candidate iteration order is
+    /// slot/queue order, exactly the stream the pre-SoA layout
+    /// produced, so fingerprint chains are layout-invariant.
     pub fn fold_state(&self, push: &mut dyn FnMut(u64)) {
         push(self.clock);
         push(self.rng);
@@ -627,34 +1003,39 @@ impl ReuseBuffer {
                     push(u64::from(r.0));
                 }
             }
-            push(e.instances.len() as u64);
-            for i in &e.instances {
-                push(u64::from(i.valid));
-                push(i.inputs.len() as u64);
-                for (r, v) in &i.inputs {
+            push(e.bank.slots as u64);
+            for k in 0..e.bank.slots {
+                push(u64::from(e.bank.valid[k]));
+                push(u64::from(e.bank.in_len[k]));
+                for (r, v) in e.bank.in_regs_row(k).iter().zip(e.bank.in_vals_row(k)) {
                     push(u64::from(r.0));
                     push(v.0 as u64);
                 }
-                push(i.fp);
-                push(i.outputs.len() as u64);
-                for (r, v) in &i.outputs {
+                push(e.bank.fps[k]);
+                push(u64::from(e.bank.out_len[k]));
+                let base = k * e.bank.out_stride;
+                let len = e.bank.out_len[k] as usize;
+                for (r, v) in e.bank.out_regs[base..base + len]
+                    .iter()
+                    .zip(&e.bank.out_vals[base..base + len])
+                {
                     push(u64::from(r.0));
                     push(v.0 as u64);
                 }
-                push(u64::from(i.accesses_memory));
-                push(i.body_instrs);
-                push(i.last_use);
-                push(i.inserted);
+                push(u64::from(e.bank.accesses_memory[k]));
+                push(e.bank.body_instrs[k]);
+                push(e.bank.last_use[k]);
+                push(e.bank.inserted[k]);
             }
             push(e.ghosts.len() as u64);
-            for g in &e.ghosts {
-                push(g.inputs.len() as u64);
-                for (r, v) in &g.inputs {
+            for k in 0..e.ghosts.len() {
+                push(u64::from(e.ghosts.lens[k]));
+                for (r, v) in e.ghosts.regs_row(k).iter().zip(e.ghosts.vals_row(k)) {
                     push(u64::from(r.0));
                     push(v.0 as u64);
                 }
-                push(g.fp);
-                push(cause_index(g.cause));
+                push(e.ghosts.fps[k]);
+                push(cause_index(e.ghosts.causes[k]));
             }
         }
     }
@@ -668,27 +1049,17 @@ impl ReuseBuffer {
     }
 
     fn victim_slot(&mut self, idx: usize) -> usize {
-        let entry = &self.entries[idx];
-        if let Some(free) = entry.instances.iter().position(|i| !i.valid) {
+        let bank = &self.entries[idx].bank;
+        if let Some(free) = bank.valid.iter().position(|v| !v) {
             return free;
         }
-        let n = entry.instances.len();
         match self.config.replacement {
-            Replacement::Lru => entry
-                .instances
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, i)| i.last_use)
-                .map(|(k, _)| k)
-                .expect("non-empty instances"),
-            Replacement::Fifo => entry
-                .instances
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, i)| i.inserted)
-                .map(|(k, _)| k)
-                .expect("non-empty instances"),
-            Replacement::Random => (self.next_random() % n as u64) as usize,
+            Replacement::Lru => min_index(&bank.last_use),
+            Replacement::Fifo => min_index(&bank.inserted),
+            Replacement::Random => {
+                let n = bank.slots as u64;
+                (self.next_random() % n) as usize
+            }
         }
     }
 }
@@ -719,74 +1090,166 @@ impl CrbModel for ReuseBuffer {
             self.last_miss_cause = Some(cause);
             return None;
         }
-        // All instances of an entry share the region's input register
-        // set, so a small per-lookup memo makes repeated scans read
-        // each architectural register once. The memo vector lives on
-        // the buffer so the hot path never allocates after warmup.
-        let mut reads = std::mem::take(&mut self.read_scratch);
-        reads.clear();
-        let mut fp_regs = std::mem::take(&mut self.fp_regs_scratch);
-        fp_regs.clear();
-        let mut live_fp: Option<u64> = None;
         let fp_filter = self.fp_filter;
-        for inst in &mut entry.instances {
-            if !inst.valid {
-                continue;
+        // The hit slot, or the classified miss cause. Both scans honor
+        // the same order contract: instances in slot order (first full
+        // match wins), ghosts newest-first.
+        let outcome: Result<usize, MissCause> = if self.batched_scan && entry.uniform {
+            // Batched scan: every candidate shares the entry's
+            // register sequence, so one pass gathers the live value
+            // of each register and folds the live fingerprint; the
+            // fingerprint lanes are then scanned in 4-wide chunks and
+            // each survivor's full verify is one contiguous-slice
+            // compare against the gathered values.
+            let live_vals = &mut self.live_vals_scratch;
+            live_vals.clear();
+            let mut live_fp = FNV_OFFSET;
+            for &r in &entry.seq {
+                let v = read_reg(r);
+                live_vals.push(v);
+                live_fp = fnv1a_pair(live_fp, r, v);
             }
-            if fp_filter
-                && cached_live_fp(
-                    &mut fp_regs,
-                    &mut live_fp,
-                    &mut reads,
-                    read_reg,
-                    &inst.inputs,
-                ) != inst.fp
-            {
-                continue; // some input value differs — cannot match
+            let bank = &entry.bank;
+            let mut hit_slot = None;
+            if fp_filter {
+                scan_fp_lane(&bank.fps, live_fp, &mut |k| {
+                    if bank.valid[k] && bank.in_vals_row(k) == live_vals.as_slice() {
+                        hit_slot = Some(k);
+                        true
+                    } else {
+                        false
+                    }
+                });
+            } else {
+                hit_slot = (0..bank.slots)
+                    .find(|&k| bank.valid[k] && bank.in_vals_row(k) == live_vals.as_slice());
             }
-            if inst
-                .inputs
-                .iter()
-                .all(|&(r, v)| cached_read(&mut reads, read_reg, r) == v)
-            {
-                inst.last_use = clock;
+            match hit_slot {
+                Some(k) => Ok(k),
+                None => {
+                    // Batched ghost classification: one forward
+                    // chunked pass collects the fingerprint survivors,
+                    // then the (rare) survivors verify newest-first —
+                    // the same "most recent matching ghost wins"
+                    // semantics as the old reverse walk.
+                    let ghosts = &entry.ghosts;
+                    let mut cause = None;
+                    if fp_filter {
+                        let matches = &mut self.ghost_match_scratch;
+                        matches.clear();
+                        scan_fp_lane(&ghosts.fps, live_fp, &mut |k| {
+                            matches.push(k as u32);
+                            false
+                        });
+                        for &k in matches.iter().rev() {
+                            if ghosts.vals_row(k as usize) == live_vals.as_slice() {
+                                cause = Some(ghosts.causes[k as usize]);
+                                break;
+                            }
+                        }
+                    } else {
+                        for k in (0..ghosts.len()).rev() {
+                            if ghosts.vals_row(k) == live_vals.as_slice() {
+                                cause = Some(ghosts.causes[k]);
+                                break;
+                            }
+                        }
+                    }
+                    Err(match cause {
+                        Some(c) => c,
+                        None if entry.bank.valid.iter().all(|&v| !v) => MissCause::Invalidated,
+                        None => MissCause::Mismatch,
+                    })
+                }
+            }
+        } else {
+            // Scalar reference scan: per-candidate fingerprint folds
+            // (memoized on the register sequence) and per-pair
+            // compares. Handles entries whose candidates disagree on
+            // their register sequences; also the reference side of the
+            // batched-vs-scalar property test.
+            let reads = &mut self.read_scratch;
+            reads.clear();
+            let fp_regs = &mut self.fp_regs_scratch;
+            fp_regs.clear();
+            let mut live_fp: Option<u64> = None;
+            let bank = &entry.bank;
+            let mut hit_slot = None;
+            for k in 0..bank.slots {
+                if !bank.valid[k] {
+                    continue;
+                }
+                let regs = bank.in_regs_row(k);
+                if fp_filter
+                    && cached_live_fp(fp_regs, &mut live_fp, reads, read_reg, regs) != bank.fps[k]
+                {
+                    continue; // some input value differs — cannot match
+                }
+                if regs
+                    .iter()
+                    .zip(bank.in_vals_row(k))
+                    .all(|(&r, &v)| cached_read(reads, read_reg, r) == v)
+                {
+                    hit_slot = Some(k);
+                    break;
+                }
+            }
+            match hit_slot {
+                Some(k) => Ok(k),
+                None => {
+                    // No live instance matched. If a ghost matches the
+                    // current register values, the instance that would
+                    // have hit was lost — blame its recorded cause
+                    // (most recent ghost first). A tagged entry with
+                    // no live instances at all was emptied by
+                    // invalidation (records always leave one
+                    // instance).
+                    let ghosts = &entry.ghosts;
+                    let mut cause = None;
+                    for k in (0..ghosts.len()).rev() {
+                        let regs = ghosts.regs_row(k);
+                        if fp_filter
+                            && cached_live_fp(fp_regs, &mut live_fp, reads, read_reg, regs)
+                                != ghosts.fps[k]
+                        {
+                            continue;
+                        }
+                        if regs
+                            .iter()
+                            .zip(ghosts.vals_row(k))
+                            .all(|(&r, &v)| cached_read(reads, read_reg, r) == v)
+                        {
+                            cause = Some(ghosts.causes[k]);
+                            break;
+                        }
+                    }
+                    Err(match cause {
+                        Some(c) => c,
+                        None if bank.valid.iter().all(|&v| !v) => MissCause::Invalidated,
+                        None => MissCause::Mismatch,
+                    })
+                }
+            }
+        };
+        match outcome {
+            Ok(k) => {
+                entry.bank.last_use[k] = clock;
                 let hit = ReuseLookup {
-                    outputs: inst.outputs.clone(),
-                    inputs: inst.inputs.iter().map(|(r, _)| *r).collect(),
-                    skipped_instrs: inst.body_instrs,
+                    outputs: entry.bank.out_pairs(k),
+                    inputs: entry.bank.in_regs_row(k).to_vec(),
+                    skipped_instrs: entry.bank.body_instrs[k],
                 };
                 self.stats.hits += 1;
                 self.last_miss_cause = None;
-                self.read_scratch = reads;
-                self.fp_regs_scratch = fp_regs;
-                return Some(hit);
+                Some(hit)
+            }
+            Err(cause) => {
+                self.stats.misses += 1;
+                self.stats.count_miss_cause(cause);
+                self.last_miss_cause = Some(cause);
+                None
             }
         }
-        // No live instance matched. If a ghost of this entry matches
-        // the current register values, the instance that would have
-        // hit was lost — blame its recorded cause (most recent ghost
-        // first). A tagged entry with no live instances at all was
-        // emptied by invalidation (records always leave one instance).
-        let cause = if let Some(ghost) = entry.ghosts.iter().rev().find(|g| {
-            (!fp_filter
-                || cached_live_fp(&mut fp_regs, &mut live_fp, &mut reads, read_reg, &g.inputs)
-                    == g.fp)
-                && g.inputs
-                    .iter()
-                    .all(|&(r, v)| cached_read(&mut reads, read_reg, r) == v)
-        }) {
-            ghost.cause
-        } else if entry.instances.iter().all(|i| !i.valid) {
-            MissCause::Invalidated
-        } else {
-            MissCause::Mismatch
-        };
-        self.stats.misses += 1;
-        self.stats.count_miss_cause(cause);
-        self.last_miss_cause = Some(cause);
-        self.read_scratch = reads;
-        self.fp_regs_scratch = fp_regs;
-        None
     }
 
     fn record(&mut self, region: RegionId, instance: RecordedInstance) {
@@ -817,26 +1280,32 @@ impl CrbModel for ReuseBuffer {
             }
             let entry = &mut self.entries[idx];
             entry.tag = Some(region);
-            for inst in &mut entry.instances {
-                *inst = Instance::empty();
-            }
-            entry.ghosts.clear();
+            entry.clear_contents();
         }
         // An instance with the identical input bank is refreshed in
         // place rather than duplicated (duplicates would waste
         // capacity and let a replacement evict live input sets).
-        // Equal banks hash equal, so the fingerprint pre-check below
+        // Equal banks hash equal, so the fingerprint lane scan below
         // never changes which slot is found — it only skips compares.
         let fp = fingerprint(&instance.inputs);
-        let existing = self.entries[idx]
-            .instances
-            .iter()
-            .position(|i| i.valid && i.fp == fp && i.inputs == instance.inputs);
+        let existing = {
+            let bank = &self.entries[idx].bank;
+            let mut found = None;
+            scan_fp_lane(&bank.fps, fp, &mut |k| {
+                if bank.valid[k] && bank.in_row_eq(k, &instance.inputs) {
+                    found = Some(k);
+                    true
+                } else {
+                    false
+                }
+            });
+            found
+        };
         let slot = match existing {
             Some(k) => k,
             None => {
                 let k = self.victim_slot(idx);
-                if self.entries[idx].instances[k].valid {
+                if self.entries[idx].bank.valid[k] {
                     if self.log_events {
                         self.events.push(CrbEvent {
                             clock: self.clock,
@@ -849,28 +1318,16 @@ impl CrbModel for ReuseBuffer {
                             lost: 1,
                         });
                     }
-                    let victim = &self.entries[idx].instances[k];
-                    let (victim_inputs, victim_fp) = (victim.inputs.clone(), victim.fp);
-                    self.entries[idx].push_ghost(victim_inputs, victim_fp, MissCause::Capacity);
+                    self.entries[idx].ghost_from_slot(k, MissCause::Capacity);
                 }
                 k
             }
         };
         let clock = self.clock;
         let entry = &mut self.entries[idx];
-        entry
-            .ghosts
-            .retain(|g| g.fp != fp || g.inputs != instance.inputs);
-        entry.instances[slot] = Instance {
-            valid: true,
-            inputs: instance.inputs,
-            fp,
-            outputs: instance.outputs,
-            accesses_memory: instance.accesses_memory,
-            body_instrs: instance.body_instrs,
-            last_use: clock,
-            inserted: clock,
-        };
+        entry.ghosts.remove_matching(fp, &instance.inputs);
+        entry.note_seq(&instance.inputs);
+        entry.bank.write_slot(slot, &instance, fp, clock);
         self.ever_recorded.insert(region);
     }
 
@@ -880,16 +1337,12 @@ impl CrbModel for ReuseBuffer {
         let entry = &mut self.entries[idx];
         let mut killed = 0;
         if entry.tag == Some(region) {
-            let mut dead_inputs = Vec::new();
-            for inst in &mut entry.instances {
-                if inst.valid && inst.accesses_memory {
-                    inst.valid = false;
+            for k in 0..entry.bank.slots {
+                if entry.bank.valid[k] && entry.bank.accesses_memory[k] {
+                    entry.bank.valid[k] = false;
                     killed += 1;
-                    dead_inputs.push((inst.inputs.clone(), inst.fp));
+                    entry.ghost_from_slot(k, MissCause::Invalidated);
                 }
-            }
-            for (inputs, fp) in dead_inputs {
-                entry.push_ghost(inputs, fp, MissCause::Invalidated);
             }
         }
         if self.log_events && killed > 0 {
@@ -916,7 +1369,6 @@ impl CrbModel for ReuseBuffer {
         self.last_miss_cause
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

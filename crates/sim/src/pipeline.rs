@@ -512,19 +512,26 @@ impl TraceSink for Pipeline {
         // machine value-speculates across validation, in which case
         // the live-outs are forwarded immediately and validation
         // retires off the critical path.
-        let src_regs: Vec<Reg> = match &event.reuse {
+        let owned_srcs;
+        let src_regs: &[Reg] = match &event.reuse {
             Some(r) if r.hit => {
                 if self.machine.speculative_validation {
-                    Vec::new()
+                    &[]
                 } else {
-                    r.inputs.clone()
+                    // Borrow the lookup's validation read set in place
+                    // — the hottest consumer of a reuse hit, so it
+                    // must not clone per event.
+                    &r.inputs
                 }
             }
-            _ => instr.src_regs(),
+            _ => {
+                owned_srcs = instr.src_regs();
+                &owned_srcs
+            }
         };
         let mut ops_ready = 0;
         let mut bind: Option<Reg> = None;
-        for r in &src_regs {
+        for r in src_regs {
             let at = self.ready_of(*r);
             if at > ops_ready {
                 ops_ready = at;

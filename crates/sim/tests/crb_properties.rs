@@ -58,6 +58,33 @@ fn lookup(buf: &mut ReuseBuffer, r: u8, v: i8) -> Option<ReuseLookup> {
     })
 }
 
+/// Three-input instance for the batched-scan twin test: the inputs
+/// are all derived from `v`, so a matching `v` matches the whole row
+/// and the read-register closure can serve every register.
+fn wide_instance(r: u8, v: i8, mem: bool) -> RecordedInstance {
+    let v = v as i64;
+    RecordedInstance {
+        inputs: vec![
+            (Reg(0), Value::from_int(v)),
+            (Reg(2), Value::from_int(v.wrapping_mul(3))),
+            (Reg(5), Value::from_int(v ^ 7)),
+        ],
+        outputs: vec![(Reg(1), Value::from_int(v * 1000 + r as i64))],
+        accesses_memory: mem,
+        body_instrs: 5,
+    }
+}
+
+fn wide_lookup(buf: &mut ReuseBuffer, r: u8, v: i8) -> Option<ReuseLookup> {
+    let v = v as i64;
+    buf.lookup(RegionId(r as u32), &mut |reg| match reg {
+        Reg(0) => Value::from_int(v),
+        Reg(2) => Value::from_int(v.wrapping_mul(3)),
+        Reg(5) => Value::from_int(v ^ 7),
+        other => panic!("unexpected register read {other:?}"),
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -191,6 +218,61 @@ proptest! {
             }
         }
         prop_assert_eq!(filtered.stats(), unfiltered.stats());
+    }
+
+    /// The batched SoA scan (chunked fingerprint-lane compare +
+    /// contiguous-slice verify + batched ghost classification) is
+    /// likewise a host-speed optimization only: against a buffer
+    /// forced onto the scalar reference path — crossed with the
+    /// fingerprint-filter switch — an identical command script must
+    /// produce identical lookup outcomes, miss causes, and
+    /// statistics. Instances here carry three inputs so the
+    /// flattened value rows are wider than one element.
+    #[test]
+    fn batched_scan_never_changes_outcomes(
+        script in cmds(),
+        entries in 1usize..8,
+        instances in 1usize..6,
+        policy in 0u8..3,
+        filter in any::<bool>(),
+    ) {
+        let config = CrbConfig {
+            entries,
+            instances,
+            input_bank: 8,
+            output_bank: 8,
+            replacement: match policy {
+                0 => Replacement::Lru,
+                1 => Replacement::Fifo,
+                _ => Replacement::Random,
+            },
+            nonuniform: None,
+        };
+        let mut batched = ReuseBuffer::new(config);
+        let mut scalar = ReuseBuffer::new(config);
+        scalar.set_batched_scan(false);
+        scalar.set_fingerprint_filter(filter);
+        for cmd in &script {
+            match *cmd {
+                Cmd::Record { r, v, mem } => {
+                    batched.record(RegionId(r as u32), wide_instance(r, v, mem));
+                    scalar.record(RegionId(r as u32), wide_instance(r, v, mem));
+                }
+                Cmd::Lookup { r, v } => {
+                    let fast = wide_lookup(&mut batched, r, v);
+                    let slow = wide_lookup(&mut scalar, r, v);
+                    prop_assert_eq!(&fast, &slow,
+                        "batched scan flipped a lookup outcome for ({}, {})", r, v);
+                    prop_assert_eq!(batched.last_miss_cause(), scalar.last_miss_cause(),
+                        "batched scan changed a miss cause for ({}, {})", r, v);
+                }
+                Cmd::Invalidate { r } => {
+                    batched.invalidate(RegionId(r as u32));
+                    scalar.invalidate(RegionId(r as u32));
+                }
+            }
+        }
+        prop_assert_eq!(batched.stats(), scalar.stats());
     }
 
     /// LRU retention: after interleaved records and lookups on one

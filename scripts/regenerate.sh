@@ -15,11 +15,13 @@ echo '== ccr exp --all (every experiment, one deduplicated parallel pass)'
 cargo run --release -q --bin ccr -- exp --all --jobs "$(nproc)" --out results --no-store
 echo '== BENCH_ccr.json (perf baseline; CI gates ccr diff against it)'
 # The committed baseline is always taken serially so its per-workload
-# wall_ms stays comparable across regenerations. The same run appends
-# one record per workload to the committed run store (runs/store.jsonl,
-# the `ccr report` history), timestamped at the HEAD commit so a
-# re-regeneration at the same commit lands at the same instant.
-cargo run --release -q --bin ccr -- bench --jobs 1 --out BENCH_ccr.json \
+# wall_ms stays comparable across regenerations, and with median-of-3
+# host timing so the committed wall_ms / throughput aggregate carry
+# less scheduler noise. The same run appends one record per workload
+# to the committed run store (runs/store.jsonl, the `ccr report`
+# history), timestamped at the HEAD commit so a re-regeneration at
+# the same commit lands at the same instant.
+cargo run --release -q --bin ccr -- bench --jobs 1 --host-reps 3 --out BENCH_ccr.json \
     --store runs/store.jsonl --at "$(git log -1 --format=%ct)"
 echo '== profile fixture (tests/fixtures/run_telemetry + goldens)'
 # Refresh the frozen `ccr profile` capture the golden tests run against,

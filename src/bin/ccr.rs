@@ -12,7 +12,7 @@
 //!          [--max-cycle-regress-pct X] [--max-hit-rate-drop-pp X]
 //!          [--max-speedup-drop-pct X]
 //! ccr bench [--input train|ref] [--scale N] [--entries E] [--instances C]
-//!           [--only NAME[,NAME...]] [--out FILE] [--jobs N]
+//!           [--only NAME[,NAME...]] [--out FILE] [--jobs N] [--host-reps N]
 //! ccr exp <NAME>... | --all [--jobs N] [--out DIR]
 //! ccr exp --list
 //! ccr report [--store FILE] [--out DIR] [--thresholds default|none]
@@ -169,7 +169,7 @@ const USAGE: &str = "usage:
            [--max-cycle-regress-pct X] [--max-hit-rate-drop-pp X]
            [--max-speedup-drop-pct X]
   ccr bench [--input train|ref] [--scale N] [--entries E] [--instances C]
-            [--only NAME[,NAME...]] [--out FILE] [--jobs N]
+            [--only NAME[,NAME...]] [--out FILE] [--jobs N] [--host-reps N]
   ccr exp <NAME>... | --all [--jobs N] [--out DIR]
   ccr exp --list
   ccr report [--store FILE] [--out DIR] [--thresholds default|none]
@@ -214,6 +214,7 @@ struct Flags {
     all: bool,
     list: bool,
     jobs: Option<usize>,
+    host_reps: usize,
     max_cycle_regress_pct: Option<f64>,
     max_hit_rate_drop_pp: Option<f64>,
     max_speedup_drop_pct: Option<f64>,
@@ -255,6 +256,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         all: false,
         list: false,
         jobs: None,
+        host_reps: 1,
         max_cycle_regress_pct: None,
         max_hit_rate_drop_pp: None,
         max_speedup_drop_pct: None,
@@ -368,6 +370,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .parse()
                         .map_err(|_| "bad --max-speedup-drop-pct value".to_string())?,
                 );
+            }
+            "--host-reps" => {
+                flags.host_reps = take("--host-reps")?
+                    .parse()
+                    .map_err(|_| "bad --host-reps value".to_string())?;
+                if flags.host_reps == 0 {
+                    return Err("--host-reps must be at least 1".to_string());
+                }
             }
             "--max-host-throughput-drop-pct" => {
                 flags.max_host_throughput_drop_pct = Some(
@@ -1048,10 +1058,12 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
         config_hash: ccr::config_hash(&machine, &crb),
         crate_version: env!("CARGO_PKG_VERSION").to_string(),
         git_commit: ccr::git_commit_id().to_string(),
+        host_reps: flags.host_reps as u64,
+        agg_sim_cycles_per_host_sec: 0.0,
         workloads: Vec::new(),
     };
     let harness = harness_of(flags)?;
-    let runs = ccr_bench::run_selected_harnessed(
+    let runs = ccr_bench::run_selected_reps(
         &selected,
         flags.input,
         flags.scale,
@@ -1062,6 +1074,7 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
         ccr::resolve_jobs(flags.jobs),
         None,
         &harness,
+        flags.host_reps,
     )?;
     let harness_summary = finish_harness(&harness);
     for run in &runs {
@@ -1086,6 +1099,7 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
             ),
         });
     }
+    report.agg_sim_cycles_per_host_sec = ccr_analyze::geomean_host_throughput(&report.workloads);
     let out = flags
         .out
         .clone()
