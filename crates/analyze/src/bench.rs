@@ -106,6 +106,15 @@ pub struct BenchReport {
     /// compares. Additive v2 field: absent reads as `0.0`
     /// (untracked).
     pub agg_sim_cycles_per_host_sec: f64,
+    /// Synthetic concurrent clients behind the service-throughput
+    /// baseline (0 when the bench run measured none). Additive field
+    /// under v2: absent reads as `0`, so v1/v2 snapshots still parse.
+    pub serve_clients: u64,
+    /// Service throughput baseline: completed request points per host
+    /// second with [`BenchReport::serve_clients`] synthetic clients
+    /// sweeping overlapping points through one engine (0.0 when
+    /// unmeasured). Additive field under v2: absent reads as `0.0`.
+    pub serve_points_per_sec: f64,
     /// Per-workload results, in suite order.
     pub workloads: Vec<BenchWorkload>,
 }
@@ -128,6 +137,9 @@ impl BenchReport {
         w.key("host_reps").u64_val(self.host_reps);
         w.key("agg_sim_cycles_per_host_sec")
             .f64_val(self.agg_sim_cycles_per_host_sec);
+        w.key("serve_clients").u64_val(self.serve_clients);
+        w.key("serve_points_per_sec")
+            .f64_val(self.serve_points_per_sec);
         w.key("workloads").arr_begin();
         for wl in &self.workloads {
             w.obj_begin();
@@ -175,6 +187,8 @@ impl BenchReport {
             // timing with an untracked aggregate.
             host_reps: v.get("host_reps").and_then(Value::as_u64).unwrap_or(1),
             agg_sim_cycles_per_host_sec: v.f64_field("agg_sim_cycles_per_host_sec"),
+            serve_clients: v.get("serve_clients").and_then(Value::as_u64).unwrap_or(0),
+            serve_points_per_sec: v.f64_field("serve_points_per_sec"),
             workloads: Vec::new(),
         };
         let workloads = v
@@ -236,6 +250,15 @@ impl BenchReport {
                 if self.host_reps == 1 { "" } else { "s" }
             );
         }
+        if self.serve_points_per_sec > 0.0 {
+            let _ = writeln!(
+                out,
+                "serve throughput {:>19.2} points/s at {} client{}",
+                self.serve_points_per_sec,
+                self.serve_clients,
+                if self.serve_clients == 1 { "" } else { "s" }
+            );
+        }
         let _ = writeln!(
             out,
             "suite {} ({}, scale {}), config {}, v{}, commit {}",
@@ -274,6 +297,8 @@ mod tests {
             git_commit: "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".into(),
             host_reps: 3,
             agg_sim_cycles_per_host_sec: BenchWorkload::host_throughput(123_456, 100_000, 42),
+            serve_clients: 2,
+            serve_points_per_sec: 3.5,
             workloads: vec![
                 BenchWorkload {
                     name: "008.espresso".into(),
@@ -321,6 +346,8 @@ mod tests {
         assert_eq!(report.git_commit, "unknown");
         assert_eq!(report.host_reps, 1);
         assert_eq!(report.agg_sim_cycles_per_host_sec, 0.0);
+        assert_eq!(report.serve_clients, 0);
+        assert_eq!(report.serve_points_per_sec, 0.0);
         assert_eq!(report.workloads[0].sim_cycles_per_host_sec, 0.0);
         assert_eq!(report.workloads[0].base_cycles, 100);
     }
@@ -378,6 +405,8 @@ mod tests {
         assert!(s.contains("commit aaaaaaaaaaaa"), "{s}");
         assert!(s.contains("host throughput (geomean)"), "{s}");
         assert!(s.contains("over 3 reps"), "{s}");
+        assert!(s.contains("serve throughput"), "{s}");
+        assert!(s.contains("at 2 clients"), "{s}");
     }
 
     #[test]

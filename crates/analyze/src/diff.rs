@@ -708,6 +708,8 @@ mod tests {
             git_commit: "unknown".into(),
             host_reps: 1,
             agg_sim_cycles_per_host_sec: 2.0e6,
+            serve_clients: 0,
+            serve_points_per_sec: 0.0,
             workloads: vec![BenchWorkload {
                 name: "130.li".into(),
                 base_cycles: 1000,

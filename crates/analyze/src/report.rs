@@ -235,7 +235,7 @@ pub fn report_over(store: &RunStore, thresholds: &Thresholds) -> ReportOutput {
         "misses",
     ]);
     let mut host = Table::new([
-        "workload", "config", "when", "commit", "wall_ms", "Mcyc/s", "util%",
+        "workload", "config", "when", "commit", "wall_ms", "Mcyc/s", "util%", "pts/s",
     ]);
     for (key, records) in &series {
         let (workload, input, scale, config) = key;
@@ -284,6 +284,11 @@ pub fn report_over(store: &RunStore, thresholds: &Thresholds) -> ReportOutput {
                 },
                 if rec.host_util_pct > 0.0 {
                     format!("{:.0}", rec.host_util_pct)
+                } else {
+                    "-".to_string()
+                },
+                if rec.points_per_sec > 0.0 {
+                    format!("{:.2}", rec.points_per_sec)
                 } else {
                     "-".to_string()
                 },
@@ -478,6 +483,7 @@ mod tests {
             sim_cycles_per_host_sec: 2.0e6,
             host_util_pct: 0.0,
             fingerprint: String::new(),
+            points_per_sec: 0.0,
         }
     }
 

@@ -23,6 +23,7 @@
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::Mutex;
 
 use ccr_telemetry::JsonWriter;
 
@@ -86,6 +87,12 @@ pub struct RunRecord {
     /// `store_v` bump). Equal config hash + different fingerprint
     /// across commits means the simulated trajectory changed.
     pub fingerprint: String,
+    /// Completed request points per host second of the producing
+    /// `ccr serve` session (0.0 when unmeasured — one-shot producers,
+    /// imports, and every record written before the field existed;
+    /// readers default missing numeric fields to zero, so no
+    /// `store_v` bump).
+    pub points_per_sec: f64,
 }
 
 impl RunRecord {
@@ -114,6 +121,7 @@ impl RunRecord {
             .f64_val(self.sim_cycles_per_host_sec);
         w.key("host_util_pct").f64_val(self.host_util_pct);
         w.key("fingerprint").str_val(&self.fingerprint);
+        w.key("points_per_sec").f64_val(self.points_per_sec);
         w.obj_end();
         w.finish()
     }
@@ -141,6 +149,7 @@ impl RunRecord {
             sim_cycles_per_host_sec: v.f64_field("sim_cycles_per_host_sec"),
             host_util_pct: v.f64_field("host_util_pct"),
             fingerprint: v.str_field("fingerprint").to_string(),
+            points_per_sec: v.f64_field("points_per_sec"),
         }
     }
 
@@ -223,9 +232,20 @@ impl RunStore {
     /// Appends records to a store file, creating it (and its parent
     /// directory) on first use. One JSONL line per record.
     ///
+    /// Appends are single-writer: a process-wide mutex serializes
+    /// threads (a `ccr serve` session and its store hooks share one
+    /// process), and a sidecar `<path>.lock` file — created with
+    /// `O_CREAT|O_EXCL`, which is atomic on every platform we build
+    /// for — serializes processes (a CLI run racing a serve session).
+    /// The whole batch lands as one `write_all` on a descriptor in
+    /// append mode, so concurrent writers never interleave mid-line
+    /// and a loaded store sees `skipped_lines == 0`.
+    ///
     /// # Errors
     ///
-    /// Filesystem failures, as one-line messages.
+    /// Filesystem failures, as one-line messages — including a lock
+    /// file another writer held for over 10 seconds (crashed holder;
+    /// the message names the stale path to remove).
     pub fn append(path: &Path, records: &[RunRecord]) -> Result<(), String> {
         if records.is_empty() {
             return Ok(());
@@ -241,6 +261,9 @@ impl RunStore {
             text.push_str(&rec.to_json_line());
             text.push('\n');
         }
+        static IN_PROCESS: Mutex<()> = Mutex::new(());
+        let _thread_guard = IN_PROCESS.lock().expect("store append lock");
+        let _file_guard = AppendLock::acquire(path)?;
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -262,6 +285,50 @@ impl RunStore {
             series.sort_by_key(|r| r.timestamp);
         }
         out
+    }
+}
+
+/// A held cross-process append lock: the sidecar `<store>.lock` file,
+/// removed on drop. `create_new` (`O_CREAT|O_EXCL`) is the only
+/// advisory locking std offers portably; acquisition polls with a
+/// bounded backoff and gives up after ~10 s so a crashed holder
+/// surfaces as one actionable error instead of a hang.
+struct AppendLock {
+    path: std::path::PathBuf,
+}
+
+impl AppendLock {
+    fn acquire(store: &Path) -> Result<AppendLock, String> {
+        let mut lock_path = store.as_os_str().to_os_string();
+        lock_path.push(".lock");
+        let path = std::path::PathBuf::from(lock_path);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => return Ok(AppendLock { path }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(format!(
+                            "{}: held by another writer for over 10s \
+                             (remove it if that writer crashed)",
+                            path.display()
+                        ));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Err(e) => return Err(format!("{}: {e}", path.display())),
+            }
+        }
+    }
+}
+
+impl Drop for AppendLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
     }
 }
 
@@ -295,6 +362,7 @@ pub fn records_from_bench(
             sim_cycles_per_host_sec: wl.sim_cycles_per_host_sec,
             host_util_pct: 0.0,
             fingerprint: String::new(),
+            points_per_sec: report.serve_points_per_sec,
         })
         .collect()
 }
@@ -342,6 +410,7 @@ pub fn record_from_analysis_json(
         sim_cycles_per_host_sec: 0.0,
         host_util_pct: 0.0,
         fingerprint: String::new(),
+        points_per_sec: 0.0,
     })
 }
 
@@ -397,6 +466,7 @@ mod tests {
             sim_cycles_per_host_sec: 1.5e6,
             host_util_pct: 62.5,
             fingerprint: "00c0ffee00c0ffee".into(),
+            points_per_sec: 2.25,
         }
     }
 
@@ -425,6 +495,42 @@ mod tests {
             text.lines().all(|l| l.starts_with("{\"store_v\":1,")),
             "{text}"
         );
+    }
+
+    #[test]
+    fn concurrent_appends_never_tear_lines() {
+        let path = tmp("concurrent_appends.jsonl");
+        let _ = std::fs::remove_file(&path);
+        // Many writers hammering one store file: the append guard
+        // must serialize them so every line lands whole — no torn,
+        // interleaved, or lost records.
+        const WRITERS: u64 = 8;
+        const BATCH: u64 = 25;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let path = &path;
+                scope.spawn(move || {
+                    for i in 0..BATCH {
+                        RunStore::append(path, &[rec(w * BATCH + i, "w", 800 + i)]).unwrap();
+                    }
+                });
+            }
+        });
+        let store = RunStore::load(&path).unwrap();
+        assert_eq!(store.skipped_lines, 0, "a torn line would be skipped");
+        assert_eq!(store.records.len(), (WRITERS * BATCH) as usize);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().all(|l| l.starts_with("{\"store_v\":1,")),
+            "every line starts a fresh record"
+        );
+        // Every writer's every record arrived exactly once.
+        let mut stamps: Vec<u64> = store.records.iter().map(|r| r.timestamp).collect();
+        stamps.sort_unstable();
+        assert_eq!(stamps, (0..WRITERS * BATCH).collect::<Vec<_>>());
+        // The sidecar lock was released.
+        assert!(!path.with_extension("jsonl.lock").exists());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -531,6 +637,8 @@ mod tests {
             git_commit: "b".repeat(40),
             host_reps: 1,
             agg_sim_cycles_per_host_sec: 9.0e4,
+            serve_clients: 0,
+            serve_points_per_sec: 0.0,
             workloads: vec![crate::BenchWorkload {
                 name: "008.espresso".into(),
                 base_cycles: 1000,

@@ -51,17 +51,15 @@
 
 pub mod specs;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use ccr_core::compile::{CompileConfig, CompiledWorkload};
 use ccr_core::harness::Harness;
-use ccr_core::jobs::parallel_map_observed;
-use ccr_core::measure::{reuse_potential, Measurement};
+use ccr_core::measure::Measurement;
 use ccr_core::report::Table;
 use ccr_core::telemetry::value::{self, Value};
 use ccr_core::telemetry::JsonWriter;
@@ -69,7 +67,7 @@ use ccr_core::{config_hash, fnv1a_hex};
 use ccr_profile::{ReusePotential, RunOutcome};
 use ccr_regions::RegionConfig;
 use ccr_sim::snapshot::{parse_sim_stats, write_sim_stats};
-use ccr_sim::{simulate, simulate_baseline, CrbConfig, MachineConfig, SimOutcome, SimSession};
+use ccr_sim::{CrbConfig, MachineConfig, SimOutcome};
 use ccr_workloads::InputSet;
 
 use crate::{compile_with, emu_config, SCALE};
@@ -218,14 +216,14 @@ impl SpecResults<'_> {
     }
 }
 
-fn input_tag(input: InputSet) -> &'static str {
+pub(crate) fn input_tag(input: InputSet) -> &'static str {
     match input {
         InputSet::Train => "train",
         InputSet::Ref => "ref",
     }
 }
 
-fn hash_fields(fields: &[(&'static str, String)]) -> String {
+pub(crate) fn hash_fields(fields: &[(&'static str, String)]) -> String {
     let mut s = String::new();
     for (n, v) in fields {
         s.push_str(n);
@@ -258,7 +256,7 @@ pub(crate) fn compile_key(
 /// Baseline simulations depend on the optimized program and the
 /// machine — not on regions or the CRB — so their key drops the
 /// region-config hash entirely.
-fn base_sim_key(
+pub(crate) fn base_sim_key(
     name: &str,
     input: InputSet,
     scale: u32,
@@ -278,7 +276,7 @@ fn base_sim_key(
 /// CCR simulations depend on the compiled (annotated) program plus
 /// the full simulated hardware, keyed by the PR-2 FNV-1a
 /// [`config_hash`] over machine + CRB.
-fn ccr_sim_key(compile_key: &str, machine: &MachineConfig, crb: &CrbConfig) -> String {
+pub(crate) fn ccr_sim_key(compile_key: &str, machine: &MachineConfig, crb: &CrbConfig) -> String {
     format!("ccr|{compile_key}|cfg:{}", config_hash(machine, crb))
 }
 
@@ -286,50 +284,50 @@ fn potential_key(name: &str, input: InputSet, scale: u32) -> String {
     format!("pot|{name}|{}|{scale}", input_tag(input))
 }
 
-struct CompileUnit {
-    name: &'static str,
-    input: InputSet,
-    scale: u32,
-    config: CompileConfig,
-    key: String,
+pub(crate) struct CompileUnit {
+    pub(crate) name: &'static str,
+    pub(crate) input: InputSet,
+    pub(crate) scale: u32,
+    pub(crate) config: CompileConfig,
+    pub(crate) key: String,
 }
 
-struct BaseUnit {
-    name: &'static str,
-    machine: MachineConfig,
+pub(crate) struct BaseUnit {
+    pub(crate) name: &'static str,
+    pub(crate) machine: MachineConfig,
     /// Any compile unit whose `base` program this sim runs (every
     /// region config yields the same optimized baseline).
-    compile_key: String,
-    key: String,
+    pub(crate) compile_key: String,
+    pub(crate) key: String,
 }
 
-struct CcrUnit {
-    name: &'static str,
-    input: InputSet,
-    scale: u32,
-    machine: MachineConfig,
-    crb: CrbConfig,
-    compile_key: String,
+pub(crate) struct CcrUnit {
+    pub(crate) name: &'static str,
+    pub(crate) input: InputSet,
+    pub(crate) scale: u32,
+    pub(crate) machine: MachineConfig,
+    pub(crate) crb: CrbConfig,
+    pub(crate) compile_key: String,
     /// Key of the baseline sim this point pairs with (for summaries).
-    base_key: String,
-    key: String,
+    pub(crate) base_key: String,
+    pub(crate) key: String,
 }
 
-struct PotentialUnit {
-    name: &'static str,
-    input: InputSet,
-    scale: u32,
-    key: String,
+pub(crate) struct PotentialUnit {
+    pub(crate) name: &'static str,
+    pub(crate) input: InputSet,
+    pub(crate) scale: u32,
+    pub(crate) key: String,
 }
 
 /// What the planner decided to run: the deduplicated unit lists plus
 /// accounting for the log.
 pub struct Plan<'s> {
-    specs: Vec<&'s ExperimentSpec>,
-    compiles: Vec<CompileUnit>,
-    bases: Vec<BaseUnit>,
-    ccrs: Vec<CcrUnit>,
-    potentials: Vec<PotentialUnit>,
+    pub(crate) specs: Vec<&'s ExperimentSpec>,
+    pub(crate) compiles: Vec<CompileUnit>,
+    pub(crate) bases: Vec<BaseUnit>,
+    pub(crate) ccrs: Vec<CcrUnit>,
+    pub(crate) potentials: Vec<PotentialUnit>,
     /// Dedup accounting and per-spec axis summaries.
     pub stats: PlanStats,
 }
@@ -514,16 +512,26 @@ pub fn plan<'s>(specs: &[&'s ExperimentSpec]) -> Plan<'s> {
 /// region-config hash): the fix for sweeps that vary only the CRB
 /// geometry recompiling an identical program per configuration.
 ///
-/// Thread-safe. Concurrent misses on the same key may compile twice
-/// (both produce identical artifacts and the first insert wins); the
-/// experiment planner pre-deduplicates its units, so the engine never
-/// does, and [`crate::run_selected_cached`] only shares across
-/// sequential calls.
+/// Thread-safe and **single-flight**: a concurrent miss on a key
+/// another thread is already compiling blocks until that compile
+/// lands, then reads it as a hit — so each unique unit compiles
+/// exactly once even when [`crate::engine::Engine`] shares one cache
+/// across concurrent `ccr serve` requests, and the hit/miss totals
+/// stay deterministic. Compile errors are never cached (a blocked
+/// waiter retries with its own compile).
 #[derive(Default)]
 pub struct CompileCache {
-    map: Mutex<HashMap<String, Arc<CompiledWorkload>>>,
+    state: Mutex<CompileCacheState>,
+    cv: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+#[derive(Default)]
+struct CompileCacheState {
+    done: HashMap<String, Arc<CompiledWorkload>>,
+    /// Keys some thread is currently compiling.
+    pending: HashSet<String>,
 }
 
 impl CompileCache {
@@ -557,19 +565,28 @@ impl CompileCache {
         config: &CompileConfig,
     ) -> Result<Arc<CompiledWorkload>, String> {
         let key = compile_key(name, target, scale, config);
-        if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+        let mut state = self.state.lock().expect("cache lock");
+        loop {
+            if let Some(hit) = state.done.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(hit));
+            }
+            if !state.pending.contains(&key) {
+                break;
+            }
+            state = self.cv.wait(state).expect("cache lock");
         }
+        state.pending.insert(key.clone());
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let compiled = Arc::new(compile_with(name, target, scale, config)?);
-        Ok(Arc::clone(
-            self.map
-                .lock()
-                .expect("cache lock")
-                .entry(key)
-                .or_insert(compiled),
-        ))
+        drop(state);
+        let compiled = compile_with(name, target, scale, config);
+        let mut state = self.state.lock().expect("cache lock");
+        state.pending.remove(&key);
+        let out =
+            compiled.map(|cw| Arc::clone(state.done.entry(key).or_insert_with(|| Arc::new(cw))));
+        drop(state);
+        self.cv.notify_all();
+        out
     }
 }
 
@@ -580,13 +597,19 @@ pub const CKPT_VERSION: u64 = 1;
 /// One restored simulation unit: the full [`SimOutcome`] plus the
 /// host wall time and fingerprint measured when it originally ran
 /// (kept so a resumed run reproduces the original's summaries).
-struct CkptEntry {
-    outcome: SimOutcome,
-    wall_ms: u64,
-    fingerprint: String,
+pub(crate) struct CkptEntry {
+    pub(crate) outcome: SimOutcome,
+    pub(crate) wall_ms: u64,
+    pub(crate) fingerprint: String,
 }
 
-fn ckpt_line(key: &str, is_base: bool, wall_ms: u64, fingerprint: &str, o: &SimOutcome) -> String {
+pub(crate) fn ckpt_line(
+    key: &str,
+    is_base: bool,
+    wall_ms: u64,
+    fingerprint: &str,
+    o: &SimOutcome,
+) -> String {
     let mut w = JsonWriter::new();
     w.obj_begin();
     w.key("ckpt_v").u64_val(CKPT_VERSION);
@@ -620,7 +643,7 @@ fn ckpt_u64(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
 /// file is a one-line error. Lines that fail to parse as JSON are
 /// skipped — that is the torn final line of a crashed run, and the
 /// unit it would have recorded simply re-simulates.
-fn load_checkpoint(path: &Path) -> Result<HashMap<String, CkptEntry>, String> {
+pub(crate) fn load_checkpoint(path: &Path) -> Result<HashMap<String, CkptEntry>, String> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
@@ -683,33 +706,33 @@ fn load_checkpoint(path: &Path) -> Result<HashMap<String, CkptEntry>, String> {
 
 /// Executed results, keyed for assembly into per-spec views.
 pub struct Executed<'s> {
-    specs: Vec<&'s ExperimentSpec>,
-    compiles: HashMap<String, Arc<CompiledWorkload>>,
-    bases: HashMap<String, SimOutcome>,
-    ccrs: HashMap<String, SimOutcome>,
-    potentials: HashMap<String, ReusePotential>,
+    pub(crate) specs: Vec<&'s ExperimentSpec>,
+    pub(crate) compiles: HashMap<String, Arc<CompiledWorkload>>,
+    pub(crate) bases: HashMap<String, SimOutcome>,
+    pub(crate) ccrs: HashMap<String, SimOutcome>,
+    pub(crate) potentials: HashMap<String, ReusePotential>,
     /// Host wall time per simulation unit key (base and CCR alike).
-    sim_wall_ms: HashMap<String, u64>,
+    pub(crate) sim_wall_ms: HashMap<String, u64>,
     /// Final fingerprint chain hash per CCR sim unit key (16-digit
     /// lowercase hex), present only for fingerprinted runs.
-    fingerprints: HashMap<String, String>,
+    pub(crate) fingerprints: HashMap<String, String>,
     /// One entry per unique executed CCR point, in plan order.
-    points: Vec<PointMeta>,
-    /// Compile-cache (hits, misses) for the run (satellite of the
-    /// observability PR: counted since PR 5, now surfaced).
-    cache: (u64, u64),
+    pub(crate) points: Vec<PointMeta>,
+    /// Compile-cache (hits, misses) delta for the run (satellite of
+    /// the observability PR: counted since PR 5, now surfaced).
+    pub(crate) cache: (u64, u64),
 }
 
 /// Identity of one unique CCR sweep point, kept by the executor so
 /// summaries can pair each CCR sim with its baseline and compile.
-struct PointMeta {
-    name: &'static str,
-    input: InputSet,
-    scale: u32,
-    config_hash: String,
-    compile_key: String,
-    base_key: String,
-    ccr_key: String,
+pub(crate) struct PointMeta {
+    pub(crate) name: &'static str,
+    pub(crate) input: InputSet,
+    pub(crate) scale: u32,
+    pub(crate) config_hash: String,
+    pub(crate) compile_key: String,
+    pub(crate) base_key: String,
+    pub(crate) ccr_key: String,
 }
 
 /// One unique executed CCR sweep point flattened to the fields the
@@ -814,270 +837,10 @@ pub fn execute_resumable<'s>(
     checkpoint: Option<&Path>,
     fingerprint_window: Option<u64>,
 ) -> Result<Executed<'s>, String> {
-    enum Prep<'a> {
-        Compile(&'a CompileUnit),
-        Potential(&'a PotentialUnit),
-    }
-    enum PrepOut {
-        Compile(String, Arc<CompiledWorkload>),
-        Potential(String, ReusePotential),
-    }
-    impl Prep<'_> {
-        fn label(&self) -> String {
-            match self {
-                Prep::Compile(u) => format!(
-                    "compile:{}:{}@r{}",
-                    u.name,
-                    input_tag(u.input),
-                    &hash_fields(&u.config.region.fields())[..8],
-                ),
-                Prep::Potential(u) => format!("potential:{}:{}", u.name, input_tag(u.input)),
-            }
-        }
-        fn phase(&self) -> &'static str {
-            match self {
-                Prep::Compile(_) => "compile",
-                Prep::Potential(_) => "potential",
-            }
-        }
-    }
-    harness.plan(
-        (plan.compiles.len() + plan.potentials.len()) as u64,
-        (plan.bases.len() + plan.ccrs.len()) as u64,
-        &[
-            ("specs", plan.stats.specs as u64),
-            ("requested_points", plan.stats.requested_points as u64),
-            ("deduped_compiles", plan.stats.deduped_compiles as u64),
-            ("deduped_sims", plan.stats.deduped_sims as u64),
-            ("jobs", jobs as u64),
-        ],
-    );
-    let cache = CompileCache::new();
-    let prep_items: Vec<Prep<'_>> = plan
-        .compiles
-        .iter()
-        .map(Prep::Compile)
-        .chain(plan.potentials.iter().map(Prep::Potential))
-        .collect();
-    let prep_labels: Vec<String> = prep_items.iter().map(Prep::label).collect();
-    let (prep, prep_pool) = parallel_map_observed(
-        &prep_items,
-        jobs,
-        Some(&prep_labels),
-        harness.observer(),
-        |i, item| {
-            harness.task_start(item.phase(), &prep_labels[i]);
-            let start = std::time::Instant::now();
-            let out = match item {
-                Prep::Compile(u) => cache
-                    .get_or_compile(u.name, u.input, u.scale, &u.config)
-                    .map(|cw| PrepOut::Compile(u.key.clone(), cw)),
-                Prep::Potential(u) => {
-                    let program = ccr_workloads::build(u.name, u.input, u.scale)
-                        .ok_or_else(|| format!("unknown benchmark `{}`", u.name))?;
-                    reuse_potential(&program, emu_config())
-                        .map(|p| PrepOut::Potential(u.key.clone(), p))
-                        .map_err(|e| format!("{}: {e}", u.name))
-                }
-            };
-            if out.is_ok() {
-                let wall_ms = start.elapsed().as_millis() as u64;
-                harness.task_finish(item.phase(), &prep_labels[i], wall_ms, None);
-            }
-            out
-        },
-    );
-    harness.pool("prep", &prep_pool);
-    harness.compile_cache(cache.hits(), cache.misses());
-    let mut executed = Executed {
-        specs: plan.specs.clone(),
-        compiles: HashMap::new(),
-        bases: HashMap::new(),
-        ccrs: HashMap::new(),
-        potentials: HashMap::new(),
-        sim_wall_ms: HashMap::new(),
-        fingerprints: HashMap::new(),
-        points: plan
-            .ccrs
-            .iter()
-            .map(|u| PointMeta {
-                name: u.name,
-                input: u.input,
-                scale: u.scale,
-                config_hash: config_hash(&u.machine, &u.crb),
-                compile_key: u.compile_key.clone(),
-                base_key: u.base_key.clone(),
-                ccr_key: u.key.clone(),
-            })
-            .collect(),
-        cache: (cache.hits(), cache.misses()),
-    };
-    for out in prep {
-        match out? {
-            PrepOut::Compile(key, cw) => {
-                executed.compiles.insert(key, cw);
-            }
-            PrepOut::Potential(key, p) => {
-                executed.potentials.insert(key, p);
-            }
-        }
-    }
-
-    let restored = match checkpoint {
-        Some(path) => load_checkpoint(path)?,
-        None => HashMap::new(),
-    };
-    let ckpt_sink = match checkpoint {
-        Some(path) => {
-            if let Some(parent) = path.parent() {
-                if !parent.as_os_str().is_empty() {
-                    std::fs::create_dir_all(parent)
-                        .map_err(|e| format!("{}: {e}", parent.display()))?;
-                }
-            }
-            let file = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .map_err(|e| format!("{}: {e}", path.display()))?;
-            Some(Mutex::new(file))
-        }
-        None => None,
-    };
-
-    enum Sim<'a> {
-        Base(&'a BaseUnit, Arc<CompiledWorkload>),
-        Ccr(&'a CcrUnit, Arc<CompiledWorkload>),
-    }
-    impl Sim<'_> {
-        fn key(&self) -> &str {
-            match self {
-                Sim::Base(u, _) => &u.key,
-                Sim::Ccr(u, _) => &u.key,
-            }
-        }
-        fn label(&self) -> String {
-            match self {
-                Sim::Base(u, _) => format!(
-                    "sim:base:{}:m{}",
-                    u.name,
-                    &hash_fields(&u.machine.fields())[..8]
-                ),
-                Sim::Ccr(u, _) => format!("sim:ccr:{}:{}", u.name, config_hash(&u.machine, &u.crb)),
-            }
-        }
-    }
-    let mut sim_items: Vec<Sim<'_>> = Vec::new();
-    for item in plan
-        .bases
-        .iter()
-        .map(|u| Sim::Base(u, Arc::clone(&executed.compiles[&u.compile_key])))
-        .chain(
-            plan.ccrs
-                .iter()
-                .map(|u| Sim::Ccr(u, Arc::clone(&executed.compiles[&u.compile_key]))),
-        )
-    {
-        let Some(entry) = restored.get(item.key()) else {
-            sim_items.push(item);
-            continue;
-        };
-        let key = item.key().to_string();
-        harness.task_finish(
-            "sim",
-            &item.label(),
-            entry.wall_ms,
-            Some(entry.outcome.stats.cycles),
-        );
-        executed.sim_wall_ms.insert(key.clone(), entry.wall_ms);
-        match item {
-            Sim::Base(..) => {
-                executed.bases.insert(key, entry.outcome.clone());
-            }
-            Sim::Ccr(..) => {
-                if !entry.fingerprint.is_empty() {
-                    executed
-                        .fingerprints
-                        .insert(key.clone(), entry.fingerprint.clone());
-                }
-                executed.ccrs.insert(key, entry.outcome.clone());
-            }
-        }
-    }
-    let planned_sims = plan.bases.len() + plan.ccrs.len();
-    let restored_sims = planned_sims - sim_items.len();
-    if restored_sims > 0 {
-        eprintln!("checkpoint: restored {restored_sims} of {planned_sims} sim unit(s)");
-    }
-    let sim_labels: Vec<String> = sim_items.iter().map(Sim::label).collect();
-    let (sims, sim_pool) = parallel_map_observed(
-        &sim_items,
-        jobs,
-        Some(&sim_labels),
-        harness.observer(),
-        |i, item| {
-            harness.task_start("sim", &sim_labels[i]);
-            let start = std::time::Instant::now();
-            let out = match item {
-                Sim::Base(u, cw) => simulate_baseline(&cw.base, &u.machine, emu_config())
-                    .map(|o| (u.key.clone(), true, o, String::new()))
-                    .map_err(|e| format!("{}: {e}", u.name)),
-                Sim::Ccr(u, cw) => match fingerprint_window {
-                    None => simulate(&cw.annotated, &u.machine, Some(u.crb), emu_config())
-                        .map(|o| (u.key.clone(), false, o, String::new()))
-                        .map_err(|e| format!("{}: {e}", u.name)),
-                    Some(window) => {
-                        let mut session = SimSession::new(
-                            &cw.annotated,
-                            &u.machine,
-                            Some(u.crb),
-                            emu_config(),
-                            window,
-                        );
-                        session.set_provenance(u.name, &config_hash(&u.machine, &u.crb));
-                        session
-                            .run_to_end()
-                            .map_err(|e| format!("{}: {e}", u.name))
-                            .map(|()| {
-                                let hash = session.final_hash().expect("finished run");
-                                (
-                                    u.key.clone(),
-                                    false,
-                                    session.into_outcome(),
-                                    format!("{hash:016x}"),
-                                )
-                            })
-                    }
-                },
-            };
-            let out = out.map(|(key, is_base, o, fp)| {
-                (key, is_base, o, fp, start.elapsed().as_millis() as u64)
-            });
-            if let Ok((key, is_base, outcome, fp, wall_ms)) = &out {
-                harness.task_finish("sim", &sim_labels[i], *wall_ms, Some(outcome.stats.cycles));
-                if let Some(sink) = &ckpt_sink {
-                    let line = ckpt_line(key, *is_base, *wall_ms, fp, outcome);
-                    let mut f = sink.lock().expect("checkpoint lock");
-                    let _ = writeln!(f, "{line}").and_then(|()| f.flush());
-                }
-            }
-            out
-        },
-    );
-    harness.pool("sim", &sim_pool);
-    for out in sims {
-        let (key, is_base, outcome, fp, wall_ms) = out?;
-        executed.sim_wall_ms.insert(key.clone(), wall_ms);
-        if is_base {
-            executed.bases.insert(key, outcome);
-        } else {
-            if !fp.is_empty() {
-                executed.fingerprints.insert(key.clone(), fp);
-            }
-            executed.ccrs.insert(key, outcome);
-        }
-    }
-    Ok(executed)
+    // A fresh engine per one-shot run: every cache lookup misses, so
+    // the pipeline (moved to `engine::Engine::execute_plan`) behaves
+    // exactly as the pre-engine implementation did.
+    crate::engine::Engine::new(jobs).execute_plan(plan, harness, checkpoint, fingerprint_window)
 }
 
 impl<'s> Executed<'s> {

@@ -17,17 +17,19 @@
 //! Criterion benches under `benches/` time the simulator and compiler
 //! components themselves.
 
+pub mod engine;
 pub mod exp;
 
 use ccr_core::compile::{compile_ccr, CompileConfig, CompiledWorkload};
 use ccr_core::harness::Harness;
-use ccr_core::jobs::{parallel_map_observed, resolve_jobs};
+use ccr_core::jobs::resolve_jobs;
 use ccr_core::measure::Measurement;
 use ccr_profile::EmuConfig;
 use ccr_regions::RegionConfig;
-use ccr_sim::{simulate, simulate_baseline, CrbConfig, MachineConfig};
+use ccr_sim::{CrbConfig, MachineConfig};
 use ccr_workloads::{build, InputSet, NAMES};
 
+pub use engine::{CachedSim, Engine, SimResultCache, DEFAULT_RESULT_CACHE_CAPACITY};
 pub use exp::CompileCache;
 
 /// Default driver scale for experiment binaries (kept moderate so the
@@ -198,102 +200,13 @@ pub fn run_selected_harnessed(
     cache: Option<&CompileCache>,
     harness: &Harness,
 ) -> Result<Vec<SuiteRun>, String> {
-    use std::time::Instant;
-    let input = match target {
-        InputSet::Train => "train",
-        InputSet::Ref => "ref",
-    };
-    let cfg_hash = ccr_core::config_hash(machine, &crb);
-    harness.plan(
-        names.len() as u64,
-        2 * names.len() as u64,
-        &[("jobs", jobs as u64)],
-    );
-    let compile_labels: Vec<String> = names
-        .iter()
-        .map(|name| format!("compile:{name}:{input}@{scale}"))
-        .collect();
-    let compiled: Vec<(CompiledWorkload, u64)> = {
-        let (results, pool) = parallel_map_observed(
-            names,
-            jobs,
-            Some(&compile_labels),
-            harness.observer(),
-            |i, name| {
-                harness.task_start("compile", &compile_labels[i]);
-                let started = Instant::now();
-                let out = match cache {
-                    Some(cache) => cache
-                        .get_or_compile(name, target, scale, config)
-                        .map(|cw| ((*cw).clone(), started.elapsed().as_millis() as u64)),
-                    None => compile_with(name, target, scale, config)
-                        .map(|cw| (cw, started.elapsed().as_millis() as u64)),
-                };
-                if let Ok((_, wall_ms)) = &out {
-                    harness.task_finish("compile", &compile_labels[i], *wall_ms, None);
-                }
-                out
-            },
-        );
-        harness.pool("compile", &pool);
-        let mut out = Vec::with_capacity(results.len());
-        for r in results {
-            out.push(r?);
-        }
-        out
-    };
-    // Fan every workload's two independent simulations out as their
-    // own work items: 2N sims over `jobs` workers.
-    let tasks: Vec<(usize, bool)> = (0..compiled.len())
-        .flat_map(|i| [(i, false), (i, true)])
-        .collect();
-    let sim_labels: Vec<String> = tasks
-        .iter()
-        .map(|&(i, is_ccr)| {
-            let kind = if is_ccr { "ccr" } else { "base" };
-            format!("sim:{kind}:{}:{cfg_hash}", names[i])
-        })
-        .collect();
-    let (sims, sim_pool) = parallel_map_observed(
-        &tasks,
-        jobs,
-        Some(&sim_labels),
-        harness.observer(),
-        |t, &(i, is_ccr)| {
-            harness.task_start("sim", &sim_labels[t]);
-            let started = Instant::now();
-            let out = if is_ccr {
-                simulate(&compiled[i].0.annotated, machine, Some(crb), emu)
-            } else {
-                simulate_baseline(&compiled[i].0.base, machine, emu)
-            };
-            let out = out
-                .map(|o| (o, started.elapsed().as_millis() as u64))
-                .map_err(|e| format!("{}: {e}", names[i]));
-            if let Ok((outcome, wall_ms)) = &out {
-                harness.task_finish("sim", &sim_labels[t], *wall_ms, Some(outcome.stats.cycles));
-            }
-            out
-        },
-    );
-    harness.pool("sim", &sim_pool);
-    let mut sims = sims.into_iter();
-    let mut runs = Vec::with_capacity(compiled.len());
-    for (name, (compiled, compile_ms)) in names.iter().zip(compiled) {
-        let (base, base_ms) = sims.next().expect("one base sim per workload")?;
-        let (ccr, ccr_ms) = sims.next().expect("one ccr sim per workload")?;
-        assert_eq!(
-            base.run.returned, ccr.run.returned,
-            "computation reuse changed architectural results"
-        );
-        runs.push(SuiteRun {
-            name,
-            compiled,
-            measurement: Measurement { base, ccr },
-            wall_ms: compile_ms + base_ms + ccr_ms,
-        });
-    }
-    Ok(runs)
+    // No result cache: one-shot suite runs (and the host-reps
+    // timing mode, which must re-simulate every rep to measure the
+    // host) go through the pipeline cold. `Engine::run_selected` is
+    // the cached path.
+    engine::run_selected_inner(
+        names, target, scale, config, machine, crb, emu, jobs, cache, None, harness,
+    )
 }
 
 /// [`run_selected_harnessed`] repeated `host_reps` times, reporting

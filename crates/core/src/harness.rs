@@ -469,6 +469,47 @@ impl Harness {
         shared.emit_line(w);
     }
 
+    /// Records a service request entering execution: its session-local
+    /// `id`, the protocol `op` (`submit`), and a free-form `detail`
+    /// (experiment name or workload spec). Emit-only — requests are
+    /// tracked per-session, not against the run's task totals.
+    pub fn request_start(&self, id: u64, op: &str, detail: &str) {
+        let Some(shared) = &self.shared else { return };
+        let mut w = shared.line_begin("request_start");
+        w.key("id").u64_val(id);
+        w.key("op").str_val(op);
+        w.key("detail").str_val(detail);
+        shared.emit_line(w);
+    }
+
+    /// Records a service request completing: `status` is `done` or
+    /// `error`, `wall_ms` the host time from dequeue to completion,
+    /// `points` the simulation points the request asked for (before
+    /// cross-request dedup). Emit-only, like [`Harness::request_start`].
+    pub fn request_finish(&self, id: u64, status: &str, wall_ms: u64, points: u64) {
+        let Some(shared) = &self.shared else { return };
+        let mut w = shared.line_begin("request_finish");
+        w.key("id").u64_val(id);
+        w.key("status").str_val(status);
+        w.key("wall_ms").u64_val(wall_ms);
+        w.key("points").u64_val(points);
+        shared.emit_line(w);
+    }
+
+    /// Records the engine's simulation-result-cache counters
+    /// (cumulative for the engine's lifetime) as a `result_cache`
+    /// event. Emit-only: unlike [`Harness::compile_cache`] these do
+    /// not feed the run summary, since a long-lived engine outlives
+    /// any one harness session.
+    pub fn result_cache(&self, hits: u64, misses: u64, evictions: u64) {
+        let Some(shared) = &self.shared else { return };
+        let mut w = shared.line_begin("result_cache");
+        w.key("hits").u64_val(hits);
+        w.key("misses").u64_val(misses);
+        w.key("evictions").u64_val(evictions);
+        shared.emit_line(w);
+    }
+
     /// Folds one observed map's [`PoolStats`] into the run accounting
     /// and emits a `pool` event with the per-worker busy/idle split.
     pub fn pool(&self, phase: &str, stats: &PoolStats) {
@@ -572,6 +613,9 @@ mod tests {
         h.snapshot("save", "x", 5000, "/tmp/x.snap.jsonl");
         h.fingerprint("x", 3, 200_000, "00c0ffee00c0ffee");
         h.compile_cache(1, 2);
+        h.request_start(1, "submit", "fig4");
+        h.request_finish(1, "done", 40, 7);
+        h.result_cache(3, 4, 0);
         h.pool("sim", &PoolStats::default());
         assert!(h.finish().is_none());
     }
@@ -616,6 +660,9 @@ mod tests {
         h.snapshot("save", "bitcount", 64_000, "runs/bitcount.snap.jsonl");
         h.fingerprint("bitcount", 2, 130_000, "0123456789abcdef");
         h.compile_cache(5, 2);
+        h.request_start(1, "submit", "fig4");
+        h.request_finish(1, "done", 11, 7);
+        h.result_cache(3, 4, 1);
         let summary = h.finish().expect("enabled harness summarizes");
         assert_eq!(summary.compiles, 1);
         assert_eq!(summary.sims, 1);
@@ -637,6 +684,9 @@ mod tests {
             "\"ev\":\"snapshot\"",
             "\"ev\":\"fingerprint\"",
             "\"ev\":\"compile_cache\"",
+            "\"ev\":\"request_start\"",
+            "\"ev\":\"request_finish\"",
+            "\"ev\":\"result_cache\"",
             "\"ev\":\"monitor\"",
             "\"ev\":\"harness_summary\"",
         ] {

@@ -21,8 +21,12 @@ echo '== BENCH_ccr.json (perf baseline; CI gates ccr diff against it)'
 # to the committed run store (runs/store.jsonl, the `ccr report`
 # history), timestamped at the HEAD commit so a re-regeneration at
 # the same commit lands at the same instant.
+# --serve-clients 2: also measures the serve-session baseline (two
+# synthetic clients sweeping the suite through one shared engine) so
+# BENCH_ccr.json carries the service layer's points/sec alongside the
+# per-workload numbers. Additive only — `ccr diff` does not gate it.
 cargo run --release -q --bin ccr -- bench --jobs 1 --host-reps 3 --out BENCH_ccr.json \
-    --store runs/store.jsonl --at "$(git log -1 --format=%ct)"
+    --store runs/store.jsonl --serve-clients 2 --at "$(git log -1 --format=%ct)"
 echo '== profile fixture (tests/fixtures/run_telemetry + goldens)'
 # Refresh the frozen `ccr profile` capture the golden tests run against,
 # then rewrite the goldens from it. Events/report carry wall-clock pass

@@ -172,6 +172,14 @@ const USAGE: &str = "usage:
             [--only NAME[,NAME...]] [--out FILE] [--jobs N] [--host-reps N]
   ccr exp <NAME>... | --all [--jobs N] [--out DIR]
   ccr exp --list
+  ccr serve --socket PATH | --port N [--queue N] [--jobs N]
+            [--harness-out FILE] [--store FILE] [--no-store] [--at TS]
+  ccr submit --socket PATH | --port N <EXPERIMENT>...
+  ccr submit --socket PATH | --port N --workload NAME [--input train|ref]
+             [--scale N] [--entries E] [--instances C]
+  (submit also takes [--shutdown] — ask the server to exit after the
+   submissions; bench also takes [--serve-clients N] — measure service
+   throughput with N concurrent synthetic clients)
   ccr report [--store FILE] [--out DIR] [--thresholds default|none]
              [--max-cycle-regress-pct X] [--max-hit-rate-drop-pp X]
              [--max-speedup-drop-pct X] [--max-host-throughput-drop-pct X]
@@ -234,6 +242,12 @@ struct Flags {
     fingerprint: bool,
     save_snapshot: Option<String>,
     restore_snapshot: Option<String>,
+    socket: Option<String>,
+    port: Option<u16>,
+    queue: Option<usize>,
+    workload: Option<String>,
+    shutdown: bool,
+    serve_clients: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -276,6 +290,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         fingerprint: false,
         save_snapshot: None,
         restore_snapshot: None,
+        socket: None,
+        port: None,
+        queue: None,
+        workload: None,
+        shutdown: false,
+        serve_clients: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -415,6 +435,36 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .map_err(|_| "bad --snapshot-cycle value".to_string())?,
                 );
             }
+            "--socket" => flags.socket = Some(take("--socket")?),
+            "--port" => {
+                flags.port = Some(
+                    take("--port")?
+                        .parse()
+                        .map_err(|_| "bad --port value".to_string())?,
+                );
+            }
+            "--queue" => {
+                flags.queue = Some(
+                    take("--queue")?
+                        .parse()
+                        .map_err(|_| "bad --queue value".to_string())?,
+                );
+                if flags.queue == Some(0) {
+                    return Err("--queue must be at least 1".to_string());
+                }
+            }
+            "--workload" => flags.workload = Some(take("--workload")?),
+            "--shutdown" => flags.shutdown = true,
+            "--serve-clients" => {
+                flags.serve_clients = Some(
+                    take("--serve-clients")?
+                        .parse()
+                        .map_err(|_| "bad --serve-clients value".to_string())?,
+                );
+                if flags.serve_clients == Some(0) {
+                    return Err("--serve-clients must be at least 1".to_string());
+                }
+            }
             "--compare" => flags.compare = true,
             "--checkpoint" => flags.checkpoint = Some(take("--checkpoint")?),
             "--fingerprint" => flags.fingerprint = true,
@@ -466,6 +516,8 @@ fn dispatch(args: &[String]) -> Result<ExitCode, CliError> {
         "diff" => cmd_diff(&flags),
         "bench" => ok(cmd_bench(&flags)),
         "exp" => ok(cmd_exp(&flags)),
+        "serve" => ok(cmd_serve(&flags)),
+        "submit" => ok(cmd_submit(&flags)),
         "report" => cmd_report(&flags),
         "fingerprint" => cmd_fingerprint(&flags),
         "snapshot" => ok(cmd_snapshot(&flags)),
@@ -562,7 +614,10 @@ fn cmd_suite(flags: &Flags) -> Result<(), CliError> {
     let machine = MachineConfig::paper();
     let crb = crb_of(flags);
     let harness = harness_of(flags)?;
-    let runs = ccr_bench::run_selected_harnessed(
+    // One-shot run through a fresh engine: every cache lookup misses,
+    // so the statistics match the historical uncached path exactly.
+    let engine = ccr_bench::Engine::new(ccr::resolve_jobs(flags.jobs));
+    let runs = engine.run_selected(
         &NAMES,
         flags.input,
         flags.scale,
@@ -570,8 +625,6 @@ fn cmd_suite(flags: &Flags) -> Result<(), CliError> {
         &machine,
         crb,
         emu(),
-        ccr::resolve_jobs(flags.jobs),
-        None,
         &harness,
     )?;
     finish_harness(&harness);
@@ -721,8 +774,6 @@ fn input_name(input: InputSet) -> &'static str {
 fn cmd_profile(flags: &Flags) -> Result<(), CliError> {
     use ccr::telemetry::{emit, JsonlSink, SCHEMA_VERSION};
     let spec = target_of(flags)?;
-    let train = load_program(&spec, InputSet::Train, flags.scale)?;
-    let target = load_program(&spec, flags.input, flags.scale)?;
     let machine = MachineConfig::paper();
     let crb = crb_of(flags);
     let harness = harness_of(flags)?;
@@ -730,8 +781,24 @@ fn cmd_profile(flags: &Flags) -> Result<(), CliError> {
     let compile_label = format!("compile:{spec}:{}@{}", input_name(flags.input), flags.scale);
     harness.task_start("compile", &compile_label);
     let compile_start = std::time::Instant::now();
-    let compiled =
-        compile_ccr(&train, &target, &compile_config(flags)).map_err(|e| e.to_string())?;
+    // Registry benchmarks route through the engine's compile cache
+    // (single profile runs always miss, so the compile is identical);
+    // raw .ccr files have no registry key and compile directly.
+    let engine = ccr_bench::Engine::new(1);
+    let compiled = if build(&spec, InputSet::Train, flags.scale).is_some() {
+        engine.compile_cache().get_or_compile(
+            &spec,
+            flags.input,
+            flags.scale,
+            &compile_config(flags),
+        )?
+    } else {
+        let train = load_program(&spec, InputSet::Train, flags.scale)?;
+        let target = load_program(&spec, flags.input, flags.scale)?;
+        std::sync::Arc::new(
+            compile_ccr(&train, &target, &compile_config(flags)).map_err(|e| e.to_string())?,
+        )
+    };
     harness.task_finish(
         "compile",
         &compile_label,
@@ -841,6 +908,8 @@ fn cmd_profile(flags: &Flags) -> Result<(), CliError> {
         // Profiled runs go through the attributing simulator, which
         // has no fingerprint stream.
         fingerprint: String::new(),
+        // One-shot run, not a serve session.
+        points_per_sec: 0.0,
     };
     append_to_store(flags, &[rec])
 }
@@ -1060,6 +1129,8 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
         git_commit: ccr::git_commit_id().to_string(),
         host_reps: flags.host_reps as u64,
         agg_sim_cycles_per_host_sec: 0.0,
+        serve_clients: 0,
+        serve_points_per_sec: 0.0,
         workloads: Vec::new(),
     };
     let harness = harness_of(flags)?;
@@ -1100,6 +1171,33 @@ fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
         });
     }
     report.agg_sim_cycles_per_host_sec = ccr_analyze::geomean_host_throughput(&report.workloads);
+    // Optional service-throughput baseline: N synthetic clients
+    // concurrently sweeping the same selection through one shared
+    // engine — the fully-overlapping request population `ccr serve`
+    // dedups. Skipped by default so the gate's timing is unchanged.
+    if let Some(clients) = flags.serve_clients {
+        let engine = ccr_bench::Engine::new(ccr::resolve_jobs(flags.jobs));
+        let (points, points_per_sec) = ccr::serve::synthetic_client_baseline(
+            &engine,
+            clients,
+            &selected,
+            flags.input,
+            flags.scale,
+            &compile_config(flags),
+            &machine,
+            crb,
+            emu(),
+        )?;
+        report.serve_clients = clients as u64;
+        report.serve_points_per_sec = points_per_sec;
+        eprintln!(
+            "serve baseline: {clients} client(s), {points} point(s), \
+             {points_per_sec:.2} points/s \
+             (result cache: {} hit(s), {} miss(es))",
+            engine.result_cache().hits(),
+            engine.result_cache().misses()
+        );
+    }
     let out = flags
         .out
         .clone()
@@ -1244,9 +1342,118 @@ fn cmd_exp(flags: &Flags) -> Result<(), CliError> {
             ),
             host_util_pct,
             fingerprint: p.fingerprint,
+            points_per_sec: 0.0,
         })
         .collect();
     append_to_store(flags, &records)
+}
+
+/// Resolves `--socket` / `--port` into a service address, shared by
+/// `ccr serve` and `ccr submit`.
+fn bind_of(flags: &Flags) -> Result<ccr::serve::Bind, CliError> {
+    match (&flags.socket, flags.port) {
+        (Some(_), Some(_)) => Err(usage_err("pass --socket or --port, not both")),
+        (None, None) => Err(usage_err("need a --socket PATH or --port N")),
+        (None, Some(port)) => Ok(ccr::serve::Bind::Tcp(port)),
+        #[cfg(unix)]
+        (Some(path), None) => Ok(ccr::serve::Bind::Unix(std::path::PathBuf::from(path))),
+        #[cfg(not(unix))]
+        (Some(_), None) => Err(usage_err(
+            "--socket needs unix-domain sockets; use --port on this host",
+        )),
+    }
+}
+
+/// `ccr serve`: the batched experiment service. Keeps one engine —
+/// job pool, compile cache, sim-result cache — alive across every
+/// request of the session, so concurrent clients sweeping overlapping
+/// configuration spaces pay for each unique compile and simulation
+/// exactly once. Runs until a client sends a `shutdown` request;
+/// completed points append to the run store at shutdown, stamped with
+/// the session's points-per-second throughput.
+fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
+    if !flags.positional.is_empty() {
+        return Err(usage_err("serve takes no positional arguments"));
+    }
+    let opts = ccr::serve::ServeOptions {
+        bind: bind_of(flags)?,
+        queue: flags.queue.unwrap_or(ccr::serve::DEFAULT_QUEUE),
+        jobs: ccr::resolve_jobs(flags.jobs),
+        executors: 2,
+        harness_out: Some(std::path::PathBuf::from(
+            flags
+                .harness_out
+                .as_deref()
+                .unwrap_or(ccr::serve::DEFAULT_SERVE_JSONL),
+        )),
+        store: (!flags.no_store).then(|| store_path(flags)),
+        timestamp: record_timestamp(flags),
+        commit: ccr::git_commit_id().to_string(),
+    };
+    let summary = ccr::serve::run(&opts)?;
+    eprintln!(
+        "serve: {} request(s), {} point(s), {:.2} points/s",
+        summary.requests, summary.points, summary.points_per_sec
+    );
+    eprintln!(
+        "result cache: {} hit(s), {} miss(es); compile cache: {} hit(s), {} miss(es)",
+        summary.result_cache_hits,
+        summary.result_cache_misses,
+        summary.compile_cache_hits,
+        summary.compile_cache_misses
+    );
+    Ok(())
+}
+
+/// `ccr submit`: the client side of `ccr serve`. Submits each named
+/// experiment (or one `--workload` point) to a running server, waits
+/// for the results, and prints the rendered text — byte-identical to
+/// what the one-shot `ccr exp` prints — to stdout. Per-request
+/// accounting (points, wall time, result-cache traffic) goes to
+/// stderr so piped table output stays clean.
+fn cmd_submit(flags: &Flags) -> Result<(), CliError> {
+    let bind = bind_of(flags)?;
+    let mut requests = Vec::new();
+    match &flags.workload {
+        Some(name) => {
+            if !flags.positional.is_empty() {
+                return Err(usage_err(
+                    "submit takes experiment names or --workload, not both",
+                ));
+            }
+            requests.push(ccr::serve::submit_point_request(
+                name,
+                flags.input,
+                flags.scale,
+                flags.entries,
+                flags.instances,
+            ));
+        }
+        None => {
+            if flags.positional.is_empty() && !flags.shutdown {
+                return Err(usage_err(
+                    "submit needs experiment names, --workload, or --shutdown",
+                ));
+            }
+            for name in &flags.positional {
+                requests.push(ccr::serve::submit_exp_request(name));
+            }
+        }
+    }
+    let mut client = ccr::serve::Client::connect(&bind).map_err(CliError::Failure)?;
+    for request in requests {
+        let result = client.submit_and_wait(&request)?;
+        print!("{}", result.text);
+        eprintln!(
+            "request {}: {} point(s) in {} ms (result cache: {} hit(s), {} miss(es))",
+            result.id, result.points, result.wall_ms, result.cache_hits, result.cache_misses
+        );
+    }
+    if flags.shutdown {
+        client.shutdown()?;
+        eprintln!("asked the server to shut down");
+    }
+    Ok(())
 }
 
 /// `ccr report`: cross-run trend tables and first-regression flags

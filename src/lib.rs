@@ -44,3 +44,5 @@
 //! ```
 
 pub use ccr_core::*;
+
+pub mod serve;

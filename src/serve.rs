@@ -1,0 +1,1082 @@
+//! `ccr serve` — the batched multi-client experiment service.
+//!
+//! The one-shot CLI pays the whole plan→compile→sim pipeline per
+//! invocation. The service keeps one [`ccr_bench::Engine`] alive for
+//! a whole session instead, so the paper's core economics — amortize
+//! one compile/region-formation pass across many dynamic executions —
+//! applies to the harness itself: concurrent clients sweeping
+//! overlapping configuration spaces pay for each unique compile,
+//! reuse-potential study, and simulation exactly once. Dedup across
+//! in-flight requests falls out of the engine's single-flight caches;
+//! no request-level coordination is needed.
+//!
+//! ## Wire protocol (`req_v` 1)
+//!
+//! Newline-delimited JSON over a Unix socket (`--socket PATH`) or
+//! local TCP (`--port N`), one request object per line, one reply
+//! object per line, in order. Replies always carry `"req_v":1` and
+//! `"ok":true|false`; protocol failures (unparseable line, unknown
+//! `req_v`, unknown op/field/workload) are `ok:false` replies with a
+//! one-line `error`, never a closed connection.
+//!
+//! | op | request | reply |
+//! |---|---|---|
+//! | `submit` | `{"req_v":1,"op":"submit","exp":"fig4"}` or `{"req_v":1,"op":"submit","workload":"bitcount","input":"train","scale":1,"entries":128,"instances":8}` | `{"req_v":1,"ok":true,"id":N,"state":"queued"}` |
+//! | `status` | `{"req_v":1,"op":"status","id":N}` | `{"req_v":1,"ok":true,"id":N,"state":"queued\|running\|done\|error"}` |
+//! | `results` | `{"req_v":1,"op":"results","id":N}` | done: adds `points`, `wall_ms`, cumulative `cache_hits`/`cache_misses`, and the rendered `text` (byte-identical to the one-shot CLI's) |
+//! | `shutdown` | `{"req_v":1,"op":"shutdown"}` | `{"req_v":1,"ok":true,"state":"shutdown"}`; queued work drains first |
+//!
+//! The submit queue is bounded (`--queue N`): a submit past the bound
+//! is refused with `ok:false` rather than queued without limit.
+//!
+//! ## Observability and trajectory
+//!
+//! The session harness appends `request_start` / `request_finish` /
+//! `result_cache` events (plus the engine's usual plan/task/pool
+//! events) to `serve.jsonl`. Completed points are buffered and
+//! appended to the run store at shutdown under `source: "serve"`,
+//! each stamped with the session's `points_per_sec` throughput —
+//! completed request points per host second over the active window
+//! (first dequeue to last completion) — which `ccr report` surfaces
+//! as a column.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ccr_analyze::RunRecord;
+use ccr_bench::{exp, Engine};
+
+use crate::harness::{Harness, HarnessOptions, ProgressMode};
+use crate::profile::EmuConfig;
+use crate::regions::RegionConfig;
+use crate::sim::{CrbConfig, MachineConfig};
+use crate::telemetry::value::{self, Value};
+use crate::telemetry::JsonWriter;
+use crate::workloads::{InputSet, NAMES};
+use crate::CompileConfig;
+
+/// Version tag of request/reply lines. Bumped only on incompatible
+/// changes; additive fields ride under the same version.
+pub const REQ_VERSION: u64 = 1;
+
+/// Request versions the server understands.
+pub const KNOWN_REQ_VERSIONS: &[u64] = &[1];
+
+/// Default submit-queue bound.
+pub const DEFAULT_QUEUE: usize = 64;
+
+/// Default `serve.jsonl` location.
+pub const DEFAULT_SERVE_JSONL: &str = "serve.jsonl";
+
+/// Emulator limits for point submissions — the same limits the
+/// one-shot `ccr suite`/`ccr run` paths use, so a served point is
+/// bit-identical to its CLI run.
+fn point_emu() -> EmuConfig {
+    EmuConfig {
+        max_instrs: 500_000_000,
+        max_depth: 1024,
+    }
+}
+
+/// Where the service listens.
+#[derive(Clone, Debug)]
+pub enum Bind {
+    /// Local TCP on `127.0.0.1:<port>`.
+    Tcp(u16),
+    /// A Unix-domain socket at the given path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Bind {
+    fn describe(&self) -> String {
+        match self {
+            Bind::Tcp(port) => format!("127.0.0.1:{port}"),
+            #[cfg(unix)]
+            Bind::Unix(path) => path.display().to_string(),
+        }
+    }
+}
+
+/// A `ccr serve` session configuration.
+pub struct ServeOptions {
+    /// Listening address.
+    pub bind: Bind,
+    /// Submit-queue bound (submits past it are refused).
+    pub queue: usize,
+    /// Worker count of the session engine.
+    pub jobs: usize,
+    /// Executor threads draining the request queue (concurrent
+    /// requests exercise the engine's cross-request dedup).
+    pub executors: usize,
+    /// Harness event log (`serve.jsonl`); `None` disables it.
+    pub harness_out: Option<PathBuf>,
+    /// Run store completed points append to at shutdown; `None`
+    /// disables the store hook.
+    pub store: Option<PathBuf>,
+    /// Unix timestamp stamped on store records.
+    pub timestamp: u64,
+    /// Git commit stamped on store records.
+    pub commit: String,
+}
+
+/// What a session did, returned by [`run`] after shutdown.
+#[derive(Clone, Debug, Default)]
+pub struct ServeSummary {
+    /// Requests completed (done or error).
+    pub requests: u64,
+    /// Requested points across completed requests (simulation points
+    /// plus reuse-potential studies, before cross-request dedup).
+    pub points: u64,
+    /// `points` per host second over the active window (first dequeue
+    /// to last completion); 0.0 for an idle session.
+    pub points_per_sec: f64,
+    /// Simulated cycles per host second over the session, from the
+    /// harness summary (0.0 when the harness was disabled).
+    pub sim_cycles_per_host_sec: f64,
+    /// Result-cache hits over the session.
+    pub result_cache_hits: u64,
+    /// Result-cache misses over the session.
+    pub result_cache_misses: u64,
+    /// Compile-cache hits over the session.
+    pub compile_cache_hits: u64,
+    /// Compile-cache misses over the session.
+    pub compile_cache_misses: u64,
+    /// Store records appended at shutdown.
+    pub stored_records: u64,
+}
+
+/// One parsed, validated submission.
+enum Submission {
+    /// A registered experiment, by name or output stem.
+    Exp(String),
+    /// A single (workload, config) point through the suite pipeline.
+    Point {
+        workload: &'static str,
+        input: InputSet,
+        scale: u32,
+        entries: usize,
+        instances: usize,
+    },
+}
+
+impl Submission {
+    fn detail(&self) -> String {
+        match self {
+            Submission::Exp(name) => name.clone(),
+            Submission::Point {
+                workload,
+                input,
+                scale,
+                entries,
+                instances,
+            } => format!(
+                "{workload}:{}@{scale} crb {entries}x{instances}",
+                input_tag(*input)
+            ),
+        }
+    }
+}
+
+enum ReqState {
+    Queued(Submission),
+    Running,
+    Done {
+        text: String,
+        wall_ms: u64,
+        points: u64,
+    },
+    Failed(String),
+}
+
+#[derive(Default)]
+struct SessionState {
+    next_id: u64,
+    queue: VecDeque<u64>,
+    requests: HashMap<u64, ReqState>,
+    shutdown: bool,
+    records: Vec<RunRecord>,
+    requests_done: u64,
+    points_done: u64,
+    active_from: Option<Instant>,
+    active_until: Option<Instant>,
+}
+
+struct Session {
+    engine: Engine,
+    harness: Harness,
+    state: Mutex<SessionState>,
+    cv: Condvar,
+    queue_cap: usize,
+    timestamp: u64,
+    commit: String,
+    store_enabled: bool,
+}
+
+fn input_tag(input: InputSet) -> &'static str {
+    match input {
+        InputSet::Train => "train",
+        InputSet::Ref => "ref",
+    }
+}
+
+fn parse_input(tag: &str) -> Result<InputSet, String> {
+    match tag {
+        "train" => Ok(InputSet::Train),
+        "ref" => Ok(InputSet::Ref),
+        other => Err(format!("unknown input set `{other}` (train or ref)")),
+    }
+}
+
+/// Runs a serve session to completion: binds, accepts clients,
+/// executes submissions through one shared engine, and returns the
+/// session summary after a `shutdown` request drains the queue.
+///
+/// # Errors
+///
+/// One-line messages for bind failures (port in use, stale socket
+/// path), harness-sink failures, and store-append failures at
+/// shutdown.
+pub fn run(opts: &ServeOptions) -> Result<ServeSummary, String> {
+    let listener = match &opts.bind {
+        Bind::Tcp(port) => Listener::Tcp(
+            TcpListener::bind(("127.0.0.1", *port))
+                .map_err(|e| format!("127.0.0.1:{port}: {e}"))?,
+        ),
+        #[cfg(unix)]
+        Bind::Unix(path) => {
+            if path.exists() {
+                return Err(format!(
+                    "{}: socket path already exists (stale from a crashed \
+                     server? remove it first)",
+                    path.display()
+                ));
+            }
+            Listener::Unix(
+                UnixListener::bind(path).map_err(|e| format!("{}: {e}", path.display()))?,
+            )
+        }
+    };
+    let harness = Harness::start(&HarnessOptions {
+        progress: ProgressMode::Off,
+        out: opts.harness_out.clone(),
+        ..HarnessOptions::default()
+    })
+    .map_err(|e| format!("harness: {e}"))?;
+    let session = Arc::new(Session {
+        engine: Engine::new(opts.jobs),
+        harness,
+        state: Mutex::new(SessionState::default()),
+        cv: Condvar::new(),
+        queue_cap: opts.queue,
+        timestamp: opts.timestamp,
+        commit: opts.commit.clone(),
+        store_enabled: opts.store.is_some(),
+    });
+    eprintln!(
+        "serve: listening on {} (queue {}, jobs {}, {} executor(s))",
+        opts.bind.describe(),
+        opts.queue,
+        session.engine.jobs(),
+        opts.executors
+    );
+
+    let executors: Vec<_> = (0..opts.executors.max(1))
+        .map(|_| {
+            let session = Arc::clone(&session);
+            std::thread::spawn(move || executor_loop(&session))
+        })
+        .collect();
+
+    loop {
+        let conn = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) => {
+                if session.state.lock().expect("serve state").shutdown {
+                    break;
+                }
+                eprintln!("serve: accept: {e}");
+                continue;
+            }
+        };
+        if session.state.lock().expect("serve state").shutdown {
+            break;
+        }
+        // Handler threads are detached on purpose: shutdown must not
+        // block on clients that keep an idle connection open. Late
+        // submits are refused (the queue checks the shutdown flag);
+        // status/results polls on a draining server stay answerable.
+        let session = Arc::clone(&session);
+        let bind = opts.bind.clone();
+        std::thread::spawn(move || handle_connection(&session, conn, &bind));
+    }
+    // Executors exit once the queue is drained *and* shutdown was
+    // requested, so joining them completes every accepted submission.
+    for executor in executors {
+        let _ = executor.join();
+    }
+    #[cfg(unix)]
+    if let Bind::Unix(path) = &opts.bind {
+        let _ = std::fs::remove_file(path);
+    }
+
+    let harness_summary = session.harness.finish();
+    let state = session.state.lock().expect("serve state");
+    let active_ms = match (state.active_from, state.active_until) {
+        (Some(from), Some(until)) => until.duration_since(from).as_millis() as u64,
+        _ => 0,
+    };
+    let points_per_sec = if active_ms > 0 {
+        state.points_done as f64 / (active_ms as f64 / 1000.0)
+    } else {
+        0.0
+    };
+    let mut records = state.records.clone();
+    for rec in &mut records {
+        rec.points_per_sec = points_per_sec;
+    }
+    let summary = ServeSummary {
+        requests: state.requests_done,
+        points: state.points_done,
+        points_per_sec,
+        sim_cycles_per_host_sec: harness_summary
+            .as_ref()
+            .map(|s| {
+                if s.wall_ms > 0 {
+                    s.sim_cycles as f64 / (s.wall_ms as f64 / 1000.0)
+                } else {
+                    0.0
+                }
+            })
+            .unwrap_or(0.0),
+        result_cache_hits: session.engine.result_cache().hits(),
+        result_cache_misses: session.engine.result_cache().misses(),
+        compile_cache_hits: session.engine.compile_cache().hits(),
+        compile_cache_misses: session.engine.compile_cache().misses(),
+        stored_records: records.len() as u64,
+    };
+    drop(state);
+    if let Some(store) = &opts.store {
+        ccr_analyze::RunStore::append(store, &records)?;
+        if !records.is_empty() {
+            eprintln!(
+                "store: appended {} record(s) to {}",
+                records.len(),
+                store.display()
+            );
+        }
+    }
+    Ok(summary)
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+}
+
+impl std::io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl std::io::Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Unblocks the accept loop after a shutdown by dialing the listener
+/// once; the accept loop re-checks the shutdown flag per connection.
+fn wake_listener(bind: &Bind) {
+    match bind {
+        Bind::Tcp(port) => {
+            let _ = TcpStream::connect(("127.0.0.1", *port));
+        }
+        #[cfg(unix)]
+        Bind::Unix(path) => {
+            let _ = UnixStream::connect(path);
+        }
+    }
+}
+
+fn handle_connection(session: &Session, conn: Conn, bind: &Bind) {
+    let Ok(writer) = conn.try_clone() else { return };
+    let mut writer = std::io::BufWriter::new(writer);
+    let reader = BufReader::new(conn);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, shutdown) = handle_line(session, &line);
+        if writeln!(writer, "{reply}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if shutdown {
+            wake_listener(bind);
+            break;
+        }
+    }
+}
+
+fn error_reply(msg: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.obj_begin();
+    w.key("req_v").u64_val(REQ_VERSION);
+    w.key("ok").bool_val(false);
+    w.key("error").str_val(msg);
+    w.obj_end();
+    w.finish()
+}
+
+/// Handles one request line, returning `(reply, shutdown)`.
+fn handle_line(session: &Session, line: &str) -> (String, bool) {
+    match handle_request(session, line) {
+        Ok(out) => out,
+        Err(msg) => (error_reply(&msg), false),
+    }
+}
+
+fn check_fields(v: &Value, op: &str, allowed: &[&str]) -> Result<(), String> {
+    let obj = v.as_obj().ok_or("request is not a JSON object")?;
+    for key in obj.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("unknown field `{key}` for op `{op}`"));
+        }
+    }
+    Ok(())
+}
+
+fn handle_request(session: &Session, line: &str) -> Result<(String, bool), String> {
+    let v = value::parse(line.trim()).map_err(|e| format!("unparseable request line: {e:?}"))?;
+    let version = v.u64_field("req_v");
+    if !KNOWN_REQ_VERSIONS.contains(&version) {
+        return Err(format!(
+            "unknown req_v {version} (known: {KNOWN_REQ_VERSIONS:?})"
+        ));
+    }
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("request missing `op`")?;
+    match op {
+        "submit" => {
+            check_fields(
+                &v,
+                op,
+                &[
+                    "req_v",
+                    "op",
+                    "exp",
+                    "workload",
+                    "input",
+                    "scale",
+                    "entries",
+                    "instances",
+                ],
+            )?;
+            let submission = parse_submission(&v)?;
+            let id = enqueue(session, submission)?;
+            let mut w = JsonWriter::new();
+            w.obj_begin();
+            w.key("req_v").u64_val(REQ_VERSION);
+            w.key("ok").bool_val(true);
+            w.key("id").u64_val(id);
+            w.key("state").str_val("queued");
+            w.obj_end();
+            Ok((w.finish(), false))
+        }
+        "status" | "results" => {
+            check_fields(&v, op, &["req_v", "op", "id"])?;
+            let id = v
+                .get("id")
+                .and_then(Value::as_u64)
+                .ok_or(format!("op `{op}` needs a numeric `id`"))?;
+            let state = session.state.lock().expect("serve state");
+            let req = state
+                .requests
+                .get(&id)
+                .ok_or(format!("unknown request id {id}"))?;
+            let mut w = JsonWriter::new();
+            w.obj_begin();
+            w.key("req_v").u64_val(REQ_VERSION);
+            match req {
+                ReqState::Failed(e) => {
+                    w.key("ok").bool_val(false);
+                    w.key("id").u64_val(id);
+                    w.key("state").str_val("error");
+                    w.key("error").str_val(e);
+                }
+                ReqState::Done {
+                    text,
+                    wall_ms,
+                    points,
+                } => {
+                    w.key("ok").bool_val(true);
+                    w.key("id").u64_val(id);
+                    w.key("state").str_val("done");
+                    if op == "results" {
+                        w.key("points").u64_val(*points);
+                        w.key("wall_ms").u64_val(*wall_ms);
+                        w.key("cache_hits")
+                            .u64_val(session.engine.result_cache().hits());
+                        w.key("cache_misses")
+                            .u64_val(session.engine.result_cache().misses());
+                        w.key("text").str_val(text);
+                    }
+                }
+                ReqState::Queued(_) | ReqState::Running => {
+                    w.key("ok").bool_val(true);
+                    w.key("id").u64_val(id);
+                    w.key("state").str_val(match req {
+                        ReqState::Queued(_) => "queued",
+                        _ => "running",
+                    });
+                }
+            }
+            w.obj_end();
+            Ok((w.finish(), false))
+        }
+        "shutdown" => {
+            check_fields(&v, op, &["req_v", "op"])?;
+            let mut state = session.state.lock().expect("serve state");
+            state.shutdown = true;
+            drop(state);
+            session.cv.notify_all();
+            let mut w = JsonWriter::new();
+            w.obj_begin();
+            w.key("req_v").u64_val(REQ_VERSION);
+            w.key("ok").bool_val(true);
+            w.key("state").str_val("shutdown");
+            w.obj_end();
+            Ok((w.finish(), true))
+        }
+        other => Err(format!(
+            "unknown op `{other}` (submit, status, results, shutdown)"
+        )),
+    }
+}
+
+fn parse_submission(v: &Value) -> Result<Submission, String> {
+    let exp_name = v.get("exp").and_then(Value::as_str);
+    let workload = v.get("workload").and_then(Value::as_str);
+    match (exp_name, workload) {
+        (Some(_), Some(_)) => Err("submit takes `exp` or `workload`, not both".to_string()),
+        (None, None) => Err("submit needs an `exp` or `workload` field".to_string()),
+        (Some(name), None) => {
+            let registry = exp::specs::registry();
+            if !registry.iter().any(|s| s.name == name || s.output == name) {
+                return Err(format!(
+                    "unknown experiment `{name}` (see `ccr exp --list`)"
+                ));
+            }
+            Ok(Submission::Exp(name.to_string()))
+        }
+        (None, Some(name)) => {
+            let Some(&known) = NAMES.iter().find(|&&n| n == name) else {
+                return Err(format!("unknown workload `{name}` (see `ccr list`)"));
+            };
+            let input = match v.get("input").and_then(Value::as_str) {
+                Some(tag) => parse_input(tag)?,
+                None => InputSet::Train,
+            };
+            let paper = CrbConfig::paper();
+            Ok(Submission::Point {
+                workload: known,
+                input,
+                scale: v.get("scale").and_then(Value::as_u64).unwrap_or(1) as u32,
+                entries: v
+                    .get("entries")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(paper.entries as u64) as usize,
+                instances: v
+                    .get("instances")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(paper.instances as u64) as usize,
+            })
+        }
+    }
+}
+
+fn enqueue(session: &Session, submission: Submission) -> Result<u64, String> {
+    let mut state = session.state.lock().expect("serve state");
+    if state.shutdown {
+        return Err("server is shutting down".to_string());
+    }
+    if state.queue.len() >= session.queue_cap {
+        return Err(format!(
+            "queue full ({} request(s) pending)",
+            state.queue.len()
+        ));
+    }
+    state.next_id += 1;
+    let id = state.next_id;
+    state.requests.insert(id, ReqState::Queued(submission));
+    state.queue.push_back(id);
+    drop(state);
+    session.cv.notify_all();
+    Ok(id)
+}
+
+fn executor_loop(session: &Session) {
+    loop {
+        let (id, submission) = {
+            let mut state = session.state.lock().expect("serve state");
+            loop {
+                if let Some(id) = state.queue.pop_front() {
+                    let submission = match state.requests.insert(id, ReqState::Running) {
+                        Some(ReqState::Queued(s)) => s,
+                        _ => unreachable!("queued ids map to queued requests"),
+                    };
+                    if state.active_from.is_none() {
+                        state.active_from = Some(Instant::now());
+                    }
+                    break (id, submission);
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = session.cv.wait(state).expect("serve state");
+            }
+        };
+        let detail = submission.detail();
+        session.harness.request_start(id, "submit", &detail);
+        let started = Instant::now();
+        let outcome = execute_submission(session, &submission);
+        let wall_ms = started.elapsed().as_millis() as u64;
+        let mut state = session.state.lock().expect("serve state");
+        state.requests_done += 1;
+        state.active_until = Some(Instant::now());
+        match outcome {
+            Ok((text, points, records)) => {
+                state.points_done += points;
+                if session.store_enabled {
+                    state.records.extend(records);
+                }
+                state.requests.insert(
+                    id,
+                    ReqState::Done {
+                        text,
+                        wall_ms,
+                        points,
+                    },
+                );
+                drop(state);
+                session.harness.request_finish(id, "done", wall_ms, points);
+            }
+            Err(e) => {
+                state.requests.insert(id, ReqState::Failed(e));
+                drop(state);
+                session.harness.request_finish(id, "error", wall_ms, 0);
+            }
+        }
+        let rc = session.engine.result_cache();
+        session
+            .harness
+            .result_cache(rc.hits(), rc.misses(), rc.evictions());
+    }
+}
+
+/// Executes one submission through the session engine, returning the
+/// rendered text (byte-identical to the one-shot CLI's), the
+/// requested point count, and the store records it produced.
+fn execute_submission(
+    session: &Session,
+    submission: &Submission,
+) -> Result<(String, u64, Vec<RunRecord>), String> {
+    match submission {
+        Submission::Exp(name) => {
+            let registry = exp::specs::registry();
+            let spec = registry
+                .iter()
+                .find(|s| s.name == name.as_str() || s.output == name.as_str())
+                .ok_or_else(|| format!("unknown experiment `{name}`"))?;
+            let plan = exp::plan(&[spec]);
+            let points = (plan.stats.requested_points + plan.stats.potential_points) as u64;
+            let executed = session
+                .engine
+                .execute_plan(&plan, &session.harness, None, None)?;
+            let rendered = executed.results(spec).render();
+            let records = executed
+                .point_summaries()
+                .into_iter()
+                .map(|p| RunRecord {
+                    timestamp: session.timestamp,
+                    commit: session.commit.clone(),
+                    config_hash: p.config_hash,
+                    source: "serve".to_string(),
+                    workload: p.workload.to_string(),
+                    input: p.input.to_string(),
+                    scale: u64::from(p.scale),
+                    base_cycles: p.base_cycles,
+                    ccr_cycles: p.ccr_cycles,
+                    speedup: p.speedup,
+                    hit_rate: p.hit_rate,
+                    miss_causes: p.miss_causes,
+                    regions: p.regions,
+                    wall_ms: p.wall_ms,
+                    sim_cycles_per_host_sec: ccr_analyze::BenchWorkload::host_throughput(
+                        p.base_cycles,
+                        p.ccr_cycles,
+                        p.wall_ms,
+                    ),
+                    host_util_pct: 0.0,
+                    fingerprint: p.fingerprint,
+                    // Stamped with the session throughput at shutdown.
+                    points_per_sec: 0.0,
+                })
+                .collect();
+            Ok((rendered.text, points, records))
+        }
+        Submission::Point {
+            workload,
+            input,
+            scale,
+            entries,
+            instances,
+        } => {
+            let machine = MachineConfig::paper();
+            let crb = CrbConfig {
+                entries: *entries,
+                instances: *instances,
+                ..CrbConfig::paper()
+            };
+            let config = CompileConfig {
+                region: RegionConfig {
+                    trial_instances: *instances,
+                    ..RegionConfig::paper()
+                },
+                ..CompileConfig::paper()
+            };
+            let names: &[&'static str] = std::slice::from_ref(workload);
+            let runs = session.engine.run_selected(
+                names,
+                *input,
+                *scale,
+                &config,
+                &machine,
+                crb,
+                point_emu(),
+                &session.harness,
+            )?;
+            let run = &runs[0];
+            let m = &run.measurement;
+            let lookups = m.ccr.stats.reuse_hits + m.ccr.stats.reuse_misses;
+            let hit_rate = if lookups == 0 {
+                0.0
+            } else {
+                m.ccr.stats.reuse_hits as f64 / lookups as f64
+            };
+            let stats = &m.ccr.stats.crb;
+            let text = format!(
+                "{} base {} ccr {} speedup {:.6} hit_rate {:.6} regions {}\n",
+                run.name,
+                m.base.stats.cycles,
+                m.ccr.stats.cycles,
+                m.speedup(),
+                hit_rate,
+                run.compiled.regions.len()
+            );
+            let record = RunRecord {
+                timestamp: session.timestamp,
+                commit: session.commit.clone(),
+                config_hash: crate::config_hash(&machine, &crb),
+                source: "serve".to_string(),
+                workload: run.name.to_string(),
+                input: input_tag(*input).to_string(),
+                scale: u64::from(*scale),
+                base_cycles: m.base.stats.cycles,
+                ccr_cycles: m.ccr.stats.cycles,
+                speedup: m.speedup(),
+                hit_rate,
+                miss_causes: [
+                    stats.miss_cold,
+                    stats.miss_mismatch,
+                    stats.miss_capacity,
+                    stats.miss_conflict,
+                    stats.miss_invalidated,
+                ],
+                regions: run.compiled.regions.len() as u64,
+                wall_ms: run.wall_ms,
+                sim_cycles_per_host_sec: ccr_analyze::BenchWorkload::host_throughput(
+                    m.base.stats.cycles,
+                    m.ccr.stats.cycles,
+                    run.wall_ms,
+                ),
+                host_util_pct: 0.0,
+                fingerprint: String::new(),
+                points_per_sec: 0.0,
+            };
+            Ok((text, 1, vec![record]))
+        }
+    }
+}
+
+/// A blocking protocol client: one connection, submit-and-poll.
+/// `ccr submit` and the protocol tests are thin wrappers over this.
+pub struct Client {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+/// One completed submission as the client saw it.
+#[derive(Clone, Debug)]
+pub struct ClientResult {
+    /// Request id the server assigned.
+    pub id: u64,
+    /// Rendered result text (byte-identical to the one-shot CLI's).
+    pub text: String,
+    /// Requested points the submission covered.
+    pub points: u64,
+    /// Host wall time the request took server-side, ms.
+    pub wall_ms: u64,
+    /// Cumulative engine result-cache hits at reply time.
+    pub cache_hits: u64,
+    /// Cumulative engine result-cache misses at reply time.
+    pub cache_misses: u64,
+}
+
+impl Client {
+    /// Connects to a serve session.
+    ///
+    /// # Errors
+    ///
+    /// One-line connect failures naming the address.
+    pub fn connect(bind: &Bind) -> Result<Client, String> {
+        let conn = match bind {
+            Bind::Tcp(port) => Conn::Tcp(
+                TcpStream::connect(("127.0.0.1", *port))
+                    .map_err(|e| format!("127.0.0.1:{port}: {e}"))?,
+            ),
+            #[cfg(unix)]
+            Bind::Unix(path) => Conn::Unix(
+                UnixStream::connect(path).map_err(|e| format!("{}: {e}", path.display()))?,
+            ),
+        };
+        let writer = conn.try_clone().map_err(|e| format!("connect: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(conn),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line and returns the parsed reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and `ok:false` replies (as the server's
+    /// one-line `error`).
+    pub fn roundtrip(&mut self, request: &str) -> Result<Value, String> {
+        writeln!(self.writer, "{request}").map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if line.is_empty() {
+            return Err("server closed the connection".to_string());
+        }
+        let v = value::parse(line.trim()).map_err(|e| format!("bad reply: {e:?}\n{line}"))?;
+        if v.get("ok").and_then(Value::as_bool) == Some(false) {
+            return Err(v.str_field("error").to_string());
+        }
+        Ok(v)
+    }
+
+    /// Submits an experiment or workload request and polls until the
+    /// server finishes it.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, refused submissions (unknown name, full
+    /// queue), and failed executions.
+    pub fn submit_and_wait(&mut self, submit_request: &str) -> Result<ClientResult, String> {
+        let reply = self.roundtrip(submit_request)?;
+        let id = reply
+            .get("id")
+            .and_then(Value::as_u64)
+            .ok_or("submit reply carried no id")?;
+        let poll = {
+            let mut w = JsonWriter::new();
+            w.obj_begin();
+            w.key("req_v").u64_val(REQ_VERSION);
+            w.key("op").str_val("results");
+            w.key("id").u64_val(id);
+            w.obj_end();
+            w.finish()
+        };
+        loop {
+            let reply = self.roundtrip(&poll)?;
+            if reply.str_field("state") == "done" {
+                return Ok(ClientResult {
+                    id,
+                    text: reply.str_field("text").to_string(),
+                    points: reply.u64_field("points"),
+                    wall_ms: reply.u64_field("wall_ms"),
+                    cache_hits: reply.u64_field("cache_hits"),
+                    cache_misses: reply.u64_field("cache_misses"),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Asks the server to shut down once its queue drains.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        let mut w = JsonWriter::new();
+        w.obj_begin();
+        w.key("req_v").u64_val(REQ_VERSION);
+        w.key("op").str_val("shutdown");
+        w.obj_end();
+        self.roundtrip(&w.finish()).map(|_| ())
+    }
+}
+
+/// Builds the submit request line for an experiment.
+pub fn submit_exp_request(name: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.obj_begin();
+    w.key("req_v").u64_val(REQ_VERSION);
+    w.key("op").str_val("submit");
+    w.key("exp").str_val(name);
+    w.obj_end();
+    w.finish()
+}
+
+/// Builds the submit request line for a single workload point.
+pub fn submit_point_request(
+    workload: &str,
+    input: InputSet,
+    scale: u32,
+    entries: usize,
+    instances: usize,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.obj_begin();
+    w.key("req_v").u64_val(REQ_VERSION);
+    w.key("op").str_val("submit");
+    w.key("workload").str_val(workload);
+    w.key("input").str_val(input_tag(input));
+    w.key("scale").u64_val(u64::from(scale));
+    w.key("entries").u64_val(entries as u64);
+    w.key("instances").u64_val(instances as u64);
+    w.obj_end();
+    w.finish()
+}
+
+/// Measures the service-throughput baseline `ccr bench
+/// --serve-clients N` records: `clients` synthetic clients
+/// concurrently sweeping the same workload selection through one
+/// shared engine (maximum request overlap, so every duplicated point
+/// dedups). Returns `(points, points_per_sec)` where `points` counts
+/// requested points across all clients, before dedup — the service
+/// throughput a fully-overlapping client population would see.
+///
+/// # Errors
+///
+/// The first failing workload's error.
+#[allow(clippy::too_many_arguments)]
+pub fn synthetic_client_baseline(
+    engine: &Engine,
+    clients: usize,
+    names: &[&'static str],
+    input: InputSet,
+    scale: u32,
+    config: &CompileConfig,
+    machine: &MachineConfig,
+    crb: CrbConfig,
+    emu: EmuConfig,
+) -> Result<(u64, f64), String> {
+    let started = Instant::now();
+    let results: Vec<Result<(), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients.max(1))
+            .map(|_| {
+                scope.spawn(move || {
+                    engine
+                        .run_selected(
+                            names,
+                            input,
+                            scale,
+                            config,
+                            machine,
+                            crb,
+                            emu,
+                            &Harness::disabled(),
+                        )
+                        .map(|_| ())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for result in results {
+        result?;
+    }
+    let points = (clients.max(1) * names.len()) as u64;
+    let wall = started.elapsed().as_secs_f64();
+    let points_per_sec = if wall > 0.0 {
+        points as f64 / wall
+    } else {
+        0.0
+    };
+    Ok((points, points_per_sec))
+}

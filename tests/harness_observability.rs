@@ -166,6 +166,10 @@ fn harness_jsonl_schema_matches_the_committed_golden() {
     // their key sets alongside the organically-produced events.
     harness.snapshot("save", "bitcount", 65_536, "runs/bitcount.snap.jsonl");
     harness.fingerprint("bitcount", 2, 150_000, "0123456789abcdef");
+    // Likewise the service-session events from `ccr serve`.
+    harness.request_start(1, "submit", "fig4");
+    harness.request_finish(1, "done", 42, 7);
+    harness.result_cache(3, 4, 0);
     harness.finish().expect("live harness yields a summary");
 
     let text = std::fs::read_to_string(&out).unwrap();
